@@ -1,0 +1,233 @@
+//! Two-stage Dorfman screening with sum queries.
+//!
+//! Dorfman's 1943 scheme — the historical root of the whole pooled-data
+//! line, cited first in the paper's related work — tests fixed pools and
+//! then retests members of positive pools individually. With *sum* queries
+//! the scheme gets two upgrades over the binary original: a pool whose
+//! count equals its size resolves immediately (all ones), and one member of
+//! every retested pool can be inferred by subtraction instead of queried.
+//!
+//! Only two adaptivity rounds are used, making this the cheapest
+//! *almost*-non-adaptive baseline: it quantifies how much even a single
+//! extra round of adaptivity buys over the paper's one-shot design.
+
+use crate::oracle::{Oracle, Strategy, Transcript};
+use crate::repetition::CountEstimator;
+
+/// Classic pool-size rule of thumb `s ≈ √(n/k)`, clamped to `[2, n]`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `k == 0`.
+pub fn optimal_pool_size(n: usize, k: usize) -> usize {
+    assert!(n > 0, "optimal_pool_size: n must be positive");
+    assert!(k > 0, "optimal_pool_size: k must be positive");
+    let s = (n as f64 / k as f64).sqrt().round() as usize;
+    s.clamp(2, n)
+}
+
+/// Two-stage Dorfman screening.
+///
+/// # Examples
+///
+/// ```
+/// use npd_adaptive::{optimal_pool_size, Dorfman, Oracle, Strategy};
+/// use npd_core::{GroundTruth, NoiseModel};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+/// let truth = GroundTruth::sample(400, 4, &mut rng);
+/// let mut oracle = Oracle::new(&truth, NoiseModel::Noiseless, &mut rng);
+/// let strategy = Dorfman::new(optimal_pool_size(400, 4), 1);
+/// let transcript = strategy.reconstruct(4, &mut oracle);
+/// assert!(transcript.is_exact(&truth));
+/// assert_eq!(transcript.rounds, 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dorfman {
+    pool_size: usize,
+    repetitions: usize,
+}
+
+impl Dorfman {
+    /// Creates the strategy with explicit pool size and repetition count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pool_size < 2` or `repetitions == 0`.
+    pub fn new(pool_size: usize, repetitions: usize) -> Self {
+        assert!(pool_size >= 2, "Dorfman: pool_size must be at least 2");
+        assert!(repetitions > 0, "Dorfman: repetitions must be positive");
+        Self {
+            pool_size,
+            repetitions,
+        }
+    }
+
+    /// The stage-1 pool size.
+    pub fn pool_size(&self) -> usize {
+        self.pool_size
+    }
+
+    /// Queries per count estimate.
+    pub fn repetitions(&self) -> usize {
+        self.repetitions
+    }
+}
+
+impl Strategy for Dorfman {
+    fn reconstruct(&self, _k: usize, oracle: &mut Oracle<'_>) -> Transcript {
+        let n = oracle.n();
+        let estimator = CountEstimator::new(self.repetitions);
+        let mut bits = vec![false; n];
+
+        // Stage 1: pool counts (one parallel round).
+        oracle.next_round();
+        let pools: Vec<Vec<u32>> = (0..n)
+            .step_by(self.pool_size)
+            .map(|start| {
+                (start as u32..(start + self.pool_size).min(n) as u32).collect()
+            })
+            .collect();
+        let counts: Vec<u64> = pools
+            .iter()
+            .map(|pool| estimator.estimate_count(oracle, pool, 0, pool.len() as u64))
+            .collect();
+
+        // Stage 2: resolve mixed pools individually, inferring the last
+        // member of each pool by subtraction.
+        oracle.next_round();
+        for (pool, &count) in pools.iter().zip(&counts) {
+            let size = pool.len() as u64;
+            if count == 0 {
+                continue;
+            }
+            if count == size {
+                for &a in pool {
+                    bits[a as usize] = true;
+                }
+                continue;
+            }
+            let mut found = 0u64;
+            for (idx, &a) in pool.iter().enumerate() {
+                if idx + 1 == pool.len() {
+                    // Inferred member: the remaining count decides its bit.
+                    bits[a as usize] = count - found >= 1;
+                } else {
+                    let remaining_slots = (pool.len() - idx - 1) as u64;
+                    let lo = (count - found).saturating_sub(remaining_slots).min(1);
+                    let hi = u64::from(found < count);
+                    let bit = if lo == hi {
+                        lo // forced by feasibility, no query needed
+                    } else {
+                        estimator.estimate_count(oracle, &[a], lo, hi)
+                    };
+                    if bit == 1 {
+                        bits[a as usize] = true;
+                        found += 1;
+                    }
+                }
+            }
+        }
+
+        Transcript {
+            estimate: bits,
+            queries: oracle.queries_used(),
+            rounds: oracle.rounds_used(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "dorfman-two-stage"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npd_core::{GroundTruth, NoiseModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pool_size_rule() {
+        assert_eq!(optimal_pool_size(400, 4), 10);
+        assert_eq!(optimal_pool_size(100, 100), 2); // clamped from 1
+        assert_eq!(optimal_pool_size(8, 1), 3);
+    }
+
+    #[test]
+    fn exact_in_noiseless_case() {
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(20 + seed);
+            let truth = GroundTruth::sample(300, 5, &mut rng);
+            let mut oracle = Oracle::new(&truth, NoiseModel::Noiseless, &mut rng);
+            let s = Dorfman::new(optimal_pool_size(300, 5), 1);
+            let t = s.reconstruct(5, &mut oracle);
+            assert!(t.is_exact(&truth), "seed {seed}");
+            assert!(t.rounds <= 2);
+        }
+    }
+
+    #[test]
+    fn query_count_beats_individual_testing_for_sparse_truth() {
+        let mut rng = StdRng::seed_from_u64(30);
+        let truth = GroundTruth::sample(1000, 10, &mut rng);
+        let mut oracle = Oracle::new(&truth, NoiseModel::Noiseless, &mut rng);
+        let s = Dorfman::new(optimal_pool_size(1000, 10), 1);
+        let t = s.reconstruct(10, &mut oracle);
+        assert!(t.is_exact(&truth));
+        assert!(
+            t.queries < 500,
+            "Dorfman used {} queries, worse than half of individual testing",
+            t.queries
+        );
+    }
+
+    #[test]
+    fn saturated_pools_resolve_without_stage_two() {
+        // All agents are ones: every pool count equals its size.
+        let truth = GroundTruth::from_bits(vec![true; 40]);
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut oracle = Oracle::new(&truth, NoiseModel::Noiseless, &mut rng);
+        let t = Dorfman::new(8, 1).reconstruct(40, &mut oracle);
+        assert!(t.is_exact(&truth));
+        assert_eq!(t.queries, 5, "only the five stage-1 pool queries");
+        assert_eq!(t.rounds, 1);
+    }
+
+    #[test]
+    fn uneven_last_pool_is_handled() {
+        // n = 11 with pool size 4 leaves a trailing pool of 3.
+        let truth =
+            GroundTruth::from_bits(vec![
+                false, true, false, false, false, false, false, false, false, false, true,
+            ]);
+        let mut rng = StdRng::seed_from_u64(32);
+        let mut oracle = Oracle::new(&truth, NoiseModel::Noiseless, &mut rng);
+        let t = Dorfman::new(4, 1).reconstruct(2, &mut oracle);
+        assert!(t.is_exact(&truth));
+    }
+
+    #[test]
+    fn repetitions_restore_exactness_under_noise() {
+        let noise = NoiseModel::gaussian(0.8);
+        let mut exact = 0;
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(200 + seed);
+            let truth = GroundTruth::sample(200, 4, &mut rng);
+            let mut oracle = Oracle::new(&truth, noise, &mut rng);
+            let t = Dorfman::new(optimal_pool_size(200, 4), 40).reconstruct(4, &mut oracle);
+            if t.is_exact(&truth) {
+                exact += 1;
+            }
+        }
+        assert!(exact >= 9, "only {exact}/10 exact under repeated queries");
+    }
+
+    #[test]
+    #[should_panic(expected = "pool_size")]
+    fn rejects_tiny_pools() {
+        Dorfman::new(1, 1);
+    }
+}

@@ -1,0 +1,113 @@
+//! Individual testing — the trivial one-round reference.
+//!
+//! Query every agent by itself: `n` queries, a single round, and no pooling
+//! at all. This anchors both axes of the adaptive comparison: it is the
+//! *most* parallel strategy (like the paper's design) and the *least*
+//! query-efficient one for sparse assignments; any pooled scheme must beat
+//! it to justify its existence.
+
+use crate::oracle::{Oracle, Strategy, Transcript};
+use crate::repetition::CountEstimator;
+
+/// One-round individual testing.
+///
+/// # Examples
+///
+/// ```
+/// use npd_adaptive::{IndividualTesting, Oracle, Strategy};
+/// use npd_core::{GroundTruth, NoiseModel};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let truth = GroundTruth::sample(50, 5, &mut rng);
+/// let mut oracle = Oracle::new(&truth, NoiseModel::Noiseless, &mut rng);
+/// let t = IndividualTesting::new(1).reconstruct(5, &mut oracle);
+/// assert!(t.is_exact(&truth));
+/// assert_eq!(t.queries, 50);
+/// assert_eq!(t.rounds, 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndividualTesting {
+    repetitions: usize,
+}
+
+impl IndividualTesting {
+    /// Creates the strategy with `repetitions` queries per agent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `repetitions == 0`.
+    pub fn new(repetitions: usize) -> Self {
+        assert!(
+            repetitions > 0,
+            "IndividualTesting: repetitions must be positive"
+        );
+        Self { repetitions }
+    }
+
+    /// Queries per agent.
+    pub fn repetitions(&self) -> usize {
+        self.repetitions
+    }
+}
+
+impl Strategy for IndividualTesting {
+    fn reconstruct(&self, _k: usize, oracle: &mut Oracle<'_>) -> Transcript {
+        let n = oracle.n();
+        let estimator = CountEstimator::new(self.repetitions);
+        oracle.next_round();
+        let bits: Vec<bool> = (0..n as u32)
+            .map(|a| estimator.estimate_count(oracle, &[a], 0, 1) == 1)
+            .collect();
+        Transcript {
+            estimate: bits,
+            queries: oracle.queries_used(),
+            rounds: oracle.rounds_used(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "individual-testing"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npd_core::{GroundTruth, NoiseModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_in_noiseless_case() {
+        let mut rng = StdRng::seed_from_u64(40);
+        let truth = GroundTruth::sample(64, 7, &mut rng);
+        let mut oracle = Oracle::new(&truth, NoiseModel::Noiseless, &mut rng);
+        let t = IndividualTesting::new(1).reconstruct(7, &mut oracle);
+        assert!(t.is_exact(&truth));
+        assert_eq!(t.queries, 64);
+        assert_eq!(t.rounds, 1);
+    }
+
+    #[test]
+    fn majority_voting_survives_channel_noise() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let truth = GroundTruth::sample(64, 7, &mut rng);
+        let mut oracle =
+            Oracle::new(&truth, NoiseModel::channel(0.2, 0.1), &mut rng);
+        let t = IndividualTesting::new(51).reconstruct(7, &mut oracle);
+        assert!(t.is_exact(&truth));
+        assert_eq!(t.queries, 64 * 51);
+    }
+
+    #[test]
+    fn single_read_fails_under_strong_noise() {
+        // With p = 0.45 a single read per one-agent misses often; across 30
+        // one-agents at least one miss is near-certain.
+        let mut rng = StdRng::seed_from_u64(42);
+        let truth = GroundTruth::sample(200, 30, &mut rng);
+        let mut oracle = Oracle::new(&truth, NoiseModel::z_channel(0.45), &mut rng);
+        let t = IndividualTesting::new(1).reconstruct(30, &mut oracle);
+        assert!(!t.is_exact(&truth));
+    }
+}

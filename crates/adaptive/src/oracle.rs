@@ -1,0 +1,229 @@
+//! The adaptive query oracle.
+//!
+//! Adaptive strategies interact with the hidden assignment only through
+//! [`Oracle::query`]: hand over any subset of agents, receive one noisy sum
+//! measurement under the same noise semantics as the paper's non-adaptive
+//! design (per-slot channel flips or per-query Gaussian noise). The oracle
+//! counts queries and adaptivity rounds, which is the whole point of the
+//! comparison — the paper restricts itself to one round because "the time
+//! to perform a single query dominates the time to compute the
+//! reconstruction", and this crate quantifies how many queries that
+//! restriction costs.
+
+use npd_core::{GroundTruth, NoiseModel};
+use rand::RngCore;
+
+/// A noisy sum-query oracle over a fixed hidden assignment.
+///
+/// # Round accounting
+///
+/// Queries issued between two calls to [`next_round`](Oracle::next_round)
+/// are considered parallel (one adaptivity round). Strategies must call
+/// `next_round` before issuing queries that *depend* on earlier answers;
+/// the tests of each strategy pin its expected round count.
+pub struct Oracle<'a> {
+    truth: &'a GroundTruth,
+    noise: NoiseModel,
+    rng: &'a mut dyn RngCore,
+    queries: usize,
+    rounds: usize,
+    queried_this_round: bool,
+}
+
+impl<'a> Oracle<'a> {
+    /// Creates an oracle over the given assignment and noise model.
+    pub fn new(
+        truth: &'a GroundTruth,
+        noise: NoiseModel,
+        rng: &'a mut dyn RngCore,
+    ) -> Self {
+        Self {
+            truth,
+            noise,
+            rng,
+            queries: 0,
+            rounds: 0,
+            queried_this_round: false,
+        }
+    }
+
+    /// Measures the (noisy) number of one-agents among `agents`.
+    ///
+    /// Each listed agent occupies one slot; listing an agent twice queries
+    /// it twice, mirroring the multigraph semantics of the non-adaptive
+    /// design.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `agents` is empty or an id is out of range.
+    pub fn query(&mut self, agents: &[u32]) -> f64 {
+        assert!(!agents.is_empty(), "Oracle::query: empty query");
+        let mut ones = 0u64;
+        for &a in agents {
+            assert!(
+                (a as usize) < self.truth.n(),
+                "Oracle::query: agent {a} out of range for n={}",
+                self.truth.n()
+            );
+            if self.truth.is_one(a as usize) {
+                ones += 1;
+            }
+        }
+        let zeros = agents.len() as u64 - ones;
+        if !self.queried_this_round {
+            self.queried_this_round = true;
+            self.rounds += 1;
+        }
+        self.queries += 1;
+        self.noise.measure(ones, zeros, self.rng)
+    }
+
+    /// Declares a round boundary: subsequent queries may depend on all
+    /// answers received so far.
+    pub fn next_round(&mut self) {
+        self.queried_this_round = false;
+    }
+
+    /// Total queries issued.
+    pub fn queries_used(&self) -> usize {
+        self.queries
+    }
+
+    /// Adaptivity rounds used (rounds in which at least one query ran).
+    pub fn rounds_used(&self) -> usize {
+        self.rounds
+    }
+
+    /// The noise model the oracle perturbs measurements with.
+    pub fn noise(&self) -> &NoiseModel {
+        &self.noise
+    }
+
+    /// Population size of the hidden assignment.
+    pub fn n(&self) -> usize {
+        self.truth.n()
+    }
+}
+
+impl std::fmt::Debug for Oracle<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Oracle")
+            .field("n", &self.truth.n())
+            .field("noise", &self.noise)
+            .field("queries", &self.queries)
+            .field("rounds", &self.rounds)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Outcome of one adaptive reconstruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transcript {
+    /// The reconstructed bits.
+    pub estimate: Vec<bool>,
+    /// Queries consumed.
+    pub queries: usize,
+    /// Adaptivity rounds consumed.
+    pub rounds: usize,
+}
+
+impl Transcript {
+    /// Whether the estimate matches the assignment exactly.
+    pub fn is_exact(&self, truth: &GroundTruth) -> bool {
+        self.estimate
+            .iter()
+            .zip(truth.bits())
+            .all(|(a, b)| a == b)
+    }
+
+    /// Number of one-bits in the estimate.
+    pub fn weight(&self) -> usize {
+        self.estimate.iter().filter(|&&b| b).count()
+    }
+}
+
+/// An adaptive reconstruction strategy.
+///
+/// Object-safe so the experiment harness can iterate heterogeneous
+/// strategy collections, mirroring [`npd_core::Decoder`] for the
+/// non-adaptive side; `Send + Sync` so one strategy value can drive
+/// parallel trials.
+pub trait Strategy: Send + Sync {
+    /// Reconstructs the hidden bits through the oracle.
+    ///
+    /// `k` is the known number of one-agents (the model assumption shared
+    /// with the non-adaptive decoders); strategies may use it or ignore it.
+    fn reconstruct(&self, k: usize, oracle: &mut Oracle<'_>) -> Transcript;
+
+    /// Short human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn counts_queries_and_rounds() {
+        let truth = GroundTruth::from_bits(vec![true, false, true, false]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut oracle = Oracle::new(&truth, NoiseModel::Noiseless, &mut rng);
+        assert_eq!(oracle.query(&[0, 1]), 1.0);
+        assert_eq!(oracle.query(&[0, 2]), 2.0);
+        assert_eq!(oracle.rounds_used(), 1);
+        oracle.next_round();
+        assert_eq!(oracle.rounds_used(), 1, "empty rounds are not counted");
+        assert_eq!(oracle.query(&[3]), 0.0);
+        assert_eq!(oracle.queries_used(), 3);
+        assert_eq!(oracle.rounds_used(), 2);
+    }
+
+    #[test]
+    fn multiset_queries_count_slots() {
+        let truth = GroundTruth::from_bits(vec![true, false]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut oracle = Oracle::new(&truth, NoiseModel::Noiseless, &mut rng);
+        assert_eq!(oracle.query(&[0, 0, 0]), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn rejects_empty_query() {
+        let truth = GroundTruth::from_bits(vec![true]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut oracle = Oracle::new(&truth, NoiseModel::Noiseless, &mut rng);
+        oracle.query(&[]);
+    }
+
+    #[test]
+    fn channel_noise_flows_through() {
+        // With p = 0.5 on 10_000 one-slots the reading concentrates near
+        // 5_000 — far from the exact sum.
+        let truth = GroundTruth::from_bits(vec![true; 10_000]);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut oracle = Oracle::new(&truth, NoiseModel::z_channel(0.5), &mut rng);
+        let agents: Vec<u32> = (0..10_000).collect();
+        let reading = oracle.query(&agents);
+        assert!((reading - 5_000.0).abs() < 300.0, "reading={reading}");
+    }
+
+    #[test]
+    fn transcript_exactness() {
+        let truth = GroundTruth::from_bits(vec![true, false, true]);
+        let t = Transcript {
+            estimate: vec![true, false, true],
+            queries: 5,
+            rounds: 2,
+        };
+        assert!(t.is_exact(&truth));
+        assert_eq!(t.weight(), 2);
+        let wrong = Transcript {
+            estimate: vec![true, true, false],
+            queries: 5,
+            rounds: 2,
+        };
+        assert!(!wrong.is_exact(&truth));
+    }
+}

@@ -1,0 +1,206 @@
+//! Repetition-coded count estimation.
+//!
+//! Adaptive strategies branch on *exact integer counts*, but a noisy oracle
+//! returns perturbed readings. The classic fix is a repetition code: ask
+//! the same query `r` times, average, unbias for the channel, and round to
+//! the nearest feasible integer. [`CountEstimator`] implements this;
+//! [`recommended_repetitions`] sizes `r` so one estimate errs with
+//! probability at most `δ` (CLT sizing — the error of an averaged reading
+//! is asymptotically Gaussian, and the tests verify empirical coverage).
+
+use crate::oracle::Oracle;
+use npd_core::NoiseModel;
+use npd_numerics::special::normal_quantile;
+
+/// Estimates integer one-counts through repeated noisy queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CountEstimator {
+    repetitions: usize,
+}
+
+impl CountEstimator {
+    /// Creates an estimator issuing `repetitions` queries per count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `repetitions == 0`.
+    pub fn new(repetitions: usize) -> Self {
+        assert!(repetitions > 0, "CountEstimator: repetitions must be positive");
+        Self { repetitions }
+    }
+
+    /// Queries per estimate.
+    pub fn repetitions(&self) -> usize {
+        self.repetitions
+    }
+
+    /// Estimates the number of one-agents among `agents`, clamped to
+    /// `[lo, hi]` (the feasibility interval the caller derives from
+    /// context, e.g. a parent count in a splitting tree).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or `hi > agents.len()`.
+    pub fn estimate_count(
+        &self,
+        oracle: &mut Oracle<'_>,
+        agents: &[u32],
+        lo: u64,
+        hi: u64,
+    ) -> u64 {
+        assert!(lo <= hi, "CountEstimator: lo={lo} exceeds hi={hi}");
+        assert!(
+            hi <= agents.len() as u64,
+            "CountEstimator: hi={hi} exceeds set size {}",
+            agents.len()
+        );
+        let mut total = 0.0;
+        for _ in 0..self.repetitions {
+            total += oracle.query(agents);
+        }
+        let raw_mean = total / self.repetitions as f64;
+        let unbiased = match *oracle.noise() {
+            NoiseModel::Channel { p, q } => {
+                (raw_mean - q * agents.len() as f64) / (1.0 - p - q)
+            }
+            NoiseModel::Noiseless | NoiseModel::Query { .. } => raw_mean,
+        };
+        (unbiased.round().max(0.0) as u64).clamp(lo, hi)
+    }
+}
+
+/// Repetitions needed so one estimate over a set of `set_size` agents errs
+/// with probability at most `delta` (CLT sizing against the rounding
+/// threshold of ½).
+///
+/// Returns `1` for the noiseless model.
+///
+/// # Panics
+///
+/// Panics if `delta ∉ (0, 1)` or `set_size == 0`.
+pub fn recommended_repetitions(noise: &NoiseModel, set_size: usize, delta: f64) -> usize {
+    assert!(
+        delta > 0.0 && delta < 1.0,
+        "recommended_repetitions: delta={delta} must be in (0,1)"
+    );
+    assert!(set_size > 0, "recommended_repetitions: set_size must be positive");
+    let single_var = match *noise {
+        NoiseModel::Noiseless => return 1,
+        NoiseModel::Query { lambda } => {
+            if lambda == 0.0 {
+                return 1;
+            }
+            lambda * lambda
+        }
+        NoiseModel::Channel { p, q } => {
+            // Worst case over the unknown split: every slot at the larger
+            // per-slot variance, then unbiasing divides by (1−p−q)².
+            let vmax = (p * (1.0 - p)).max(q * (1.0 - q));
+            if vmax == 0.0 {
+                return 1;
+            }
+            set_size as f64 * vmax / (1.0 - p - q).powi(2)
+        }
+    };
+    let z = normal_quantile(1.0 - delta / 2.0);
+    // |N(0, var/r)| < ½  ⇔  r > var·z²/¼.
+    (single_var * z * z / 0.25).ceil().max(1.0) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npd_core::GroundTruth;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn noiseless_needs_one_query() {
+        assert_eq!(
+            recommended_repetitions(&NoiseModel::Noiseless, 100, 0.01),
+            1
+        );
+        assert_eq!(
+            recommended_repetitions(&NoiseModel::gaussian(0.0), 100, 0.01),
+            1
+        );
+    }
+
+    #[test]
+    fn repetitions_grow_with_noise_and_shrink_with_delta() {
+        let small = recommended_repetitions(&NoiseModel::gaussian(1.0), 10, 0.05);
+        let loud = recommended_repetitions(&NoiseModel::gaussian(3.0), 10, 0.05);
+        let strict = recommended_repetitions(&NoiseModel::gaussian(1.0), 10, 0.001);
+        assert!(loud > small);
+        assert!(strict > small);
+    }
+
+    #[test]
+    fn channel_repetitions_grow_with_set_size() {
+        let noise = NoiseModel::z_channel(0.2);
+        let small = recommended_repetitions(&noise, 10, 0.01);
+        let large = recommended_repetitions(&noise, 1000, 0.01);
+        assert!(large > small);
+    }
+
+    #[test]
+    fn estimates_are_exact_when_noiseless() {
+        let truth = GroundTruth::from_bits(vec![true, true, false, false, true]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut oracle = Oracle::new(&truth, NoiseModel::Noiseless, &mut rng);
+        let est = CountEstimator::new(1);
+        assert_eq!(est.estimate_count(&mut oracle, &[0, 1, 2, 3, 4], 0, 5), 3);
+        assert_eq!(est.estimate_count(&mut oracle, &[2, 3], 0, 2), 0);
+        assert_eq!(oracle.queries_used(), 2);
+    }
+
+    #[test]
+    fn recommended_repetitions_achieve_coverage() {
+        // Empirical check of the CLT sizing: ≥ 97% of estimates must be
+        // exact at δ = 0.01 (allowing CLT slack on 300 trials).
+        let bits: Vec<bool> = (0..40).map(|i| i % 5 == 0).collect();
+        let truth = GroundTruth::from_bits(bits);
+        let agents: Vec<u32> = (0..40).collect();
+        let noise = NoiseModel::gaussian(2.0);
+        let r = recommended_repetitions(&noise, 40, 0.01);
+        let est = CountEstimator::new(r);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut exact = 0;
+        for _ in 0..300 {
+            let mut oracle = Oracle::new(&truth, noise, &mut rng);
+            if est.estimate_count(&mut oracle, &agents, 0, 40) == 8 {
+                exact += 1;
+            }
+        }
+        assert!(exact >= 291, "only {exact}/300 exact estimates");
+    }
+
+    #[test]
+    fn unbiasing_corrects_channel_drift() {
+        // 30 ones, 70 zeros, p = 0.3, q = 0.1: raw mean ≈ 28, true count 30.
+        let bits: Vec<bool> = (0..100).map(|i| i < 30).collect();
+        let truth = GroundTruth::from_bits(bits);
+        let agents: Vec<u32> = (0..100).collect();
+        let noise = NoiseModel::channel(0.3, 0.1);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut oracle = Oracle::new(&truth, noise, &mut rng);
+        let est = CountEstimator::new(400);
+        assert_eq!(est.estimate_count(&mut oracle, &agents, 0, 100), 30);
+    }
+
+    #[test]
+    fn clamping_respects_feasibility() {
+        let truth = GroundTruth::from_bits(vec![true, true, true]);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut oracle = Oracle::new(&truth, NoiseModel::Noiseless, &mut rng);
+        let est = CountEstimator::new(1);
+        // True count is 3 but the caller knows it cannot exceed 2.
+        assert_eq!(est.estimate_count(&mut oracle, &[0, 1, 2], 0, 2), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "repetitions")]
+    fn rejects_zero_repetitions() {
+        CountEstimator::new(0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Communication-cost model for a distributed AMP execution.
+//!
+//! The paper's conclusion observes that AMP “has a distributed touch” —
+//! every iteration can be phrased as queries messaging their member agents
+//! and agents messaging back — but “the communication overhead becomes
+//! substantial”, citing reference \[32\]. This module quantifies that claim so the
+//! harness can print the greedy-vs-AMP communication table:
+//!
+//! * per iteration, each *edge* of the pooling graph carries two messages
+//!   (query → agent with the current residual contribution, agent → query
+//!   with the updated estimate);
+//! * each iteration costs two synchronous rounds;
+//! * the greedy protocol, by contrast, uses each measurement edge exactly
+//!   once plus the `O(log² n)`-round sorting phase.
+
+use serde::{Deserialize, Serialize};
+
+/// Cost model for running AMP as a message-passing protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DistributedAmpCost {
+    /// Distinct query–agent edges in the pooling graph (`Σⱼ |∂*aⱼ|`).
+    pub edges: u64,
+    /// AMP iterations executed.
+    pub iterations: u64,
+}
+
+impl DistributedAmpCost {
+    /// Creates the cost model.
+    pub fn new(edges: u64, iterations: u64) -> Self {
+        Self { edges, iterations }
+    }
+
+    /// Total messages: two per edge per iteration.
+    pub fn messages(&self) -> u64 {
+        2 * self.edges * self.iterations
+    }
+
+    /// Total synchronous rounds: two per iteration.
+    pub fn rounds(&self) -> u64 {
+        2 * self.iterations
+    }
+
+    /// Message overhead relative to a protocol that uses each edge once
+    /// (the greedy measurement phase).
+    ///
+    /// Returns `f64::INFINITY` when there are no edges.
+    pub fn overhead_vs_single_pass(&self) -> f64 {
+        if self.edges == 0 {
+            f64::INFINITY
+        } else {
+            self.messages() as f64 / self.edges as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_scale_with_iterations() {
+        let c = DistributedAmpCost::new(1000, 30);
+        assert_eq!(c.messages(), 60_000);
+        assert_eq!(c.rounds(), 60);
+    }
+
+    #[test]
+    fn overhead_is_twice_the_iterations() {
+        let c = DistributedAmpCost::new(500, 25);
+        assert_eq!(c.overhead_vs_single_pass(), 50.0);
+    }
+
+    #[test]
+    fn zero_edges_is_infinite_overhead() {
+        let c = DistributedAmpCost::new(0, 10);
+        assert_eq!(c.overhead_vs_single_pass(), f64::INFINITY);
+        assert_eq!(c.messages(), 0);
+    }
+
+    #[test]
+    fn zero_iterations_is_free() {
+        let c = DistributedAmpCost::new(1000, 0);
+        assert_eq!(c.messages(), 0);
+        assert_eq!(c.rounds(), 0);
+    }
+}

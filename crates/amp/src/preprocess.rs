@@ -1,0 +1,274 @@
+//! Centering and scaling of the pooling matrix for AMP.
+//!
+//! AMP's convergence theory assumes a sensing matrix with i.i.d. zero-mean
+//! entries and (approximately) unit-norm columns. The raw pooling matrix
+//! `A ∈ ℕ₀^{m×n}` has `E[A_ji] = Γ/n` and `Var[A_ji] = v ≈ Γ/n` (slot
+//! counts of a with-replacement draw), so we run AMP on
+//!
+//! ```text
+//! B = (A − (Γ/n)·J) / √(m·v),        v = Γ·(1/n)·(1 − 1/n),
+//! ỹ = (y' − (Γ/n)·k) / √(m·v),
+//! ```
+//!
+//! where `J` is all-ones and `y'` is the observation vector *unbiased for
+//! the channel*: under per-edge noise `E[σ̂ⱼ | A] = (1−p−q)(Aσ)ⱼ + qΓ`, so
+//! `y' = (σ̂ − qΓ)/(1−p−q)`; the noiseless and Gaussian models use
+//! `y' = σ̂` directly. Then `ỹ = B·σ + noise`, the canonical AMP form.
+//!
+//! `B` is never materialized: [`CenteredMatrix`] applies the rank-one
+//! correction on the fly around the sparse `A`.
+
+use npd_core::{NoiseModel, Run};
+use npd_numerics::CsrMatrix;
+
+/// The implicit centered/scaled matrix `B = (A − c·J)/s`.
+///
+/// Products cost one sparse pass plus a rank-one correction:
+/// `B·x = (A·x − c·(Σx)·1)/s` and `Bᵀ·z = (Aᵀ·z − c·(Σz)·1)/s`.
+#[derive(Debug, Clone)]
+pub struct CenteredMatrix {
+    a: CsrMatrix,
+    c: f64,
+    s: f64,
+}
+
+impl CenteredMatrix {
+    /// Wraps a raw counts matrix with centering constant `c` and scale `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is not strictly positive.
+    pub fn new(a: CsrMatrix, c: f64, s: f64) -> Self {
+        assert!(s > 0.0, "CenteredMatrix: scale s={s} must be positive");
+        Self { a, c, s }
+    }
+
+    /// Standard preprocessing for a pooling design: `c = Γ/n`,
+    /// `s = √(m·v)` with `v = Γ(1/n)(1−1/n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has no queries (nothing to decode from).
+    pub fn from_counts(a: CsrMatrix, gamma: usize) -> Self {
+        let m = a.rows();
+        let n = a.cols();
+        assert!(m > 0, "CenteredMatrix::from_counts: empty design");
+        let c = gamma as f64 / n as f64;
+        let v = gamma as f64 * (1.0 / n as f64) * (1.0 - 1.0 / n as f64);
+        let s = (m as f64 * v).sqrt();
+        Self::new(a, c, s)
+    }
+
+    /// Number of rows (queries).
+    pub fn rows(&self) -> usize {
+        self.a.rows()
+    }
+
+    /// Number of columns (agents).
+    pub fn cols(&self) -> usize {
+        self.a.cols()
+    }
+
+    /// Centering constant `c = Γ/n`.
+    pub fn centering(&self) -> f64 {
+        self.c
+    }
+
+    /// Scale `s = √(m·v)`.
+    pub fn scale(&self) -> f64 {
+        self.s
+    }
+
+    /// `B·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        let sum_x: f64 = x.iter().sum();
+        let mut out = self.a.matvec(x);
+        for o in &mut out {
+            *o = (*o - self.c * sum_x) / self.s;
+        }
+        out
+    }
+
+    /// `Bᵀ·z`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z.len() != rows`.
+    pub fn matvec_t(&self, z: &[f64]) -> Vec<f64> {
+        let sum_z: f64 = z.iter().sum();
+        let mut out = self.a.matvec_t(z);
+        for o in &mut out {
+            *o = (*o - self.c * sum_z) / self.s;
+        }
+        out
+    }
+}
+
+/// A preprocessed AMP problem: the implicit matrix and the transformed
+/// observations.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    /// Centered/scaled sensing matrix.
+    pub matrix: CenteredMatrix,
+    /// Transformed observations `ỹ` with `ỹ ≈ B·σ + noise`.
+    pub observations: Vec<f64>,
+    /// Prior weight `π = k/n` for the Bayes denoiser.
+    pub prior: f64,
+}
+
+/// Builds the AMP problem from a sampled run, applying the channel unbiasing
+/// described in the module docs.
+///
+/// # Panics
+///
+/// Panics if the run has no queries.
+pub fn prepare(run: &Run) -> Prepared {
+    let instance = run.instance();
+    let gamma = instance.gamma();
+    let matrix = CenteredMatrix::from_counts(run.graph().to_csr(), gamma);
+    let k = instance.k() as f64;
+
+    let (scale, shift) = match *instance.noise() {
+        NoiseModel::Channel { p, q } => {
+            let denom = 1.0 - p - q;
+            (1.0 / denom, q * gamma as f64 / denom)
+        }
+        NoiseModel::Noiseless | NoiseModel::Query { .. } => (1.0, 0.0),
+    };
+
+    let c = matrix.centering();
+    let s = matrix.scale();
+    let observations = run
+        .results()
+        .iter()
+        .map(|&y| ((y * scale - shift) - c * k) / s)
+        .collect();
+
+    Prepared {
+        matrix,
+        observations,
+        prior: k / instance.n() as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npd_core::{Instance, NoiseModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run_with(noise: NoiseModel, seed: u64) -> Run {
+        Instance::builder(200)
+            .k(4)
+            .queries(80)
+            .noise(noise)
+            .build()
+            .unwrap()
+            .sample(&mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn noiseless_observations_match_centered_product() {
+        let run = run_with(NoiseModel::Noiseless, 1);
+        let prep = prepare(&run);
+        let sigma: Vec<f64> = run
+            .ground_truth()
+            .bits()
+            .iter()
+            .map(|&b| if b { 1.0 } else { 0.0 })
+            .collect();
+        let product = prep.matrix.matvec(&sigma);
+        for (a, b) in product.iter().zip(&prep.observations) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn channel_unbiasing_centers_observations() {
+        // With unbiasing, E[ỹ − Bσ] = 0; the empirical mean over queries
+        // should be near zero relative to the noise scale.
+        let run = run_with(NoiseModel::channel(0.2, 0.1), 2);
+        let prep = prepare(&run);
+        let sigma: Vec<f64> = run
+            .ground_truth()
+            .bits()
+            .iter()
+            .map(|&b| if b { 1.0 } else { 0.0 })
+            .collect();
+        let product = prep.matrix.matvec(&sigma);
+        let residual: f64 = prep
+            .observations
+            .iter()
+            .zip(&product)
+            .map(|(y, p)| y - p)
+            .sum::<f64>()
+            / prep.observations.len() as f64;
+        assert!(residual.abs() < 0.5, "mean residual {residual}");
+    }
+
+    #[test]
+    fn matvec_matches_explicit_dense_centering() {
+        let run = run_with(NoiseModel::Noiseless, 3);
+        let prep = prepare(&run);
+        let a = run.graph().to_csr().to_dense();
+        let (m, n) = (a.rows(), a.cols());
+        let c = prep.matrix.centering();
+        let s = prep.matrix.scale();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let z: Vec<f64> = (0..m).map(|i| (i as f64 * 0.11).cos()).collect();
+
+        let mut dense_b = npd_numerics::Matrix::zeros(m, n);
+        for r in 0..m {
+            for col in 0..n {
+                *dense_b.get_mut(r, col) = (a.get(r, col) - c) / s;
+            }
+        }
+        let want_fwd = dense_b.matvec(&x);
+        let got_fwd = prep.matrix.matvec(&x);
+        for (a, b) in want_fwd.iter().zip(&got_fwd) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        let want_t = dense_b.matvec_t(&z);
+        let got_t = prep.matrix.matvec_t(&z);
+        for (a, b) in want_t.iter().zip(&got_t) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn column_norms_are_near_unit() {
+        let run = run_with(NoiseModel::Noiseless, 4);
+        let prep = prepare(&run);
+        let n = prep.matrix.cols();
+        // Check a few representative columns via B·eᵢ.
+        let mut checked = 0;
+        for i in (0..n).step_by(37) {
+            let mut e = vec![0.0; n];
+            e[i] = 1.0;
+            let col = prep.matrix.matvec(&e);
+            let norm = npd_numerics::vector::norm2(&col);
+            assert!((norm - 1.0).abs() < 0.35, "column {i}: norm {norm}");
+            checked += 1;
+        }
+        assert!(checked > 3);
+    }
+
+    #[test]
+    fn prior_is_k_over_n() {
+        let run = run_with(NoiseModel::Noiseless, 5);
+        let prep = prepare(&run);
+        assert!((prep.prior - 4.0 / 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_scale() {
+        let a = CsrMatrix::from_triplets(1, 1, &[]);
+        CenteredMatrix::new(a, 0.5, 0.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Baseline-zoo workload: decode one `n = 500` Z-channel run with every
+//! polynomial-time algorithm in the workspace, plus the adaptive
+//! strategies and the gossip selection protocol. The spread — greedy in
+//! microseconds, message-passing solvers in milliseconds — is the
+//! computational argument for Algorithm 1 that complements its statistical
+//! comparison in the decoder-zoo experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use npd_adaptive::{Dorfman, IndividualTesting, Oracle, RecursiveSplitting, Strategy};
+use npd_amp::AmpDecoder;
+use npd_bench::sample_run;
+use npd_core::{Decoder, GreedyDecoder, GroundTruth, NoiseModel};
+use npd_decoders::{BpDecoder, FistaDecoder, LmmseDecoder, McmcDecoder};
+use npd_netsim::gossip::select_top_k;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_decoder_zoo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_decode");
+    group.sample_size(10);
+    let run = sample_run(500, 5, 300, NoiseModel::z_channel(0.1), 1);
+
+    let field: Vec<Box<dyn Decoder>> = vec![
+        Box::new(GreedyDecoder::new()),
+        Box::new(AmpDecoder::default()),
+        Box::new(BpDecoder::default()),
+        Box::new(FistaDecoder::default()),
+        Box::new(LmmseDecoder::default()),
+        Box::new(McmcDecoder::default()),
+    ];
+    for decoder in field {
+        group.bench_function(BenchmarkId::new(decoder.name(), "n=500,m=300"), |b| {
+            b.iter(|| black_box(decoder.decode(&run)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_adaptive_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adaptive_reconstruct");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(2);
+    let truth = GroundTruth::sample(512, 5, &mut rng);
+
+    let strategies: Vec<(Box<dyn Strategy>, &str)> = vec![
+        (Box::new(RecursiveSplitting::new(1)), "splitting"),
+        (Box::new(Dorfman::new(10, 1)), "dorfman"),
+        (Box::new(IndividualTesting::new(1)), "individual"),
+    ];
+    for (strategy, name) in strategies {
+        group.bench_function(BenchmarkId::new(name, "n=512,noiseless"), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut trial_rng = StdRng::seed_from_u64(seed);
+                let mut oracle = Oracle::new(&truth, NoiseModel::Noiseless, &mut trial_rng);
+                black_box(strategy.reconstruct(5, &mut oracle))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_gossip_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gossip_topk");
+    group.sample_size(10);
+    let run = sample_run(256, 4, 200, NoiseModel::z_channel(0.1), 3);
+    let scores = GreedyDecoder::new().scores(&run);
+    group.bench_function(BenchmarkId::new("select_top_k", "n=256,iters=90"), |b| {
+        b.iter(|| black_box(select_top_k(&scores, 4, 90)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_decoder_zoo,
+    bench_adaptive_strategies,
+    bench_gossip_selection
+);
+criterion_main!(benches);

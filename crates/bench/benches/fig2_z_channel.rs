@@ -1,0 +1,36 @@
+//! Figure 2 workload: incremental required-queries search under the
+//! Z-channel at θ = 0.25.
+//!
+//! Times one full required-queries trial per `(n, p)` — the unit of work
+//! behind every data point of Figure 2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use npd_core::{IncrementalSim, NoiseModel};
+use std::hint::black_box;
+
+fn bench_required_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_required_queries");
+    group.sample_size(10);
+    for &n in &[1_000usize, 10_000] {
+        let k = (n as f64).powf(0.25).round() as usize;
+        for &p in &[0.1, 0.3] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("p={p}"), n),
+                &(n, k, p),
+                |b, &(n, k, p)| {
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed += 1;
+                        let mut sim =
+                            IncrementalSim::new(n, k, NoiseModel::z_channel(p), seed);
+                        black_box(sim.required_queries(100_000).expect("separates"))
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_required_queries);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Figure 3 workload: required-queries search under Gaussian query noise,
+//! compared with the noiseless baseline at the same sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use npd_core::{IncrementalSim, NoiseModel};
+use std::hint::black_box;
+
+fn bench_noisy_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_noisy_query");
+    group.sample_size(10);
+    let n = 2_000usize;
+    let k = (n as f64).powf(0.25).round() as usize;
+    for &lambda in &[0.0, 1.0, 2.0] {
+        let noise = if lambda == 0.0 {
+            NoiseModel::Noiseless
+        } else {
+            NoiseModel::gaussian(lambda)
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("lambda={lambda}")),
+            &noise,
+            |b, &noise| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let mut sim = IncrementalSim::new(n, k, noise, seed);
+                    black_box(sim.required_queries(50_000).expect("separates"))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_noisy_query);
+criterion_main!(benches);

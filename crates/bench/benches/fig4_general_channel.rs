@@ -1,0 +1,32 @@
+//! Figure 4 workload: required-queries search under the general noisy
+//! channel `p = q`, spanning the regime crossover.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use npd_core::{IncrementalSim, NoiseModel};
+use std::hint::black_box;
+
+fn bench_general_channel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_general_channel");
+    group.sample_size(10);
+    let n = 1_000usize;
+    let k = 6;
+    for &q in &[1e-2, 1e-3, 1e-5] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("q={q:e}")),
+            &q,
+            |b, &q| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let mut sim =
+                        IncrementalSim::new(n, k, NoiseModel::channel(q, q), seed);
+                    black_box(sim.required_queries(100_000).expect("separates"))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_general_channel);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figure 5 workload: the per-trial cost of one box-plot sample across the
+//! figure's noise configurations at n = 10³ (the paper's smallest panel).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use npd_core::{IncrementalSim, NoiseModel};
+use std::hint::black_box;
+
+fn bench_boxplot_configs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_boxplot_trial");
+    group.sample_size(10);
+    let n = 1_000usize;
+    let k = 6;
+    let configs: Vec<(&str, NoiseModel)> = vec![
+        ("p=0.1", NoiseModel::z_channel(0.1)),
+        ("p=0.5", NoiseModel::z_channel(0.5)),
+        ("lambda=0", NoiseModel::Noiseless),
+        ("lambda=3", NoiseModel::gaussian(3.0)),
+    ];
+    for (label, noise) in configs {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &noise, |b, &noise| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut sim = IncrementalSim::new(n, k, noise, seed);
+                black_box(sim.required_queries(50_000).expect("separates"))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_boxplot_configs);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Figure 6 workload: one success-rate trial — sample a run at `n = 1000`
+//! and decode it — for both algorithms. The greedy-vs-AMP time ratio here
+//! is the computational side of the comparison whose statistical side is
+//! Figure 6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use npd_amp::AmpDecoder;
+use npd_bench::sample_run;
+use npd_core::{Decoder, GreedyDecoder, NoiseModel};
+use std::hint::black_box;
+
+fn bench_decoders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_decode");
+    group.sample_size(20);
+    let runs: Vec<_> = (0..4)
+        .map(|seed| sample_run(1_000, 6, 300, NoiseModel::z_channel(0.1), seed))
+        .collect();
+
+    group.bench_function(BenchmarkId::new("greedy", "n=1000,m=300"), |b| {
+        let decoder = GreedyDecoder::new();
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % runs.len();
+            black_box(decoder.decode(&runs[i]))
+        });
+    });
+    group.bench_function(BenchmarkId::new("amp", "n=1000,m=300"), |b| {
+        let decoder = AmpDecoder::default();
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % runs.len();
+            black_box(decoder.decode(&runs[i]))
+        });
+    });
+    group.bench_function(BenchmarkId::new("sample+greedy", "n=1000,m=300"), |b| {
+        // Full trial cost including instance sampling.
+        let decoder = GreedyDecoder::new();
+        let mut seed = 100u64;
+        b.iter(|| {
+            seed += 1;
+            let run = sample_run(1_000, 6, 300, NoiseModel::z_channel(0.1), seed);
+            black_box(decoder.decode(&run))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_decoders);
+criterion_main!(benches);

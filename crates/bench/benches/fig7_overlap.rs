@@ -1,0 +1,28 @@
+//! Figure 7 workload: overlap evaluation of the greedy reconstruction over
+//! the `m` grid of the figure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use npd_bench::sample_run;
+use npd_core::{overlap, Decoder, GreedyDecoder, NoiseModel};
+use std::hint::black_box;
+
+fn bench_overlap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_overlap_trial");
+    group.sample_size(20);
+    for &m in &[100usize, 300, 600] {
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            let decoder = GreedyDecoder::new();
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let run = sample_run(1_000, 6, m, NoiseModel::z_channel(0.3), seed);
+                let est = decoder.decode(&run);
+                black_box(overlap(&est, run.ground_truth()))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_overlap);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Substrate micro-benchmarks: the samplers and linear algebra everything
+//! else is built on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use npd_numerics::rng::{binomial, GaussianSampler};
+use npd_numerics::CsrMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_binomial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("binomial_sampler");
+    // Small n·p exercises BINV; large exercises the beta-split path.
+    for &(n, p) in &[(100u64, 0.1f64), (50_000, 0.5), (100_000, 1e-3)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n={n},p={p}")),
+            &(n, p),
+            |b, &(n, p)| {
+                let mut rng = StdRng::seed_from_u64(1);
+                b.iter(|| black_box(binomial(&mut rng, n, p)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_gaussian(c: &mut Criterion) {
+    c.bench_function("gaussian_sampler", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut g = GaussianSampler::new();
+        b.iter(|| black_box(g.sample(&mut rng)));
+    });
+}
+
+fn bench_csr_matvec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("csr_matvec");
+    let (rows, cols) = (600usize, 1_000usize);
+    let mut rng = StdRng::seed_from_u64(3);
+    let triplets: Vec<(usize, usize, f64)> = (0..rows * 400)
+        .map(|_| (rng.gen_range(0..rows), rng.gen_range(0..cols), 1.0))
+        .collect();
+    let m = CsrMatrix::from_triplets(rows, cols, &triplets);
+    let x: Vec<f64> = (0..cols).map(|i| (i as f64).sin()).collect();
+    let z: Vec<f64> = (0..rows).map(|i| (i as f64).cos()).collect();
+    group.throughput(Throughput::Elements(m.nnz() as u64));
+    group.bench_function("forward", |b| b.iter(|| black_box(m.matvec(&x))));
+    group.bench_function("transpose", |b| b.iter(|| black_box(m.matvec_t(&z))));
+    group.finish();
+}
+
+fn bench_sortnet_apply(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sortnet_apply");
+    for &n in &[1_024usize, 8_192] {
+        let net = npd_sortnet::SortingNetwork::batcher_odd_even(n);
+        let mut rng = StdRng::seed_from_u64(4);
+        let data: Vec<i64> = (0..n).map(|_| rng.gen_range(-1_000..1_000)).collect();
+        group.throughput(Throughput::Elements(net.comparator_count() as u64));
+        group.bench_with_input(BenchmarkId::new("batcher", n), &data, |b, data| {
+            b.iter(|| {
+                let mut copy = data.clone();
+                net.apply(&mut copy);
+                black_box(copy)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_binomial,
+    bench_gaussian,
+    bench_csr_matvec,
+    bench_sortnet_apply
+);
+criterion_main!(benches);

@@ -1,0 +1,681 @@
+//! The random pooling design: a bipartite multigraph between agents and
+//! queries.
+//!
+//! Following the paper's model section, every query draws `Γ` agents
+//! uniformly at random *with replacement* from the population, so an agent
+//! can be wired to the same query multiple times (multi-edges). The
+//! multigraph is stored query-major as run-length-encoded multisets, which
+//! is what both the decoder (scatter query results to distinct members) and
+//! the AMP baseline (biadjacency matrix) consume.
+
+use crate::model::GroundTruth;
+use crate::noise::NoiseModel;
+use npd_numerics::CsrMatrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How each query's `Γ` slots are drawn from the population.
+///
+/// The paper uses [`WithReplacement`](Sampling::WithReplacement) (multi-
+/// edges allowed), noting it “adapts techniques used in a variety of other
+/// statistical inference problems”. The without-replacement design is the
+/// classic alternative from the group-testing literature; it touches `Γ`
+/// distinct agents per query instead of `≈ γn`, and the ablation study
+/// (`repro ablations`) quantifies the resulting query savings.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Sampling {
+    /// Uniform i.i.d. slots; agents may repeat within a query (the paper's
+    /// design).
+    #[default]
+    WithReplacement,
+    /// Uniform `Γ`-subsets; every slot is a distinct agent.
+    WithoutReplacement,
+    /// Doubly-balanced allocation: slots are dealt from a rotating
+    /// random-permutation deck that is reshuffled whenever it runs out, so
+    /// after `m` queries every agent has degree `⌊mΓ/n⌋` or `⌈mΓ/n⌉` while
+    /// every query still has exactly `Γ` slots — the constant-column-weight
+    /// idea of the group-testing literature (near-constant tests per item).
+    ///
+    /// Degree regularity is a double-edged sword here: dealing couples
+    /// queries *within* a deck pass. At sparse query sizes (`Γ ≲ n/8`) the
+    /// coupling is mild and the design measurably beats the paper's
+    /// independent sampling under noise, but at the paper's dense `Γ = n/2`
+    /// each pass deals two exactly complementary queries whose results are
+    /// perfectly anti-correlated, inflating the score fluctuations of the
+    /// maximum-neighborhood rule — `repro designs` quantifies both regimes.
+    Balanced,
+}
+
+/// One query's multiset of agents, run-length encoded and sorted by agent
+/// id.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryMultiset {
+    /// Distinct agent ids, ascending.
+    agents: Vec<u32>,
+    /// Multiplicities, parallel to `agents`.
+    counts: Vec<u32>,
+    /// Total number of slots (`Σ counts = Γ`).
+    total: u32,
+}
+
+impl QueryMultiset {
+    /// Builds from raw slot samples (unsorted, with repetitions).
+    pub fn from_slots(mut slots: Vec<u32>) -> Self {
+        slots.sort_unstable();
+        let mut agents = Vec::new();
+        let mut counts: Vec<u32> = Vec::new();
+        for &s in &slots {
+            if agents.last() == Some(&s) {
+                *counts.last_mut().expect("counts parallel to agents") += 1;
+            } else {
+                agents.push(s);
+                counts.push(1);
+            }
+        }
+        let total = slots.len() as u32;
+        Self {
+            agents,
+            counts,
+            total,
+        }
+    }
+
+    /// Distinct agents in this query (`∂*a`), ascending.
+    pub fn distinct_agents(&self) -> &[u32] {
+        &self.agents
+    }
+
+    /// Number of distinct agents (`|∂*a|`).
+    pub fn distinct_len(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// Total slots including multiplicities (`|∂a| = Γ`).
+    pub fn total_slots(&self) -> u32 {
+        self.total
+    }
+
+    /// Iterates `(agent, multiplicity)` pairs in ascending agent order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.agents.iter().copied().zip(self.counts.iter().copied())
+    }
+
+    /// Multiplicity of `agent` in this query (0 if absent).
+    pub fn multiplicity(&self, agent: u32) -> u32 {
+        match self.agents.binary_search(&agent) {
+            Ok(i) => self.counts[i],
+            Err(_) => 0,
+        }
+    }
+
+    /// Number of slots that land on one-agents under `truth` — the exact
+    /// noiseless measurement of this query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an agent id is out of range for `truth`.
+    pub fn one_slots(&self, truth: &GroundTruth) -> u64 {
+        self.iter()
+            .filter(|&(a, _)| truth.is_one(a as usize))
+            .map(|(_, c)| c as u64)
+            .sum()
+    }
+}
+
+/// The bipartite pooling multigraph: `n` agents, `m` queries of `Γ` slots
+/// each.
+///
+/// # Examples
+///
+/// ```
+/// use npd_core::PoolingGraph;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let graph = PoolingGraph::sample(100, 20, 50, &mut rng);
+/// assert_eq!(graph.query_count(), 20);
+/// assert_eq!(graph.query(0).total_slots(), 50);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoolingGraph {
+    n: usize,
+    gamma: usize,
+    queries: Vec<QueryMultiset>,
+}
+
+impl PoolingGraph {
+    /// Samples the random design: `m` queries, each `Γ = gamma` slots drawn
+    /// uniformly with replacement (the paper's design; see
+    /// [`sample_with`](Self::sample_with) for the without-replacement
+    /// variant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `gamma == 0`, or `n > u32::MAX`.
+    pub fn sample<R: Rng + ?Sized>(n: usize, m: usize, gamma: usize, rng: &mut R) -> Self {
+        Self::sample_with(n, m, gamma, Sampling::WithReplacement, rng)
+    }
+
+    /// Samples the design under an explicit [`Sampling`] scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `gamma == 0`, `n > u32::MAX`, or (without
+    /// replacement) `gamma > n`.
+    pub fn sample_with<R: Rng + ?Sized>(
+        n: usize,
+        m: usize,
+        gamma: usize,
+        sampling: Sampling,
+        rng: &mut R,
+    ) -> Self {
+        assert!(n > 0, "PoolingGraph::sample: n must be positive");
+        assert!(gamma > 0, "PoolingGraph::sample: gamma must be positive");
+        assert!(n <= u32::MAX as usize, "PoolingGraph::sample: n too large");
+        let queries = match sampling {
+            Sampling::WithReplacement => (0..m)
+                .map(|_| {
+                    let slots: Vec<u32> =
+                        (0..gamma).map(|_| rng.gen_range(0..n as u32)).collect();
+                    QueryMultiset::from_slots(slots)
+                })
+                .collect(),
+            Sampling::WithoutReplacement => {
+                assert!(
+                    gamma <= n,
+                    "PoolingGraph::sample_with: gamma={gamma} exceeds n={n} without replacement"
+                );
+                // Reusable partial Fisher–Yates: after each query the array
+                // is still a permutation, so the next draw stays uniform.
+                let mut idx: Vec<u32> = (0..n as u32).collect();
+                (0..m)
+                    .map(|_| {
+                        for i in 0..gamma {
+                            let j = rng.gen_range(i..n);
+                            idx.swap(i, j);
+                        }
+                        QueryMultiset::from_slots(idx[..gamma].to_vec())
+                    })
+                    .collect()
+            }
+            Sampling::Balanced => {
+                let mut deck: Vec<u32> = (0..n as u32).collect();
+                let mut pos = n; // empty deck forces the initial shuffle
+                (0..m)
+                    .map(|_| {
+                        let mut slots = Vec::with_capacity(gamma);
+                        for _ in 0..gamma {
+                            if pos == n {
+                                for i in (1..n).rev() {
+                                    let j = rng.gen_range(0..=i);
+                                    deck.swap(i, j);
+                                }
+                                pos = 0;
+                            }
+                            slots.push(deck[pos]);
+                            pos += 1;
+                        }
+                        QueryMultiset::from_slots(slots)
+                    })
+                    .collect()
+            }
+        };
+        Self { n, gamma, queries }
+    }
+
+    /// Builds a graph from explicit slot lists (one per query).
+    ///
+    /// All queries must have the same number of slots; this mirrors the
+    /// paper's fixed-`Γ` design.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a slot references an agent `>= n` or query sizes differ.
+    pub fn from_slot_lists(n: usize, slot_lists: Vec<Vec<u32>>) -> Self {
+        let gamma = slot_lists.first().map_or(0, Vec::len);
+        for (j, slots) in slot_lists.iter().enumerate() {
+            assert_eq!(
+                slots.len(),
+                gamma,
+                "PoolingGraph::from_slot_lists: query {j} has {} slots, expected {gamma}",
+                slots.len()
+            );
+            for &s in slots {
+                assert!(
+                    (s as usize) < n,
+                    "PoolingGraph::from_slot_lists: agent {s} out of range for n={n}"
+                );
+            }
+        }
+        let queries = slot_lists.into_iter().map(QueryMultiset::from_slots).collect();
+        Self { n, gamma, queries }
+    }
+
+    /// The running example of Figure 1: `n = 7` agents,
+    /// `σ = (1,0,1,0,1,0,0)`, five queries of three slots each whose exact
+    /// sums are `(2, 3, 1, 1, 1)`.
+    ///
+    /// The figure does not list the edges explicitly; this instance is a
+    /// minimal multigraph consistent with the printed query results (query 1
+    /// contains agent 2 twice, producing the multi-edge the caption points
+    /// out).
+    pub fn figure1_example() -> (Self, GroundTruth) {
+        let truth = GroundTruth::from_bits(vec![true, false, true, false, true, false, false]);
+        let graph = Self::from_slot_lists(
+            7,
+            vec![
+                vec![0, 1, 2],    // σ₀+σ₁+σ₂ = 2
+                vec![0, 2, 2],    // multi-edge on agent 2: 1+1+1 = 3
+                vec![2, 3, 5],    // 1
+                vec![3, 4, 6],    // 1
+                vec![4, 5, 6],    // 1
+            ],
+        );
+        (graph, truth)
+    }
+
+    /// Population size `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Slots per query `Γ`.
+    pub fn gamma(&self) -> usize {
+        self.gamma
+    }
+
+    /// Number of queries `m`.
+    pub fn query_count(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// The `j`-th query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn query(&self, j: usize) -> &QueryMultiset {
+        &self.queries[j]
+    }
+
+    /// Iterates all queries in id order.
+    pub fn queries(&self) -> &[QueryMultiset] {
+        &self.queries
+    }
+
+    /// Draws the (noisy) measurement vector `σ̂` for the given ground truth.
+    pub fn measure<R: Rng + ?Sized>(
+        &self,
+        truth: &GroundTruth,
+        noise: &NoiseModel,
+        rng: &mut R,
+    ) -> Vec<f64> {
+        assert_eq!(
+            truth.n(),
+            self.n,
+            "PoolingGraph::measure: ground truth size mismatch"
+        );
+        self.queries
+            .iter()
+            .map(|q| {
+                let ones = q.one_slots(truth);
+                let zeros = q.total_slots() as u64 - ones;
+                noise.measure(ones, zeros, rng)
+            })
+            .collect()
+    }
+
+    /// Multi-degrees `Δᵢ` (slots per agent, counting multiplicity).
+    pub fn multi_degrees(&self) -> Vec<u64> {
+        let mut deg = vec![0u64; self.n];
+        for q in &self.queries {
+            for (a, c) in q.iter() {
+                deg[a as usize] += c as u64;
+            }
+        }
+        deg
+    }
+
+    /// Distinct degrees `Δ*ᵢ` (number of distinct queries containing each
+    /// agent).
+    pub fn distinct_degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.n];
+        for q in &self.queries {
+            for &a in q.distinct_agents() {
+                deg[a as usize] += 1;
+            }
+        }
+        deg
+    }
+
+    /// The `m × n` biadjacency matrix with multiplicities as entries (the
+    /// `A` consumed by AMP).
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut triplets = Vec::new();
+        for (j, q) in self.queries.iter().enumerate() {
+            for (a, c) in q.iter() {
+                triplets.push((j, a as usize, c as f64));
+            }
+        }
+        CsrMatrix::from_triplets(self.query_count(), self.n, &triplets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn multiset_run_length_encoding() {
+        let q = QueryMultiset::from_slots(vec![3, 1, 3, 3, 0]);
+        assert_eq!(q.distinct_agents(), &[0, 1, 3]);
+        assert_eq!(q.multiplicity(3), 3);
+        assert_eq!(q.multiplicity(2), 0);
+        assert_eq!(q.total_slots(), 5);
+        assert_eq!(q.distinct_len(), 3);
+        let pairs: Vec<_> = q.iter().collect();
+        assert_eq!(pairs, vec![(0, 1), (1, 1), (3, 3)]);
+    }
+
+    #[test]
+    fn multiset_empty() {
+        let q = QueryMultiset::from_slots(vec![]);
+        assert_eq!(q.total_slots(), 0);
+        assert_eq!(q.distinct_len(), 0);
+    }
+
+    #[test]
+    fn one_slots_counts_multiplicity() {
+        let truth = GroundTruth::from_bits(vec![true, false, true]);
+        let q = QueryMultiset::from_slots(vec![0, 0, 1, 2]);
+        assert_eq!(q.one_slots(&truth), 3); // agent 0 twice + agent 2 once
+    }
+
+    #[test]
+    fn sample_has_exact_slot_counts() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = PoolingGraph::sample(40, 10, 20, &mut rng);
+        assert_eq!(g.n(), 40);
+        assert_eq!(g.gamma(), 20);
+        for q in g.queries() {
+            assert_eq!(q.total_slots(), 20);
+            assert!(q.distinct_agents().windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn balanced_design_equalizes_degrees() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let (n, m, gamma) = (60, 13, 25);
+        let g = PoolingGraph::sample_with(n, m, gamma, Sampling::Balanced, &mut rng);
+        for q in g.queries() {
+            assert_eq!(q.total_slots() as usize, gamma);
+        }
+        let degrees = g.multi_degrees();
+        let lo = (m * gamma / n) as u64;
+        let hi = lo + u64::from(m * gamma % n != 0);
+        for (i, &d) in degrees.iter().enumerate() {
+            assert!(
+                d == lo || d == hi,
+                "agent {i}: degree {d} outside {{{lo}, {hi}}}"
+            );
+        }
+        assert_eq!(degrees.iter().sum::<u64>(), (m * gamma) as u64);
+    }
+
+    #[test]
+    fn balanced_design_allows_gamma_above_n() {
+        // Γ > n simply deals multiple full decks into one query.
+        let mut rng = StdRng::seed_from_u64(8);
+        let g = PoolingGraph::sample_with(10, 3, 25, Sampling::Balanced, &mut rng);
+        for q in g.queries() {
+            assert_eq!(q.total_slots(), 25);
+        }
+        let degrees = g.multi_degrees();
+        // 75 slots over 10 agents: degrees 7 or 8.
+        assert!(degrees.iter().all(|&d| d == 7 || d == 8));
+    }
+
+    #[test]
+    fn balanced_design_duplicates_only_at_deck_boundaries() {
+        // Within one deck pass all slots are distinct; a query of Γ ≤ n
+        // slots can contain an agent at most twice.
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = PoolingGraph::sample_with(50, 40, 25, Sampling::Balanced, &mut rng);
+        for q in g.queries() {
+            for (_, c) in q.iter() {
+                assert!(c <= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn sample_total_slots_match_degrees() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = PoolingGraph::sample(30, 8, 15, &mut rng);
+        let total: u64 = g.multi_degrees().iter().sum();
+        assert_eq!(total, 8 * 15);
+        // Distinct degree never exceeds multi degree or m.
+        let multi = g.multi_degrees();
+        for (i, &d) in g.distinct_degrees().iter().enumerate() {
+            assert!(d as u64 <= multi[i]);
+            assert!(d <= 8);
+        }
+    }
+
+    #[test]
+    fn degree_concentration_matches_lemma3() {
+        // E[Δᵢ] = mΓ/n; with m = 200 queries of Γ = n/2 slots each, Δ ≈ 100.
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 500;
+        let g = PoolingGraph::sample(n, 200, n / 2, &mut rng);
+        let deg = g.multi_degrees();
+        let mean = deg.iter().sum::<u64>() as f64 / n as f64;
+        assert!((mean - 100.0).abs() < 1e-9); // exact: total slots fixed
+        let min = *deg.iter().min().unwrap() as f64;
+        let max = *deg.iter().max().unwrap() as f64;
+        // Lemma 3 width ln(n)·√Δ ≈ 62 around 100.
+        assert!(min > 100.0 - 65.0, "min={min}");
+        assert!(max < 100.0 + 65.0, "max={max}");
+    }
+
+    #[test]
+    fn distinct_degree_tracks_gamma_constant() {
+        // Lemma 4/Corollary 5: E[Δ*] = γ·m with γ = 1 − e^{−1/2}.
+        let mut rng = StdRng::seed_from_u64(4);
+        let (n, m) = (400, 300);
+        let g = PoolingGraph::sample(n, m, n / 2, &mut rng);
+        let mean =
+            g.distinct_degrees().iter().map(|&d| d as f64).sum::<f64>() / n as f64;
+        let want = npd_theory::GAMMA * m as f64;
+        assert!(
+            (mean - want).abs() / want < 0.02,
+            "mean={mean}, want={want}"
+        );
+    }
+
+    #[test]
+    fn measure_noiseless_equals_one_slots() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = PoolingGraph::sample(20, 6, 10, &mut rng);
+        let truth = GroundTruth::sample(20, 4, &mut rng);
+        let r = g.measure(&truth, &NoiseModel::Noiseless, &mut rng);
+        for (j, &v) in r.iter().enumerate() {
+            assert_eq!(v, g.query(j).one_slots(&truth) as f64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn measure_rejects_wrong_truth() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = PoolingGraph::sample(20, 2, 10, &mut rng);
+        let truth = GroundTruth::sample(21, 4, &mut rng);
+        g.measure(&truth, &NoiseModel::Noiseless, &mut rng);
+    }
+
+    #[test]
+    fn figure1_example_matches_paper() {
+        let (graph, truth) = PoolingGraph::figure1_example();
+        assert_eq!(graph.n(), 7);
+        assert_eq!(truth.ones(), &[0, 2, 4]);
+        let mut rng = StdRng::seed_from_u64(0);
+        let results = graph.measure(&truth, &NoiseModel::Noiseless, &mut rng);
+        assert_eq!(results, vec![2.0, 3.0, 1.0, 1.0, 1.0]);
+        // The deliberate multi-edge: agent 2 twice in query 1.
+        assert_eq!(graph.query(1).multiplicity(2), 2);
+    }
+
+    #[test]
+    fn csr_matches_multiset() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = PoolingGraph::sample(15, 5, 8, &mut rng);
+        let a = g.to_csr();
+        assert_eq!(a.rows(), 5);
+        assert_eq!(a.cols(), 15);
+        assert_eq!(a.sum(), (5 * 8) as f64);
+        for (j, q) in g.queries().iter().enumerate() {
+            for (agent, count) in q.iter() {
+                assert_eq!(a.get(j, agent as usize), count as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn csr_reproduces_noiseless_measurements() {
+        // A·σ must equal the noiseless measurement vector.
+        let mut rng = StdRng::seed_from_u64(8);
+        let g = PoolingGraph::sample(25, 7, 12, &mut rng);
+        let truth = GroundTruth::sample(25, 5, &mut rng);
+        let sigma: Vec<f64> = truth.bits().iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+        let via_matrix = g.to_csr().matvec(&sigma);
+        let via_measure = g.measure(&truth, &NoiseModel::Noiseless, &mut rng);
+        assert_eq!(via_matrix, via_measure);
+    }
+
+    #[test]
+    fn without_replacement_slots_are_distinct() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = PoolingGraph::sample_with(50, 20, 25, Sampling::WithoutReplacement, &mut rng);
+        for q in g.queries() {
+            assert_eq!(q.distinct_len(), 25);
+            assert!(q.iter().all(|(_, c)| c == 1));
+        }
+        // Multi-degree equals distinct degree for a simple design.
+        let multi = g.multi_degrees();
+        for (i, &d) in g.distinct_degrees().iter().enumerate() {
+            assert_eq!(multi[i], d as u64);
+        }
+    }
+
+    #[test]
+    fn without_replacement_coverage_is_uniform() {
+        // Each agent appears in a query with probability Γ/n exactly.
+        let mut rng = StdRng::seed_from_u64(10);
+        let (n, m, gamma) = (40usize, 2_000usize, 20usize);
+        let g = PoolingGraph::sample_with(n, m, gamma, Sampling::WithoutReplacement, &mut rng);
+        let expected = m as f64 * gamma as f64 / n as f64;
+        for (i, &d) in g.distinct_degrees().iter().enumerate() {
+            assert!(
+                (d as f64 - expected).abs() < expected * 0.12,
+                "agent {i}: {d} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds n")]
+    fn without_replacement_rejects_oversized_query() {
+        let mut rng = StdRng::seed_from_u64(0);
+        PoolingGraph::sample_with(5, 1, 6, Sampling::WithoutReplacement, &mut rng);
+    }
+
+    #[test]
+    fn sampling_default_is_with_replacement() {
+        assert_eq!(Sampling::default(), Sampling::WithReplacement);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_slot_lists_rejects_bad_agent() {
+        PoolingGraph::from_slot_lists(3, vec![vec![0, 3, 1]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected")]
+    fn from_slot_lists_rejects_ragged() {
+        PoolingGraph::from_slot_lists(5, vec![vec![0, 1], vec![2]]);
+    }
+
+    mod property {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Run-length encoding preserves the multiset exactly.
+            #[test]
+            fn multiset_preserves_slots(slots in proptest::collection::vec(0u32..50, 0..100)) {
+                let q = QueryMultiset::from_slots(slots.clone());
+                prop_assert_eq!(q.total_slots() as usize, slots.len());
+                // Agents strictly ascending, counts match a manual tally.
+                prop_assert!(q.distinct_agents().windows(2).all(|w| w[0] < w[1]));
+                for (agent, count) in q.iter() {
+                    let manual = slots.iter().filter(|&&s| s == agent).count();
+                    prop_assert_eq!(count as usize, manual);
+                }
+            }
+
+            /// Sampled designs have exactly Γ slots per query under both
+            /// schemes, and the biadjacency total equals m·Γ.
+            #[test]
+            fn sampled_design_invariants(
+                n in 2usize..60,
+                m in 0usize..20,
+                seed in 0u64..100,
+                without in proptest::bool::ANY,
+            ) {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let gamma = (n / 2).max(1);
+                let sampling = if without {
+                    Sampling::WithoutReplacement
+                } else {
+                    Sampling::WithReplacement
+                };
+                let g = PoolingGraph::sample_with(n, m, gamma, sampling, &mut rng);
+                for q in g.queries() {
+                    prop_assert_eq!(q.total_slots() as usize, gamma);
+                    if without {
+                        prop_assert_eq!(q.distinct_len(), gamma);
+                    }
+                }
+                prop_assert_eq!(g.to_csr().sum(), (m * gamma) as f64);
+            }
+
+            /// Noiseless measurements are always integers in [0, Γ] and
+            /// channel measurements never exceed Γ.
+            #[test]
+            fn measurement_ranges(
+                n in 4usize..40,
+                k in 1usize..4,
+                seed in 0u64..100,
+                p in 0.0f64..0.6,
+                q in 0.0f64..0.35,
+            ) {
+                prop_assume!(p + q < 1.0);
+                let mut rng = StdRng::seed_from_u64(seed);
+                let k = k.min(n);
+                let truth = GroundTruth::sample(n, k, &mut rng);
+                let g = PoolingGraph::sample(n, 5, n / 2, &mut rng);
+                let gamma = (n / 2) as f64;
+                for &r in &g.measure(&truth, &NoiseModel::Noiseless, &mut rng) {
+                    prop_assert!(r >= 0.0 && r <= gamma && r.fract() == 0.0);
+                }
+                for &r in &g.measure(&truth, &NoiseModel::channel(p, q), &mut rng) {
+                    prop_assert!(r >= 0.0 && r <= gamma);
+                }
+            }
+        }
+    }
+}

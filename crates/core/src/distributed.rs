@@ -1,0 +1,507 @@
+//! The fully distributed implementation of Algorithm 1 on the message-
+//! passing simulator.
+//!
+//! Network layout: nodes `0..n` are agents, nodes `n..n+m` are query nodes.
+//! The protocol follows the paper line by line:
+//!
+//! 1. **Measure in parallel** (round 0): each query node sends its noisy
+//!    result `σ̂ⱼ` to every *distinct* member `∂*aⱼ`.
+//! 2. **Accumulate** (round 1): each agent folds the incoming measurements
+//!    into `Ψᵢ` and `Δ*ᵢ` and forms its score `Ψᵢ − Δ*ᵢ·k/2`.
+//! 3. **Sort via a sorting network** (rounds `2..2+depth`): agents run a
+//!    Batcher odd-even mergesort on score tokens; one network layer per
+//!    round, two messages per comparator.
+//! 4. **Assign** (final round): the agent holding a token at position `< k`
+//!    notifies the token's owner to output bit one.
+//!
+//! The output is *bit-identical* to [`crate::GreedyDecoder`] (same summation
+//! order, same deterministic tie-breaking), which the test-suite asserts —
+//! the distributed variant is equivalent, exactly as claimed in Section III.
+//!
+//! Under fault injection the protocol degrades gracefully rather than
+//! deadlocking: a missing partner token leaves the agent's own token in
+//! place, and a missing assignment defaults to bit zero (reported in
+//! [`ProtocolOutcome::missing_assignments`]).
+
+use crate::greedy::Estimate;
+use crate::model::Run;
+use npd_netsim::{
+    Activity, Context, Envelope, FaultConfig, MaxRoundsExceeded, Metrics, Network, Node, NodeId,
+    NodeTraffic,
+};
+use npd_sortnet::SortingNetwork;
+use std::sync::Arc;
+
+/// Messages exchanged by the protocol.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProtocolMessage {
+    /// A query's (noisy) measurement, broadcast to its distinct members.
+    /// Carries the recipient's multiplicity in the query so the agent can
+    /// form the noise-aware score (the query node knows how often it drew
+    /// each member).
+    Measurement {
+        /// The query result `σ̂ⱼ`.
+        value: f64,
+        /// How often the recipient was drawn into the query.
+        multiplicity: u32,
+    },
+    /// A sorting token: the score and the agent it belongs to.
+    Token {
+        /// Greedy score of the token's owner.
+        score: f64,
+        /// The owner's agent id.
+        agent: u32,
+    },
+    /// Final bit assignment delivered to the token's owner.
+    Assign {
+        /// Whether the owner is among the top `k`.
+        one: bool,
+    },
+}
+
+/// Per-position comparator schedule derived from a [`SortingNetwork`].
+#[derive(Debug)]
+struct SortSchedule {
+    depth: usize,
+    /// `per_layer[layer][pos] = (partner, is_lo)` if `pos` participates.
+    per_layer: Vec<Vec<Option<(u32, bool)>>>,
+}
+
+impl SortSchedule {
+    fn new(net: &SortingNetwork) -> Self {
+        let n = net.size();
+        let per_layer = net
+            .layers()
+            .iter()
+            .map(|layer| {
+                let mut row = vec![None; n];
+                for c in layer {
+                    row[c.lo] = Some((c.hi as u32, true));
+                    row[c.hi] = Some((c.lo as u32, false));
+                }
+                row
+            })
+            .collect::<Vec<_>>();
+        Self {
+            depth: per_layer.len(),
+            per_layer,
+        }
+    }
+}
+
+/// Token ordering: higher score first, ties toward the smaller agent id —
+/// the same total order the sequential decoder ranks by.
+fn token_precedes(a: (f64, u32), b: (f64, u32)) -> bool {
+    if a.0 != b.0 {
+        a.0 > b.0
+    } else {
+        a.1 < b.1
+    }
+}
+
+/// One network participant: an agent or a query node.
+#[derive(Debug)]
+enum ProtocolNode {
+    Agent(AgentState),
+    Query(QueryState),
+}
+
+#[derive(Debug)]
+struct AgentState {
+    k: usize,
+    pos: u32,
+    /// Query size Γ, needed for the noise-aware centering.
+    gamma: f64,
+    /// Per-slot one-read rate of the second neighborhood.
+    slot_rate: f64,
+    schedule: Arc<SortSchedule>,
+    psi: f64,
+    distinct: u32,
+    multi: u64,
+    score: f64,
+    token: (f64, u32),
+    output: Option<bool>,
+}
+
+#[derive(Debug)]
+struct QueryState {
+    /// Distinct members with their multiplicities.
+    neighbors: Vec<(u32, u32)>,
+    result: f64,
+}
+
+impl Node<ProtocolMessage> for ProtocolNode {
+    fn on_round(&mut self, ctx: &mut Context<'_, ProtocolMessage>) -> Activity {
+        match self {
+            ProtocolNode::Query(q) => q.on_round(ctx),
+            ProtocolNode::Agent(a) => a.on_round(ctx),
+        }
+    }
+}
+
+impl QueryState {
+    fn on_round(&mut self, ctx: &mut Context<'_, ProtocolMessage>) -> Activity {
+        if ctx.round() == 0 {
+            for &(a, count) in &self.neighbors {
+                ctx.send(
+                    NodeId(a as usize),
+                    ProtocolMessage::Measurement {
+                        value: self.result,
+                        multiplicity: count,
+                    },
+                );
+            }
+        }
+        Activity::Idle
+    }
+}
+
+impl AgentState {
+    fn on_round(&mut self, ctx: &mut Context<'_, ProtocolMessage>) -> Activity {
+        let r = ctx.round();
+        if r == 0 {
+            // Measurements are still in flight; stay active so round 1
+            // happens even in a query-free network.
+            return Activity::Active;
+        }
+        if r == 1 {
+            for env in ctx.inbox() {
+                if let ProtocolMessage::Measurement {
+                    value,
+                    multiplicity,
+                } = env.payload
+                {
+                    self.psi += value;
+                    self.distinct += 1;
+                    self.multi += multiplicity as u64;
+                }
+            }
+            // Identical expression (and evaluation order) to the sequential
+            // decoder, so the two implementations agree bit-for-bit.
+            let slots = self.distinct as f64 * self.gamma - self.multi as f64;
+            self.score = self.psi - slots * self.slot_rate;
+            self.token = (self.score, self.pos);
+            if self.schedule.depth == 0 {
+                // Trivial sort (n = 1): assign immediately.
+                let one = (self.pos as usize) < self.k;
+                ctx.send(NodeId(self.token.1 as usize), ProtocolMessage::Assign { one });
+            } else if let Some((partner, _)) = self.schedule.per_layer[0][self.pos as usize] {
+                let (score, agent) = self.token;
+                ctx.send(NodeId(partner as usize), ProtocolMessage::Token { score, agent });
+            }
+            return Activity::Idle;
+        }
+
+        let resolved_layer = (r - 2) as usize;
+        if resolved_layer < self.schedule.depth {
+            // Resolve the compare-exchange whose tokens arrived this round.
+            if let Some((_, is_lo)) = self.schedule.per_layer[resolved_layer][self.pos as usize] {
+                if let Some(theirs) = first_token(ctx.inbox()) {
+                    let mine_first = token_precedes(self.token, theirs);
+                    // `lo` keeps the preceding token, `hi` the other.
+                    self.token = if is_lo == mine_first { self.token } else { theirs };
+                }
+                // A dropped partner token leaves our token in place —
+                // degraded but deadlock-free (see module docs).
+            }
+            let next = resolved_layer + 1;
+            if next < self.schedule.depth {
+                if let Some((partner, _)) = self.schedule.per_layer[next][self.pos as usize] {
+                    let (score, agent) = self.token;
+                    ctx.send(NodeId(partner as usize), ProtocolMessage::Token { score, agent });
+                }
+            } else {
+                // Sorting finished: position < k ⇒ the token's owner is one.
+                let one = (self.pos as usize) < self.k;
+                ctx.send(NodeId(self.token.1 as usize), ProtocolMessage::Assign { one });
+            }
+        } else if resolved_layer == self.schedule.depth {
+            for env in ctx.inbox() {
+                if let ProtocolMessage::Assign { one } = env.payload {
+                    self.output = Some(one);
+                }
+            }
+        }
+        Activity::Idle
+    }
+}
+
+/// First token in an inbox (duplicates from fault injection are ignored).
+fn first_token(inbox: &[Envelope<ProtocolMessage>]) -> Option<(f64, u32)> {
+    inbox.iter().find_map(|env| match env.payload {
+        ProtocolMessage::Token { score, agent } => Some((score, agent)),
+        _ => None,
+    })
+}
+
+/// Result of a protocol run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolOutcome {
+    /// The reconstruction (bits plus the scores the agents computed).
+    pub estimate: Estimate,
+    /// Synchronous rounds until quiescence.
+    pub rounds: u64,
+    /// Full communication metrics from the simulator.
+    pub metrics: Metrics,
+    /// Depth of the sorting network used in phase II.
+    pub sort_depth: usize,
+    /// Agents that never received an assignment (non-zero only under
+    /// fault injection); they default to bit zero.
+    pub missing_assignments: usize,
+    /// Per-node traffic: agents first (`0..n`), then query nodes
+    /// (`n..n+m`). Backs the paper's per-node communication claim.
+    pub node_traffic: Vec<NodeTraffic>,
+}
+
+/// Runs the distributed protocol for a sampled [`Run`] on a fault-free
+/// network.
+///
+/// # Errors
+///
+/// Returns [`MaxRoundsExceeded`] if the network fails to quiesce — which
+/// indicates a bug, as the fault-free protocol always terminates after
+/// `depth + 3` rounds.
+///
+/// # Examples
+///
+/// ```
+/// use npd_core::{distributed, Decoder, GreedyDecoder, Instance};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let run = Instance::builder(64).k(2).queries(60).build().unwrap().sample(&mut rng);
+/// let outcome = distributed::run_protocol(&run).unwrap();
+/// assert_eq!(outcome.estimate, GreedyDecoder::new().decode(&run));
+/// ```
+pub fn run_protocol(run: &Run) -> Result<ProtocolOutcome, MaxRoundsExceeded> {
+    run_protocol_inner(run, None)
+}
+
+/// Runs the distributed protocol with message fault injection.
+///
+/// See the module docs for the degradation semantics; correctness of the
+/// sort requires reliable delivery, so dropped token or assignment messages
+/// surface as reconstruction errors and
+/// [`missing_assignments`](ProtocolOutcome::missing_assignments), never as
+/// deadlock.
+///
+/// # Errors
+///
+/// Returns [`MaxRoundsExceeded`] if the network fails to quiesce.
+pub fn run_protocol_with_faults(
+    run: &Run,
+    faults: FaultConfig,
+) -> Result<ProtocolOutcome, MaxRoundsExceeded> {
+    run_protocol_inner(run, Some(faults))
+}
+
+fn run_protocol_inner(
+    run: &Run,
+    faults: Option<FaultConfig>,
+) -> Result<ProtocolOutcome, MaxRoundsExceeded> {
+    let n = run.instance().n();
+    let k = run.instance().k();
+    let gamma = run.instance().gamma();
+    let slot_rate = crate::greedy::second_neighborhood_rate(n, k, run.instance().noise());
+    let sort_net = SortingNetwork::batcher_odd_even(n);
+    let sort_depth = sort_net.depth();
+    let schedule = Arc::new(SortSchedule::new(&sort_net));
+
+    let mut nodes: Vec<ProtocolNode> = Vec::with_capacity(n + run.instance().m());
+    for pos in 0..n {
+        nodes.push(ProtocolNode::Agent(AgentState {
+            k,
+            pos: pos as u32,
+            gamma: gamma as f64,
+            slot_rate,
+            schedule: Arc::clone(&schedule),
+            psi: 0.0,
+            distinct: 0,
+            multi: 0,
+            score: 0.0,
+            token: (0.0, pos as u32),
+            output: None,
+        }));
+    }
+    for (j, q) in run.graph().queries().iter().enumerate() {
+        nodes.push(ProtocolNode::Query(QueryState {
+            neighbors: q.iter().collect(),
+            result: run.results()[j],
+        }));
+    }
+
+    let mut network = match faults {
+        None => Network::new(nodes),
+        Some(cfg) => Network::with_faults(nodes, cfg),
+    };
+    let budget = sort_depth as u64 + 5;
+    let report = network.run_until_quiescent(budget)?;
+    let metrics = *network.metrics();
+    let node_traffic = network.traffic().to_vec();
+
+    let mut bits = vec![false; n];
+    let mut scores = vec![0.0; n];
+    let mut missing = 0usize;
+    for (i, node) in network.into_nodes().into_iter().take(n).enumerate() {
+        if let ProtocolNode::Agent(agent) = node {
+            scores[i] = agent.score;
+            match agent.output {
+                Some(one) => bits[i] = one,
+                None => missing += 1,
+            }
+        }
+    }
+
+    Ok(ProtocolOutcome {
+        estimate: Estimate::from_parts(bits, scores),
+        rounds: report.rounds,
+        metrics,
+        sort_depth,
+        missing_assignments: missing,
+        node_traffic,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::{Decoder, GreedyDecoder};
+    use crate::model::Instance;
+    use crate::noise::NoiseModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_run(n: usize, k: usize, m: usize, noise: NoiseModel, seed: u64) -> Run {
+        Instance::builder(n)
+            .k(k)
+            .queries(m)
+            .noise(noise)
+            .build()
+            .unwrap()
+            .sample(&mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn matches_sequential_decoder_noiseless() {
+        for seed in 0..4 {
+            let run = sample_run(64, 3, 50, NoiseModel::Noiseless, seed);
+            let outcome = run_protocol(&run).unwrap();
+            let sequential = GreedyDecoder::new().decode(&run);
+            assert_eq!(outcome.estimate, sequential, "seed={seed}");
+            assert_eq!(outcome.missing_assignments, 0);
+        }
+    }
+
+    #[test]
+    fn matches_sequential_decoder_under_noise() {
+        let channel = sample_run(50, 2, 40, NoiseModel::z_channel(0.3), 10);
+        let gaussian = sample_run(50, 2, 40, NoiseModel::gaussian(2.0), 11);
+        for run in [channel, gaussian] {
+            let outcome = run_protocol(&run).unwrap();
+            assert_eq!(outcome.estimate, GreedyDecoder::new().decode(&run));
+        }
+    }
+
+    #[test]
+    fn matches_sequential_on_non_power_of_two_sizes() {
+        for n in [5usize, 17, 33, 100] {
+            let run = sample_run(n, 2.min(n), 30, NoiseModel::Noiseless, n as u64);
+            let outcome = run_protocol(&run).unwrap();
+            assert_eq!(outcome.estimate, GreedyDecoder::new().decode(&run), "n={n}");
+        }
+    }
+
+    #[test]
+    fn round_count_is_depth_plus_three() {
+        let run = sample_run(32, 2, 10, NoiseModel::Noiseless, 1);
+        let outcome = run_protocol(&run).unwrap();
+        assert_eq!(outcome.rounds, outcome.sort_depth as u64 + 3);
+    }
+
+    #[test]
+    fn message_budget_matches_formula() {
+        // Messages = Σⱼ|∂*aⱼ| (measurements) + 2·comparators (tokens)
+        //          + n (assignments).
+        let run = sample_run(40, 2, 12, NoiseModel::Noiseless, 2);
+        let outcome = run_protocol(&run).unwrap();
+        let measurement_msgs: u64 = run
+            .graph()
+            .queries()
+            .iter()
+            .map(|q| q.distinct_len() as u64)
+            .sum();
+        let comparators = SortingNetwork::batcher_odd_even(40).comparator_count() as u64;
+        let want = measurement_msgs + 2 * comparators + 40;
+        assert_eq!(outcome.metrics.messages_sent, want);
+    }
+
+    #[test]
+    fn one_exchange_per_query_node() {
+        // The paper's headline: each query node broadcasts its measurement
+        // exactly once (one active send round, one message per distinct
+        // member), and never receives anything.
+        let run = sample_run(30, 2, 8, NoiseModel::Noiseless, 3);
+        let outcome = run_protocol(&run).unwrap();
+        let n = 30;
+        for (j, q) in run.graph().queries().iter().enumerate() {
+            let t = outcome.node_traffic[n + j];
+            assert_eq!(t.active_send_rounds, 1, "query {j}");
+            assert_eq!(t.sent, q.distinct_len() as u64, "query {j}");
+            assert_eq!(t.received, 0, "query {j}");
+        }
+        // Agents exchange only during the sort + one assignment: bounded by
+        // one message per layer plus the assignment.
+        for (i, t) in outcome.node_traffic[..n].iter().enumerate() {
+            assert!(
+                t.sent <= outcome.sort_depth as u64 + 1,
+                "agent {i} sent {} messages",
+                t.sent
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_populations() {
+        for n in [2usize, 3] {
+            let run = sample_run(n, 1, 6, NoiseModel::Noiseless, 7);
+            let outcome = run_protocol(&run).unwrap();
+            assert_eq!(outcome.estimate, GreedyDecoder::new().decode(&run), "n={n}");
+        }
+    }
+
+    #[test]
+    fn survives_measurement_drops_with_generous_queries() {
+        // 1% drop rate, twice the necessary queries: reconstruction should
+        // still be exact for this seed, and the protocol must terminate.
+        let run = sample_run(64, 2, 120, NoiseModel::Noiseless, 21);
+        let faults = FaultConfig::new(0.01, 0.0, 5).unwrap();
+        let outcome = run_protocol_with_faults(&run, faults).unwrap();
+        assert_eq!(outcome.estimate.ones(), run.ground_truth().ones());
+    }
+
+    #[test]
+    fn heavy_drops_degrade_but_terminate() {
+        let run = sample_run(32, 2, 40, NoiseModel::Noiseless, 22);
+        let faults = FaultConfig::new(0.5, 0.0, 6).unwrap();
+        let outcome = run_protocol_with_faults(&run, faults).unwrap();
+        // Termination and shape are guaranteed; correctness is not.
+        assert_eq!(outcome.estimate.bits().len(), 32);
+        assert!(outcome.rounds <= outcome.sort_depth as u64 + 5);
+    }
+
+    #[test]
+    fn duplication_faults_terminate() {
+        let run = sample_run(16, 1, 10, NoiseModel::Noiseless, 23);
+        let faults = FaultConfig::new(0.0, 0.3, 7).unwrap();
+        let outcome = run_protocol_with_faults(&run, faults).unwrap();
+        assert_eq!(outcome.estimate.bits().len(), 16);
+    }
+
+    #[test]
+    fn token_order_is_total_and_deterministic() {
+        assert!(token_precedes((2.0, 5), (1.0, 0)));
+        assert!(!token_precedes((1.0, 0), (2.0, 5)));
+        assert!(token_precedes((1.0, 0), (1.0, 1)));
+        assert!(!token_precedes((1.0, 1), (1.0, 0)));
+    }
+}

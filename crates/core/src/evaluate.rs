@@ -1,0 +1,311 @@
+//! Reconstruction quality metrics.
+//!
+//! * [`exact_recovery`] — whole-vector success, the criterion of Figure 6;
+//! * [`overlap`] — fraction of one-agents correctly identified, Figure 7;
+//! * [`separation`] — the score margin between classes, the termination
+//!   criterion of the required-queries experiments (Section V,
+//!   “Implementation Details”);
+//! * [`hamming_distance`] — raw bit errors.
+
+use crate::greedy::Estimate;
+use crate::model::GroundTruth;
+use serde::{Deserialize, Serialize};
+
+/// Confusion counts of a reconstruction.
+///
+/// For the rank-`k` decoders in this workspace `false_positives ==
+/// false_negatives` (both vectors have weight `k`), but the type holds for
+/// arbitrary-weight estimates too.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Confusion {
+    /// One-agents correctly identified.
+    pub true_positives: usize,
+    /// Zero-agents misreported as ones.
+    pub false_positives: usize,
+    /// One-agents missed.
+    pub false_negatives: usize,
+    /// Zero-agents correctly identified.
+    pub true_negatives: usize,
+}
+
+impl Confusion {
+    /// Sensitivity `tp / (tp + fn)`; `1.0` when there are no positives.
+    pub fn sensitivity(&self) -> f64 {
+        let p = self.true_positives + self.false_negatives;
+        if p == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / p as f64
+        }
+    }
+
+    /// Specificity `tn / (tn + fp)`; `1.0` when there are no negatives.
+    pub fn specificity(&self) -> f64 {
+        let q = self.true_negatives + self.false_positives;
+        if q == 0 {
+            1.0
+        } else {
+            self.true_negatives as f64 / q as f64
+        }
+    }
+}
+
+/// Full confusion counts of the estimate against the truth.
+///
+/// # Panics
+///
+/// Panics if the estimate and truth have different population sizes.
+pub fn confusion(estimate: &Estimate, truth: &GroundTruth) -> Confusion {
+    assert_eq!(
+        estimate.n(),
+        truth.n(),
+        "confusion: size mismatch ({} vs {})",
+        estimate.n(),
+        truth.n()
+    );
+    let mut c = Confusion {
+        true_positives: 0,
+        false_positives: 0,
+        false_negatives: 0,
+        true_negatives: 0,
+    };
+    for (est, real) in estimate.bits().iter().zip(truth.bits()) {
+        match (est, real) {
+            (true, true) => c.true_positives += 1,
+            (true, false) => c.false_positives += 1,
+            (false, true) => c.false_negatives += 1,
+            (false, false) => c.true_negatives += 1,
+        }
+    }
+    c
+}
+
+/// Whether the estimate reproduces the ground truth exactly.
+///
+/// # Panics
+///
+/// Panics if the estimate and truth have different population sizes.
+pub fn exact_recovery(estimate: &Estimate, truth: &GroundTruth) -> bool {
+    assert_eq!(
+        estimate.n(),
+        truth.n(),
+        "exact_recovery: size mismatch ({} vs {})",
+        estimate.n(),
+        truth.n()
+    );
+    estimate.ones() == truth.ones()
+}
+
+/// The overlap of Figure 7: the fraction of true one-agents the estimate
+/// identifies, `|est ∩ truth| / k`.
+///
+/// Returns `1.0` when `k = 0` (nothing to find).
+///
+/// # Panics
+///
+/// Panics if the estimate and truth have different population sizes.
+pub fn overlap(estimate: &Estimate, truth: &GroundTruth) -> f64 {
+    assert_eq!(
+        estimate.n(),
+        truth.n(),
+        "overlap: size mismatch ({} vs {})",
+        estimate.n(),
+        truth.n()
+    );
+    if truth.k() == 0 {
+        return 1.0;
+    }
+    let hits = estimate
+        .ones()
+        .iter()
+        .filter(|&&a| truth.is_one(a as usize))
+        .count();
+    hits as f64 / truth.k() as f64
+}
+
+/// Number of positions where the estimated bits differ from the truth.
+///
+/// For weight-preserving estimators (both vectors have weight `k`) this is
+/// always even: `2·(k − |est ∩ truth|)`.
+///
+/// # Panics
+///
+/// Panics if the estimate and truth have different population sizes.
+pub fn hamming_distance(estimate: &Estimate, truth: &GroundTruth) -> usize {
+    assert_eq!(
+        estimate.n(),
+        truth.n(),
+        "hamming_distance: size mismatch ({} vs {})",
+        estimate.n(),
+        truth.n()
+    );
+    estimate
+        .bits()
+        .iter()
+        .zip(truth.bits())
+        .filter(|(a, b)| a != b)
+        .count()
+}
+
+/// The score separation `min_{σᵢ=1} scoreᵢ − max_{σᵢ=0} scoreᵢ`.
+///
+/// Positive separation means a rank-`k` cut reconstructs exactly; the
+/// paper's simulation declares the required number of queries reached once
+/// this margin is strictly positive.
+///
+/// Returns `f64::INFINITY` if either class is empty.
+///
+/// # Panics
+///
+/// Panics if `scores.len() != truth.n()`.
+pub fn separation(scores: &[f64], truth: &GroundTruth) -> f64 {
+    assert_eq!(
+        scores.len(),
+        truth.n(),
+        "separation: got {} scores for {} agents",
+        scores.len(),
+        truth.n()
+    );
+    let mut min_one = f64::INFINITY;
+    let mut max_zero = f64::NEG_INFINITY;
+    for (i, &s) in scores.iter().enumerate() {
+        if truth.is_one(i) {
+            min_one = min_one.min(s);
+        } else {
+            max_zero = max_zero.max(s);
+        }
+    }
+    if min_one == f64::INFINITY || max_zero == f64::NEG_INFINITY {
+        return f64::INFINITY;
+    }
+    min_one - max_zero
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth(bits: &[bool]) -> GroundTruth {
+        GroundTruth::from_bits(bits.to_vec())
+    }
+
+    fn estimate(scores: Vec<f64>, k: usize) -> Estimate {
+        Estimate::from_scores(scores, k)
+    }
+
+    #[test]
+    fn exact_recovery_positive_and_negative() {
+        let t = truth(&[true, false, true, false]);
+        let right = estimate(vec![9.0, 0.0, 8.0, 1.0], 2);
+        let wrong = estimate(vec![9.0, 8.0, 0.0, 1.0], 2);
+        assert!(exact_recovery(&right, &t));
+        assert!(!exact_recovery(&wrong, &t));
+    }
+
+    #[test]
+    fn overlap_counts_hits() {
+        let t = truth(&[true, true, false, false]);
+        let half = estimate(vec![9.0, 0.0, 8.0, 1.0], 2); // finds agent 0 only
+        assert_eq!(overlap(&half, &t), 0.5);
+        let all = estimate(vec![9.0, 8.0, 0.0, 1.0], 2);
+        assert_eq!(overlap(&all, &t), 1.0);
+        let none = estimate(vec![0.0, 1.0, 8.0, 9.0], 2);
+        assert_eq!(overlap(&none, &t), 0.0);
+    }
+
+    #[test]
+    fn overlap_of_empty_truth_is_one() {
+        let t = truth(&[false, false]);
+        let e = estimate(vec![1.0, 0.0], 0);
+        assert_eq!(overlap(&e, &t), 1.0);
+    }
+
+    #[test]
+    fn hamming_is_twice_the_misses() {
+        let t = truth(&[true, true, false, false]);
+        let half = estimate(vec![9.0, 0.0, 8.0, 1.0], 2);
+        assert_eq!(hamming_distance(&half, &t), 2);
+        let all = estimate(vec![9.0, 8.0, 0.0, 1.0], 2);
+        assert_eq!(hamming_distance(&all, &t), 0);
+    }
+
+    #[test]
+    fn separation_sign_tracks_decodability() {
+        let t = truth(&[true, false, true]);
+        assert!(separation(&[5.0, 1.0, 4.0], &t) > 0.0);
+        assert!(separation(&[5.0, 4.5, 4.0], &t) < 0.0);
+        assert_eq!(separation(&[5.0, 4.0, 4.0], &t), 0.0);
+    }
+
+    #[test]
+    fn separation_empty_class_is_infinite() {
+        let t = truth(&[true, true]);
+        assert_eq!(separation(&[1.0, 2.0], &t), f64::INFINITY);
+    }
+
+    #[test]
+    fn confusion_counts_all_quadrants() {
+        let t = truth(&[true, true, false, false]);
+        let e = estimate(vec![9.0, 0.0, 8.0, 1.0], 2); // picks agents 0 and 2
+        let c = confusion(&e, &t);
+        assert_eq!(c.true_positives, 1);
+        assert_eq!(c.false_positives, 1);
+        assert_eq!(c.false_negatives, 1);
+        assert_eq!(c.true_negatives, 1);
+        assert_eq!(c.sensitivity(), 0.5);
+        assert_eq!(c.specificity(), 0.5);
+    }
+
+    #[test]
+    fn confusion_is_consistent_with_overlap_for_rank_k() {
+        let t = truth(&[true, false, true, false, false]);
+        let e = estimate(vec![5.0, 4.0, 3.0, 2.0, 1.0], 2); // picks 0, 1
+        let c = confusion(&e, &t);
+        assert_eq!(c.false_positives, c.false_negatives);
+        assert!((c.sensitivity() - overlap(&e, &t)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confusion_degenerate_classes() {
+        let t = truth(&[false, false]);
+        let e = estimate(vec![1.0, 0.0], 0);
+        let c = confusion(&e, &t);
+        assert_eq!(c.sensitivity(), 1.0);
+        assert_eq!(c.specificity(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn mismatched_sizes_panic() {
+        let t = truth(&[true, false, false]);
+        let e = estimate(vec![1.0, 0.0], 1);
+        exact_recovery(&e, &t);
+    }
+
+    #[test]
+    fn positive_separation_implies_exact_topk() {
+        // Property link between the two criteria: strictly positive
+        // separation means the top-k estimate is the truth.
+        use proptest::prelude::*;
+        use proptest::test_runner::TestRunner;
+        let mut runner = TestRunner::default();
+        runner
+            .run(
+                &(proptest::collection::vec(-10.0f64..10.0, 3..40), 0usize..40),
+                |(scores, pick)| {
+                    let n = scores.len();
+                    let k = pick % n;
+                    // Construct a truth from the top-k of the scores with a
+                    // strict margin requirement; skip degenerate ties.
+                    let est = Estimate::from_scores(scores.clone(), k);
+                    let t = GroundTruth::from_bits(est.bits().to_vec());
+                    let sep = separation(&scores, &t);
+                    if sep > 0.0 {
+                        prop_assert!(exact_recovery(&est, &t));
+                    }
+                    Ok(())
+                },
+            )
+            .unwrap();
+    }
+}

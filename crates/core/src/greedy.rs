@@ -1,0 +1,543 @@
+//! The sequential reference implementation of Algorithm 1.
+
+use crate::model::Run;
+use npd_numerics::vector::top_k_indices;
+use serde::{Deserialize, Serialize};
+
+/// A reconstruction of the hidden bits, together with the scores that
+/// produced it.
+///
+/// Exposing the scores (not just the bits) follows the paper's diagnostics:
+/// the *separation* between one-agent and zero-agent scores is the
+/// termination criterion of the required-queries experiments, and the score
+/// landscape drives the two-step extension.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Estimate {
+    bits: Vec<bool>,
+    ones: Vec<u32>,
+    scores: Vec<f64>,
+}
+
+impl Estimate {
+    /// Builds an estimate by taking the `k` highest-scoring agents.
+    ///
+    /// Ties are broken toward the smaller agent id, deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > scores.len()`.
+    pub fn from_scores(scores: Vec<f64>, k: usize) -> Self {
+        let top = top_k_indices(&scores, k);
+        let mut bits = vec![false; scores.len()];
+        let ones: Vec<u32> = top
+            .into_iter()
+            .map(|i| {
+                bits[i] = true;
+                i as u32
+            })
+            .collect();
+        Self { bits, ones, scores }
+    }
+
+    /// Builds an estimate from explicit bits and the scores that produced
+    /// them (used by the distributed protocol, where each agent learns its
+    /// own bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != scores.len()`.
+    pub fn from_parts(bits: Vec<bool>, scores: Vec<f64>) -> Self {
+        assert_eq!(
+            bits.len(),
+            scores.len(),
+            "Estimate::from_parts: bits/scores length mismatch"
+        );
+        let ones = bits
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| i as u32)
+            .collect();
+        Self { bits, ones, scores }
+    }
+
+    /// The estimated bit vector.
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Sorted indices of agents estimated to hold bit one.
+    pub fn ones(&self) -> &[u32] {
+        &self.ones
+    }
+
+    /// The per-agent scores the estimate was ranked by.
+    pub fn scores(&self) -> &[f64] {
+        &self.scores
+    }
+
+    /// Population size.
+    pub fn n(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Number of agents estimated as one.
+    pub fn k(&self) -> usize {
+        self.ones.len()
+    }
+}
+
+/// A reconstruction algorithm for pooled-data runs.
+///
+/// Object-safe so harness code can hold heterogeneous decoder collections
+/// (`Vec<Box<dyn Decoder>>`) when comparing algorithms.
+pub trait Decoder {
+    /// Reconstructs the hidden bits of the given run.
+    fn decode(&self, run: &Run) -> Estimate;
+
+    /// Short human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// How the neighborhood sum is centered before ranking.
+///
+/// Algorithm 1 as printed sorts by `Ψᵢ − Δ*ᵢ·k/2`, the noiseless expected
+/// second-neighborhood contribution. The paper's *analysis*, however,
+/// establishes separation for the noise-aware centering
+/// `Ψᵢ − E[Ξ^pq ᵢ | G]` (Equations (3)–(4)), and with `q > 0` only the
+/// latter matches the reported experiments: under the printed score the
+/// false-positive mass `q·Γ·Δ*ᵢ` fluctuates with `Δ*ᵢ` and inflates the
+/// required queries to `Θ(q²n² ln n)`, far beyond Figure 4's axis. Since
+/// `p` and `q` are known constants in the model (Section II-A), the
+/// noise-aware score is what a real deployment computes; the plain variant
+/// is kept for the ablation study.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Centering {
+    /// `Ψᵢ − (Δ*ᵢ·Γ − Δᵢ)·(q + k(1−p−q)/(n−1))` — the analysis' centering
+    /// (reduces to the printed score as `p, q → 0`).
+    #[default]
+    NoiseAware,
+    /// `Ψᵢ − Δ*ᵢ·k/2` — Algorithm 1, line 14, verbatim.
+    Plain,
+}
+
+/// The *noisy maximum neighborhood* decoder (Algorithm 1, steps I–II, run
+/// sequentially).
+///
+/// For each agent `i` it accumulates the neighborhood sum
+/// `Ψᵢ = Σ_{j : i ∈ ∂*aⱼ} σ̂ⱼ` over the *distinct* queries containing `i`,
+/// subtracts the expected second-neighborhood contribution (see
+/// [`Centering`]) and declares the `k` top-ranked agents as ones.
+///
+/// # Examples
+///
+/// ```
+/// use npd_core::{Decoder, GreedyDecoder, Instance, NoiseModel};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let run = Instance::builder(200)
+///     .k(3)
+///     .queries(200)
+///     .noise(NoiseModel::gaussian(1.0))
+///     .build()
+///     .unwrap()
+///     .sample(&mut rng);
+/// let est = GreedyDecoder::new().decode(&run);
+/// assert_eq!(est.k(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GreedyDecoder {
+    centering: Centering,
+}
+
+impl GreedyDecoder {
+    /// Creates the decoder with the noise-aware centering.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates the decoder with an explicit centering variant.
+    pub fn with_centering(centering: Centering) -> Self {
+        Self { centering }
+    }
+
+    /// The centering variant in use.
+    pub fn centering(&self) -> Centering {
+        self.centering
+    }
+
+    /// Computes the greedy scores without selecting bits.
+    ///
+    /// Exposed separately so callers can inspect the score landscape (e.g.
+    /// the separation diagnostic) without re-deriving it.
+    pub fn scores(&self, run: &Run) -> Vec<f64> {
+        match self.centering {
+            Centering::Plain => self.scores_inner(run, None),
+            Centering::NoiseAware => {
+                let rate = second_neighborhood_rate(
+                    run.instance().n(),
+                    run.instance().k(),
+                    run.instance().noise(),
+                );
+                self.scores_inner(run, Some(rate))
+            }
+        }
+    }
+
+    /// Noise-aware scores with an explicit per-slot one-read rate, for use
+    /// when the channel parameters are *estimated* rather than known (see
+    /// [`crate::estimation::estimate_slot_rate`]).
+    pub fn scores_with_slot_rate(&self, run: &Run, slot_rate: f64) -> Vec<f64> {
+        self.scores_inner(run, Some(slot_rate))
+    }
+
+    fn scores_inner(&self, run: &Run, rate: Option<f64>) -> Vec<f64> {
+        let n = run.instance().n();
+        let k = run.instance().k();
+        let gamma = run.instance().gamma();
+        let mut psi = vec![0.0f64; n];
+        let mut distinct = vec![0u32; n];
+        let mut multi = vec![0u64; n];
+        for (j, q) in run.graph().queries().iter().enumerate() {
+            let value = run.results()[j];
+            for (a, c) in q.iter() {
+                psi[a as usize] += value;
+                distinct[a as usize] += 1;
+                multi[a as usize] += c as u64;
+            }
+        }
+        match rate {
+            None => {
+                let half_k = k as f64 / 2.0;
+                psi.iter()
+                    .zip(&distinct)
+                    .map(|(&p, &d)| p - d as f64 * half_k)
+                    .collect()
+            }
+            Some(rate) => (0..n)
+                .map(|i| {
+                    let slots = distinct[i] as f64 * gamma as f64 - multi[i] as f64;
+                    psi[i] - slots * rate
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Probability that one second-neighborhood slot reads as a one:
+/// `q + k(1−p−q)/(n−1)` (Lemma 7's `p(0,1) + p(1,1)` with the indicator
+/// dropped).
+pub(crate) fn second_neighborhood_rate(n: usize, k: usize, noise: &crate::NoiseModel) -> f64 {
+    let (p, q) = match *noise {
+        crate::NoiseModel::Channel { p, q } => (p, q),
+        crate::NoiseModel::Noiseless | crate::NoiseModel::Query { .. } => (0.0, 0.0),
+    };
+    q + k as f64 * (1.0 - p - q) / (n as f64 - 1.0)
+}
+
+impl Decoder for GreedyDecoder {
+    fn decode(&self, run: &Run) -> Estimate {
+        Estimate::from_scores(self.scores(run), run.instance().k())
+    }
+
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{GroundTruth, Instance};
+    use crate::noise::NoiseModel;
+    use crate::PoolingGraph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn noiseless_run(n: usize, k: usize, m: usize, seed: u64) -> Run {
+        Instance::builder(n)
+            .k(k)
+            .queries(m)
+            .build()
+            .unwrap()
+            .sample(&mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn estimate_from_scores_selects_top_k() {
+        let est = Estimate::from_scores(vec![1.0, 5.0, 3.0, 5.0], 2);
+        assert_eq!(est.ones(), &[1, 3]);
+        assert_eq!(est.bits(), &[false, true, false, true]);
+        assert_eq!(est.k(), 2);
+        assert_eq!(est.n(), 4);
+    }
+
+    #[test]
+    fn noiseless_recovery_with_generous_queries() {
+        // Well above the Theorem-1 budget: recovery must be exact.
+        for seed in 0..5 {
+            let run = noiseless_run(300, 4, 400, seed);
+            let est = GreedyDecoder::new().decode(&run);
+            assert_eq!(
+                est.ones(),
+                run.ground_truth().ones(),
+                "seed={seed} failed"
+            );
+        }
+    }
+
+    #[test]
+    fn z_channel_recovery_with_generous_queries() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let run = Instance::builder(300)
+            .k(4)
+            .queries(600)
+            .noise(NoiseModel::z_channel(0.2))
+            .build()
+            .unwrap()
+            .sample(&mut rng);
+        let est = GreedyDecoder::new().decode(&run);
+        assert_eq!(est.ones(), run.ground_truth().ones());
+    }
+
+    #[test]
+    fn too_few_queries_fail() {
+        // With m = 1 query there is not enough information; the decoder
+        // still returns a weight-k estimate but it is (almost surely) wrong.
+        let run = noiseless_run(1000, 10, 1, 3);
+        let est = GreedyDecoder::new().decode(&run);
+        assert_eq!(est.k(), 10);
+        assert_ne!(est.ones(), run.ground_truth().ones());
+    }
+
+    #[test]
+    fn scores_reflect_ground_truth_gap() {
+        // Average score of one-agents must exceed that of zero-agents by
+        // Δ·(1 − γ) in the noiseless case: the agent's own bit adds Δ
+        // (Equation (2) with p = q = 0), while the second neighborhood of a
+        // one-agent contains k−1 rather than k ones, which removes
+        // n_j/(n−1) ≈ γ·Δ at finite sizes.
+        let run = noiseless_run(400, 5, 300, 7);
+        let scores = GreedyDecoder::new().scores(&run);
+        let truth = run.ground_truth();
+        let (mut sum1, mut sum0) = (0.0, 0.0);
+        for (i, &s) in scores.iter().enumerate() {
+            if truth.is_one(i) {
+                sum1 += s;
+            } else {
+                sum0 += s;
+            }
+        }
+        let mean1 = sum1 / truth.k() as f64;
+        let mean0 = sum0 / (truth.n() - truth.k()) as f64;
+        let gap = mean1 - mean0;
+        let delta = 300.0 / 2.0;
+        let want = delta * (1.0 - npd_theory::GAMMA);
+        assert!(
+            (gap - want).abs() < want * 0.2,
+            "gap={gap}, expected ≈ {want}"
+        );
+    }
+
+    #[test]
+    fn decode_on_figure1_instance() {
+        // Figure 1 is an illustrative five-query instance, not a decodable
+        // one: with Γ = 3 slots the neighborhood sums cannot separate all
+        // three one-agents. The decoder must still rank the two strongly
+        // covered one-agents (0 and 2) on top.
+        let (graph, truth) = PoolingGraph::figure1_example();
+        let instance = Instance::builder(7)
+            .k(3)
+            .queries(5)
+            .query_size(3)
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let results = graph.measure(&truth, &NoiseModel::Noiseless, &mut rng);
+        let run = instance.assemble(truth, graph, results).unwrap();
+        let est = GreedyDecoder::new().decode(&run);
+        assert!(est.ones().contains(&0));
+        assert!(est.ones().contains(&2));
+        assert_eq!(est.k(), 3);
+        // And the overlap metric sees at least 2 of the 3 ones.
+        assert!(crate::evaluate::overlap(&est, run.ground_truth()) >= 2.0 / 3.0);
+    }
+
+    #[test]
+    fn decoder_name() {
+        assert_eq!(GreedyDecoder::new().name(), "greedy");
+    }
+
+    #[test]
+    fn plain_centering_matches_printed_formula() {
+        // Hand-check Algorithm 1's literal score Ψᵢ − Δ*ᵢ·k/2 on Figure 1.
+        let (graph, truth) = PoolingGraph::figure1_example();
+        let instance = Instance::builder(7)
+            .k(3)
+            .queries(5)
+            .query_size(3)
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let results = graph.measure(&truth, &NoiseModel::Noiseless, &mut rng);
+        let run = instance.assemble(truth, graph, results).unwrap();
+        let scores = GreedyDecoder::with_centering(Centering::Plain).scores(&run);
+        // Agent 0: Ψ = 2+3 = 5, Δ* = 2 ⇒ 5 − 2·1.5 = 2.
+        assert_eq!(scores[0], 2.0);
+        // Agent 2: Ψ = 2+3+1 = 6, Δ* = 3 ⇒ 6 − 4.5 = 1.5.
+        assert_eq!(scores[2], 1.5);
+    }
+
+    #[test]
+    fn centerings_coincide_for_noiseless_ranking() {
+        // With p = q = 0 both centerings subtract (asymptotically) the same
+        // k/2-per-distinct-query term; on a concrete instance the *ranking*
+        // must agree even if raw scores differ slightly.
+        let run = noiseless_run(300, 4, 300, 42);
+        let aware = GreedyDecoder::new().decode(&run);
+        let plain = GreedyDecoder::with_centering(Centering::Plain).decode(&run);
+        assert_eq!(aware.ones(), plain.ones());
+    }
+
+    #[test]
+    fn noise_aware_centering_is_required_for_false_positives() {
+        // The ablation behind DESIGN.md's centering discussion: at q = 0.1
+        // the printed score fails long after the noise-aware score succeeds.
+        let mut aware_hits = 0;
+        let mut plain_hits = 0;
+        let trials = 5;
+        for seed in 0..trials {
+            let mut rng = StdRng::seed_from_u64(900 + seed);
+            let run = Instance::builder(316)
+                .k(4)
+                .queries(1500)
+                .noise(NoiseModel::channel(0.1, 0.1))
+                .build()
+                .unwrap()
+                .sample(&mut rng);
+            let aware = GreedyDecoder::new().decode(&run);
+            let plain = GreedyDecoder::with_centering(Centering::Plain).decode(&run);
+            if aware.ones() == run.ground_truth().ones() {
+                aware_hits += 1;
+            }
+            if plain.ones() == run.ground_truth().ones() {
+                plain_hits += 1;
+            }
+        }
+        assert!(
+            aware_hits > plain_hits,
+            "noise-aware {aware_hits}/{trials} vs plain {plain_hits}/{trials}"
+        );
+        assert!(aware_hits >= 4, "noise-aware centering should succeed here");
+    }
+
+    #[test]
+    fn decoder_is_object_safe() {
+        let decoders: Vec<Box<dyn Decoder>> = vec![Box::new(GreedyDecoder::new())];
+        let run = noiseless_run(100, 2, 80, 0);
+        for d in &decoders {
+            let est = d.decode(&run);
+            assert_eq!(est.k(), 2);
+        }
+    }
+
+    mod property {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Estimate invariants hold for arbitrary score vectors.
+            #[test]
+            fn estimate_invariants(
+                scores in proptest::collection::vec(-100.0f64..100.0, 1..60),
+                pick in 0usize..60,
+            ) {
+                let k = pick % scores.len();
+                let est = Estimate::from_scores(scores.clone(), k);
+                prop_assert_eq!(est.k(), k);
+                prop_assert_eq!(est.n(), scores.len());
+                prop_assert!(est.ones().windows(2).all(|w| w[0] < w[1]));
+                prop_assert_eq!(
+                    est.bits().iter().filter(|&&b| b).count(),
+                    k
+                );
+                // Every selected agent scores at least as high as every
+                // unselected one.
+                let min_sel = est
+                    .ones()
+                    .iter()
+                    .map(|&i| scores[i as usize])
+                    .fold(f64::INFINITY, f64::min);
+                let max_unsel = est
+                    .bits()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &b)| !b)
+                    .map(|(i, _)| scores[i])
+                    .fold(f64::NEG_INFINITY, f64::max);
+                if k > 0 && k < scores.len() {
+                    prop_assert!(min_sel >= max_unsel);
+                }
+            }
+
+            /// Decoding always returns a weight-k estimate, whatever the
+            /// noise realization.
+            #[test]
+            fn decode_weight_is_k(seed in 0u64..150, m in 1usize..40) {
+                let run = Instance::builder(50)
+                    .k(3)
+                    .queries(m)
+                    .noise(NoiseModel::gaussian(2.0))
+                    .build()
+                    .unwrap()
+                    .sample(&mut StdRng::seed_from_u64(seed));
+                let est = GreedyDecoder::new().decode(&run);
+                prop_assert_eq!(est.k(), 3);
+                prop_assert_eq!(est.scores().len(), 50);
+            }
+        }
+    }
+
+    #[test]
+    fn permutation_equivariance() {
+        // Relabeling agents permutes the estimate identically: decode on a
+        // graph with relabeled agents and compare.
+        let n = 60;
+        let mut rng = StdRng::seed_from_u64(21);
+        let instance = Instance::builder(n).k(3).queries(40).build().unwrap();
+        let run = instance.sample(&mut rng);
+
+        // Build the relabeled run: agent i -> (i + 7) mod n.
+        let shift = |a: u32| ((a as usize + 7) % n) as u32;
+        let slot_lists: Vec<Vec<u32>> = run
+            .graph()
+            .queries()
+            .iter()
+            .map(|q| {
+                let mut slots = Vec::new();
+                for (agent, count) in q.iter() {
+                    for _ in 0..count {
+                        slots.push(shift(agent));
+                    }
+                }
+                slots
+            })
+            .collect();
+        let graph2 = PoolingGraph::from_slot_lists(n, slot_lists);
+        let mut bits2 = vec![false; n];
+        for &o in run.ground_truth().ones() {
+            bits2[shift(o) as usize] = true;
+        }
+        let truth2 = GroundTruth::from_bits(bits2);
+        let run2 = instance
+            .assemble(truth2, graph2, run.results().to_vec())
+            .unwrap();
+
+        let est1 = GreedyDecoder::new().decode(&run);
+        let est2 = GreedyDecoder::new().decode(&run2);
+        let mut mapped: Vec<u32> = est1.ones().iter().map(|&a| shift(a)).collect();
+        mapped.sort_unstable();
+        assert_eq!(mapped, est2.ones());
+    }
+}

@@ -1,0 +1,232 @@
+//! The two noise models of Section II.
+
+use npd_numerics::rng::{binomial, GaussianSampler};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Noise applied to query measurements.
+///
+/// * [`Channel`](NoiseModel::Channel) — the *noisy channel* of Section II-A:
+///   every individual edge slot flips independently (a one-bit reads as zero
+///   with probability `p`, a zero-bit reads as one with probability `q`).
+///   A query whose `Γ` slots touch `c₁` one-agents therefore reports
+///   `Bin(c₁, 1−p) + Bin(Γ−c₁, q)`.
+/// * [`Query`](NoiseModel::Query) — the *noisy query* model of Section II-B:
+///   the exact sum plus independent Gaussian `N(0, λ²)` noise (pipetting
+///   inaccuracy in the life-sciences setting).
+/// * [`Noiseless`](NoiseModel::Noiseless) — the idealized baseline of the
+///   prior work the paper extends.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum NoiseModel {
+    /// Exact measurements.
+    Noiseless,
+    /// Per-edge bit flips with false-negative rate `p`, false-positive rate
+    /// `q` (`p + q < 1`).
+    Channel {
+        /// Probability a one-bit reads as zero.
+        p: f64,
+        /// Probability a zero-bit reads as one.
+        q: f64,
+    },
+    /// Additive Gaussian noise `N(0, λ²)` per query.
+    Query {
+        /// Standard deviation λ.
+        lambda: f64,
+    },
+}
+
+impl NoiseModel {
+    /// General noisy channel with false-negative rate `p` and false-positive
+    /// rate `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1)`, `q ∉ [0, 1)`, or `p + q ≥ 1` (the channel
+    /// would invert more often than it preserves).
+    pub fn channel(p: f64, q: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "NoiseModel::channel: p={p} not in [0,1)");
+        assert!((0.0..1.0).contains(&q), "NoiseModel::channel: q={q} not in [0,1)");
+        assert!(
+            p + q < 1.0,
+            "NoiseModel::channel: p+q={} must be below 1",
+            p + q
+        );
+        NoiseModel::Channel { p, q }
+    }
+
+    /// The Z-channel: only `1 → 0` errors (`q = 0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1)`.
+    pub fn z_channel(p: f64) -> Self {
+        Self::channel(p, 0.0)
+    }
+
+    /// Gaussian query noise with standard deviation `λ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `λ < 0` or not finite.
+    pub fn gaussian(lambda: f64) -> Self {
+        assert!(
+            lambda.is_finite() && lambda >= 0.0,
+            "NoiseModel::gaussian: lambda={lambda} must be a non-negative finite number"
+        );
+        NoiseModel::Query { lambda }
+    }
+
+    /// Whether this model perturbs individual edges (as opposed to whole
+    /// query results).
+    pub fn is_per_edge(&self) -> bool {
+        matches!(self, NoiseModel::Channel { .. })
+    }
+
+    /// Draws one noisy measurement for a query whose slots touch `one_slots`
+    /// one-agents and `zero_slots` zero-agents.
+    ///
+    /// The exact (noiseless) measurement would be `one_slots`.
+    pub fn measure<R: Rng + ?Sized>(
+        &self,
+        one_slots: u64,
+        zero_slots: u64,
+        rng: &mut R,
+    ) -> f64 {
+        match *self {
+            NoiseModel::Noiseless => one_slots as f64,
+            NoiseModel::Channel { p, q } => {
+                let surviving_ones = binomial(rng, one_slots, 1.0 - p);
+                let flipped_zeros = binomial(rng, zero_slots, q);
+                (surviving_ones + flipped_zeros) as f64
+            }
+            NoiseModel::Query { lambda } => {
+                let mut gauss = GaussianSampler::new();
+                gauss.sample_scaled(rng, one_slots as f64, lambda)
+            }
+        }
+    }
+
+    /// Expected measurement for given slot counts:
+    /// `(1−p)·c₁ + q·c₀` under the channel, `c₁` otherwise.
+    pub fn expected_measurement(&self, one_slots: u64, zero_slots: u64) -> f64 {
+        match *self {
+            NoiseModel::Noiseless | NoiseModel::Query { .. } => one_slots as f64,
+            NoiseModel::Channel { p, q } => {
+                (1.0 - p) * one_slots as f64 + q * zero_slots as f64
+            }
+        }
+    }
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        NoiseModel::Noiseless
+    }
+}
+
+impl fmt::Display for NoiseModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NoiseModel::Noiseless => write!(f, "noiseless"),
+            NoiseModel::Channel { p, q } if *q == 0.0 => write!(f, "z-channel(p={p})"),
+            NoiseModel::Channel { p, q } => write!(f, "channel(p={p}, q={q})"),
+            NoiseModel::Query { lambda } => write!(f, "gaussian(λ={lambda})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constructors_validate() {
+        let z = NoiseModel::z_channel(0.3);
+        assert_eq!(z, NoiseModel::Channel { p: 0.3, q: 0.0 });
+        let c = NoiseModel::channel(0.2, 0.1);
+        assert!(c.is_per_edge());
+        assert!(!NoiseModel::gaussian(2.0).is_per_edge());
+    }
+
+    #[test]
+    #[should_panic(expected = "p+q")]
+    fn channel_rejects_saturation() {
+        NoiseModel::channel(0.6, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn gaussian_rejects_negative() {
+        NoiseModel::gaussian(-1.0);
+    }
+
+    #[test]
+    fn noiseless_is_exact() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(NoiseModel::Noiseless.measure(17, 33, &mut rng), 17.0);
+    }
+
+    #[test]
+    fn channel_measure_moments() {
+        // Bin(100, 0.7) + Bin(100, 0.1): mean 80, var 100·0.21 + 100·0.09 = 30.
+        let model = NoiseModel::channel(0.3, 0.1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples: Vec<f64> = (0..50_000)
+            .map(|_| model.measure(100, 100, &mut rng))
+            .collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+            / (samples.len() - 1) as f64;
+        assert!((mean - 80.0).abs() < 0.2, "mean={mean}");
+        assert!((var - 30.0).abs() < 1.0, "var={var}");
+        assert_eq!(model.expected_measurement(100, 100), 80.0);
+    }
+
+    #[test]
+    fn z_channel_never_exceeds_ones() {
+        let model = NoiseModel::z_channel(0.4);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let r = model.measure(20, 80, &mut rng);
+            assert!(r <= 20.0 && r >= 0.0);
+        }
+    }
+
+    #[test]
+    fn gaussian_measure_moments() {
+        let model = NoiseModel::gaussian(3.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let samples: Vec<f64> = (0..50_000).map(|_| model.measure(50, 0, &mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+            / (samples.len() - 1) as f64;
+        assert!((mean - 50.0).abs() < 0.1, "mean={mean}");
+        assert!((var - 9.0).abs() < 0.3, "var={var}");
+    }
+
+    #[test]
+    fn gaussian_zero_lambda_is_exact() {
+        let model = NoiseModel::gaussian(0.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(model.measure(12, 8, &mut rng), 12.0);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NoiseModel::Noiseless.to_string(), "noiseless");
+        assert_eq!(NoiseModel::z_channel(0.1).to_string(), "z-channel(p=0.1)");
+        assert_eq!(
+            NoiseModel::channel(0.1, 0.05).to_string(),
+            "channel(p=0.1, q=0.05)"
+        );
+        assert_eq!(NoiseModel::gaussian(2.0).to_string(), "gaussian(λ=2)");
+    }
+
+    #[test]
+    fn default_is_noiseless() {
+        assert_eq!(NoiseModel::default(), NoiseModel::Noiseless);
+    }
+}

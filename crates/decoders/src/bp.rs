@@ -1,0 +1,390 @@
+//! Belief propagation on the pooling factor graph.
+//!
+//! The bipartite pooling multigraph *is* a factor graph: agents are
+//! variable nodes with a `Bernoulli(k/n)` prior, queries are factor nodes
+//! observing a noisy sum of their members. Exact sum-factor messages would
+//! cost a `Γ`-fold convolution per query, so — as is standard for dense
+//! quantitative group testing — each factor approximates the *extrinsic*
+//! contribution of the other members by a Gaussian matched to its first two
+//! moments (a "relaxed BP" in the sense of the AMP literature; AMP itself
+//! is the further large-system simplification of exactly this scheme).
+//!
+//! One BP round:
+//!
+//! 1. **Factor pass.** Query `a` aggregates the mean/variance of every
+//!    member's contribution under its current incoming belief, then emits
+//!    to each member `i` the log-likelihood ratio
+//!    `ln N(σ̂ₐ; M₋ᵢ + μᵢ(1), V₋ᵢ + vᵢ(1)) − ln N(σ̂ₐ; M₋ᵢ + μᵢ(0), V₋ᵢ + vᵢ(0))`,
+//!    where `(M₋ᵢ, V₋ᵢ)` are the totals with `i`'s contribution removed and
+//!    `μᵢ(b), vᵢ(b)` are the moments of `i`'s own reading if its bit were
+//!    `b` (multiplicities and the channel's per-slot flips included).
+//! 2. **Variable pass.** Agent `i` combines the prior log-odds
+//!    `ln(k/(n−k))` with all incoming ratios; the message back to factor
+//!    `a` excludes `a`'s own contribution (the usual extrinsic rule), with
+//!    optional damping.
+//!
+//! The final marginal log-odds rank the agents; the top `k` are declared
+//! ones — the same rank-`k` output rule as every other decoder here.
+
+use crate::likelihood::{query_noise_variance, slot_moments, VARIANCE_FLOOR};
+use npd_core::{Decoder, Estimate, Run};
+use serde::{Deserialize, Serialize};
+
+/// Tuning knobs of the BP iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BpConfig {
+    /// Maximum number of message-passing rounds.
+    pub max_rounds: usize,
+    /// Convergence threshold on the largest belief change.
+    pub tolerance: f64,
+    /// Damping `d ∈ [0, 1)` on variable→factor beliefs; `0` is undamped.
+    ///
+    /// The pooling graph is *dense* (`Γ = n/2` puts every agent in roughly
+    /// 39% of all queries), and dense-graph BP is prone to period-2
+    /// oscillation: with `d = 0.25` we measured a Z-channel instance
+    /// (`n = 1000`, `p = 0.3`, `m = 320`) where the beliefs flip in unison
+    /// every round and the final ranking inverts. `d = 0.5` (the default)
+    /// was stable across the whole sweep at roughly twice the rounds of
+    /// the undamped iteration.
+    pub damping: f64,
+}
+
+impl Default for BpConfig {
+    fn default() -> Self {
+        Self {
+            max_rounds: 80,
+            tolerance: 1e-6,
+            damping: 0.5,
+        }
+    }
+}
+
+/// Outcome diagnostics of a BP solve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BpOutput {
+    /// Final marginal log-odds per agent.
+    pub log_odds: Vec<f64>,
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Whether the belief change dropped below the tolerance.
+    pub converged: bool,
+}
+
+/// Gaussian-approximate belief propagation decoder.
+///
+/// # Examples
+///
+/// ```
+/// use npd_core::{Decoder, Instance, NoiseModel};
+/// use npd_decoders::BpDecoder;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let run = Instance::builder(300)
+///     .k(4)
+///     .queries(250)
+///     .noise(NoiseModel::z_channel(0.1))
+///     .build()
+///     .unwrap()
+///     .sample(&mut rng);
+/// let estimate = BpDecoder::default().decode(&run);
+/// assert_eq!(estimate.k(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BpDecoder {
+    config: BpConfig,
+}
+
+impl BpDecoder {
+    /// Creates the decoder with default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates the decoder with an explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `damping ∉ [0, 1)` or `max_rounds == 0`.
+    pub fn with_config(config: BpConfig) -> Self {
+        assert!(
+            (0.0..1.0).contains(&config.damping),
+            "BpDecoder: damping={} must be in [0,1)",
+            config.damping
+        );
+        assert!(config.max_rounds > 0, "BpDecoder: max_rounds must be positive");
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &BpConfig {
+        &self.config
+    }
+
+    /// Runs message passing and returns the full diagnostics.
+    pub fn solve(&self, run: &Run) -> BpOutput {
+        let n = run.instance().n();
+        let k = run.instance().k();
+        let noise = run.instance().noise();
+        let results = run.results();
+
+        // Flattened edge lists, query-major.
+        let mut edge_agent: Vec<u32> = Vec::new();
+        let mut edge_count: Vec<f64> = Vec::new();
+        let mut query_offsets: Vec<usize> = Vec::with_capacity(results.len() + 1);
+        query_offsets.push(0);
+        for q in run.graph().queries() {
+            for (a, c) in q.iter() {
+                edge_agent.push(a);
+                edge_count.push(c as f64);
+            }
+            query_offsets.push(edge_agent.len());
+        }
+        let edges = edge_agent.len();
+
+        // Agent-major view: edge indices per agent.
+        let mut agent_offsets = vec![0usize; n + 1];
+        for &a in &edge_agent {
+            agent_offsets[a as usize + 1] += 1;
+        }
+        for i in 0..n {
+            agent_offsets[i + 1] += agent_offsets[i];
+        }
+        let mut agent_edges = vec![0u32; edges];
+        let mut cursor = agent_offsets.clone();
+        for (e, &a) in edge_agent.iter().enumerate() {
+            agent_edges[cursor[a as usize]] = e as u32;
+            cursor[a as usize] += 1;
+        }
+
+        // Per-edge slot moments of the member's own contribution under each
+        // hypothetical bit: mean/variance of (count c) slots reading one.
+        let (m1, v1) = slot_moments(noise, true);
+        let (m0, v0) = slot_moments(noise, false);
+        let base_var = query_noise_variance(noise) + VARIANCE_FLOOR;
+
+        let prior = k as f64 / n as f64;
+        let prior_llr = (prior / (1.0 - prior)).ln();
+
+        // Variable→factor beliefs (probability of bit one) and
+        // factor→variable log-likelihood ratios, both per edge.
+        let mut mu = vec![prior; edges];
+        let mut llr = vec![0.0f64; edges];
+
+        let mut rounds = 0;
+        let mut converged = false;
+        let mut marginals = vec![prior_llr; n];
+
+        while rounds < self.config.max_rounds {
+            rounds += 1;
+
+            // --- Factor pass: fill llr from mu. ---
+            for (j, &y) in results.iter().enumerate() {
+                let span = query_offsets[j]..query_offsets[j + 1];
+                let mut total_mean = 0.0;
+                let mut total_var = base_var;
+                for e in span.clone() {
+                    let c = edge_count[e];
+                    let p1 = mu[e];
+                    let mean_one = c * m1;
+                    let mean_zero = c * m0;
+                    let mean = p1 * mean_one + (1.0 - p1) * mean_zero;
+                    // Mixture variance: expected conditional variance plus
+                    // variance of the conditional mean.
+                    let var = p1 * (c * v1)
+                        + (1.0 - p1) * (c * v0)
+                        + p1 * (1.0 - p1) * (mean_one - mean_zero).powi(2);
+                    total_mean += mean;
+                    total_var += var;
+                }
+                for e in span {
+                    let c = edge_count[e];
+                    let p1 = mu[e];
+                    let mean_one = c * m1;
+                    let mean_zero = c * m0;
+                    let mean = p1 * mean_one + (1.0 - p1) * mean_zero;
+                    let var = p1 * (c * v1)
+                        + (1.0 - p1) * (c * v0)
+                        + p1 * (1.0 - p1) * (mean_one - mean_zero).powi(2);
+                    let ext_mean = total_mean - mean;
+                    let ext_var = (total_var - var).max(VARIANCE_FLOOR);
+                    let var_one = (ext_var + c * v1).max(VARIANCE_FLOOR);
+                    let var_zero = (ext_var + c * v0).max(VARIANCE_FLOOR);
+                    let d1 = y - ext_mean - mean_one;
+                    let d0 = y - ext_mean - mean_zero;
+                    llr[e] = 0.5 * (var_zero.ln() - var_one.ln())
+                        + d0 * d0 / (2.0 * var_zero)
+                        - d1 * d1 / (2.0 * var_one);
+                }
+            }
+
+            // --- Variable pass: fill mu from llr; track belief drift. ---
+            let mut max_change = 0.0f64;
+            for i in 0..n {
+                let span = agent_offsets[i]..agent_offsets[i + 1];
+                let total: f64 = agent_edges[span.clone()]
+                    .iter()
+                    .map(|&e| llr[e as usize])
+                    .sum();
+                marginals[i] = prior_llr + total;
+                for &e in &agent_edges[span] {
+                    let e = e as usize;
+                    let extrinsic = prior_llr + total - llr[e];
+                    let fresh = sigmoid(extrinsic);
+                    let next = self.config.damping * mu[e]
+                        + (1.0 - self.config.damping) * fresh;
+                    max_change = max_change.max((next - mu[e]).abs());
+                    mu[e] = next.clamp(1e-12, 1.0 - 1e-12);
+                }
+            }
+
+            if max_change < self.config.tolerance {
+                converged = true;
+                break;
+            }
+        }
+
+        BpOutput {
+            log_odds: marginals,
+            rounds,
+            converged,
+        }
+    }
+}
+
+impl Decoder for BpDecoder {
+    fn decode(&self, run: &Run) -> Estimate {
+        let out = self.solve(run);
+        Estimate::from_scores(out.log_odds, run.instance().k())
+    }
+
+    fn name(&self) -> &'static str {
+        "belief-propagation"
+    }
+}
+
+/// Numerically clamped logistic function.
+fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npd_core::{exact_recovery, Instance, NoiseModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn recovery_rate(noise: NoiseModel, n: usize, k: usize, m: usize, trials: u64) -> f64 {
+        let decoder = BpDecoder::new();
+        let mut hits = 0;
+        for seed in 0..trials {
+            let mut rng = StdRng::seed_from_u64(1000 + seed);
+            let run = Instance::builder(n)
+                .k(k)
+                .queries(m)
+                .noise(noise)
+                .build()
+                .unwrap()
+                .sample(&mut rng);
+            let est = decoder.decode(&run);
+            if exact_recovery(&est, run.ground_truth()) {
+                hits += 1;
+            }
+        }
+        hits as f64 / trials as f64
+    }
+
+    #[test]
+    fn recovers_noiseless() {
+        assert!(recovery_rate(NoiseModel::Noiseless, 300, 4, 200, 5) >= 0.8);
+    }
+
+    #[test]
+    fn recovers_z_channel() {
+        assert!(recovery_rate(NoiseModel::z_channel(0.1), 300, 4, 300, 5) >= 0.8);
+    }
+
+    #[test]
+    fn recovers_gaussian() {
+        assert!(recovery_rate(NoiseModel::gaussian(1.0), 300, 4, 300, 5) >= 0.8);
+    }
+
+    #[test]
+    fn beliefs_stay_finite() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let run = Instance::builder(200)
+            .k(3)
+            .queries(50)
+            .noise(NoiseModel::channel(0.2, 0.1))
+            .build()
+            .unwrap()
+            .sample(&mut rng);
+        let out = BpDecoder::new().solve(&run);
+        assert!(out.log_odds.iter().all(|x| x.is_finite()));
+        assert!(out.rounds >= 1);
+    }
+
+    #[test]
+    fn one_agents_rank_higher_on_average() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let run = Instance::builder(400)
+            .k(5)
+            .queries(300)
+            .noise(NoiseModel::z_channel(0.2))
+            .build()
+            .unwrap()
+            .sample(&mut rng);
+        let out = BpDecoder::new().solve(&run);
+        let truth = run.ground_truth();
+        let mean =
+            |pred: bool| -> f64 {
+                let vals: Vec<f64> = (0..400)
+                    .filter(|&i| truth.is_one(i) == pred)
+                    .map(|i| out.log_odds[i])
+                    .collect();
+                vals.iter().sum::<f64>() / vals.len() as f64
+            };
+        assert!(
+            mean(true) > mean(false) + 1.0,
+            "one-agents should carry clearly larger log-odds"
+        );
+    }
+
+    #[test]
+    fn config_validation() {
+        let cfg = BpConfig {
+            damping: 0.5,
+            ..BpConfig::default()
+        };
+        let dec = BpDecoder::with_config(cfg);
+        assert_eq!(dec.config().damping, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "damping")]
+    fn rejects_bad_damping() {
+        BpDecoder::with_config(BpConfig {
+            damping: 1.0,
+            ..BpConfig::default()
+        });
+    }
+
+    #[test]
+    fn converges_on_easy_instance() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let run = Instance::builder(150)
+            .k(2)
+            .queries(200)
+            .build()
+            .unwrap()
+            .sample(&mut rng);
+        let out = BpDecoder::new().solve(&run);
+        assert!(out.converged, "BP should converge within the round budget");
+    }
+}

@@ -1,0 +1,84 @@
+//! Baseline reconstruction algorithms for the noisy pooled data problem.
+//!
+//! The paper evaluates its greedy algorithm against AMP (Figure 6). This
+//! crate widens the comparison with the other standard inference families,
+//! all implementing [`npd_core::Decoder`] so the experiment harness can run
+//! them head-to-head:
+//!
+//! | decoder | family | cost | role |
+//! |---|---|---|---|
+//! | [`MlDecoder`] | exhaustive maximum likelihood | `O(C(n,k)·|E|)` | optimality reference on tiny instances |
+//! | [`BpDecoder`] | belief propagation (Gaussian-relaxed factors) | `O(|E|)` per round | the message-passing family AMP approximates |
+//! | [`McmcDecoder`] | annealed Metropolis over weight-`k` sets | `O(Δ*)` per step | near-ML reference at realistic sizes; the "local error correction" of the paper's open question |
+//! | [`FistaDecoder`] | lasso / convex relaxation | `O(|E|)` per iteration | generic compressed-sensing baseline |
+//! | [`LmmseDecoder`] | linear MMSE (ridge + CG) | `O(|E|)` per CG step | best *linear* decoder; midpoint between the greedy score and nonlinear solvers |
+//!
+//! The exact and moment-matched observation likelihoods shared by these
+//! decoders live in [`likelihood`].
+//!
+//! # Examples
+//!
+//! ```
+//! use npd_core::{overlap, Decoder, Instance, NoiseModel};
+//! use npd_decoders::{standard_zoo, BpDecoder};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+//! let run = Instance::builder(300)
+//!     .k(4)
+//!     .queries(300)
+//!     .noise(NoiseModel::z_channel(0.1))
+//!     .build()
+//!     .unwrap()
+//!     .sample(&mut rng);
+//! for decoder in standard_zoo() {
+//!     let estimate = decoder.decode(&run);
+//!     assert_eq!(estimate.k(), 4, "{} must output rank-k", decoder.name());
+//! }
+//! let bp = BpDecoder::default().decode(&run);
+//! assert!(overlap(&bp, run.ground_truth()) > 0.9);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bp;
+pub mod ista;
+pub mod likelihood;
+pub mod lmmse;
+pub mod mcmc;
+pub mod ml;
+
+pub use bp::{BpConfig, BpDecoder, BpOutput};
+pub use ista::{FistaConfig, FistaDecoder, FistaOutput};
+pub use lmmse::{LmmseConfig, LmmseDecoder, LmmseOutput};
+pub use mcmc::{EnergyKind, InitKind, McmcConfig, McmcDecoder, McmcOutput};
+pub use ml::{binomial_coefficient, Combinations, MlDecoder, MlError};
+
+use npd_core::Decoder;
+
+/// The polynomial-time decoders of this crate with default configurations
+/// (the exhaustive [`MlDecoder`] is excluded — it does not scale past toy
+/// sizes and panics on large search spaces).
+pub fn standard_zoo() -> Vec<Box<dyn Decoder>> {
+    vec![
+        Box::new(BpDecoder::default()),
+        Box::new(McmcDecoder::default()),
+        Box::new(FistaDecoder::default()),
+        Box::new(LmmseDecoder::default()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zoo_names_are_distinct() {
+        let zoo = standard_zoo();
+        let mut names: Vec<&str> = zoo.iter().map(|d| d.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), zoo.len());
+    }
+}

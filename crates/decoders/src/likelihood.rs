@@ -1,0 +1,334 @@
+//! Exact and moment-matched observation likelihoods.
+//!
+//! Every decoder in this crate reasons about the same question: *how likely
+//! is the observed query result `σ̂ₐ` if the query's `Γ` slots touch `c₁`
+//! one-agents?* Under the paper's models the answer depends only on `c₁`:
+//!
+//! * **noiseless** — `σ̂ₐ = c₁` deterministically;
+//! * **noisy query** (Section II-B) — `σ̂ₐ ~ N(c₁, λ²)`;
+//! * **noisy channel** (Section II-A) — every slot flips independently, so
+//!   `σ̂ₐ ~ Bin(c₁, 1−p) + Bin(Γ−c₁, q)`, a binomial convolution.
+//!
+//! [`query_log_likelihood`] evaluates these exactly (log-sum-exp over the
+//! convolution for the channel); [`moment_matched_energy`] provides the
+//! Gaussian surrogate `−ln N(σ̂ₐ; μ(c₁), v(c₁))` that the MCMC and BP
+//! decoders use where the exact form would be too expensive or degenerate.
+
+use npd_core::NoiseModel;
+use npd_numerics::special::ln_binomial_pmf;
+
+/// Natural log of `√(2π)`.
+const LN_SQRT_2PI: f64 = 0.918_938_533_204_672_74;
+
+/// Variance floor that keeps Gaussian surrogates well-defined for the
+/// noiseless model (where the true conditional variance is zero).
+pub const VARIANCE_FLOOR: f64 = 1e-6;
+
+/// Mean and variance of the *per-slot* reading for a slot whose agent holds
+/// `bit`.
+///
+/// Under the channel a one-slot reads one with probability `1−p` and a
+/// zero-slot with probability `q`; under the sum models (noiseless / noisy
+/// query) the slot reads its bit exactly and the randomness, if any, sits on
+/// the whole query instead.
+pub fn slot_moments(noise: &NoiseModel, bit: bool) -> (f64, f64) {
+    match *noise {
+        NoiseModel::Channel { p, q } => {
+            if bit {
+                (1.0 - p, p * (1.0 - p))
+            } else {
+                (q, q * (1.0 - q))
+            }
+        }
+        NoiseModel::Noiseless | NoiseModel::Query { .. } => {
+            (if bit { 1.0 } else { 0.0 }, 0.0)
+        }
+    }
+}
+
+/// Additive per-query noise variance: `λ²` for the noisy query model, zero
+/// otherwise.
+pub fn query_noise_variance(noise: &NoiseModel) -> f64 {
+    match *noise {
+        NoiseModel::Query { lambda } => lambda * lambda,
+        NoiseModel::Noiseless | NoiseModel::Channel { .. } => 0.0,
+    }
+}
+
+/// Exact log-likelihood `ln P(σ̂ₐ = observed | c₁ one-slots out of Γ)`.
+///
+/// Returns `f64::NEG_INFINITY` for observations the model cannot produce
+/// (e.g. a non-integer count under the channel, or a mismatched sum in the
+/// noiseless model).
+///
+/// # Panics
+///
+/// Panics if `one_slots > gamma`.
+pub fn query_log_likelihood(
+    noise: &NoiseModel,
+    gamma: u64,
+    one_slots: u64,
+    observed: f64,
+) -> f64 {
+    assert!(
+        one_slots <= gamma,
+        "query_log_likelihood: one_slots={one_slots} exceeds gamma={gamma}"
+    );
+    match *noise {
+        NoiseModel::Noiseless => {
+            if observed == one_slots as f64 {
+                0.0
+            } else {
+                f64::NEG_INFINITY
+            }
+        }
+        NoiseModel::Query { lambda } => {
+            if lambda == 0.0 {
+                return if observed == one_slots as f64 {
+                    0.0
+                } else {
+                    f64::NEG_INFINITY
+                };
+            }
+            let z = (observed - one_slots as f64) / lambda;
+            -0.5 * z * z - lambda.ln() - LN_SQRT_2PI
+        }
+        NoiseModel::Channel { p, q } => {
+            channel_log_pmf(gamma, one_slots, p, q, observed)
+        }
+    }
+}
+
+/// `ln P(Bin(c₁, 1−p) + Bin(c₀, q) = y)` via log-sum-exp over the
+/// convolution.
+fn channel_log_pmf(gamma: u64, c1: u64, p: f64, q: f64, observed: f64) -> f64 {
+    if observed < 0.0 || observed > gamma as f64 || observed.fract() != 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    let y = observed as u64;
+    let c0 = gamma - c1;
+    // j = number of one-slots that read one; y − j zero-slots flipped to one.
+    let j_lo = y.saturating_sub(c0);
+    let j_hi = y.min(c1);
+    if j_lo > j_hi {
+        return f64::NEG_INFINITY;
+    }
+    let mut max_term = f64::NEG_INFINITY;
+    let mut terms = Vec::with_capacity((j_hi - j_lo + 1) as usize);
+    for j in j_lo..=j_hi {
+        let t = ln_binomial_pmf(c1, 1.0 - p, j) + ln_binomial_pmf(c0, q, y - j);
+        if t > max_term {
+            max_term = t;
+        }
+        terms.push(t);
+    }
+    if max_term == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    let sum: f64 = terms.iter().map(|t| (t - max_term).exp()).sum();
+    max_term + sum.ln()
+}
+
+/// Mean and variance of the query result given `c₁` one-slots out of
+/// `gamma`, with the [`VARIANCE_FLOOR`] applied.
+///
+/// This is the second-order summary behind the Gaussian surrogate: under
+/// the channel the reading is a sum of `Γ` independent slot Bernoullis,
+/// under the noisy query model it is `c₁` plus `N(0, λ²)`.
+pub fn query_moments(noise: &NoiseModel, gamma: u64, one_slots: u64) -> (f64, f64) {
+    let c1 = one_slots as f64;
+    let c0 = (gamma - one_slots) as f64;
+    let (m1, v1) = slot_moments(noise, true);
+    let (m0, v0) = slot_moments(noise, false);
+    let mean = m1 * c1 + m0 * c0;
+    let var = v1 * c1 + v0 * c0 + query_noise_variance(noise);
+    (mean, var.max(VARIANCE_FLOOR))
+}
+
+/// Moment-matched Gaussian energy `−ln N(observed; μ(c₁), v(c₁))` (up to
+/// the `√2π` constant, which cancels in all energy differences).
+///
+/// # Panics
+///
+/// Panics if `one_slots > gamma`.
+pub fn moment_matched_energy(
+    noise: &NoiseModel,
+    gamma: u64,
+    one_slots: u64,
+    observed: f64,
+) -> f64 {
+    assert!(
+        one_slots <= gamma,
+        "moment_matched_energy: one_slots={one_slots} exceeds gamma={gamma}"
+    );
+    let (mean, var) = query_moments(noise, gamma, one_slots);
+    let d = observed - mean;
+    d * d / (2.0 * var) + 0.5 * var.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noiseless_is_indicator() {
+        let m = NoiseModel::Noiseless;
+        assert_eq!(query_log_likelihood(&m, 10, 4, 4.0), 0.0);
+        assert_eq!(query_log_likelihood(&m, 10, 4, 5.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn zero_lambda_gaussian_is_indicator() {
+        let m = NoiseModel::gaussian(0.0);
+        assert_eq!(query_log_likelihood(&m, 10, 4, 4.0), 0.0);
+        assert_eq!(query_log_likelihood(&m, 10, 4, 4.5), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn gaussian_peaks_at_true_sum() {
+        let m = NoiseModel::gaussian(2.0);
+        let at_peak = query_log_likelihood(&m, 20, 7, 7.0);
+        let off_peak = query_log_likelihood(&m, 20, 7, 9.0);
+        assert!(at_peak > off_peak);
+        // Peak value of N(0, 4): −ln(2√(2π)).
+        assert!((at_peak - (-(2.0f64).ln() - LN_SQRT_2PI)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn channel_pmf_normalizes() {
+        let m = NoiseModel::channel(0.3, 0.1);
+        for c1 in [0u64, 3, 8] {
+            let total: f64 = (0..=8)
+                .map(|y| query_log_likelihood(&m, 8, c1, y as f64).exp())
+                .sum();
+            assert!((total - 1.0).abs() < 1e-10, "c1={c1}: total={total}");
+        }
+    }
+
+    #[test]
+    fn channel_rejects_impossible_observations() {
+        let m = NoiseModel::channel(0.2, 0.0);
+        assert_eq!(query_log_likelihood(&m, 5, 2, 6.0), f64::NEG_INFINITY);
+        assert_eq!(query_log_likelihood(&m, 5, 2, 2.5), f64::NEG_INFINITY);
+        assert_eq!(query_log_likelihood(&m, 5, 2, -1.0), f64::NEG_INFINITY);
+        // Z-channel cannot read more ones than there are one-slots.
+        assert_eq!(query_log_likelihood(&m, 5, 2, 3.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn channel_matches_direct_binomial_when_q_zero() {
+        // With q = 0 the convolution collapses to Bin(c₁, 1−p).
+        let m = NoiseModel::z_channel(0.25);
+        for y in 0..=4u64 {
+            let ours = query_log_likelihood(&m, 10, 4, y as f64);
+            let direct = ln_binomial_pmf(4, 0.75, y);
+            assert!((ours - direct).abs() < 1e-12, "y={y}");
+        }
+    }
+
+    #[test]
+    fn slot_moments_match_models() {
+        let c = NoiseModel::channel(0.3, 0.1);
+        assert_eq!(slot_moments(&c, true), (0.7, 0.3 * 0.7));
+        assert_eq!(slot_moments(&c, false), (0.1, 0.1 * 0.9));
+        assert_eq!(slot_moments(&NoiseModel::Noiseless, true), (1.0, 0.0));
+        assert_eq!(slot_moments(&NoiseModel::gaussian(3.0), false), (0.0, 0.0));
+    }
+
+    #[test]
+    fn query_moments_accumulate() {
+        let m = NoiseModel::channel(0.3, 0.1);
+        let (mean, var) = query_moments(&m, 100, 40);
+        assert!((mean - (0.7 * 40.0 + 0.1 * 60.0)).abs() < 1e-12);
+        assert!((var - (0.21 * 40.0 + 0.09 * 60.0)).abs() < 1e-12);
+        let (mean_g, var_g) = query_moments(&NoiseModel::gaussian(2.0), 100, 40);
+        assert_eq!(mean_g, 40.0);
+        assert_eq!(var_g, 4.0);
+        let (_, var_floor) = query_moments(&NoiseModel::Noiseless, 100, 40);
+        assert_eq!(var_floor, VARIANCE_FLOOR);
+    }
+
+    #[test]
+    fn energy_is_lowest_at_true_count() {
+        let m = NoiseModel::channel(0.1, 0.05);
+        // Observation generated from c₁ = 30 at its mean.
+        let (mean, _) = query_moments(&m, 100, 30);
+        let e_true = moment_matched_energy(&m, 100, 30, mean);
+        for c1 in [10u64, 20, 40, 50] {
+            assert!(moment_matched_energy(&m, 100, c1, mean) > e_true, "c1={c1}");
+        }
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// The channel convolution is a genuine PMF for arbitrary
+            /// parameters: non-negative everywhere and summing to one.
+            #[test]
+            fn channel_pmf_is_normalized(
+                gamma in 1u64..14,
+                c1_frac in 0.0f64..=1.0,
+                p in 0.0f64..0.7,
+                q in 0.0f64..0.3,
+            ) {
+                prop_assume!(p + q < 1.0);
+                let c1 = ((gamma as f64) * c1_frac).round() as u64;
+                let m = NoiseModel::channel(p, q);
+                let total: f64 = (0..=gamma)
+                    .map(|y| query_log_likelihood(&m, gamma, c1, y as f64).exp())
+                    .sum();
+                prop_assert!((total - 1.0).abs() < 1e-8, "total={total}");
+            }
+
+            /// The moment-matched mean and variance equal the exact PMF's
+            /// first two moments (the surrogate is moment-exact, only the
+            /// shape is Gaussian).
+            #[test]
+            fn surrogate_moments_are_exact(
+                gamma in 1u64..12,
+                c1_frac in 0.0f64..=1.0,
+                p in 0.0f64..0.6,
+                q in 0.0f64..0.3,
+            ) {
+                prop_assume!(p + q < 1.0);
+                let c1 = ((gamma as f64) * c1_frac).round() as u64;
+                let m = NoiseModel::channel(p, q);
+                let (mean, var) = query_moments(&m, gamma, c1);
+                let mut pmf_mean = 0.0;
+                let mut pmf_m2 = 0.0;
+                for y in 0..=gamma {
+                    let w = query_log_likelihood(&m, gamma, c1, y as f64).exp();
+                    pmf_mean += w * y as f64;
+                    pmf_m2 += w * (y as f64) * (y as f64);
+                }
+                let pmf_var = pmf_m2 - pmf_mean * pmf_mean;
+                prop_assert!((mean - pmf_mean).abs() < 1e-8);
+                prop_assert!((var - pmf_var).abs() < 1e-6 + VARIANCE_FLOOR);
+            }
+        }
+    }
+
+    #[test]
+    fn moment_energy_tracks_exact_channel_likelihood() {
+        // The Gaussian surrogate should rank candidate counts in the same
+        // order as the exact convolution on a moderately sized query.
+        let m = NoiseModel::channel(0.2, 0.05);
+        let observed = 18.0;
+        let mut exact: Vec<(u64, f64)> = (0..=40)
+            .map(|c1| (c1, -query_log_likelihood(&m, 40, c1, observed)))
+            .collect();
+        let mut surrogate: Vec<(u64, f64)> = (0..=40)
+            .map(|c1| (c1, moment_matched_energy(&m, 40, c1, observed)))
+            .collect();
+        exact.sort_by(|a, b| a.1.total_cmp(&b.1));
+        surrogate.sort_by(|a, b| a.1.total_cmp(&b.1));
+        // The minimizers agree to within one count.
+        let best_exact = exact[0].0 as i64;
+        let best_surrogate = surrogate[0].0 as i64;
+        assert!((best_exact - best_surrogate).abs() <= 1);
+    }
+}

@@ -1,0 +1,335 @@
+//! Linear MMSE estimation via ridge regression and conjugate gradients.
+//!
+//! The cheapest linear baseline: treat the bits as i.i.d. `Bernoulli(k/n)`
+//! with mean `π` and variance `π(1−π)`, model the observation noise as
+//! additive with variance `σ²`, and compute the best *linear* estimate of
+//! `σ` given `ỹ` — which is the ridge solution
+//!
+//! ```text
+//! x̂ = π·1 + (BᵀB + δI)⁻¹ Bᵀ(ỹ − B·π·1),    δ = σ²/(π(1−π)),
+//! ```
+//!
+//! solved matrix-free with conjugate gradients on the centered system of
+//! [`npd_amp::preprocess`]. This is exactly the first-order statistical
+//! information the greedy neighborhood sum uses — but solved jointly
+//! instead of coordinate-wise, making it the natural midpoint between the
+//! greedy score and the nonlinear solvers (AMP, BP) in the decoder
+//! comparison.
+
+use npd_amp::preprocess::{prepare, Prepared};
+use npd_core::{Decoder, Estimate, NoiseModel, Run};
+use npd_numerics::vector;
+use serde::{Deserialize, Serialize};
+
+/// Tuning knobs of the LMMSE solver.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LmmseConfig {
+    /// Maximum conjugate-gradient iterations.
+    pub max_cg_iterations: usize,
+    /// CG residual tolerance (relative to the right-hand side norm).
+    pub tolerance: f64,
+    /// Explicit ridge δ; `None` derives it from the run's noise model.
+    pub ridge: Option<f64>,
+}
+
+impl Default for LmmseConfig {
+    fn default() -> Self {
+        Self {
+            max_cg_iterations: 200,
+            tolerance: 1e-10,
+            ridge: None,
+        }
+    }
+}
+
+/// Diagnostics of one LMMSE solve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LmmseOutput {
+    /// Posterior-mean-style linear estimate per agent.
+    pub estimate: Vec<f64>,
+    /// CG iterations executed.
+    pub cg_iterations: usize,
+    /// The ridge δ actually used.
+    pub ridge: f64,
+}
+
+/// Ridge-regression decoder.
+///
+/// # Examples
+///
+/// ```
+/// use npd_core::{Decoder, Instance, NoiseModel};
+/// use npd_decoders::LmmseDecoder;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+/// let run = Instance::builder(200)
+///     .k(3)
+///     .queries(220)
+///     .noise(NoiseModel::gaussian(0.5))
+///     .build()
+///     .unwrap()
+///     .sample(&mut rng);
+/// let estimate = LmmseDecoder::default().decode(&run);
+/// assert_eq!(estimate.k(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LmmseDecoder {
+    config: LmmseConfig,
+}
+
+impl LmmseDecoder {
+    /// Creates the decoder with default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates the decoder with an explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_cg_iterations == 0` or an explicit ridge is not
+    /// positive.
+    pub fn with_config(config: LmmseConfig) -> Self {
+        assert!(
+            config.max_cg_iterations > 0,
+            "LmmseDecoder: max_cg_iterations must be positive"
+        );
+        if let Some(r) = config.ridge {
+            assert!(r > 0.0, "LmmseDecoder: ridge={r} must be positive");
+        }
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &LmmseConfig {
+        &self.config
+    }
+
+    /// Runs the solver and returns the full diagnostics.
+    pub fn solve(&self, run: &Run) -> LmmseOutput {
+        let Prepared {
+            matrix: b,
+            observations: y,
+            prior,
+        } = prepare(run);
+        let n = b.cols();
+
+        let ridge = self
+            .config
+            .ridge
+            .unwrap_or_else(|| derived_ridge(run, prior, b.scale()));
+
+        // Right-hand side Bᵀ(ỹ − B·π·1).
+        let prior_vec = vec![prior; n];
+        let mut residual = b.matvec(&prior_vec);
+        for (r, &yi) in residual.iter_mut().zip(&y) {
+            *r = yi - *r;
+        }
+        let rhs = b.matvec_t(&residual);
+
+        let apply = |v: &[f64]| -> Vec<f64> {
+            let mut out = b.matvec_t(&b.matvec(v));
+            for (o, &vi) in out.iter_mut().zip(v) {
+                *o += ridge * vi;
+            }
+            out
+        };
+
+        let (solution, cg_iterations) = conjugate_gradient(
+            apply,
+            &rhs,
+            self.config.max_cg_iterations,
+            self.config.tolerance,
+        );
+
+        let estimate: Vec<f64> = solution.iter().map(|&s| prior + s).collect();
+        LmmseOutput {
+            estimate,
+            cg_iterations,
+            ridge,
+        }
+    }
+}
+
+/// δ = σ²/(π(1−π)) on the centered scale: the effective per-observation
+/// noise variance divided by the per-coordinate prior variance, floored to
+/// keep the normal equations well-conditioned in underdetermined noiseless
+/// designs.
+fn derived_ridge(run: &Run, prior: f64, scale: f64) -> f64 {
+    let gamma = run.instance().gamma() as f64;
+    let noise_var = match *run.instance().noise() {
+        NoiseModel::Noiseless => 0.0,
+        NoiseModel::Query { lambda } => lambda * lambda,
+        NoiseModel::Channel { p, q } => {
+            // Variance of the unbiased observation (σ̂ − qΓ)/(1−p−q) at the
+            // prior: Γ·(π·p(1−p) + (1−π)·q(1−q)) / (1−p−q)².
+            let per_slot = prior * p * (1.0 - p) + (1.0 - prior) * q * (1.0 - q);
+            gamma * per_slot / (1.0 - p - q).powi(2)
+        }
+    };
+    let prior_var = (prior * (1.0 - prior)).max(1e-12);
+    (noise_var / (scale * scale) / prior_var).max(1e-3)
+}
+
+/// Standard conjugate gradients for a symmetric positive-definite operator.
+///
+/// Returns the approximate solution and the number of iterations used.
+pub fn conjugate_gradient<F>(
+    apply: F,
+    rhs: &[f64],
+    max_iterations: usize,
+    tolerance: f64,
+) -> (Vec<f64>, usize)
+where
+    F: Fn(&[f64]) -> Vec<f64>,
+{
+    let n = rhs.len();
+    let mut x = vec![0.0f64; n];
+    let mut r = rhs.to_vec();
+    let mut p = r.clone();
+    let rhs_norm = vector::norm2(rhs);
+    if rhs_norm == 0.0 {
+        return (x, 0);
+    }
+    let mut rr = vector::dot(&r, &r);
+    let mut iterations = 0;
+    while iterations < max_iterations {
+        iterations += 1;
+        let ap = apply(&p);
+        let pap = vector::dot(&p, &ap);
+        if pap <= 0.0 {
+            break; // operator lost positive definiteness numerically
+        }
+        let alpha = rr / pap;
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        let rr_next = vector::dot(&r, &r);
+        if rr_next.sqrt() < tolerance * rhs_norm {
+            break;
+        }
+        let beta = rr_next / rr;
+        for i in 0..n {
+            p[i] = r[i] + beta * p[i];
+        }
+        rr = rr_next;
+    }
+    (x, iterations)
+}
+
+impl Decoder for LmmseDecoder {
+    fn decode(&self, run: &Run) -> Estimate {
+        let out = self.solve(run);
+        Estimate::from_scores(out.estimate, run.instance().k())
+    }
+
+    fn name(&self) -> &'static str {
+        "lmmse"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npd_core::{exact_recovery, Instance};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cg_solves_diagonal_system() {
+        let diag = [2.0, 4.0, 8.0];
+        let apply = |v: &[f64]| -> Vec<f64> {
+            v.iter().zip(diag).map(|(&vi, d)| d * vi).collect()
+        };
+        let (x, iters) = conjugate_gradient(apply, &[2.0, 4.0, 8.0], 50, 1e-12);
+        assert!(iters <= 3, "CG on a 3-dim system should finish in ≤3 steps");
+        for xi in x {
+            assert!((xi - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cg_zero_rhs_short_circuits() {
+        let apply = |v: &[f64]| v.to_vec();
+        let (x, iters) = conjugate_gradient(apply, &[0.0, 0.0], 10, 1e-12);
+        assert_eq!(iters, 0);
+        assert_eq!(x, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn recovers_overdetermined_noiseless() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let run = Instance::builder(200)
+            .k(3)
+            .queries(250)
+            .build()
+            .unwrap()
+            .sample(&mut rng);
+        let est = LmmseDecoder::new().decode(&run);
+        assert!(exact_recovery(&est, run.ground_truth()));
+    }
+
+    #[test]
+    fn recovers_under_gaussian_noise() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let run = Instance::builder(200)
+            .k(3)
+            .queries(300)
+            .noise(NoiseModel::gaussian(1.0))
+            .build()
+            .unwrap()
+            .sample(&mut rng);
+        let est = LmmseDecoder::new().decode(&run);
+        assert!(exact_recovery(&est, run.ground_truth()));
+    }
+
+    #[test]
+    fn ridge_derivation_scales_with_noise() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let quiet = Instance::builder(100)
+            .k(2)
+            .queries(80)
+            .noise(NoiseModel::gaussian(0.5))
+            .build()
+            .unwrap()
+            .sample(&mut rng);
+        let loud = Instance::builder(100)
+            .k(2)
+            .queries(80)
+            .noise(NoiseModel::gaussian(5.0))
+            .build()
+            .unwrap()
+            .sample(&mut rng);
+        let r_quiet = LmmseDecoder::new().solve(&quiet).ridge;
+        let r_loud = LmmseDecoder::new().solve(&loud).ridge;
+        assert!(r_loud > r_quiet);
+    }
+
+    #[test]
+    fn explicit_ridge_is_respected() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let run = Instance::builder(100)
+            .k(2)
+            .queries(80)
+            .build()
+            .unwrap()
+            .sample(&mut rng);
+        let out = LmmseDecoder::with_config(LmmseConfig {
+            ridge: Some(0.7),
+            ..LmmseConfig::default()
+        })
+        .solve(&run);
+        assert_eq!(out.ridge, 0.7);
+    }
+
+    #[test]
+    #[should_panic(expected = "ridge")]
+    fn rejects_nonpositive_ridge() {
+        LmmseDecoder::with_config(LmmseConfig {
+            ridge: Some(0.0),
+            ..LmmseConfig::default()
+        });
+    }
+}

@@ -1,0 +1,449 @@
+//! Annealed Markov-chain Monte Carlo over weight-`k` assignments.
+//!
+//! The posterior of the pooled data problem is uniform over weight-`k`
+//! vectors reweighted by the observation likelihood, so a Metropolis chain
+//! that swaps one one-agent against one zero-agent per step explores
+//! exactly the support of the posterior. With a slowly increasing inverse
+//! temperature the chain anneals toward the maximum-likelihood assignment;
+//! its time-average visit frequencies estimate the posterior marginals.
+//!
+//! Each proposal touches only the queries adjacent to the two swapped
+//! agents, so a step costs `O(Δ*)` energy evaluations — the same locality
+//! the paper's greedy algorithm exploits, which is what makes the sampler
+//! usable at `n = 10³..10⁴` as a near-ML reference where exhaustive search
+//! (`MlDecoder`) is long gone.
+
+use crate::likelihood::{moment_matched_energy, query_log_likelihood};
+use npd_core::{Decoder, Estimate, GreedyDecoder, NoiseModel, Run};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Which per-query energy the chain minimizes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EnergyKind {
+    /// Moment-matched Gaussian surrogate (fast; exact for the noisy query
+    /// model up to the variance floor). The default.
+    #[default]
+    Gaussian,
+    /// Exact negative log-likelihood (binomial convolution under the
+    /// channel). Falls back to the Gaussian surrogate for the noiseless
+    /// model, whose exact likelihood is a hard indicator that leaves the
+    /// chain no gradient to follow.
+    Exact,
+}
+
+/// How the chain is initialized.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InitKind {
+    /// Start from the greedy estimate (Algorithm 1); the chain then acts as
+    /// the local error-correcting second step the paper's conclusion asks
+    /// about. The default.
+    #[default]
+    Greedy,
+    /// Start from the first `k` agents (an arbitrary fixed state; useful to
+    /// measure how much the greedy warm start is worth).
+    Cold,
+}
+
+/// Tuning knobs of the annealed sampler.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct McmcConfig {
+    /// Total number of swap proposals.
+    pub steps: usize,
+    /// Initial inverse temperature.
+    pub beta_start: f64,
+    /// Final inverse temperature (geometric schedule).
+    pub beta_end: f64,
+    /// RNG seed — the decoder is deterministic per (config, run).
+    pub seed: u64,
+    /// Energy function.
+    pub energy: EnergyKind,
+    /// Chain initialization.
+    pub init: InitKind,
+}
+
+impl Default for McmcConfig {
+    fn default() -> Self {
+        Self {
+            steps: 20_000,
+            beta_start: 0.3,
+            beta_end: 6.0,
+            seed: 0x9e37_79b9,
+            energy: EnergyKind::Gaussian,
+            init: InitKind::Greedy,
+        }
+    }
+}
+
+/// Diagnostics of one sampler run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct McmcOutput {
+    /// Lowest energy visited.
+    pub best_energy: f64,
+    /// Energy of the initial state.
+    pub initial_energy: f64,
+    /// Accepted proposals.
+    pub accepted: usize,
+    /// Total proposals.
+    pub steps: usize,
+    /// Fraction of time each agent spent in the one-set (posterior marginal
+    /// estimate).
+    pub occupancy: Vec<f64>,
+    /// The lowest-energy assignment (sorted agent ids).
+    pub best_ones: Vec<u32>,
+}
+
+/// Annealed Metropolis decoder.
+///
+/// # Examples
+///
+/// ```
+/// use npd_core::{Decoder, Instance, NoiseModel};
+/// use npd_decoders::McmcDecoder;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+/// let run = Instance::builder(200)
+///     .k(3)
+///     .queries(180)
+///     .noise(NoiseModel::z_channel(0.1))
+///     .build()
+///     .unwrap()
+///     .sample(&mut rng);
+/// let estimate = McmcDecoder::default().decode(&run);
+/// assert_eq!(estimate.k(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct McmcDecoder {
+    config: McmcConfig,
+}
+
+impl McmcDecoder {
+    /// Creates the decoder with default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates the decoder with an explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps == 0` or the temperature schedule is not positive
+    /// and non-decreasing.
+    pub fn with_config(config: McmcConfig) -> Self {
+        assert!(config.steps > 0, "McmcDecoder: steps must be positive");
+        assert!(
+            config.beta_start > 0.0 && config.beta_end >= config.beta_start,
+            "McmcDecoder: need 0 < beta_start <= beta_end (got {} and {})",
+            config.beta_start,
+            config.beta_end
+        );
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &McmcConfig {
+        &self.config
+    }
+
+    /// Runs the chain and returns the full diagnostics.
+    pub fn solve(&self, run: &Run) -> McmcOutput {
+        let n = run.instance().n();
+        let k = run.instance().k();
+        let gamma = run.instance().gamma() as u64;
+        let noise = *run.instance().noise();
+        let energy_kind = effective_energy(self.config.energy, &noise);
+        let results = run.results();
+        let m = results.len();
+
+        // Agent → (query, multiplicity) adjacency.
+        let mut adjacency: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
+        for (j, q) in run.graph().queries().iter().enumerate() {
+            for (a, c) in q.iter() {
+                adjacency[a as usize].push((j as u32, c));
+            }
+        }
+
+        // Initial state.
+        let init_ones: Vec<u32> = match self.config.init {
+            InitKind::Greedy => GreedyDecoder::new().decode(run).ones().to_vec(),
+            InitKind::Cold => (0..k as u32).collect(),
+        };
+        let mut is_one = vec![false; n];
+        for &a in &init_ones {
+            is_one[a as usize] = true;
+        }
+        let mut ones: Vec<u32> = init_ones;
+        let mut zeros: Vec<u32> = (0..n as u32).filter(|&a| !is_one[a as usize]).collect();
+        // Position of each agent inside its current list.
+        let mut position = vec![0usize; n];
+        for (i, &a) in ones.iter().enumerate() {
+            position[a as usize] = i;
+        }
+        for (i, &a) in zeros.iter().enumerate() {
+            position[a as usize] = i;
+        }
+
+        // One-slot counts per query under the current state.
+        let mut c1 = vec![0i64; m];
+        for (j, q) in run.graph().queries().iter().enumerate() {
+            c1[j] = q
+                .iter()
+                .filter(|&(a, _)| is_one[a as usize])
+                .map(|(_, c)| c as i64)
+                .sum();
+        }
+
+        let query_energy = |j: usize, count: i64| -> f64 {
+            debug_assert!((0..=gamma as i64).contains(&count));
+            match energy_kind {
+                EnergyKind::Gaussian => {
+                    moment_matched_energy(&noise, gamma, count as u64, results[j])
+                }
+                EnergyKind::Exact => {
+                    -query_log_likelihood(&noise, gamma, count as u64, results[j])
+                }
+            }
+        };
+
+        let mut energy: f64 = (0..m).map(|j| query_energy(j, c1[j])).sum();
+        let initial_energy = energy;
+        let mut best_energy = energy;
+        let mut best_ones = ones.clone();
+
+        // Occupancy bookkeeping: accumulate the step index at which each
+        // agent entered/left the one-set; O(1) per accepted swap.
+        let mut entered = vec![0usize; n];
+        let mut occupancy_steps = vec![0usize; n];
+
+        let mut rng = SmallRng::seed_from_u64(self.config.seed);
+        let beta_ratio = self.config.beta_end / self.config.beta_start;
+        let mut accepted = 0;
+        let mut delta: HashMap<u32, i64> = HashMap::new();
+
+        for step in 0..self.config.steps {
+            if ones.is_empty() || zeros.is_empty() {
+                break; // degenerate k ∈ {0, n}: nothing to swap
+            }
+            let frac = if self.config.steps > 1 {
+                step as f64 / (self.config.steps - 1) as f64
+            } else {
+                1.0
+            };
+            let beta = self.config.beta_start * beta_ratio.powf(frac);
+
+            let pos_out = rng.gen_range(0..ones.len());
+            let pos_in = rng.gen_range(0..zeros.len());
+            let agent_out = ones[pos_out];
+            let agent_in = zeros[pos_in];
+
+            delta.clear();
+            for &(j, c) in &adjacency[agent_out as usize] {
+                *delta.entry(j).or_insert(0) -= c as i64;
+            }
+            for &(j, c) in &adjacency[agent_in as usize] {
+                *delta.entry(j).or_insert(0) += c as i64;
+            }
+            let mut diff = 0.0;
+            for (&j, &d) in &delta {
+                if d != 0 {
+                    let j = j as usize;
+                    diff += query_energy(j, c1[j] + d) - query_energy(j, c1[j]);
+                }
+            }
+
+            let accept = diff <= 0.0 || rng.gen::<f64>() < (-beta * diff).exp();
+            if accept {
+                accepted += 1;
+                energy += diff;
+                for (&j, &d) in &delta {
+                    c1[j as usize] += d;
+                }
+                // Swap membership and occupancy accounting.
+                occupancy_steps[agent_out as usize] += step - entered[agent_out as usize];
+                entered[agent_in as usize] = step;
+                is_one[agent_out as usize] = false;
+                is_one[agent_in as usize] = true;
+                ones[pos_out] = agent_in;
+                zeros[pos_in] = agent_out;
+                position[agent_in as usize] = pos_out;
+                position[agent_out as usize] = pos_in;
+                if energy < best_energy {
+                    best_energy = energy;
+                    best_ones = ones.clone();
+                }
+            }
+        }
+
+        // Close the occupancy intervals of agents still in the one-set.
+        for &a in &ones {
+            occupancy_steps[a as usize] += self.config.steps - entered[a as usize];
+        }
+        let occupancy: Vec<f64> = occupancy_steps
+            .iter()
+            .map(|&s| s as f64 / self.config.steps as f64)
+            .collect();
+        best_ones.sort_unstable();
+
+        McmcOutput {
+            best_energy,
+            initial_energy,
+            accepted,
+            steps: self.config.steps,
+            occupancy,
+            best_ones,
+        }
+    }
+}
+
+/// The noiseless exact likelihood is an indicator — useless as an annealing
+/// energy — so `Exact` silently degrades to the Gaussian surrogate there.
+fn effective_energy(requested: EnergyKind, noise: &NoiseModel) -> EnergyKind {
+    match (requested, noise) {
+        (EnergyKind::Exact, NoiseModel::Noiseless) => EnergyKind::Gaussian,
+        (kind, _) => kind,
+    }
+}
+
+impl Decoder for McmcDecoder {
+    fn decode(&self, run: &Run) -> Estimate {
+        let out = self.solve(run);
+        let mut bits = vec![false; run.instance().n()];
+        for &a in &out.best_ones {
+            bits[a as usize] = true;
+        }
+        Estimate::from_parts(bits, out.occupancy)
+    }
+
+    fn name(&self) -> &'static str {
+        "annealed-mcmc"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npd_core::{exact_recovery, Instance};
+    use rand::rngs::StdRng;
+
+    fn easy_run(noise: NoiseModel, seed: u64) -> Run {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Instance::builder(200)
+            .k(3)
+            .queries(200)
+            .noise(noise)
+            .build()
+            .unwrap()
+            .sample(&mut rng)
+    }
+
+    #[test]
+    fn recovers_easy_z_channel() {
+        let run = easy_run(NoiseModel::z_channel(0.1), 21);
+        let est = McmcDecoder::new().decode(&run);
+        assert!(exact_recovery(&est, run.ground_truth()));
+    }
+
+    #[test]
+    fn cold_start_recovers_noiseless() {
+        let run = easy_run(NoiseModel::Noiseless, 22);
+        let dec = McmcDecoder::with_config(McmcConfig {
+            init: InitKind::Cold,
+            steps: 60_000,
+            ..McmcConfig::default()
+        });
+        let est = dec.decode(&run);
+        assert!(exact_recovery(&est, run.ground_truth()));
+    }
+
+    #[test]
+    fn best_energy_never_exceeds_initial() {
+        let run = easy_run(NoiseModel::channel(0.2, 0.05), 23);
+        let out = McmcDecoder::with_config(McmcConfig {
+            init: InitKind::Cold,
+            ..McmcConfig::default()
+        })
+        .solve(&run);
+        assert!(out.best_energy <= out.initial_energy);
+        assert!(out.accepted > 0);
+    }
+
+    #[test]
+    fn deterministic_per_config() {
+        let run = easy_run(NoiseModel::gaussian(1.0), 24);
+        let dec = McmcDecoder::new();
+        let a = dec.solve(&run);
+        let b = dec.solve(&run);
+        assert_eq!(a, b);
+        // From a cold start the burn-in path depends on the seed, so the
+        // time-averaged occupancies differ (a greedy warm start on an easy
+        // instance would sit at the optimum and never accept a swap).
+        let cold = |seed| {
+            McmcDecoder::with_config(McmcConfig {
+                seed,
+                init: InitKind::Cold,
+                ..McmcConfig::default()
+            })
+            .solve(&run)
+        };
+        assert_ne!(cold(1).occupancy, cold(7).occupancy);
+    }
+
+    #[test]
+    fn occupancy_is_a_distribution_over_time() {
+        let run = easy_run(NoiseModel::z_channel(0.3), 25);
+        let out = McmcDecoder::new().solve(&run);
+        assert!(out.occupancy.iter().all(|&o| (0.0..=1.0).contains(&o)));
+        let total: f64 = out.occupancy.iter().sum();
+        // k agents are "one" at every step, so occupancies sum to k.
+        assert!((total - run.instance().k() as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_energy_improves_on_truthlike_instances() {
+        let run = easy_run(NoiseModel::z_channel(0.2), 26);
+        let dec = McmcDecoder::with_config(McmcConfig {
+            energy: EnergyKind::Exact,
+            ..McmcConfig::default()
+        });
+        let est = dec.decode(&run);
+        assert!(exact_recovery(&est, run.ground_truth()));
+    }
+
+    #[test]
+    fn exact_falls_back_for_noiseless() {
+        assert_eq!(
+            effective_energy(EnergyKind::Exact, &NoiseModel::Noiseless),
+            EnergyKind::Gaussian
+        );
+        assert_eq!(
+            effective_energy(EnergyKind::Exact, &NoiseModel::z_channel(0.1)),
+            EnergyKind::Exact
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "steps")]
+    fn rejects_zero_steps() {
+        McmcDecoder::with_config(McmcConfig {
+            steps: 0,
+            ..McmcConfig::default()
+        });
+    }
+
+    #[test]
+    fn handles_degenerate_all_ones() {
+        // k = n leaves nothing to swap; the decoder must not panic.
+        let mut rng = StdRng::seed_from_u64(27);
+        let run = Instance::builder(10)
+            .k(10)
+            .queries(5)
+            .build()
+            .unwrap()
+            .sample(&mut rng);
+        let est = McmcDecoder::new().decode(&run);
+        assert_eq!(est.k(), 10);
+    }
+}

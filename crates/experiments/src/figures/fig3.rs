@@ -1,0 +1,150 @@
+//! Figure 3: required queries under the noisy query model vs noiseless.
+//!
+//! The paper compares the noiseless baseline against Gaussian query noise
+//! (the plot labels `λ = 1`; the prose mentions `λ = 2` — we sweep both, so
+//! either reading is covered), at `θ = 0.25`.
+
+use super::{FigureReport, RunOptions, THETA};
+use crate::output::{loglog_chart, Series};
+use crate::sweep::{default_budget, n_grid, required_queries_sample};
+use crate::{mix_seed, Mode};
+use npd_core::{NoiseModel, Regime};
+
+/// Gaussian noise levels shown (0 = the noiseless reference curve).
+pub const LAMBDA_VALUES: [f64; 3] = [0.0, 1.0, 2.0];
+
+/// Runs the Figure-3 sweep.
+pub fn run(opts: &RunOptions) -> FigureReport {
+    let trials = opts.resolve_trials(5, 25);
+    let max_exp = match opts.mode {
+        Mode::Quick => 4,
+        Mode::Full => 5,
+    };
+    let grid = n_grid(max_exp);
+    let markers = ['*', 'o', 'x'];
+
+    let mut series = Vec::new();
+    let mut csv_rows = Vec::new();
+    let mut notes = Vec::new();
+
+    for (li, &lambda) in LAMBDA_VALUES.iter().enumerate() {
+        let noise = if lambda == 0.0 {
+            NoiseModel::Noiseless
+        } else {
+            NoiseModel::gaussian(lambda)
+        };
+        let label = if lambda == 0.0 {
+            "without noise".to_string()
+        } else {
+            format!("with noise (λ={lambda})")
+        };
+        let mut s = Series::new(label.clone(), markers[li]);
+        for &n in &grid {
+            let budget = default_budget(n, THETA, &noise);
+            let sample = required_queries_sample(
+                n,
+                Regime::sublinear(THETA),
+                noise,
+                trials,
+                budget,
+                mix_seed(0xF360_0000, (li * 1_000_000 + n) as u64),
+                opts.threads,
+            );
+            let theory =
+                npd_theory::bounds::noisy_query_sublinear_queries(n as f64, THETA, 0.05);
+            match sample.median() {
+                Some(median) => {
+                    s.push(n as f64, median);
+                    csv_rows.push(vec![
+                        lambda.to_string(),
+                        n.to_string(),
+                        sample.k.to_string(),
+                        format!("{median:.1}"),
+                        sample.samples.len().to_string(),
+                        sample.failures.to_string(),
+                        format!("{theory:.1}"),
+                    ]);
+                }
+                None => csv_rows.push(vec![
+                    lambda.to_string(),
+                    n.to_string(),
+                    sample.k.to_string(),
+                    "NA".into(),
+                    "0".into(),
+                    sample.failures.to_string(),
+                    format!("{theory:.1}"),
+                ]),
+            }
+        }
+        if let (Some(first), Some(last)) = (s.points.first(), s.points.last()) {
+            notes.push(format!(
+                "{label}: median m {:.0} -> {:.0} over n={}..{}",
+                first.1,
+                last.1,
+                grid.first().unwrap(),
+                grid.last().unwrap()
+            ));
+        }
+        series.push(s);
+    }
+
+    let rendered = loglog_chart(
+        "Figure 3 — required queries m vs n (noisy query model, θ=0.25)",
+        &series,
+        64,
+        20,
+    );
+
+    FigureReport {
+        name: "fig3".into(),
+        rendered,
+        csv_headers: vec![
+            "lambda".into(),
+            "n".into(),
+            "k".into(),
+            "median_m".into(),
+            "successes".into(),
+            "failures".into(),
+            "theory_m".into(),
+        ],
+        csv_rows,
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_noise_costs_queries_at_fixed_n() {
+        let n = 200;
+        let medians: Vec<f64> = [0.0, 2.0]
+            .iter()
+            .map(|&lambda| {
+                let noise = if lambda == 0.0 {
+                    NoiseModel::Noiseless
+                } else {
+                    NoiseModel::gaussian(lambda)
+                };
+                required_queries_sample(
+                    n,
+                    Regime::sublinear(THETA),
+                    noise,
+                    5,
+                    default_budget(n, THETA, &noise),
+                    mix_seed(2, lambda.to_bits()),
+                    2,
+                )
+                .median()
+                .expect("separates")
+            })
+            .collect();
+        assert!(
+            medians[1] > medians[0],
+            "λ=2 median {} not above noiseless {}",
+            medians[1],
+            medians[0]
+        );
+    }
+}

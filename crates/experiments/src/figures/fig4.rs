@@ -1,0 +1,154 @@
+//! Figure 4: required queries under the general noisy channel, `p = q`.
+//!
+//! The paper sweeps symmetric error rates `p = q = 10⁻¹ … 10⁻⁵` at
+//! `θ = 0.25` and highlights the regime crossover predicted by the remark
+//! after Theorem 1: while `q ≪ k/n` the curve follows the Z-channel
+//! `k·ln n` shape, and once `q ≫ k/n` it bends up to `n·ln n` growth — for
+//! `q = 10⁻³` the bend sits near `n ≈ 3000`.
+
+use super::{FigureReport, RunOptions, THETA};
+use crate::output::{loglog_chart, Series};
+use crate::sweep::{default_budget, n_grid, required_queries_sample};
+use crate::{mix_seed, Mode};
+use npd_core::{NoiseModel, Regime};
+
+/// Symmetric error rates of the figure.
+pub const Q_VALUES: [f64; 5] = [1e-1, 1e-2, 1e-3, 1e-4, 1e-5];
+
+/// Runs the Figure-4 sweep.
+pub fn run(opts: &RunOptions) -> FigureReport {
+    let trials = opts.resolve_trials(3, 10);
+    let max_exp = match opts.mode {
+        Mode::Quick => 4,
+        Mode::Full => 5,
+    };
+    let grid = n_grid(max_exp);
+    let markers = ['1', '2', '3', '4', '5'];
+
+    let mut series = Vec::new();
+    let mut csv_rows = Vec::new();
+    let mut notes = Vec::new();
+
+    for (qi, &q) in Q_VALUES.iter().enumerate() {
+        let noise = NoiseModel::channel(q, q);
+        let mut s = Series::new(format!("q=1e-{}", qi + 1), markers[qi]);
+        for &n in &grid {
+            // The q·n·ln n regime can demand very large budgets at n = 10⁵;
+            // cap to keep worst-case runtime bounded and report failures.
+            let budget = default_budget(n, THETA, &noise).min(400_000);
+            let sample = required_queries_sample(
+                n,
+                Regime::sublinear(THETA),
+                noise,
+                trials,
+                budget,
+                mix_seed(0xF460_0000, (qi * 1_000_000 + n) as u64),
+                opts.threads,
+            );
+            let theory = npd_theory::bounds::noisy_channel_sublinear_queries(
+                n as f64, THETA, q, q, 0.05,
+            );
+            match sample.median() {
+                Some(median) => {
+                    s.push(n as f64, median);
+                    csv_rows.push(vec![
+                        format!("{q:e}"),
+                        n.to_string(),
+                        sample.k.to_string(),
+                        format!("{median:.1}"),
+                        sample.samples.len().to_string(),
+                        sample.failures.to_string(),
+                        format!("{theory:.1}"),
+                    ]);
+                }
+                None => csv_rows.push(vec![
+                    format!("{q:e}"),
+                    n.to_string(),
+                    sample.k.to_string(),
+                    "NA".into(),
+                    "0".into(),
+                    sample.failures.to_string(),
+                    format!("{theory:.1}"),
+                ]),
+            }
+        }
+        series.push(s);
+    }
+
+    // Crossover diagnostic for the q = 10⁻³ curve (the paper's example):
+    // compare growth before and after the predicted bend.
+    if let Some(s) = series.get(2) {
+        if s.points.len() >= 3 {
+            let (n0, m0) = s.points[0];
+            let (n1, m1) = *s.points.last().unwrap();
+            let slope = ((m1 / m0).ln()) / ((n1 / n0).ln());
+            notes.push(format!(
+                "q=1e-3 curve: average log-log slope {slope:.2} over n={n0}..{n1} \
+                 (k ln n regime ≈ θ = 0.25, n ln n regime ≈ 1)"
+            ));
+        }
+    }
+    notes.push(
+        "Regime crossover: larger q bends from the k·ln n shape to n·ln n growth \
+         once q·n exceeds k (remark after Theorem 1)."
+            .into(),
+    );
+
+    let rendered = loglog_chart(
+        "Figure 4 — required queries m vs n (noisy channel p=q, θ=0.25)",
+        &series,
+        64,
+        20,
+    );
+
+    FigureReport {
+        name: "fig4".into(),
+        rendered,
+        csv_headers: vec![
+            "q".into(),
+            "n".into(),
+            "k".into(),
+            "median_m".into(),
+            "successes".into(),
+            "failures".into(),
+            "theory_m".into(),
+        ],
+        csv_rows,
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn larger_q_needs_more_queries_at_moderate_n() {
+        // At n = 1000 (k ≈ 6) the q = 0.1 channel is deep in the q·n
+        // regime and must require far more queries than q = 10⁻⁵.
+        let n = 1000;
+        let medians: Vec<f64> = [1e-1, 1e-5]
+            .iter()
+            .map(|&q| {
+                let noise = NoiseModel::channel(q, q);
+                required_queries_sample(
+                    n,
+                    Regime::sublinear(THETA),
+                    noise,
+                    3,
+                    default_budget(n, THETA, &noise),
+                    mix_seed(3, q.to_bits()),
+                    2,
+                )
+                .median()
+                .expect("separates")
+            })
+            .collect();
+        assert!(
+            medians[0] > 2.0 * medians[1],
+            "q=0.1 median {} vs q=1e-5 median {}",
+            medians[0],
+            medians[1]
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! Figure 5: box plots of the required number of queries.
+//!
+//! For `n ∈ {10³, 10⁴, 10⁵}` the paper shows the distribution of the
+//! required query count for the Z-channel (`p ∈ {0.1, 0.3, 0.5}`) and the
+//! noisy query model (`λ ∈ {0, 1, 2, 3}`), `θ = 0.25`.
+
+use super::{FigureReport, RunOptions, THETA};
+use crate::output::boxplot_line;
+use crate::sweep::{default_budget, required_queries_sample};
+use crate::{mix_seed, Mode};
+use npd_core::{NoiseModel, Regime};
+use std::fmt::Write as _;
+
+/// The configurations of the figure, in display order.
+pub fn configurations() -> Vec<(String, NoiseModel)> {
+    let mut configs = Vec::new();
+    for p in [0.1, 0.3, 0.5] {
+        configs.push((format!("p={p}"), NoiseModel::z_channel(p)));
+    }
+    for lambda in [0.0, 1.0, 2.0, 3.0] {
+        let noise = if lambda == 0.0 {
+            NoiseModel::Noiseless
+        } else {
+            NoiseModel::gaussian(lambda)
+        };
+        configs.push((format!("λ={lambda}"), noise));
+    }
+    configs
+}
+
+/// Runs the Figure-5 box-plot study.
+pub fn run(opts: &RunOptions) -> FigureReport {
+    let trials = opts.resolve_trials(10, 20);
+    let n_values: Vec<usize> = match opts.mode {
+        Mode::Quick => vec![1_000, 10_000],
+        Mode::Full => vec![1_000, 10_000, 100_000],
+    };
+    let configs = configurations();
+
+    let mut rendered = String::new();
+    let _ = writeln!(
+        rendered,
+        "Figure 5 — box plots of required queries (θ=0.25, {} trials/config)",
+        trials
+    );
+    let mut csv_rows = Vec::new();
+    let mut notes = Vec::new();
+
+    for &n in &n_values {
+        let _ = writeln!(rendered, "\n  n = {n}:");
+        // Collect all samples for this n to fix a common axis.
+        let mut results = Vec::new();
+        for (ci, (label, noise)) in configs.iter().enumerate() {
+            let budget = default_budget(n, THETA, noise).min(400_000);
+            let sample = required_queries_sample(
+                n,
+                Regime::sublinear(THETA),
+                *noise,
+                trials,
+                budget,
+                mix_seed(0xF560_0000, (ci * 1_000_000 + n) as u64),
+                opts.threads,
+            );
+            results.push((label.clone(), sample));
+        }
+        let lo = results
+            .iter()
+            .filter_map(|(_, s)| s.samples.iter().copied().fold(None, min_fold))
+            .fold(f64::INFINITY, f64::min);
+        let hi = results
+            .iter()
+            .filter_map(|(_, s)| s.samples.iter().copied().fold(None, max_fold))
+            .fold(0.0f64, f64::max)
+            .max(lo + 1.0);
+
+        for (label, sample) in &results {
+            match sample.boxplot() {
+                Some(bp) => {
+                    let line = boxplot_line(&bp, lo, hi, 48, true);
+                    let _ = writeln!(
+                        rendered,
+                        "    {label:>7} |{line}| med={:.0}",
+                        bp.median
+                    );
+                    csv_rows.push(vec![
+                        n.to_string(),
+                        label.clone(),
+                        format!("{:.1}", bp.min),
+                        format!("{:.1}", bp.q1),
+                        format!("{:.1}", bp.median),
+                        format!("{:.1}", bp.q3),
+                        format!("{:.1}", bp.max),
+                        sample.failures.to_string(),
+                    ]);
+                }
+                None => {
+                    let _ = writeln!(rendered, "    {label:>7} (all {trials} trials failed)");
+                    csv_rows.push(vec![
+                        n.to_string(),
+                        label.clone(),
+                        "NA".into(),
+                        "NA".into(),
+                        "NA".into(),
+                        "NA".into(),
+                        "NA".into(),
+                        sample.failures.to_string(),
+                    ]);
+                }
+            }
+        }
+        if let (Some((_, first)), Some((_, worst))) = (results.first(), results.get(2)) {
+            if let (Some(a), Some(b)) = (first.median(), worst.median()) {
+                notes.push(format!(
+                    "n={n}: median m rises from {a:.0} (p=0.1) to {b:.0} (p=0.5)"
+                ));
+            }
+        }
+    }
+    let _ = writeln!(rendered, "\n  scale: log10(m); [=#=] box = quartiles/median");
+
+    FigureReport {
+        name: "fig5".into(),
+        rendered,
+        csv_headers: vec![
+            "n".into(),
+            "config".into(),
+            "min".into(),
+            "q1".into(),
+            "median".into(),
+            "q3".into(),
+            "max".into(),
+            "failures".into(),
+        ],
+        csv_rows,
+        notes,
+    }
+}
+
+fn min_fold(acc: Option<f64>, x: f64) -> Option<f64> {
+    Some(acc.map_or(x, |a| a.min(x)))
+}
+
+fn max_fold(acc: Option<f64>, x: f64) -> Option<f64> {
+    Some(acc.map_or(x, |a| a.max(x)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configurations_cover_paper_grid() {
+        let configs = configurations();
+        assert_eq!(configs.len(), 7);
+        assert_eq!(configs[0].0, "p=0.1");
+        assert_eq!(configs[3].0, "λ=0");
+        assert_eq!(configs[6].0, "λ=3");
+    }
+
+    #[test]
+    fn fold_helpers() {
+        assert_eq!(min_fold(None, 3.0), Some(3.0));
+        assert_eq!(min_fold(Some(1.0), 3.0), Some(1.0));
+        assert_eq!(max_fold(Some(1.0), 3.0), Some(3.0));
+    }
+}

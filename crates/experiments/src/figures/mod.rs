@@ -1,0 +1,110 @@
+//! One module per reproduced figure; see the crate docs for the index.
+
+pub mod ablations;
+pub mod adaptive;
+pub mod comm;
+pub mod decoders;
+pub mod designs;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod linear;
+pub mod theorems;
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's figure-wide sparsity exponent: Figures 2–5 fix `θ = 0.25`.
+pub const THETA: f64 = 0.25;
+
+/// Rendered result of one experiment, ready for the terminal and for CSV
+/// export.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureReport {
+    /// Short identifier (`fig2`, `theorems`, …) used for file names.
+    pub name: String,
+    /// Human-readable rendering (chart/table) for the terminal.
+    pub rendered: String,
+    /// CSV header row.
+    pub csv_headers: Vec<String>,
+    /// CSV data rows.
+    pub csv_rows: Vec<Vec<String>>,
+    /// Headline observations (used to fill EXPERIMENTS.md).
+    pub notes: Vec<String>,
+}
+
+impl FigureReport {
+    /// Writes the CSV artifact under `dir` as `<name>.csv`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_csv(&self, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
+        let headers: Vec<&str> = self.csv_headers.iter().map(String::as_str).collect();
+        crate::output::write_csv(dir, &format!("{}.csv", self.name), &headers, &self.csv_rows)
+    }
+}
+
+/// Shared knobs for all figure runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOptions {
+    /// Quick or paper-scale grids.
+    pub mode: crate::Mode,
+    /// Overrides the per-figure default trial count when set.
+    pub trials: Option<usize>,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl RunOptions {
+    /// Quick-mode options with the machine's parallelism.
+    pub fn quick() -> Self {
+        Self {
+            mode: crate::Mode::Quick,
+            trials: None,
+            threads: crate::runner::default_threads(),
+        }
+    }
+
+    /// Resolves the trial count: explicit override, else mode default.
+    pub fn resolve_trials(&self, quick_default: usize, full_default: usize) -> usize {
+        self.trials.unwrap_or(match self.mode {
+            crate::Mode::Quick => quick_default,
+            crate::Mode::Full => full_default,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_trials_prefers_override() {
+        let mut opts = RunOptions::quick();
+        assert_eq!(opts.resolve_trials(5, 25), 5);
+        opts.trials = Some(9);
+        assert_eq!(opts.resolve_trials(5, 25), 9);
+        opts.mode = crate::Mode::Full;
+        opts.trials = None;
+        assert_eq!(opts.resolve_trials(5, 25), 25);
+    }
+
+    #[test]
+    fn report_csv_written() {
+        let report = FigureReport {
+            name: "unit-test-report".into(),
+            rendered: "chart".into(),
+            csv_headers: vec!["a".into()],
+            csv_rows: vec![vec!["1".into()]],
+            notes: vec![],
+        };
+        let dir = std::env::temp_dir().join("npd-figures-test");
+        let path = report.write_csv(&dir).unwrap();
+        assert!(path.ends_with("unit-test-report.csv"));
+        assert!(std::fs::read_to_string(path).unwrap().contains("a\n1"));
+    }
+}

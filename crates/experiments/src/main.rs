@@ -1,0 +1,191 @@
+//! `repro` — regenerate the paper's figures from the command line.
+//!
+//! ```text
+//! repro <target> [--full] [--out DIR] [--trials N] [--threads N]
+//!
+//! targets: fig1 fig2 fig3 fig4 fig5 fig6 fig7 theorems comm ablations
+//!          decoders adaptive designs linear all
+//! ```
+
+use npd_experiments::figures::{self, FigureReport, RunOptions};
+use npd_experiments::{runner, Mode};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse(&args) {
+        Ok(cli) => execute(cli),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage: repro <fig1|fig2|fig3|fig4|fig5|fig6|fig7|theorems|comm|ablations\
+                     |decoders|adaptive|designs|linear|all> \
+                     [--full] [--out DIR] [--trials N] [--threads N]";
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Cli {
+    target: String,
+    opts_mode: Mode,
+    out_dir: PathBuf,
+    trials: Option<usize>,
+    threads: usize,
+}
+
+fn parse(args: &[String]) -> Result<Cli, String> {
+    let mut target = None;
+    let mut full = false;
+    let mut out_dir = PathBuf::from("results");
+    let mut trials = None;
+    let mut threads = runner::default_threads();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--full" => full = true,
+            "--out" => {
+                out_dir = PathBuf::from(
+                    it.next().ok_or_else(|| "--out requires a directory".to_string())?,
+                );
+            }
+            "--trials" => {
+                trials = Some(
+                    it.next()
+                        .ok_or_else(|| "--trials requires a number".to_string())?
+                        .parse::<usize>()
+                        .map_err(|e| format!("--trials: {e}"))?,
+                );
+            }
+            "--threads" => {
+                threads = it
+                    .next()
+                    .ok_or_else(|| "--threads requires a number".to_string())?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--threads: {e}"))?
+                    .max(1);
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            name => {
+                if target.is_some() {
+                    return Err(format!("unexpected extra argument {name}"));
+                }
+                target = Some(name.to_string());
+            }
+        }
+    }
+    let target = target.ok_or_else(|| "a target is required".to_string())?;
+    const KNOWN: [&str; 15] = [
+        "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "theorems", "comm",
+        "ablations", "decoders", "adaptive", "designs", "linear", "all",
+    ];
+    if !KNOWN.contains(&target.as_str()) {
+        return Err(format!("unknown target {target}"));
+    }
+    Ok(Cli {
+        target,
+        opts_mode: Mode::from_full_flag(full),
+        out_dir,
+        trials,
+        threads,
+    })
+}
+
+fn execute(cli: Cli) -> ExitCode {
+    let opts = RunOptions {
+        mode: cli.opts_mode,
+        trials: cli.trials,
+        threads: cli.threads,
+    };
+    let targets: Vec<&str> = if cli.target == "all" {
+        vec![
+            "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "theorems", "comm",
+            "ablations", "decoders", "adaptive", "designs", "linear",
+        ]
+    } else {
+        vec![cli.target.as_str()]
+    };
+
+    for target in targets {
+        let start = Instant::now();
+        let report = run_target(target, &opts);
+        let elapsed = start.elapsed();
+        println!("{}", report.rendered);
+        for note in &report.notes {
+            println!("  note: {note}");
+        }
+        match report.write_csv(&cli.out_dir) {
+            Ok(path) => println!("  csv: {} ({elapsed:.1?})\n", path.display()),
+            Err(e) => {
+                eprintln!("error: writing CSV for {target}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_target(target: &str, opts: &RunOptions) -> FigureReport {
+    match target {
+        "fig1" => figures::fig1::run(),
+        "fig2" => figures::fig2::run(opts),
+        "fig3" => figures::fig3::run(opts),
+        "fig4" => figures::fig4::run(opts),
+        "fig5" => figures::fig5::run(opts),
+        "fig6" => figures::fig6::run(opts),
+        "fig7" => figures::fig7::run(opts),
+        "theorems" => figures::theorems::run(opts),
+        "comm" => figures::comm::run(opts),
+        "ablations" => figures::ablations::run(opts),
+        "decoders" => figures::decoders::run(opts),
+        "adaptive" => figures::adaptive::run(opts),
+        "designs" => figures::designs::run(opts),
+        "linear" => figures::linear::run(opts),
+        other => unreachable!("target {other} validated in parse()"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_minimal() {
+        let cli = parse(&args(&["fig2"])).unwrap();
+        assert_eq!(cli.target, "fig2");
+        assert_eq!(cli.opts_mode, Mode::Quick);
+        assert_eq!(cli.out_dir, PathBuf::from("results"));
+        assert_eq!(cli.trials, None);
+    }
+
+    #[test]
+    fn parse_all_flags() {
+        let cli = parse(&args(&[
+            "all", "--full", "--out", "/tmp/x", "--trials", "7", "--threads", "3",
+        ]))
+        .unwrap();
+        assert_eq!(cli.target, "all");
+        assert_eq!(cli.opts_mode, Mode::Full);
+        assert_eq!(cli.out_dir, PathBuf::from("/tmp/x"));
+        assert_eq!(cli.trials, Some(7));
+        assert_eq!(cli.threads, 3);
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(parse(&args(&[])).is_err());
+        assert!(parse(&args(&["figX"])).is_err());
+        assert!(parse(&args(&["fig2", "--bogus"])).is_err());
+        assert!(parse(&args(&["fig2", "--trials", "abc"])).is_err());
+        assert!(parse(&args(&["fig2", "fig3"])).is_err());
+    }
+}

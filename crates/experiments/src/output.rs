@@ -1,0 +1,309 @@
+//! CSV artifacts and ASCII rendering.
+//!
+//! The paper's figures are log-log line charts and box plots; this module
+//! renders both as plain text so `repro` output is inspectable in a
+//! terminal, and writes the underlying data as CSV for external plotting.
+
+use npd_numerics::stats::BoxPlot;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A named data series for charts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// `(x, y)` points.
+    pub points: Vec<(f64, f64)>,
+    /// Marker character used in the ASCII chart.
+    pub marker: char,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(name: impl Into<String>, marker: char) -> Self {
+        Self {
+            name: name.into(),
+            points: Vec::new(),
+            marker,
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+}
+
+/// Renders series on a log-log ASCII grid (the shape of Figures 2–4).
+///
+/// Points with non-positive coordinates are skipped (cannot be drawn in log
+/// space). Returns a self-contained multi-line string including a legend.
+pub fn loglog_chart(title: &str, series: &[Series], width: usize, height: usize) -> String {
+    chart_impl(title, series, width, height, true, true)
+}
+
+/// Renders series on a lin-lin ASCII grid (the shape of Figures 6–7).
+pub fn linear_chart(title: &str, series: &[Series], width: usize, height: usize) -> String {
+    chart_impl(title, series, width, height, false, false)
+}
+
+fn chart_impl(
+    title: &str,
+    series: &[Series],
+    width: usize,
+    height: usize,
+    log_x: bool,
+    log_y: bool,
+) -> String {
+    let width = width.max(16);
+    let height = height.max(8);
+    let tx = |x: f64| if log_x { x.log10() } else { x };
+    let ty = |y: f64| if log_y { y.log10() } else { y };
+
+    let mut pts: Vec<(usize, f64, f64)> = Vec::new();
+    for (si, s) in series.iter().enumerate() {
+        for &(x, y) in &s.points {
+            if (log_x && x <= 0.0) || (log_y && y <= 0.0) {
+                continue;
+            }
+            pts.push((si, tx(x), ty(y)));
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    if pts.is_empty() {
+        let _ = writeln!(out, "  (no drawable points)");
+        return out;
+    }
+    let (mut x_lo, mut x_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_lo, mut y_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(_, x, y) in &pts {
+        x_lo = x_lo.min(x);
+        x_hi = x_hi.max(x);
+        y_lo = y_lo.min(y);
+        y_hi = y_hi.max(y);
+    }
+    if (x_hi - x_lo).abs() < 1e-12 {
+        x_hi = x_lo + 1.0;
+    }
+    if (y_hi - y_lo).abs() < 1e-12 {
+        y_hi = y_lo + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for &(si, x, y) in &pts {
+        let col = ((x - x_lo) / (x_hi - x_lo) * (width - 1) as f64).round() as usize;
+        let row = ((y - y_lo) / (y_hi - y_lo) * (height - 1) as f64).round() as usize;
+        let row = height - 1 - row;
+        grid[row][col.min(width - 1)] = series[si].marker;
+    }
+
+    let fmt_axis = |v: f64, log: bool| -> String {
+        if log {
+            format!("{:.3e}", 10f64.powf(v))
+        } else {
+            format!("{v:.1}")
+        }
+    };
+    let _ = writeln!(
+        out,
+        "  y: {} .. {}",
+        fmt_axis(y_lo, log_y),
+        fmt_axis(y_hi, log_y)
+    );
+    for row in &grid {
+        let line: String = row.iter().collect();
+        let _ = writeln!(out, "  |{line}|");
+    }
+    let _ = writeln!(
+        out,
+        "  x: {} .. {}",
+        fmt_axis(x_lo, log_x),
+        fmt_axis(x_hi, log_x)
+    );
+    for s in series {
+        let _ = writeln!(out, "  {} {}", s.marker, s.name);
+    }
+    out
+}
+
+/// Renders one box plot line: `min ├──[q1│median│q3]──┤ max` scaled into
+/// `width` columns over `[lo, hi]` (log10 if `log` is set).
+pub fn boxplot_line(bp: &BoxPlot, lo: f64, hi: f64, width: usize, log: bool) -> String {
+    let width = width.max(20);
+    let t = |v: f64| -> usize {
+        let v = if log { v.max(1e-300).log10() } else { v };
+        let lo_t = if log { lo.max(1e-300).log10() } else { lo };
+        let hi_t = if log { hi.max(1e-300).log10() } else { hi };
+        let span = (hi_t - lo_t).max(1e-12);
+        (((v - lo_t) / span) * (width - 1) as f64)
+            .round()
+            .clamp(0.0, (width - 1) as f64) as usize
+    };
+    let mut line = vec![' '; width];
+    let (wl, q1, med, q3, wh) = (
+        t(bp.whisker_low),
+        t(bp.q1),
+        t(bp.median),
+        t(bp.q3),
+        t(bp.whisker_high),
+    );
+    for cell in line.iter_mut().take(q1).skip(wl) {
+        *cell = '-';
+    }
+    for cell in line.iter_mut().take(wh + 1).skip(q3) {
+        *cell = '-';
+    }
+    for cell in line.iter_mut().take(q3).skip(q1) {
+        *cell = '=';
+    }
+    line[wl] = '|';
+    line[wh.min(width - 1)] = '|';
+    line[q1] = '[';
+    line[q3.min(width - 1)] = ']';
+    line[med.min(width - 1)] = '#';
+    line.into_iter().collect()
+}
+
+/// Renders a fixed-width text table: headers plus rows.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("  ");
+        for (i, cell) in cells.iter().enumerate() {
+            let _ = write!(line, "{:<w$}  ", cell, w = widths[i]);
+        }
+        line.trim_end().to_string()
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    let _ = writeln!(out, "{}", render_row(&header_cells, &widths));
+    let total: usize = widths.iter().sum::<usize>() + 2 * cols + 2;
+    let _ = writeln!(out, "  {}", "-".repeat(total.saturating_sub(2)));
+    for row in rows {
+        let _ = writeln!(out, "{}", render_row(row, &widths));
+    }
+    out
+}
+
+/// Writes a CSV file (header plus rows) under `dir`, creating the directory
+/// if needed. Returns the full path written.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_csv(
+    dir: &Path,
+    file: &str,
+    headers: &[&str],
+    rows: &[Vec<String>],
+) -> io::Result<std::path::PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(file);
+    let mut body = String::new();
+    let _ = writeln!(body, "{}", headers.join(","));
+    for row in rows {
+        let escaped: Vec<String> = row
+            .iter()
+            .map(|cell| {
+                if cell.contains(',') || cell.contains('"') {
+                    format!("\"{}\"", cell.replace('"', "\"\""))
+                } else {
+                    cell.clone()
+                }
+            })
+            .collect();
+        let _ = writeln!(body, "{}", escaped.join(","));
+    }
+    fs::write(&path, body)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_builds() {
+        let mut s = Series::new("p=0.1", '*');
+        s.push(100.0, 50.0);
+        assert_eq!(s.points, vec![(100.0, 50.0)]);
+    }
+
+    #[test]
+    fn loglog_chart_renders_points_and_legend() {
+        let mut s = Series::new("demo", '*');
+        s.push(100.0, 10.0);
+        s.push(1000.0, 100.0);
+        s.push(10000.0, 1000.0);
+        let chart = loglog_chart("title", &[s], 40, 10);
+        assert!(chart.contains("title"));
+        assert!(chart.contains('*'));
+        assert!(chart.contains("demo"));
+        assert!(chart.contains("1.000e2"));
+    }
+
+    #[test]
+    fn chart_skips_nonpositive_in_log_space() {
+        let mut s = Series::new("bad", 'x');
+        s.push(-5.0, 3.0);
+        let chart = loglog_chart("t", &[s], 30, 8);
+        assert!(chart.contains("no drawable points"));
+    }
+
+    #[test]
+    fn linear_chart_handles_flat_series() {
+        let mut s = Series::new("flat", 'o');
+        s.push(0.0, 1.0);
+        s.push(1.0, 1.0);
+        let chart = linear_chart("flat", &[s], 30, 8);
+        assert!(chart.contains('o'));
+    }
+
+    #[test]
+    fn boxplot_line_marks_quartiles() {
+        let bp = BoxPlot::from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]);
+        let line = boxplot_line(&bp, 0.0, 10.0, 40, false);
+        assert!(line.contains('['));
+        assert!(line.contains(']'));
+        assert!(line.contains('#'));
+        assert_eq!(line.len(), 40);
+    }
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["n", "median"],
+            &[
+                vec!["100".into(), "42".into()],
+                vec!["100000".into(), "1234".into()],
+            ],
+        );
+        assert!(t.contains("n"));
+        assert!(t.contains("median"));
+        assert!(t.contains("100000"));
+    }
+
+    #[test]
+    fn write_csv_roundtrip() {
+        let dir = std::env::temp_dir().join("npd-output-test");
+        let path = write_csv(
+            &dir,
+            "t.csv",
+            &["a", "b"],
+            &[vec!["1".into(), "x,y".into()]],
+        )
+        .unwrap();
+        let content = std::fs::read_to_string(path).unwrap();
+        assert_eq!(content, "a,b\n1,\"x,y\"\n");
+    }
+}

@@ -1,0 +1,183 @@
+//! Shared required-queries sweep machinery for Figures 2–5.
+
+use crate::{mix_seed, runner};
+use npd_core::{IncrementalSim, NoiseModel, Regime};
+use npd_numerics::stats::BoxPlot;
+use serde::{Deserialize, Serialize};
+
+/// The standard half-decade grid of population sizes used by Figures 2–4.
+///
+/// `max_exp10` bounds the grid: `3` yields `10²…10³`, `5` the paper's full
+/// `10²…10⁵`.
+pub fn n_grid(max_exp10: u32) -> Vec<usize> {
+    let mut grid = Vec::new();
+    let mut exp = 2.0f64;
+    while exp <= max_exp10 as f64 + 1e-9 {
+        grid.push(10f64.powf(exp).round() as usize);
+        exp += 0.5;
+    }
+    grid
+}
+
+/// One point of a required-queries sweep: the sample of per-trial required
+/// query counts for a fixed `(n, noise)` configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequiredSample {
+    /// Population size.
+    pub n: usize,
+    /// Number of one-agents.
+    pub k: usize,
+    /// Per-trial required query counts (successful trials only).
+    pub samples: Vec<f64>,
+    /// Trials that hit the query budget without separating.
+    pub failures: usize,
+    /// The budget used.
+    pub max_queries: usize,
+}
+
+impl RequiredSample {
+    /// Median of the successful trials, `None` if all failed.
+    pub fn median(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(npd_numerics::stats::median(&self.samples))
+        }
+    }
+
+    /// Box-plot summary of the successful trials, `None` if all failed.
+    pub fn boxplot(&self) -> Option<BoxPlot> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(BoxPlot::from_slice(&self.samples))
+        }
+    }
+}
+
+/// Measures the required number of queries for one configuration across
+/// `trials` independent runs (parallel over trials).
+///
+/// `seed_salt` decorrelates configurations; trial `i` uses
+/// `mix_seed(seed_salt, i)`.
+pub fn required_queries_sample(
+    n: usize,
+    regime: Regime,
+    noise: NoiseModel,
+    trials: usize,
+    max_queries: usize,
+    seed_salt: u64,
+    threads: usize,
+) -> RequiredSample {
+    let k = regime.k_for(n);
+    let seeds: Vec<u64> = (0..trials as u64).map(|i| mix_seed(seed_salt, i)).collect();
+    let outcomes = runner::parallel_map(&seeds, threads, |&seed| {
+        let mut sim = IncrementalSim::new(n, k, noise, seed);
+        sim.required_queries(max_queries)
+    });
+    let mut samples = Vec::new();
+    let mut failures = 0;
+    for outcome in outcomes {
+        match outcome {
+            Ok(r) => samples.push(r.queries as f64),
+            Err(_) => failures += 1,
+        }
+    }
+    RequiredSample {
+        n,
+        k,
+        samples,
+        failures,
+        max_queries,
+    }
+}
+
+/// A generous per-configuration query budget: a multiple of the relevant
+/// Theorem-1 bound, floored at 200 so tiny instances are not cut short.
+pub fn default_budget(n: usize, theta: f64, noise: &NoiseModel) -> usize {
+    let nf = n as f64;
+    let bound = match *noise {
+        NoiseModel::Noiseless => {
+            npd_theory::bounds::z_channel_sublinear_queries(nf, theta, 0.0, 0.05)
+        }
+        NoiseModel::Channel { p, q } => {
+            npd_theory::bounds::noisy_channel_sublinear_queries(nf, theta, p, q, 0.05)
+        }
+        NoiseModel::Query { .. } => {
+            npd_theory::bounds::noisy_query_sublinear_queries(nf, theta, 0.05)
+        }
+    };
+    ((bound * 4.0) as usize).max(200)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_spans_half_decades() {
+        let g = n_grid(3);
+        assert_eq!(g, vec![100, 316, 1000]);
+        let g5 = n_grid(5);
+        assert_eq!(g5.len(), 7);
+        assert_eq!(*g5.last().unwrap(), 100_000);
+    }
+
+    #[test]
+    fn sample_collects_trials() {
+        let s = required_queries_sample(
+            200,
+            Regime::sublinear(0.25),
+            NoiseModel::Noiseless,
+            4,
+            5_000,
+            1,
+            2,
+        );
+        assert_eq!(s.samples.len() + s.failures, 4);
+        assert!(s.failures == 0, "unexpected failures: {}", s.failures);
+        let median = s.median().unwrap();
+        assert!(median > 5.0 && median < 2_000.0, "median={median}");
+        assert!(s.boxplot().is_some());
+    }
+
+    #[test]
+    fn sample_is_deterministic() {
+        let call = || {
+            required_queries_sample(
+                150,
+                Regime::sublinear(0.25),
+                NoiseModel::z_channel(0.1),
+                3,
+                5_000,
+                9,
+                2,
+            )
+        };
+        assert_eq!(call(), call());
+    }
+
+    #[test]
+    fn failures_counted_under_hopeless_noise() {
+        // λ = 100 with a tight budget: Theorem 2's failure regime.
+        let s = required_queries_sample(
+            100,
+            Regime::sublinear(0.25),
+            NoiseModel::gaussian(100.0),
+            3,
+            150,
+            4,
+            2,
+        );
+        assert!(s.failures > 0);
+        assert!(s.median().is_none() || s.samples.len() < 3);
+    }
+
+    #[test]
+    fn budget_scales_with_noise() {
+        let clean = default_budget(1000, 0.25, &NoiseModel::Noiseless);
+        let noisy = default_budget(1000, 0.25, &NoiseModel::z_channel(0.5));
+        assert!(noisy > clean);
+        assert!(clean >= 200);
+    }
+}

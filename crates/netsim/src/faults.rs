@@ -1,0 +1,142 @@
+//! Message-level fault injection.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration for randomized message faults.
+///
+/// Each message sent through the network is independently dropped with
+/// probability [`drop_prob`](Self::drop_prob); surviving messages are
+/// duplicated (one extra copy) with probability
+/// [`dup_prob`](Self::dup_prob). Decisions are drawn from a dedicated RNG
+/// seeded with [`seed`](Self::seed), so runs remain reproducible.
+///
+/// The pooled-data protocol is *one-shot* (a query's measurement is sent
+/// exactly once), so dropped messages model sensor/readout loss and
+/// duplicates model at-least-once delivery; the failure-injection tests in
+/// `npd-core` quantify how the decoder degrades under both.
+///
+/// # Examples
+///
+/// ```
+/// let faults = npd_netsim::FaultConfig::new(0.05, 0.0, 99).unwrap();
+/// assert_eq!(faults.drop_prob(), 0.05);
+/// ```
+/// In addition to loss and duplication, messages can be *delayed*: with
+/// [`with_max_delay`](Self::with_max_delay) each surviving message is held
+/// back a uniform number of extra rounds in `0..=max_delay`. Delay models
+/// the bounded-asynchrony middle ground between the synchronous model the
+/// protocols are written for and a fully asynchronous network: protocols
+/// that react to *arrivals* (measurement accumulation, push-sum) tolerate
+/// it, while fixed-timetable phases (the sorting network, the gossip
+/// selection schedule) require the synchronous model and degrade.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    drop_prob: f64,
+    dup_prob: f64,
+    seed: u64,
+    #[serde(default)]
+    max_delay: u64,
+}
+
+impl FaultConfig {
+    /// Creates a fault configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message if either probability lies outside `[0, 1]`.
+    pub fn new(drop_prob: f64, dup_prob: f64, seed: u64) -> Result<Self, InvalidFaultConfig> {
+        if !(0.0..=1.0).contains(&drop_prob) {
+            return Err(InvalidFaultConfig {
+                field: "drop_prob",
+                value: drop_prob,
+            });
+        }
+        if !(0.0..=1.0).contains(&dup_prob) {
+            return Err(InvalidFaultConfig {
+                field: "dup_prob",
+                value: dup_prob,
+            });
+        }
+        Ok(Self {
+            drop_prob,
+            dup_prob,
+            seed,
+            max_delay: 0,
+        })
+    }
+
+    /// Adds random message delay: each surviving message is held back an
+    /// extra `0..=rounds` rounds (uniform, independent per message).
+    #[must_use]
+    pub fn with_max_delay(mut self, rounds: u64) -> Self {
+        self.max_delay = rounds;
+        self
+    }
+
+    /// Probability that a sent message is silently dropped.
+    pub fn drop_prob(&self) -> f64 {
+        self.drop_prob
+    }
+
+    /// Probability that a delivered message arrives twice.
+    pub fn dup_prob(&self) -> f64 {
+        self.dup_prob
+    }
+
+    /// Seed of the fault RNG.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Maximum extra delivery delay in rounds (`0` disables delays).
+    pub fn max_delay(&self) -> u64 {
+        self.max_delay
+    }
+}
+
+/// Error for out-of-range fault probabilities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvalidFaultConfig {
+    /// Which field was invalid.
+    pub field: &'static str,
+    /// The offending value.
+    pub value: f64,
+}
+
+impl std::fmt::Display for InvalidFaultConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid fault configuration: {}={} is not a probability",
+            self.field, self.value
+        )
+    }
+}
+
+impl std::error::Error for InvalidFaultConfig {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_probabilities() {
+        assert!(FaultConfig::new(0.0, 1.0, 0).is_ok());
+        assert!(FaultConfig::new(0.5, 0.5, 1).is_ok());
+    }
+
+    #[test]
+    fn delay_builder_sets_bound() {
+        let f = FaultConfig::new(0.0, 0.0, 7).unwrap().with_max_delay(3);
+        assert_eq!(f.max_delay(), 3);
+        assert_eq!(FaultConfig::new(0.0, 0.0, 7).unwrap().max_delay(), 0);
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let err = FaultConfig::new(1.5, 0.0, 0).unwrap_err();
+        assert_eq!(err.field, "drop_prob");
+        assert!(err.to_string().contains("drop_prob"));
+        assert!(FaultConfig::new(0.0, -0.1, 0).is_err());
+    }
+}

@@ -1,0 +1,204 @@
+//! Deterministic synchronous message-passing network simulator.
+//!
+//! The paper's Algorithm 1 is a *distributed* protocol: query nodes send
+//! their (noisy) measurements to agents, agents accumulate scores, and the
+//! agents then sort themselves through a sorting network. This crate is the
+//! substrate that protocol runs on:
+//!
+//! * [`Node`] — the behaviour of one network participant. Each round a node
+//!   sees the messages delivered to it and may send messages through its
+//!   [`Context`].
+//! * [`Network`] — a collection of nodes plus in-flight mailboxes, advanced
+//!   round by round with classic synchronous semantics: everything sent in
+//!   round `r` is delivered at the start of round `r + 1`.
+//! * [`Metrics`] — message/round accounting, which backs the communication
+//!   comparison between the greedy protocol (one exchange per node) and
+//!   AMP (one exchange per node *per iteration*) in the paper's conclusion.
+//! * [`FaultConfig`] — optional message dropping/duplication for failure
+//!   injection tests.
+//!
+//! The simulator is fully deterministic: nodes are stepped in id order,
+//! messages are delivered in (sender, send-order), and fault decisions come
+//! from a seeded RNG.
+//!
+//! # Examples
+//!
+//! A two-node ping-pong:
+//!
+//! ```
+//! use npd_netsim::{Activity, Context, Network, Node, NodeId};
+//!
+//! struct PingPong { hits: u32 }
+//!
+//! impl Node<u32> for PingPong {
+//!     fn on_round(&mut self, ctx: &mut Context<'_, u32>) -> Activity {
+//!         if ctx.round() == 0 && ctx.id() == NodeId(0) {
+//!             ctx.send(NodeId(1), 1);
+//!         }
+//!         let inbox: Vec<u32> = ctx.inbox().iter().map(|e| e.payload).collect();
+//!         for v in inbox {
+//!             self.hits += 1;
+//!             if v < 4 {
+//!                 let peer = NodeId(1 - ctx.id().0);
+//!                 ctx.send(peer, v + 1);
+//!             }
+//!         }
+//!         Activity::Idle
+//!     }
+//! }
+//!
+//! let mut net = Network::new(vec![PingPong { hits: 0 }, PingPong { hits: 0 }]);
+//! let report = net.run_until_quiescent(100).unwrap();
+//! assert_eq!(report.rounds, 5);
+//! assert_eq!(net.metrics().messages_sent, 4);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod faults;
+pub mod gossip;
+mod metrics;
+mod network;
+
+pub use faults::FaultConfig;
+pub use metrics::{Metrics, NodeTraffic};
+pub use network::{Network, RunReport, StepReport};
+
+use std::fmt;
+
+/// Identifier of a node inside one [`Network`]; indexes the node vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node#{}", self.0)
+    }
+}
+
+/// A message in flight, tagged with its sender and recipient.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// Sending node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// Message payload.
+    pub payload: M,
+}
+
+/// Whether a node wants to be stepped again even without incoming messages.
+///
+/// The network is quiescent — and [`Network::run_until_quiescent`] stops —
+/// when no messages are in flight *and* every node reported [`Activity::Idle`]
+/// in the latest round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activity {
+    /// Node has nothing more to do unless a message arrives.
+    Idle,
+    /// Node wants another round regardless of message arrivals.
+    Active,
+}
+
+/// Per-round view handed to [`Node::on_round`]: the inbox, the clock, the
+/// node's own id, and the send interface.
+#[derive(Debug)]
+pub struct Context<'a, M> {
+    round: u64,
+    id: NodeId,
+    node_count: usize,
+    inbox: &'a [Envelope<M>],
+    outbox: &'a mut Vec<Envelope<M>>,
+}
+
+impl<'a, M> Context<'a, M> {
+    pub(crate) fn new(
+        round: u64,
+        id: NodeId,
+        node_count: usize,
+        inbox: &'a [Envelope<M>],
+        outbox: &'a mut Vec<Envelope<M>>,
+    ) -> Self {
+        Self {
+            round,
+            id,
+            node_count,
+            inbox,
+            outbox,
+        }
+    }
+
+    /// Current round number (starting at 0).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The id of the node being stepped.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Number of nodes in the network.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Messages delivered to this node at the start of the round.
+    pub fn inbox(&self) -> &[Envelope<M>] {
+        self.inbox
+    }
+
+    /// Sends `payload` to `dst`; it is delivered at the start of the next
+    /// round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is not a valid node id for this network.
+    pub fn send(&mut self, dst: NodeId, payload: M) {
+        assert!(
+            dst.0 < self.node_count,
+            "Context::send: destination {dst} out of range (network has {} nodes)",
+            self.node_count
+        );
+        self.outbox.push(Envelope {
+            from: self.id,
+            to: dst,
+            payload,
+        });
+    }
+}
+
+/// Behaviour of one network participant.
+///
+/// Implementations should be deterministic functions of their own state and
+/// the context; all randomness in this workspace's protocols is injected via
+/// node state constructed from a seeded RNG, keeping whole-network runs
+/// reproducible.
+pub trait Node<M> {
+    /// Called once per round. Messages sent through `ctx` are delivered next
+    /// round. Return [`Activity::Active`] to request another round even if no
+    /// messages are in flight.
+    fn on_round(&mut self, ctx: &mut Context<'_, M>) -> Activity;
+}
+
+/// Error returned when a run exceeds its round budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaxRoundsExceeded {
+    /// The budget that was exhausted.
+    pub max_rounds: u64,
+    /// Messages still in flight when the run was aborted.
+    pub in_flight: usize,
+}
+
+impl fmt::Display for MaxRoundsExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "network did not quiesce within {} rounds ({} messages in flight)",
+            self.max_rounds, self.in_flight
+        )
+    }
+}
+
+impl std::error::Error for MaxRoundsExceeded {}

@@ -1,0 +1,519 @@
+//! The synchronous network engine.
+
+use crate::metrics::NodeTraffic;
+use crate::{Activity, Context, Envelope, FaultConfig, MaxRoundsExceeded, Metrics, Node, NodeId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A synchronous network of homogeneous nodes exchanging messages of type
+/// `M`.
+///
+/// Semantics: [`step`](Self::step) runs one round. Nodes are stepped in id
+/// order; every message sent during round `r` is delivered at the start of
+/// round `r + 1`, ordered by `(sender, send order)`. This is the standard
+/// synchronous message-passing model (e.g. Santoro, *Design and Analysis of
+/// Distributed Algorithms*, which the paper cites for the sorting-network
+/// step).
+#[derive(Debug)]
+pub struct Network<M, N> {
+    nodes: Vec<N>,
+    /// Messages to deliver at the start of the next round.
+    in_flight: Vec<Envelope<M>>,
+    /// Delay-faulted messages, tagged with their delivery round.
+    delayed: Vec<(u64, Envelope<M>)>,
+    round: u64,
+    metrics: Metrics,
+    traffic: Vec<NodeTraffic>,
+    faults: Option<FaultState<M>>,
+    /// Scratch buffers reused across rounds.
+    inboxes: Vec<Vec<Envelope<M>>>,
+}
+
+/// Fault-injection state. The clone function pointer is captured in
+/// [`Network::with_faults`], where the `M: Clone` bound is available; this
+/// keeps fault-free networks free of any `Clone` requirement.
+#[derive(Debug)]
+struct FaultState<M> {
+    cfg: FaultConfig,
+    rng: SmallRng,
+    cloner: fn(&M) -> M,
+}
+
+/// Outcome of a single [`Network::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepReport {
+    /// Round that was just executed.
+    pub round: u64,
+    /// Messages delivered at the start of this round.
+    pub delivered: usize,
+    /// Messages sent during this round (before fault filtering).
+    pub sent: usize,
+    /// Nodes that reported [`Activity::Active`].
+    pub active_nodes: usize,
+}
+
+/// Outcome of [`Network::run_until_quiescent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunReport {
+    /// Rounds executed in this call.
+    pub rounds: u64,
+    /// Total messages delivered during this call.
+    pub delivered: u64,
+}
+
+impl<M, N: Node<M>> Network<M, N> {
+    /// Creates a network over the given nodes with no fault injection.
+    pub fn new(nodes: Vec<N>) -> Self {
+        let count = nodes.len();
+        Self {
+            nodes,
+            in_flight: Vec::new(),
+            delayed: Vec::new(),
+            round: 0,
+            metrics: Metrics::default(),
+            traffic: vec![NodeTraffic::default(); count],
+            faults: None,
+            inboxes: (0..count).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Creates a network with message fault injection.
+    ///
+    /// Requires `M: Clone` because duplication faults must copy payloads;
+    /// [`Network::new`] has no such requirement.
+    pub fn with_faults(nodes: Vec<N>, faults: FaultConfig) -> Self
+    where
+        M: Clone,
+    {
+        let rng = SmallRng::seed_from_u64(faults.seed());
+        let mut net = Self::new(nodes);
+        net.faults = Some(FaultState {
+            cfg: faults,
+            rng,
+            cloner: |m| m.clone(),
+        });
+        net
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Shared access to a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: NodeId) -> &N {
+        &self.nodes[id.0]
+    }
+
+    /// Exclusive access to a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut N {
+        &mut self.nodes[id.0]
+    }
+
+    /// All nodes in id order.
+    pub fn nodes(&self) -> &[N] {
+        &self.nodes
+    }
+
+    /// Consumes the network, returning the nodes (for result extraction).
+    pub fn into_nodes(self) -> Vec<N> {
+        self.nodes
+    }
+
+    /// Cumulative metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Per-node traffic counters, indexed by node id.
+    pub fn traffic(&self) -> &[NodeTraffic] {
+        &self.traffic
+    }
+
+    /// Messages currently in flight (sent last round, delivered next step).
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Delay-faulted messages still waiting for their delivery round.
+    pub fn delayed(&self) -> usize {
+        self.delayed.len()
+    }
+
+    /// Executes one round: delivers in-flight messages, steps every node in
+    /// id order, applies fault injection to the newly sent messages.
+    pub fn step(&mut self) -> StepReport {
+        // Distribute in-flight messages into per-node inboxes, together
+        // with any delayed messages whose delivery round has come.
+        for inbox in &mut self.inboxes {
+            inbox.clear();
+        }
+        let mut delivered = self.in_flight.len();
+        for env in self.in_flight.drain(..) {
+            self.traffic[env.to.0].received += 1;
+            self.inboxes[env.to.0].push(env);
+        }
+        if !self.delayed.is_empty() {
+            let mut waiting = Vec::with_capacity(self.delayed.len());
+            for (due, env) in self.delayed.drain(..) {
+                if due <= self.round {
+                    delivered += 1;
+                    self.traffic[env.to.0].received += 1;
+                    self.inboxes[env.to.0].push(env);
+                } else {
+                    waiting.push((due, env));
+                }
+            }
+            self.delayed = waiting;
+        }
+        self.metrics.messages_delivered += delivered as u64;
+
+        // Step nodes in id order; collect sends.
+        let node_count = self.nodes.len();
+        let mut outbox: Vec<Envelope<M>> = Vec::new();
+        let mut active_nodes = 0usize;
+        for (idx, node) in self.nodes.iter_mut().enumerate() {
+            let before = outbox.len();
+            let mut ctx = Context::new(
+                self.round,
+                NodeId(idx),
+                node_count,
+                &self.inboxes[idx],
+                &mut outbox,
+            );
+            if node.on_round(&mut ctx) == Activity::Active {
+                active_nodes += 1;
+            }
+            let sent_now = (outbox.len() - before) as u64;
+            if sent_now > 0 {
+                self.traffic[idx].sent += sent_now;
+                self.traffic[idx].active_send_rounds += 1;
+            }
+        }
+
+        let sent = outbox.len();
+        self.metrics.messages_sent += sent as u64;
+        self.metrics.payload_bytes_sent += (sent * std::mem::size_of::<M>()) as u64;
+
+        // Apply faults while moving messages into the in-flight buffer.
+        match &mut self.faults {
+            None => self.in_flight = outbox,
+            Some(state) => {
+                self.in_flight.reserve(outbox.len());
+                for env in outbox {
+                    if state.cfg.drop_prob() > 0.0 && state.rng.gen::<f64>() < state.cfg.drop_prob()
+                    {
+                        self.metrics.messages_dropped += 1;
+                        continue;
+                    }
+                    if state.cfg.dup_prob() > 0.0 && state.rng.gen::<f64>() < state.cfg.dup_prob() {
+                        self.metrics.messages_duplicated += 1;
+                        let copy = Envelope {
+                            from: env.from,
+                            to: env.to,
+                            payload: (state.cloner)(&env.payload),
+                        };
+                        let extra = if state.cfg.max_delay() > 0 {
+                            state.rng.gen_range(0..=state.cfg.max_delay())
+                        } else {
+                            0
+                        };
+                        if extra > 0 {
+                            self.metrics.messages_delayed += 1;
+                            self.delayed.push((self.round + 1 + extra, copy));
+                        } else {
+                            self.in_flight.push(copy);
+                        }
+                    }
+                    let extra = if state.cfg.max_delay() > 0 {
+                        state.rng.gen_range(0..=state.cfg.max_delay())
+                    } else {
+                        0
+                    };
+                    if extra > 0 {
+                        self.metrics.messages_delayed += 1;
+                        self.delayed.push((self.round + 1 + extra, env));
+                    } else {
+                        self.in_flight.push(env);
+                    }
+                }
+            }
+        }
+
+        self.metrics.peak_in_flight = self.metrics.peak_in_flight.max(self.in_flight.len() as u64);
+        let report = StepReport {
+            round: self.round,
+            delivered,
+            sent,
+            active_nodes,
+        };
+        self.round += 1;
+        self.metrics.rounds = self.round;
+        report
+    }
+
+    /// Runs rounds until the network quiesces: no messages in flight and all
+    /// nodes idle.
+    ///
+    /// At least one round is always executed, so protocols that initiate
+    /// work in round 0 make progress.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MaxRoundsExceeded`] if quiescence is not reached within
+    /// `max_rounds` rounds (counted within this call).
+    pub fn run_until_quiescent(&mut self, max_rounds: u64) -> Result<RunReport, MaxRoundsExceeded> {
+        let mut rounds = 0u64;
+        let mut delivered = 0u64;
+        loop {
+            if rounds >= max_rounds {
+                return Err(MaxRoundsExceeded {
+                    max_rounds,
+                    in_flight: self.in_flight.len() + self.delayed.len(),
+                });
+            }
+            let report = self.step();
+            rounds += 1;
+            delivered += report.delivered as u64;
+            if self.in_flight.is_empty() && self.delayed.is_empty() && report.active_nodes == 0 {
+                return Ok(RunReport { rounds, delivered });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Node that floods a fixed payload to everyone in round 0 and counts
+    /// what it receives.
+    struct Flood {
+        received: usize,
+    }
+
+    impl Node<u8> for Flood {
+        fn on_round(&mut self, ctx: &mut Context<'_, u8>) -> Activity {
+            if ctx.round() == 0 {
+                for peer in 0..ctx.node_count() {
+                    if peer != ctx.id().0 {
+                        ctx.send(NodeId(peer), 1);
+                    }
+                }
+            }
+            self.received += ctx.inbox().len();
+            Activity::Idle
+        }
+    }
+
+    fn flood_net(n: usize) -> Network<u8, Flood> {
+        Network::new((0..n).map(|_| Flood { received: 0 }).collect())
+    }
+
+    #[test]
+    fn flood_delivers_all_pairs() {
+        let mut net = flood_net(5);
+        let report = net.run_until_quiescent(10).unwrap();
+        assert_eq!(report.rounds, 2);
+        assert_eq!(net.metrics().messages_sent, 20);
+        assert_eq!(net.metrics().messages_delivered, 20);
+        for node in net.nodes() {
+            assert_eq!(node.received, 4);
+        }
+    }
+
+    #[test]
+    fn metrics_track_bytes_and_peak() {
+        let mut net = flood_net(3);
+        net.run_until_quiescent(10).unwrap();
+        assert_eq!(net.metrics().payload_bytes_sent, 6); // 6 messages × 1 byte
+        assert_eq!(net.metrics().peak_in_flight, 6);
+    }
+
+    #[test]
+    fn per_node_traffic_is_tracked() {
+        let mut net = flood_net(4);
+        net.run_until_quiescent(10).unwrap();
+        for t in net.traffic() {
+            assert_eq!(t.sent, 3);
+            assert_eq!(t.received, 3);
+            assert_eq!(t.active_send_rounds, 1);
+        }
+    }
+
+    #[test]
+    fn dropped_messages_do_not_count_as_received() {
+        let cfg = FaultConfig::new(1.0, 0.0, 1).unwrap();
+        let mut net = Network::with_faults((0..3).map(|_| Flood { received: 0 }).collect(), cfg);
+        net.run_until_quiescent(10).unwrap();
+        for t in net.traffic() {
+            assert_eq!(t.sent, 2);
+            assert_eq!(t.received, 0);
+        }
+    }
+
+    #[test]
+    fn empty_network_quiesces_immediately() {
+        let mut net: Network<u8, Flood> = Network::new(vec![]);
+        let report = net.run_until_quiescent(5).unwrap();
+        assert_eq!(report.rounds, 1);
+        assert!(net.is_empty());
+    }
+
+    #[test]
+    fn max_rounds_is_enforced() {
+        /// A node that stays active forever.
+        struct Restless;
+        impl Node<u8> for Restless {
+            fn on_round(&mut self, _ctx: &mut Context<'_, u8>) -> Activity {
+                Activity::Active
+            }
+        }
+        let mut net = Network::new(vec![Restless]);
+        let err = net.run_until_quiescent(7).unwrap_err();
+        assert_eq!(err.max_rounds, 7);
+        assert_eq!(err.in_flight, 0);
+        assert!(err.to_string().contains("did not quiesce"));
+    }
+
+    #[test]
+    fn drop_all_faults_suppress_delivery() {
+        let cfg = FaultConfig::new(1.0, 0.0, 1).unwrap();
+        let mut net = Network::with_faults((0..4).map(|_| Flood { received: 0 }).collect(), cfg);
+        net.run_until_quiescent(10).unwrap();
+        assert_eq!(net.metrics().messages_dropped, 12);
+        assert_eq!(net.metrics().messages_delivered, 0);
+        for node in net.nodes() {
+            assert_eq!(node.received, 0);
+        }
+    }
+
+    #[test]
+    fn duplicate_all_faults_double_delivery() {
+        let cfg = FaultConfig::new(0.0, 1.0, 1).unwrap();
+        let mut net = Network::with_faults((0..3).map(|_| Flood { received: 0 }).collect(), cfg);
+        net.run_until_quiescent(10).unwrap();
+        assert_eq!(net.metrics().messages_duplicated, 6);
+        for node in net.nodes() {
+            assert_eq!(node.received, 4); // 2 senders × 2 copies
+        }
+    }
+
+    #[test]
+    fn fault_rng_is_deterministic() {
+        let run = |seed: u64| {
+            let cfg = FaultConfig::new(0.5, 0.0, seed).unwrap();
+            let mut net =
+                Network::with_faults((0..10).map(|_| Flood { received: 0 }).collect(), cfg);
+            net.run_until_quiescent(10).unwrap();
+            net.metrics().messages_dropped
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn messages_deliver_in_sender_order() {
+        /// Node 0 sends a sequence to node 1; node 1 records payload order.
+        struct Seq {
+            log: Vec<u8>,
+        }
+        impl Node<u8> for Seq {
+            fn on_round(&mut self, ctx: &mut Context<'_, u8>) -> Activity {
+                if ctx.round() == 0 && ctx.id().0 == 0 {
+                    for v in 0..5 {
+                        ctx.send(NodeId(1), v);
+                    }
+                }
+                for env in ctx.inbox() {
+                    self.log.push(env.payload);
+                }
+                Activity::Idle
+            }
+        }
+        let mut net = Network::new(vec![Seq { log: vec![] }, Seq { log: vec![] }]);
+        net.run_until_quiescent(5).unwrap();
+        assert_eq!(net.node(NodeId(1)).log, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn send_to_invalid_node_panics() {
+        struct Bad;
+        impl Node<u8> for Bad {
+            fn on_round(&mut self, ctx: &mut Context<'_, u8>) -> Activity {
+                ctx.send(NodeId(99), 0);
+                Activity::Idle
+            }
+        }
+        let mut net = Network::new(vec![Bad]);
+        net.step();
+    }
+
+    #[test]
+    fn into_nodes_returns_final_state() {
+        let mut net = flood_net(2);
+        net.run_until_quiescent(5).unwrap();
+        let nodes = net.into_nodes();
+        assert_eq!(nodes.len(), 2);
+        assert!(nodes.iter().all(|n| n.received == 1));
+    }
+
+    #[test]
+    fn step_report_fields() {
+        let mut net = flood_net(3);
+        let r0 = net.step();
+        assert_eq!(r0.round, 0);
+        assert_eq!(r0.delivered, 0);
+        assert_eq!(r0.sent, 6);
+        let r1 = net.step();
+        assert_eq!(r1.round, 1);
+        assert_eq!(r1.delivered, 6);
+        assert_eq!(r1.sent, 0);
+    }
+
+    /// Delayed messages are eventually delivered, totals balance, and the
+    /// network still quiesces.
+    #[test]
+    fn delay_faults_deliver_eventually() {
+        let faults = FaultConfig::new(0.0, 0.0, 5).unwrap().with_max_delay(4);
+        let nodes = (0..5).map(|_| Flood { received: 0 }).collect();
+        let mut net: Network<u8, Flood> = Network::with_faults(nodes, faults);
+        let report = net.run_until_quiescent(50).unwrap();
+        assert_eq!(net.metrics().messages_sent, 20);
+        assert_eq!(net.metrics().messages_delivered, 20);
+        assert!(net.metrics().messages_delayed > 0, "no message was delayed");
+        assert!(report.rounds > 2, "delays must stretch the run");
+        assert_eq!(net.delayed(), 0);
+        for node in net.nodes() {
+            assert_eq!(node.received, 4);
+        }
+    }
+
+    /// Delay composes with duplication: every copy arrives exactly once
+    /// per duplication decision.
+    #[test]
+    fn delay_composes_with_duplication() {
+        let faults = FaultConfig::new(0.0, 1.0, 9).unwrap().with_max_delay(2);
+        let nodes = (0..3).map(|_| Flood { received: 0 }).collect();
+        let mut net: Network<u8, Flood> = Network::with_faults(nodes, faults);
+        net.run_until_quiescent(30).unwrap();
+        // 6 sends, each duplicated once → 12 deliveries.
+        assert_eq!(net.metrics().messages_delivered, 12);
+        for node in net.nodes() {
+            assert_eq!(node.received, 4);
+        }
+    }
+}

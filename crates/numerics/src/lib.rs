@@ -1,0 +1,42 @@
+//! Thin numerics layer for the noisy-pooled-data reproduction.
+//!
+//! This crate provides exactly the numerical substrate the rest of the
+//! workspace needs, implemented from scratch so the reproduction has no
+//! dependency on heavyweight linear-algebra or distribution crates:
+//!
+//! * [`vector`] — operations on `f64` slices (dot products, norms, axpy).
+//! * [`matrix`] — a dense row-major matrix with forward and transposed
+//!   matrix–vector products, as needed by the AMP baseline.
+//! * [`sparse`] — a compressed sparse row (CSR) matrix for pooling graphs.
+//! * [`rng`] — exact samplers for the Gaussian, binomial, multinomial, beta
+//!   and gamma distributions on top of any [`rand::Rng`] uniform source.
+//! * [`stats`] — streaming moments, quantiles, and five-number summaries
+//!   (box plots) used by the experiment harness.
+//! * [`special`] — `erf`/`erfc`, the standard normal CDF and quantile, and
+//!   log-gamma/log-choose helpers used by the theory crate and tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use npd_numerics::{rng::GaussianSampler, stats::Summary};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let mut gauss = GaussianSampler::new();
+//! let draws: Vec<f64> = (0..10_000).map(|_| gauss.sample(&mut rng)).collect();
+//! let summary = Summary::from_slice(&draws);
+//! assert!(summary.mean.abs() < 0.05);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod matrix;
+pub mod rng;
+pub mod sparse;
+pub mod special;
+pub mod stats;
+pub mod vector;
+
+pub use matrix::Matrix;
+pub use sparse::CsrMatrix;

@@ -1,0 +1,587 @@
+//! Exact distribution samplers on top of any [`rand::Rng`] uniform source.
+//!
+//! The offline dependency set deliberately excludes `rand_distr`, so this
+//! module implements the samplers the reproduction needs:
+//!
+//! * [`GaussianSampler`] — Marsaglia polar method (caches the spare variate),
+//!   used for the noisy query model `N(0, λ²)`.
+//! * [`binomial`] — exact binomial sampling: BINV inversion for small
+//!   `n·min(p, 1−p)` and a divide-and-conquer beta split for large `n`
+//!   (Devroye, ch. X.4), used for per-edge channel noise where a query with
+//!   `c₁` one-slots and `c₀` zero-slots reports `Bin(c₁, 1−p) + Bin(c₀, q)`.
+//! * [`gamma`] / [`beta`] — Marsaglia–Tsang squeeze method, supporting the
+//!   binomial split.
+//! * [`multinomial`] — conditional binomials, used by tests that validate the
+//!   `Λ_j ~ Mult(n_j, p_j(·,·))` decomposition from Lemma 7 of the paper.
+//!
+//! All samplers are deterministic functions of the RNG stream, so seeding the
+//! RNG reproduces an experiment bit-for-bit.
+
+use rand::Rng;
+
+/// Gaussian sampler using the Marsaglia polar method.
+///
+/// Holds the spare variate between calls; create one per simulation loop and
+/// reuse it.
+///
+/// # Examples
+///
+/// ```
+/// use npd_numerics::rng::GaussianSampler;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut gauss = GaussianSampler::new();
+/// let x = gauss.sample_scaled(&mut rng, 0.0, 2.0); // N(0, 4)
+/// assert!(x.is_finite());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GaussianSampler {
+    spare: Option<f64>,
+}
+
+impl GaussianSampler {
+    /// Creates a sampler with an empty spare slot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Draws one standard normal variate.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if let Some(s) = self.spare.take() {
+            return s;
+        }
+        loop {
+            let u = rng.gen_range(-1.0f64..1.0);
+            let v = rng.gen_range(-1.0f64..1.0);
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let factor = (-2.0 * s.ln() / s).sqrt();
+                self.spare = Some(v * factor);
+                return u * factor;
+            }
+        }
+    }
+
+    /// Draws one `N(mean, sd²)` variate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sd` is negative.
+    pub fn sample_scaled<R: Rng + ?Sized>(&mut self, rng: &mut R, mean: f64, sd: f64) -> f64 {
+        assert!(sd >= 0.0, "sample_scaled: sd={sd} must be non-negative");
+        mean + sd * self.sample(rng)
+    }
+
+    /// Fills `out` with standard normal variates.
+    pub fn fill<R: Rng + ?Sized>(&mut self, rng: &mut R, out: &mut [f64]) {
+        for o in out {
+            *o = self.sample(rng);
+        }
+    }
+}
+
+/// Exact binomial sample `Bin(n, p)`.
+///
+/// Strategy: reduce to `p ≤ 1/2` by symmetry; use BINV sequential inversion
+/// while `n·p ≤ 30` or `n ≤ 64`, otherwise split once through the median
+/// order statistic (`U₍ᵢ₎ ~ Beta(i, n+1−i)`) and recurse on a half-size
+/// subproblem. Expected depth is `O(log n)`, so even `Γ = 5·10⁴` costs only a
+/// few dozen uniform/normal draws.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let x = npd_numerics::rng::binomial(&mut rng, 1000, 0.25);
+/// assert!(x <= 1000);
+/// ```
+pub fn binomial<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
+    assert!((0.0..=1.0).contains(&p), "binomial: p={p} not in [0,1]");
+    if n == 0 || p == 0.0 {
+        return 0;
+    }
+    if p == 1.0 {
+        return n;
+    }
+    if p > 0.5 {
+        return n - binomial(rng, n, 1.0 - p);
+    }
+    binomial_p_small(rng, n, p)
+}
+
+/// Binomial for `p ≤ 1/2`, recursive beta split until BINV applies.
+fn binomial_p_small<R: Rng + ?Sized>(rng: &mut R, mut n: u64, mut p: f64) -> u64 {
+    let mut acc = 0u64;
+    loop {
+        if n == 0 || p <= 0.0 {
+            return acc;
+        }
+        if p >= 1.0 {
+            return acc + n;
+        }
+        if p > 0.5 {
+            // The split may push p above 1/2; flip by symmetry.
+            return acc + n - binomial_p_small(rng, n, 1.0 - p);
+        }
+        if n <= 64 || (n as f64) * p <= 30.0 {
+            return acc + binv(rng, n, p);
+        }
+        // Median split: the i-th order statistic of n uniforms is
+        // Beta(i, n+1−i); conditioning on it halves the problem.
+        let i = n / 2 + 1;
+        let y = beta(rng, i as f64, (n + 1 - i) as f64);
+        if p >= y {
+            acc += i;
+            n -= i;
+            p = (p - y) / (1.0 - y);
+        } else {
+            n = i - 1;
+            p /= y;
+        }
+    }
+}
+
+/// BINV sequential inversion for small `n·p` (Kachitvichyanukul–Schmeiser
+/// baseline case). Requires `p ≤ 1/2` and small `n·p` so that `(1−p)^n`
+/// does not underflow.
+fn binv<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
+    debug_assert!(p <= 0.5);
+    let q = 1.0 - p;
+    let s = p / q;
+    let a = (n + 1) as f64 * s;
+    loop {
+        let mut r = (n as f64 * q.ln()).exp();
+        let mut u: f64 = rng.gen();
+        let mut x = 0u64;
+        loop {
+            if u < r {
+                return x;
+            }
+            u -= r;
+            x += 1;
+            if x > n {
+                break; // numerical leakage: retry with a fresh uniform
+            }
+            r *= a / x as f64 - s;
+        }
+    }
+}
+
+/// Gamma sample with the given `shape` and `scale` (Marsaglia–Tsang).
+///
+/// # Panics
+///
+/// Panics if `shape` or `scale` is not positive.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let g = npd_numerics::rng::gamma(&mut rng, 2.5, 1.0);
+/// assert!(g > 0.0);
+/// ```
+pub fn gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64, scale: f64) -> f64 {
+    assert!(shape > 0.0, "gamma: shape={shape} must be positive");
+    assert!(scale > 0.0, "gamma: scale={scale} must be positive");
+    if shape < 1.0 {
+        // Boost: Γ(a) = Γ(a+1) · U^{1/a}.
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        return gamma(rng, shape + 1.0, scale) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    let mut gauss = GaussianSampler::new();
+    loop {
+        let x = gauss.sample(rng);
+        let t = 1.0 + c * x;
+        if t <= 0.0 {
+            continue;
+        }
+        let v = t * t * t;
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        if u < 1.0 - 0.0331 * x.powi(4) {
+            return scale * d * v;
+        }
+        if u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return scale * d * v;
+        }
+    }
+}
+
+/// Beta sample `Beta(a, b)` via two gammas.
+///
+/// # Panics
+///
+/// Panics if `a` or `b` is not positive.
+pub fn beta<R: Rng + ?Sized>(rng: &mut R, a: f64, b: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "beta: shapes ({a}, {b}) must be positive");
+    let x = gamma(rng, a, 1.0);
+    let y = gamma(rng, b, 1.0);
+    // x + y > 0 almost surely; clamp pathological float cases into (0, 1).
+    let r = x / (x + y);
+    r.clamp(f64::MIN_POSITIVE, 1.0 - f64::EPSILON)
+}
+
+/// Multinomial sample: `n` trials over the given probability vector, via
+/// conditional binomials.
+///
+/// The probabilities must be non-negative; they are normalized internally, so
+/// un-normalized weights are accepted.
+///
+/// # Panics
+///
+/// Panics if `probs` is empty, contains a negative entry, or sums to zero.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+/// let counts = npd_numerics::rng::multinomial(&mut rng, 100, &[0.25, 0.25, 0.5]);
+/// assert_eq!(counts.iter().sum::<u64>(), 100);
+/// ```
+pub fn multinomial<R: Rng + ?Sized>(rng: &mut R, n: u64, probs: &[f64]) -> Vec<u64> {
+    assert!(!probs.is_empty(), "multinomial: empty probability vector");
+    assert!(
+        probs.iter().all(|&p| p >= 0.0),
+        "multinomial: negative probability"
+    );
+    let total: f64 = probs.iter().sum();
+    assert!(total > 0.0, "multinomial: probabilities sum to zero");
+    let mut out = vec![0u64; probs.len()];
+    let mut remaining = n;
+    let mut mass_left = total;
+    for (i, &p) in probs.iter().enumerate() {
+        if remaining == 0 {
+            break;
+        }
+        if i + 1 == probs.len() {
+            out[i] = remaining;
+            break;
+        }
+        let cond = (p / mass_left).clamp(0.0, 1.0);
+        let x = binomial(rng, remaining, cond);
+        out[i] = x;
+        remaining -= x;
+        mass_left -= p;
+        if mass_left <= 0.0 {
+            break;
+        }
+    }
+    out
+}
+
+/// Bernoulli trial with success probability `p`.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+pub fn bernoulli<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
+    assert!((0.0..=1.0).contains(&p), "bernoulli: p={p} not in [0,1]");
+    if p == 0.0 {
+        false
+    } else if p == 1.0 {
+        true
+    } else {
+        rng.gen::<f64>() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn moments(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        (mean, var)
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut g = GaussianSampler::new();
+        let xs: Vec<f64> = (0..200_000).map(|_| g.sample(&mut rng)).collect();
+        let (mean, var) = moments(&xs);
+        assert!(mean.abs() < 0.01, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.02, "var={var}");
+    }
+
+    #[test]
+    fn gaussian_scaled_moments() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let mut g = GaussianSampler::new();
+        let xs: Vec<f64> = (0..100_000)
+            .map(|_| g.sample_scaled(&mut rng, 3.0, 2.0))
+            .collect();
+        let (mean, var) = moments(&xs);
+        assert!((mean - 3.0).abs() < 0.03, "mean={mean}");
+        assert!((var - 4.0).abs() < 0.1, "var={var}");
+    }
+
+    #[test]
+    fn gaussian_tail_fraction() {
+        // P(|X| > 1.96) ≈ 0.05.
+        let mut rng = StdRng::seed_from_u64(44);
+        let mut g = GaussianSampler::new();
+        let hits = (0..100_000)
+            .filter(|_| g.sample(&mut rng).abs() > 1.959964)
+            .count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.05).abs() < 0.005, "frac={frac}");
+    }
+
+    #[test]
+    fn gaussian_fill_length() {
+        let mut rng = StdRng::seed_from_u64(45);
+        let mut g = GaussianSampler::new();
+        let mut buf = vec![0.0; 7];
+        g.fill(&mut rng, &mut buf);
+        assert!(buf.iter().all(|v| v.is_finite()));
+        assert!(buf.iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn binomial_degenerate_cases() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(binomial(&mut rng, 0, 0.5), 0);
+        assert_eq!(binomial(&mut rng, 10, 0.0), 0);
+        assert_eq!(binomial(&mut rng, 10, 1.0), 10);
+    }
+
+    #[test]
+    fn binomial_small_n_moments() {
+        let mut rng = StdRng::seed_from_u64(46);
+        let (n, p) = (20u64, 0.3);
+        let xs: Vec<f64> = (0..100_000)
+            .map(|_| binomial(&mut rng, n, p) as f64)
+            .collect();
+        let (mean, var) = moments(&xs);
+        assert!((mean - n as f64 * p).abs() < 0.05, "mean={mean}");
+        assert!((var - n as f64 * p * (1.0 - p)).abs() < 0.1, "var={var}");
+    }
+
+    #[test]
+    fn binomial_large_n_moments() {
+        // Exercises the recursive beta-split path: n·p = 25 000 ≫ 30.
+        let mut rng = StdRng::seed_from_u64(47);
+        let (n, p) = (50_000u64, 0.5);
+        let xs: Vec<f64> = (0..20_000)
+            .map(|_| binomial(&mut rng, n, p) as f64)
+            .collect();
+        let (mean, var) = moments(&xs);
+        let want_mean = n as f64 * p;
+        let want_var = n as f64 * p * (1.0 - p);
+        assert!(
+            (mean - want_mean).abs() < 3.0,
+            "mean={mean}, want≈{want_mean}"
+        );
+        assert!(
+            (var / want_var - 1.0).abs() < 0.05,
+            "var={var}, want≈{want_var}"
+        );
+    }
+
+    #[test]
+    fn binomial_large_n_small_p_moments() {
+        // Large n with tiny p exercises the split-then-BINV transition.
+        let mut rng = StdRng::seed_from_u64(48);
+        let (n, p) = (100_000u64, 1e-3);
+        let xs: Vec<f64> = (0..50_000)
+            .map(|_| binomial(&mut rng, n, p) as f64)
+            .collect();
+        let (mean, var) = moments(&xs);
+        assert!((mean - 100.0).abs() < 0.5, "mean={mean}");
+        assert!((var / 99.9 - 1.0).abs() < 0.05, "var={var}");
+    }
+
+    #[test]
+    fn binomial_symmetry_high_p() {
+        let mut rng = StdRng::seed_from_u64(49);
+        let xs: Vec<f64> = (0..50_000)
+            .map(|_| binomial(&mut rng, 100, 0.9) as f64)
+            .collect();
+        let (mean, var) = moments(&xs);
+        assert!((mean - 90.0).abs() < 0.1, "mean={mean}");
+        assert!((var - 9.0).abs() < 0.3, "var={var}");
+    }
+
+    #[test]
+    fn binomial_exact_distribution_small_case() {
+        // Chi-square-style check against the exact pmf for Bin(5, 0.4).
+        let mut rng = StdRng::seed_from_u64(50);
+        let trials = 200_000usize;
+        let mut counts = [0usize; 6];
+        for _ in 0..trials {
+            counts[binomial(&mut rng, 5, 0.4) as usize] += 1;
+        }
+        for (k, &c) in counts.iter().enumerate() {
+            let want = crate::special::ln_binomial_pmf(5, 0.4, k as u64).exp();
+            let got = c as f64 / trials as f64;
+            assert!(
+                (got - want).abs() < 0.005,
+                "k={k}: got {got:.4}, want {want:.4}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not in [0,1]")]
+    fn binomial_rejects_bad_p() {
+        let mut rng = StdRng::seed_from_u64(0);
+        binomial(&mut rng, 5, 1.5);
+    }
+
+    #[test]
+    fn gamma_moments() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let (shape, scale) = (3.0, 2.0);
+        let xs: Vec<f64> = (0..100_000)
+            .map(|_| gamma(&mut rng, shape, scale))
+            .collect();
+        let (mean, var) = moments(&xs);
+        assert!((mean - shape * scale).abs() < 0.05, "mean={mean}");
+        assert!(
+            (var - shape * scale * scale).abs() < 0.3,
+            "var={var} want {}",
+            shape * scale * scale
+        );
+    }
+
+    #[test]
+    fn gamma_small_shape() {
+        let mut rng = StdRng::seed_from_u64(52);
+        let xs: Vec<f64> = (0..100_000).map(|_| gamma(&mut rng, 0.5, 1.0)).collect();
+        let (mean, _) = moments(&xs);
+        assert!((mean - 0.5).abs() < 0.02, "mean={mean}");
+        assert!(xs.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn beta_moments() {
+        let mut rng = StdRng::seed_from_u64(53);
+        let (a, b) = (2.0, 5.0);
+        let xs: Vec<f64> = (0..100_000).map(|_| beta(&mut rng, a, b)).collect();
+        let (mean, var) = moments(&xs);
+        let want_mean = a / (a + b);
+        let want_var = a * b / ((a + b).powi(2) * (a + b + 1.0));
+        assert!((mean - want_mean).abs() < 0.005, "mean={mean}");
+        assert!((var - want_var).abs() < 0.002, "var={var}");
+        assert!(xs.iter().all(|&x| x > 0.0 && x < 1.0));
+    }
+
+    #[test]
+    fn multinomial_sums_and_moments() {
+        let mut rng = StdRng::seed_from_u64(54);
+        let probs = [0.1, 0.2, 0.3, 0.4];
+        let trials = 20_000;
+        let n = 100u64;
+        let mut totals = [0u64; 4];
+        for _ in 0..trials {
+            let draw = multinomial(&mut rng, n, &probs);
+            assert_eq!(draw.iter().sum::<u64>(), n);
+            for (t, d) in totals.iter_mut().zip(&draw) {
+                *t += d;
+            }
+        }
+        for (i, &t) in totals.iter().enumerate() {
+            let got = t as f64 / (trials as f64 * n as f64);
+            assert!((got - probs[i]).abs() < 0.005, "bucket {i}: {got}");
+        }
+    }
+
+    #[test]
+    fn multinomial_unnormalized_weights() {
+        let mut rng = StdRng::seed_from_u64(55);
+        let draw = multinomial(&mut rng, 1000, &[1.0, 1.0]);
+        assert_eq!(draw.iter().sum::<u64>(), 1000);
+        assert!((draw[0] as f64 - 500.0).abs() < 100.0);
+    }
+
+    #[test]
+    fn multinomial_zero_trials() {
+        let mut rng = StdRng::seed_from_u64(56);
+        assert_eq!(multinomial(&mut rng, 0, &[0.5, 0.5]), vec![0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn multinomial_rejects_empty() {
+        let mut rng = StdRng::seed_from_u64(0);
+        multinomial(&mut rng, 5, &[]);
+    }
+
+    #[test]
+    fn bernoulli_frequency() {
+        let mut rng = StdRng::seed_from_u64(57);
+        let hits = (0..100_000).filter(|_| bernoulli(&mut rng, 0.3)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.3).abs() < 0.01, "frac={frac}");
+    }
+
+    #[test]
+    fn bernoulli_degenerate() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(!bernoulli(&mut rng, 0.0));
+        assert!(bernoulli(&mut rng, 1.0));
+    }
+
+    #[test]
+    fn determinism_with_equal_seeds() {
+        let draw = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut g = GaussianSampler::new();
+            (
+                binomial(&mut rng, 10_000, 0.37),
+                g.sample(&mut rng),
+                gamma(&mut rng, 4.0, 0.5),
+            )
+        };
+        assert_eq!(format!("{:?}", draw(99)), format!("{:?}", draw(99)));
+        assert_ne!(format!("{:?}", draw(99)), format!("{:?}", draw(100)));
+    }
+
+    mod property {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn binomial_in_range(seed in 0u64..200, n in 0u64..200_000, p in 0.0f64..=1.0) {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let x = binomial(&mut rng, n, p);
+                prop_assert!(x <= n);
+            }
+
+            #[test]
+            fn gamma_positive(seed in 0u64..200, shape in 0.01f64..20.0, scale in 0.01f64..10.0) {
+                let mut rng = StdRng::seed_from_u64(seed);
+                prop_assert!(gamma(&mut rng, shape, scale) > 0.0);
+            }
+
+            #[test]
+            fn beta_in_unit_interval(seed in 0u64..200, a in 0.1f64..20.0, b in 0.1f64..20.0) {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let x = beta(&mut rng, a, b);
+                prop_assert!(x > 0.0 && x < 1.0);
+            }
+
+            #[test]
+            fn multinomial_total(seed in 0u64..200, n in 0u64..10_000) {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let draw = multinomial(&mut rng, n, &[0.2, 0.3, 0.5]);
+                prop_assert_eq!(draw.iter().sum::<u64>(), n);
+            }
+        }
+    }
+}

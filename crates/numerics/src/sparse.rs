@@ -1,0 +1,326 @@
+//! Compressed sparse row (CSR) matrix.
+//!
+//! The pooling design is a bipartite multigraph whose biadjacency matrix has
+//! one row per query and one column per agent; the entry is the edge
+//! multiplicity. Queries contain `Γ = n/2` slots, so roughly `1 − e^{−1/2}`
+//! of the columns appear per row — sparse at small query counts, and still
+//! far cheaper than dense storage for the transposed products AMP needs.
+
+use serde::{Deserialize, Serialize};
+
+/// CSR matrix of `f64` values.
+///
+/// # Examples
+///
+/// ```
+/// use npd_numerics::CsrMatrix;
+///
+/// // [[1, 0, 2],
+/// //  [0, 3, 0]]
+/// let m = CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)]);
+/// assert_eq!(m.matvec(&[1.0, 1.0, 1.0]), vec![3.0, 3.0]);
+/// assert_eq!(m.nnz(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    /// Row pointers, length `rows + 1`.
+    row_ptr: Vec<usize>,
+    /// Column indices, length `nnz`, strictly increasing within a row.
+    col_idx: Vec<u32>,
+    /// Values, length `nnz`.
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from `(row, col, value)` triplets.
+    ///
+    /// Duplicate `(row, col)` entries are summed, which is exactly what a
+    /// multigraph biadjacency needs: each repeated slot adds 1 to the
+    /// multiplicity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any triplet is out of bounds.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f64)]) -> Self {
+        for &(r, c, _) in triplets {
+            assert!(
+                r < rows && c < cols,
+                "CsrMatrix::from_triplets: entry ({r},{c}) out of bounds for {rows}x{cols}"
+            );
+        }
+        // Count entries per row, then bucket-sort triplets by row.
+        let mut counts = vec![0usize; rows + 1];
+        for &(r, _, _) in triplets {
+            counts[r + 1] += 1;
+        }
+        for i in 0..rows {
+            counts[i + 1] += counts[i];
+        }
+        let mut by_row: Vec<(usize, f64)> = vec![(0, 0.0); triplets.len()];
+        let mut next = counts.clone();
+        for &(r, c, v) in triplets {
+            by_row[next[r]] = (c, v);
+            next[r] += 1;
+        }
+        // Within each row: sort by column and merge duplicates.
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::with_capacity(triplets.len());
+        let mut values = Vec::with_capacity(triplets.len());
+        row_ptr.push(0);
+        for r in 0..rows {
+            let seg = &mut by_row[counts[r]..counts[r + 1]];
+            seg.sort_unstable_by_key(|&(c, _)| c);
+            let mut iter = seg.iter().copied().peekable();
+            while let Some((c, mut v)) = iter.next() {
+                while let Some(&(c2, v2)) = iter.peek() {
+                    if c2 == c {
+                        v += v2;
+                        iter.next();
+                    } else {
+                        break;
+                    }
+                }
+                col_idx.push(c as u32);
+                values.push(v);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (structurally non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The stored entries of row `r` as parallel `(columns, values)` slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row(&self, r: usize) -> (&[u32], &[f64]) {
+        assert!(r < self.rows, "CsrMatrix::row out of bounds");
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        (&self.col_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Value at `(r, c)`, zero if not stored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(
+            r < self.rows && c < self.cols,
+            "CsrMatrix::get out of bounds"
+        );
+        let (cols, vals) = self.row(r);
+        match cols.binary_search(&(c as u32)) {
+            Ok(i) => vals[i],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Forward product `A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "CsrMatrix::matvec: length mismatch");
+        let mut out = vec![0.0; self.rows];
+        for (r, o) in out.iter_mut().enumerate() {
+            let (cols, vals) = self.row(r);
+            let mut acc = 0.0;
+            for (c, v) in cols.iter().zip(vals) {
+                acc += v * x[*c as usize];
+            }
+            *o = acc;
+        }
+        out
+    }
+
+    /// Transposed product `Aᵀ·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows`.
+    pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "CsrMatrix::matvec_t: length mismatch");
+        let mut out = vec![0.0; self.cols];
+        for (r, &xr) in x.iter().enumerate() {
+            if xr == 0.0 {
+                continue;
+            }
+            let (cols, vals) = self.row(r);
+            for (c, v) in cols.iter().zip(vals) {
+                out[*c as usize] += v * xr;
+            }
+        }
+        out
+    }
+
+    /// Densifies into a [`crate::Matrix`] (intended for tests and small
+    /// instances only).
+    pub fn to_dense(&self) -> crate::Matrix {
+        let mut m = crate::Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            for (c, v) in cols.iter().zip(vals) {
+                *m.get_mut(r, *c as usize) = *v;
+            }
+        }
+        m
+    }
+
+    /// Sum of all stored values (for a multigraph biadjacency: total number
+    /// of edge slots, i.e. `m·Γ`).
+    pub fn sum(&self) -> f64 {
+        self.values.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> CsrMatrix {
+        CsrMatrix::from_triplets(
+            3,
+            4,
+            &[
+                (0, 1, 2.0),
+                (0, 3, 1.0),
+                (1, 0, 5.0),
+                (2, 2, -1.0),
+                (2, 0, 4.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn shape_and_nnz() {
+        let m = sample();
+        assert_eq!((m.rows(), m.cols(), m.nnz()), (3, 4, 5));
+    }
+
+    #[test]
+    fn get_stored_and_missing() {
+        let m = sample();
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.get(2, 0), 4.0);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let m = CsrMatrix::from_triplets(1, 2, &[(0, 1, 1.0), (0, 1, 1.0), (0, 1, 1.0)]);
+        assert_eq!(m.get(0, 1), 3.0);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn rows_are_sorted_by_column() {
+        let m = sample();
+        let (cols, _) = m.row(2);
+        assert_eq!(cols, &[0, 2]);
+    }
+
+    #[test]
+    fn empty_matrix_is_fine() {
+        let m = CsrMatrix::from_triplets(2, 2, &[]);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.matvec(&[1.0, 1.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn triplet_out_of_bounds_panics() {
+        CsrMatrix::from_triplets(1, 1, &[(0, 1, 1.0)]);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let m = sample();
+        let d = m.to_dense();
+        let x = [1.0, -1.0, 0.5, 2.0];
+        assert_eq!(m.matvec(&x), d.matvec(&x));
+    }
+
+    #[test]
+    fn matvec_t_matches_dense() {
+        let m = sample();
+        let d = m.to_dense();
+        let x = [1.0, -1.0, 0.5];
+        assert_eq!(m.matvec_t(&x), d.matvec_t(&x));
+    }
+
+    #[test]
+    fn sum_counts_all_slots() {
+        assert_eq!(sample().sum(), 11.0);
+    }
+
+    proptest! {
+        /// CSR and dense products agree on random multigraph-like matrices.
+        #[test]
+        fn csr_equals_dense(
+            rows in 1usize..10,
+            cols in 1usize..10,
+            seed in 0u64..500,
+        ) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let nnz = rng.gen_range(0..rows * cols * 2);
+            let triplets: Vec<(usize, usize, f64)> = (0..nnz)
+                .map(|_| (rng.gen_range(0..rows), rng.gen_range(0..cols), 1.0))
+                .collect();
+            let m = CsrMatrix::from_triplets(rows, cols, &triplets);
+            let d = m.to_dense();
+            let x: Vec<f64> = (0..cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let y: Vec<f64> = (0..rows).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let fwd_sparse = m.matvec(&x);
+            let fwd_dense = d.matvec(&x);
+            for (a, b) in fwd_sparse.iter().zip(&fwd_dense) {
+                prop_assert!((a - b).abs() < 1e-9);
+            }
+            let t_sparse = m.matvec_t(&y);
+            let t_dense = d.matvec_t(&y);
+            for (a, b) in t_sparse.iter().zip(&t_dense) {
+                prop_assert!((a - b).abs() < 1e-9);
+            }
+        }
+
+        /// Triplet duplicate-merge preserves the total sum.
+        #[test]
+        fn sum_is_preserved(seed in 0u64..500) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let triplets: Vec<(usize, usize, f64)> = (0..rng.gen_range(0..50))
+                .map(|_| (rng.gen_range(0..5), rng.gen_range(0..5), rng.gen_range(0.0..2.0)))
+                .collect();
+            let total: f64 = triplets.iter().map(|t| t.2).sum();
+            let m = CsrMatrix::from_triplets(5, 5, &triplets);
+            prop_assert!((m.sum() - total).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,517 @@
+//! Summary statistics for the experiment harness.
+//!
+//! Figure 5 of the paper reports box plots of the required number of queries,
+//! and Figures 2–4 report per-configuration medians; this module provides the
+//! corresponding estimators: streaming moments ([`Welford`]), order-statistic
+//! quantiles ([`quantile`]), and the five-number summary ([`BoxPlot`]).
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// Numerically stable for long runs; used by the parallel trial runner to
+/// accumulate statistics without retaining every sample.
+///
+/// # Examples
+///
+/// ```
+/// use npd_numerics::stats::Welford;
+///
+/// let mut w = Welford::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     w.push(x);
+/// }
+/// assert_eq!(w.mean(), 5.0);
+/// assert!((w.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (`0.0` with fewer than two observations).
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population variance (`0.0` when empty).
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn sample_sd(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 += other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+    }
+}
+
+/// Quantile of a sample using linear interpolation between order statistics
+/// (the "type 7" estimator, the default in R and NumPy).
+///
+/// # Panics
+///
+/// Panics if `data` is empty or `q` is outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use npd_numerics::stats::quantile;
+/// let data = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(quantile(&data, 0.5), 2.5);
+/// assert_eq!(quantile(&data, 0.0), 1.0);
+/// assert_eq!(quantile(&data, 1.0), 4.0);
+/// ```
+pub fn quantile(data: &[f64], q: f64) -> f64 {
+    assert!(!data.is_empty(), "quantile: empty sample");
+    assert!((0.0..=1.0).contains(&q), "quantile: q={q} not in [0,1]");
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("quantile: NaN in sample"));
+    quantile_sorted(&sorted, q)
+}
+
+/// [`quantile`] on data that is already sorted ascending (no copy).
+///
+/// # Panics
+///
+/// Panics if `data` is empty or `q` is outside `[0, 1]`.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile_sorted: empty sample");
+    assert!((0.0..=1.0).contains(&q), "quantile_sorted: q out of range");
+    let h = (sorted.len() - 1) as f64 * q;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = h - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// Median shortcut.
+///
+/// # Panics
+///
+/// Panics if `data` is empty.
+pub fn median(data: &[f64]) -> f64 {
+    quantile(data, 0.5)
+}
+
+/// Five-number summary backing one box in a box plot (Figure 5).
+///
+/// `whisker_low`/`whisker_high` follow the Tukey convention: the most extreme
+/// data points within 1.5·IQR of the quartiles; points beyond are outliers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoxPlot {
+    /// Smallest observation.
+    pub min: f64,
+    /// Lower whisker (Tukey).
+    pub whisker_low: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Upper whisker (Tukey).
+    pub whisker_high: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Observations beyond the whiskers.
+    pub outliers: Vec<f64>,
+    /// Sample size.
+    pub count: usize,
+}
+
+impl BoxPlot {
+    /// Computes the summary from a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or contains NaN.
+    pub fn from_slice(data: &[f64]) -> Self {
+        assert!(!data.is_empty(), "BoxPlot: empty sample");
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("BoxPlot: NaN in sample"));
+        let q1 = quantile_sorted(&sorted, 0.25);
+        let med = quantile_sorted(&sorted, 0.5);
+        let q3 = quantile_sorted(&sorted, 0.75);
+        let iqr = q3 - q1;
+        let lo_fence = q1 - 1.5 * iqr;
+        let hi_fence = q3 + 1.5 * iqr;
+        // Farthest data point within the fence, clamped to the quartile if
+        // every point on that side lies beyond it (matplotlib's convention —
+        // interpolated quartiles can exceed all non-outlier data on very
+        // small samples).
+        let whisker_low = sorted
+            .iter()
+            .copied()
+            .find(|&x| x >= lo_fence)
+            .unwrap_or(sorted[0])
+            .min(q1);
+        let whisker_high = sorted
+            .iter()
+            .rev()
+            .copied()
+            .find(|&x| x <= hi_fence)
+            .unwrap_or(sorted[sorted.len() - 1])
+            .max(q3);
+        let outliers = sorted
+            .iter()
+            .copied()
+            .filter(|&x| x < lo_fence || x > hi_fence)
+            .collect();
+        Self {
+            min: sorted[0],
+            whisker_low,
+            q1,
+            median: med,
+            q3,
+            whisker_high,
+            max: sorted[sorted.len() - 1],
+            outliers,
+            count: sorted.len(),
+        }
+    }
+}
+
+/// Basic sample summary: count, mean, standard deviation, min, median, max.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Unbiased sample standard deviation.
+    pub sd: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median.
+    pub median: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes the summary from a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or contains NaN.
+    pub fn from_slice(data: &[f64]) -> Self {
+        assert!(!data.is_empty(), "Summary: empty sample");
+        let mut w = Welford::new();
+        for &x in data {
+            w.push(x);
+        }
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("Summary: NaN in sample"));
+        Self {
+            count: data.len(),
+            mean: w.mean(),
+            sd: w.sample_sd(),
+            min: sorted[0],
+            median: quantile_sorted(&sorted, 0.5),
+            max: sorted[sorted.len() - 1],
+        }
+    }
+}
+
+/// Equal-width histogram over `[lo, hi)` with overflow/underflow folded into
+/// the edge bins; used by diagnostic output in the experiment harness.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width buckets spanning `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "Histogram: need at least one bin");
+        assert!(lo < hi, "Histogram: lo={lo} must be below hi={hi}");
+        Self {
+            lo,
+            hi,
+            bins: vec![0; bins],
+        }
+    }
+
+    /// Adds one observation, clamping to the edge bins.
+    pub fn push(&mut self, x: f64) {
+        let n = self.bins.len();
+        let t = (x - self.lo) / (self.hi - self.lo);
+        let idx = ((t * n as f64).floor() as i64).clamp(0, n as i64 - 1) as usize;
+        self.bins[idx] += 1;
+    }
+
+    /// Bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let data = [1.5, 2.5, 3.5, 10.0, -4.0];
+        let mut w = Welford::new();
+        for &x in &data {
+            w.push(x);
+        }
+        let mean = data.iter().sum::<f64>() / data.len() as f64;
+        let var =
+            data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
+        assert!((w.mean() - mean).abs() < 1e-12);
+        assert!((w.sample_variance() - var).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_empty_and_single() {
+        let mut w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.sample_variance(), 0.0);
+        w.push(5.0);
+        assert_eq!(w.mean(), 5.0);
+        assert_eq!(w.sample_variance(), 0.0);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Welford::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let mut left = Welford::new();
+        let mut right = Welford::new();
+        for &x in &data[..37] {
+            left.push(x);
+        }
+        for &x in &data[37..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-10);
+        assert!((left.sample_variance() - whole.sample_variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn welford_merge_with_empty() {
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        b.push(3.0);
+        a.merge(&b);
+        assert_eq!(a.mean(), 3.0);
+        let empty = Welford::new();
+        a.merge(&empty);
+        assert_eq!(a.count(), 1);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let data = [10.0, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(quantile(&data, 0.5), 30.0);
+        assert_eq!(quantile(&data, 0.25), 20.0);
+        assert_eq!(quantile(&data, 0.1), 14.0);
+    }
+
+    #[test]
+    fn quantile_single_element() {
+        assert_eq!(quantile(&[7.0], 0.0), 7.0);
+        assert_eq!(quantile(&[7.0], 1.0), 7.0);
+        assert_eq!(quantile(&[7.0], 0.33), 7.0);
+    }
+
+    #[test]
+    fn quantile_unsorted_input() {
+        let data = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(quantile(&data, 0.5), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_empty_panics() {
+        quantile(&[], 0.5);
+    }
+
+    #[test]
+    fn median_even_odd() {
+        assert_eq!(median(&[1.0, 3.0, 2.0]), 2.0);
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+    }
+
+    #[test]
+    fn boxplot_no_outliers() {
+        let data: Vec<f64> = (1..=9).map(|i| i as f64).collect();
+        let bp = BoxPlot::from_slice(&data);
+        assert_eq!(bp.median, 5.0);
+        assert_eq!(bp.q1, 3.0);
+        assert_eq!(bp.q3, 7.0);
+        assert_eq!(bp.min, 1.0);
+        assert_eq!(bp.max, 9.0);
+        assert!(bp.outliers.is_empty());
+        assert_eq!(bp.whisker_low, 1.0);
+        assert_eq!(bp.whisker_high, 9.0);
+    }
+
+    #[test]
+    fn boxplot_detects_outlier() {
+        let mut data: Vec<f64> = (1..=9).map(|i| i as f64).collect();
+        data.push(100.0);
+        let bp = BoxPlot::from_slice(&data);
+        assert_eq!(bp.outliers, vec![100.0]);
+        assert_eq!(bp.max, 100.0);
+        assert!(bp.whisker_high < 100.0);
+    }
+
+    #[test]
+    fn boxplot_constant_sample() {
+        let bp = BoxPlot::from_slice(&[5.0; 10]);
+        assert_eq!(bp.median, 5.0);
+        assert_eq!(bp.q1, 5.0);
+        assert_eq!(bp.q3, 5.0);
+        assert!(bp.outliers.is_empty());
+    }
+
+    #[test]
+    fn summary_basic() {
+        let s = Summary::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.median, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    fn histogram_bins_and_clamping() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [0.5, 1.5, 9.9, -3.0, 42.0] {
+            h.push(x);
+        }
+        assert_eq!(h.counts(), &[3, 0, 0, 0, 2]);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn histogram_zero_bins_panics() {
+        Histogram::new(0.0, 1.0, 0);
+    }
+
+    proptest! {
+        /// Quantiles are monotone in q and bounded by the extremes.
+        #[test]
+        fn quantile_monotone(
+            mut data in proptest::collection::vec(-1e6f64..1e6, 1..200),
+            q1 in 0.0f64..=1.0,
+            q2 in 0.0f64..=1.0,
+        ) {
+            data.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let (lo, hi) = (q1.min(q2), q1.max(q2));
+            let v_lo = quantile_sorted(&data, lo);
+            let v_hi = quantile_sorted(&data, hi);
+            prop_assert!(v_lo <= v_hi + 1e-9);
+            prop_assert!(v_lo >= data[0] - 1e-9);
+            prop_assert!(v_hi <= data[data.len() - 1] + 1e-9);
+        }
+
+        /// BoxPlot invariants: min ≤ whisker_low ≤ q1 ≤ median ≤ q3 ≤ whisker_high ≤ max.
+        #[test]
+        fn boxplot_ordering(data in proptest::collection::vec(-1e3f64..1e3, 1..100)) {
+            let bp = BoxPlot::from_slice(&data);
+            prop_assert!(bp.min <= bp.whisker_low + 1e-9);
+            prop_assert!(bp.whisker_low <= bp.q1 + 1e-9);
+            prop_assert!(bp.q1 <= bp.median + 1e-9);
+            prop_assert!(bp.median <= bp.q3 + 1e-9);
+            prop_assert!(bp.q3 <= bp.whisker_high + 1e-9);
+            prop_assert!(bp.whisker_high <= bp.max + 1e-9);
+            prop_assert_eq!(bp.count, data.len());
+        }
+
+        /// Welford merge is associative with sequential accumulation.
+        #[test]
+        fn welford_merge_property(
+            a in proptest::collection::vec(-1e3f64..1e3, 0..50),
+            b in proptest::collection::vec(-1e3f64..1e3, 0..50),
+        ) {
+            let mut seq = Welford::new();
+            for &x in a.iter().chain(&b) { seq.push(x); }
+            let mut wa = Welford::new();
+            for &x in &a { wa.push(x); }
+            let mut wb = Welford::new();
+            for &x in &b { wb.push(x); }
+            wa.merge(&wb);
+            prop_assert_eq!(wa.count(), seq.count());
+            prop_assert!((wa.mean() - seq.mean()).abs() < 1e-6);
+            prop_assert!((wa.sample_variance() - seq.sample_variance()).abs() < 1e-6);
+        }
+    }
+}

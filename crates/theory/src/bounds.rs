@@ -1,0 +1,334 @@
+//! Query bounds of Theorems 1 and 2.
+//!
+//! All functions return the *number of queries* `m` the respective theorem
+//! requires for whole-vector recovery w.h.p. They take `n` as `f64` so the
+//! harness can evaluate the curves on a continuous grid, matching the dashed
+//! theory lines in Figures 2–4.
+//!
+//! Conventions:
+//!
+//! * sublinear regime: `k = n^θ`, `θ ∈ (0, 1)`;
+//! * linear regime: `k = ζ·n`, `ζ ∈ (0, 1)`;
+//! * noisy channel: false-negative rate `p`, false-positive rate `q`,
+//!   `p + q < 1` (the Z-channel is `q = 0`);
+//! * `ε > 0` is the slack of the theorem statements.
+
+use crate::GAMMA;
+use serde::{Deserialize, Serialize};
+
+/// Validates the shared parameter ranges; the bound functions call this.
+///
+/// # Panics
+///
+/// Panics when `n < 1`, `p` or `q` is outside `[0, 1)`, `p + q ≥ 1`, or
+/// `ε < 0`.
+fn validate(n: f64, p: f64, q: f64, eps: f64) {
+    assert!(n >= 1.0, "bounds: n={n} must be at least 1");
+    assert!((0.0..1.0).contains(&p), "bounds: p={p} must be in [0,1)");
+    assert!((0.0..1.0).contains(&q), "bounds: q={q} must be in [0,1)");
+    assert!(p + q < 1.0, "bounds: p+q={} must be below 1", p + q);
+    assert!(eps >= 0.0, "bounds: eps={eps} must be non-negative");
+}
+
+/// `k = n^θ` as a real number (the theory curves treat `k` continuously).
+///
+/// # Panics
+///
+/// Panics if `θ` is outside `(0, 1)`.
+pub fn sublinear_k(n: f64, theta: f64) -> f64 {
+    assert!(
+        theta > 0.0 && theta < 1.0,
+        "sublinear_k: theta={theta} must be in (0,1)"
+    );
+    n.powf(theta)
+}
+
+/// Theorem 1, sublinear regime, Z-channel (`q = 0`):
+/// `m ≥ (4γ + ε)·(1 + √θ)²/(1 − p)·k·ln n`.
+///
+/// This is the dashed line of Figure 2 (with `p = 0.1`, `ε = 0.05`).
+///
+/// # Panics
+///
+/// Panics on invalid parameters (see module docs).
+pub fn z_channel_sublinear_queries(n: f64, theta: f64, p: f64, eps: f64) -> f64 {
+    validate(n, p, 0.0, eps);
+    let k = sublinear_k(n, theta);
+    (4.0 * GAMMA + eps) * (1.0 + theta.sqrt()).powi(2) / (1.0 - p) * k * n.ln()
+}
+
+/// Theorem 1, sublinear regime, general noisy channel (`q > 0` constant):
+/// `m ≥ (4γ + ε)·q·(1 + √θ)²/(1 − p − q)²·n·ln n`.
+///
+/// Note the `n·ln n` scaling — once `q` dominates `k/n`, false positives
+/// force a near-linear number of queries.
+///
+/// # Panics
+///
+/// Panics on invalid parameters.
+pub fn gnc_sublinear_queries(n: f64, theta: f64, p: f64, q: f64, eps: f64) -> f64 {
+    validate(n, p, q, eps);
+    assert!(
+        theta > 0.0 && theta < 1.0,
+        "gnc_sublinear_queries: theta={theta} must be in (0,1)"
+    );
+    (4.0 * GAMMA + eps) * q * (1.0 + theta.sqrt()).powi(2) / (1.0 - p - q).powi(2) * n * n.ln()
+}
+
+/// Combined sublinear noisy-channel bound that interpolates the two cases of
+/// Theorem 1:
+/// `m ≥ (4γ + ε)·(1 + √θ)²·(q·n + k·(1 − p − q))/(1 − p − q)²·ln n`.
+///
+/// The remark after Theorem 1 states that `q = o(k/n)` behaves like `q = 0`
+/// and `q = ω(k/n)` like constant `q`; this expression follows from the
+/// common denominator `q + (k/n)(1 − p − q)` in Equations (8)–(9) of the
+/// paper and reduces to [`z_channel_sublinear_queries`] at `q = 0` and to
+/// [`gnc_sublinear_queries`] when `q·n ≫ k`. Figure 4's crossover between
+/// the `k ln n` and `n ln n` regimes is exactly the bend of this curve.
+///
+/// # Panics
+///
+/// Panics on invalid parameters.
+pub fn noisy_channel_sublinear_queries(n: f64, theta: f64, p: f64, q: f64, eps: f64) -> f64 {
+    validate(n, p, q, eps);
+    let k = sublinear_k(n, theta);
+    let denom = (1.0 - p - q).powi(2);
+    (4.0 * GAMMA + eps) * (1.0 + theta.sqrt()).powi(2) * (q * n + k * (1.0 - p - q)) / denom
+        * n.ln()
+}
+
+/// Theorem 1, linear regime (`k = ζn`, Z-channel and general channel):
+/// `m ≥ (16γ + ε)·(q + (1 − p − q)·ζ)/(1 − p − q)²·n·ln n`.
+///
+/// # Panics
+///
+/// Panics on invalid parameters or `ζ ∉ (0, 1)`.
+pub fn noisy_channel_linear_queries(n: f64, zeta: f64, p: f64, q: f64, eps: f64) -> f64 {
+    validate(n, p, q, eps);
+    assert!(
+        zeta > 0.0 && zeta < 1.0,
+        "noisy_channel_linear_queries: zeta={zeta} must be in (0,1)"
+    );
+    (16.0 * GAMMA + eps) * (q + (1.0 - p - q) * zeta) / (1.0 - p - q).powi(2) * n * n.ln()
+}
+
+/// Theorem 2, sublinear regime (noisy query model, `λ² = o(m/ln n)`):
+/// `m ≥ (4γ + ε)·(1 + √θ)²·k·ln n` — the noiseless bound.
+///
+/// # Panics
+///
+/// Panics on invalid parameters.
+pub fn noisy_query_sublinear_queries(n: f64, theta: f64, eps: f64) -> f64 {
+    z_channel_sublinear_queries(n, theta, 0.0, eps)
+}
+
+/// Theorem 2, linear regime: `m ≥ (16γ + ε)·ζ·n·ln n`.
+///
+/// # Panics
+///
+/// Panics on invalid parameters.
+pub fn noisy_query_linear_queries(n: f64, zeta: f64, eps: f64) -> f64 {
+    noisy_channel_linear_queries(n, zeta, 0.0, 0.0, eps)
+}
+
+/// Classification of the Gaussian query-noise magnitude relative to the
+/// phase transition of Theorem 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueryNoiseRegime {
+    /// `λ² ≪ m / ln n`: the algorithm succeeds w.h.p. with the noiseless
+    /// query budget.
+    Safe,
+    /// Between the two thresholds: the theory makes no statement; empirics
+    /// (Figure 3) show graceful degradation here.
+    Intermediate,
+    /// `λ² = Ω(m)`: the algorithm fails with positive probability for any
+    /// number of queries.
+    Failing,
+}
+
+/// Classifies `λ` against the Theorem-2 phase transition for a given `m, n`.
+///
+/// The asymptotic statements are mapped to finite-size checks with
+/// conventional constants: `Safe` when `λ²·ln n ≤ m/10`, `Failing` when
+/// `λ² ≥ m`, `Intermediate` otherwise. These constants are documented
+/// choices, not part of the theorem.
+///
+/// # Panics
+///
+/// Panics if `λ < 0`, `m ≤ 0`, or `n < 2`.
+///
+/// # Examples
+///
+/// ```
+/// use npd_theory::bounds::{noise_regime, QueryNoiseRegime};
+/// assert_eq!(noise_regime(1.0, 500.0, 1000.0), QueryNoiseRegime::Safe);
+/// assert_eq!(noise_regime(40.0, 500.0, 1000.0), QueryNoiseRegime::Failing);
+/// ```
+pub fn noise_regime(lambda: f64, m: f64, n: f64) -> QueryNoiseRegime {
+    assert!(lambda >= 0.0, "noise_regime: lambda={lambda} negative");
+    assert!(m > 0.0, "noise_regime: m={m} must be positive");
+    assert!(n >= 2.0, "noise_regime: n={n} must be at least 2");
+    let l2 = lambda * lambda;
+    if l2 * n.ln() <= m / 10.0 {
+        QueryNoiseRegime::Safe
+    } else if l2 >= m {
+        QueryNoiseRegime::Failing
+    } else {
+        QueryNoiseRegime::Intermediate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn z_channel_reduces_to_noiseless_of_gebhard() {
+        // With p = 0, the bound must match the noiseless maximum
+        // neighborhood bound (4γ + ε)(1 + √θ)² k ln n of [29].
+        let n = 1e4;
+        let theta = 0.25;
+        let m0 = z_channel_sublinear_queries(n, theta, 0.0, 0.0);
+        let manual = 4.0 * GAMMA * 2.25 * n.powf(0.25) * n.ln();
+        assert!((m0 - manual).abs() < 1e-6);
+    }
+
+    #[test]
+    fn z_channel_monotone_in_p() {
+        let m1 = z_channel_sublinear_queries(1e4, 0.25, 0.1, 0.05);
+        let m3 = z_channel_sublinear_queries(1e4, 0.25, 0.3, 0.05);
+        let m5 = z_channel_sublinear_queries(1e4, 0.25, 0.5, 0.05);
+        assert!(m1 < m3 && m3 < m5);
+    }
+
+    #[test]
+    fn figure2_dashed_line_value() {
+        // Figure 2's dashed line: θ = 0.25, p = 0.1, ε = 0.05. At n = 10³,
+        // k = 10^0.75 ≈ 5.62, ln n ≈ 6.91: m ≈ 1.624 · 2.25 · (1/0.9) · 38.86 ≈ 158.
+        let m = z_channel_sublinear_queries(1e3, 0.25, 0.1, 0.05);
+        assert!(m > 140.0 && m < 180.0, "m={m}");
+    }
+
+    #[test]
+    fn gnc_scales_linearly_in_n() {
+        let m1 = gnc_sublinear_queries(1e4, 0.25, 0.01, 0.01, 0.0);
+        let m2 = gnc_sublinear_queries(1e5, 0.25, 0.01, 0.01, 0.0);
+        let ratio = m2 / m1;
+        // n ln n growth: 10 · ln(1e5)/ln(1e4) ≈ 12.5.
+        assert!((ratio - 12.5).abs() < 0.1, "ratio={ratio}");
+    }
+
+    #[test]
+    fn combined_bound_reduces_to_z_channel_at_q_zero() {
+        let a = noisy_channel_sublinear_queries(5e3, 0.3, 0.2, 0.0, 0.05);
+        let b = z_channel_sublinear_queries(5e3, 0.3, 0.2, 0.05);
+        assert!((a - b).abs() / b < 1e-12);
+    }
+
+    #[test]
+    fn combined_bound_approaches_gnc_for_large_qn() {
+        // With q·n ≫ k the combined bound is dominated by the GNC term.
+        let n = 1e5;
+        let combined = noisy_channel_sublinear_queries(n, 0.25, 0.1, 0.1, 0.0);
+        let gnc = gnc_sublinear_queries(n, 0.25, 0.1, 0.1, 0.0);
+        assert!((combined - gnc) / gnc < 0.01, "combined={combined} gnc={gnc}");
+        assert!(combined > gnc);
+    }
+
+    #[test]
+    fn combined_bound_crossover_moves_with_q() {
+        // The bend of Figure 4: the q-term overtakes the k-term when
+        // q·n ≈ k = n^0.25. For q = 10⁻³ this is n ≈ 10⁴·... — just check
+        // that at small n the bound tracks the Z-channel curve and at large
+        // n it exceeds it markedly.
+        let q = 1e-3;
+        let small = noisy_channel_sublinear_queries(100.0, 0.25, q, q, 0.0);
+        let z_small = z_channel_sublinear_queries(100.0, 0.25, q, 0.0);
+        assert!((small - z_small) / z_small < 0.15);
+        let large = noisy_channel_sublinear_queries(1e5, 0.25, q, q, 0.0);
+        let z_large = z_channel_sublinear_queries(1e5, 0.25, q, 0.0);
+        assert!(large / z_large > 3.0);
+    }
+
+    #[test]
+    fn linear_bound_noiseless_matches_theorem2() {
+        let a = noisy_channel_linear_queries(1e4, 0.3, 0.0, 0.0, 0.05);
+        let b = noisy_query_linear_queries(1e4, 0.3, 0.05);
+        assert_eq!(a, b);
+        let manual = (16.0 * GAMMA + 0.05) * 0.3 * 1e4 * (1e4f64).ln();
+        assert!((a - manual).abs() < 1e-6);
+    }
+
+    #[test]
+    fn noisy_query_sublinear_is_noiseless_z() {
+        let a = noisy_query_sublinear_queries(2e3, 0.25, 0.1);
+        let b = z_channel_sublinear_queries(2e3, 0.25, 0.0, 0.1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn noise_regime_classification() {
+        assert_eq!(noise_regime(0.0, 100.0, 100.0), QueryNoiseRegime::Safe);
+        assert_eq!(noise_regime(2.0, 500.0, 1000.0), QueryNoiseRegime::Safe);
+        assert_eq!(
+            noise_regime(5.0, 500.0, 1000.0),
+            QueryNoiseRegime::Intermediate
+        );
+        assert_eq!(noise_regime(30.0, 500.0, 1000.0), QueryNoiseRegime::Failing);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be below 1")]
+    fn rejects_p_plus_q_at_least_one() {
+        noisy_channel_linear_queries(1e3, 0.5, 0.6, 0.4, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta")]
+    fn rejects_bad_theta() {
+        sublinear_k(100.0, 1.5);
+    }
+
+    proptest! {
+        /// All bounds are positive and increase with ε.
+        #[test]
+        fn bounds_positive_and_monotone_in_eps(
+            n in 10.0f64..1e6,
+            theta in 0.05f64..0.95,
+            p in 0.0f64..0.45,
+            q in 0.0f64..0.45,
+            eps in 0.0f64..1.0,
+        ) {
+            let base = noisy_channel_sublinear_queries(n, theta, p, q, 0.0);
+            let slack = noisy_channel_sublinear_queries(n, theta, p, q, eps);
+            prop_assert!(base > 0.0);
+            prop_assert!(slack >= base);
+        }
+
+        /// The combined sublinear bound dominates both extremal forms.
+        #[test]
+        fn combined_dominates_extremes(
+            n in 10.0f64..1e6,
+            theta in 0.05f64..0.95,
+            p in 0.0f64..0.45,
+            q in 0.001f64..0.45,
+        ) {
+            let combined = noisy_channel_sublinear_queries(n, theta, p, q, 0.0);
+            let gnc = gnc_sublinear_queries(n, theta, p, q, 0.0);
+            prop_assert!(combined >= gnc - 1e-9);
+        }
+
+        /// Linear-regime bound is monotone in ζ and in the noise level.
+        #[test]
+        fn linear_monotonicity(
+            n in 10.0f64..1e6,
+            zeta in 0.05f64..0.9,
+            p in 0.0f64..0.4,
+        ) {
+            let lo = noisy_channel_linear_queries(n, zeta, p, 0.0, 0.0);
+            let hi = noisy_channel_linear_queries(n, zeta, (p + 0.05).min(0.45), 0.0, 0.0);
+            prop_assert!(hi >= lo);
+        }
+    }
+}

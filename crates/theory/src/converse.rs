@@ -1,0 +1,319 @@
+//! Converse (lower) bounds on the number of queries.
+//!
+//! Theorems 1 and 2 are *achievability* results: enough queries for the
+//! greedy algorithm to succeed. This module provides the opposite side of
+//! the sandwich — how many queries *any* decoder (efficient or not) needs —
+//! so the experiment harness can show measured thresholds pinched between
+//! converse and achievability:
+//!
+//! * [`counting_bound_queries`] — a query returns one of `Γ + 1` values, so
+//!   `m` queries distinguish at most `(Γ+1)^m` assignments; rigorous and
+//!   noise-free.
+//! * [`gaussian_converse_queries`] — under the noisy query model each query
+//!   is a Gaussian channel use of capacity `½·log₂(1 + Var(Σ)/λ²)`; Fano
+//!   then lower-bounds `m`. Rigorous up to the i.i.d.-slot variance
+//!   approximation of `Var(Σ)`.
+//! * [`channel_converse_queries`] — under the noisy channel the output
+//!   entropy is at most `log₂(Γ+1)` while the *conditional* entropy of the
+//!   binomial reading noise is `≈ ½·log₂(2πe·v)` (CLT, `O(1/v)` accurate);
+//!   the difference caps the per-query information.
+//! * [`binary_channel_capacity`] / [`z_channel_capacity`] — exact closed
+//!   forms for the per-slot channel, giving the (weak but fully rigorous)
+//!   slot-capacity bound [`slot_capacity_bound_queries`].
+//!
+//! All bounds return `f64` query counts (not rounded) to keep them
+//! plot-friendly alongside the achievability curves of [`crate::bounds`].
+
+use npd_numerics::special::ln_choose;
+
+const LN_2: f64 = std::f64::consts::LN_2;
+/// `2πe`, the variance-to-entropy constant of the Gaussian.
+const TWO_PI_E: f64 = 2.0 * std::f64::consts::PI * std::f64::consts::E;
+
+/// `log₂ C(n, k)` — the size of the hypothesis space in bits.
+///
+/// # Panics
+///
+/// Panics if `k > n`.
+pub fn log2_candidates(n: u64, k: u64) -> f64 {
+    assert!(k <= n, "log2_candidates: k={k} exceeds n={n}");
+    ln_choose(n, k) / LN_2
+}
+
+/// Binary entropy `H(x)` in bits, with `H(0) = H(1) = 0`.
+///
+/// # Panics
+///
+/// Panics if `x ∉ [0, 1]`.
+pub fn binary_entropy(x: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&x),
+        "binary_entropy: x={x} not in [0,1]"
+    );
+    let mut h = 0.0;
+    if x > 0.0 {
+        h -= x * x.log2();
+    }
+    if x < 1.0 {
+        h -= (1.0 - x) * (1.0 - x).log2();
+    }
+    h
+}
+
+/// The noiseless counting converse: `m ≥ log₂ C(n,k) / log₂(Γ+1)`.
+///
+/// Any non-adaptive strategy whose queries return integers in `[0, Γ]`
+/// cannot distinguish more than `(Γ+1)^m` assignments, so exact recovery
+/// (even by exhaustive decoding) requires at least this many queries.
+///
+/// # Panics
+///
+/// Panics if `k > n` or `gamma == 0`.
+pub fn counting_bound_queries(n: u64, k: u64, gamma: u64) -> f64 {
+    assert!(gamma > 0, "counting_bound_queries: gamma must be positive");
+    log2_candidates(n, k) / ((gamma as f64 + 1.0).log2())
+}
+
+/// Fano-style converse for the noisy query model:
+/// `m ≥ log₂ C(n,k) / (½·log₂(1 + Γ·π(1−π)/λ²))` with `π = k/n`.
+///
+/// The true sum of a query concentrates with variance `≈ Γ·π(1−π)` (i.i.d.
+/// slots), so each observation is one use of an additive-Gaussian channel
+/// whose capacity the denominator states. Falls back to the counting bound
+/// when `λ = 0`.
+///
+/// # Panics
+///
+/// Panics if `k > n`, `gamma == 0`, or `lambda < 0`.
+pub fn gaussian_converse_queries(n: u64, k: u64, gamma: u64, lambda: f64) -> f64 {
+    assert!(lambda >= 0.0, "gaussian_converse_queries: lambda={lambda} < 0");
+    if lambda == 0.0 {
+        return counting_bound_queries(n, k, gamma);
+    }
+    assert!(gamma > 0, "gaussian_converse_queries: gamma must be positive");
+    let pi = k as f64 / n as f64;
+    let signal_var = gamma as f64 * pi * (1.0 - pi);
+    let capacity = 0.5 * (1.0 + signal_var / (lambda * lambda)).log2();
+    if capacity <= 0.0 {
+        return f64::INFINITY;
+    }
+    (log2_candidates(n, k) / capacity).max(counting_bound_queries(n, k, gamma))
+}
+
+/// CLT-approximate converse for the noisy channel:
+/// `m ≥ log₂ C(n,k) / (log₂(Γ+1) − ½·log₂(2πe·v))` where
+/// `v = Γ·(π·p(1−p) + (1−π)·q(1−q))` is the reading variance at the typical
+/// slot composition.
+///
+/// The numerator of the capacity gap is the maximum output entropy, the
+/// subtrahend the (CLT) conditional entropy of the binomial reading noise —
+/// the per-query information can be no larger than their difference.
+/// Reduces to the counting bound as `p, q → 0`.
+///
+/// # Panics
+///
+/// Panics if `k > n`, `gamma == 0`, `p ∉ [0,1)`, `q ∉ [0,1)`, or
+/// `p + q ≥ 1`.
+pub fn channel_converse_queries(n: u64, k: u64, gamma: u64, p: f64, q: f64) -> f64 {
+    assert!(gamma > 0, "channel_converse_queries: gamma must be positive");
+    validate_channel(p, q);
+    let pi = k as f64 / n as f64;
+    let v = gamma as f64 * (pi * p * (1.0 - p) + (1.0 - pi) * q * (1.0 - q));
+    let conditional_entropy = if v > 0.0 {
+        0.5 * (TWO_PI_E * v).log2()
+    } else {
+        0.0
+    };
+    let per_query = ((gamma as f64 + 1.0).log2() - conditional_entropy.max(0.0)).max(0.0);
+    if per_query == 0.0 {
+        return f64::INFINITY;
+    }
+    (log2_candidates(n, k) / per_query).max(counting_bound_queries(n, k, gamma))
+}
+
+/// Exact capacity (bits/use) of the binary asymmetric channel with
+/// false-positive rate `q` (`0 → 1`) and false-negative rate `p`
+/// (`1 → 0`) — the per-slot channel of the paper's noisy channel model.
+///
+/// Closed form (see e.g. Moser, *Information Theory*, for the derivation):
+/// with `s = 1 − p − q`,
+///
+/// ```text
+/// C = q/s·H(p) − (1−p)/s·H(q) + log₂(1 + 2^{(H(q) − H(p))/s})
+/// ```
+///
+/// Specializes to `1 − H(p)` for the BSC (`p = q`) and to the classic
+/// Z-channel form for `q = 0`.
+///
+/// # Panics
+///
+/// Panics if `p ∉ [0,1)`, `q ∉ [0,1)`, or `p + q ≥ 1`.
+pub fn binary_channel_capacity(p: f64, q: f64) -> f64 {
+    validate_channel(p, q);
+    if p == 0.0 && q == 0.0 {
+        return 1.0;
+    }
+    let s = 1.0 - p - q;
+    let hp = binary_entropy(p);
+    let hq = binary_entropy(q);
+    let c = q / s * hp - (1.0 - p) / s * hq + (1.0 + 2f64.powf((hq - hp) / s)).log2();
+    c.clamp(0.0, 1.0)
+}
+
+/// Exact Z-channel capacity `log₂(1 + (1−p)·p^{p/(1−p)})`.
+///
+/// # Panics
+///
+/// Panics if `p ∉ [0, 1)`.
+pub fn z_channel_capacity(p: f64) -> f64 {
+    assert!((0.0..1.0).contains(&p), "z_channel_capacity: p={p} not in [0,1)");
+    if p == 0.0 {
+        return 1.0;
+    }
+    (1.0 + (1.0 - p) * p.powf(p / (1.0 - p))).log2()
+}
+
+/// The rigorous (but loose) slot-capacity converse: every query uses the
+/// per-slot channel `Γ` times, so
+/// `m ≥ log₂ C(n,k) / (Γ·C_bac(p,q))`.
+///
+/// This holds for *any* scheme that observes the hidden bits only through
+/// the noisy channel — even one that sees each slot reading individually
+/// rather than their sum — which is why it is far below the sum-aware
+/// [`channel_converse_queries`].
+///
+/// # Panics
+///
+/// Panics if `k > n`, `gamma == 0`, or the channel parameters are invalid.
+pub fn slot_capacity_bound_queries(n: u64, k: u64, gamma: u64, p: f64, q: f64) -> f64 {
+    assert!(gamma > 0, "slot_capacity_bound_queries: gamma must be positive");
+    let c = binary_channel_capacity(p, q);
+    if c == 0.0 {
+        return f64::INFINITY;
+    }
+    log2_candidates(n, k) / (gamma as f64 * c)
+}
+
+fn validate_channel(p: f64, q: f64) {
+    assert!((0.0..1.0).contains(&p), "channel: p={p} not in [0,1)");
+    assert!((0.0..1.0).contains(&q), "channel: q={q} not in [0,1)");
+    assert!(p + q < 1.0, "channel: p+q={} must be below 1", p + q);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds;
+
+    #[test]
+    fn log2_candidates_matches_direct_count() {
+        // C(10, 3) = 120.
+        assert!((log2_candidates(10, 3) - 120f64.log2()).abs() < 1e-9);
+        assert_eq!(log2_candidates(5, 0), 0.0);
+        assert_eq!(log2_candidates(5, 5), 0.0);
+    }
+
+    #[test]
+    fn binary_entropy_values() {
+        assert_eq!(binary_entropy(0.0), 0.0);
+        assert_eq!(binary_entropy(1.0), 0.0);
+        assert!((binary_entropy(0.5) - 1.0).abs() < 1e-15);
+        assert!((binary_entropy(0.11) - binary_entropy(0.89)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counting_bound_is_informative() {
+        // n = 1000, k = 6, Γ = 500: log₂ C ≈ 51.6 bits, ~9 bits per query.
+        let m = counting_bound_queries(1000, 6, 500);
+        assert!(m > 5.0 && m < 10.0, "m = {m}");
+    }
+
+    #[test]
+    fn capacity_special_cases() {
+        assert_eq!(binary_channel_capacity(0.0, 0.0), 1.0);
+        // BSC: C = 1 − H(p).
+        for p in [0.05, 0.1, 0.2, 0.3] {
+            let c = binary_channel_capacity(p, p);
+            assert!((c - (1.0 - binary_entropy(p))).abs() < 1e-12, "p={p}");
+        }
+        // Z-channel: matches the dedicated closed form.
+        for p in [0.01, 0.1, 0.3, 0.6] {
+            let general = binary_channel_capacity(p, 0.0);
+            let direct = z_channel_capacity(p);
+            assert!((general - direct).abs() < 1e-12, "p={p}: {general} vs {direct}");
+        }
+    }
+
+    #[test]
+    fn capacity_decreases_with_noise() {
+        let mut last = 1.0;
+        for p in [0.05, 0.15, 0.25, 0.35, 0.45] {
+            let c = binary_channel_capacity(p, p);
+            assert!(c < last, "capacity must fall as p grows");
+            last = c;
+        }
+        // Z-channel at p = 0.5: log₂(1 + ½·½) = log₂ 1.25 ≈ 0.3219.
+        assert!((z_channel_capacity(0.5) - 1.25f64.log2()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn converses_sit_below_achievability() {
+        // The sandwich must be valid wherever both sides are defined.
+        let (n, theta) = (10_000.0, 0.25);
+        let k = bounds::sublinear_k(n, theta).round() as u64;
+        let gamma = (n as u64) / 2;
+
+        let ach_noiseless = bounds::z_channel_sublinear_queries(n, theta, 0.0, 0.05);
+        let conv_noiseless = counting_bound_queries(n as u64, k, gamma);
+        assert!(conv_noiseless < ach_noiseless);
+
+        let ach_z = bounds::z_channel_sublinear_queries(n, theta, 0.1, 0.05);
+        let conv_z = channel_converse_queries(n as u64, k, gamma, 0.1, 0.0);
+        assert!(conv_z < ach_z, "{conv_z} vs {ach_z}");
+
+        let ach_g = bounds::noisy_query_sublinear_queries(n, theta, 0.05);
+        let conv_g = gaussian_converse_queries(n as u64, k, gamma, 2.0);
+        assert!(conv_g < ach_g, "{conv_g} vs {ach_g}");
+    }
+
+    #[test]
+    fn channel_converse_reduces_to_counting() {
+        let a = channel_converse_queries(1000, 6, 500, 0.0, 0.0);
+        let b = counting_bound_queries(1000, 6, 500);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_raises_the_converse() {
+        let clean = channel_converse_queries(10_000, 10, 5_000, 0.0, 0.0);
+        let z = channel_converse_queries(10_000, 10, 5_000, 0.3, 0.0);
+        let gnc = channel_converse_queries(10_000, 10, 5_000, 0.3, 0.1);
+        assert!(clean < z, "{clean} vs {z}");
+        assert!(z < gnc, "{z} vs {gnc}");
+
+        let quiet = gaussian_converse_queries(10_000, 10, 5_000, 0.5);
+        let loud = gaussian_converse_queries(10_000, 10, 5_000, 8.0);
+        assert!(quiet < loud);
+    }
+
+    #[test]
+    fn slot_capacity_bound_is_weakest() {
+        let slot = slot_capacity_bound_queries(1000, 6, 500, 0.1, 0.0);
+        let sum_aware = channel_converse_queries(1000, 6, 500, 0.1, 0.0);
+        assert!(slot < sum_aware);
+        assert!(slot > 0.0);
+    }
+
+    #[test]
+    fn zero_lambda_gaussian_equals_counting() {
+        let a = gaussian_converse_queries(1000, 6, 500, 0.0);
+        let b = counting_bound_queries(1000, 6, 500);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "p+q")]
+    fn rejects_saturated_channel() {
+        binary_channel_capacity(0.7, 0.4);
+    }
+}

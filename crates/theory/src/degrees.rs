@@ -1,0 +1,152 @@
+//! Degree expectations and concentration widths (Lemmas 3–5 of the paper).
+//!
+//! With `Γ = n/2` slots per query and `m` queries, an agent's multi-degree is
+//! `Δᵢ ~ Bin(mΓ, 1/n)` with mean `Δ = m/2`; its distinct degree concentrates
+//! at `Δ* = γ·m` with `γ = 1 − e^{−1/2}`. These quantities calibrate the
+//! greedy score `Ψᵢ − Δ*ᵢ·k/2` and the simulation sanity tests.
+
+use crate::{GAMMA, QUERY_FRACTION};
+
+/// Expected multi-degree `E[Δᵢ] = m·Γ/n = m/2` (Lemma 3 with `Γ = n/2`).
+///
+/// # Panics
+///
+/// Panics if `m` is negative.
+pub fn expected_multi_degree(m: f64) -> f64 {
+    assert!(m >= 0.0, "expected_multi_degree: m={m} negative");
+    m * QUERY_FRACTION
+}
+
+/// Expected distinct degree `E[Δ*ᵢ] = γ·m` (Corollary 5).
+///
+/// # Panics
+///
+/// Panics if `m` is negative.
+pub fn expected_distinct_degree(m: f64) -> f64 {
+    assert!(m >= 0.0, "expected_distinct_degree: m={m} negative");
+    GAMMA * m
+}
+
+/// Expected number of *distinct agents* in one query,
+/// `n·(1 − (1 − 1/n)^Γ) → γ·n`.
+///
+/// Uses the exact finite-`n` expression, not the limit.
+///
+/// # Panics
+///
+/// Panics if `n < 1` or `gamma_slots < 0`.
+pub fn expected_distinct_agents_per_query(n: f64, gamma_slots: f64) -> f64 {
+    assert!(n >= 1.0, "expected_distinct_agents_per_query: n={n} < 1");
+    assert!(
+        gamma_slots >= 0.0,
+        "expected_distinct_agents_per_query: negative slots"
+    );
+    n * (1.0 - (1.0 - 1.0 / n).powf(gamma_slots))
+}
+
+/// Concentration half-width of the multi-degree from Lemma 3:
+/// `ln(n)·√Δ`.
+///
+/// # Panics
+///
+/// Panics if inputs are negative or `n < 1`.
+pub fn multi_degree_width(n: f64, m: f64) -> f64 {
+    assert!(n >= 1.0, "multi_degree_width: n={n} < 1");
+    n.ln() * expected_multi_degree(m).sqrt()
+}
+
+/// Concentration half-width of the distinct degree from Corollary 5:
+/// `ln²(n)·√Δ*`.
+///
+/// # Panics
+///
+/// Panics if inputs are negative or `n < 1`.
+pub fn distinct_degree_width(n: f64, m: f64) -> f64 {
+    assert!(n >= 1.0, "distinct_degree_width: n={n} < 1");
+    n.ln().powi(2) * expected_distinct_degree(m).sqrt()
+}
+
+/// The expected score gap between one-agents and zero-agents under the noisy
+/// channel, `Δ·(1 − p − q)` (Equation (2) of the paper).
+///
+/// # Panics
+///
+/// Panics on parameters outside the model's range.
+pub fn expected_score_gap(m: f64, p: f64, q: f64) -> f64 {
+    assert!((0.0..1.0).contains(&p), "expected_score_gap: bad p={p}");
+    assert!((0.0..1.0).contains(&q), "expected_score_gap: bad q={q}");
+    assert!(p + q < 1.0, "expected_score_gap: p+q must be below 1");
+    expected_multi_degree(m) * (1.0 - p - q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multi_degree_is_half_m() {
+        assert_eq!(expected_multi_degree(200.0), 100.0);
+        assert_eq!(expected_multi_degree(0.0), 0.0);
+    }
+
+    #[test]
+    fn distinct_degree_uses_gamma() {
+        assert!((expected_distinct_degree(100.0) - 39.34693).abs() < 1e-4);
+    }
+
+    #[test]
+    fn distinct_agents_per_query_approaches_gamma_n() {
+        let n = 1e6;
+        let exact = expected_distinct_agents_per_query(n, n / 2.0);
+        assert!((exact / n - GAMMA).abs() < 1e-6);
+    }
+
+    #[test]
+    fn distinct_agents_small_n_exact() {
+        // n = 2, Γ = 1: expected distinct = 2·(1 − (1/2)) = 1.
+        assert!((expected_distinct_agents_per_query(2.0, 1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn widths_grow_with_m_and_n() {
+        assert!(multi_degree_width(1e4, 400.0) > multi_degree_width(1e4, 100.0));
+        assert!(distinct_degree_width(1e5, 100.0) > distinct_degree_width(1e3, 100.0));
+    }
+
+    #[test]
+    fn score_gap_shrinks_with_noise() {
+        let clean = expected_score_gap(100.0, 0.0, 0.0);
+        let noisy = expected_score_gap(100.0, 0.3, 0.1);
+        assert_eq!(clean, 50.0);
+        assert!((noisy - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "p+q")]
+    fn score_gap_rejects_saturated_channel() {
+        expected_score_gap(10.0, 0.7, 0.5);
+    }
+
+    #[test]
+    fn width_vs_gap_matches_papers_practicality_remark() {
+        // Section V of the paper observes that the crude concentration
+        // width ln²(n)·√Δ·(1−p) exceeds the score gap Δ·(1−p) at every
+        // practical n, while the sharper footnote variant 2·√Δ·ln(k)
+        // already holds at n = 10⁴ for p = 0.1. Verify both observations.
+        let n = 1e4;
+        let theta = 0.25;
+        let k = crate::bounds::sublinear_k(n, theta);
+        let m = bounds_m(n, 0.1);
+        let delta = expected_multi_degree(m);
+        let gap = expected_score_gap(m, 0.1, 0.0);
+        // Crude width: too large at practical sizes (the paper's caveat).
+        assert!(distinct_degree_width(n, m) > gap);
+        // Sharp width from the paper's footnote 3: comfortably below.
+        let sharp = 2.0 * delta.sqrt() * k.ln();
+        assert!(sharp < gap, "sharp={sharp} gap={gap}");
+    }
+
+    fn bounds_m(n: f64, p: f64) -> f64 {
+        crate::bounds::z_channel_sublinear_queries(n, 0.25, p, 0.05)
+    }
+}

@@ -1,0 +1,52 @@
+//! Closed-form theory from *“Distributed Reconstruction of Noisy Pooled
+//! Data”* (ICDCS 2022): the query bounds of Theorems 1 and 2, the degree
+//! expectations of Lemmas 3–5, and the tail bounds of Theorems 10 and 11.
+//!
+//! Everything here is a pure function of the model parameters; the
+//! experiment harness overlays these curves on the simulation data exactly
+//! as the dashed lines in Figures 2–4, 6 and 7 of the paper.
+//!
+//! # Examples
+//!
+//! ```
+//! use npd_theory::{bounds, GAMMA};
+//!
+//! // Theorem 1, Z-channel, θ = 0.25, p = 0.1, ε = 0.05 — the dashed line of
+//! // Figure 2 at n = 10⁴.
+//! let m = bounds::z_channel_sublinear_queries(10_000.0, 0.25, 0.1, 0.05);
+//! assert!(m > 0.0);
+//! assert!((GAMMA - 0.3934693402873666).abs() < 1e-15);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bounds;
+pub mod converse;
+pub mod degrees;
+pub mod tails;
+
+/// The constant `γ = 1 − e^{−1/2}` that appears in all bounds of the paper.
+///
+/// It is the asymptotic fraction of *distinct* neighbors: a query with
+/// `Γ = n/2` slots drawn with replacement touches `γ·n` distinct agents in
+/// expectation, and an agent appears in `γ·m` distinct queries.
+pub const GAMMA: f64 = 1.0 - 0.606_530_659_712_633_4; // 1 − e^{−1/2}
+
+/// Fraction of agents drawn per query in the paper's design, `Γ = n/2`.
+pub const QUERY_FRACTION: f64 = 0.5;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gamma_matches_direct_computation() {
+        assert!((GAMMA - (1.0 - (-0.5f64).exp())).abs() < 1e-15);
+    }
+
+    #[test]
+    fn gamma_is_about_0_39() {
+        assert!(GAMMA > 0.3934 && GAMMA < 0.3935);
+    }
+}

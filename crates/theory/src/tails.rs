@@ -1,0 +1,204 @@
+//! Tail bounds used throughout the paper's analysis.
+//!
+//! * [`chernoff_upper`] / [`chernoff_lower`] — Theorem 10 (Chernoff bounds
+//!   for sums of negatively associated Bernoulli variables, which covers the
+//!   multinomial components `Λⱼ(·,·)` of Lemma 7).
+//! * [`gaussian_tail_upper`] / [`gaussian_tail_lower`] — Theorem 11 (the
+//!   Gaussian tail sandwich via Mill's ratio), used to locate the noisy-query
+//!   phase transition.
+
+/// Chernoff upper-tail bound of Theorem 10:
+/// `P(X ≥ (1+ε)·E[X]) ≤ exp(−ε²·E[X]/(2+ε))`.
+///
+/// # Panics
+///
+/// Panics if `mean < 0` or `eps < 0`.
+///
+/// # Examples
+///
+/// ```
+/// let b = npd_theory::tails::chernoff_upper(100.0, 0.5);
+/// assert!(b < 5e-5);
+/// ```
+pub fn chernoff_upper(mean: f64, eps: f64) -> f64 {
+    assert!(mean >= 0.0, "chernoff_upper: mean={mean} negative");
+    assert!(eps >= 0.0, "chernoff_upper: eps={eps} negative");
+    (-eps * eps * mean / (2.0 + eps)).exp()
+}
+
+/// Chernoff lower-tail bound of Theorem 10:
+/// `P(X ≤ (1−ε)·E[X]) ≤ exp(−ε²·E[X]/2)`.
+///
+/// # Panics
+///
+/// Panics if `mean < 0` or `eps` is outside `[0, 1]`.
+pub fn chernoff_lower(mean: f64, eps: f64) -> f64 {
+    assert!(mean >= 0.0, "chernoff_lower: mean={mean} negative");
+    assert!(
+        (0.0..=1.0).contains(&eps),
+        "chernoff_lower: eps={eps} must be in [0,1]"
+    );
+    (-eps * eps * mean / 2.0).exp()
+}
+
+/// Two-sided convenience: bound on `P(|X − E[X]| ≥ ε·E[X])`, the sum of the
+/// upper and lower Chernoff bounds (capped at 1).
+///
+/// # Panics
+///
+/// Panics on invalid inputs (see the one-sided functions).
+pub fn chernoff_two_sided(mean: f64, eps: f64) -> f64 {
+    (chernoff_upper(mean, eps) + chernoff_lower(mean, eps.min(1.0))).min(1.0)
+}
+
+/// Gaussian upper tail of Theorem 11: for `X ~ N(0, λ²)` and `y > 0`,
+/// `P(X ≥ y) ≤ (λ/y)·φ(y/λ)` where `φ` is the standard normal density.
+///
+/// # Panics
+///
+/// Panics if `lambda <= 0` or `y <= 0`.
+pub fn gaussian_tail_upper(lambda: f64, y: f64) -> f64 {
+    assert!(lambda > 0.0, "gaussian_tail_upper: lambda={lambda} <= 0");
+    assert!(y > 0.0, "gaussian_tail_upper: y={y} <= 0");
+    let z = y / lambda;
+    (lambda / y) * phi(z)
+}
+
+/// Gaussian lower tail bound of Theorem 11 (Mill's ratio):
+/// `P(X ≥ y) ≥ (λ/y − λ³/y³)·φ(y/λ)`.
+///
+/// The bound is vacuous (negative) for `y < λ`; callers should use it in the
+/// tail `y > λ` as the paper does.
+///
+/// # Panics
+///
+/// Panics if `lambda <= 0` or `y <= 0`.
+pub fn gaussian_tail_lower(lambda: f64, y: f64) -> f64 {
+    assert!(lambda > 0.0, "gaussian_tail_lower: lambda={lambda} <= 0");
+    assert!(y > 0.0, "gaussian_tail_lower: y={y} <= 0");
+    let z = y / lambda;
+    (lambda / y - lambda.powi(3) / y.powi(3)) * phi(z)
+}
+
+/// Standard normal density `φ(x) = exp(−x²/2)/√(2π)`.
+fn phi(x: f64) -> f64 {
+    (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npd_numerics::special::normal_sf;
+    use proptest::prelude::*;
+
+    #[test]
+    fn chernoff_upper_decreases_in_eps_and_mean() {
+        assert!(chernoff_upper(10.0, 0.5) > chernoff_upper(10.0, 1.0));
+        assert!(chernoff_upper(10.0, 0.5) > chernoff_upper(100.0, 0.5));
+    }
+
+    #[test]
+    fn chernoff_at_zero_eps_is_one() {
+        assert_eq!(chernoff_upper(50.0, 0.0), 1.0);
+        assert_eq!(chernoff_lower(50.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn chernoff_bounds_actual_binomial_tail() {
+        // P(Bin(1000, 0.1) ≥ 150) must be below chernoff_upper(100, 0.5).
+        // The exact tail is ≈ 7.4e-7 (normal approx), bound is ≈ 4.5e-5.
+        let bound = chernoff_upper(100.0, 0.5);
+        let exact_approx = normal_sf((150.0 - 100.0) / (90.0f64).sqrt());
+        assert!(exact_approx < bound);
+    }
+
+    #[test]
+    fn two_sided_caps_at_one() {
+        assert_eq!(chernoff_two_sided(0.001, 0.001), 1.0);
+    }
+
+    #[test]
+    fn chernoff_dominates_exact_binomial_tails() {
+        // Theorem 10 must upper-bound the exact tail for independent
+        // Bernoulli sums (a special case of negative association). Check
+        // against exact pmf summation across a parameter grid.
+        use npd_numerics::special::ln_binomial_pmf;
+        for &(n, p) in &[(40u64, 0.2f64), (100, 0.05), (60, 0.5)] {
+            let mean = n as f64 * p;
+            for &eps in &[0.2, 0.5, 1.0] {
+                // Upper tail: P(X ≥ (1+ε)μ).
+                let threshold_hi = ((1.0 + eps) * mean).ceil() as u64;
+                let exact_hi: f64 = (threshold_hi..=n)
+                    .map(|k| ln_binomial_pmf(n, p, k).exp())
+                    .sum();
+                assert!(
+                    exact_hi <= chernoff_upper(mean, eps) * (1.0 + 1e-9),
+                    "upper: n={n} p={p} eps={eps}: exact {exact_hi} vs bound {}",
+                    chernoff_upper(mean, eps)
+                );
+                // Lower tail: P(X ≤ (1−ε)μ).
+                if eps < 1.0 {
+                    let threshold_lo = ((1.0 - eps) * mean).floor() as u64;
+                    let exact_lo: f64 = (0..=threshold_lo)
+                        .map(|k| ln_binomial_pmf(n, p, k).exp())
+                        .sum();
+                    assert!(
+                        exact_lo <= chernoff_lower(mean, eps) * (1.0 + 1e-9),
+                        "lower: n={n} p={p} eps={eps}: exact {exact_lo} vs bound {}",
+                        chernoff_lower(mean, eps)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gaussian_sandwich_brackets_true_tail() {
+        // λ = 1: for a range of y, lower ≤ P(X ≥ y) ≤ upper.
+        for &y in &[1.5, 2.0, 3.0, 4.0] {
+            let upper = gaussian_tail_upper(1.0, y);
+            let lower = gaussian_tail_lower(1.0, y);
+            let truth = normal_sf(y);
+            assert!(truth <= upper * (1.0 + 1e-6), "y={y}: {truth} vs {upper}");
+            assert!(truth >= lower * (1.0 - 1e-6), "y={y}: {truth} vs {lower}");
+        }
+    }
+
+    #[test]
+    fn gaussian_tail_scales_with_lambda() {
+        // P(N(0, λ²) ≥ y) = P(N(0,1) ≥ y/λ): bound must respect the scaling.
+        let a = gaussian_tail_upper(2.0, 4.0);
+        let b = gaussian_tail_upper(1.0, 2.0);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn gaussian_tail_rejects_zero_lambda() {
+        gaussian_tail_upper(0.0, 1.0);
+    }
+
+    proptest! {
+        /// Sandwich property over a parameter grid (tail region y > λ).
+        #[test]
+        fn sandwich_property(lambda in 0.1f64..10.0, ratio in 1.1f64..6.0) {
+            let y = lambda * ratio;
+            let upper = gaussian_tail_upper(lambda, y);
+            let lower = gaussian_tail_lower(lambda, y);
+            prop_assert!(lower <= upper);
+            let truth = normal_sf(ratio);
+            prop_assert!(truth <= upper * (1.0 + 1e-6));
+            // The A&S erfc approximation has ~1e-7 absolute error; allow it.
+            prop_assert!(truth >= lower - 2e-7);
+        }
+
+        /// Chernoff bounds are valid probabilities-ish (≤ 1 for ε > 0) and
+        /// monotone in the mean.
+        #[test]
+        fn chernoff_monotone(mean in 0.0f64..1e4, eps in 0.0f64..1.0) {
+            let u = chernoff_upper(mean, eps);
+            prop_assert!(u <= 1.0 + 1e-12);
+            prop_assert!(chernoff_upper(mean + 10.0, eps) <= u + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Adaptive vs non-adaptive screening: how many queries — and how many
+//! *rounds* of waiting for the pipetting robot — each strategy costs.
+//!
+//! ```text
+//! cargo run --release --example adaptive_screening
+//! ```
+
+use noisy_pooled_data::adaptive::{
+    optimal_pool_size, recommended_repetitions, Dorfman, IndividualTesting, Oracle,
+    RecursiveSplitting, Strategy,
+};
+use noisy_pooled_data::core::{GroundTruth, IncrementalSim, NoiseModel};
+use rand::SeedableRng;
+
+fn main() {
+    let (n, k) = (512, 5);
+    println!("Screening {n} samples, {k} positive, one pipetting cycle per round.\n");
+
+    for noise in [
+        NoiseModel::Noiseless,
+        NoiseModel::gaussian(1.0),
+        NoiseModel::z_channel(0.1),
+    ] {
+        println!("--- noise: {noise} ---");
+
+        // The paper's one-round design: measure the required queries.
+        let mut sim = IncrementalSim::new(n, k, noise, 2022);
+        match sim.required_queries(200_000) {
+            Ok(r) => println!(
+                "{:<24} {:>8} queries {:>4} round(s)",
+                "non-adaptive + greedy", r.queries, 1
+            ),
+            Err(e) => println!("{:<24} failed: {e}", "non-adaptive + greedy"),
+        }
+
+        // Adaptive strategies with repetition coding sized for the noise.
+        let delta = 0.01 / n as f64;
+        let pool = optimal_pool_size(n, k);
+        let strategies: Vec<Box<dyn Strategy>> = vec![
+            Box::new(RecursiveSplitting::new(recommended_repetitions(
+                &noise,
+                n / 2,
+                delta,
+            ))),
+            Box::new(Dorfman::new(
+                pool,
+                recommended_repetitions(&noise, pool, delta),
+            )),
+            Box::new(IndividualTesting::new(recommended_repetitions(
+                &noise, 1, delta,
+            ))),
+        ];
+        for strategy in &strategies {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(2022);
+            let truth = GroundTruth::sample(n, k, &mut rng);
+            let mut oracle = Oracle::new(&truth, noise, &mut rng);
+            let t = strategy.reconstruct(k, &mut oracle);
+            println!(
+                "{:<24} {:>8} queries {:>4} round(s)  exact: {}",
+                strategy.name(),
+                t.queries,
+                t.rounds,
+                t.is_exact(&truth)
+            );
+        }
+        println!();
+    }
+
+    println!(
+        "Reading: with exact counts, adaptive splitting wins on queries by an order\n\
+         of magnitude — but needs ~log₂(n) robot cycles. Once per-slot channel noise\n\
+         forces repetition coding, the one-round pooled design wins on BOTH axes,\n\
+         which is exactly the regime the paper targets."
+    );
+}

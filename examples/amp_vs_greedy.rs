@@ -1,0 +1,91 @@
+//! Greedy vs AMP head to head (a miniature of Figure 6), plus the state-
+//! evolution prediction and the communication-cost comparison from the
+//! paper's conclusion.
+//!
+//! ```text
+//! cargo run --release --example amp_vs_greedy
+//! ```
+
+use noisy_pooled_data::amp::cost::DistributedAmpCost;
+use noisy_pooled_data::amp::state_evolution::{evolve, StateEvolutionConfig};
+use noisy_pooled_data::amp::{AmpDecoder, BayesBernoulli};
+use noisy_pooled_data::core::{exact_recovery, Decoder, GreedyDecoder, Instance, NoiseModel, Regime};
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 1000usize;
+    let p = 0.1;
+    let trials = 20;
+
+    println!("Success rate vs m (n = {n}, Z-channel p = {p}, {trials} trials/point)\n");
+    println!("{:>6} {:>12} {:>12}", "m", "greedy", "AMP");
+    for m in [100usize, 200, 300, 400, 500] {
+        let instance = Instance::builder(n)
+            .regime(Regime::sublinear(0.25))
+            .queries(m)
+            .noise(NoiseModel::z_channel(p))
+            .build()?;
+        let mut greedy_ok = 0;
+        let mut amp_ok = 0;
+        for seed in 0..trials {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(1_000 * m as u64 + seed);
+            let run = instance.sample(&mut rng);
+            if exact_recovery(&GreedyDecoder::new().decode(&run), run.ground_truth()) {
+                greedy_ok += 1;
+            }
+            if exact_recovery(&AmpDecoder::default().decode(&run), run.ground_truth()) {
+                amp_ok += 1;
+            }
+        }
+        println!(
+            "{:>6} {:>11.0}% {:>11.0}%",
+            m,
+            100.0 * greedy_ok as f64 / trials as f64,
+            100.0 * amp_ok as f64 / trials as f64
+        );
+    }
+
+    // State evolution: what the scalar recursion predicts for m = 300.
+    let m = 300.0;
+    let cfg = StateEvolutionConfig {
+        prior: 6.0 / n as f64,
+        n_over_m: n as f64 / m,
+        sigma_w2: 0.0,
+        ..StateEvolutionConfig::default()
+    };
+    let trajectory = evolve(&BayesBernoulli::new(cfg.prior), &cfg);
+    println!(
+        "\nState evolution at m = {m}: τ² falls {:.3} -> {:.3e} in {} steps \
+         (collapse ⇒ AMP succeeds)",
+        trajectory[0],
+        trajectory.last().unwrap(),
+        trajectory.len() - 1
+    );
+
+    // Communication: one measured AMP solve vs the greedy protocol's single
+    // exchange per edge.
+    let instance = Instance::builder(n)
+        .regime(Regime::sublinear(0.25))
+        .queries(300)
+        .noise(NoiseModel::z_channel(p))
+        .build()?;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let run = instance.sample(&mut rng);
+    let (_, trace) = AmpDecoder::default().decode_with_trace(&run);
+    let edges: u64 = run
+        .graph()
+        .queries()
+        .iter()
+        .map(|q| q.distinct_len() as u64)
+        .sum();
+    let amp_cost = DistributedAmpCost::new(edges, trace.iterations as u64);
+    println!(
+        "\nCommunication for this instance: greedy uses each of the {edges} \
+         measurement edges once;\ndistributed AMP ({} iterations) would send \
+         {} messages — {:.0}x more traffic.",
+        trace.iterations,
+        amp_cost.messages(),
+        amp_cost.messages() as f64 / edges as f64
+    );
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! GPU-cluster inference: the technological scenario from the paper's
+//! introduction.
+//!
+//! Query nodes are GPUs evaluating a neural network over batches of inputs
+//! (“neural group testing”); the per-input binary signals are subject to
+//! misclassification — bit flips — which is the *noisy channel model*. A
+//! one reads as zero with probability `p` (missed detection) and a zero as
+//! one with probability `q ≪ p` (false alarm), the asymmetric regime the
+//! paper motivates with the Z-channel.
+//!
+//! ```text
+//! cargo run --release --example gpu_cluster
+//! ```
+
+use noisy_pooled_data::core::{
+    exact_recovery, overlap, Decoder, GreedyDecoder, Instance, NoiseModel, Regime,
+    TwoStepDecoder,
+};
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 4096 inputs, 8 of them are the rare positives the classifier hunts.
+    let n = 4_096usize;
+    let instance_for = |m: usize| {
+        Instance::builder(n)
+            .regime(Regime::explicit(8))
+            .queries(m)
+            .noise(NoiseModel::channel(0.10, 0.002)) // misses ≫ false alarms
+            .build()
+    };
+
+    println!("Neural group testing: n = {n} inputs, k = 8 positives");
+    println!("channel: p = 0.10 (missed detection), q = 0.002 (false alarm)\n");
+    println!(
+        "{:>8} {:>20} {:>20} {:>12}",
+        "batches", "greedy success", "two-step success", "overlap"
+    );
+
+    for m in [200usize, 400, 600, 800] {
+        let instance = instance_for(m)?;
+        let trials = 10;
+        let mut greedy_ok = 0;
+        let mut twostep_ok = 0;
+        let mut overlap_sum = 0.0;
+        for seed in 0..trials {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(31 * m as u64 + seed);
+            let run = instance.sample(&mut rng);
+            let greedy = GreedyDecoder::new().decode(&run);
+            let twostep = TwoStepDecoder::new().decode(&run);
+            if exact_recovery(&greedy, run.ground_truth()) {
+                greedy_ok += 1;
+            }
+            if exact_recovery(&twostep, run.ground_truth()) {
+                twostep_ok += 1;
+            }
+            overlap_sum += overlap(&greedy, run.ground_truth());
+        }
+        println!(
+            "{:>8} {:>17}/{} {:>17}/{} {:>12.2}",
+            m,
+            greedy_ok,
+            trials,
+            twostep_ok,
+            trials,
+            overlap_sum / trials as f64
+        );
+    }
+
+    println!(
+        "\nReading: each batch runs one forward pass over Γ = n/2 inputs; ~600 \
+         batched\npasses replace {n} individual evaluations even with 10% missed \
+         detections.\nThe two-step refinement (the paper's open-question \
+         extension) repairs borderline\nranking errors near the threshold."
+    );
+    Ok(())
+}

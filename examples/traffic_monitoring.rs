@@ -1,0 +1,73 @@
+//! Traffic monitoring: a linear-regime scenario (heavy-hitter detection).
+//!
+//! The paper's introduction places traffic monitoring in the *linear*
+//! regime `k = ζn`: a constant fraction of flows are heavy hitters.
+//! Monitoring points sum indicator signals over pooled flow groups; the
+//! readout is noisy. This example sizes the measurement campaign in the
+//! linear regime and compares against Theorem 1's linear-regime bound —
+//! note the `n·ln n` budget, much steeper than the sublinear case.
+//!
+//! ```text
+//! cargo run --release --example traffic_monitoring
+//! ```
+
+use noisy_pooled_data::core::{IncrementalSim, NoiseModel, Regime, Sampling};
+use noisy_pooled_data::theory::bounds;
+
+fn main() {
+    let n = 2_000usize;
+    let zeta = 0.05; // 5% of flows are heavy hitters
+    let k = Regime::linear(zeta).k_for(n);
+    println!("Monitoring {n} flows, {k} heavy hitters (ζ = {zeta})\n");
+
+    println!(
+        "{:<24} {:>14} {:>18}",
+        "configuration", "measurements", "Theorem 1 bound"
+    );
+    for (label, p) in [("exact readout", 0.0), ("5% miss rate", 0.05), ("15% miss rate", 0.15)]
+    {
+        let noise = if p == 0.0 {
+            NoiseModel::Noiseless
+        } else {
+            NoiseModel::z_channel(p)
+        };
+        let mut results: Vec<usize> = (0..3)
+            .map(|seed| {
+                let mut sim = IncrementalSim::new(n, k, noise, 11_000 + seed);
+                sim.required_queries(200_000)
+                    .map(|r| r.queries)
+                    .unwrap_or(usize::MAX)
+            })
+            .collect();
+        results.sort_unstable();
+        let bound = bounds::noisy_channel_linear_queries(n as f64, zeta, p, 0.0, 0.05);
+        println!("{label:<24} {:>14} {bound:>18.0}", results[1]);
+    }
+
+    // Design ablation: Γ-subset pools vs the with-replacement default.
+    let mut medians = Vec::new();
+    for sampling in [Sampling::WithReplacement, Sampling::WithoutReplacement] {
+        let mut results: Vec<usize> = (0..3)
+            .map(|seed| {
+                let mut sim = IncrementalSim::with_options(
+                    n,
+                    k,
+                    n / 2,
+                    NoiseModel::z_channel(0.05),
+                    sampling,
+                    12_000 + seed,
+                );
+                sim.required_queries(200_000)
+                    .map(|r| r.queries)
+                    .unwrap_or(usize::MAX)
+            })
+            .collect();
+        results.sort_unstable();
+        medians.push(results[1]);
+    }
+    println!(
+        "\nPooling design at 5% miss rate: with replacement {} vs distinct Γ-subsets {} \
+         measurements\n(the multigraph design wastes ≈ e^{{-1/2}} of its slots on repeats).",
+        medians[0], medians[1]
+    );
+}

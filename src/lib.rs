@@ -1,0 +1,54 @@
+//! Reproduction of *“Distributed Reconstruction of Noisy Pooled Data”*
+//! (Hahn-Klimroth & Kaaser, ICDCS 2022, arXiv:2204.07491).
+//!
+//! This facade crate re-exports the workspace members under stable names so
+//! examples and downstream users need a single dependency:
+//!
+//! * [`core`] — the paper's model and Algorithm 1 (greedy reconstruction),
+//!   noise channels, the incremental required-queries simulation, and the
+//!   fully distributed protocol.
+//! * [`amp`] — the approximate message passing baseline of Section III.
+//! * [`decoders`] — the wider baseline zoo: belief propagation, exact ML,
+//!   FISTA, annealed MCMC and linear MMSE.
+//! * [`adaptive`] — adaptive sum-query strategies (recursive splitting,
+//!   Dorfman, individual testing) quantifying the cost of the paper's
+//!   non-adaptive restriction.
+//! * [`theory`] — the closed-form query bounds of Theorems 1 and 2 plus
+//!   converse (lower) bounds and exact channel capacities.
+//! * [`netsim`] — the synchronous message-passing network simulator, with
+//!   push-sum gossip and decentralized exact top-`k` selection.
+//! * [`sortnet`] — Batcher sorting networks used by the distributed variant.
+//! * [`numerics`] — samplers, linear algebra and statistics substrate.
+//! * [`experiments`] — the harness that regenerates every figure.
+//!
+//! # Quick start
+//!
+//! ```
+//! use noisy_pooled_data::core::{Decoder, GreedyDecoder, Instance, NoiseModel, Regime};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+//! // 500 agents, k = 500^0.25 ≈ 5 hold bit one, Z-channel with p = 0.1.
+//! let instance = Instance::builder(500)
+//!     .regime(Regime::sublinear(0.25))
+//!     .noise(NoiseModel::z_channel(0.1))
+//!     .queries(400)
+//!     .build()
+//!     .expect("valid configuration");
+//! let run = instance.sample(&mut rng);
+//! let estimate = GreedyDecoder::new().decode(&run);
+//! assert_eq!(estimate.ones(), run.ground_truth().ones());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use npd_adaptive as adaptive;
+pub use npd_amp as amp;
+pub use npd_core as core;
+pub use npd_decoders as decoders;
+pub use npd_experiments as experiments;
+pub use npd_netsim as netsim;
+pub use npd_numerics as numerics;
+pub use npd_sortnet as sortnet;
+pub use npd_theory as theory;

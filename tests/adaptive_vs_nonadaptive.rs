@@ -1,0 +1,134 @@
+//! The adaptive/non-adaptive trade-off, end to end: adaptive splitting
+//! crushes the pooled design on queries when measurements are exact, and
+//! loses once per-slot channel noise forces repetition coding — the
+//! quantified version of the paper's argument for the non-adaptive
+//! setting.
+
+use noisy_pooled_data::adaptive::{
+    optimal_pool_size, recommended_repetitions, Dorfman, IndividualTesting, Oracle,
+    RecursiveSplitting, Strategy,
+};
+use noisy_pooled_data::core::{GroundTruth, IncrementalSim, NoiseModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Median non-adaptive required queries over a few trials.
+fn nonadaptive_median(n: usize, k: usize, noise: NoiseModel, trials: u64) -> f64 {
+    let mut samples: Vec<f64> = (0..trials)
+        .map(|seed| {
+            let mut sim = IncrementalSim::new(n, k, noise, 4_000 + seed);
+            sim.required_queries(100_000)
+                .expect("separates within a generous budget")
+                .queries as f64
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+#[test]
+fn splitting_wins_decisively_without_noise() {
+    let (n, k) = (512, 5);
+    let nonadaptive = nonadaptive_median(n, k, NoiseModel::Noiseless, 5);
+    let mut adaptive_queries = Vec::new();
+    for seed in 0..5 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let truth = GroundTruth::sample(n, k, &mut rng);
+        let mut oracle = Oracle::new(&truth, NoiseModel::Noiseless, &mut rng);
+        let t = RecursiveSplitting::new(1).reconstruct(k, &mut oracle);
+        assert!(t.is_exact(&truth));
+        adaptive_queries.push(t.queries as f64);
+    }
+    let adaptive = adaptive_queries[2];
+    assert!(
+        adaptive * 2.0 < nonadaptive,
+        "splitting ({adaptive}) should need far fewer queries than the \
+         non-adaptive design ({nonadaptive})"
+    );
+}
+
+#[test]
+fn channel_noise_reverses_the_ranking() {
+    // Per-slot flips scale the repetition factor with the query size, and
+    // the adaptive advantage evaporates.
+    let (n, k) = (256, 4);
+    let noise = NoiseModel::z_channel(0.1);
+    let nonadaptive = nonadaptive_median(n, k, noise, 5);
+
+    let delta = 0.01 / n as f64;
+    let reps = recommended_repetitions(&noise, n / 2, delta);
+    let mut rng = StdRng::seed_from_u64(9);
+    let truth = GroundTruth::sample(n, k, &mut rng);
+    let mut oracle = Oracle::new(&truth, noise, &mut rng);
+    let t = RecursiveSplitting::new(reps).reconstruct(k, &mut oracle);
+
+    assert!(
+        (t.queries as f64) > nonadaptive,
+        "repetition-coded splitting ({}) should need more queries than the \
+         non-adaptive design ({nonadaptive}) under channel noise",
+        t.queries
+    );
+}
+
+#[test]
+fn all_strategies_recover_with_sized_repetitions() {
+    let (n, k) = (128, 3);
+    let noise = NoiseModel::gaussian(1.0);
+    let delta = 0.005 / n as f64;
+    let strategies: Vec<Box<dyn Strategy>> = vec![
+        Box::new(RecursiveSplitting::new(recommended_repetitions(
+            &noise,
+            n / 2,
+            delta,
+        ))),
+        Box::new(Dorfman::new(
+            optimal_pool_size(n, k),
+            recommended_repetitions(&noise, optimal_pool_size(n, k), delta),
+        )),
+        Box::new(IndividualTesting::new(recommended_repetitions(
+            &noise, 1, delta,
+        ))),
+    ];
+    for strategy in &strategies {
+        let mut exact = 0;
+        for seed in 0..5 {
+            let mut rng = StdRng::seed_from_u64(100 + seed);
+            let truth = GroundTruth::sample(n, k, &mut rng);
+            let mut oracle = Oracle::new(&truth, noise, &mut rng);
+            if strategy.reconstruct(k, &mut oracle).is_exact(&truth) {
+                exact += 1;
+            }
+        }
+        assert!(
+            exact >= 4,
+            "{} recovered only {exact}/5 with sized repetitions",
+            strategy.name()
+        );
+    }
+}
+
+#[test]
+fn round_hierarchy_matches_design() {
+    // individual (1 round) < dorfman (2) < splitting (≈ log₂ n) — the
+    // other axis of the trade-off, which the paper's setting optimizes.
+    let (n, k) = (256, 4);
+    let mut rng = StdRng::seed_from_u64(17);
+    let truth = GroundTruth::sample(n, k, &mut rng);
+
+    let mut o1 = Oracle::new(&truth, NoiseModel::Noiseless, &mut rng);
+    let individual = IndividualTesting::new(1).reconstruct(k, &mut o1);
+    let mut rng2 = StdRng::seed_from_u64(18);
+    let mut o2 = Oracle::new(&truth, NoiseModel::Noiseless, &mut rng2);
+    let dorfman = Dorfman::new(optimal_pool_size(n, k), 1).reconstruct(k, &mut o2);
+    let mut rng3 = StdRng::seed_from_u64(19);
+    let mut o3 = Oracle::new(&truth, NoiseModel::Noiseless, &mut rng3);
+    let splitting = RecursiveSplitting::new(1).reconstruct(k, &mut o3);
+
+    assert_eq!(individual.rounds, 1);
+    assert!(dorfman.rounds <= 2);
+    assert!(splitting.rounds > dorfman.rounds);
+    assert!(splitting.rounds <= 8, "⌈log₂ 256⌉ = 8 levels at most");
+    // And the query ordering is the reverse of the round ordering.
+    assert!(splitting.queries < dorfman.queries);
+    assert!(dorfman.queries < individual.queries);
+}

@@ -1,0 +1,103 @@
+//! Integration checks of the AMP baseline against the greedy algorithm —
+//! the Figure-6 relationship.
+
+use noisy_pooled_data::amp::state_evolution::{fixed_point, StateEvolutionConfig};
+use noisy_pooled_data::amp::{AmpDecoder, BayesBernoulli};
+use noisy_pooled_data::core::{exact_recovery, Decoder, GreedyDecoder, Instance, NoiseModel, Regime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn success_rates(m: usize, p: f64, trials: u64) -> (f64, f64) {
+    let instance = Instance::builder(1_000)
+        .regime(Regime::sublinear(0.25))
+        .queries(m)
+        .noise(NoiseModel::z_channel(p))
+        .build()
+        .unwrap();
+    let mut greedy_ok = 0;
+    let mut amp_ok = 0;
+    for seed in 0..trials {
+        let run = instance.sample(&mut StdRng::seed_from_u64(9_000 + 131 * m as u64 + seed));
+        if exact_recovery(&GreedyDecoder::new().decode(&run), run.ground_truth()) {
+            greedy_ok += 1;
+        }
+        if exact_recovery(&AmpDecoder::default().decode(&run), run.ground_truth()) {
+            amp_ok += 1;
+        }
+    }
+    (
+        greedy_ok as f64 / trials as f64,
+        amp_ok as f64 / trials as f64,
+    )
+}
+
+#[test]
+fn both_algorithms_transition_from_failure_to_success() {
+    let (greedy_low, amp_low) = success_rates(30, 0.1, 6);
+    let (greedy_high, amp_high) = success_rates(500, 0.1, 6);
+    assert!(greedy_low < 0.5, "greedy at m=30: {greedy_low}");
+    assert!(amp_low < 0.9, "amp at m=30: {amp_low}");
+    assert!(greedy_high > 0.8, "greedy at m=500: {greedy_high}");
+    assert!(amp_high > 0.8, "amp at m=500: {amp_high}");
+}
+
+#[test]
+fn amp_dominates_in_the_window_between_thresholds() {
+    // Figure 6: AMP's transition sits earlier/sharper than greedy's.
+    let (greedy, amp) = success_rates(150, 0.1, 8);
+    assert!(
+        amp >= greedy,
+        "AMP rate {amp} below greedy {greedy} in the window"
+    );
+    assert!(amp > 0.5, "AMP should mostly succeed at m=150: {amp}");
+}
+
+#[test]
+fn state_evolution_predicts_the_amp_transition_direction() {
+    // Generous measurements (n/m small): fixed point collapses.
+    let easy = StateEvolutionConfig {
+        prior: 0.006,
+        n_over_m: 1000.0 / 300.0,
+        sigma_w2: 0.0,
+        ..StateEvolutionConfig::default()
+    };
+    let fp_easy = fixed_point(&BayesBernoulli::new(easy.prior), &easy);
+    // Starved measurements: fixed point stalls high.
+    let hard = StateEvolutionConfig {
+        prior: 0.006,
+        n_over_m: 1000.0 / 10.0,
+        sigma_w2: 0.0,
+        ..StateEvolutionConfig::default()
+    };
+    let fp_hard = fixed_point(&BayesBernoulli::new(hard.prior), &hard);
+    assert!(
+        fp_easy < fp_hard / 10.0,
+        "no separation between regimes: {fp_easy} vs {fp_hard}"
+    );
+}
+
+#[test]
+fn amp_handles_all_noise_models() {
+    for (seed, noise) in [
+        NoiseModel::Noiseless,
+        NoiseModel::z_channel(0.1),
+        NoiseModel::channel(0.05, 0.02),
+        NoiseModel::gaussian(1.0),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let run = Instance::builder(500)
+            .k(5)
+            .queries(400)
+            .noise(noise)
+            .build()
+            .unwrap()
+            .sample(&mut StdRng::seed_from_u64(50 + seed as u64));
+        let est = AmpDecoder::default().decode(&run);
+        assert!(
+            exact_recovery(&est, run.ground_truth()),
+            "noise={noise} failed"
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! Cross-crate behaviour of the baseline decoder zoo against Algorithm 1
+//! and AMP: every algorithm sees the same runs, rank-`k` output contracts
+//! hold, and the exhaustive ML reference dominates in likelihood.
+
+use noisy_pooled_data::amp::AmpDecoder;
+use noisy_pooled_data::core::{
+    exact_recovery, overlap, Decoder, GreedyDecoder, Instance, NoiseModel, Run,
+};
+use noisy_pooled_data::decoders::{
+    standard_zoo, BpDecoder, FistaDecoder, McmcDecoder, MlDecoder,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn sample(n: usize, k: usize, m: usize, noise: NoiseModel, seed: u64) -> Run {
+    Instance::builder(n)
+        .k(k)
+        .queries(m)
+        .noise(noise)
+        .build()
+        .expect("valid configuration")
+        .sample(&mut StdRng::seed_from_u64(seed))
+}
+
+#[test]
+fn whole_field_recovers_under_every_noise_model() {
+    let cases = [
+        NoiseModel::Noiseless,
+        NoiseModel::z_channel(0.1),
+        NoiseModel::channel(0.05, 0.02),
+        NoiseModel::gaussian(1.0),
+    ];
+    for (ci, noise) in cases.into_iter().enumerate() {
+        let run = sample(400, 4, 450, noise, 900 + ci as u64);
+        let mut field: Vec<Box<dyn Decoder>> = standard_zoo();
+        field.push(Box::new(GreedyDecoder::new()));
+        field.push(Box::new(AmpDecoder::default()));
+        for decoder in &field {
+            let est = decoder.decode(&run);
+            assert_eq!(est.k(), 4, "{} must output exactly k ones", decoder.name());
+            assert!(
+                exact_recovery(&est, run.ground_truth()),
+                "{} failed on {noise} with a generous budget",
+                decoder.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn ml_likelihood_dominates_every_polynomial_decoder() {
+    // On a tiny noisy instance the exhaustive ML decoder must achieve at
+    // least the likelihood of every other decoder's output — that is what
+    // "optimality reference" means.
+    for seed in 0..5 {
+        let run = sample(14, 2, 12, NoiseModel::channel(0.2, 0.1), 300 + seed);
+        let ml = MlDecoder::new().try_decode(&run).expect("tiny search space");
+        let ml_ll = MlDecoder::log_likelihood(&run, ml.bits());
+        let mut field: Vec<Box<dyn Decoder>> = standard_zoo();
+        field.push(Box::new(GreedyDecoder::new()));
+        for decoder in &field {
+            let est = decoder.decode(&run);
+            let ll = MlDecoder::log_likelihood(&run, est.bits());
+            assert!(
+                ml_ll >= ll - 1e-9,
+                "{} beat exhaustive ML in likelihood (seed {seed}): {ll} > {ml_ll}",
+                decoder.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn bp_overlap_degrades_gracefully_near_threshold() {
+    // At a query budget where exact recovery is unreliable, BP should
+    // still place most one-agents on top — the same overlap-vs-success gap
+    // the paper reports for the greedy algorithm in Figure 7.
+    let mut total = 0.0;
+    let trials = 6;
+    for seed in 0..trials {
+        let run = sample(500, 5, 150, NoiseModel::z_channel(0.2), 500 + seed);
+        let est = BpDecoder::default().decode(&run);
+        total += overlap(&est, run.ground_truth());
+    }
+    let mean = total / trials as f64;
+    assert!(mean > 0.6, "mean BP overlap near threshold was only {mean:.2}");
+}
+
+#[test]
+fn mcmc_refinement_never_hurts_greedy_energy() {
+    // The MCMC decoder starts from the greedy estimate; its best-visited
+    // state can only have equal or lower Gaussian energy, which in
+    // likelihood terms means ≥ the greedy log-likelihood under the
+    // moment-matched surrogate. Verify on mid-difficulty instances via the
+    // exact likelihood as a proxy.
+    for seed in 0..4 {
+        let run = sample(300, 4, 220, NoiseModel::z_channel(0.3), 700 + seed);
+        let greedy = GreedyDecoder::new().decode(&run);
+        let refined = McmcDecoder::default().decode(&run);
+        let ll_greedy = MlDecoder::log_likelihood(&run, greedy.bits());
+        let ll_refined = MlDecoder::log_likelihood(&run, refined.bits());
+        // The chain optimizes a surrogate, so allow a hair of slack.
+        assert!(
+            ll_refined >= ll_greedy - 1.0,
+            "seed {seed}: refinement dropped likelihood {ll_greedy} → {ll_refined}"
+        );
+    }
+}
+
+#[test]
+fn fista_score_landscape_separates_classes() {
+    let run = sample(400, 4, 400, NoiseModel::gaussian(0.5), 41);
+    let est = FistaDecoder::default().decode(&run);
+    let truth = run.ground_truth();
+    let min_one = est
+        .scores()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| truth.is_one(*i))
+        .map(|(_, &s)| s)
+        .fold(f64::INFINITY, f64::min);
+    let max_zero = est
+        .scores()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !truth.is_one(*i))
+        .map(|(_, &s)| s)
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!(
+        min_one > max_zero,
+        "lasso scores should separate: min-one {min_one} vs max-zero {max_zero}"
+    );
+}
+
+#[test]
+fn decoders_are_deterministic_functions_of_the_run() {
+    let run = sample(200, 3, 200, NoiseModel::z_channel(0.1), 77);
+    for decoder in standard_zoo() {
+        let a = decoder.decode(&run);
+        let b = decoder.decode(&run);
+        assert_eq!(
+            a.ones(),
+            b.ones(),
+            "{} must be deterministic per run",
+            decoder.name()
+        );
+    }
+}

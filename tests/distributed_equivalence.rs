@@ -1,0 +1,95 @@
+//! The distributed protocol is bit-identical to the sequential decoder —
+//! the equivalence claimed in Section III of the paper.
+
+use noisy_pooled_data::core::{distributed, Decoder, GreedyDecoder, Instance, NoiseModel, Regime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn check_equivalence(n: usize, k: usize, m: usize, noise: NoiseModel, seed: u64) {
+    let run = Instance::builder(n)
+        .k(k)
+        .queries(m)
+        .noise(noise)
+        .build()
+        .expect("valid instance")
+        .sample(&mut StdRng::seed_from_u64(seed));
+    let outcome = distributed::run_protocol(&run).expect("protocol quiesces");
+    let sequential = GreedyDecoder::new().decode(&run);
+    assert_eq!(
+        outcome.estimate, sequential,
+        "n={n} k={k} m={m} noise={noise} seed={seed}"
+    );
+    assert_eq!(outcome.missing_assignments, 0);
+}
+
+#[test]
+fn equivalence_across_noise_models() {
+    for (seed, noise) in [
+        NoiseModel::Noiseless,
+        NoiseModel::z_channel(0.3),
+        NoiseModel::channel(0.2, 0.1),
+        NoiseModel::gaussian(1.5),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        check_equivalence(96, 3, 60, noise, seed as u64);
+    }
+}
+
+#[test]
+fn equivalence_across_population_sizes() {
+    // Deliberately awkward sizes: primes, powers of two, one-off-powers.
+    for n in [7usize, 16, 31, 64, 65, 127, 200] {
+        check_equivalence(n, 2.min(n), 40, NoiseModel::z_channel(0.1), n as u64);
+    }
+}
+
+#[test]
+fn equivalence_in_linear_regime() {
+    let run = Instance::builder(120)
+        .regime(Regime::linear(0.1))
+        .queries(150)
+        .noise(NoiseModel::z_channel(0.2))
+        .build()
+        .unwrap()
+        .sample(&mut StdRng::seed_from_u64(77));
+    let outcome = distributed::run_protocol(&run).unwrap();
+    assert_eq!(outcome.estimate, GreedyDecoder::new().decode(&run));
+}
+
+#[test]
+fn round_complexity_is_logarithmic_squared() {
+    // Batcher depth t(t+1)/2 for n = 2^t, plus 3 protocol rounds.
+    let run = Instance::builder(256)
+        .k(2)
+        .queries(30)
+        .build()
+        .unwrap()
+        .sample(&mut StdRng::seed_from_u64(5));
+    let outcome = distributed::run_protocol(&run).unwrap();
+    assert_eq!(outcome.sort_depth, 36); // t = 8: 8·9/2
+    assert_eq!(outcome.rounds, 39);
+}
+
+#[test]
+fn communication_grows_with_queries_not_rounds() {
+    // Doubling m roughly doubles measurement messages but leaves the
+    // sorting traffic unchanged.
+    let mk = |m: usize| {
+        let run = Instance::builder(128)
+            .k(2)
+            .queries(m)
+            .build()
+            .unwrap()
+            .sample(&mut StdRng::seed_from_u64(9));
+        distributed::run_protocol(&run).unwrap()
+    };
+    let small = mk(20);
+    let large = mk(40);
+    assert_eq!(small.rounds, large.rounds);
+    let delta = large.metrics.messages_sent - small.metrics.messages_sent;
+    // ~20 extra queries × ~γ·128 ≈ 50 distinct members each.
+    assert!(delta > 600, "delta={delta}");
+    assert!(delta < 1_600, "delta={delta}");
+}

@@ -1,0 +1,139 @@
+//! End-to-end reconstruction across all noise models, through the facade
+//! crate's public API only.
+
+use noisy_pooled_data::core::{
+    exact_recovery, overlap, Decoder, GreedyDecoder, Instance, NoiseModel, Regime,
+    TwoStepDecoder,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn recoverable(noise: NoiseModel, m: usize, seed: u64) -> bool {
+    let instance = Instance::builder(600)
+        .regime(Regime::sublinear(0.25))
+        .queries(m)
+        .noise(noise)
+        .build()
+        .expect("valid instance");
+    let run = instance.sample(&mut StdRng::seed_from_u64(seed));
+    exact_recovery(&GreedyDecoder::new().decode(&run), run.ground_truth())
+}
+
+#[test]
+fn noiseless_recovers_with_generous_budget() {
+    for seed in 0..5 {
+        assert!(recoverable(NoiseModel::Noiseless, 400, seed), "seed={seed}");
+    }
+}
+
+#[test]
+fn z_channel_recovers_with_generous_budget() {
+    for seed in 0..5 {
+        assert!(
+            recoverable(NoiseModel::z_channel(0.2), 700, 100 + seed),
+            "seed={seed}"
+        );
+    }
+}
+
+#[test]
+fn general_channel_recovers_with_generous_budget() {
+    for seed in 0..5 {
+        assert!(
+            recoverable(NoiseModel::channel(0.1, 0.05), 2_500, 200 + seed),
+            "seed={seed}"
+        );
+    }
+}
+
+#[test]
+fn gaussian_noise_recovers_with_generous_budget() {
+    for seed in 0..5 {
+        assert!(
+            recoverable(NoiseModel::gaussian(2.0), 900, 300 + seed),
+            "seed={seed}"
+        );
+    }
+}
+
+#[test]
+fn starved_budget_fails_but_overlap_is_partial() {
+    // The Figure-7 phenomenon: below the exact-recovery threshold the
+    // decoder still finds most one-agents.
+    let instance = Instance::builder(1_000)
+        .regime(Regime::sublinear(0.25))
+        .queries(150)
+        .noise(NoiseModel::z_channel(0.1))
+        .build()
+        .unwrap();
+    let mut exact = 0;
+    let mut overlap_sum = 0.0;
+    let trials = 10;
+    for seed in 0..trials {
+        let run = instance.sample(&mut StdRng::seed_from_u64(400 + seed));
+        let est = GreedyDecoder::new().decode(&run);
+        if exact_recovery(&est, run.ground_truth()) {
+            exact += 1;
+        }
+        overlap_sum += overlap(&est, run.ground_truth());
+    }
+    let mean_overlap = overlap_sum / trials as f64;
+    assert!(
+        mean_overlap > 0.55,
+        "mean overlap {mean_overlap} unexpectedly low"
+    );
+    assert!(
+        mean_overlap > exact as f64 / trials as f64,
+        "overlap should exceed the exact-recovery rate below threshold"
+    );
+}
+
+#[test]
+fn runs_are_reproducible_across_decoders() {
+    let instance = Instance::builder(300)
+        .k(4)
+        .queries(250)
+        .noise(NoiseModel::z_channel(0.1))
+        .build()
+        .unwrap();
+    let run1 = instance.sample(&mut StdRng::seed_from_u64(7));
+    let run2 = instance.sample(&mut StdRng::seed_from_u64(7));
+    assert_eq!(run1, run2);
+    let decoders: Vec<Box<dyn Decoder>> = vec![
+        Box::new(GreedyDecoder::new()),
+        Box::new(TwoStepDecoder::new()),
+    ];
+    for d in &decoders {
+        assert_eq!(d.decode(&run1), d.decode(&run2), "{} not deterministic", d.name());
+    }
+}
+
+#[test]
+fn linear_regime_recovers() {
+    // k = ζn with ζ = 0.05: 15 ones among 300 agents.
+    let instance = Instance::builder(300)
+        .regime(Regime::linear(0.05))
+        .queries(700)
+        .noise(NoiseModel::z_channel(0.1))
+        .build()
+        .unwrap();
+    assert_eq!(instance.k(), 15);
+    let run = instance.sample(&mut StdRng::seed_from_u64(11));
+    let est = GreedyDecoder::new().decode(&run);
+    assert!(exact_recovery(&est, run.ground_truth()));
+}
+
+#[test]
+fn custom_query_size_still_works() {
+    // Γ = n/4 instead of the default n/2.
+    let instance = Instance::builder(400)
+        .k(3)
+        .queries(500)
+        .query_size(100)
+        .noise(NoiseModel::z_channel(0.1))
+        .build()
+        .unwrap();
+    let run = instance.sample(&mut StdRng::seed_from_u64(13));
+    let est = GreedyDecoder::new().decode(&run);
+    assert!(exact_recovery(&est, run.ground_truth()));
+}

@@ -1,0 +1,86 @@
+//! Failure injection: the distributed protocol under message loss and
+//! duplication (extension beyond the paper, exercising the netsim fault
+//! machinery end to end).
+
+use noisy_pooled_data::core::{distributed, Instance, NoiseModel};
+use noisy_pooled_data::netsim::FaultConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn sample_run(m: usize, seed: u64) -> noisy_pooled_data::core::Run {
+    Instance::builder(128)
+        .k(3)
+        .queries(m)
+        .noise(NoiseModel::Noiseless)
+        .build()
+        .unwrap()
+        .sample(&mut StdRng::seed_from_u64(seed))
+}
+
+#[test]
+fn protocol_always_terminates_under_faults() {
+    for (drop, dup) in [(0.1, 0.0), (0.0, 0.2), (0.3, 0.3), (0.9, 0.0)] {
+        let run = sample_run(60, 1);
+        let faults = FaultConfig::new(drop, dup, 17).unwrap();
+        let outcome =
+            distributed::run_protocol_with_faults(&run, faults).expect("must terminate");
+        assert_eq!(outcome.estimate.bits().len(), 128, "drop={drop} dup={dup}");
+        assert!(outcome.rounds <= outcome.sort_depth as u64 + 5);
+    }
+}
+
+#[test]
+fn light_loss_with_redundant_queries_still_recovers() {
+    // Double the necessary queries + 0.5% loss: the measurement phase has
+    // enough redundancy that reconstruction survives (fixed seeds).
+    let run = sample_run(200, 2);
+    let faults = FaultConfig::new(0.005, 0.0, 3).unwrap();
+    let outcome = distributed::run_protocol_with_faults(&run, faults).unwrap();
+    assert_eq!(outcome.estimate.ones(), run.ground_truth().ones());
+}
+
+#[test]
+fn drop_rate_degrades_reconstruction_monotonically_in_aggregate() {
+    // Aggregate over seeds: heavy loss produces at least as many failures
+    // as light loss.
+    let failures = |drop: f64| -> usize {
+        (0..6u64)
+            .filter(|&seed| {
+                let run = sample_run(100, 10 + seed);
+                let faults = FaultConfig::new(drop, 0.0, 100 + seed).unwrap();
+                let outcome = distributed::run_protocol_with_faults(&run, faults).unwrap();
+                outcome.estimate.ones() != run.ground_truth().ones()
+            })
+            .count()
+    };
+    let light = failures(0.001);
+    let heavy = failures(0.6);
+    assert!(
+        heavy >= light,
+        "heavy loss failures {heavy} < light loss failures {light}"
+    );
+    assert!(heavy >= 4, "60% loss should break most runs: {heavy}/6");
+}
+
+#[test]
+fn dropped_assignments_are_reported() {
+    // With very heavy loss some agents never learn their bit; the outcome
+    // must say so rather than silently defaulting.
+    let run = sample_run(40, 4);
+    let faults = FaultConfig::new(0.8, 0.0, 5).unwrap();
+    let outcome = distributed::run_protocol_with_faults(&run, faults).unwrap();
+    assert!(
+        outcome.missing_assignments > 0,
+        "80% loss should lose some assignments"
+    );
+    assert!(outcome.metrics.messages_dropped > 0);
+}
+
+#[test]
+fn duplication_only_faults_keep_termination_and_shape() {
+    let run = sample_run(80, 6);
+    let faults = FaultConfig::new(0.0, 0.5, 7).unwrap();
+    let outcome = distributed::run_protocol_with_faults(&run, faults).unwrap();
+    assert!(outcome.metrics.messages_duplicated > 0);
+    assert_eq!(outcome.estimate.bits().len(), 128);
+}

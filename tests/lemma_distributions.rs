@@ -1,0 +1,134 @@
+//! Statistical validation of the paper's structural lemmas on the sampled
+//! pooling graphs (Lemmas 3, 4, 6 and 7).
+
+use noisy_pooled_data::core::{GroundTruth, NoiseModel, PoolingGraph};
+use noisy_pooled_data::theory::GAMMA;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn lemma3_multi_degree_is_binomial() {
+    // Δᵢ ~ Bin(mΓ, 1/n): check mean and variance across agents/resamples.
+    let mut rng = StdRng::seed_from_u64(1);
+    let (n, m) = (300usize, 120usize);
+    let gamma = n / 2;
+    let mut samples = Vec::new();
+    for _ in 0..30 {
+        let g = PoolingGraph::sample(n, m, gamma, &mut rng);
+        samples.extend(g.multi_degrees().into_iter().map(|d| d as f64));
+    }
+    let count = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / count;
+    let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (count - 1.0);
+    let trials = (m * gamma) as f64;
+    let want_mean = trials / n as f64;
+    let want_var = trials * (1.0 / n as f64) * (1.0 - 1.0 / n as f64);
+    assert!((mean - want_mean).abs() < 0.3, "mean {mean} vs {want_mean}");
+    assert!(
+        (var / want_var - 1.0).abs() < 0.1,
+        "var {var} vs {want_var}"
+    );
+}
+
+#[test]
+fn lemma4_distinct_degree_proportionality() {
+    // Δ*ᵢ ≈ 2γ·Δᵢ up to lower-order terms (Lemma 4 of [29]).
+    let mut rng = StdRng::seed_from_u64(2);
+    let (n, m) = (2_000usize, 400usize);
+    let g = PoolingGraph::sample(n, m, n / 2, &mut rng);
+    let multi = g.multi_degrees();
+    let distinct = g.distinct_degrees();
+    let ratio_mean = multi
+        .iter()
+        .zip(&distinct)
+        .map(|(&d, &ds)| ds as f64 / d as f64)
+        .sum::<f64>()
+        / n as f64;
+    let want = 2.0 * GAMMA; // Δ* = 2γΔ with Δ = m/2, Δ* = γm
+    assert!(
+        (ratio_mean - want).abs() < 0.02,
+        "mean Δ*/Δ = {ratio_mean}, want ≈ {want}"
+    );
+}
+
+#[test]
+fn lemma6_second_neighborhood_ones_count() {
+    // Ξⱼ ~ Bin(Δ*ⱼΓ − Δⱼ, (k − 1{σⱼ=1})/(n − 1)): check the mean for both
+    // classes of a fixed agent across graph resamples.
+    let (n, k, m) = (400usize, 20usize, 60usize);
+    let gamma = n / 2;
+    let mut rng = StdRng::seed_from_u64(3);
+
+    // Fix a truth where agent 0 is one and agent 1 is zero.
+    let mut bits = vec![false; n];
+    for b in bits.iter_mut().take(k) {
+        *b = true;
+    }
+    let truth = GroundTruth::from_bits(bits);
+
+    for (agent, is_one) in [(0usize, true), (1 + k, false)] {
+        let mut ratio_sum = 0.0;
+        let mut resamples = 0;
+        for _ in 0..40 {
+            let g = PoolingGraph::sample(n, m, gamma, &mut rng);
+            // Count ones among the second-neighborhood slots of `agent`.
+            let mut slots = 0u64;
+            let mut ones = 0u64;
+            for q in g.queries() {
+                let own = q.multiplicity(agent as u32) as u64;
+                if own == 0 {
+                    continue;
+                }
+                let c1 = q.one_slots(&truth);
+                let own_ones = if truth.is_one(agent) { own } else { 0 };
+                slots += q.total_slots() as u64 - own;
+                ones += c1 - own_ones;
+            }
+            if slots > 0 {
+                ratio_sum += ones as f64 / slots as f64;
+                resamples += 1;
+            }
+        }
+        let mean_rate = ratio_sum / resamples as f64;
+        let want = (k as f64 - if is_one { 1.0 } else { 0.0 }) / (n as f64 - 1.0);
+        assert!(
+            (mean_rate - want).abs() < 0.004,
+            "agent {agent} (one={is_one}): rate {mean_rate:.5} vs lemma {want:.5}"
+        );
+    }
+}
+
+#[test]
+fn lemma7_noisy_channel_observed_ones() {
+    // Under the channel, the probability a random second-neighborhood slot
+    // *reads* one is q + (k − 1{σ})/(n−1)·(1−p−q) — the basis of the noise-
+    // aware centering. Validate via repeated measurement of one graph.
+    let (n, k, m) = (500usize, 25usize, 40usize);
+    let (p, q) = (0.2, 0.1);
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut bits = vec![false; n];
+    for b in bits.iter_mut().take(k) {
+        *b = true;
+    }
+    let truth = GroundTruth::from_bits(bits);
+    let noise = NoiseModel::channel(p, q);
+
+    let g = PoolingGraph::sample(n, m, n / 2, &mut rng);
+    let total_slots: f64 = g
+        .queries()
+        .iter()
+        .map(|qq| qq.total_slots() as f64)
+        .sum();
+    let mut mean_reading = 0.0;
+    let resamples = 300;
+    for _ in 0..resamples {
+        let results = g.measure(&truth, &noise, &mut rng);
+        mean_reading += results.iter().sum::<f64>() / total_slots;
+    }
+    mean_reading /= resamples as f64;
+    let want = q + k as f64 / n as f64 * (1.0 - p - q);
+    assert!(
+        (mean_reading - want).abs() < 0.003,
+        "per-slot read rate {mean_reading:.5} vs {want:.5}"
+    );
+}

@@ -1,0 +1,114 @@
+//! Simulation results must be consistent with Theorems 1 and 2.
+
+use noisy_pooled_data::core::{IncrementalSim, NoiseModel};
+use noisy_pooled_data::theory::{bounds, degrees, GAMMA};
+
+fn median_required(n: usize, k: usize, noise: NoiseModel, trials: u64, budget: usize) -> f64 {
+    let mut samples: Vec<f64> = (0..trials)
+        .map(|seed| {
+            let mut sim = IncrementalSim::new(n, k, noise, 5_000 + seed);
+            sim.required_queries(budget)
+                .map(|r| r.queries as f64)
+                .unwrap_or(f64::INFINITY)
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+#[test]
+fn empirical_threshold_is_below_theorem1_z_channel() {
+    // Theorem 1 is an achievability bound: at its query budget the
+    // algorithm succeeds w.h.p., so the empirical median threshold must sit
+    // at or below it (p = 0.1 is the regime where the paper reports clean
+    // agreement).
+    let n = 1_000;
+    let theta = 0.25;
+    let k = (n as f64).powf(theta).round() as usize;
+    let bound = bounds::z_channel_sublinear_queries(n as f64, theta, 0.1, 0.05);
+    let median = median_required(n, k, NoiseModel::z_channel(0.1), 5, 5_000);
+    assert!(
+        median <= bound,
+        "median {median} exceeds Theorem-1 bound {bound}"
+    );
+}
+
+#[test]
+fn empirical_threshold_is_below_theorem1_general_channel() {
+    let n = 316;
+    let k = 4; // ≈ 316^0.25
+    let q = 0.05;
+    let bound = bounds::noisy_channel_sublinear_queries(n as f64, 0.25, q, q, 0.05);
+    let median = median_required(n, k, NoiseModel::channel(q, q), 5, 20_000);
+    assert!(
+        median <= bound * 1.1,
+        "median {median} far above combined bound {bound}"
+    );
+}
+
+#[test]
+fn mild_gaussian_noise_costs_only_a_constant_factor() {
+    // Theorem 2: for λ² = o(m/ln n) the *asymptotic* budget equals the
+    // noiseless bound. At finite n the noisy curve sits slightly above the
+    // noiseless one (exactly as in the paper's Figure 3); check that the
+    // noiseless median is within the bound and the λ = 1 median within a
+    // modest constant factor of it.
+    let n = 1_000;
+    let k = 6;
+    let bound = bounds::noisy_query_sublinear_queries(n as f64, 0.25, 0.05);
+    let clean = median_required(n, k, NoiseModel::Noiseless, 5, 5_000);
+    let noisy = median_required(n, k, NoiseModel::gaussian(1.0), 5, 5_000);
+    assert!(clean <= bound, "noiseless median {clean} exceeds bound {bound}");
+    assert!(noisy >= clean, "λ=1 should not beat noiseless");
+    assert!(
+        noisy <= 2.0 * bound,
+        "λ=1 median {noisy} far above bound {bound}"
+    );
+}
+
+#[test]
+fn theorem2_failure_regime_fails() {
+    // λ² = Ω(m): with λ = 40 and budget 800 (λ² = 1600 ≥ m), the algorithm
+    // must fail with positive probability — empirically it fails always.
+    let mut failures = 0;
+    for seed in 0..4u64 {
+        let mut sim = IncrementalSim::new(400, 4, NoiseModel::gaussian(40.0), 6_000 + seed);
+        if sim.required_queries(800).is_err() {
+            failures += 1;
+        }
+    }
+    assert!(failures >= 3, "only {failures}/4 failed under λ=40");
+}
+
+#[test]
+fn noise_ordering_matches_theory() {
+    // Bounds are monotone in p; so must be the measured medians.
+    let n = 562;
+    let k = 5;
+    let m_low = median_required(n, k, NoiseModel::z_channel(0.1), 5, 20_000);
+    let m_high = median_required(n, k, NoiseModel::z_channel(0.4), 5, 20_000);
+    assert!(m_low < m_high, "p=0.1 {m_low} !< p=0.4 {m_high}");
+    let b_low = bounds::z_channel_sublinear_queries(n as f64, 0.25, 0.1, 0.05);
+    let b_high = bounds::z_channel_sublinear_queries(n as f64, 0.25, 0.4, 0.05);
+    assert!(b_low < b_high);
+}
+
+#[test]
+fn degree_expectations_match_simulation() {
+    use noisy_pooled_data::core::PoolingGraph;
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+    let (n, m) = (500usize, 400usize);
+    let graph = PoolingGraph::sample(n, m, n / 2, &mut rng);
+    let multi_mean =
+        graph.multi_degrees().iter().sum::<u64>() as f64 / n as f64;
+    let distinct_mean =
+        graph.distinct_degrees().iter().map(|&d| d as f64).sum::<f64>() / n as f64;
+    assert!((multi_mean - degrees::expected_multi_degree(m as f64)).abs() < 1e-9);
+    let want_distinct = degrees::expected_distinct_degree(m as f64);
+    assert!(
+        (distinct_mean - want_distinct).abs() / want_distinct < 0.02,
+        "distinct mean {distinct_mean} vs γm = {want_distinct}"
+    );
+    assert!((GAMMA - 0.39346934).abs() < 1e-7);
+}
