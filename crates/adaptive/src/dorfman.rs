@@ -85,9 +85,7 @@ impl Strategy for Dorfman {
         oracle.next_round();
         let pools: Vec<Vec<u32>> = (0..n)
             .step_by(self.pool_size)
-            .map(|start| {
-                (start as u32..(start + self.pool_size).min(n) as u32).collect()
-            })
+            .map(|start| (start as u32..(start + self.pool_size).min(n) as u32).collect())
             .collect();
         let counts: Vec<u64> = pools
             .iter()
@@ -199,10 +197,9 @@ mod tests {
     #[test]
     fn uneven_last_pool_is_handled() {
         // n = 11 with pool size 4 leaves a trailing pool of 3.
-        let truth =
-            GroundTruth::from_bits(vec![
-                false, true, false, false, false, false, false, false, false, false, true,
-            ]);
+        let truth = GroundTruth::from_bits(vec![
+            false, true, false, false, false, false, false, false, false, false, true,
+        ]);
         let mut rng = StdRng::seed_from_u64(32);
         let mut oracle = Oracle::new(&truth, NoiseModel::Noiseless, &mut rng);
         let t = Dorfman::new(4, 1).reconstruct(2, &mut oracle);

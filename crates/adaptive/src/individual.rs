@@ -93,8 +93,7 @@ mod tests {
     fn majority_voting_survives_channel_noise() {
         let mut rng = StdRng::seed_from_u64(41);
         let truth = GroundTruth::sample(64, 7, &mut rng);
-        let mut oracle =
-            Oracle::new(&truth, NoiseModel::channel(0.2, 0.1), &mut rng);
+        let mut oracle = Oracle::new(&truth, NoiseModel::channel(0.2, 0.1), &mut rng);
         let t = IndividualTesting::new(51).reconstruct(7, &mut oracle);
         assert!(t.is_exact(&truth));
         assert_eq!(t.queries, 64 * 51);

@@ -32,11 +32,7 @@ pub struct Oracle<'a> {
 
 impl<'a> Oracle<'a> {
     /// Creates an oracle over the given assignment and noise model.
-    pub fn new(
-        truth: &'a GroundTruth,
-        noise: NoiseModel,
-        rng: &'a mut dyn RngCore,
-    ) -> Self {
+    pub fn new(truth: &'a GroundTruth, noise: NoiseModel, rng: &'a mut dyn RngCore) -> Self {
         Self {
             truth,
             noise,
@@ -130,10 +126,7 @@ pub struct Transcript {
 impl Transcript {
     /// Whether the estimate matches the assignment exactly.
     pub fn is_exact(&self, truth: &GroundTruth) -> bool {
-        self.estimate
-            .iter()
-            .zip(truth.bits())
-            .all(|(a, b)| a == b)
+        self.estimate.iter().zip(truth.bits()).all(|(a, b)| a == b)
     }
 
     /// Number of one-bits in the estimate.

@@ -25,7 +25,10 @@ impl CountEstimator {
     ///
     /// Panics if `repetitions == 0`.
     pub fn new(repetitions: usize) -> Self {
-        assert!(repetitions > 0, "CountEstimator: repetitions must be positive");
+        assert!(
+            repetitions > 0,
+            "CountEstimator: repetitions must be positive"
+        );
         Self { repetitions }
     }
 
@@ -41,13 +44,7 @@ impl CountEstimator {
     /// # Panics
     ///
     /// Panics if `lo > hi` or `hi > agents.len()`.
-    pub fn estimate_count(
-        &self,
-        oracle: &mut Oracle<'_>,
-        agents: &[u32],
-        lo: u64,
-        hi: u64,
-    ) -> u64 {
+    pub fn estimate_count(&self, oracle: &mut Oracle<'_>, agents: &[u32], lo: u64, hi: u64) -> u64 {
         assert!(lo <= hi, "CountEstimator: lo={lo} exceeds hi={hi}");
         assert!(
             hi <= agents.len() as u64,
@@ -60,9 +57,7 @@ impl CountEstimator {
         }
         let raw_mean = total / self.repetitions as f64;
         let unbiased = match *oracle.noise() {
-            NoiseModel::Channel { p, q } => {
-                (raw_mean - q * agents.len() as f64) / (1.0 - p - q)
-            }
+            NoiseModel::Channel { p, q } => (raw_mean - q * agents.len() as f64) / (1.0 - p - q),
             NoiseModel::Noiseless | NoiseModel::Query { .. } => raw_mean,
         };
         (unbiased.round().max(0.0) as u64).clamp(lo, hi)
@@ -83,7 +78,10 @@ pub fn recommended_repetitions(noise: &NoiseModel, set_size: usize, delta: f64) 
         delta > 0.0 && delta < 1.0,
         "recommended_repetitions: delta={delta} must be in (0,1)"
     );
-    assert!(set_size > 0, "recommended_repetitions: set_size must be positive");
+    assert!(
+        set_size > 0,
+        "recommended_repetitions: set_size must be positive"
+    );
     let single_var = match *noise {
         NoiseModel::Noiseless => return 1,
         NoiseModel::Query { lambda } => {

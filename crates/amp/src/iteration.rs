@@ -4,6 +4,7 @@ use crate::denoiser::{BayesBernoulli, Denoiser, SoftThreshold};
 use crate::preprocess::{prepare, Prepared};
 use npd_core::{Decoder, Estimate, Run};
 use npd_numerics::vector;
+use npd_numerics::vector::resize_fill;
 use serde::{Deserialize, Serialize};
 
 /// Which denoiser family the [`AmpDecoder`] instantiates per run.
@@ -67,13 +68,70 @@ pub struct AmpOutput {
     pub tau2_history: Vec<f64>,
 }
 
-/// Runs AMP on a prepared problem with the given denoiser.
+/// Reusable buffers for the AMP iteration.
+///
+/// One solve needs six working vectors (`x`, `x_new`, `z`, `z_new`, `v`,
+/// `bx`); allocating them per call dominated small-instance decode time in
+/// the Monte-Carlo sweeps. A workspace is resized on first use and reused
+/// across repeated solves of the same shape without touching the
+/// allocator. [`run_amp`] remains the one-shot entry point;
+/// [`run_amp_with`] produces bit-identical output by construction (same
+/// operations in the same order, only the backing storage differs).
+#[derive(Debug, Clone, Default)]
+pub struct AmpWorkspace {
+    x: Vec<f64>,
+    x_new: Vec<f64>,
+    z: Vec<f64>,
+    z_new: Vec<f64>,
+    v: Vec<f64>,
+    bx: Vec<f64>,
+}
+
+impl AmpWorkspace {
+    /// Creates an empty workspace (buffers grow on first solve).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn prepare(&mut self, m: usize, n: usize, y: &[f64]) {
+        resize_fill(&mut self.x, n, 0.0);
+        resize_fill(&mut self.x_new, n, 0.0);
+        resize_fill(&mut self.v, n, 0.0);
+        resize_fill(&mut self.bx, m, 0.0);
+        self.z.clear();
+        self.z.extend_from_slice(y);
+        resize_fill(&mut self.z_new, m, 0.0);
+    }
+}
+
+/// Runs AMP on a prepared problem with the given denoiser (one-shot entry
+/// point; allocates a fresh [`AmpWorkspace`]).
 ///
 /// # Panics
 ///
 /// Panics if the prepared observation vector length does not match the
 /// matrix row count.
 pub fn run_amp<D: Denoiser>(prep: &Prepared, denoiser: &D, config: &AmpConfig) -> AmpOutput {
+    let mut workspace = AmpWorkspace::new();
+    run_amp_with(prep, denoiser, config, &mut workspace)
+}
+
+/// Runs AMP reusing the caller's workspace buffers.
+///
+/// Output is identical to [`run_amp`]; repeated calls on problems of the
+/// same shape perform no per-call heap allocation beyond the returned
+/// [`AmpOutput`].
+///
+/// # Panics
+///
+/// Panics if the prepared observation vector length does not match the
+/// matrix row count.
+pub fn run_amp_with<D: Denoiser>(
+    prep: &Prepared,
+    denoiser: &D,
+    config: &AmpConfig,
+    ws: &mut AmpWorkspace,
+) -> AmpOutput {
     let m = prep.matrix.rows();
     let n = prep.matrix.cols();
     assert_eq!(
@@ -83,8 +141,7 @@ pub fn run_amp<D: Denoiser>(prep: &Prepared, denoiser: &D, config: &AmpConfig) -
     );
 
     let y = &prep.observations;
-    let mut x = vec![0.0f64; n];
-    let mut z = y.clone();
+    ws.prepare(m, n, y);
     let mut tau2_history = Vec::new();
     let mut iterations = 0;
     let mut converged = false;
@@ -92,15 +149,14 @@ pub fn run_amp<D: Denoiser>(prep: &Prepared, denoiser: &D, config: &AmpConfig) -
     for _ in 0..config.max_iterations {
         iterations += 1;
         // Pseudo-observations v = Bᵀz + x and effective noise τ².
-        let mut v = prep.matrix.matvec_t(&z);
-        vector::axpy(1.0, &x, &mut v);
-        let tau2 = vector::norm2_sq(&z) / m as f64;
+        prep.matrix.matvec_t_into(&ws.z, &mut ws.v);
+        vector::axpy(1.0, &ws.x, &mut ws.v);
+        let tau2 = vector::norm2_sq(&ws.z) / m as f64;
         tau2_history.push(tau2);
 
         // Denoise and compute the Onsager coefficient b = (1/m)Σ η'(v).
-        let mut x_new = vec![0.0f64; n];
         let mut deriv_sum = 0.0;
-        for (xn, &vi) in x_new.iter_mut().zip(&v) {
+        for (xn, &vi) in ws.x_new.iter_mut().zip(&ws.v) {
             *xn = denoiser.eta(vi, tau2);
             deriv_sum += denoiser.eta_prime(vi, tau2);
         }
@@ -111,20 +167,21 @@ pub fn run_amp<D: Denoiser>(prep: &Prepared, denoiser: &D, config: &AmpConfig) -
         };
 
         if config.damping > 0.0 {
-            for (xn, &xo) in x_new.iter_mut().zip(&x) {
+            for (xn, &xo) in ws.x_new.iter_mut().zip(&ws.x) {
                 *xn = (1.0 - config.damping) * *xn + config.damping * xo;
             }
         }
 
         // Residual with memory: z = y − B·x_new + b·z_prev.
-        let bx = prep.matrix.matvec(&x_new);
-        let mut z_new = y.clone();
-        vector::axpy(-1.0, &bx, &mut z_new);
-        vector::axpy(onsager, &z, &mut z_new);
+        prep.matrix.matvec_into(&ws.x_new, &mut ws.bx);
+        ws.z_new.clear();
+        ws.z_new.extend_from_slice(y);
+        vector::axpy(-1.0, &ws.bx, &mut ws.z_new);
+        vector::axpy(onsager, &ws.z, &mut ws.z_new);
 
-        let delta = vector::max_abs_diff(&x_new, &x);
-        x = x_new;
-        z = z_new;
+        let delta = vector::max_abs_diff(&ws.x_new, &ws.x);
+        std::mem::swap(&mut ws.x, &mut ws.x_new);
+        std::mem::swap(&mut ws.z, &mut ws.z_new);
         if delta < config.tolerance {
             converged = true;
             break;
@@ -132,7 +189,7 @@ pub fn run_amp<D: Denoiser>(prep: &Prepared, denoiser: &D, config: &AmpConfig) -
     }
 
     AmpOutput {
-        estimate: x,
+        estimate: ws.x.clone(),
         iterations,
         converged,
         tau2_history,
@@ -187,15 +244,27 @@ impl AmpDecoder {
     /// Decodes and returns the full iteration trace alongside the estimate
     /// (use [`Decoder::decode`] when only the bits matter).
     pub fn decode_with_trace(&self, run: &Run) -> (Estimate, AmpOutput) {
+        let mut workspace = AmpWorkspace::new();
+        self.decode_with_trace_using(run, &mut workspace)
+    }
+
+    /// [`AmpDecoder::decode_with_trace`] reusing the caller's workspace:
+    /// repeated decodes on same-shaped runs skip the per-call buffer
+    /// allocations. Output is identical to the one-shot path.
+    pub fn decode_with_trace_using(
+        &self,
+        run: &Run,
+        workspace: &mut AmpWorkspace,
+    ) -> (Estimate, AmpOutput) {
         let prep = prepare(run);
         let output = match self.denoiser {
             DenoiserKind::BayesBernoulli => {
                 let denoiser = BayesBernoulli::new(prep.prior.clamp(1e-9, 1.0 - 1e-9));
-                run_amp(&prep, &denoiser, &self.config)
+                run_amp_with(&prep, &denoiser, &self.config, workspace)
             }
             DenoiserKind::SoftThreshold { alpha } => {
                 let denoiser = SoftThreshold::new(alpha);
-                run_amp(&prep, &denoiser, &self.config)
+                run_amp_with(&prep, &denoiser, &self.config, workspace)
             }
         };
         let estimate = Estimate::from_scores(output.estimate.clone(), run.instance().k());
@@ -263,10 +332,7 @@ mod tests {
         let (_, trace) = AmpDecoder::default().decode_with_trace(&run);
         let first = trace.tau2_history[0];
         let last = *trace.tau2_history.last().unwrap();
-        assert!(
-            last < first * 0.1,
-            "τ² did not shrink: {first} → {last}"
-        );
+        assert!(last < first * 0.1, "τ² did not shrink: {first} → {last}");
     }
 
     #[test]
@@ -327,6 +393,21 @@ mod tests {
     }
 
     #[test]
+    fn workspace_reuse_is_bit_identical_to_one_shot() {
+        let decoder = AmpDecoder::default();
+        let mut ws = AmpWorkspace::new();
+        // Decode several different runs with one workspace; every trace
+        // must equal the corresponding one-shot decode exactly.
+        for seed in 0..4 {
+            let run = sample(300, 4, 220, NoiseModel::z_channel(0.1), 40 + seed);
+            let (est_fresh, out_fresh) = decoder.decode_with_trace(&run);
+            let (est_reuse, out_reuse) = decoder.decode_with_trace_using(&run, &mut ws);
+            assert_eq!(est_fresh, est_reuse, "seed={seed}");
+            assert_eq!(out_fresh, out_reuse, "seed={seed}");
+        }
+    }
+
+    #[test]
     fn onsager_term_is_load_bearing() {
         // The ablation behind DESIGN.md's note on the paper's update
         // equation: dropping the b·z_{t−1} memory term turns AMP into plain
@@ -364,10 +445,7 @@ mod tests {
         // produce valid estimates, and on a borderline instance the Bayes
         // denoiser should succeed at least as often across seeds.
         let soft = AmpDecoder::default().with_denoiser(DenoiserKind::SoftThreshold { alpha: 2.0 });
-        assert_eq!(
-            soft.denoiser(),
-            DenoiserKind::SoftThreshold { alpha: 2.0 }
-        );
+        assert_eq!(soft.denoiser(), DenoiserKind::SoftThreshold { alpha: 2.0 });
         let mut bayes_ok = 0;
         let mut soft_ok = 0;
         let trials = 6;
@@ -390,8 +468,10 @@ mod tests {
 
     #[test]
     fn object_safe_alongside_greedy() {
-        let decoders: Vec<Box<dyn Decoder>> =
-            vec![Box::new(GreedyDecoder::new()), Box::new(AmpDecoder::default())];
+        let decoders: Vec<Box<dyn Decoder>> = vec![
+            Box::new(GreedyDecoder::new()),
+            Box::new(AmpDecoder::default()),
+        ];
         let run = sample(200, 2, 150, NoiseModel::Noiseless, 20);
         for d in decoders {
             assert_eq!(d.decode(&run).k(), 2);

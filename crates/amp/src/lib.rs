@@ -55,5 +55,5 @@ pub mod preprocess;
 pub mod state_evolution;
 
 pub use denoiser::{BayesBernoulli, Denoiser, SoftThreshold};
-pub use iteration::{AmpConfig, AmpDecoder, AmpOutput, DenoiserKind};
+pub use iteration::{AmpConfig, AmpDecoder, AmpOutput, AmpWorkspace, DenoiserKind};
 pub use preprocess::CenteredMatrix;

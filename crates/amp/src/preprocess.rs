@@ -25,9 +25,20 @@ use npd_numerics::CsrMatrix;
 ///
 /// Products cost one sparse pass plus a rank-one correction:
 /// `B·x = (A·x − c·(Σx)·1)/s` and `Bᵀ·z = (Aᵀ·z − c·(Σz)·1)/s`.
+///
+/// When a multi-threaded rayon pool is ambient and the matrix is large
+/// enough to clear the numerics parallel threshold, the transpose of `A`
+/// is materialized lazily, **once per run** (never per iteration): the
+/// transposed product then runs as a row-parallel gather over `Aᵀ` with
+/// the same per-element accumulation order as the sequential scatter, so
+/// it parallelizes without changing the result. Single-threaded runs skip
+/// the transpose entirely — the scatter is equally fast there and building
+/// `Aᵀ` would cost a full extra pass over the entries.
 #[derive(Debug, Clone)]
 pub struct CenteredMatrix {
     a: CsrMatrix,
+    /// Lazily cached `Aᵀ` for the parallel transposed product.
+    at: std::sync::OnceLock<CsrMatrix>,
     c: f64,
     s: f64,
 }
@@ -40,7 +51,12 @@ impl CenteredMatrix {
     /// Panics if `s` is not strictly positive.
     pub fn new(a: CsrMatrix, c: f64, s: f64) -> Self {
         assert!(s > 0.0, "CenteredMatrix: scale s={s} must be positive");
-        Self { a, c, s }
+        Self {
+            a,
+            at: std::sync::OnceLock::new(),
+            c,
+            s,
+        }
     }
 
     /// Standard preprocessing for a pooling design: `c = Γ/n`,
@@ -81,30 +97,68 @@ impl CenteredMatrix {
 
     /// `B·x`.
     ///
+    /// Allocates the output; the AMP inner loop uses
+    /// [`CenteredMatrix::matvec_into`] with workspace buffers.
+    ///
     /// # Panics
     ///
     /// Panics if `x.len() != cols`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
-        let sum_x: f64 = x.iter().sum();
-        let mut out = self.a.matvec(x);
-        for o in &mut out {
-            *o = (*o - self.c * sum_x) / self.s;
-        }
+        let mut out = vec![0.0; self.rows()];
+        self.matvec_into(x, &mut out);
         out
     }
 
+    /// Allocation-free `out ← B·x` (row-parallel above the numerics
+    /// threshold).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols` or `out.len() != rows`.
+    pub fn matvec_into(&self, x: &[f64], out: &mut [f64]) {
+        let sum_x: f64 = x.iter().sum();
+        self.a.matvec_into(x, out);
+        for o in out {
+            *o = (*o - self.c * sum_x) / self.s;
+        }
+    }
+
     /// `Bᵀ·z`.
+    ///
+    /// Allocates the output; the AMP inner loop uses
+    /// [`CenteredMatrix::matvec_t_into`] with workspace buffers.
     ///
     /// # Panics
     ///
     /// Panics if `z.len() != rows`.
     pub fn matvec_t(&self, z: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.cols()];
+        self.matvec_t_into(z, &mut out);
+        out
+    }
+
+    /// Allocation-free `out ← Bᵀ·z`.
+    ///
+    /// On a multi-threaded pool (and a matrix above the numerics parallel
+    /// threshold) this runs as a row-parallel gather over the lazily
+    /// cached transpose; otherwise it is the sequential scatter. Both
+    /// accumulate each output element in ascending-row order, so the
+    /// result is identical either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z.len() != rows` or `out.len() != cols`.
+    pub fn matvec_t_into(&self, z: &[f64], out: &mut [f64]) {
         let sum_z: f64 = z.iter().sum();
-        let mut out = self.a.matvec_t(z);
-        for o in &mut out {
+        if rayon::current_num_threads() > 1 && self.a.nnz() >= npd_numerics::PAR_FLOP_THRESHOLD {
+            let at = self.at.get_or_init(|| self.a.transpose());
+            at.matvec_into(z, out);
+        } else {
+            self.a.matvec_t_into(z, out);
+        }
+        for o in out {
             *o = (*o - self.c * sum_z) / self.s;
         }
-        out
     }
 }
 

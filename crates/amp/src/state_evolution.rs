@@ -64,7 +64,10 @@ pub fn evolve<D: Denoiser>(denoiser: &D, config: &StateEvolutionConfig) -> Vec<f
         config.prior > 0.0 && config.prior < 1.0,
         "state evolution: prior must be in (0,1)"
     );
-    assert!(config.n_over_m > 0.0, "state evolution: n/m must be positive");
+    assert!(
+        config.n_over_m > 0.0,
+        "state evolution: n/m must be positive"
+    );
     assert!(config.samples > 0, "state evolution: need samples");
 
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -76,7 +79,11 @@ pub fn evolve<D: Denoiser>(denoiser: &D, config: &StateEvolutionConfig) -> Vec<f
     for _ in 0..config.iterations {
         let mut mse = 0.0;
         for _ in 0..config.samples {
-            let x = if rng.gen::<f64>() < config.prior { 1.0 } else { 0.0 };
+            let x = if rng.gen::<f64>() < config.prior {
+                1.0
+            } else {
+                0.0
+            };
             let v = x + tau2.sqrt() * gauss.sample(&mut rng);
             let err = denoiser.eta(v, tau2) - x;
             mse += err * err;

@@ -7,7 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use npd_core::{
-    Centering, Decoder, GreedyDecoder, Instance, IncrementalSim, NoiseModel, TwoStepDecoder,
+    Centering, Decoder, GreedyDecoder, IncrementalSim, Instance, NoiseModel, TwoStepDecoder,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;

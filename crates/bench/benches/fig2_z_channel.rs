@@ -21,8 +21,7 @@ fn bench_required_queries(c: &mut Criterion) {
                     let mut seed = 0u64;
                     b.iter(|| {
                         seed += 1;
-                        let mut sim =
-                            IncrementalSim::new(n, k, NoiseModel::z_channel(p), seed);
+                        let mut sim = IncrementalSim::new(n, k, NoiseModel::z_channel(p), seed);
                         black_box(sim.required_queries(100_000).expect("separates"))
                     });
                 },

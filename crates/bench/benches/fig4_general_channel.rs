@@ -18,8 +18,7 @@ fn bench_general_channel(c: &mut Criterion) {
                 let mut seed = 0u64;
                 b.iter(|| {
                     seed += 1;
-                    let mut sim =
-                        IncrementalSim::new(n, k, NoiseModel::channel(q, q), seed);
+                    let mut sim = IncrementalSim::new(n, k, NoiseModel::channel(q, q), seed);
                     black_box(sim.required_queries(100_000).expect("separates"))
                 });
             },

@@ -1,0 +1,67 @@
+//! Monte-Carlo sweep throughput: the workload behind Figures 2–5.
+//!
+//! Benchmarks `required_queries_grid` — the flattened `(cell, trial)`
+//! fan-out — at `threads = 1` versus the default rayon pool. On a
+//! multicore machine the parallel run should approach a core-count
+//! speedup (trials are embarrassingly parallel and results are
+//! bit-identical by the determinism contract); on a single-core container
+//! the two coincide. The measured medians are snapshotted into
+//! `BENCH_baseline.json` (see that file for the machine context).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use npd_core::{NoiseModel, Regime};
+use npd_experiments::runner;
+use npd_experiments::sweep::{required_queries_grid, SweepCell};
+use std::hint::black_box;
+
+fn grid_cells() -> Vec<SweepCell> {
+    let mut cells = Vec::new();
+    for (ci, &(n, p)) in [
+        (316usize, 0.0f64),
+        (316, 0.1),
+        (1_000, 0.0),
+        (1_000, 0.1),
+        (1_000, 0.3),
+        (3_162, 0.1),
+    ]
+    .iter()
+    .enumerate()
+    {
+        cells.push(SweepCell {
+            n,
+            regime: Regime::sublinear(0.25),
+            noise: if p == 0.0 {
+                NoiseModel::Noiseless
+            } else {
+                NoiseModel::z_channel(p)
+            },
+            max_queries: 50_000,
+            seed_salt: 0xBE7C_0000 + ci as u64,
+        });
+    }
+    cells
+}
+
+fn bench_mc_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mc_sweep");
+    group.sample_size(10);
+    let cells = grid_cells();
+    let trials = 6;
+
+    let mut thread_counts = vec![1usize];
+    let default = runner::default_threads();
+    if default > 1 {
+        thread_counts.push(default);
+    }
+    for threads in thread_counts {
+        group.bench_with_input(
+            BenchmarkId::new("required_queries_grid", format!("threads={threads}")),
+            &threads,
+            |b, &t| b.iter(|| black_box(required_queries_grid(&cells, trials, t))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mc_sweep);
+criterion_main!(benches);

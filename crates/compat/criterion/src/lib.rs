@@ -1,0 +1,458 @@
+//! Vendored, dependency-free benchmark harness with a criterion-compatible
+//! surface.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the subset of the `criterion` API its benches use:
+//! [`Criterion::benchmark_group`] / [`Criterion::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Throughput`],
+//! [`Bencher::iter`] and the [`criterion_group!`]/[`criterion_main!`]
+//! macros.
+//!
+//! Statistics are deliberately simple: after a short warmup each benchmark
+//! collects `sample_size` wall-clock samples (iteration counts chosen so a
+//! sample lasts at least a few milliseconds) and reports the median, min
+//! and max per-iteration time.
+//!
+//! # Command line
+//!
+//! `cargo bench` forwards arguments after `--`:
+//!
+//! * `--test` — smoke mode: run every benchmark body once and skip timing
+//!   (used by CI);
+//! * any other non-flag argument — substring filter on benchmark ids.
+//!
+//! Set `CRITERION_JSON=/path/file.json` to also write a JSON array of
+//! `{id, median_ns, min_ns, max_ns, samples}` records — the hook used to
+//! produce `BENCH_baseline.json`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One recorded benchmark result, exported via `CRITERION_JSON`.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Full benchmark id (`group/function/parameter`).
+    pub id: String,
+    /// Median per-iteration time in nanoseconds.
+    pub median_ns: f64,
+    /// Fastest sample in nanoseconds.
+    pub min_ns: f64,
+    /// Slowest sample in nanoseconds.
+    pub max_ns: f64,
+    /// Number of samples.
+    pub samples: usize,
+}
+
+static RECORDS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
+
+/// Run configuration parsed from the command line.
+#[derive(Debug, Clone, Default)]
+struct Config {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Config {
+    fn from_args() -> Self {
+        let mut cfg = Config::default();
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => cfg.test_mode = true,
+                // Boolean flags cargo or humans pass that we accept and
+                // ignore.
+                "--bench" | "--quick" | "--noplot" | "--verbose" | "--discard-baseline"
+                | "--list" => {}
+                // Value-carrying criterion flags: consume the operand too,
+                // so it is not mistaken for a benchmark filter below.
+                "--save-baseline"
+                | "--baseline"
+                | "--baseline-lenient"
+                | "--load-baseline"
+                | "--measurement-time"
+                | "--warm-up-time"
+                | "--sample-size"
+                | "--profile-time"
+                | "--output-format"
+                | "--color"
+                | "--plotting-backend"
+                | "--significance-level"
+                | "--confidence-level"
+                | "--nresamples"
+                | "--noise-threshold" => {
+                    args.next();
+                }
+                other if other.starts_with("--") => {
+                    // Unknown flag: refuse to guess whether the next token
+                    // is its operand or a filter — silently dropping
+                    // benchmarks is worse than stopping.
+                    eprintln!("criterion (vendored): unsupported flag {other}");
+                    std::process::exit(2);
+                }
+                filter => cfg.filter = Some(filter.to_string()),
+            }
+        }
+        cfg
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+}
+
+/// Top-level benchmark driver (criterion-compatible subset).
+#[derive(Debug)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            config: Config::from_args(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id().render(None);
+        run_benchmark(&self.config, &id, 20, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares the per-iteration throughput (accepted for API
+    /// compatibility; the vendored harness reports times only).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks a closure under this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id().render(Some(&self.name));
+        run_benchmark(&self.criterion.config, &id, self.sample_size, f);
+        self
+    }
+
+    /// Benchmarks a closure that borrows a fixed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into_benchmark_id().render(Some(&self.name));
+        run_benchmark(&self.criterion.config, &id, self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Per-iteration throughput declaration (accepted, not reported).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus optional parameter string.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Id with an explicit function name and parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Id carrying only a parameter (function name comes from the group).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self, group: Option<&str>) -> String {
+        let mut id = String::new();
+        if let Some(g) = group {
+            let _ = write!(id, "{g}/");
+        }
+        if let Some(f) = &self.function {
+            let _ = write!(id, "{f}");
+        }
+        if let Some(p) = &self.parameter {
+            if self.function.is_some() {
+                let _ = write!(id, "/{p}");
+            } else {
+                let _ = write!(id, "{p}");
+            }
+        }
+        id
+    }
+}
+
+/// Conversion into [`BenchmarkId`] (allows plain strings).
+pub trait IntoBenchmarkId {
+    /// Converts to a benchmark id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            function: Some(self.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            function: Some(self),
+            parameter: None,
+        }
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `f`, storing per-iteration wall-clock samples.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        // Warmup and per-sample iteration calibration: aim for samples of
+        // at least ~2ms so timer quantization is negligible, but cap the
+        // calibration so very slow bodies only run once per sample.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(50));
+        let iters = (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            self.samples_ns
+                .push(elapsed.as_nanos() as f64 / iters as f64);
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(config: &Config, id: &str, sample_size: usize, mut f: F) {
+    if !config.matches(id) {
+        return;
+    }
+    let mut bencher = Bencher {
+        test_mode: config.test_mode,
+        sample_size,
+        samples_ns: Vec::new(),
+    };
+    f(&mut bencher);
+    if config.test_mode {
+        println!("{id}: ok (smoke)");
+        return;
+    }
+    if bencher.samples_ns.is_empty() {
+        println!("{id}: no samples (closure never called iter)");
+        return;
+    }
+    let mut sorted = bencher.samples_ns.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("benchmark samples are finite"));
+    let median = if sorted.len() % 2 == 1 {
+        sorted[sorted.len() / 2]
+    } else {
+        (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2.0
+    };
+    let min = sorted[0];
+    let max = *sorted.last().expect("non-empty samples");
+    println!(
+        "{id}\n                        time:   [{} {} {}]",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(max)
+    );
+    RECORDS
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(Record {
+            id: id.to_string(),
+            median_ns: median,
+            min_ns: min,
+            max_ns: max,
+            samples: sorted.len(),
+        });
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+/// Writes collected records as a JSON array to `CRITERION_JSON` (if set).
+/// Called automatically by [`criterion_main!`].
+pub fn finalize() {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    let records = RECORDS.lock().unwrap_or_else(|e| e.into_inner());
+    let mut json = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let _ = write!(
+            json,
+            "  {{\"id\": \"{}\", \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"samples\": {}}}",
+            r.id.replace('"', "'"),
+            r.median_ns,
+            r.min_ns,
+            r.max_ns,
+            r.samples
+        );
+        json.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("]\n");
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("criterion: could not write {path}: {e}");
+    }
+}
+
+/// Declares a benchmark group runner (criterion-compatible subset).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_rendering() {
+        assert_eq!(BenchmarkId::new("f", "n=10").render(Some("g")), "g/f/n=10");
+        assert_eq!(BenchmarkId::from_parameter(7).render(Some("g")), "g/7");
+        assert_eq!("plain".into_benchmark_id().render(None), "plain");
+    }
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher {
+            test_mode: false,
+            sample_size: 3,
+            samples_ns: Vec::new(),
+        };
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(1);
+            acc
+        });
+        assert_eq!(b.samples_ns.len(), 3);
+        assert!(b.samples_ns.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut b = Bencher {
+            test_mode: true,
+            sample_size: 10,
+            samples_ns: Vec::new(),
+        };
+        let mut calls = 0;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert!(b.samples_ns.is_empty());
+    }
+}

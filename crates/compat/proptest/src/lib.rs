@@ -1,0 +1,417 @@
+//! Vendored, dependency-free property-testing harness with a
+//! proptest-compatible surface.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the subset of `proptest` its test suites use: the [`proptest!`]
+//! macro with `arg in strategy` bindings, [`prop_assert!`] /
+//! [`prop_assert_eq!`] / [`prop_assume!`], range and
+//! [`collection::vec`] strategies, [`bool::ANY`], and
+//! [`test_runner::TestRunner`].
+//!
+//! Unlike upstream proptest there is **no shrinking**: a failing case
+//! reports the generated inputs verbatim. Generation is deterministic —
+//! case `i` of every test draws from a fixed-seed RNG stream — so failures
+//! reproduce exactly. The case count defaults to 64 and can be raised with
+//! the `PROPTEST_CASES` environment variable.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// Number of cases each property runs (`PROPTEST_CASES`, default 64).
+pub fn cases() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(64)
+}
+
+/// Strategy trait and implementations for ranges and tuples.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A value generator: the proptest-compatible strategy abstraction
+    /// (generation only; no shrinking).
+    pub trait Strategy {
+        /// The generated value type.
+        type Value: std::fmt::Debug;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+    impl_tuple_strategy!(
+        (A.0),
+        (A.0, B.1),
+        (A.0, B.1, C.2),
+        (A.0, B.1, C.2, D.3),
+        (A.0, B.1, C.2, D.3, E.4)
+    );
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy for `Vec<T>` with element strategy and length range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// `Vec` strategy with lengths drawn from `len` (exclusive upper bound).
+    pub fn vec<S: Strategy>(elem: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(!len.is_empty(), "collection::vec: empty length range");
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.gen_range(self.len.clone());
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// The fair-coin strategy.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Fair boolean draws.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            rng.gen::<bool>()
+        }
+    }
+}
+
+/// Test execution: case errors and the explicit runner.
+pub mod test_runner {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// `prop_assert!`-style failure with a message.
+        Fail(String),
+        /// `prop_assume!` rejection; the case is skipped.
+        Reject,
+    }
+
+    impl TestCaseError {
+        /// Builds a failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+    }
+
+    /// A property failure reported by [`TestRunner::run`].
+    #[derive(Debug, Clone)]
+    pub struct TestError {
+        /// Failure message including the offending case.
+        pub message: String,
+    }
+
+    impl std::fmt::Display for TestError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    impl std::error::Error for TestError {}
+
+    /// Deterministic per-case RNG stream shared by the runner and the
+    /// [`crate::proptest!`] macro.
+    pub fn prng_for(case: u64) -> StdRng {
+        StdRng::seed_from_u64(0x5EED_CA5E_0000_0000 ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Explicit property runner (proptest-compatible subset).
+    #[derive(Debug, Default)]
+    pub struct TestRunner {}
+
+    impl TestRunner {
+        /// Runs `test` against `cases()` generated values.
+        ///
+        /// # Errors
+        ///
+        /// Returns the first failing case, with its generated input.
+        pub fn run<S, F>(&mut self, strategy: &S, mut test: F) -> Result<(), TestError>
+        where
+            S: Strategy,
+            F: FnMut(S::Value) -> Result<(), TestCaseError>,
+        {
+            for case in 0..super::cases() as u64 {
+                let mut rng = prng_for(case);
+                let value = strategy.generate(&mut rng);
+                let rendered = format!("{value:?}");
+                match test(value) {
+                    Ok(()) | Err(TestCaseError::Reject) => {}
+                    Err(TestCaseError::Fail(msg)) => {
+                        return Err(TestError {
+                            message: format!("case {case} failed: {msg}; input: {rendered}"),
+                        });
+                    }
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Run configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: cases() as u32,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` generated inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Everything a `use proptest::prelude::*;` is expected to bring in.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Supports an optional leading `#![proptest_config(expr)]` selecting the
+/// case count for the block.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public surface.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr) $($(#[$attr:meta])* fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let cases = {
+                    let cfg: $crate::ProptestConfig = $cfg;
+                    cfg.cases as u64
+                };
+                for case in 0..cases {
+                    let mut prng = $crate::test_runner::prng_for(case);
+                    let mut rendered = String::new();
+                    $(
+                        let __npd_generated =
+                            $crate::strategy::Strategy::generate(&($strat), &mut prng);
+                        rendered.push_str(&format!(
+                            "{} = {:?}; ",
+                            stringify!($arg),
+                            &__npd_generated
+                        ));
+                        let $arg = __npd_generated;
+                    )+
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                    match outcome {
+                        ::core::result::Result::Ok(())
+                        | ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject,
+                        ) => {}
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(msg),
+                        ) => {
+                            panic!(
+                                "property {} failed at case {case}: {msg}\n  inputs: {}",
+                                stringify!($name),
+                                rendered
+                            );
+                        }
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not panicking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` (left: {:?}, right: {:?})",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}` (both: {:?})",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        $crate::prop_assume!($cond)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+
+    proptest! {
+        /// Generated integers respect their range.
+        #[test]
+        fn ranges_respected(x in 0usize..10, y in -5i64..=5) {
+            prop_assert!(x < 10);
+            prop_assert!((-5..=5).contains(&y));
+        }
+
+        /// Vec strategy respects element and length bounds.
+        #[test]
+        fn vec_strategy(v in crate::collection::vec(-1.0f64..1.0, 1..20)) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(v.iter().all(|x| (-1.0..1.0).contains(x)));
+        }
+
+        /// prop_assume skips cases without failing them.
+        #[test]
+        fn assume_skips(x in 0u64..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn runner_reports_failures() {
+        let mut runner = crate::test_runner::TestRunner::default();
+        let result = runner.run(&(0usize..10), |x| {
+            prop_assert!(x < 5, "x={x} too big");
+            Ok(())
+        });
+        assert!(result.is_err());
+        let ok = runner.run(&(0usize..5), |_| Ok(()));
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn bool_any_generates_both() {
+        let mut runner = crate::test_runner::TestRunner::default();
+        let mut seen = [false, false];
+        runner
+            .run(&crate::bool::ANY, |b| {
+                seen[b as usize] = true;
+                Ok(())
+            })
+            .unwrap();
+        assert!(seen[0] && seen[1]);
+    }
+}

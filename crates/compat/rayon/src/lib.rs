@@ -1,0 +1,460 @@
+//! Vendored, dependency-free stand-in for the subset of `rayon` this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal data-parallelism layer with rayon-compatible surface:
+//!
+//! * [`prelude`] — `par_iter()` / `into_par_iter()` on slices, `Vec<T>` and
+//!   `Range<usize>`, plus `par_chunks_mut()` on mutable slices, with `map`,
+//!   `enumerate`, `with_min_len`, `for_each` and `collect::<Vec<_>>()`;
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] — scoped thread-count
+//!   overrides;
+//! * [`current_num_threads`] / [`join`].
+//!
+//! # Execution model and determinism
+//!
+//! Work is split into contiguous index chunks handed to `std::thread::scope`
+//! workers through a shared queue; results are reassembled **in input
+//! order**. Each item is processed independently, so for pure per-item
+//! closures the output is bit-identical to the sequential map regardless of
+//! thread count, scheduling, or chunking — the property the experiment
+//! harness's determinism contract relies on.
+//!
+//! Nested parallel calls run sequentially inline on the worker that issued
+//! them (no oversubscription), which likewise cannot change results.
+//!
+//! The thread count comes from, in priority order: an active
+//! [`ThreadPool::install`] override, the `RAYON_NUM_THREADS` environment
+//! variable (read once), or `std::thread::available_parallelism()`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+use std::sync::{Mutex, OnceLock};
+
+thread_local! {
+    /// Set while executing inside a worker: nested calls run inline.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+    /// Per-thread override installed by [`ThreadPool::install`].
+    static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn env_threads() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// The number of worker threads parallel calls on this thread would use.
+pub fn current_num_threads() -> usize {
+    if IN_WORKER.with(|w| w.get()) {
+        return 1;
+    }
+    OVERRIDE.with(|o| o.get()).unwrap_or_else(env_threads)
+}
+
+/// Runs `a` and `b`, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(|| {
+            IN_WORKER.with(|w| w.set(true));
+            b()
+        });
+        let ra = a();
+        (ra, hb.join().expect("rayon::join: closure panicked"))
+    })
+}
+
+/// Builder for a [`ThreadPool`] with an explicit thread count.
+#[derive(Debug, Clone, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker thread count (`0` means the environment default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in this vendored implementation; the `Result` mirrors the
+    /// upstream signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.unwrap_or_else(env_threads),
+        })
+    }
+}
+
+/// Error type mirroring the upstream builder signature (never produced).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A logical thread pool: in this vendored implementation, a scoped
+/// thread-count override (workers are spawned per parallel call).
+#[derive(Debug, Clone)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Runs `f` with this pool's thread count as the ambient parallelism.
+    ///
+    /// The previous override is restored even if `f` panics, so a caught
+    /// panic cannot leak this pool's thread count onto the calling thread.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                OVERRIDE.with(|o| o.set(self.0));
+            }
+        }
+        let _restore = Restore(OVERRIDE.with(|o| o.replace(Some(self.num_threads))));
+        f()
+    }
+}
+
+/// Core engine: applies `f` to every item, returning results in input
+/// order. Sequential when the ambient thread count is 1, the input is
+/// trivially small, or the call is nested inside another parallel region.
+fn run_ordered<T, R, F>(items: Vec<T>, min_len: usize, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = current_num_threads();
+    let len = items.len();
+    if threads <= 1 || len <= 1 || len <= min_len.max(1) {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Contiguous chunks, at least `min_len` items each, at most 4 per
+    // worker so the shared queue still load-balances uneven items.
+    let chunk_size = min_len.max(len.div_ceil(threads * 4)).max(1);
+    let mut pending: Vec<(usize, Vec<T>)> = Vec::new();
+    let mut items = items;
+    let mut index = 0usize;
+    while !items.is_empty() {
+        let take = chunk_size.min(items.len());
+        let rest = items.split_off(take);
+        pending.push((index, items));
+        items = rest;
+        index += 1;
+    }
+    let chunk_count = pending.len();
+    // Pop from the front by reversing once: cheap ordered queue.
+    pending.reverse();
+    let queue = Mutex::new(pending);
+    let slots: Vec<Mutex<Option<Vec<R>>>> = (0..chunk_count).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(chunk_count) {
+            scope.spawn(|| {
+                IN_WORKER.with(|w| w.set(true));
+                loop {
+                    let job = queue.lock().unwrap_or_else(|e| e.into_inner()).pop();
+                    let Some((i, chunk)) = job else { break };
+                    let out: Vec<R> = chunk.into_iter().map(f).collect();
+                    *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
+                }
+                IN_WORKER.with(|w| w.set(false));
+            });
+        }
+    });
+
+    let mut result = Vec::with_capacity(len);
+    for slot in slots {
+        let chunk = slot
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner())
+            .expect("rayon: worker dropped a chunk");
+        result.extend(chunk);
+    }
+    result
+}
+
+/// A materialized parallel iterator over owned items.
+///
+/// Combinators are *eager*: `map` runs the closure across the worker pool
+/// immediately. This differs from upstream rayon's lazy plumbing but yields
+/// identical results for the pipelines this workspace writes.
+#[must_use = "parallel iterators are consumed with collect() or for_each()"]
+pub struct ParIter<T> {
+    items: Vec<T>,
+    min_len: usize,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Lower bound on the number of items a worker processes at once.
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len.max(1);
+        self
+    }
+
+    /// Applies `f` to every item in parallel, preserving order.
+    pub fn map<R: Send, F>(self, f: F) -> ParIter<R>
+    where
+        F: Fn(T) -> R + Sync,
+    {
+        ParIter {
+            items: run_ordered(self.items, self.min_len, &f),
+            min_len: 1,
+        }
+    }
+
+    /// Pairs every item with its index.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+            min_len: self.min_len,
+        }
+    }
+
+    /// Runs `f` on every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        run_ordered(self.items, self.min_len, &|item| f(item));
+    }
+
+    /// Collects the items (upstream-compatible terminal step).
+    pub fn collect<C: FromParIter<T>>(self) -> C {
+        C::from_par_iter(self.items)
+    }
+}
+
+/// Collection target of [`ParIter::collect`].
+pub trait FromParIter<T> {
+    /// Builds the collection from ordered items.
+    fn from_par_iter(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParIter<T> for Vec<T> {
+    fn from_par_iter(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+/// Types convertible into a [`ParIter`] over owned items.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter {
+            items: self,
+            min_len: 1,
+        }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+            min_len: 1,
+        }
+    }
+}
+
+/// `par_iter()` over borrowed slices.
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed item type.
+    type Item: Send + 'a;
+    /// Parallel iterator over `&T`.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+            min_len: 1,
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+            min_len: 1,
+        }
+    }
+}
+
+/// `par_chunks_mut()` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over disjoint mutable chunks of `chunk_size`
+    /// elements (last chunk may be shorter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size == 0`.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        assert!(
+            chunk_size > 0,
+            "par_chunks_mut: chunk_size must be positive"
+        );
+        ParIter {
+            items: self.chunks_mut(chunk_size).collect(),
+            min_len: 1,
+        }
+    }
+}
+
+/// The traits a `use rayon::prelude::*;` is expected to bring in.
+pub mod prelude {
+    pub use crate::{FromParIter, IntoParallelIterator, IntoParallelRefIterator, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..10_000).collect();
+        let out: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let out: Vec<usize> = (0..100usize).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(out.len(), 100);
+        assert_eq!(out[99], 100);
+    }
+
+    #[test]
+    fn matches_sequential_for_any_thread_count() {
+        let input: Vec<u64> = (0..997).collect();
+        let seq: Vec<u64> = input.iter().map(|&x| x.wrapping_mul(0x9E3779B9)).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let par: Vec<u64> = pool.install(|| {
+                input
+                    .par_iter()
+                    .map(|&x| x.wrapping_mul(0x9E3779B9))
+                    .collect()
+            });
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_disjoint_regions() {
+        let mut data = vec![0usize; 1000];
+        data.par_chunks_mut(64).enumerate().for_each(|(ci, chunk)| {
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v = ci * 64 + i;
+            }
+        });
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i));
+    }
+
+    #[test]
+    fn nested_calls_run_inline() {
+        let outer: Vec<usize> = (0..8usize)
+            .into_par_iter()
+            .map(|i| {
+                let inner: Vec<usize> = (0..100usize).into_par_iter().map(|j| j + i).collect();
+                inner.len()
+            })
+            .collect();
+        assert_eq!(outer, vec![100; 8]);
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let seen = pool.install(current_num_threads);
+        assert_eq!(seen, 3);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "x".to_string());
+        assert_eq!(a, 2);
+        assert_eq!(b, "x");
+    }
+
+    #[test]
+    fn with_min_len_small_input_runs_inline() {
+        let out: Vec<usize> = (0..10usize)
+            .into_par_iter()
+            .with_min_len(512)
+            .map(|i| i)
+            .collect();
+        assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<usize> = Vec::<usize>::new().into_par_iter().map(|i| i).collect();
+        assert!(out.is_empty());
+    }
+}

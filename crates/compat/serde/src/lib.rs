@@ -1,0 +1,24 @@
+//! Vendored stand-in for `serde` used by this offline workspace.
+//!
+//! The workspace annotates its data types with `#[derive(Serialize,
+//! Deserialize)]` to declare them serializable, but nothing in-tree performs
+//! actual serde serialization — artifacts are written through the explicit
+//! CSV/JSON writers in `npd-experiments` and `npd-bench`. Since the build
+//! environment cannot reach crates.io, this crate supplies the two trait
+//! names as blanket-implemented markers plus no-op derives, keeping every
+//! annotation (and future swap-in of the real `serde`) source-compatible.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// Marker for serializable types; blanket-implemented for everything.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for deserializable types; blanket-implemented for everything.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! No-op `Serialize`/`Deserialize` derives backing the vendored `serde`
+//! stand-in (see that crate's docs for why the workspace vendors these).
+//!
+//! The marker traits in the local `serde` crate carry blanket
+//! implementations, so these derives have nothing to generate; they exist
+//! solely so `#[derive(Serialize, Deserialize)]` (and `#[serde(...)]`
+//! attributes) parse and expand cleanly.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; `serde::Serialize` is blanket-implemented.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; `serde::Deserialize` is blanket-implemented.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

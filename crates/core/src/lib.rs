@@ -66,7 +66,7 @@ pub mod twostep;
 
 pub use design::{PoolingGraph, QueryMultiset, Sampling};
 pub use evaluate::{confusion, exact_recovery, hamming_distance, overlap, separation, Confusion};
-pub use greedy::{Centering, Decoder, Estimate, GreedyDecoder};
+pub use greedy::{Centering, Decoder, Estimate, GreedyDecoder, GreedyWorkspace};
 pub use incremental::{IncrementalSim, RequiredQueries};
 pub use model::{GroundTruth, Instance, InstanceBuilder, InstanceError, Regime, Run};
 pub use noise::NoiseModel;

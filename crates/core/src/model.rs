@@ -230,8 +230,7 @@ impl Instance {
     /// Samples ground truth, pooling graph and noisy query results.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Run {
         let truth = GroundTruth::sample(self.n, self.k, rng);
-        let graph =
-            PoolingGraph::sample_with(self.n, self.m, self.gamma, self.sampling, rng);
+        let graph = PoolingGraph::sample_with(self.n, self.m, self.gamma, self.sampling, rng);
         let results = graph.measure(&truth, &self.noise, rng);
         Run {
             instance: self.clone(),

@@ -17,9 +17,10 @@ use std::fmt;
 ///   inaccuracy in the life-sciences setting).
 /// * [`Noiseless`](NoiseModel::Noiseless) — the idealized baseline of the
 ///   prior work the paper extends.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum NoiseModel {
     /// Exact measurements.
+    #[default]
     Noiseless,
     /// Per-edge bit flips with false-negative rate `p`, false-positive rate
     /// `q` (`p + q < 1`).
@@ -45,8 +46,14 @@ impl NoiseModel {
     /// Panics if `p ∉ [0, 1)`, `q ∉ [0, 1)`, or `p + q ≥ 1` (the channel
     /// would invert more often than it preserves).
     pub fn channel(p: f64, q: f64) -> Self {
-        assert!((0.0..1.0).contains(&p), "NoiseModel::channel: p={p} not in [0,1)");
-        assert!((0.0..1.0).contains(&q), "NoiseModel::channel: q={q} not in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "NoiseModel::channel: p={p} not in [0,1)"
+        );
+        assert!(
+            (0.0..1.0).contains(&q),
+            "NoiseModel::channel: q={q} not in [0,1)"
+        );
         assert!(
             p + q < 1.0,
             "NoiseModel::channel: p+q={} must be below 1",
@@ -87,12 +94,7 @@ impl NoiseModel {
     /// one-agents and `zero_slots` zero-agents.
     ///
     /// The exact (noiseless) measurement would be `one_slots`.
-    pub fn measure<R: Rng + ?Sized>(
-        &self,
-        one_slots: u64,
-        zero_slots: u64,
-        rng: &mut R,
-    ) -> f64 {
+    pub fn measure<R: Rng + ?Sized>(&self, one_slots: u64, zero_slots: u64, rng: &mut R) -> f64 {
         match *self {
             NoiseModel::Noiseless => one_slots as f64,
             NoiseModel::Channel { p, q } => {
@@ -112,16 +114,8 @@ impl NoiseModel {
     pub fn expected_measurement(&self, one_slots: u64, zero_slots: u64) -> f64 {
         match *self {
             NoiseModel::Noiseless | NoiseModel::Query { .. } => one_slots as f64,
-            NoiseModel::Channel { p, q } => {
-                (1.0 - p) * one_slots as f64 + q * zero_slots as f64
-            }
+            NoiseModel::Channel { p, q } => (1.0 - p) * one_slots as f64 + q * zero_slots as f64,
         }
-    }
-}
-
-impl Default for NoiseModel {
-    fn default() -> Self {
-        NoiseModel::Noiseless
     }
 }
 
@@ -178,8 +172,8 @@ mod tests {
             .map(|_| model.measure(100, 100, &mut rng))
             .collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-            / (samples.len() - 1) as f64;
+        let var =
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (samples.len() - 1) as f64;
         assert!((mean - 80.0).abs() < 0.2, "mean={mean}");
         assert!((var - 30.0).abs() < 1.0, "var={var}");
         assert_eq!(model.expected_measurement(100, 100), 80.0);
@@ -191,7 +185,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         for _ in 0..1000 {
             let r = model.measure(20, 80, &mut rng);
-            assert!(r <= 20.0 && r >= 0.0);
+            assert!((0.0..=20.0).contains(&r));
         }
     }
 
@@ -199,10 +193,12 @@ mod tests {
     fn gaussian_measure_moments() {
         let model = NoiseModel::gaussian(3.0);
         let mut rng = StdRng::seed_from_u64(3);
-        let samples: Vec<f64> = (0..50_000).map(|_| model.measure(50, 0, &mut rng)).collect();
+        let samples: Vec<f64> = (0..50_000)
+            .map(|_| model.measure(50, 0, &mut rng))
+            .collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-            / (samples.len() - 1) as f64;
+        let var =
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (samples.len() - 1) as f64;
         assert!((mean - 50.0).abs() < 0.1, "mean={mean}");
         assert!((var - 9.0).abs() < 0.3, "var={var}");
     }

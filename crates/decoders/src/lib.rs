@@ -49,7 +49,7 @@ pub mod lmmse;
 pub mod mcmc;
 pub mod ml;
 
-pub use bp::{BpConfig, BpDecoder, BpOutput};
+pub use bp::{BpConfig, BpDecoder, BpOutput, BpWorkspace};
 pub use ista::{FistaConfig, FistaDecoder, FistaOutput};
 pub use lmmse::{LmmseConfig, LmmseDecoder, LmmseOutput};
 pub use mcmc::{EnergyKind, InitKind, McmcConfig, McmcDecoder, McmcOutput};

@@ -18,7 +18,7 @@ use npd_core::NoiseModel;
 use npd_numerics::special::ln_binomial_pmf;
 
 /// Natural log of `√(2π)`.
-const LN_SQRT_2PI: f64 = 0.918_938_533_204_672_74;
+const LN_SQRT_2PI: f64 = 0.918_938_533_204_672_8;
 
 /// Variance floor that keeps Gaussian surrogates well-defined for the
 /// noiseless model (where the true conditional variance is zero).
@@ -40,9 +40,7 @@ pub fn slot_moments(noise: &NoiseModel, bit: bool) -> (f64, f64) {
                 (q, q * (1.0 - q))
             }
         }
-        NoiseModel::Noiseless | NoiseModel::Query { .. } => {
-            (if bit { 1.0 } else { 0.0 }, 0.0)
-        }
+        NoiseModel::Noiseless | NoiseModel::Query { .. } => (if bit { 1.0 } else { 0.0 }, 0.0),
     }
 }
 
@@ -64,12 +62,7 @@ pub fn query_noise_variance(noise: &NoiseModel) -> f64 {
 /// # Panics
 ///
 /// Panics if `one_slots > gamma`.
-pub fn query_log_likelihood(
-    noise: &NoiseModel,
-    gamma: u64,
-    one_slots: u64,
-    observed: f64,
-) -> f64 {
+pub fn query_log_likelihood(noise: &NoiseModel, gamma: u64, one_slots: u64, observed: f64) -> f64 {
     assert!(
         one_slots <= gamma,
         "query_log_likelihood: one_slots={one_slots} exceeds gamma={gamma}"
@@ -93,9 +86,7 @@ pub fn query_log_likelihood(
             let z = (observed - one_slots as f64) / lambda;
             -0.5 * z * z - lambda.ln() - LN_SQRT_2PI
         }
-        NoiseModel::Channel { p, q } => {
-            channel_log_pmf(gamma, one_slots, p, q, observed)
-        }
+        NoiseModel::Channel { p, q } => channel_log_pmf(gamma, one_slots, p, q, observed),
     }
 }
 
@@ -151,12 +142,7 @@ pub fn query_moments(noise: &NoiseModel, gamma: u64, one_slots: u64) -> (f64, f6
 /// # Panics
 ///
 /// Panics if `one_slots > gamma`.
-pub fn moment_matched_energy(
-    noise: &NoiseModel,
-    gamma: u64,
-    one_slots: u64,
-    observed: f64,
-) -> f64 {
+pub fn moment_matched_energy(noise: &NoiseModel, gamma: u64, one_slots: u64, observed: f64) -> f64 {
     assert!(
         one_slots <= gamma,
         "moment_matched_energy: one_slots={one_slots} exceeds gamma={gamma}"

@@ -240,9 +240,7 @@ mod tests {
     #[test]
     fn cg_solves_diagonal_system() {
         let diag = [2.0, 4.0, 8.0];
-        let apply = |v: &[f64]| -> Vec<f64> {
-            v.iter().zip(diag).map(|(&vi, d)| d * vi).collect()
-        };
+        let apply = |v: &[f64]| -> Vec<f64> { v.iter().zip(diag).map(|(&vi, d)| d * vi).collect() };
         let (x, iters) = conjugate_gradient(apply, &[2.0, 4.0, 8.0], 50, 1e-12);
         assert!(iters <= 3, "CG on a 3-dim system should finish in ≤3 steps");
         for xi in x {

@@ -202,9 +202,7 @@ impl McmcDecoder {
                 EnergyKind::Gaussian => {
                     moment_matched_energy(&noise, gamma, count as u64, results[j])
                 }
-                EnergyKind::Exact => {
-                    -query_log_likelihood(&noise, gamma, count as u64, results[j])
-                }
+                EnergyKind::Exact => -query_log_likelihood(&noise, gamma, count as u64, results[j]),
             }
         };
 

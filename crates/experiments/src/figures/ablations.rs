@@ -110,17 +110,13 @@ pub fn run(opts: &RunOptions) -> FigureReport {
     // --- 3. Query size Γ ----------------------------------------------------
     let mut gamma_cells = Vec::new();
     let mut gamma_csv = vec!["gamma_median_queries".to_string()];
-    for (fi, &(gamma, label)) in [
-        (125usize, "n/8"),
-        (250, "n/4"),
-        (500, "n/2"),
-        (750, "3n/4"),
-    ]
-    .iter()
-    .enumerate()
+    for (fi, &(gamma, label)) in [(125usize, "n/8"), (250, "n/4"), (500, "n/2"), (750, "3n/4")]
+        .iter()
+        .enumerate()
     {
-        let seeds: Vec<u64> =
-            (0..trials as u64).map(|i| mix_seed(0xAB30 + fi as u64, i)).collect();
+        let seeds: Vec<u64> = (0..trials as u64)
+            .map(|i| mix_seed(0xAB30 + fi as u64, i))
+            .collect();
         let mut xs: Vec<f64> = runner::parallel_map(&seeds, opts.threads, |&seed| {
             let mut sim =
                 IncrementalSim::with_query_size(1_000, 6, gamma, NoiseModel::Noiseless, seed);

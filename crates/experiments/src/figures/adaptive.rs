@@ -125,8 +125,9 @@ pub fn run(opts: &RunOptions) -> FigureReport {
     for (ni, (noise, noise_label)) in noise_cases().iter().enumerate() {
         // Non-adaptive baseline: required queries of the paper's design.
         let budget = default_budget(n, THETA, noise) * 2;
-        let seeds: Vec<u64> =
-            (0..trials as u64).map(|i| mix_seed(0xADA0_0000 + ni as u64, i)).collect();
+        let seeds: Vec<u64> = (0..trials as u64)
+            .map(|i| mix_seed(0xADA0_0000 + ni as u64, i))
+            .collect();
         let required: Vec<f64> = runner::parallel_map(&seeds, opts.threads, |&seed| {
             let mut sim = IncrementalSim::new(n, k, *noise, seed);
             sim.required_queries(budget)
@@ -241,8 +242,7 @@ mod tests {
     #[test]
     fn splitting_beats_nonadaptive_when_noiseless() {
         let strategy = RecursiveSplitting::new(1);
-        let outcome =
-            measure_strategy(&strategy, NoiseModel::Noiseless, 256, 4, 4, 11, 2);
+        let outcome = measure_strategy(&strategy, NoiseModel::Noiseless, 256, 4, 4, 11, 2);
         assert_eq!(outcome.successes, 4);
         // k·log₂(n) ≈ 32 ≪ the ≥100 queries the non-adaptive design needs.
         assert!(outcome.median_queries < 60.0);

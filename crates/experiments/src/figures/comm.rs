@@ -103,10 +103,7 @@ pub fn run(opts: &RunOptions) -> FigureReport {
 
     let rendered = format!(
         "Section VI — communication: greedy protocol vs distributed AMP (n = {n})\n{}",
-        table(
-            &["protocol", "messages", "rounds", "messages/edge"],
-            &rows
-        )
+        table(&["protocol", "messages", "rounds", "messages/edge"], &rows)
     );
 
     let csv_rows = rows
@@ -145,10 +142,7 @@ mod tests {
         let greedy: u64 = report.csv_rows[0][2].parse().unwrap();
         let gossip: u64 = report.csv_rows[1][2].parse().unwrap();
         let amp: u64 = report.csv_rows[2][2].parse().unwrap();
-        assert!(
-            amp > greedy,
-            "AMP messages {amp} not above greedy {greedy}"
-        );
+        assert!(amp > greedy, "AMP messages {amp} not above greedy {greedy}");
         // The gossip variant pays extra messages for locality but stays
         // below the AMP traffic.
         assert!(gossip > greedy);

@@ -36,6 +36,7 @@ pub fn noise_cases() -> Vec<(NoiseModel, &'static str)> {
 }
 
 /// Median required queries for one `(design, noise, Γ)` cell.
+#[allow(clippy::too_many_arguments)]
 pub fn measure_cell(
     n: usize,
     gamma: usize,
@@ -116,8 +117,7 @@ pub fn run(opts: &RunOptions) -> FigureReport {
                 ]);
                 medians.push(med);
             }
-            if let (Some(with), Some(subset), Some(balanced)) =
-                (medians[0], medians[1], medians[2])
+            if let (Some(with), Some(subset), Some(balanced)) = (medians[0], medians[1], medians[2])
             {
                 notes.push(format!(
                     "Γ=n/{}, {noise_label}: Γ-subset {:.0}%, doubly-balanced {:.0}% of the \
@@ -132,10 +132,7 @@ pub fn run(opts: &RunOptions) -> FigureReport {
 
     let rendered = format!(
         "Design comparison — median required queries (n={n}, θ={THETA}, {trials} trials)\n{}",
-        table(
-            &["Γ", "noise", "design", "median m", "failures"],
-            &rows
-        )
+        table(&["Γ", "noise", "design", "median m", "failures"], &rows)
     );
 
     FigureReport {

@@ -28,7 +28,7 @@ pub fn run() -> FigureReport {
     for (j, q) in graph.queries().iter().enumerate() {
         let members: Vec<String> = q
             .iter()
-            .flat_map(|(agent, count)| std::iter::repeat(format!("x{agent}")).take(count as usize))
+            .flat_map(|(agent, count)| std::iter::repeat_n(format!("x{agent}"), count as usize))
             .collect();
         let _ = writeln!(
             rendered,

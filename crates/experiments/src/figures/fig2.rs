@@ -6,7 +6,7 @@
 
 use super::{FigureReport, RunOptions, THETA};
 use crate::output::{loglog_chart, Series};
-use crate::sweep::{default_budget, n_grid, required_queries_sample};
+use crate::sweep::{default_budget, n_grid, required_queries_grid, SweepCell};
 use crate::{mix_seed, Mode};
 use npd_core::{NoiseModel, Regime};
 
@@ -14,6 +14,10 @@ use npd_core::{NoiseModel, Regime};
 pub const P_VALUES: [f64; 3] = [0.1, 0.3, 0.5];
 
 /// Runs the Figure-2 sweep.
+///
+/// All `(p, n)` grid cells are measured through one flattened
+/// [`required_queries_grid`] call, so trials of every cell fill the worker
+/// pool together.
 pub fn run(opts: &RunOptions) -> FigureReport {
     let trials = opts.resolve_trials(5, 25);
     let max_exp = match opts.mode {
@@ -23,24 +27,31 @@ pub fn run(opts: &RunOptions) -> FigureReport {
     let grid = n_grid(max_exp);
     let markers = ['*', 'o', 'x'];
 
+    let cells: Vec<SweepCell> = P_VALUES
+        .iter()
+        .enumerate()
+        .flat_map(|(pi, &p)| {
+            let noise = NoiseModel::z_channel(p);
+            grid.iter().map(move |&n| SweepCell {
+                n,
+                regime: Regime::sublinear(THETA),
+                noise,
+                max_queries: default_budget(n, THETA, &noise),
+                seed_salt: mix_seed(0xF260_0000, (pi * 1000 + n) as u64),
+            })
+        })
+        .collect();
+    let samples = required_queries_grid(&cells, trials, opts.threads);
+    let mut samples = samples.iter();
+
     let mut series = Vec::new();
     let mut csv_rows = Vec::new();
     let mut notes = Vec::new();
 
     for (pi, &p) in P_VALUES.iter().enumerate() {
-        let noise = NoiseModel::z_channel(p);
         let mut s = Series::new(format!("p={p}"), markers[pi]);
         for &n in &grid {
-            let budget = default_budget(n, THETA, &noise);
-            let sample = required_queries_sample(
-                n,
-                Regime::sublinear(THETA),
-                noise,
-                trials,
-                budget,
-                mix_seed(0xF260_0000, (pi * 1000 + n) as u64),
-                opts.threads,
-            );
+            let sample = samples.next().expect("one sample per cell");
             let theory = npd_theory::bounds::z_channel_sublinear_queries(n as f64, THETA, p, 0.05);
             if let Some(median) = sample.median() {
                 s.push(n as f64, median);
@@ -114,6 +125,7 @@ pub fn run(opts: &RunOptions) -> FigureReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sweep::required_queries_sample;
 
     #[test]
     fn quick_tiny_run_produces_ordered_medians() {

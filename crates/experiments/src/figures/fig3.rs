@@ -6,14 +6,23 @@
 
 use super::{FigureReport, RunOptions, THETA};
 use crate::output::{loglog_chart, Series};
-use crate::sweep::{default_budget, n_grid, required_queries_sample};
+use crate::sweep::{default_budget, n_grid, required_queries_grid, SweepCell};
 use crate::{mix_seed, Mode};
 use npd_core::{NoiseModel, Regime};
 
 /// Gaussian noise levels shown (0 = the noiseless reference curve).
 pub const LAMBDA_VALUES: [f64; 3] = [0.0, 1.0, 2.0];
 
-/// Runs the Figure-3 sweep.
+fn noise_for(lambda: f64) -> NoiseModel {
+    if lambda == 0.0 {
+        NoiseModel::Noiseless
+    } else {
+        NoiseModel::gaussian(lambda)
+    }
+}
+
+/// Runs the Figure-3 sweep (one flattened grid call across all `(λ, n)`
+/// cells; see [`required_queries_grid`]).
 pub fn run(opts: &RunOptions) -> FigureReport {
     let trials = opts.resolve_trials(5, 25);
     let max_exp = match opts.mode {
@@ -23,16 +32,28 @@ pub fn run(opts: &RunOptions) -> FigureReport {
     let grid = n_grid(max_exp);
     let markers = ['*', 'o', 'x'];
 
+    let cells: Vec<SweepCell> = LAMBDA_VALUES
+        .iter()
+        .enumerate()
+        .flat_map(|(li, &lambda)| {
+            let noise = noise_for(lambda);
+            grid.iter().map(move |&n| SweepCell {
+                n,
+                regime: Regime::sublinear(THETA),
+                noise,
+                max_queries: default_budget(n, THETA, &noise),
+                seed_salt: mix_seed(0xF360_0000, (li * 1_000_000 + n) as u64),
+            })
+        })
+        .collect();
+    let samples = required_queries_grid(&cells, trials, opts.threads);
+    let mut samples = samples.iter();
+
     let mut series = Vec::new();
     let mut csv_rows = Vec::new();
     let mut notes = Vec::new();
 
     for (li, &lambda) in LAMBDA_VALUES.iter().enumerate() {
-        let noise = if lambda == 0.0 {
-            NoiseModel::Noiseless
-        } else {
-            NoiseModel::gaussian(lambda)
-        };
         let label = if lambda == 0.0 {
             "without noise".to_string()
         } else {
@@ -40,18 +61,8 @@ pub fn run(opts: &RunOptions) -> FigureReport {
         };
         let mut s = Series::new(label.clone(), markers[li]);
         for &n in &grid {
-            let budget = default_budget(n, THETA, &noise);
-            let sample = required_queries_sample(
-                n,
-                Regime::sublinear(THETA),
-                noise,
-                trials,
-                budget,
-                mix_seed(0xF360_0000, (li * 1_000_000 + n) as u64),
-                opts.threads,
-            );
-            let theory =
-                npd_theory::bounds::noisy_query_sublinear_queries(n as f64, THETA, 0.05);
+            let sample = samples.next().expect("one sample per cell");
+            let theory = npd_theory::bounds::noisy_query_sublinear_queries(n as f64, THETA, 0.05);
             match sample.median() {
                 Some(median) => {
                     s.push(n as f64, median);
@@ -115,6 +126,7 @@ pub fn run(opts: &RunOptions) -> FigureReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sweep::required_queries_sample;
 
     #[test]
     fn gaussian_noise_costs_queries_at_fixed_n() {

@@ -8,14 +8,15 @@
 
 use super::{FigureReport, RunOptions, THETA};
 use crate::output::{loglog_chart, Series};
-use crate::sweep::{default_budget, n_grid, required_queries_sample};
+use crate::sweep::{default_budget, n_grid, required_queries_grid, SweepCell};
 use crate::{mix_seed, Mode};
 use npd_core::{NoiseModel, Regime};
 
 /// Symmetric error rates of the figure.
 pub const Q_VALUES: [f64; 5] = [1e-1, 1e-2, 1e-3, 1e-4, 1e-5];
 
-/// Runs the Figure-4 sweep.
+/// Runs the Figure-4 sweep (one flattened grid call across all `(q, n)`
+/// cells; see [`required_queries_grid`]).
 pub fn run(opts: &RunOptions) -> FigureReport {
     let trials = opts.resolve_trials(3, 10);
     let max_exp = match opts.mode {
@@ -25,29 +26,36 @@ pub fn run(opts: &RunOptions) -> FigureReport {
     let grid = n_grid(max_exp);
     let markers = ['1', '2', '3', '4', '5'];
 
+    let cells: Vec<SweepCell> = Q_VALUES
+        .iter()
+        .enumerate()
+        .flat_map(|(qi, &q)| {
+            let noise = NoiseModel::channel(q, q);
+            grid.iter().map(move |&n| SweepCell {
+                n,
+                regime: Regime::sublinear(THETA),
+                noise,
+                // The q·n·ln n regime can demand very large budgets at
+                // n = 10⁵; cap to keep worst-case runtime bounded and
+                // report failures.
+                max_queries: default_budget(n, THETA, &noise).min(400_000),
+                seed_salt: mix_seed(0xF460_0000, (qi * 1_000_000 + n) as u64),
+            })
+        })
+        .collect();
+    let samples = required_queries_grid(&cells, trials, opts.threads);
+    let mut samples = samples.iter();
+
     let mut series = Vec::new();
     let mut csv_rows = Vec::new();
     let mut notes = Vec::new();
 
     for (qi, &q) in Q_VALUES.iter().enumerate() {
-        let noise = NoiseModel::channel(q, q);
         let mut s = Series::new(format!("q=1e-{}", qi + 1), markers[qi]);
         for &n in &grid {
-            // The q·n·ln n regime can demand very large budgets at n = 10⁵;
-            // cap to keep worst-case runtime bounded and report failures.
-            let budget = default_budget(n, THETA, &noise).min(400_000);
-            let sample = required_queries_sample(
-                n,
-                Regime::sublinear(THETA),
-                noise,
-                trials,
-                budget,
-                mix_seed(0xF460_0000, (qi * 1_000_000 + n) as u64),
-                opts.threads,
-            );
-            let theory = npd_theory::bounds::noisy_channel_sublinear_queries(
-                n as f64, THETA, q, q, 0.05,
-            );
+            let sample = samples.next().expect("one sample per cell");
+            let theory =
+                npd_theory::bounds::noisy_channel_sublinear_queries(n as f64, THETA, q, q, 0.05);
             match sample.median() {
                 Some(median) => {
                     s.push(n as f64, median);
@@ -121,6 +129,7 @@ pub fn run(opts: &RunOptions) -> FigureReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sweep::required_queries_sample;
 
     #[test]
     fn larger_q_needs_more_queries_at_moderate_n() {

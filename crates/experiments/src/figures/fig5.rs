@@ -6,7 +6,7 @@
 
 use super::{FigureReport, RunOptions, THETA};
 use crate::output::boxplot_line;
-use crate::sweep::{default_budget, required_queries_sample};
+use crate::sweep::{default_budget, required_queries_grid, SweepCell};
 use crate::{mix_seed, Mode};
 use npd_core::{NoiseModel, Regime};
 use std::fmt::Write as _;
@@ -46,21 +46,34 @@ pub fn run(opts: &RunOptions) -> FigureReport {
     let mut csv_rows = Vec::new();
     let mut notes = Vec::new();
 
+    // One flattened grid call across all (n, config) cells: the n = 10⁵
+    // cells dominate the wall clock, and flattening lets the small cells'
+    // trials fill worker idle time instead of waiting behind a per-cell
+    // barrier.
+    let cells: Vec<SweepCell> = n_values
+        .iter()
+        .flat_map(|&n| {
+            configs
+                .iter()
+                .enumerate()
+                .map(move |(ci, (_, noise))| SweepCell {
+                    n,
+                    regime: Regime::sublinear(THETA),
+                    noise: *noise,
+                    max_queries: default_budget(n, THETA, noise).min(400_000),
+                    seed_salt: mix_seed(0xF560_0000, (ci * 1_000_000 + n) as u64),
+                })
+        })
+        .collect();
+    let samples = required_queries_grid(&cells, trials, opts.threads);
+    let mut samples = samples.into_iter();
+
     for &n in &n_values {
         let _ = writeln!(rendered, "\n  n = {n}:");
         // Collect all samples for this n to fix a common axis.
         let mut results = Vec::new();
-        for (ci, (label, noise)) in configs.iter().enumerate() {
-            let budget = default_budget(n, THETA, noise).min(400_000);
-            let sample = required_queries_sample(
-                n,
-                Regime::sublinear(THETA),
-                *noise,
-                trials,
-                budget,
-                mix_seed(0xF560_0000, (ci * 1_000_000 + n) as u64),
-                opts.threads,
-            );
+        for (label, _) in configs.iter() {
+            let sample = samples.next().expect("one sample per cell");
             results.push((label.clone(), sample));
         }
         let lo = results
@@ -77,11 +90,7 @@ pub fn run(opts: &RunOptions) -> FigureReport {
             match sample.boxplot() {
                 Some(bp) => {
                     let line = boxplot_line(&bp, lo, hi, 48, true);
-                    let _ = writeln!(
-                        rendered,
-                        "    {label:>7} |{line}| med={:.0}",
-                        bp.median
-                    );
+                    let _ = writeln!(rendered, "    {label:>7} |{line}| med={:.0}", bp.median);
                     csv_rows.push(vec![
                         n.to_string(),
                         label.clone(),
@@ -116,7 +125,10 @@ pub fn run(opts: &RunOptions) -> FigureReport {
             }
         }
     }
-    let _ = writeln!(rendered, "\n  scale: log10(m); [=#=] box = quartiles/median");
+    let _ = writeln!(
+        rendered,
+        "\n  scale: log10(m); [=#=] box = quartiles/median"
+    );
 
     FigureReport {
         name: "fig5".into(),

@@ -35,37 +35,66 @@ pub struct PointOutcome {
     pub trials: usize,
 }
 
-/// Paired success-rate measurement at `(p, m)`: both decoders see the same
-/// sampled runs, matching the paper's methodology.
-pub fn measure_point(p: f64, m: usize, trials: usize, seed_salt: u64, threads: usize) -> PointOutcome {
+/// One decode trial at `(p, m)` with a fixed seed: both decoders see the
+/// same sampled run, matching the paper's methodology.
+fn paired_trial(p: f64, m: usize, seed: u64) -> (bool, bool) {
     let instance = Instance::builder(N)
         .regime(Regime::sublinear(THETA))
         .queries(m)
         .noise(NoiseModel::z_channel(p))
         .build()
         .expect("figure-6 configuration is valid");
-    let seeds: Vec<u64> = (0..trials as u64).map(|i| mix_seed(seed_salt, i)).collect();
-    let outcomes = runner::parallel_map(&seeds, threads, |&seed| {
-        let run = instance.sample(&mut StdRng::seed_from_u64(seed));
-        let greedy = exact_recovery(&GreedyDecoder::new().decode(&run), run.ground_truth());
-        let amp = exact_recovery(&AmpDecoder::default().decode(&run), run.ground_truth());
-        (greedy, amp)
-    });
-    let greedy_successes = outcomes.iter().filter(|&&(g, _)| g).count();
-    let amp_successes = outcomes.iter().filter(|&&(_, a)| a).count();
+    let run = instance.sample(&mut StdRng::seed_from_u64(seed));
+    let greedy = exact_recovery(&GreedyDecoder::new().decode(&run), run.ground_truth());
+    let amp = exact_recovery(&AmpDecoder::default().decode(&run), run.ground_truth());
+    (greedy, amp)
+}
+
+fn count_successes(outcomes: &[(bool, bool)]) -> PointOutcome {
     PointOutcome {
-        greedy_successes,
-        amp_successes,
-        trials,
+        greedy_successes: outcomes.iter().filter(|&&(g, _)| g).count(),
+        amp_successes: outcomes.iter().filter(|&&(_, a)| a).count(),
+        trials: outcomes.len(),
     }
 }
 
+/// Paired success-rate measurement at `(p, m)` (parallel over trials).
+pub fn measure_point(
+    p: f64,
+    m: usize,
+    trials: usize,
+    seed_salt: u64,
+    threads: usize,
+) -> PointOutcome {
+    let seeds: Vec<u64> = (0..trials as u64).map(|i| mix_seed(seed_salt, i)).collect();
+    let outcomes = runner::parallel_map(&seeds, threads, |&seed| paired_trial(p, m, seed));
+    count_successes(&outcomes)
+}
+
 /// Runs the Figure-6 comparison.
+///
+/// All `(p, m)` grid cells are measured through one flattened
+/// [`runner::parallel_trials`] call — 72 cells × `trials` decode pairs
+/// share the worker pool instead of synchronizing at every grid point.
 pub fn run(opts: &RunOptions) -> FigureReport {
     let trials = opts.resolve_trials(20, 100);
     let grid = m_grid();
     let greedy_markers = ['*', 'o', 'x'];
     let amp_markers = ['a', 'b', 'c'];
+
+    let cells: Vec<(usize, f64, usize)> = P_VALUES
+        .iter()
+        .enumerate()
+        .flat_map(|(pi, &p)| grid.iter().map(move |&m| (pi, p, m)))
+        .collect();
+    let grouped = runner::parallel_trials(
+        &cells,
+        trials,
+        opts.threads,
+        |&(pi, _, m)| mix_seed(0xF660_0000, (pi * 1_000_000 + m) as u64),
+        |&(_, p, m), seed| paired_trial(p, m, seed),
+    );
+    let mut grouped = grouped.iter();
 
     let mut series = Vec::new();
     let mut csv_rows = Vec::new();
@@ -77,13 +106,7 @@ pub fn run(opts: &RunOptions) -> FigureReport {
         let mut greedy_cross = None;
         let mut amp_cross = None;
         for &m in &grid {
-            let outcome = measure_point(
-                p,
-                m,
-                trials,
-                mix_seed(0xF660_0000, (pi * 1_000_000 + m) as u64),
-                opts.threads,
-            );
+            let outcome = count_successes(grouped.next().expect("one group per cell"));
             let g_rate = outcome.greedy_successes as f64 / trials as f64;
             let a_rate = outcome.amp_successes as f64 / trials as f64;
             greedy_series.push(m as f64, g_rate);
@@ -158,6 +181,9 @@ mod tests {
         let generous = measure_point(0.1, 500, 8, 43, 2);
         assert!(generous.greedy_successes > starved.greedy_successes);
         assert!(generous.amp_successes >= starved.amp_successes);
-        assert!(generous.greedy_successes >= 6, "greedy should be near-perfect at m=500");
+        assert!(
+            generous.greedy_successes >= 6,
+            "greedy should be near-perfect at m=500"
+        );
     }
 }

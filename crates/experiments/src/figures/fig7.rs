@@ -18,27 +18,46 @@ pub const N: usize = 1000;
 /// Flip probabilities of the figure.
 pub const P_VALUES: [f64; 3] = [0.1, 0.3, 0.5];
 
-/// Mean overlap of the greedy decoder at `(p, m)` over `trials` runs.
-pub fn mean_overlap(p: f64, m: usize, trials: usize, seed_salt: u64, threads: usize) -> f64 {
+/// One overlap trial at `(p, m)` with a fixed seed.
+fn overlap_trial(p: f64, m: usize, seed: u64) -> f64 {
     let instance = Instance::builder(N)
         .regime(Regime::sublinear(THETA))
         .queries(m)
         .noise(NoiseModel::z_channel(p))
         .build()
         .expect("figure-7 configuration is valid");
+    let run = instance.sample(&mut StdRng::seed_from_u64(seed));
+    overlap(&GreedyDecoder::new().decode(&run), run.ground_truth())
+}
+
+/// Mean overlap of the greedy decoder at `(p, m)` over `trials` runs
+/// (parallel over trials).
+pub fn mean_overlap(p: f64, m: usize, trials: usize, seed_salt: u64, threads: usize) -> f64 {
     let seeds: Vec<u64> = (0..trials as u64).map(|i| mix_seed(seed_salt, i)).collect();
-    let overlaps = runner::parallel_map(&seeds, threads, |&seed| {
-        let run = instance.sample(&mut StdRng::seed_from_u64(seed));
-        overlap(&GreedyDecoder::new().decode(&run), run.ground_truth())
-    });
+    let overlaps = runner::parallel_map(&seeds, threads, |&seed| overlap_trial(p, m, seed));
     overlaps.iter().sum::<f64>() / trials.max(1) as f64
 }
 
-/// Runs the Figure-7 overlap sweep.
+/// Runs the Figure-7 overlap sweep (one flattened
+/// [`runner::parallel_trials`] call across all `(p, m)` cells).
 pub fn run(opts: &RunOptions) -> FigureReport {
     let trials = opts.resolve_trials(20, 100);
     let grid: Vec<usize> = (1..=24).map(|i| i * 25).collect();
     let markers = ['*', 'o', 'x'];
+
+    let cells: Vec<(usize, f64, usize)> = P_VALUES
+        .iter()
+        .enumerate()
+        .flat_map(|(pi, &p)| grid.iter().map(move |&m| (pi, p, m)))
+        .collect();
+    let grouped = runner::parallel_trials(
+        &cells,
+        trials,
+        opts.threads,
+        |&(pi, _, m)| mix_seed(0xF760_0000, (pi * 1_000_000 + m) as u64),
+        |&(_, p, m), seed| overlap_trial(p, m, seed),
+    );
+    let mut grouped = grouped.into_iter();
 
     let mut series = Vec::new();
     let mut csv_rows = Vec::new();
@@ -50,13 +69,8 @@ pub fn run(opts: &RunOptions) -> FigureReport {
         let mut s = Series::new(format!("p={p}"), markers[pi]);
         let mut overlap_at_theory = None;
         for &m in &grid {
-            let mean = mean_overlap(
-                p,
-                m,
-                trials,
-                mix_seed(0xF760_0000, (pi * 1_000_000 + m) as u64),
-                opts.threads,
-            );
+            let overlaps = grouped.next().expect("one group per cell");
+            let mean = overlaps.iter().sum::<f64>() / trials.max(1) as f64;
             s.push(m as f64, mean);
             if overlap_at_theory.is_none() && (m as f64) >= theory {
                 overlap_at_theory = Some(mean);

@@ -156,6 +156,9 @@ mod tests {
             2,
         );
         assert_eq!(sample.k, 10);
-        assert!(sample.failures == 0, "noiseless linear instance must separate");
+        assert!(
+            sample.failures == 0,
+            "noiseless linear instance must separate"
+        );
     }
 }

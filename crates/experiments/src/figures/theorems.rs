@@ -116,7 +116,9 @@ pub fn run(opts: &RunOptions) -> FigureReport {
         }
         if let Some(m) = median {
             if m <= *bound {
-                notes.push(format!("{label}: measured median {m:.0} ≤ bound {bound:.0} ✓"));
+                notes.push(format!(
+                    "{label}: measured median {m:.0} ≤ bound {bound:.0} ✓"
+                ));
             } else {
                 notes.push(format!(
                     "{label}: measured median {m:.0} EXCEEDS bound {bound:.0} \

@@ -13,7 +13,7 @@
 //! | [`figures::theorems`] | Theorems 1–2 | bound constants vs measured thresholds |
 //! | [`figures::comm`] | Section VI | communication cost: greedy protocol vs distributed AMP |
 //!
-//! All experiments run on the [`runner`]'s crossbeam thread pool, write CSV
+//! All experiments run on the [`runner`]'s rayon worker pool, write CSV
 //! artifacts, and render ASCII charts so results are inspectable without a
 //! plotting stack. The `repro` binary drives everything:
 //!
@@ -24,6 +24,31 @@
 //!
 //! `--full` switches from the quick grids (minutes, `n ≤ 10⁴`) to the
 //! paper-scale grids (`n ≤ 10⁵`, more trials).
+//!
+//! # Threading and determinism contract
+//!
+//! Every figure is **bit-identical at any thread count** — `--threads 1`,
+//! `--threads 64` and `RAYON_NUM_THREADS=1` all produce the same CSV bytes.
+//! The contract has three rules, and every new experiment must follow them:
+//!
+//! 1. **One seeded RNG per trial.** A trial's randomness comes only from
+//!    `StdRng::seed_from_u64(mix_seed(cell_salt, trial_index))`; nothing is
+//!    shared between trials, so scheduling cannot leak into results.
+//! 2. **Order-preserving fan-out.** [`runner::parallel_map`] and
+//!    [`runner::parallel_trials`] return results in input order regardless
+//!    of which worker ran what; aggregation then happens sequentially on
+//!    the caller.
+//! 3. **No cross-trial floating-point reordering.** Parallelism is only
+//!    ever *across* trials (or across matrix rows inside `npd-numerics`,
+//!    where each output element keeps its sequential accumulation order) —
+//!    never inside a reduction whose order the output observes. Reductions
+//!    over trial results (success counts, medians, means) run sequentially
+//!    over the ordered result vector.
+//!
+//! The regression test `tests/determinism.rs` at the workspace root pins
+//! this contract, and `tests/distributed_equivalence.rs` additionally pins
+//! the netsim-vs-sequential bit-equality the paper's distributed claim
+//! rests on.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

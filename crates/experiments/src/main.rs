@@ -51,7 +51,8 @@ fn parse(args: &[String]) -> Result<Cli, String> {
             "--full" => full = true,
             "--out" => {
                 out_dir = PathBuf::from(
-                    it.next().ok_or_else(|| "--out requires a directory".to_string())?,
+                    it.next()
+                        .ok_or_else(|| "--out requires a directory".to_string())?,
                 );
             }
             "--trials" => {
@@ -81,8 +82,21 @@ fn parse(args: &[String]) -> Result<Cli, String> {
     }
     let target = target.ok_or_else(|| "a target is required".to_string())?;
     const KNOWN: [&str; 15] = [
-        "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "theorems", "comm",
-        "ablations", "decoders", "adaptive", "designs", "linear", "all",
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "theorems",
+        "comm",
+        "ablations",
+        "decoders",
+        "adaptive",
+        "designs",
+        "linear",
+        "all",
     ];
     if !KNOWN.contains(&target.as_str()) {
         return Err(format!("unknown target {target}"));
@@ -104,8 +118,20 @@ fn execute(cli: Cli) -> ExitCode {
     };
     let targets: Vec<&str> = if cli.target == "all" {
         vec![
-            "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "theorems", "comm",
-            "ablations", "decoders", "adaptive", "designs", "linear",
+            "fig1",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "theorems",
+            "comm",
+            "ablations",
+            "decoders",
+            "adaptive",
+            "designs",
+            "linear",
         ]
     } else {
         vec![cli.target.as_str()]
@@ -170,7 +196,14 @@ mod tests {
     #[test]
     fn parse_all_flags() {
         let cli = parse(&args(&[
-            "all", "--full", "--out", "/tmp/x", "--trials", "7", "--threads", "3",
+            "all",
+            "--full",
+            "--out",
+            "/tmp/x",
+            "--trials",
+            "7",
+            "--threads",
+            "3",
         ]))
         .unwrap();
         assert_eq!(cli.target, "all");

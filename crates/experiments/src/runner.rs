@@ -1,21 +1,27 @@
 //! Parallel trial runner.
 //!
 //! Experiments are embarrassingly parallel across trials; this module maps a
-//! closure over a seed list on a crossbeam scoped thread pool, preserving
-//! input order. Determinism: each trial's result depends only on its seed,
-//! never on scheduling.
+//! closure over a seed list on a rayon thread pool, preserving input order.
+//!
+//! # Determinism contract
+//!
+//! Every trial's result depends only on its own seed (one independently
+//! seeded `StdRng` per trial), never on scheduling, and results are
+//! reassembled in input order — so `parallel_map` returns *bit-identical*
+//! output for any `threads` value, including 1. The determinism regression
+//! test in the workspace root (`tests/determinism.rs`) pins this property.
 
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use rayon::prelude::*;
 
-/// Maps `f` over `inputs` on `threads` worker threads, preserving order.
+/// Maps `f` over `inputs` on `threads` rayon worker threads, preserving
+/// order.
 ///
 /// With `threads <= 1` the map runs inline (useful for debugging and for
 /// nesting inside an already-parallel caller).
 ///
 /// # Panics
 ///
-/// Propagates panics from `f` (the scope joins all workers first).
+/// Propagates panics from `f` (all workers are joined first).
 pub fn parallel_map<I, T, F>(inputs: &[I], threads: usize, f: F) -> Vec<T>
 where
     I: Sync,
@@ -25,34 +31,56 @@ where
     if threads <= 1 || inputs.len() <= 1 {
         return inputs.iter().map(&f).collect();
     }
-    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..inputs.len()).map(|_| None).collect());
-    let next = AtomicUsize::new(0);
-    let workers = threads.min(inputs.len());
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= inputs.len() {
-                    break;
-                }
-                let value = f(&inputs[i]);
-                results.lock()[i] = Some(value);
-            });
-        }
-    })
-    .expect("parallel_map: worker panicked");
-    results
-        .into_inner()
-        .into_iter()
-        .map(|slot| slot.expect("parallel_map: missing result"))
-        .collect()
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("parallel_map: thread pool construction cannot fail");
+    pool.install(|| inputs.par_iter().map(&f).collect())
 }
 
-/// Default worker count: the machine's available parallelism.
+/// Default worker count: rayon's ambient parallelism (`RAYON_NUM_THREADS`
+/// or the machine's available parallelism).
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    rayon::current_num_threads()
+}
+
+/// Runs `trials` seeded trials for every cell of a parameter grid,
+/// *flattened* into one parallel domain, returning per-cell trial results
+/// in `(cell, trial)` order.
+///
+/// Trial `t` of cell `c` runs `f(&cells[c], mix_seed(salt(&cells[c]), t))`.
+/// Flattening (rather than a parallel loop per cell) keeps the pool full
+/// when cells have wildly different costs — the standard shape of the
+/// figure grids, where the largest `n` dominates. Each trial depends only
+/// on its own seed, so the grouped results are bit-identical to the
+/// sequential double loop at any thread count.
+pub fn parallel_trials<C, T, F, S>(
+    cells: &[C],
+    trials: usize,
+    threads: usize,
+    salt: S,
+    f: F,
+) -> Vec<Vec<T>>
+where
+    C: Sync,
+    T: Send,
+    S: Fn(&C) -> u64,
+    F: Fn(&C, u64) -> T + Sync,
+{
+    let jobs: Vec<(usize, u64)> = cells
+        .iter()
+        .enumerate()
+        .flat_map(|(ci, cell)| {
+            let cell_salt = salt(cell);
+            (0..trials as u64).map(move |t| (ci, crate::mix_seed(cell_salt, t)))
+        })
+        .collect();
+    let outcomes = parallel_map(&jobs, threads, |&(ci, seed)| f(&cells[ci], seed));
+    let mut grouped: Vec<Vec<T>> = cells.iter().map(|_| Vec::with_capacity(trials)).collect();
+    for (&(ci, _), outcome) in jobs.iter().zip(outcomes) {
+        grouped[ci].push(outcome);
+    }
+    grouped
 }
 
 #[cfg(test)]
@@ -89,6 +117,23 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn parallel_trials_groups_in_cell_order() {
+        let cells = [10u64, 20, 30];
+        let grouped = parallel_trials(&cells, 4, 4, |&c| c, |&c, seed| (c, seed));
+        assert_eq!(grouped.len(), 3);
+        for (ci, group) in grouped.iter().enumerate() {
+            assert_eq!(group.len(), 4);
+            let expected: Vec<(u64, u64)> = (0..4u64)
+                .map(|t| (cells[ci], crate::mix_seed(cells[ci], t)))
+                .collect();
+            assert_eq!(group, &expected);
+        }
+        // Thread-count independence.
+        let seq = parallel_trials(&cells, 4, 1, |&c| c, |&c, seed| (c, seed));
+        assert_eq!(grouped, seq);
     }
 
     #[test]

@@ -55,6 +55,68 @@ impl RequiredSample {
     }
 }
 
+/// One cell of a required-queries grid: a `(n, regime, noise)`
+/// configuration with its query budget and seed salt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepCell {
+    /// Population size.
+    pub n: usize,
+    /// Sparsity regime determining `k`.
+    pub regime: Regime,
+    /// Noise model.
+    pub noise: NoiseModel,
+    /// Per-trial query budget.
+    pub max_queries: usize,
+    /// Seed salt decorrelating this cell; trial `i` uses
+    /// `mix_seed(seed_salt, i)`.
+    pub seed_salt: u64,
+}
+
+/// Measures every grid cell, parallelizing over the *flattened*
+/// `(cell, trial)` pairs rather than per cell.
+///
+/// Flattening matters for utilization: grids mix `n = 100` cells that
+/// finish in microseconds with `n = 10⁵` cells that dominate the wall
+/// clock, and a per-cell barrier would idle every worker while the big
+/// cell's last trials drain. Each pair simulates with its own
+/// independently seeded `StdRng` (`mix_seed(cell.seed_salt, trial)`), so
+/// the outcome — and therefore each [`RequiredSample`] — is bit-identical
+/// to the sequential loop at any thread count.
+pub fn required_queries_grid(
+    cells: &[SweepCell],
+    trials: usize,
+    threads: usize,
+) -> Vec<RequiredSample> {
+    let jobs: Vec<(usize, u64)> = cells
+        .iter()
+        .enumerate()
+        .flat_map(|(ci, cell)| (0..trials as u64).map(move |t| (ci, mix_seed(cell.seed_salt, t))))
+        .collect();
+    let outcomes = runner::parallel_map(&jobs, threads, |&(ci, seed)| {
+        let cell = &cells[ci];
+        let k = cell.regime.k_for(cell.n);
+        let mut sim = IncrementalSim::new(cell.n, k, cell.noise, seed);
+        sim.required_queries(cell.max_queries)
+    });
+    let mut results: Vec<RequiredSample> = cells
+        .iter()
+        .map(|cell| RequiredSample {
+            n: cell.n,
+            k: cell.regime.k_for(cell.n),
+            samples: Vec::new(),
+            failures: 0,
+            max_queries: cell.max_queries,
+        })
+        .collect();
+    for (&(ci, _), outcome) in jobs.iter().zip(outcomes) {
+        match outcome {
+            Ok(r) => results[ci].samples.push(r.queries as f64),
+            Err(_) => results[ci].failures += 1,
+        }
+    }
+    results
+}
+
 /// Measures the required number of queries for one configuration across
 /// `trials` independent runs (parallel over trials).
 ///
@@ -69,27 +131,16 @@ pub fn required_queries_sample(
     seed_salt: u64,
     threads: usize,
 ) -> RequiredSample {
-    let k = regime.k_for(n);
-    let seeds: Vec<u64> = (0..trials as u64).map(|i| mix_seed(seed_salt, i)).collect();
-    let outcomes = runner::parallel_map(&seeds, threads, |&seed| {
-        let mut sim = IncrementalSim::new(n, k, noise, seed);
-        sim.required_queries(max_queries)
-    });
-    let mut samples = Vec::new();
-    let mut failures = 0;
-    for outcome in outcomes {
-        match outcome {
-            Ok(r) => samples.push(r.queries as f64),
-            Err(_) => failures += 1,
-        }
-    }
-    RequiredSample {
+    let cells = [SweepCell {
         n,
-        k,
-        samples,
-        failures,
+        regime,
+        noise,
         max_queries,
-    }
+        seed_salt,
+    }];
+    required_queries_grid(&cells, trials, threads)
+        .pop()
+        .expect("one cell in, one sample out")
 }
 
 /// A generous per-configuration query budget: a multiple of the relevant
@@ -171,6 +222,41 @@ mod tests {
         );
         assert!(s.failures > 0);
         assert!(s.median().is_none() || s.samples.len() < 3);
+    }
+
+    #[test]
+    fn grid_matches_per_cell_samples_at_any_thread_count() {
+        let cells: Vec<SweepCell> = [(150usize, 3u64), (200, 4), (250, 5)]
+            .into_iter()
+            .map(|(n, salt)| SweepCell {
+                n,
+                regime: Regime::sublinear(0.25),
+                noise: NoiseModel::z_channel(0.1),
+                max_queries: 5_000,
+                seed_salt: salt,
+            })
+            .collect();
+        let sequential = required_queries_grid(&cells, 3, 1);
+        for threads in [2usize, 4, 8] {
+            assert_eq!(
+                required_queries_grid(&cells, 3, threads),
+                sequential,
+                "threads={threads}"
+            );
+        }
+        // And the single-cell wrapper agrees with the grid.
+        for (cell, want) in cells.iter().zip(&sequential) {
+            let got = required_queries_sample(
+                cell.n,
+                cell.regime,
+                cell.noise,
+                3,
+                cell.max_queries,
+                cell.seed_salt,
+                4,
+            );
+            assert_eq!(&got, want);
+        }
     }
 
     #[test]

@@ -277,7 +277,7 @@ impl TopKNode {
             PhaseState::BoundsBcast { value: seed }
         } else if phase < 2 + 2 * self.iters as u64 {
             let idx = phase - 2;
-            if idx % 2 == 0 {
+            if idx.is_multiple_of(2) {
                 // Compute the probe for this bisection iteration; all nodes
                 // hold identical (lo, hi) so the probe is identical too.
                 let mid = midpoint(self.lo, self.hi);
@@ -418,8 +418,7 @@ impl Node<TopKMsg> for TopKNode {
                     }
                 }
                 if step + 1 == phase_len {
-                    let v =
-                        value.expect("doubling broadcast reaches every node by its last step");
+                    let v = value.expect("doubling broadcast reaches every node by its last step");
                     self.apply_count(v);
                 }
             }
@@ -559,7 +558,10 @@ mod tests {
         net.run_until_quiescent(30).unwrap();
         let total: f64 = net.nodes().iter().map(|n| n.s).sum();
         let weights: f64 = net.nodes().iter().map(|n| n.w).sum();
-        assert!((total - 10.0).abs() < 1e-12, "mass drifted: {node_mass} → {total}");
+        assert!(
+            (total - 10.0).abs() < 1e-12,
+            "mass drifted: {node_mass} → {total}"
+        );
         assert!((weights - 4.0).abs() < 1e-12);
     }
 

@@ -40,3 +40,13 @@ pub mod vector;
 
 pub use matrix::Matrix;
 pub use sparse::CsrMatrix;
+
+/// Work threshold (in floating-point multiply-adds) below which the
+/// parallel matrix–vector products fall back to their sequential loops.
+///
+/// Splitting a product across threads pays thread-pool latency in the tens
+/// of microseconds; at ~64k flops the sequential loop finishes faster than
+/// the fork-join overhead, so smaller products stay inline. Row-level
+/// parallelism never splits an individual accumulation, so results are
+/// bit-identical either way — the threshold is purely a performance knob.
+pub const PAR_FLOP_THRESHOLD: usize = 1 << 16;

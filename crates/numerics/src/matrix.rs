@@ -130,33 +130,87 @@ impl Matrix {
 
     /// Forward product `A·x`.
     ///
+    /// Allocates the output; hot paths should prefer [`Matrix::matvec_into`]
+    /// with a reused buffer.
+    ///
     /// # Panics
     ///
     /// Panics if `x.len() != cols`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.cols, "matvec: length mismatch");
         let mut out = vec![0.0; self.rows];
-        for (r, o) in out.iter_mut().enumerate() {
-            *o = crate::vector::dot(self.row(r), x);
-        }
+        self.matvec_into(x, &mut out);
         out
     }
 
+    /// Allocation-free forward product `out ← A·x`.
+    ///
+    /// Rows are processed in parallel (in row chunks) above
+    /// [`crate::PAR_FLOP_THRESHOLD`] flops; each output element is a single
+    /// sequential dot product, so the result is bit-identical to the
+    /// sequential path at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols` or `out.len() != rows`.
+    pub fn matvec_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "matvec: length mismatch");
+        assert_eq!(out.len(), self.rows, "matvec: output length mismatch");
+        let flops = self.rows * self.cols;
+        let threads = rayon::current_num_threads();
+        if threads <= 1 || flops < crate::PAR_FLOP_THRESHOLD {
+            for (r, o) in out.iter_mut().enumerate() {
+                *o = crate::vector::dot(self.row(r), x);
+            }
+            return;
+        }
+        use rayon::prelude::*;
+        let chunk = self.rows.div_ceil(threads * 4).max(1);
+        let cols = self.cols;
+        let data = &self.data;
+        out.par_chunks_mut(chunk).enumerate().for_each(|(ci, o)| {
+            let base = ci * chunk;
+            for (i, oi) in o.iter_mut().enumerate() {
+                let r = base + i;
+                *oi = crate::vector::dot(&data[r * cols..(r + 1) * cols], x);
+            }
+        });
+    }
+
     /// Transposed product `Aᵀ·x`.
+    ///
+    /// Allocates the output; hot paths should prefer
+    /// [`Matrix::matvec_t_into`] with a reused buffer.
     ///
     /// # Panics
     ///
     /// Panics if `x.len() != rows`.
     pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.rows, "matvec_t: length mismatch");
         let mut out = vec![0.0; self.cols];
+        self.matvec_t_into(x, &mut out);
+        out
+    }
+
+    /// Allocation-free transposed product `out ← Aᵀ·x`.
+    ///
+    /// Sequential: the row-major scatter accumulates into every output
+    /// element across rows, and the experiment determinism contract forbids
+    /// reordering floating-point accumulations. Callers needing a parallel
+    /// transposed product should hold an explicitly transposed matrix (as
+    /// the AMP preprocessing does with its cached transposed CSR).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows` or `out.len() != cols`.
+    pub fn matvec_t_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.rows, "matvec_t: length mismatch");
+        assert_eq!(out.len(), self.cols, "matvec_t: output length mismatch");
+        out.fill(0.0);
         for (r, &xr) in x.iter().enumerate() {
             if xr == 0.0 {
                 continue;
             }
-            crate::vector::axpy(xr, self.row(r), &mut out);
+            crate::vector::axpy(xr, self.row(r), out);
         }
-        out
     }
 
     /// Applies `f` to every element in place.
@@ -243,6 +297,43 @@ mod tests {
     fn matvec_t_hand_computed() {
         let m = sample();
         assert_eq!(m.matvec_t(&[1.0, 1.0]), vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_products() {
+        let m = sample();
+        let mut fwd = vec![9.0; 2];
+        m.matvec_into(&[1.0, 0.0, -1.0], &mut fwd);
+        assert_eq!(fwd, vec![-2.0, -2.0]);
+        let mut t = vec![9.0; 3];
+        m.matvec_t_into(&[1.0, 1.0], &mut t);
+        assert_eq!(t, vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn parallel_matvec_is_bit_identical_to_sequential() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let (rows, cols) = (300, 300); // 90k flops: above PAR_FLOP_THRESHOLD
+        let data: Vec<f64> = (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let m = Matrix::from_vec(rows, cols, data);
+        let x: Vec<f64> = (0..cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let seq: Vec<f64> = (0..rows)
+            .map(|r| crate::vector::dot(m.row(r), &x))
+            .collect();
+        for threads in [2usize, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let par = pool.install(|| m.matvec(&x));
+            assert!(
+                par.iter()
+                    .zip(&seq)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "threads={threads}: parallel product differs"
+            );
+        }
     }
 
     #[test]

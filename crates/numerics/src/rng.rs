@@ -221,7 +221,10 @@ pub fn gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64, scale: f64) -> f64 {
 ///
 /// Panics if `a` or `b` is not positive.
 pub fn beta<R: Rng + ?Sized>(rng: &mut R, a: f64, b: f64) -> f64 {
-    assert!(a > 0.0 && b > 0.0, "beta: shapes ({a}, {b}) must be positive");
+    assert!(
+        a > 0.0 && b > 0.0,
+        "beta: shapes ({a}, {b}) must be positive"
+    );
     let x = gamma(rng, a, 1.0);
     let y = gamma(rng, b, 1.0);
     // x + y > 0 almost surely; clamp pathological float cases into (0, 1).

@@ -96,6 +96,59 @@ impl CsrMatrix {
         }
     }
 
+    /// Builds a CSR matrix directly from per-row entry lists whose columns
+    /// are already strictly increasing (the natural form of the pooling
+    /// design's run-length-encoded queries).
+    ///
+    /// Skips the triplet bucket-sort entirely — on paper-scale designs
+    /// (millions of entries) this is an order of magnitude faster than
+    /// [`CsrMatrix::from_triplets`] and is what keeps AMP's
+    /// build-once-per-run preprocessing cheap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a column index is out of bounds or a row's columns are
+    /// not strictly increasing.
+    pub fn from_sorted_rows<I, R>(rows: usize, cols: usize, row_entries: I) -> Self
+    where
+        I: IntoIterator<Item = R>,
+        R: IntoIterator<Item = (u32, f64)>,
+    {
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx: Vec<u32> = Vec::new();
+        let mut values: Vec<f64> = Vec::new();
+        row_ptr.push(0);
+        for row in row_entries {
+            let start = col_idx.len();
+            for (c, v) in row {
+                assert!(
+                    (c as usize) < cols,
+                    "CsrMatrix::from_sorted_rows: column {c} out of bounds for {cols}"
+                );
+                assert!(
+                    col_idx.len() == start || *col_idx.last().expect("non-empty") < c,
+                    "CsrMatrix::from_sorted_rows: columns must be strictly increasing"
+                );
+                col_idx.push(c);
+                values.push(v);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        assert_eq!(
+            row_ptr.len(),
+            rows + 1,
+            "CsrMatrix::from_sorted_rows: expected {rows} rows, got {}",
+            row_ptr.len() - 1
+        );
+        Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
     /// Number of rows.
     pub fn rows(&self) -> usize {
         self.rows
@@ -142,31 +195,96 @@ impl CsrMatrix {
 
     /// Forward product `A·x`.
     ///
+    /// Allocates the output; hot paths should prefer
+    /// [`CsrMatrix::matvec_into`] with a reused buffer.
+    ///
     /// # Panics
     ///
     /// Panics if `x.len() != cols`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.cols, "CsrMatrix::matvec: length mismatch");
         let mut out = vec![0.0; self.rows];
-        for (r, o) in out.iter_mut().enumerate() {
-            let (cols, vals) = self.row(r);
-            let mut acc = 0.0;
-            for (c, v) in cols.iter().zip(vals) {
-                acc += v * x[*c as usize];
-            }
-            *o = acc;
-        }
+        self.matvec_into(x, &mut out);
         out
     }
 
+    /// Allocation-free forward product `out ← A·x`.
+    ///
+    /// Rows are processed in parallel (in row chunks) above
+    /// [`crate::PAR_FLOP_THRESHOLD`] stored entries; each output element is
+    /// one sequential gather over its row, so the result is bit-identical
+    /// to the sequential path at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols` or `out.len() != rows`.
+    pub fn matvec_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "CsrMatrix::matvec: length mismatch");
+        assert_eq!(
+            out.len(),
+            self.rows,
+            "CsrMatrix::matvec: output length mismatch"
+        );
+        let threads = rayon::current_num_threads();
+        if threads <= 1 || self.nnz() < crate::PAR_FLOP_THRESHOLD {
+            for (r, o) in out.iter_mut().enumerate() {
+                *o = self.row_dot(r, x);
+            }
+            return;
+        }
+        use rayon::prelude::*;
+        let chunk = self.rows.div_ceil(threads * 4).max(1);
+        out.par_chunks_mut(chunk).enumerate().for_each(|(ci, o)| {
+            let base = ci * chunk;
+            for (i, oi) in o.iter_mut().enumerate() {
+                *oi = self.row_dot(base + i, x);
+            }
+        });
+    }
+
+    #[inline]
+    fn row_dot(&self, r: usize, x: &[f64]) -> f64 {
+        let (cols, vals) = self.row(r);
+        let mut acc = 0.0;
+        for (c, v) in cols.iter().zip(vals) {
+            acc += v * x[*c as usize];
+        }
+        acc
+    }
+
     /// Transposed product `Aᵀ·x`.
+    ///
+    /// Allocates the output; hot paths should prefer
+    /// [`CsrMatrix::matvec_t_into`] with a reused buffer.
     ///
     /// # Panics
     ///
     /// Panics if `x.len() != rows`.
     pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.rows, "CsrMatrix::matvec_t: length mismatch");
         let mut out = vec![0.0; self.cols];
+        self.matvec_t_into(x, &mut out);
+        out
+    }
+
+    /// Allocation-free transposed product `out ← Aᵀ·x`.
+    ///
+    /// Sequential scatter over rows: the accumulation order into each
+    /// output element is part of the workspace's determinism contract, so
+    /// this path never parallelizes. Iteration-heavy callers (AMP) hold an
+    /// explicitly [`CsrMatrix::transpose`]d copy instead, whose *forward*
+    /// product is an equivalent gather with the same per-element
+    /// accumulation order — and that one parallelizes across rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows` or `out.len() != cols`.
+    pub fn matvec_t_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.rows, "CsrMatrix::matvec_t: length mismatch");
+        assert_eq!(
+            out.len(),
+            self.cols,
+            "CsrMatrix::matvec_t: output length mismatch"
+        );
+        out.fill(0.0);
         for (r, &xr) in x.iter().enumerate() {
             if xr == 0.0 {
                 continue;
@@ -176,7 +294,43 @@ impl CsrMatrix {
                 out[*c as usize] += v * xr;
             }
         }
-        out
+    }
+
+    /// The transposed matrix in CSR form.
+    ///
+    /// Row `c` of the result stores the entries of column `c` ordered by
+    /// original row index — so `transpose().matvec(x)` accumulates each
+    /// output element in exactly the same order as [`CsrMatrix::matvec_t`],
+    /// making the two bit-identical on finite inputs while the former
+    /// parallelizes across rows. Built once per decode by the AMP
+    /// preprocessing, never per iteration.
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut counts = vec![0usize; self.cols + 1];
+        for &c in &self.col_idx {
+            counts[c as usize + 1] += 1;
+        }
+        for i in 0..self.cols {
+            counts[i + 1] += counts[i];
+        }
+        let mut col_idx = vec![0u32; self.nnz()];
+        let mut values = vec![0.0f64; self.nnz()];
+        let mut next = counts.clone();
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            for (c, v) in cols.iter().zip(vals) {
+                let slot = next[*c as usize];
+                col_idx[slot] = r as u32;
+                values[slot] = *v;
+                next[*c as usize] += 1;
+            }
+        }
+        CsrMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            row_ptr: counts,
+            col_idx,
+            values,
+        }
     }
 
     /// Densifies into a [`crate::Matrix`] (intended for tests and small
@@ -278,6 +432,96 @@ mod tests {
     #[test]
     fn sum_counts_all_slots() {
         assert_eq!(sample().sum(), 11.0);
+    }
+
+    #[test]
+    fn from_sorted_rows_matches_triplets() {
+        let m = sample();
+        let rebuilt = CsrMatrix::from_sorted_rows(
+            3,
+            4,
+            (0..3).map(|r| {
+                let (cols, vals) = m.row(r);
+                cols.iter()
+                    .copied()
+                    .zip(vals.iter().copied())
+                    .collect::<Vec<_>>()
+            }),
+        );
+        assert_eq!(rebuilt, m);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn from_sorted_rows_rejects_unsorted() {
+        CsrMatrix::from_sorted_rows(1, 3, [vec![(2u32, 1.0), (1, 1.0)]]);
+    }
+
+    #[test]
+    fn transpose_swaps_entries() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!((t.rows(), t.cols(), t.nnz()), (4, 3, 5));
+        for r in 0..m.rows() {
+            for c in 0..m.cols() {
+                assert_eq!(m.get(r, c), t.get(c, r), "entry ({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_matvec_equals_matvec_t() {
+        let m = sample();
+        let x = [1.0, -1.0, 0.5];
+        assert_eq!(m.transpose().matvec(&x), m.matvec_t(&x));
+    }
+
+    #[test]
+    fn into_variants_match_allocating_products() {
+        let m = sample();
+        let x = [1.0, -1.0, 0.5, 2.0];
+        let y = [0.25, -0.5, 4.0];
+        let mut fwd = vec![7.0; 3];
+        m.matvec_into(&x, &mut fwd);
+        assert_eq!(fwd, m.matvec(&x));
+        let mut t = vec![7.0; 4];
+        m.matvec_t_into(&y, &mut t);
+        assert_eq!(t, m.matvec_t(&y));
+    }
+
+    #[test]
+    fn parallel_matvec_is_bit_identical_to_sequential() {
+        use rand::{Rng, SeedableRng};
+        // Large enough to clear PAR_FLOP_THRESHOLD: 600 x 600 with ~40%
+        // density is ~144k stored entries.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let (rows, cols) = (600, 600);
+        let triplets: Vec<(usize, usize, f64)> = (0..rows * cols / 4)
+            .map(|_| {
+                (
+                    rng.gen_range(0..rows),
+                    rng.gen_range(0..cols),
+                    rng.gen_range(-1.0..1.0),
+                )
+            })
+            .collect();
+        let m = CsrMatrix::from_triplets(rows, cols, &triplets);
+        assert!(m.nnz() >= crate::PAR_FLOP_THRESHOLD, "nnz={}", m.nnz());
+        let x: Vec<f64> = (0..cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let seq: Vec<f64> = (0..rows).map(|r| m.row_dot(r, &x)).collect();
+        for threads in [1usize, 2, 4, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let par = pool.install(|| m.matvec(&x));
+            assert!(
+                par.iter()
+                    .zip(&seq)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "threads={threads}: parallel product differs"
+            );
+        }
     }
 
     proptest! {

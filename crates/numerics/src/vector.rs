@@ -5,6 +5,16 @@
 //! mismatched lengths — in this workspace a length mismatch is always a
 //! programming error, never a data error.
 
+/// Resets `buf` to exactly `len` copies of `value`, reusing its capacity.
+///
+/// The canonical workspace-buffer reset: `clear` + `resize` never shrinks
+/// the allocation, so repeated decodes on same-shaped problems stay off
+/// the allocator (shared by the greedy, BP and AMP workspaces).
+pub fn resize_fill<T: Copy>(buf: &mut Vec<T>, len: usize, value: T) {
+    buf.clear();
+    buf.resize(len, value);
+}
+
 /// Dot product `xᵀy`.
 ///
 /// # Panics

@@ -232,7 +232,10 @@ mod tests {
         let n = 1e5;
         let combined = noisy_channel_sublinear_queries(n, 0.25, 0.1, 0.1, 0.0);
         let gnc = gnc_sublinear_queries(n, 0.25, 0.1, 0.1, 0.0);
-        assert!((combined - gnc) / gnc < 0.01, "combined={combined} gnc={gnc}");
+        assert!(
+            (combined - gnc) / gnc < 0.01,
+            "combined={combined} gnc={gnc}"
+        );
         assert!(combined > gnc);
     }
 

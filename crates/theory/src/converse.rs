@@ -86,11 +86,17 @@ pub fn counting_bound_queries(n: u64, k: u64, gamma: u64) -> f64 {
 ///
 /// Panics if `k > n`, `gamma == 0`, or `lambda < 0`.
 pub fn gaussian_converse_queries(n: u64, k: u64, gamma: u64, lambda: f64) -> f64 {
-    assert!(lambda >= 0.0, "gaussian_converse_queries: lambda={lambda} < 0");
+    assert!(
+        lambda >= 0.0,
+        "gaussian_converse_queries: lambda={lambda} < 0"
+    );
     if lambda == 0.0 {
         return counting_bound_queries(n, k, gamma);
     }
-    assert!(gamma > 0, "gaussian_converse_queries: gamma must be positive");
+    assert!(
+        gamma > 0,
+        "gaussian_converse_queries: gamma must be positive"
+    );
     let pi = k as f64 / n as f64;
     let signal_var = gamma as f64 * pi * (1.0 - pi);
     let capacity = 0.5 * (1.0 + signal_var / (lambda * lambda)).log2();
@@ -115,7 +121,10 @@ pub fn gaussian_converse_queries(n: u64, k: u64, gamma: u64, lambda: f64) -> f64
 /// Panics if `k > n`, `gamma == 0`, `p ∉ [0,1)`, `q ∉ [0,1)`, or
 /// `p + q ≥ 1`.
 pub fn channel_converse_queries(n: u64, k: u64, gamma: u64, p: f64, q: f64) -> f64 {
-    assert!(gamma > 0, "channel_converse_queries: gamma must be positive");
+    assert!(
+        gamma > 0,
+        "channel_converse_queries: gamma must be positive"
+    );
     validate_channel(p, q);
     let pi = k as f64 / n as f64;
     let v = gamma as f64 * (pi * p * (1.0 - p) + (1.0 - pi) * q * (1.0 - q));
@@ -166,7 +175,10 @@ pub fn binary_channel_capacity(p: f64, q: f64) -> f64 {
 ///
 /// Panics if `p ∉ [0, 1)`.
 pub fn z_channel_capacity(p: f64) -> f64 {
-    assert!((0.0..1.0).contains(&p), "z_channel_capacity: p={p} not in [0,1)");
+    assert!(
+        (0.0..1.0).contains(&p),
+        "z_channel_capacity: p={p} not in [0,1)"
+    );
     if p == 0.0 {
         return 1.0;
     }
@@ -186,7 +198,10 @@ pub fn z_channel_capacity(p: f64) -> f64 {
 ///
 /// Panics if `k > n`, `gamma == 0`, or the channel parameters are invalid.
 pub fn slot_capacity_bound_queries(n: u64, k: u64, gamma: u64, p: f64, q: f64) -> f64 {
-    assert!(gamma > 0, "slot_capacity_bound_queries: gamma must be positive");
+    assert!(
+        gamma > 0,
+        "slot_capacity_bound_queries: gamma must be positive"
+    );
     let c = binary_channel_capacity(p, q);
     if c == 0.0 {
         return f64::INFINITY;
@@ -240,7 +255,10 @@ mod tests {
         for p in [0.01, 0.1, 0.3, 0.6] {
             let general = binary_channel_capacity(p, 0.0);
             let direct = z_channel_capacity(p);
-            assert!((general - direct).abs() < 1e-12, "p={p}: {general} vs {direct}");
+            assert!(
+                (general - direct).abs() < 1e-12,
+                "p={p}: {general} vs {direct}"
+            );
         }
     }
 

@@ -46,6 +46,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn gamma_is_about_0_39() {
         assert!(GAMMA > 0.3934 && GAMMA < 0.3935);
     }

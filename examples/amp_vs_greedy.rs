@@ -9,7 +9,9 @@
 use noisy_pooled_data::amp::cost::DistributedAmpCost;
 use noisy_pooled_data::amp::state_evolution::{evolve, StateEvolutionConfig};
 use noisy_pooled_data::amp::{AmpDecoder, BayesBernoulli};
-use noisy_pooled_data::core::{exact_recovery, Decoder, GreedyDecoder, Instance, NoiseModel, Regime};
+use noisy_pooled_data::core::{
+    exact_recovery, Decoder, GreedyDecoder, Instance, NoiseModel, Regime,
+};
 use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

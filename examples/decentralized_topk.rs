@@ -6,7 +6,9 @@
 //! cargo run --release --example decentralized_topk
 //! ```
 
-use noisy_pooled_data::core::{distributed, exact_recovery, Decoder, GreedyDecoder, Instance, NoiseModel};
+use noisy_pooled_data::core::{
+    distributed, exact_recovery, Decoder, GreedyDecoder, Instance, NoiseModel,
+};
 use noisy_pooled_data::netsim::gossip::{
     push_sum_average, select_top_k, TopKNode, DEFAULT_BISECTION_ITERS,
 };

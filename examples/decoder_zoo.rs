@@ -9,9 +9,7 @@ use noisy_pooled_data::amp::AmpDecoder;
 use noisy_pooled_data::core::{
     exact_recovery, overlap, Decoder, GreedyDecoder, Instance, NoiseModel, Regime,
 };
-use noisy_pooled_data::decoders::{
-    BpDecoder, FistaDecoder, LmmseDecoder, McmcDecoder, MlDecoder,
-};
+use noisy_pooled_data::decoders::{BpDecoder, FistaDecoder, LmmseDecoder, McmcDecoder, MlDecoder};
 use rand::SeedableRng;
 use std::time::Instant;
 

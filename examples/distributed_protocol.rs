@@ -28,11 +28,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let outcome = distributed::run_protocol(&run)?;
     let sequential = GreedyDecoder::new().decode(&run);
 
-    println!("Distributed Algorithm 1 on a {n}-agent / {}-query network", instance.m());
+    println!(
+        "Distributed Algorithm 1 on a {n}-agent / {}-query network",
+        instance.m()
+    );
     println!("  rounds:            {}", outcome.rounds);
-    println!("  sort depth:        {} (Batcher odd-even mergesort)", outcome.sort_depth);
+    println!(
+        "  sort depth:        {} (Batcher odd-even mergesort)",
+        outcome.sort_depth
+    );
     println!("  messages sent:     {}", outcome.metrics.messages_sent);
-    println!("  payload bytes:     {}", outcome.metrics.payload_bytes_sent);
+    println!(
+        "  payload bytes:     {}",
+        outcome.metrics.payload_bytes_sent
+    );
     println!("  peak in flight:    {}", outcome.metrics.peak_in_flight);
     println!(
         "  matches sequential decoder: {}",

@@ -13,8 +13,7 @@
 //! ```
 
 use noisy_pooled_data::core::{
-    exact_recovery, overlap, Decoder, GreedyDecoder, Instance, NoiseModel, Regime,
-    TwoStepDecoder,
+    exact_recovery, overlap, Decoder, GreedyDecoder, Instance, NoiseModel, Regime, TwoStepDecoder,
 };
 use rand::SeedableRng;
 

@@ -13,7 +13,11 @@ use rand::SeedableRng;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The paper's running example (Figure 1): seven agents, five queries.
     let (graph, truth) = PoolingGraph::figure1_example();
-    println!("Figure 1 example: n = {}, ones = {:?}", graph.n(), truth.ones());
+    println!(
+        "Figure 1 example: n = {}, ones = {:?}",
+        graph.n(),
+        truth.ones()
+    );
     for (j, q) in graph.queries().iter().enumerate() {
         println!(
             "  query a{j}: distinct members {:?}, Γ = {}",
@@ -59,6 +63,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         0.1,
         0.05,
     );
-    println!("Theorem 1 bound: m ≥ {bound:.0} (we used m = {})", instance.m());
+    println!(
+        "Theorem 1 bound: m ≥ {bound:.0} (we used m = {})",
+        instance.m()
+    );
     Ok(())
 }

@@ -24,8 +24,11 @@ fn main() {
         "{:<24} {:>14} {:>18}",
         "configuration", "measurements", "Theorem 1 bound"
     );
-    for (label, p) in [("exact readout", 0.0), ("5% miss rate", 0.05), ("15% miss rate", 0.15)]
-    {
+    for (label, p) in [
+        ("exact readout", 0.0),
+        ("5% miss rate", 0.05),
+        ("15% miss rate", 0.15),
+    ] {
         let noise = if p == 0.0 {
             NoiseModel::Noiseless
         } else {

@@ -35,8 +35,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Step 1: estimate the slot rate from the data.
     let est_rate = estimation::estimate_slot_rate(&run)?;
-    let model_rate = true_q
-        + instance.k() as f64 * (1.0 - true_p - true_q) / (instance.n() as f64 - 1.0);
+    let model_rate =
+        true_q + instance.k() as f64 * (1.0 - true_p - true_q) / (instance.n() as f64 - 1.0);
     println!("slot rate: estimated {est_rate:.5} vs model {model_rate:.5}");
 
     // Step 2: decode with the estimated rate (no prior noise knowledge).

@@ -3,7 +3,9 @@
 
 use noisy_pooled_data::amp::state_evolution::{fixed_point, StateEvolutionConfig};
 use noisy_pooled_data::amp::{AmpDecoder, BayesBernoulli};
-use noisy_pooled_data::core::{exact_recovery, Decoder, GreedyDecoder, Instance, NoiseModel, Regime};
+use noisy_pooled_data::core::{
+    exact_recovery, Decoder, GreedyDecoder, Instance, NoiseModel, Regime,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

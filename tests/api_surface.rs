@@ -3,13 +3,13 @@
 
 use noisy_pooled_data::adaptive::{Dorfman, IndividualTesting, RecursiveSplitting, Transcript};
 use noisy_pooled_data::amp::DenoiserKind;
-use noisy_pooled_data::decoders::{
-    BpConfig, BpDecoder, FistaConfig, FistaDecoder, LmmseDecoder, McmcConfig, McmcDecoder,
-    MlDecoder, MlError,
-};
 use noisy_pooled_data::core::{
     Centering, Confusion, Estimate, GreedyDecoder, Instance, InstanceError, NoiseModel, Regime,
     Sampling,
+};
+use noisy_pooled_data::decoders::{
+    BpConfig, BpDecoder, FistaConfig, FistaDecoder, LmmseDecoder, McmcConfig, McmcDecoder,
+    MlDecoder, MlError,
 };
 use noisy_pooled_data::netsim::NodeTraffic;
 use noisy_pooled_data::numerics::stats::{BoxPlot, Summary, Welford};

@@ -6,9 +6,7 @@ use noisy_pooled_data::amp::AmpDecoder;
 use noisy_pooled_data::core::{
     exact_recovery, overlap, Decoder, GreedyDecoder, Instance, NoiseModel, Run,
 };
-use noisy_pooled_data::decoders::{
-    standard_zoo, BpDecoder, FistaDecoder, McmcDecoder, MlDecoder,
-};
+use noisy_pooled_data::decoders::{standard_zoo, BpDecoder, FistaDecoder, McmcDecoder, MlDecoder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -54,7 +52,9 @@ fn ml_likelihood_dominates_every_polynomial_decoder() {
     // "optimality reference" means.
     for seed in 0..5 {
         let run = sample(14, 2, 12, NoiseModel::channel(0.2, 0.1), 300 + seed);
-        let ml = MlDecoder::new().try_decode(&run).expect("tiny search space");
+        let ml = MlDecoder::new()
+            .try_decode(&run)
+            .expect("tiny search space");
         let ml_ll = MlDecoder::log_likelihood(&run, ml.bits());
         let mut field: Vec<Box<dyn Decoder>> = standard_zoo();
         field.push(Box::new(GreedyDecoder::new()));
@@ -83,7 +83,10 @@ fn bp_overlap_degrades_gracefully_near_threshold() {
         total += overlap(&est, run.ground_truth());
     }
     let mean = total / trials as f64;
-    assert!(mean > 0.6, "mean BP overlap near threshold was only {mean:.2}");
+    assert!(
+        mean > 0.6,
+        "mean BP overlap near threshold was only {mean:.2}"
+    );
 }
 
 #[test]

@@ -1,0 +1,158 @@
+//! Threading/determinism regression tests.
+//!
+//! The experiment harness promises bit-identical results at any thread
+//! count (see the contract in `npd-experiments`' crate docs), and the
+//! buffer-reuse decoder paths promise bit-identical output to their
+//! one-shot counterparts. These tests pin both properties; if either
+//! breaks, every figure in the paper reproduction silently becomes
+//! scheduling-dependent.
+
+use noisy_pooled_data::amp::{AmpDecoder, AmpWorkspace};
+use noisy_pooled_data::core::{GreedyDecoder, GreedyWorkspace, Instance, NoiseModel, Regime};
+use noisy_pooled_data::decoders::{BpDecoder, BpWorkspace};
+use noisy_pooled_data::experiments::figures::{fig6, fig7};
+use noisy_pooled_data::experiments::sweep::{required_queries_grid, SweepCell};
+use noisy_pooled_data::experiments::{mix_seed, runner};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn sample_run(
+    n: usize,
+    k: usize,
+    m: usize,
+    noise: NoiseModel,
+    seed: u64,
+) -> noisy_pooled_data::core::Run {
+    Instance::builder(n)
+        .k(k)
+        .queries(m)
+        .noise(noise)
+        .build()
+        .expect("valid test configuration")
+        .sample(&mut StdRng::seed_from_u64(seed))
+}
+
+#[test]
+fn sweep_grid_is_identical_across_thread_counts() {
+    let cells: Vec<SweepCell> = [(100usize, 0.0f64), (178, 0.1), (316, 0.3)]
+        .iter()
+        .enumerate()
+        .map(|(i, &(n, p))| SweepCell {
+            n,
+            regime: Regime::sublinear(0.25),
+            noise: if p == 0.0 {
+                NoiseModel::Noiseless
+            } else {
+                NoiseModel::z_channel(p)
+            },
+            max_queries: 10_000,
+            seed_salt: mix_seed(0xDE7E_0001, i as u64),
+        })
+        .collect();
+    let reference = required_queries_grid(&cells, 6, 1);
+    assert!(
+        reference.iter().any(|s| !s.samples.is_empty()),
+        "degenerate reference: no successful trials"
+    );
+    for threads in [2usize, 4, 8, 16] {
+        let got = required_queries_grid(&cells, 6, threads);
+        assert_eq!(got, reference, "threads={threads}");
+    }
+}
+
+#[test]
+fn figure_measurements_are_identical_across_thread_counts() {
+    // Figure 6 (paired success rates) and Figure 7 (mean overlap) at one
+    // representative grid point each.
+    let f6_ref = fig6::measure_point(0.1, 250, 8, 0xF6, 1);
+    let f7_ref = fig7::mean_overlap(0.1, 250, 8, 0xF7, 1);
+    for threads in [2usize, 4, 8] {
+        assert_eq!(fig6::measure_point(0.1, 250, 8, 0xF6, threads), f6_ref);
+        let f7 = fig7::mean_overlap(0.1, 250, 8, 0xF7, threads);
+        assert_eq!(
+            f7.to_bits(),
+            f7_ref.to_bits(),
+            "threads={threads}: mean overlap differs"
+        );
+    }
+}
+
+#[test]
+fn parallel_map_respects_rayon_num_threads_contract() {
+    // Whatever the ambient RAYON_NUM_THREADS is, an explicit threads=1 run
+    // and the default-pool run must agree bit-for-bit.
+    let seeds: Vec<u64> = (0..32).map(|i| mix_seed(0xD00D, i)).collect();
+    let decode = |&seed: &u64| {
+        let run = sample_run(300, 4, 260, NoiseModel::z_channel(0.1), seed);
+        GreedyDecoder::new().scores(&run)
+    };
+    let sequential = runner::parallel_map(&seeds, 1, decode);
+    let default_pool = runner::parallel_map(&seeds, runner::default_threads(), decode);
+    assert_eq!(sequential, default_pool);
+}
+
+#[test]
+fn greedy_workspace_path_matches_one_shot() {
+    let decoder = GreedyDecoder::new();
+    let mut ws = GreedyWorkspace::new();
+    for seed in 0..5u64 {
+        let run = sample_run(400, 5, 300, NoiseModel::channel(0.1, 0.05), seed);
+        let fresh = decoder.scores(&run);
+        let reused = decoder.scores_using(&run, &mut ws);
+        assert!(
+            fresh
+                .iter()
+                .zip(&reused)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "seed={seed}: workspace scores differ"
+        );
+    }
+}
+
+#[test]
+fn bp_workspace_path_matches_one_shot() {
+    let decoder = BpDecoder::new();
+    let mut ws = BpWorkspace::new();
+    for seed in 0..3u64 {
+        let run = sample_run(300, 4, 220, NoiseModel::z_channel(0.1), 100 + seed);
+        assert_eq!(
+            decoder.solve(&run),
+            decoder.solve_with(&run, &mut ws),
+            "seed={seed}"
+        );
+    }
+}
+
+#[test]
+fn amp_workspace_path_matches_one_shot() {
+    let decoder = AmpDecoder::default();
+    let mut ws = AmpWorkspace::new();
+    for seed in 0..3u64 {
+        let run = sample_run(400, 4, 300, NoiseModel::z_channel(0.1), 200 + seed);
+        let (est_fresh, out_fresh) = decoder.decode_with_trace(&run);
+        let (est_reuse, out_reuse) = decoder.decode_with_trace_using(&run, &mut ws);
+        assert_eq!(est_fresh, est_reuse, "seed={seed}");
+        assert_eq!(out_fresh, out_reuse, "seed={seed}");
+    }
+}
+
+#[test]
+fn amp_decode_is_identical_across_thread_counts() {
+    // AMP's matvecs parallelize across rows once the instance clears the
+    // flop threshold; the decode must still be bit-identical.
+    let run = sample_run(2_000, 7, 900, NoiseModel::z_channel(0.1), 77);
+    let pool1 = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap();
+    let reference = pool1.install(|| AmpDecoder::default().decode_with_trace(&run));
+    for threads in [2usize, 4, 8] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        let got = pool.install(|| AmpDecoder::default().decode_with_trace(&run));
+        assert_eq!(got.0, reference.0, "threads={threads}");
+        assert_eq!(got.1, reference.1, "threads={threads}");
+    }
+}

@@ -2,8 +2,7 @@
 //! crate's public API only.
 
 use noisy_pooled_data::core::{
-    exact_recovery, overlap, Decoder, GreedyDecoder, Instance, NoiseModel, Regime,
-    TwoStepDecoder,
+    exact_recovery, overlap, Decoder, GreedyDecoder, Instance, NoiseModel, Regime, TwoStepDecoder,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -104,7 +103,12 @@ fn runs_are_reproducible_across_decoders() {
         Box::new(TwoStepDecoder::new()),
     ];
     for d in &decoders {
-        assert_eq!(d.decode(&run1), d.decode(&run2), "{} not deterministic", d.name());
+        assert_eq!(
+            d.decode(&run1),
+            d.decode(&run2),
+            "{} not deterministic",
+            d.name()
+        );
     }
 }
 

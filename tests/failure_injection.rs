@@ -22,8 +22,7 @@ fn protocol_always_terminates_under_faults() {
     for (drop, dup) in [(0.1, 0.0), (0.0, 0.2), (0.3, 0.3), (0.9, 0.0)] {
         let run = sample_run(60, 1);
         let faults = FaultConfig::new(drop, dup, 17).unwrap();
-        let outcome =
-            distributed::run_protocol_with_faults(&run, faults).expect("must terminate");
+        let outcome = distributed::run_protocol_with_faults(&run, faults).expect("must terminate");
         assert_eq!(outcome.estimate.bits().len(), 128, "drop={drop} dup={dup}");
         assert!(outcome.rounds <= outcome.sort_depth as u64 + 5);
     }

@@ -114,11 +114,7 @@ fn lemma7_noisy_channel_observed_ones() {
     let noise = NoiseModel::channel(p, q);
 
     let g = PoolingGraph::sample(n, m, n / 2, &mut rng);
-    let total_slots: f64 = g
-        .queries()
-        .iter()
-        .map(|qq| qq.total_slots() as f64)
-        .sum();
+    let total_slots: f64 = g.queries().iter().map(|qq| qq.total_slots() as f64).sum();
     let mut mean_reading = 0.0;
     let resamples = 300;
     for _ in 0..resamples {

@@ -1,10 +1,10 @@
 //! End-to-end behaviour of the two pooling designs (with / without
 //! replacement) across the decoder implementations.
 
+use noisy_pooled_data::amp::AmpDecoder;
 use noisy_pooled_data::core::{
     distributed, exact_recovery, Decoder, GreedyDecoder, Instance, NoiseModel, Sampling,
 };
-use noisy_pooled_data::amp::AmpDecoder;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -34,8 +34,7 @@ fn both_designs_recover_with_generous_budgets() {
 
 #[test]
 fn distributed_protocol_handles_subset_designs() {
-    let run = instance(Sampling::WithoutReplacement, 120)
-        .sample(&mut StdRng::seed_from_u64(5));
+    let run = instance(Sampling::WithoutReplacement, 120).sample(&mut StdRng::seed_from_u64(5));
     let outcome = distributed::run_protocol(&run).expect("quiesces");
     assert_eq!(outcome.estimate, GreedyDecoder::new().decode(&run));
     // Simple design: every measurement edge has multiplicity 1, so the
@@ -53,8 +52,7 @@ fn distributed_protocol_handles_subset_designs() {
 fn amp_decodes_subset_designs() {
     // The centered-matrix preprocessing works for the simple design too
     // (entries 0/1 instead of counts).
-    let run = instance(Sampling::WithoutReplacement, 300)
-        .sample(&mut StdRng::seed_from_u64(8));
+    let run = instance(Sampling::WithoutReplacement, 300).sample(&mut StdRng::seed_from_u64(8));
     let est = AmpDecoder::default().decode(&run);
     assert!(exact_recovery(&est, run.ground_truth()));
 }
@@ -67,8 +65,7 @@ fn subset_design_is_never_worse_on_average() {
     let count_successes = |sampling: Sampling| -> usize {
         (0..trials)
             .filter(|&seed| {
-                let run = instance(sampling, 150)
-                    .sample(&mut StdRng::seed_from_u64(100 + seed));
+                let run = instance(sampling, 150).sample(&mut StdRng::seed_from_u64(100 + seed));
                 exact_recovery(&GreedyDecoder::new().decode(&run), run.ground_truth())
             })
             .count()

@@ -26,7 +26,9 @@ fn empirical_threshold_is_below_theorem1_z_channel() {
     let theta = 0.25;
     let k = (n as f64).powf(theta).round() as usize;
     let bound = bounds::z_channel_sublinear_queries(n as f64, theta, 0.1, 0.05);
-    let median = median_required(n, k, NoiseModel::z_channel(0.1), 5, 5_000);
+    // 25 trials: the 5-trial median is too noisy an estimator (the per-trial
+    // IQR spans the bound) and flips sign depending on the RNG stream.
+    let median = median_required(n, k, NoiseModel::z_channel(0.1), 25, 5_000);
     assert!(
         median <= bound,
         "median {median} exceeds Theorem-1 bound {bound}"
@@ -58,7 +60,10 @@ fn mild_gaussian_noise_costs_only_a_constant_factor() {
     let bound = bounds::noisy_query_sublinear_queries(n as f64, 0.25, 0.05);
     let clean = median_required(n, k, NoiseModel::Noiseless, 5, 5_000);
     let noisy = median_required(n, k, NoiseModel::gaussian(1.0), 5, 5_000);
-    assert!(clean <= bound, "noiseless median {clean} exceeds bound {bound}");
+    assert!(
+        clean <= bound,
+        "noiseless median {clean} exceeds bound {bound}"
+    );
     assert!(noisy >= clean, "λ=1 should not beat noiseless");
     assert!(
         noisy <= 2.0 * bound,
@@ -100,10 +105,13 @@ fn degree_expectations_match_simulation() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(77);
     let (n, m) = (500usize, 400usize);
     let graph = PoolingGraph::sample(n, m, n / 2, &mut rng);
-    let multi_mean =
-        graph.multi_degrees().iter().sum::<u64>() as f64 / n as f64;
-    let distinct_mean =
-        graph.distinct_degrees().iter().map(|&d| d as f64).sum::<f64>() / n as f64;
+    let multi_mean = graph.multi_degrees().iter().sum::<u64>() as f64 / n as f64;
+    let distinct_mean = graph
+        .distinct_degrees()
+        .iter()
+        .map(|&d| d as f64)
+        .sum::<f64>()
+        / n as f64;
     assert!((multi_mean - degrees::expected_multi_degree(m as f64)).abs() < 1e-9);
     let want_distinct = degrees::expected_distinct_degree(m as f64);
     assert!(
