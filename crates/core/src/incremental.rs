@@ -427,7 +427,12 @@ mod tests {
         sim.add_query();
         assert_eq!(sim.queries_added(), 1);
         // Every touched agent got the same result value; untouched agents
-        // have Δ* = 0 and Ψ = 0.
+        // have Δ* = 0 and Ψ = 0. The match over the distinct degree is
+        // exhaustive: `add_query` bumps `distinct[i]` at most once per
+        // query (the stamp-generation dedup in every sampling arm pushes
+        // each agent into `scratch` at most once), so after exactly one
+        // query the invariant Δ*ᵢ ≤ queries_added pins the degree to
+        // {0, 1} — the `2..` arm is unreachable by construction.
         let mut seen_value = None;
         for i in 0..50 {
             match sim.distinct[i] {
@@ -439,7 +444,10 @@ mod tests {
                     }
                     seen_value = Some(v);
                 }
-                d => panic!("distinct degree {d} after one query"),
+                2.. => unreachable!(
+                    "Δ*ᵢ ≤ queries_added: the per-query stamp dedup adds each \
+                     agent to a query's distinct set at most once"
+                ),
             }
         }
         assert!(seen_value.is_some());

@@ -1,14 +1,19 @@
 //! Message-level fault injection.
 
+use crate::topology::LinkFaults;
 use serde::{Deserialize, Serialize};
 
-/// Configuration for randomized message faults.
+/// Configuration for randomized message faults: the *uniform* instance of
+/// the general per-link fault model (see [`crate::LinkFaults`] and
+/// [`crate::Topology::with_link_faults`] for per-link overrides).
 ///
-/// Each message sent through the network is independently dropped with
-/// probability [`drop_prob`](Self::drop_prob); surviving messages are
-/// duplicated (one extra copy) with probability
-/// [`dup_prob`](Self::dup_prob). Decisions are drawn from a dedicated RNG
-/// seeded with [`seed`](Self::seed), so runs remain reproducible.
+/// Each message sent through the network is independently duplicated (one
+/// extra copy) with probability [`dup_prob`](Self::dup_prob); every copy —
+/// original or duplicate — then independently passes the drop gate
+/// (probability [`drop_prob`](Self::drop_prob)) and the delay draw.
+/// Decisions are pure functions of [`seed`](Self::seed) and the message
+/// identity `(sender, send-seq, copy)`, so runs replay bit-identically at
+/// any shard or thread count.
 ///
 /// The pooled-data protocol is *one-shot* (a query's measurement is sent
 /// exactly once), so dropped messages model sensor/readout loss and
@@ -65,12 +70,33 @@ impl FaultConfig {
         })
     }
 
+    /// A configuration that never alters messages: useful as the default
+    /// profile when only per-link overrides should inject faults (the
+    /// `seed` still drives those overrides' decisions).
+    pub fn reliable(seed: u64) -> Self {
+        Self {
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            seed,
+            max_delay: 0,
+        }
+    }
+
     /// Adds random message delay: each surviving message is held back an
     /// extra `0..=rounds` rounds (uniform, independent per message).
     #[must_use]
     pub fn with_max_delay(mut self, rounds: u64) -> Self {
         self.max_delay = rounds;
         self
+    }
+
+    /// This configuration viewed as the default per-link fault profile.
+    pub fn link_faults(&self) -> LinkFaults {
+        LinkFaults {
+            drop_prob: self.drop_prob,
+            dup_prob: self.dup_prob,
+            max_delay: self.max_delay,
+        }
     }
 
     /// Probability that a sent message is silently dropped.

@@ -22,7 +22,7 @@
 //! are exercised end-to-end (greedy scores in, reconstruction bits out) in
 //! the workspace integration tests.
 
-use crate::{Activity, Context, Network, Node, NodeId};
+use crate::{recommended_shards, Activity, Context, Metrics, Network, Node, NodeId, Topology};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -93,39 +93,106 @@ impl Node<PushSumMsg> for PushSumNode {
             return Activity::Idle;
         }
         self.rounds_left -= 1;
-        let peer = NodeId(self.rng.gen_range(0..ctx.node_count()));
-        if peer != ctx.id() {
-            self.s /= 2.0;
-            self.w /= 2.0;
-            ctx.send(
-                peer,
-                PushSumMsg {
-                    s: self.s,
-                    w: self.w,
-                },
-            );
+        // Canonical push-sum targets: self plus the topology neighbors,
+        // uniformly. On the complete topology this is the uniform draw over
+        // all n nodes of Kempe–Dobra–Gehrke.
+        let d = ctx.degree();
+        let draw = self.rng.gen_range(0..=d);
+        let peer = if draw == d {
+            ctx.id()
+        } else {
+            ctx.neighbor(draw)
+        };
+        self.s /= 2.0;
+        self.w /= 2.0;
+        let share = PushSumMsg {
+            s: self.s,
+            w: self.w,
+        };
+        if peer == ctx.id() {
+            // Self-push: the canonical protocol still halves and sends the
+            // share to itself; deliver it locally (net no-op on mass, no
+            // network traffic). Skipping the halving instead — as this node
+            // once did — diverges from the canonical convergence schedule.
+            self.s += share.s;
+            self.w += share.w;
+        } else {
+            ctx.send(peer, share);
         }
         Activity::Active
     }
 }
 
-/// Runs push-sum over `values` for `rounds` gossip rounds and returns the
-/// per-node estimates of the global average.
+/// Runs push-sum over `values` for `rounds` gossip rounds on the complete
+/// topology and returns the per-node estimates of the global average.
+///
+/// Shards the network across the rayon pool; the result is bit-identical
+/// at any shard or thread count.
 ///
 /// # Panics
 ///
 /// Panics if `values` is empty.
 pub fn push_sum_average(values: &[f64], rounds: usize, seed: u64) -> Vec<f64> {
+    push_sum_average_on(Topology::complete(values.len()), values, rounds, seed)
+}
+
+/// Runs push-sum on an arbitrary [`Topology`]: each round a node pushes
+/// half of its mass to a uniform member of `{self} ∪ neighbors`.
+///
+/// On connected topologies the estimates converge to the global average;
+/// sparse overlays (ring, grid, small world) trade per-round fan-out for
+/// more rounds, which is exactly the scenario comparison the experiments
+/// harness reports.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or its length differs from `topology.n()`.
+pub fn push_sum_average_on(
+    topology: Topology,
+    values: &[f64],
+    rounds: usize,
+    seed: u64,
+) -> Vec<f64> {
+    push_sum_report_on(topology, values, rounds, seed).estimates
+}
+
+/// Report of [`push_sum_report_on`]: the per-node estimates plus the full
+/// communication metrics of the run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PushSumReport {
+    /// Per-node estimates of the global average, indexed by node id.
+    pub estimates: Vec<f64>,
+    /// Communication metrics of the whole run.
+    pub metrics: Metrics,
+}
+
+/// [`push_sum_average_on`] with the run's [`Metrics`] attached — the
+/// variant the experiments harness prices overlay scenarios with.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or its length differs from `topology.n()`.
+pub fn push_sum_report_on(
+    topology: Topology,
+    values: &[f64],
+    rounds: usize,
+    seed: u64,
+) -> PushSumReport {
     assert!(!values.is_empty(), "push_sum_average: no values");
     let nodes: Vec<PushSumNode> = values
         .iter()
         .enumerate()
         .map(|(i, &v)| PushSumNode::new(v, rounds, seed, i))
         .collect();
-    let mut net = Network::new(nodes);
-    net.run_until_quiescent(rounds as u64 + 2)
+    let mut net = Network::new(nodes)
+        .with_topology(topology)
+        .with_shards(recommended_shards(values.len()));
+    net.run_until_quiescent_parallel(rounds as u64 + 2)
         .expect("push-sum quiesces after its round budget by construction");
-    net.nodes().iter().map(PushSumNode::estimate).collect()
+    PushSumReport {
+        estimates: net.nodes().iter().map(PushSumNode::estimate).collect(),
+        metrics: *net.metrics(),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -481,9 +548,9 @@ pub fn select_top_k(scores: &[f64], k: usize, bisection_iters: u32) -> TopKRepor
         .iter()
         .map(|&s| TopKNode::new(s, k, n, bisection_iters))
         .collect();
-    let mut net = Network::new(nodes);
+    let mut net = Network::new(nodes).with_shards(recommended_shards(n));
     let budget = TopKNode::total_rounds(n, bisection_iters) + 2;
-    net.run_until_quiescent(budget)
+    net.run_until_quiescent_parallel(budget)
         .expect("top-k selection quiesces within its fixed timetable");
     let rounds = net.metrics().rounds;
     let messages = net.metrics().messages_sent;

@@ -1,4 +1,4 @@
-//! Deterministic synchronous message-passing network simulator.
+//! Deterministic, sharded, synchronous message-passing network simulator.
 //!
 //! The paper's Algorithm 1 is a *distributed* protocol: query nodes send
 //! their (noisy) measurements to agents, agents accumulate scores, and the
@@ -10,16 +10,40 @@
 //!   [`Context`].
 //! * [`Network`] — a collection of nodes plus in-flight mailboxes, advanced
 //!   round by round with classic synchronous semantics: everything sent in
-//!   round `r` is delivered at the start of round `r + 1`.
+//!   round `r` is delivered at the start of round `r + 1`. Nodes are
+//!   partitioned into contiguous *shards*; [`Network::step_parallel`] steps
+//!   the shards on the rayon pool, and deliveries are compacted into a
+//!   CSR-style per-shard arena (offset table + envelope slab, buffers
+//!   reused across rounds).
+//! * [`Topology`] — who may talk to whom: complete (the default),
+//!   ring, grid, random `d`-regular, or Watts–Strogatz small world, with
+//!   optional per-link [`LinkFaults`] overrides.
 //! * [`Metrics`] — message/round accounting, which backs the communication
 //!   comparison between the greedy protocol (one exchange per node) and
 //!   AMP (one exchange per node *per iteration*) in the paper's conclusion.
-//! * [`FaultConfig`] — optional message dropping/duplication for failure
-//!   injection tests.
+//! * [`FaultConfig`] — message dropping/duplication/delay for failure
+//!   injection; the uniform default of the general per-link model.
 //!
-//! The simulator is fully deterministic: nodes are stepped in id order,
-//! messages are delivered in (sender, send-order), and fault decisions come
-//! from a seeded RNG.
+//! # Determinism and delivery-order contract
+//!
+//! The simulator is fully deterministic, and its results are **independent
+//! of the shard count and the thread count**:
+//!
+//! * Nodes are stepped in id order within each shard, and shards touch
+//!   disjoint state, so parallel stepping cannot reorder anything.
+//! * Every message carries its identity `(sender, send-seq)` — the
+//!   sender's cumulative send counter. A node's inbox is always sorted by
+//!   that identity, *regardless of which round each message was sent in*:
+//!   delay-faulted messages merge back under the same sort, so a delayed
+//!   run replays bit-identically.
+//! * Fault decisions (drop, duplicate, delay) are pure functions of the
+//!   fault seed and the message identity — there is no shared fault RNG
+//!   stream that scheduling could perturb. Duplication-fault copies get
+//!   their own identity (ordered right after the original) and pass the
+//!   drop/delay gates independently.
+//!
+//! The workspace-root `tests/determinism.rs` pins bit-identical runs for
+//! shard counts {1, 2, 8} and thread counts {1, 4}.
 //!
 //! # Examples
 //!
@@ -52,6 +76,29 @@
 //! assert_eq!(report.rounds, 5);
 //! assert_eq!(net.metrics().messages_sent, 4);
 //! ```
+//!
+//! The same protocol sharded and stepped in parallel is bit-identical:
+//!
+//! ```
+//! use npd_netsim::{Network, Topology};
+//! # use npd_netsim::{Activity, Context, Node, NodeId};
+//! # struct PingPong { hits: u32 }
+//! # impl Node<u32> for PingPong {
+//! #     fn on_round(&mut self, ctx: &mut Context<'_, u32>) -> Activity {
+//! #         if ctx.round() == 0 && ctx.id() == NodeId(0) { ctx.send(NodeId(1), 1); }
+//! #         let inbox: Vec<u32> = ctx.inbox().iter().map(|e| e.payload).collect();
+//! #         for v in inbox {
+//! #             self.hits += 1;
+//! #             if v < 4 { ctx.send(NodeId(1 - ctx.id().0), v + 1); }
+//! #         }
+//! #         Activity::Idle
+//! #     }
+//! # }
+//! let nodes = vec![PingPong { hits: 0 }, PingPong { hits: 0 }];
+//! let mut net = Network::new(nodes).with_shards(2);
+//! let report = net.run_until_quiescent_parallel(100).unwrap();
+//! assert_eq!(report.rounds, 5);
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -60,10 +107,12 @@ mod faults;
 pub mod gossip;
 mod metrics;
 mod network;
+mod topology;
 
 pub use faults::FaultConfig;
 pub use metrics::{Metrics, NodeTraffic};
-pub use network::{Network, RunReport, StepReport};
+pub use network::{recommended_shards, Context, Network, RunReport, StepReport};
+pub use topology::{LinkFaults, Topology};
 
 use std::fmt;
 
@@ -99,74 +148,6 @@ pub enum Activity {
     Idle,
     /// Node wants another round regardless of message arrivals.
     Active,
-}
-
-/// Per-round view handed to [`Node::on_round`]: the inbox, the clock, the
-/// node's own id, and the send interface.
-#[derive(Debug)]
-pub struct Context<'a, M> {
-    round: u64,
-    id: NodeId,
-    node_count: usize,
-    inbox: &'a [Envelope<M>],
-    outbox: &'a mut Vec<Envelope<M>>,
-}
-
-impl<'a, M> Context<'a, M> {
-    pub(crate) fn new(
-        round: u64,
-        id: NodeId,
-        node_count: usize,
-        inbox: &'a [Envelope<M>],
-        outbox: &'a mut Vec<Envelope<M>>,
-    ) -> Self {
-        Self {
-            round,
-            id,
-            node_count,
-            inbox,
-            outbox,
-        }
-    }
-
-    /// Current round number (starting at 0).
-    pub fn round(&self) -> u64 {
-        self.round
-    }
-
-    /// The id of the node being stepped.
-    pub fn id(&self) -> NodeId {
-        self.id
-    }
-
-    /// Number of nodes in the network.
-    pub fn node_count(&self) -> usize {
-        self.node_count
-    }
-
-    /// Messages delivered to this node at the start of the round.
-    pub fn inbox(&self) -> &[Envelope<M>] {
-        self.inbox
-    }
-
-    /// Sends `payload` to `dst`; it is delivered at the start of the next
-    /// round.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `dst` is not a valid node id for this network.
-    pub fn send(&mut self, dst: NodeId, payload: M) {
-        assert!(
-            dst.0 < self.node_count,
-            "Context::send: destination {dst} out of range (network has {} nodes)",
-            self.node_count
-        );
-        self.outbox.push(Envelope {
-            from: self.id,
-            to: dst,
-            payload,
-        });
-    }
 }
 
 /// Behaviour of one network participant.

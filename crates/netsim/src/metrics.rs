@@ -40,6 +40,19 @@ impl Metrics {
             self.messages_sent as f64 / self.rounds as f64
         }
     }
+
+    /// The fault pipeline's conservation identity: every copy the network
+    /// ever accepted (sends plus duplication copies) is accounted for
+    /// exactly once —
+    /// `sent + duplicated == delivered + dropped + in_flight + delayed`,
+    /// where `in_flight`/`delayed` are the *currently pending* counts from
+    /// [`crate::Network::in_flight`] and [`crate::Network::delayed`]. This
+    /// holds at every round boundary, fault-injected or not; the
+    /// workspace-root failure-injection proptests assert it.
+    pub fn conserves(&self, in_flight: usize, delayed: usize) -> bool {
+        self.messages_sent + self.messages_duplicated
+            == self.messages_delivered + self.messages_dropped + in_flight as u64 + delayed as u64
+    }
 }
 
 /// Per-node cumulative traffic counters.

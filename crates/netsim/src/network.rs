@@ -1,41 +1,215 @@
-//! The synchronous network engine.
+//! The sharded synchronous network engine.
+//!
+//! # Architecture
+//!
+//! Nodes are partitioned into `S` contiguous *shards* of (up to)
+//! `⌈n / S⌉` nodes each. One round proceeds in three phases:
+//!
+//! 1. **Arena build** — in-flight messages (plus delay-faulted messages
+//!    whose round has come) are compacted, per destination shard, into a
+//!    CSR-style delivery arena: one envelope slab per shard plus a
+//!    per-node `(start, end)` range table. Each node's segment is sorted
+//!    by `(sender, send-seq)`; all buffers are reused across rounds.
+//! 2. **Node step** — every shard steps its nodes in id order. Shards are
+//!    independent (each reads the shared arena and writes its own
+//!    outboxes), so [`step_parallel`](Network::step_parallel) runs them on
+//!    the rayon pool; [`step`](Network::step) runs them inline. Both
+//!    produce bit-identical results for any shard count.
+//! 3. **Routing** — each shard's outbox drains, in shard order, into
+//!    per-destination-shard staging buffers. Fault gates apply here: every
+//!    decision is a pure function of the fault seed and the *message
+//!    identity* `(sender, send-seq, copy)`, never of a shared RNG stream,
+//!    so faulted runs are also bit-identical across shard and thread
+//!    counts.
+//!
+//! Messages sent during round `r` are delivered at the start of round
+//! `r + 1` (plus any delay faults), ordered by `(sender, send-seq)` — the
+//! classic synchronous message-passing model (e.g. Santoro, *Design and
+//! Analysis of Distributed Algorithms*).
 
 use crate::metrics::NodeTraffic;
-use crate::{Activity, Context, Envelope, FaultConfig, MaxRoundsExceeded, Metrics, Node, NodeId};
+use crate::topology::{LinkFaults, Topology};
+use crate::{Activity, Envelope, FaultConfig, MaxRoundsExceeded, Metrics, Node, NodeId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// Identity of one physical message copy: the sender, the sender's
+/// cumulative send sequence number, and whether this copy was created by a
+/// duplication fault. The triple is unique per copy and totally ordered;
+/// delivery order and all fault decisions derive from it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct MsgKey {
+    from: u32,
+    seq: u64,
+    dup: bool,
+}
+
+/// A keyed message moving through the routing pipeline.
+type Staged<M> = (MsgKey, Envelope<M>);
+
+/// Per-round view handed to [`Node::on_round`]: the inbox, the clock, the
+/// node's own id, the topology, and the send interface.
+#[derive(Debug)]
+pub struct Context<'a, M> {
+    round: u64,
+    id: NodeId,
+    node_count: usize,
+    inbox: &'a [Envelope<M>],
+    /// Per-destination-shard outbox of this node's shard.
+    outbox: &'a mut [Vec<Staged<M>>],
+    shard_size: usize,
+    topology: &'a Topology,
+    /// The sender's next send-sequence number (written back after the
+    /// node steps).
+    next_seq: u64,
+}
+
+impl<'a, M> Context<'a, M> {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        round: u64,
+        id: NodeId,
+        node_count: usize,
+        inbox: &'a [Envelope<M>],
+        outbox: &'a mut [Vec<Staged<M>>],
+        shard_size: usize,
+        topology: &'a Topology,
+        next_seq: u64,
+    ) -> Self {
+        Self {
+            round,
+            id,
+            node_count,
+            inbox,
+            outbox,
+            shard_size,
+            topology,
+            next_seq,
+        }
+    }
+
+    /// Current round number (starting at 0).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The id of the node being stepped.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Number of nodes in the network.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// The topology the network runs on.
+    pub fn topology(&self) -> &Topology {
+        self.topology
+    }
+
+    /// Number of neighbors this node may send to (loopback not counted).
+    pub fn degree(&self) -> usize {
+        self.topology.degree(self.id)
+    }
+
+    /// The `i`-th neighbor of this node, in ascending id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= degree()`.
+    pub fn neighbor(&self, i: usize) -> NodeId {
+        self.topology.neighbor(self.id, i)
+    }
+
+    /// Messages delivered to this node at the start of the round, ordered
+    /// by `(sender, send-seq)`.
+    pub fn inbox(&self) -> &[Envelope<M>] {
+        self.inbox
+    }
+
+    /// Sends `payload` to `dst`; it is delivered at the start of the next
+    /// round. Loopback (`dst == self`) is always permitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is out of range or the topology has no `self → dst`
+    /// link.
+    pub fn send(&mut self, dst: NodeId, payload: M) {
+        assert!(
+            dst.0 < self.node_count,
+            "Context::send: destination {dst} out of range (network has {} nodes)",
+            self.node_count
+        );
+        assert!(
+            self.topology.contains_edge(self.id, dst),
+            "Context::send: topology has no link {} → {dst}",
+            self.id
+        );
+        let key = MsgKey {
+            from: self.id.0 as u32,
+            seq: self.next_seq,
+            dup: false,
+        };
+        self.next_seq += 1;
+        self.outbox[dst.0 / self.shard_size].push((
+            key,
+            Envelope {
+                from: self.id,
+                to: dst,
+                payload,
+            },
+        ));
+    }
+}
 
 /// A synchronous network of homogeneous nodes exchanging messages of type
-/// `M`.
+/// `M`, partitioned into shards for parallel stepping.
 ///
 /// Semantics: [`step`](Self::step) runs one round. Nodes are stepped in id
-/// order; every message sent during round `r` is delivered at the start of
-/// round `r + 1`, ordered by `(sender, send order)`. This is the standard
-/// synchronous message-passing model (e.g. Santoro, *Design and Analysis of
-/// Distributed Algorithms*, which the paper cites for the sorting-network
-/// step).
+/// order *per shard*; every message sent during round `r` is delivered at
+/// the start of round `r + 1`, ordered by `(sender, send-seq)`. The output
+/// is bit-identical for any shard count and for sequential vs parallel
+/// stepping (pinned by `tests/determinism.rs` in the workspace root).
 #[derive(Debug)]
 pub struct Network<M, N> {
     nodes: Vec<N>,
-    /// Messages to deliver at the start of the next round.
-    in_flight: Vec<Envelope<M>>,
-    /// Delay-faulted messages, tagged with their delivery round.
-    delayed: Vec<(u64, Envelope<M>)>,
+    topology: Topology,
+    shards: usize,
+    shard_size: usize,
     round: u64,
     metrics: Metrics,
     traffic: Vec<NodeTraffic>,
+    /// Per-node cumulative send counter (the `seq` of the next send).
+    send_seq: Vec<u64>,
     faults: Option<FaultState<M>>,
-    /// Scratch buffers reused across rounds.
-    inboxes: Vec<Vec<Envelope<M>>>,
+    /// `outboxes[src][dst]`: raw sends staged during the node-step phase.
+    outboxes: Vec<Vec<Vec<Staged<M>>>>,
+    /// `staging[dst]`: in-flight messages awaiting delivery next round,
+    /// sorted by [`MsgKey`].
+    staging: Vec<Vec<Staged<M>>>,
+    /// `delayed[dst]`: delay-faulted messages tagged with their due round.
+    delayed: Vec<Vec<(u64, MsgKey, Envelope<M>)>>,
+    /// `slabs[dst]`: the delivery arena — envelopes grouped by destination
+    /// node, each segment sorted by key.
+    slabs: Vec<Vec<Envelope<M>>>,
+    /// Per node: `(start, end)` of its inbox segment in its shard's slab.
+    ranges: Vec<(usize, usize)>,
+    /// Counting-sort scratch (one slot per node of the widest shard).
+    counts: Vec<usize>,
+    /// Permutation scratch for the in-place counting sort.
+    perm: Vec<u32>,
 }
 
 /// Fault-injection state. The clone function pointer is captured in
 /// [`Network::with_faults`], where the `M: Clone` bound is available; this
-/// keeps fault-free networks free of any `Clone` requirement.
+/// keeps fault-free networks free of any `Clone` requirement. Fault
+/// *decisions* carry no state at all: they are pure functions of
+/// `(seed, message identity)`.
 #[derive(Debug)]
 struct FaultState<M> {
     cfg: FaultConfig,
-    rng: SmallRng,
     cloner: fn(&M) -> M,
 }
 
@@ -61,23 +235,75 @@ pub struct RunReport {
     pub delivered: u64,
 }
 
+/// Recommended shard count for an `n`-node network: one shard per rayon
+/// worker, floored so a shard never becomes trivially small (≥ 64 nodes).
+/// The result of a run is bit-identical for every shard count — this only
+/// sets how much parallelism [`Network::step_parallel`] can exploit.
+pub fn recommended_shards(n: usize) -> usize {
+    rayon::current_num_threads().clamp(1, (n / 64).max(1))
+}
+
+/// Splitmix64 finalizer: the per-message fault RNG seed mix.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Dedicated RNG of one message copy: a pure function of the fault seed
+/// and the copy's identity, so fault decisions cannot depend on shard
+/// count, thread count, or processing order.
+fn message_rng(seed: u64, key: MsgKey) -> SmallRng {
+    let mixed = splitmix64(seed ^ splitmix64((key.from as u64) << 1 | key.dup as u64))
+        ^ splitmix64(key.seq.wrapping_add(0xA5A5_5A5A_0F0F_F0F0));
+    SmallRng::seed_from_u64(mixed)
+}
+
+/// Mutable routing-phase view: staging/delayed sinks plus metrics.
+struct RouteSinks<'a, M> {
+    staging: &'a mut [Vec<Staged<M>>],
+    delayed: &'a mut [Vec<(u64, MsgKey, Envelope<M>)>],
+    metrics: &'a mut Metrics,
+}
+
 impl<M, N: Node<M>> Network<M, N> {
-    /// Creates a network over the given nodes with no fault injection.
+    /// Creates a single-shard network over the given nodes on the complete
+    /// topology with no fault injection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are more than `u32::MAX` nodes.
     pub fn new(nodes: Vec<N>) -> Self {
         let count = nodes.len();
-        Self {
+        assert!(
+            count <= u32::MAX as usize,
+            "Network: node count {count} exceeds u32 id space"
+        );
+        let mut net = Self {
             nodes,
-            in_flight: Vec::new(),
-            delayed: Vec::new(),
+            topology: Topology::complete(count),
+            shards: 1,
+            shard_size: count.max(1),
             round: 0,
             metrics: Metrics::default(),
             traffic: vec![NodeTraffic::default(); count],
+            send_seq: vec![0; count],
             faults: None,
-            inboxes: (0..count).map(|_| Vec::new()).collect(),
-        }
+            outboxes: Vec::new(),
+            staging: Vec::new(),
+            delayed: Vec::new(),
+            slabs: Vec::new(),
+            ranges: vec![(0, 0); count],
+            counts: Vec::new(),
+            perm: Vec::new(),
+        };
+        net.resize_shard_buffers();
+        net
     }
 
-    /// Creates a network with message fault injection.
+    /// Creates a network with message fault injection (the uniform link
+    /// model; see [`Network::with_link_model`] for per-link overrides).
     ///
     /// Requires `M: Clone` because duplication faults must copy payloads;
     /// [`Network::new`] has no such requirement.
@@ -85,14 +311,78 @@ impl<M, N: Node<M>> Network<M, N> {
     where
         M: Clone,
     {
-        let rng = SmallRng::seed_from_u64(faults.seed());
         let mut net = Self::new(nodes);
         net.faults = Some(FaultState {
             cfg: faults,
-            rng,
             cloner: |m| m.clone(),
         });
         net
+    }
+
+    /// Creates a network on `topology` with the general link fault model:
+    /// `faults` is the default profile of every link, and the topology's
+    /// [`Topology::with_link_faults`] overrides apply per link. The
+    /// `faults` seed drives every per-message decision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topology.n()` differs from the node count.
+    pub fn with_link_model(nodes: Vec<N>, topology: Topology, faults: FaultConfig) -> Self
+    where
+        M: Clone,
+    {
+        Self::with_faults(nodes, faults).with_topology(topology)
+    }
+
+    /// Restricts communication to `topology` (default: complete).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node count differs from `topology.n()` or the network
+    /// has already executed a round.
+    #[must_use]
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        assert_eq!(
+            topology.n(),
+            self.nodes.len(),
+            "with_topology: topology size mismatch"
+        );
+        assert_eq!(self.round, 0, "with_topology: network already started");
+        self.topology = topology;
+        self
+    }
+
+    /// Partitions the nodes into `shards` contiguous shards (default: 1).
+    /// The result of a run is bit-identical for every shard count; shards
+    /// only control how much parallelism
+    /// [`step_parallel`](Self::step_parallel) can exploit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0` or the network has already executed a
+    /// round.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards > 0, "with_shards: shard count must be positive");
+        assert_eq!(self.round, 0, "with_shards: network already started");
+        let n = self.nodes.len();
+        self.shards = shards.min(n).max(1);
+        self.shard_size = n.div_ceil(self.shards).max(1);
+        // `⌈n / ⌈n / S⌉⌉` can be below `S`; recompute so no shard is empty.
+        self.shards = n.div_ceil(self.shard_size).max(1);
+        self.resize_shard_buffers();
+        self
+    }
+
+    fn resize_shard_buffers(&mut self) {
+        let s = self.shards;
+        self.outboxes = (0..s)
+            .map(|_| (0..s).map(|_| Vec::new()).collect())
+            .collect();
+        self.staging = (0..s).map(|_| Vec::new()).collect();
+        self.delayed = (0..s).map(|_| Vec::new()).collect();
+        self.slabs = (0..s).map(|_| Vec::new()).collect();
+        self.counts = vec![0; self.shard_size.min(self.nodes.len().max(1))];
     }
 
     /// Number of nodes.
@@ -103,6 +393,16 @@ impl<M, N: Node<M>> Network<M, N> {
     /// Whether the network has no nodes.
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
+    }
+
+    /// Number of shards the nodes are partitioned into.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The topology the network runs on.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
     }
 
     /// Shared access to a node.
@@ -145,115 +445,54 @@ impl<M, N: Node<M>> Network<M, N> {
 
     /// Messages currently in flight (sent last round, delivered next step).
     pub fn in_flight(&self) -> usize {
-        self.in_flight.len()
+        self.staging.iter().map(Vec::len).sum()
     }
 
     /// Delay-faulted messages still waiting for their delivery round.
     pub fn delayed(&self) -> usize {
-        self.delayed.len()
+        self.delayed.iter().map(Vec::len).sum()
     }
 
-    /// Executes one round: delivers in-flight messages, steps every node in
-    /// id order, applies fault injection to the newly sent messages.
+    /// Executes one round with all shards stepped inline on the calling
+    /// thread. Bit-identical to [`step_parallel`](Self::step_parallel).
     pub fn step(&mut self) -> StepReport {
-        // Distribute in-flight messages into per-node inboxes, together
-        // with any delayed messages whose delivery round has come.
-        for inbox in &mut self.inboxes {
-            inbox.clear();
-        }
-        let mut delivered = self.in_flight.len();
-        for env in self.in_flight.drain(..) {
-            self.traffic[env.to.0].received += 1;
-            self.inboxes[env.to.0].push(env);
-        }
-        if !self.delayed.is_empty() {
-            let mut waiting = Vec::with_capacity(self.delayed.len());
-            for (due, env) in self.delayed.drain(..) {
-                if due <= self.round {
-                    delivered += 1;
-                    self.traffic[env.to.0].received += 1;
-                    self.inboxes[env.to.0].push(env);
-                } else {
-                    waiting.push((due, env));
-                }
+        let delivered = self.build_arena();
+        let active_nodes = {
+            let (mut runs, env) = self.shard_runs();
+            let mut active = 0usize;
+            for run in &mut runs {
+                active += env.run_shard(run);
             }
-            self.delayed = waiting;
-        }
-        self.metrics.messages_delivered += delivered as u64;
+            active
+        };
+        let sent = self.route();
+        self.finish_step(delivered, sent, active_nodes)
+    }
 
-        // Step nodes in id order; collect sends.
-        let node_count = self.nodes.len();
-        let mut outbox: Vec<Envelope<M>> = Vec::new();
-        let mut active_nodes = 0usize;
-        for (idx, node) in self.nodes.iter_mut().enumerate() {
-            let before = outbox.len();
-            let mut ctx = Context::new(
-                self.round,
-                NodeId(idx),
-                node_count,
-                &self.inboxes[idx],
-                &mut outbox,
-            );
-            if node.on_round(&mut ctx) == Activity::Active {
-                active_nodes += 1;
-            }
-            let sent_now = (outbox.len() - before) as u64;
-            if sent_now > 0 {
-                self.traffic[idx].sent += sent_now;
-                self.traffic[idx].active_send_rounds += 1;
-            }
-        }
+    /// Executes one round with shards stepped in parallel on the rayon
+    /// pool. Bit-identical to [`step`](Self::step) for any shard or
+    /// thread count.
+    pub fn step_parallel(&mut self) -> StepReport
+    where
+        M: Send + Sync,
+        N: Send,
+    {
+        let delivered = self.build_arena();
+        let active_nodes = {
+            let (runs, env) = self.shard_runs();
+            let env = &env;
+            let actives: Vec<usize> = runs
+                .into_par_iter()
+                .map(|mut run| env.run_shard(&mut run))
+                .collect();
+            actives.into_iter().sum()
+        };
+        let sent = self.route();
+        self.finish_step(delivered, sent, active_nodes)
+    }
 
-        let sent = outbox.len();
-        self.metrics.messages_sent += sent as u64;
-        self.metrics.payload_bytes_sent += (sent * std::mem::size_of::<M>()) as u64;
-
-        // Apply faults while moving messages into the in-flight buffer.
-        match &mut self.faults {
-            None => self.in_flight = outbox,
-            Some(state) => {
-                self.in_flight.reserve(outbox.len());
-                for env in outbox {
-                    if state.cfg.drop_prob() > 0.0 && state.rng.gen::<f64>() < state.cfg.drop_prob()
-                    {
-                        self.metrics.messages_dropped += 1;
-                        continue;
-                    }
-                    if state.cfg.dup_prob() > 0.0 && state.rng.gen::<f64>() < state.cfg.dup_prob() {
-                        self.metrics.messages_duplicated += 1;
-                        let copy = Envelope {
-                            from: env.from,
-                            to: env.to,
-                            payload: (state.cloner)(&env.payload),
-                        };
-                        let extra = if state.cfg.max_delay() > 0 {
-                            state.rng.gen_range(0..=state.cfg.max_delay())
-                        } else {
-                            0
-                        };
-                        if extra > 0 {
-                            self.metrics.messages_delayed += 1;
-                            self.delayed.push((self.round + 1 + extra, copy));
-                        } else {
-                            self.in_flight.push(copy);
-                        }
-                    }
-                    let extra = if state.cfg.max_delay() > 0 {
-                        state.rng.gen_range(0..=state.cfg.max_delay())
-                    } else {
-                        0
-                    };
-                    if extra > 0 {
-                        self.metrics.messages_delayed += 1;
-                        self.delayed.push((self.round + 1 + extra, env));
-                    } else {
-                        self.in_flight.push(env);
-                    }
-                }
-            }
-        }
-
-        self.metrics.peak_in_flight = self.metrics.peak_in_flight.max(self.in_flight.len() as u64);
+    fn finish_step(&mut self, delivered: usize, sent: usize, active_nodes: usize) -> StepReport {
+        self.metrics.peak_in_flight = self.metrics.peak_in_flight.max(self.in_flight() as u64);
         let report = StepReport {
             round: self.round,
             delivered,
@@ -265,8 +504,214 @@ impl<M, N: Node<M>> Network<M, N> {
         report
     }
 
-    /// Runs rounds until the network quiesces: no messages in flight and all
-    /// nodes idle.
+    /// Phase 1: compacts staged + due delayed messages into the delivery
+    /// arena (`slabs` + `ranges`), returning the delivered count.
+    fn build_arena(&mut self) -> usize {
+        let mut delivered = 0usize;
+        let shard_size = self.shard_size;
+        let n = self.nodes.len();
+        for d in 0..self.shards {
+            let lo = d * shard_size;
+            let hi = (lo + shard_size).min(n);
+            let buf = &mut self.staging[d];
+
+            // Merge delay-faulted messages whose round has come, restoring
+            // the global (sender, send-seq) order. Keys are unique, so the
+            // unstable sort is deterministic. (`swap_remove` scrambles the
+            // pending order, which is fine: delivery order comes from the
+            // key sort, and pending entries are re-scanned every round.)
+            let pending = &mut self.delayed[d];
+            if !pending.is_empty() {
+                let before = buf.len();
+                let mut i = 0usize;
+                while i < pending.len() {
+                    if pending[i].0 <= self.round {
+                        let (_, key, env) = pending.swap_remove(i);
+                        buf.push((key, env));
+                    } else {
+                        i += 1;
+                    }
+                }
+                if buf.len() > before {
+                    buf.sort_unstable_by_key(|e| e.0);
+                }
+            }
+
+            if buf.is_empty() {
+                self.ranges[lo..hi].fill((0, 0));
+                self.slabs[d].clear();
+                continue;
+            }
+
+            // CSR build: count per destination node, prefix into ranges,
+            // then counting-sort the buffer in place (stable in arrival
+            // order, which is key order) and strip keys into the slab.
+            let span = hi - lo;
+            let counts = &mut self.counts[..span];
+            counts.fill(0);
+            for (_, env) in buf.iter() {
+                counts[env.to.0 - lo] += 1;
+                self.traffic[env.to.0].received += 1;
+            }
+            let mut running = 0usize;
+            for (v, c) in counts.iter_mut().enumerate() {
+                let count = *c;
+                self.ranges[lo + v] = (running, running + count);
+                *c = running;
+                running += count;
+            }
+            self.perm.resize(buf.len(), 0);
+            for (i, (_, env)) in buf.iter().enumerate() {
+                let local = env.to.0 - lo;
+                self.perm[i] = counts[local] as u32;
+                counts[local] += 1;
+            }
+            apply_permutation(buf, &mut self.perm);
+            let slab = &mut self.slabs[d];
+            slab.clear();
+            slab.extend(buf.drain(..).map(|(_, env)| env));
+            delivered += slab.len();
+        }
+        self.metrics.messages_delivered += delivered as u64;
+        delivered
+    }
+
+    /// Borrow split for the node-step phase: one mutable run per shard
+    /// plus the shared environment.
+    fn shard_runs(&mut self) -> (Vec<ShardRun<'_, M, N>>, StepEnv<'_>) {
+        let shard_size = self.shard_size;
+        let node_count = self.nodes.len();
+        let mut runs = Vec::with_capacity(self.shards);
+        let mut nodes = self.nodes.as_mut_slice();
+        let mut seqs = self.send_seq.as_mut_slice();
+        let mut traffic = self.traffic.as_mut_slice();
+        let mut ranges = self.ranges.as_slice();
+        let mut slabs = self.slabs.as_slice();
+        let mut outboxes = self.outboxes.as_mut_slice();
+        let mut start = 0usize;
+        for _ in 0..self.shards {
+            let take = shard_size.min(nodes.len());
+            let (node_chunk, node_rest) = nodes.split_at_mut(take);
+            let (seq_chunk, seq_rest) = seqs.split_at_mut(take);
+            let (traffic_chunk, traffic_rest) = traffic.split_at_mut(take);
+            let (range_chunk, range_rest) = ranges.split_at(take);
+            let (slab_chunk, slab_rest) = slabs.split_first().expect("one slab per shard");
+            let (outbox_chunk, outbox_rest) =
+                outboxes.split_first_mut().expect("one outbox per shard");
+            runs.push(ShardRun {
+                start,
+                nodes: node_chunk,
+                send_seq: seq_chunk,
+                traffic: traffic_chunk,
+                ranges: range_chunk,
+                slab: slab_chunk,
+                outbox: outbox_chunk,
+            });
+            nodes = node_rest;
+            seqs = seq_rest;
+            traffic = traffic_rest;
+            ranges = range_rest;
+            slabs = slab_rest;
+            outboxes = outbox_rest;
+            start += take;
+        }
+        let env = StepEnv {
+            round: self.round,
+            node_count,
+            shard_size,
+            topology: &self.topology,
+        };
+        (runs, env)
+    }
+
+    /// Phase 3: drains every shard outbox, in shard order, through the
+    /// fault gates into the per-destination-shard staging buffers.
+    /// Returns the number of messages sent (before fault filtering).
+    fn route(&mut self) -> usize {
+        let mut sent = 0usize;
+        let shard_size = self.shard_size;
+        match &self.faults {
+            None => {
+                for src in 0..self.shards {
+                    for dst in 0..self.shards {
+                        let buf = &mut self.outboxes[src][dst];
+                        sent += buf.len();
+                        self.staging[dst].append(buf);
+                    }
+                }
+            }
+            Some(state) => {
+                let cfg = state.cfg;
+                let cloner = state.cloner;
+                let default_profile = cfg.link_faults();
+                let seed = cfg.seed();
+                let round = self.round;
+                let mut sinks = RouteSinks {
+                    staging: &mut self.staging,
+                    delayed: &mut self.delayed,
+                    metrics: &mut self.metrics,
+                };
+                for src in 0..self.shards {
+                    for dst in 0..self.shards {
+                        let mut buf = std::mem::take(&mut self.outboxes[src][dst]);
+                        sent += buf.len();
+                        for (key, env) in buf.drain(..) {
+                            let profile = self
+                                .topology
+                                .link_faults(env.from, env.to)
+                                .copied()
+                                .unwrap_or(default_profile);
+                            // Reliable links (the common case when only a
+                            // few links carry overrides) skip the fault
+                            // machinery entirely — behavior-identical,
+                            // since every decision is a pure per-message
+                            // function with zero probabilities.
+                            if profile.is_reliable() {
+                                sinks.staging[env.to.0 / shard_size].push((key, env));
+                                continue;
+                            }
+                            // The duplicate is decided first, from the
+                            // original's RNG, so it exists independently of
+                            // the original's drop/delay fate; both copies
+                            // then pass the gates independently.
+                            let mut rng = message_rng(seed, key);
+                            let dup_draw = rng.gen::<f64>();
+                            let copy = if dup_draw < profile.dup_prob {
+                                sinks.metrics.messages_duplicated += 1;
+                                Some((
+                                    MsgKey { dup: true, ..key },
+                                    Envelope {
+                                        from: env.from,
+                                        to: env.to,
+                                        payload: cloner(&env.payload),
+                                    },
+                                ))
+                            } else {
+                                None
+                            };
+                            gate_copy(&mut sinks, rng, &profile, round, shard_size, key, env);
+                            if let Some((ckey, cenv)) = copy {
+                                let mut crng = message_rng(seed, ckey);
+                                let _ = crng.gen::<f64>(); // dup slot, unused on copies
+                                gate_copy(
+                                    &mut sinks, crng, &profile, round, shard_size, ckey, cenv,
+                                );
+                            }
+                        }
+                        self.outboxes[src][dst] = buf;
+                    }
+                }
+            }
+        }
+        self.metrics.messages_sent += sent as u64;
+        self.metrics.payload_bytes_sent += (sent * std::mem::size_of::<M>()) as u64;
+        sent
+    }
+
+    /// Runs rounds until the network quiesces: no messages in flight or
+    /// delayed and all nodes idle. All shards are stepped inline; see
+    /// [`run_until_quiescent_parallel`](Self::run_until_quiescent_parallel)
+    /// for the multicore variant.
     ///
     /// At least one round is always executed, so protocols that initiate
     /// work in round 0 make progress.
@@ -276,21 +721,141 @@ impl<M, N: Node<M>> Network<M, N> {
     /// Returns [`MaxRoundsExceeded`] if quiescence is not reached within
     /// `max_rounds` rounds (counted within this call).
     pub fn run_until_quiescent(&mut self, max_rounds: u64) -> Result<RunReport, MaxRoundsExceeded> {
+        self.run_inner(max_rounds, Self::step)
+    }
+
+    /// [`run_until_quiescent`](Self::run_until_quiescent) with shards
+    /// stepped on the rayon pool; bit-identical results.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MaxRoundsExceeded`] if quiescence is not reached within
+    /// `max_rounds` rounds.
+    pub fn run_until_quiescent_parallel(
+        &mut self,
+        max_rounds: u64,
+    ) -> Result<RunReport, MaxRoundsExceeded>
+    where
+        M: Send + Sync,
+        N: Send,
+    {
+        self.run_inner(max_rounds, Self::step_parallel)
+    }
+
+    fn run_inner(
+        &mut self,
+        max_rounds: u64,
+        mut step: impl FnMut(&mut Self) -> StepReport,
+    ) -> Result<RunReport, MaxRoundsExceeded> {
         let mut rounds = 0u64;
         let mut delivered = 0u64;
         loop {
             if rounds >= max_rounds {
                 return Err(MaxRoundsExceeded {
                     max_rounds,
-                    in_flight: self.in_flight.len() + self.delayed.len(),
+                    in_flight: self.in_flight() + self.delayed(),
                 });
             }
-            let report = self.step();
+            let report = step(self);
             rounds += 1;
             delivered += report.delivered as u64;
-            if self.in_flight.is_empty() && self.delayed.is_empty() && report.active_nodes == 0 {
+            if self.in_flight() == 0 && self.delayed() == 0 && report.active_nodes == 0 {
                 return Ok(RunReport { rounds, delivered });
             }
+        }
+    }
+}
+
+/// One shard's mutable slice of the network during the node-step phase.
+struct ShardRun<'a, M, N> {
+    start: usize,
+    nodes: &'a mut [N],
+    send_seq: &'a mut [u64],
+    traffic: &'a mut [NodeTraffic],
+    ranges: &'a [(usize, usize)],
+    slab: &'a [Envelope<M>],
+    outbox: &'a mut Vec<Vec<Staged<M>>>,
+}
+
+/// Read-only environment shared by every shard during the step phase.
+struct StepEnv<'a> {
+    round: u64,
+    node_count: usize,
+    shard_size: usize,
+    topology: &'a Topology,
+}
+
+impl StepEnv<'_> {
+    /// Steps one shard's nodes in id order; returns its active-node count.
+    fn run_shard<M, N: Node<M>>(&self, run: &mut ShardRun<'_, M, N>) -> usize {
+        let mut active = 0usize;
+        for (i, node) in run.nodes.iter_mut().enumerate() {
+            let (start, end) = run.ranges[i];
+            let inbox = &run.slab[start..end];
+            let seq_before = run.send_seq[i];
+            let mut ctx = Context::new(
+                self.round,
+                NodeId(run.start + i),
+                self.node_count,
+                inbox,
+                run.outbox,
+                self.shard_size,
+                self.topology,
+                seq_before,
+            );
+            if node.on_round(&mut ctx) == Activity::Active {
+                active += 1;
+            }
+            let sent_now = ctx.next_seq - seq_before;
+            if sent_now > 0 {
+                run.send_seq[i] = ctx.next_seq;
+                run.traffic[i].sent += sent_now;
+                run.traffic[i].active_send_rounds += 1;
+            }
+        }
+        active
+    }
+}
+
+/// Applies drop and delay gates to one message copy and stages it.
+fn gate_copy<M>(
+    sinks: &mut RouteSinks<'_, M>,
+    mut rng: SmallRng,
+    profile: &LinkFaults,
+    round: u64,
+    shard_size: usize,
+    key: MsgKey,
+    env: Envelope<M>,
+) {
+    let drop_draw = rng.gen::<f64>();
+    if drop_draw < profile.drop_prob {
+        sinks.metrics.messages_dropped += 1;
+        return;
+    }
+    let extra = if profile.max_delay > 0 {
+        rng.gen_range(0..=profile.max_delay)
+    } else {
+        0
+    };
+    let dst = env.to.0 / shard_size;
+    if extra > 0 {
+        sinks.metrics.messages_delayed += 1;
+        sinks.delayed[dst].push((round + 1 + extra, key, env));
+    } else {
+        sinks.staging[dst].push((key, env));
+    }
+}
+
+/// Moves every element of `items` to the index `perm` assigns it, in
+/// place, consuming `perm` as scratch. `perm` must be a permutation of
+/// `0..items.len()`.
+fn apply_permutation<T>(items: &mut [T], perm: &mut [u32]) {
+    debug_assert_eq!(items.len(), perm.len());
+    for i in 0..items.len() {
+        while perm[i] as usize != i {
+            let j = perm[i] as usize;
+            items.swap(i, j);
+            perm.swap(i, j);
         }
     }
 }
@@ -412,6 +977,46 @@ mod tests {
         }
     }
 
+    /// The drop gate applies to every copy independently: with certain
+    /// duplication *and* certain loss, every original is duplicated and
+    /// every copy (original + duplicate) is dropped. The old engine
+    /// short-circuited duplication behind the drop gate and never dropped
+    /// the copy, under-applying `drop_prob`.
+    #[test]
+    fn duplicates_pass_the_drop_gate_independently() {
+        let cfg = FaultConfig::new(1.0, 1.0, 3).unwrap();
+        let mut net = Network::with_faults((0..4).map(|_| Flood { received: 0 }).collect(), cfg);
+        net.run_until_quiescent(10).unwrap();
+        let m = net.metrics();
+        assert_eq!(m.messages_sent, 12);
+        assert_eq!(m.messages_duplicated, 12);
+        assert_eq!(m.messages_dropped, 24);
+        assert_eq!(m.messages_delivered, 0);
+        assert!(m.conserves(net.in_flight(), net.delayed()));
+    }
+
+    /// Under partial drop + duplication, the per-copy survival rate is
+    /// (1 − p_drop) for originals *and* duplicates, so the delivery count
+    /// concentrates near sent · (1 + p_dup)(1 − p_drop).
+    #[test]
+    fn drop_rate_applies_to_duplicates_in_aggregate() {
+        let cfg = FaultConfig::new(0.5, 1.0, 11).unwrap();
+        let n = 40;
+        let mut net = Network::with_faults((0..n).map(|_| Flood { received: 0 }).collect(), cfg);
+        net.run_until_quiescent(10).unwrap();
+        let m = net.metrics();
+        let sent = m.messages_sent as f64;
+        assert_eq!(m.messages_duplicated as f64, sent);
+        // 2 · sent copies, each dropped with probability 0.5.
+        let copies = 2.0 * sent;
+        assert!(
+            (m.messages_dropped as f64 - copies / 2.0).abs() < copies / 8.0,
+            "dropped {} of {copies} copies",
+            m.messages_dropped
+        );
+        assert!(m.conserves(net.in_flight(), net.delayed()));
+    }
+
     #[test]
     fn fault_rng_is_deterministic() {
         let run = |seed: u64| {
@@ -459,6 +1064,20 @@ mod tests {
             }
         }
         let mut net = Network::new(vec![Bad]);
+        net.step();
+    }
+
+    #[test]
+    #[should_panic(expected = "no link")]
+    fn send_across_missing_link_panics() {
+        struct Hop;
+        impl Node<u8> for Hop {
+            fn on_round(&mut self, ctx: &mut Context<'_, u8>) -> Activity {
+                ctx.send(NodeId(2), 0); // ring(4): 0 → 2 is not an edge
+                Activity::Idle
+            }
+        }
+        let mut net = Network::new(vec![Hop, Hop, Hop, Hop]).with_topology(Topology::ring(4));
         net.step();
     }
 
@@ -515,5 +1134,185 @@ mod tests {
         for node in net.nodes() {
             assert_eq!(node.received, 4);
         }
+    }
+
+    /// A node that sends a numbered burst to node 0 every round for three
+    /// rounds; node 0 logs (sender, counter) pairs per round.
+    struct Burst {
+        counter: u8,
+        log: Vec<Vec<(usize, u8)>>,
+    }
+    impl Node<(usize, u8)> for Burst {
+        fn on_round(&mut self, ctx: &mut Context<'_, (usize, u8)>) -> Activity {
+            if !ctx.inbox().is_empty() {
+                self.log
+                    .push(ctx.inbox().iter().map(|e| e.payload).collect());
+            }
+            if ctx.id().0 != 0 && ctx.round() < 3 {
+                for _ in 0..2 {
+                    ctx.send(NodeId(0), (ctx.id().0, self.counter));
+                    self.counter += 1;
+                }
+                return Activity::Active;
+            }
+            Activity::Idle
+        }
+    }
+
+    fn burst_net(faults: Option<FaultConfig>, shards: usize) -> Network<(usize, u8), Burst> {
+        let nodes: Vec<Burst> = (0..5)
+            .map(|_| Burst {
+                counter: 0,
+                log: Vec::new(),
+            })
+            .collect();
+        let net = match faults {
+            None => Network::new(nodes),
+            Some(cfg) => Network::with_faults(nodes, cfg),
+        };
+        net.with_shards(shards)
+    }
+
+    /// Regression for the delayed-delivery ordering bug: delayed messages
+    /// used to be appended to inboxes in fault-RNG draw order, violating
+    /// the documented (sender, send-seq) contract. Every per-round inbox
+    /// must now be sorted by (sender, send counter), and a delayed run
+    /// must replay identically.
+    #[test]
+    fn delayed_deliveries_merge_in_sender_seq_order() {
+        let faults = FaultConfig::new(0.0, 0.0, 41).unwrap().with_max_delay(3);
+        let run = || {
+            let mut net = burst_net(Some(faults), 1);
+            net.run_until_quiescent(30).unwrap();
+            assert!(net.metrics().messages_delayed > 0, "no delays drawn");
+            net.node(NodeId(0)).log.clone()
+        };
+        let log = run();
+        for (r, inbox) in log.iter().enumerate() {
+            for w in inbox.windows(2) {
+                assert!(
+                    w[0] < w[1],
+                    "round {r}: inbox not sorted by (sender, seq): {inbox:?}"
+                );
+            }
+        }
+        assert_eq!(log, run(), "delayed run did not replay identically");
+    }
+
+    /// The engine's core determinism claim: identical delivery logs and
+    /// metrics for any shard count, with and without faults.
+    #[test]
+    fn output_is_bit_identical_across_shard_counts() {
+        let configs: [Option<FaultConfig>; 2] = [
+            None,
+            Some(FaultConfig::new(0.2, 0.3, 7).unwrap().with_max_delay(2)),
+        ];
+        for faults in configs {
+            let run = |shards: usize| {
+                let mut net = burst_net(faults, shards);
+                net.run_until_quiescent(40).unwrap();
+                (
+                    net.node(NodeId(0)).log.clone(),
+                    *net.metrics(),
+                    net.traffic().to_vec(),
+                )
+            };
+            let reference = run(1);
+            for shards in [2usize, 3, 5, 8] {
+                assert_eq!(run(shards), reference, "shards={shards}");
+            }
+        }
+    }
+
+    /// Sequential and parallel stepping agree bit-for-bit.
+    #[test]
+    fn parallel_step_matches_sequential() {
+        let faults = FaultConfig::new(0.1, 0.2, 13).unwrap().with_max_delay(1);
+        let mut seq = burst_net(Some(faults), 4);
+        let mut par = burst_net(Some(faults), 4);
+        loop {
+            let a = seq.step();
+            let b = par.step_parallel();
+            assert_eq!(a, b);
+            if seq.in_flight() == 0 && seq.delayed() == 0 && a.active_nodes == 0 {
+                break;
+            }
+        }
+        assert_eq!(seq.node(NodeId(0)).log, par.node(NodeId(0)).log);
+        assert_eq!(seq.metrics(), par.metrics());
+    }
+
+    /// Per-link fault overrides: a single dead link drops exactly its own
+    /// traffic.
+    #[test]
+    fn link_fault_override_kills_one_link() {
+        let dead = LinkFaults {
+            drop_prob: 1.0,
+            dup_prob: 0.0,
+            max_delay: 0,
+        };
+        let topology = Topology::complete(4).with_link_faults(NodeId(0), NodeId(1), dead);
+        let nodes: Vec<Flood> = (0..4).map(|_| Flood { received: 0 }).collect();
+        let mut net =
+            Network::with_link_model(nodes, topology, FaultConfig::new(0.0, 0.0, 1).unwrap());
+        net.run_until_quiescent(10).unwrap();
+        assert_eq!(net.metrics().messages_dropped, 1);
+        assert_eq!(net.node(NodeId(1)).received, 2); // lost exactly 0 → 1
+        assert_eq!(net.node(NodeId(0)).received, 3);
+        assert_eq!(net.node(NodeId(2)).received, 3);
+    }
+
+    #[test]
+    fn ring_topology_restricts_and_serves_neighbors() {
+        /// Sends its id to every neighbor each of the first two rounds.
+        struct NeighborCount {
+            received: usize,
+        }
+        impl Node<u64> for NeighborCount {
+            fn on_round(&mut self, ctx: &mut Context<'_, u64>) -> Activity {
+                self.received += ctx.inbox().len();
+                if ctx.round() < 2 {
+                    for i in 0..ctx.degree() {
+                        let peer = ctx.neighbor(i);
+                        ctx.send(peer, ctx.id().0 as u64);
+                    }
+                    return Activity::Active;
+                }
+                Activity::Idle
+            }
+        }
+        let nodes: Vec<NeighborCount> = (0..6).map(|_| NeighborCount { received: 0 }).collect();
+        let mut net = Network::new(nodes)
+            .with_topology(Topology::ring(6))
+            .with_shards(3);
+        net.run_until_quiescent(10).unwrap();
+        for (i, node) in net.nodes().iter().enumerate() {
+            assert_eq!(node.received, 4, "node {i}"); // 2 neighbors × 2 rounds
+        }
+    }
+
+    #[test]
+    fn apply_permutation_moves_to_targets() {
+        let mut items = vec!['a', 'b', 'c', 'd', 'e'];
+        let mut perm = vec![2u32, 0, 4, 1, 3];
+        apply_permutation(&mut items, &mut perm);
+        assert_eq!(items, vec!['b', 'd', 'a', 'e', 'c']);
+    }
+
+    #[test]
+    fn message_rng_distinguishes_copies() {
+        let a = MsgKey {
+            from: 1,
+            seq: 5,
+            dup: false,
+        };
+        let b = MsgKey {
+            from: 1,
+            seq: 5,
+            dup: true,
+        };
+        let mut ra = message_rng(99, a);
+        let mut rb = message_rng(99, b);
+        assert_ne!(ra.gen::<u64>(), rb.gen::<u64>());
     }
 }

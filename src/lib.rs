@@ -15,8 +15,10 @@
 //!   non-adaptive restriction.
 //! * [`theory`] — the closed-form query bounds of Theorems 1 and 2 plus
 //!   converse (lower) bounds and exact channel capacities.
-//! * [`netsim`] — the synchronous message-passing network simulator, with
-//!   push-sum gossip and decentralized exact top-`k` selection.
+//! * [`netsim`] — the sharded synchronous message-passing network
+//!   simulator (million-agent scale, bit-identical at any shard/thread
+//!   count), with topologies, a per-link fault model, push-sum gossip and
+//!   decentralized exact top-`k` selection.
 //! * [`sortnet`] — Batcher sorting networks used by the distributed variant.
 //! * [`numerics`] — samplers, linear algebra and statistics substrate.
 //! * [`experiments`] — the harness that regenerates every figure.

@@ -8,11 +8,15 @@
 //! scheduling-dependent.
 
 use noisy_pooled_data::amp::{AmpDecoder, AmpWorkspace};
-use noisy_pooled_data::core::{GreedyDecoder, GreedyWorkspace, Instance, NoiseModel, Regime};
+use noisy_pooled_data::core::{
+    distributed, GreedyDecoder, GreedyWorkspace, Instance, NoiseModel, Regime,
+};
 use noisy_pooled_data::decoders::{BpDecoder, BpWorkspace};
 use noisy_pooled_data::experiments::figures::{fig6, fig7};
 use noisy_pooled_data::experiments::sweep::{required_queries_grid, SweepCell};
 use noisy_pooled_data::experiments::{mix_seed, runner};
+use noisy_pooled_data::netsim::gossip::PushSumNode;
+use noisy_pooled_data::netsim::{FaultConfig, Metrics, Network, NodeId, Topology};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -133,6 +137,129 @@ fn amp_workspace_path_matches_one_shot() {
         let (est_reuse, out_reuse) = decoder.decode_with_trace_using(&run, &mut ws);
         assert_eq!(est_fresh, est_reuse, "seed={seed}");
         assert_eq!(out_fresh, out_reuse, "seed={seed}");
+    }
+}
+
+/// The sharded network engine's core guarantee: a fault-injected
+/// (drop + dup + delay) gossip run produces bit-identical estimates,
+/// metrics and traffic for every shard count in {1, 2, 8} and every
+/// thread count in {1, 4} — sequential and parallel stepping included.
+#[test]
+fn sharded_network_is_identical_across_shard_and_thread_counts() {
+    let values: Vec<f64> = (0..96).map(|i| ((i as f64) * 0.73).sin() * 10.0).collect();
+    let faults = FaultConfig::new(0.05, 0.1, 3).unwrap().with_max_delay(2);
+    let run = |shards: usize, threads: usize, parallel: bool| -> (Vec<u64>, Metrics) {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        pool.install(|| {
+            let nodes: Vec<PushSumNode> = values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| PushSumNode::new(v, 40, 17, i))
+                .collect();
+            let mut net = Network::with_faults(nodes, faults).with_shards(shards);
+            if parallel {
+                net.run_until_quiescent_parallel(100).unwrap();
+            } else {
+                net.run_until_quiescent(100).unwrap();
+            }
+            let estimates = net.nodes().iter().map(|n| n.estimate().to_bits()).collect();
+            (estimates, *net.metrics())
+        })
+    };
+    let reference = run(1, 1, false);
+    assert!(reference.1.messages_dropped > 0, "no drops drawn");
+    assert!(reference.1.messages_duplicated > 0, "no dups drawn");
+    assert!(reference.1.messages_delayed > 0, "no delays drawn");
+    for shards in [1usize, 2, 8] {
+        for threads in [1usize, 4] {
+            for parallel in [false, true] {
+                assert_eq!(
+                    run(shards, threads, parallel),
+                    reference,
+                    "shards={shards} threads={threads} parallel={parallel}"
+                );
+            }
+        }
+    }
+}
+
+/// The sharded engine on a sparse topology with per-link overrides is
+/// equally shard- and thread-count independent.
+#[test]
+fn sharded_topology_runs_are_identical() {
+    let topology = |n: usize| {
+        Topology::random_regular(n, 4, 11).with_link_faults(
+            NodeId(0),
+            NodeId(1),
+            noisy_pooled_data::netsim::LinkFaults {
+                drop_prob: 1.0,
+                dup_prob: 0.0,
+                max_delay: 0,
+            },
+        )
+    };
+    let run = |shards: usize, threads: usize| -> (Vec<u64>, Metrics) {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        pool.install(|| {
+            let n = 64;
+            let nodes: Vec<PushSumNode> = (0..n)
+                .map(|i| PushSumNode::new(i as f64, 30, 5, i))
+                .collect();
+            let mut net = Network::with_link_model(
+                nodes,
+                topology(n),
+                FaultConfig::new(0.02, 0.05, 23).unwrap().with_max_delay(1),
+            )
+            .with_shards(shards);
+            net.run_until_quiescent_parallel(80).unwrap();
+            (
+                net.nodes().iter().map(|n| n.estimate().to_bits()).collect(),
+                *net.metrics(),
+            )
+        })
+    };
+    let reference = run(1, 1);
+    for shards in [2usize, 8] {
+        for threads in [1usize, 4] {
+            assert_eq!(run(shards, threads), reference, "shards={shards}");
+        }
+    }
+}
+
+/// The distributed protocol (which picks its shard count from the ambient
+/// rayon pool) returns identical outcomes at any thread count, with and
+/// without fault injection.
+#[test]
+fn distributed_protocol_is_identical_across_thread_counts() {
+    let run = sample_run(128, 3, 100, NoiseModel::z_channel(0.1), 31);
+    let faults = FaultConfig::new(0.02, 0.05, 9).unwrap().with_max_delay(1);
+    let pool1 = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap();
+    let clean_ref = pool1.install(|| distributed::run_protocol(&run).unwrap());
+    let faulty_ref = pool1.install(|| distributed::run_protocol_with_faults(&run, faults).unwrap());
+    for threads in [2usize, 4] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        assert_eq!(
+            pool.install(|| distributed::run_protocol(&run).unwrap()),
+            clean_ref,
+            "threads={threads}"
+        );
+        assert_eq!(
+            pool.install(|| distributed::run_protocol_with_faults(&run, faults).unwrap()),
+            faulty_ref,
+            "threads={threads} (faulty)"
+        );
     }
 }
 

@@ -3,7 +3,8 @@
 //! machinery end to end).
 
 use noisy_pooled_data::core::{distributed, Instance, NoiseModel};
-use noisy_pooled_data::netsim::FaultConfig;
+use noisy_pooled_data::netsim::gossip::PushSumNode;
+use noisy_pooled_data::netsim::{FaultConfig, Network, StepReport};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -82,4 +83,69 @@ fn duplication_only_faults_keep_termination_and_shape() {
     let outcome = distributed::run_protocol_with_faults(&run, faults).unwrap();
     assert!(outcome.metrics.messages_duplicated > 0);
     assert_eq!(outcome.estimate.bits().len(), 128);
+}
+
+/// One faulted gossip run: `rounds` steps of push-sum under the given
+/// fault config and shard count, on the given rayon thread count.
+/// Returns every step report, the conservation check per step, and the
+/// final bit-exact estimates.
+fn faulted_gossip_run(
+    faults: FaultConfig,
+    shards: usize,
+    threads: usize,
+    rounds: usize,
+) -> (Vec<StepReport>, Vec<u64>) {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .unwrap();
+    pool.install(|| {
+        let nodes: Vec<PushSumNode> = (0..48)
+            .map(|i| PushSumNode::new((i as f64) - 11.5, rounds, 77, i))
+            .collect();
+        let mut net = Network::with_faults(nodes, faults).with_shards(shards);
+        let mut reports = Vec::with_capacity(rounds);
+        for _ in 0..rounds {
+            reports.push(net.step_parallel());
+            assert!(
+                net.metrics().conserves(net.in_flight(), net.delayed()),
+                "conservation violated mid-run: {:?} in_flight={} delayed={}",
+                net.metrics(),
+                net.in_flight(),
+                net.delayed()
+            );
+        }
+        let estimates = net.nodes().iter().map(|n| n.estimate().to_bits()).collect();
+        (reports, estimates)
+    })
+}
+
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Fault-injected runs (drop + dup + delay together) conserve
+        /// `sent + duplicated == delivered + dropped + in_flight + delayed`
+        /// at every round boundary, and replay bit-identically across
+        /// shard counts and rayon thread counts.
+        #[test]
+        fn faulted_runs_conserve_and_replay(
+            drop_p in 0.0f64..0.6,
+            dup_p in 0.0f64..0.6,
+            max_delay in 0u64..4,
+            seed in 0u64..1_000,
+        ) {
+            let faults = FaultConfig::new(drop_p, dup_p, seed)
+                .unwrap()
+                .with_max_delay(max_delay);
+            let reference = faulted_gossip_run(faults, 1, 1, 12);
+            for (shards, threads) in [(2usize, 1usize), (8, 4), (1, 4)] {
+                let got = faulted_gossip_run(faults, shards, threads, 12);
+                prop_assert_eq!(&got, &reference);
+            }
+        }
+    }
 }
