@@ -186,12 +186,12 @@ pub fn prepare(run: &Run) -> Prepared {
     let matrix = CenteredMatrix::from_counts(run.graph().to_csr(), gamma);
     let k = instance.k() as f64;
 
-    let (scale, shift) = match *instance.noise() {
-        NoiseModel::Channel { p, q } => {
-            let denom = 1.0 - p - q;
-            (1.0 / denom, q * gamma as f64 / denom)
-        }
-        NoiseModel::Noiseless | NoiseModel::Query { .. } => (1.0, 0.0),
+    // Channel unbiasing per query: `E[σ̂ⱼ | A] = (1−p−q)(Aσ)ⱼ + q·|∂aⱼ|`,
+    // so the shift uses the query's own slot count — equal to Γ on
+    // query-regular designs, exact on ragged (degree-balanced) ones.
+    let (scale, flip_q, denom) = match *instance.noise() {
+        NoiseModel::Channel { p, q } => (1.0 / (1.0 - p - q), q, 1.0 - p - q),
+        NoiseModel::Noiseless | NoiseModel::Query { .. } => (1.0, 0.0, 1.0),
     };
 
     let c = matrix.centering();
@@ -199,7 +199,11 @@ pub fn prepare(run: &Run) -> Prepared {
     let observations = run
         .results()
         .iter()
-        .map(|&y| ((y * scale - shift) - c * k) / s)
+        .zip(run.graph().queries())
+        .map(|(&y, q)| {
+            let shift = flip_q * f64::from(q.total_slots()) / denom;
+            ((y * scale - shift) - c * k) / s
+        })
         .collect();
 
     Prepared {

@@ -27,17 +27,17 @@ fn grid_cells() -> Vec<SweepCell> {
     .iter()
     .enumerate()
     {
-        cells.push(SweepCell {
+        cells.push(SweepCell::paper(
             n,
-            regime: Regime::sublinear(0.25),
-            noise: if p == 0.0 {
+            Regime::sublinear(0.25),
+            if p == 0.0 {
                 NoiseModel::Noiseless
             } else {
                 NoiseModel::z_channel(p)
             },
-            max_queries: 50_000,
-            seed_salt: 0xBE7C_0000 + ci as u64,
-        });
+            50_000,
+            0xBE7C_0000 + ci as u64,
+        ));
     }
     cells
 }

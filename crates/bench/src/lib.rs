@@ -3,7 +3,10 @@
 //! Each bench target under `benches/` times the workload behind one figure
 //! of the paper (the *data* for the figures is produced by the `repro`
 //! binary in `npd-experiments`; these benches answer "how fast is the
-//! implementation on that workload").
+//! implementation on that workload"). Two targets track infrastructure
+//! rather than figures: `netsim_scale` (the sharded simulator's round loop
+//! at `n > 10⁶`) and `design_throughput` (sampling cost of every pooling
+//! design in the `npd_core::PoolingDesign` catalog).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

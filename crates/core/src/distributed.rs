@@ -44,6 +44,10 @@ pub enum ProtocolMessage {
         value: f64,
         /// How often the recipient was drawn into the query.
         multiplicity: u32,
+        /// The query's total slot count `|∂aⱼ|` (equals `Γ` on
+        /// query-regular designs; carried explicitly so the noise-aware
+        /// centering is exact on ragged, degree-balanced designs).
+        slots: u32,
     },
     /// A sorting token: the score and the agent it belongs to.
     Token {
@@ -110,14 +114,14 @@ enum ProtocolNode {
 struct AgentState {
     k: usize,
     pos: u32,
-    /// Query size Γ, needed for the noise-aware centering.
-    gamma: f64,
     /// Per-slot one-read rate of the second neighborhood.
     slot_rate: f64,
     schedule: Arc<SortSchedule>,
     psi: f64,
     distinct: u32,
     multi: u64,
+    /// Total slots of the queries heard from (`Σ_{j∈∂*i} |∂aⱼ|`).
+    slot_sum: u64,
     score: f64,
     token: (f64, u32),
     output: Option<bool>,
@@ -128,6 +132,8 @@ struct QueryState {
     /// Distinct members with their multiplicities.
     neighbors: Vec<(u32, u32)>,
     result: f64,
+    /// Total slot count of this query (including multiplicities).
+    slots: u32,
 }
 
 impl Node<ProtocolMessage> for ProtocolNode {
@@ -148,6 +154,7 @@ impl QueryState {
                     ProtocolMessage::Measurement {
                         value: self.result,
                         multiplicity: count,
+                        slots: self.slots,
                     },
                 );
             }
@@ -169,16 +176,18 @@ impl AgentState {
                 if let ProtocolMessage::Measurement {
                     value,
                     multiplicity,
+                    slots,
                 } = env.payload
                 {
                     self.psi += value;
                     self.distinct += 1;
                     self.multi += multiplicity as u64;
+                    self.slot_sum += slots as u64;
                 }
             }
             // Identical expression (and evaluation order) to the sequential
             // decoder, so the two implementations agree bit-for-bit.
-            let slots = self.distinct as f64 * self.gamma - self.multi as f64;
+            let slots = (self.slot_sum - self.multi) as f64;
             self.score = self.psi - slots * self.slot_rate;
             self.token = (self.score, self.pos);
             if self.schedule.depth == 0 {
@@ -317,7 +326,6 @@ fn run_protocol_inner(
 ) -> Result<ProtocolOutcome, MaxRoundsExceeded> {
     let n = run.instance().n();
     let k = run.instance().k();
-    let gamma = run.instance().gamma();
     let slot_rate = crate::greedy::second_neighborhood_rate(n, k, run.instance().noise());
     let sort_net = SortingNetwork::batcher_odd_even(n);
     let sort_depth = sort_net.depth();
@@ -328,12 +336,12 @@ fn run_protocol_inner(
         nodes.push(ProtocolNode::Agent(AgentState {
             k,
             pos: pos as u32,
-            gamma: gamma as f64,
             slot_rate,
             schedule: Arc::clone(&schedule),
             psi: 0.0,
             distinct: 0,
             multi: 0,
+            slot_sum: 0,
             score: 0.0,
             token: (0.0, pos as u32),
             output: None,
@@ -343,6 +351,7 @@ fn run_protocol_inner(
         nodes.push(ProtocolNode::Query(QueryState {
             neighbors: q.iter().collect(),
             result: run.results()[j],
+            slots: q.total_slots(),
         }));
     }
 

@@ -5,7 +5,9 @@
 //! centering — consumes them. In a deployment they must come from
 //! somewhere; this module recovers them from the measurements themselves by
 //! the method of moments, using only quantities the model already fixes
-//! (`n`, `k`, `Γ`):
+//! (`n`, `k`, and the design's realized mean query size
+//! [`crate::PoolingGraph::mean_query_slots`], which equals `Γ` on
+//! query-regular designs):
 //!
 //! With `c₁ ~ Bin(Γ, k/n)` one-slots per query and per-edge flips,
 //!
@@ -91,7 +93,9 @@ pub fn estimate_z_channel(run: &Run) -> Result<f64, EstimationError> {
     }
     let mean = run.results().iter().sum::<f64>() / run.results().len() as f64;
     let instance = run.instance();
-    let expected_ones = instance.gamma() as f64 * instance.k() as f64 / instance.n() as f64;
+    // The realized mean query size: Γ exactly on query-regular designs,
+    // the right normalizer on ragged (degree-balanced) designs.
+    let expected_ones = run.graph().mean_query_slots() * instance.k() as f64 / instance.n() as f64;
     let p = 1.0 - mean / expected_ones;
     Ok(p.clamp(0.0, 1.0 - f64::EPSILON))
 }
@@ -114,7 +118,7 @@ pub fn estimate_slot_rate(run: &Run) -> Result<f64, EstimationError> {
         return Err(EstimationError::TooFewQueries);
     }
     let mean = run.results().iter().sum::<f64>() / run.results().len() as f64;
-    Ok((mean / run.instance().gamma() as f64).max(0.0))
+    Ok((mean / run.graph().mean_query_slots()).max(0.0))
 }
 
 /// Runs the greedy decoder with the slot rate *estimated from the data*
@@ -164,7 +168,7 @@ pub fn estimate_channel(run: &Run) -> Result<ChannelEstimate, EstimationError> {
     let var = results.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / (m - 1.0);
 
     let instance = run.instance();
-    let gamma = instance.gamma() as f64;
+    let gamma = run.graph().mean_query_slots();
     let rate = instance.k() as f64 / instance.n() as f64; // k/n
     let e_c1 = gamma * rate;
     let e_c0 = gamma - e_c1;
@@ -267,7 +271,7 @@ pub fn estimate_k(run: &Run) -> Result<usize, EstimationError> {
         crate::NoiseModel::Noiseless | crate::NoiseModel::Query { .. } => (0.0, 0.0),
     };
     let mean = run.results().iter().sum::<f64>() / run.results().len() as f64;
-    let slot_rate = mean / instance.gamma() as f64;
+    let slot_rate = mean / run.graph().mean_query_slots();
     let k = instance.n() as f64 * (slot_rate - q) / (1.0 - p - q);
     Ok((k.round().max(0.0) as usize).min(instance.n()))
 }

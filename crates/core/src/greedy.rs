@@ -114,7 +114,10 @@ pub trait Decoder {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum Centering {
     /// `Ψᵢ − (Δ*ᵢ·Γ − Δᵢ)·(q + k(1−p−q)/(n−1))` — the analysis' centering
-    /// (reduces to the printed score as `p, q → 0`).
+    /// (reduces to the printed score as `p, q → 0`). The `Δ*ᵢ·Γ` term is
+    /// computed as the *sum of the agent's queries' slot counts*, which
+    /// equals `Δ*ᵢ·Γ` exactly on query-regular designs and stays exact on
+    /// ragged (degree-balanced) designs where pool sizes differ by one.
     #[default]
     NoiseAware,
     /// `Ψᵢ − Δ*ᵢ·k/2` — Algorithm 1, line 14, verbatim.
@@ -204,17 +207,22 @@ impl GreedyDecoder {
     fn scores_inner(&self, run: &Run, rate: Option<f64>, ws: &mut GreedyWorkspace) -> Vec<f64> {
         let n = run.instance().n();
         let k = run.instance().k();
-        let gamma = run.instance().gamma();
         ws.reset(n);
         let psi = &mut ws.psi;
         let distinct = &mut ws.distinct;
         let multi = &mut ws.multi;
+        let slot_sum = &mut ws.slot_sum;
         for (j, q) in run.graph().queries().iter().enumerate() {
             let value = run.results()[j];
+            // Per-query slot count, not the nominal Γ: identical for the
+            // query-regular designs (Σ_{j∈∂*i} Γ = Δ*ᵢ·Γ), exact for ragged
+            // designs such as the doubly regular scheme.
+            let total = q.total_slots() as u64;
             for (a, c) in q.iter() {
                 psi[a as usize] += value;
                 distinct[a as usize] += 1;
                 multi[a as usize] += c as u64;
+                slot_sum[a as usize] += total;
             }
         }
         match rate {
@@ -227,7 +235,7 @@ impl GreedyDecoder {
             }
             Some(rate) => (0..n)
                 .map(|i| {
-                    let slots = distinct[i] as f64 * gamma as f64 - multi[i] as f64;
+                    let slots = (slot_sum[i] - multi[i]) as f64;
                     psi[i] - slots * rate
                 })
                 .collect(),
@@ -244,6 +252,9 @@ pub struct GreedyWorkspace {
     psi: Vec<f64>,
     distinct: Vec<u32>,
     multi: Vec<u64>,
+    /// `Σ_{j∈∂*i} |∂aⱼ|` — total slots of the queries containing each
+    /// agent (equals `Δ*ᵢ·Γ` on query-regular designs).
+    slot_sum: Vec<u64>,
 }
 
 impl GreedyWorkspace {
@@ -256,6 +267,7 @@ impl GreedyWorkspace {
         resize_fill(&mut self.psi, n, 0.0);
         resize_fill(&mut self.distinct, n, 0);
         resize_fill(&mut self.multi, n, 0);
+        resize_fill(&mut self.slot_sum, n, 0);
     }
 }
 

@@ -11,7 +11,7 @@
 //! per-agent accumulators and is then forgotten. This is what makes the
 //! `n = 10⁵` sweeps of Figures 2–5 tractable.
 
-use crate::design::Sampling;
+use crate::design::{band_window, DesignSpec, Sampling};
 use crate::model::GroundTruth;
 use crate::noise::NoiseModel;
 use rand::rngs::StdRng;
@@ -48,6 +48,36 @@ impl fmt::Display for BudgetExhausted {
 
 impl std::error::Error for BudgetExhausted {}
 
+/// The incremental sampler arm a [`DesignSpec`] maps to (see
+/// [`IncrementalSim::with_design`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SamplerKind {
+    /// I.i.d. uniform slots with replacement (the paper's design).
+    Iid,
+    /// Uniform Γ-subset per query.
+    Subset,
+    /// Rotating-deck balanced dealing (the anytime doubly-regular form).
+    Deck,
+    /// Bernoulli pools: size `Bin(n, Γ/n)`, then a uniform subset — the
+    /// query-major marginal of the constant-column batch design (free pool
+    /// sizes, simple entries, concentrated column weights).
+    Bernoulli,
+    /// Band-cycling windowed draws (spatially coupled).
+    Banded { bands: usize },
+}
+
+impl SamplerKind {
+    fn for_design(design: DesignSpec) -> Self {
+        match design {
+            DesignSpec::Iid => SamplerKind::Iid,
+            DesignSpec::GammaSubset => SamplerKind::Subset,
+            DesignSpec::BalancedDeck | DesignSpec::DoublyRegular => SamplerKind::Deck,
+            DesignSpec::SparseColumn => SamplerKind::Bernoulli,
+            DesignSpec::SpatiallyCoupled { bands } => SamplerKind::Banded { bands },
+        }
+    }
+}
+
 /// Incremental simulation of Algorithm 1 under a fixed ground truth,
 /// adding one query at a time.
 ///
@@ -73,6 +103,9 @@ pub struct IncrementalSim {
     distinct: Vec<u32>,
     /// Multi-degrees `Δᵢ` (slots counting multiplicity).
     multi: Vec<u64>,
+    /// Per-agent totals `Σ_{j∈∂*i} |∂aⱼ|` (equals `Δ*ᵢ·Γ` for the
+    /// query-regular samplers; tracked explicitly for Bernoulli pools).
+    slot_sum: Vec<u64>,
     /// Per-slot one-read rate of the second neighborhood (see
     /// [`crate::Centering::NoiseAware`]).
     slot_rate: f64,
@@ -81,7 +114,7 @@ pub struct IncrementalSim {
     stamp_gen: u32,
     /// Distinct agents of the query being processed (scratch).
     scratch: Vec<u32>,
-    sampling: Sampling,
+    sampler: SamplerKind,
     /// Reusable permutation: partial Fisher–Yates scratch for
     /// without-replacement draws, rotating deck for the balanced design.
     perm: Vec<u32>,
@@ -130,13 +163,51 @@ impl IncrementalSim {
         sampling: Sampling,
         seed: u64,
     ) -> Self {
+        Self::with_design(n, k, gamma, noise, DesignSpec::from(sampling), seed)
+    }
+
+    /// Creates a simulation with an explicit query size and pooling design.
+    ///
+    /// Every [`DesignSpec`] has an *incremental* (anytime) form here, since
+    /// the required-queries experiment grows the design one query at a
+    /// time:
+    ///
+    /// * [`DesignSpec::Iid`] and [`DesignSpec::GammaSubset`] sample each
+    ///   query independently, exactly like the batch samplers.
+    /// * [`DesignSpec::BalancedDeck`] and [`DesignSpec::DoublyRegular`]
+    ///   deal from the rotating deck — the anytime doubly-balanced
+    ///   allocation whose agent degrees stay within ±1 at *every* query
+    ///   prefix. (The batch doubly-regular construction fixes `m` up
+    ///   front, which has no incremental analogue; the deck is the
+    ///   standard online counterpart.)
+    /// * [`DesignSpec::SparseColumn`] draws Bernoulli pools — size
+    ///   `Bin(n, Γ/n)` then a uniform subset, the query-major marginal of
+    ///   the batch constant-column design: free pool sizes, simple
+    ///   entries, concentrated (not exact) column weights.
+    /// * [`DesignSpec::SpatiallyCoupled`] cycles query `t` through band
+    ///   `t mod L`, drawing slots from the band's window exactly like the
+    ///   batch sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`, `k ∉ [1, n]`, `gamma == 0`, or (Γ-subset)
+    /// `gamma > n`.
+    pub fn with_design(
+        n: usize,
+        k: usize,
+        gamma: usize,
+        noise: NoiseModel,
+        design: DesignSpec,
+        seed: u64,
+    ) -> Self {
         assert!(n >= 2, "IncrementalSim: n={n} must be at least 2");
         assert!(
             (1..=n).contains(&k),
             "IncrementalSim: k={k} must be in [1, {n}]"
         );
         assert!(gamma > 0, "IncrementalSim: gamma must be positive");
-        if sampling == Sampling::WithoutReplacement {
+        let sampler = SamplerKind::for_design(design);
+        if sampler == SamplerKind::Subset {
             assert!(
                 gamma <= n,
                 "IncrementalSim: gamma={gamma} exceeds n={n} without replacement"
@@ -145,9 +216,11 @@ impl IncrementalSim {
         let mut rng = StdRng::seed_from_u64(seed);
         let truth = GroundTruth::sample(n, k, &mut rng);
         let slot_rate = crate::greedy::second_neighborhood_rate(n, k, &noise);
-        let perm = match sampling {
-            Sampling::WithReplacement => Vec::new(),
-            Sampling::WithoutReplacement | Sampling::Balanced => (0..n as u32).collect(),
+        let perm = match sampler {
+            SamplerKind::Iid | SamplerKind::Banded { .. } => Vec::new(),
+            SamplerKind::Subset | SamplerKind::Deck | SamplerKind::Bernoulli => {
+                (0..n as u32).collect()
+            }
         };
         Self {
             k,
@@ -157,11 +230,12 @@ impl IncrementalSim {
             psi: vec![0.0; n],
             distinct: vec![0; n],
             multi: vec![0; n],
+            slot_sum: vec![0; n],
             slot_rate,
             stamp: vec![u32::MAX; n],
             stamp_gen: 0,
             scratch: Vec::with_capacity(gamma),
-            sampling,
+            sampler,
             perm,
             deck_pos: n,
             queries_added: 0,
@@ -229,8 +303,9 @@ impl IncrementalSim {
         }
         self.scratch.clear();
         let mut one_slots = 0u64;
-        match self.sampling {
-            Sampling::WithReplacement => {
+        let mut total_slots = self.gamma as u64;
+        match self.sampler {
+            SamplerKind::Iid => {
                 for _ in 0..self.gamma {
                     let a = self.rng.gen_range(0..n);
                     if self.truth.is_one(a) {
@@ -243,7 +318,7 @@ impl IncrementalSim {
                     }
                 }
             }
-            Sampling::WithoutReplacement => {
+            SamplerKind::Subset => {
                 // Reusable partial Fisher–Yates; the array stays a
                 // permutation between queries, so each draw is a uniform
                 // Γ-subset.
@@ -258,7 +333,7 @@ impl IncrementalSim {
                     self.scratch.push(a as u32);
                 }
             }
-            Sampling::Balanced => {
+            SamplerKind::Deck => {
                 // Rotating deck: deal Γ slots, reshuffling the full
                 // permutation whenever it is exhausted, so degrees stay
                 // within one of each other at all times.
@@ -282,12 +357,47 @@ impl IncrementalSim {
                     }
                 }
             }
+            SamplerKind::Bernoulli => {
+                // Pool size first (Bin(n, Γ/n)), then a uniform subset via
+                // the reusable partial Fisher–Yates: the query-major
+                // marginal of the batch constant-column design.
+                let p = (self.gamma as f64 / n as f64).min(1.0);
+                let size = npd_numerics::rng::binomial(&mut self.rng, n as u64, p) as usize;
+                total_slots = size as u64;
+                for i in 0..size {
+                    let j = self.rng.gen_range(i..n);
+                    self.perm.swap(i, j);
+                    let a = self.perm[i] as usize;
+                    if self.truth.is_one(a) {
+                        one_slots += 1;
+                    }
+                    self.multi[a] += 1;
+                    self.scratch.push(a as u32);
+                }
+            }
+            SamplerKind::Banded { bands } => {
+                // Query t draws from band t mod L's window (same geometry
+                // as the batch spatially-coupled sampler).
+                let (start, width) = band_window(n, bands, self.queries_added);
+                for _ in 0..self.gamma {
+                    let a = (start + self.rng.gen_range(0..width)) % n;
+                    if self.truth.is_one(a) {
+                        one_slots += 1;
+                    }
+                    self.multi[a] += 1;
+                    if self.stamp[a] != self.stamp_gen {
+                        self.stamp[a] = self.stamp_gen;
+                        self.scratch.push(a as u32);
+                    }
+                }
+            }
         }
-        let zero_slots = self.gamma as u64 - one_slots;
+        let zero_slots = total_slots - one_slots;
         let result = self.noise.measure(one_slots, zero_slots, &mut self.rng);
         for &a in &self.scratch {
             self.psi[a as usize] += result;
             self.distinct[a as usize] += 1;
+            self.slot_sum[a as usize] += total_slots;
         }
         self.queries_added += 1;
     }
@@ -300,7 +410,7 @@ impl IncrementalSim {
     ///
     /// Panics if `i >= n`.
     pub fn score(&self, i: usize) -> f64 {
-        let slots = self.distinct[i] as f64 * self.gamma as f64 - self.multi[i] as f64;
+        let slots = (self.slot_sum[i] - self.multi[i]) as f64;
         self.psi[i] - slots * self.slot_rate
     }
 
@@ -553,6 +663,53 @@ mod tests {
         let lo = 13 * 25 / 60;
         assert!(degrees.iter().all(|&d| d == lo || d == lo + 1));
         assert_eq!(degrees.iter().sum::<u64>(), 13 * 25);
+    }
+
+    #[test]
+    fn bernoulli_pools_have_free_sizes_and_concentrated_columns() {
+        // The sparse-column incremental analogue: pool sizes fluctuate
+        // around Γ (they are Binomial), entries are simple, and column
+        // weights concentrate around mΓ/n without being exactly equal.
+        let (n, gamma, m) = (200usize, 50usize, 120usize);
+        let mut sim = IncrementalSim::with_design(
+            n,
+            3,
+            gamma,
+            NoiseModel::Noiseless,
+            DesignSpec::SparseColumn,
+            17,
+        );
+        for _ in 0..m {
+            sim.add_query();
+        }
+        // Simple design: multi degree equals distinct degree.
+        for i in 0..n {
+            assert_eq!(sim.multi_degree(i), u64::from(sim.distinct_degree(i)));
+        }
+        // Column weights concentrate: Bin(m, Γ/n) has mean 30, sd ≈ 5.
+        let expected = m as f64 * gamma as f64 / n as f64;
+        let degrees: Vec<u64> = (0..n).map(|i| sim.multi_degree(i)).collect();
+        let mean = degrees.iter().sum::<u64>() as f64 / n as f64;
+        assert!((mean - expected).abs() < expected * 0.15, "mean={mean}");
+        // Free pool sizes: total slots differ from m·Γ (almost surely).
+        let total: u64 = degrees.iter().sum();
+        assert_ne!(total, (m * gamma) as u64);
+    }
+
+    #[test]
+    fn bernoulli_pools_reconstruct() {
+        let mut sim = IncrementalSim::with_design(
+            300,
+            4,
+            75,
+            NoiseModel::z_channel(0.1),
+            DesignSpec::SparseColumn,
+            18,
+        );
+        let out = sim
+            .required_queries(10_000)
+            .expect("Bernoulli pools separate on an easy instance");
+        assert!(out.queries > 0);
     }
 
     #[test]

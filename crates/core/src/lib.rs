@@ -33,6 +33,21 @@
 //!   measure the *required number of queries* exactly as Section V of the
 //!   paper describes.
 //!
+//! # The design layer
+//!
+//! The paper fixes one pooling design (i.i.d. `Γ`-regular queries, its
+//! model section); the follow-up literature shows the design matrix is the
+//! main lever for query efficiency. The [`design`] module therefore makes
+//! the design pluggable: the [`PoolingDesign`] trait samples a
+//! [`PoolingGraph`] from `(n, m, Γ, rng)` and reports metadata, with four
+//! schemes behind it ([`IidDesign`], [`DoublyRegularDesign`],
+//! [`SparseColumnDesign`], [`SpatiallyCoupledDesign`]) plus the
+//! serializable [`DesignSpec`] selector that [`Instance`] and the
+//! experiment harness's scenario registry carry. All decoders consume the
+//! sampled [`Run`] and are design-agnostic; score centerings use per-query
+//! slot counts, so designs with ±1-balanced (ragged) pool sizes decode
+//! exactly.
+//!
 //! # Examples
 //!
 //! ```
@@ -51,7 +66,7 @@
 //! # Ok::<(), npd_core::InstanceError>(())
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod design;
@@ -64,7 +79,10 @@ pub mod model;
 pub mod noise;
 pub mod twostep;
 
-pub use design::{PoolingGraph, QueryMultiset, Sampling};
+pub use design::{
+    DesignProfile, DesignSpec, DoublyRegularDesign, IidDesign, PoolingDesign, PoolingGraph,
+    QueryMultiset, Sampling, SparseColumnDesign, SpatiallyCoupledDesign,
+};
 pub use evaluate::{confusion, exact_recovery, hamming_distance, overlap, separation, Confusion};
 pub use greedy::{Centering, Decoder, Estimate, GreedyDecoder, GreedyWorkspace};
 pub use incremental::{IncrementalSim, RequiredQueries};

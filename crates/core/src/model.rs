@@ -1,6 +1,6 @@
 //! Problem instances: regimes, ground truth, configuration and sampling.
 
-use crate::design::{PoolingGraph, Sampling};
+use crate::design::{DesignSpec, PoolingDesign, PoolingGraph, Sampling};
 use crate::noise::NoiseModel;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -181,7 +181,7 @@ pub struct Instance {
     gamma: usize,
     noise: NoiseModel,
     #[serde(default)]
-    sampling: Sampling,
+    design: DesignSpec,
 }
 
 impl Instance {
@@ -193,7 +193,7 @@ impl Instance {
             m: None,
             gamma: None,
             noise: NoiseModel::Noiseless,
-            sampling: Sampling::WithReplacement,
+            design: DesignSpec::Iid,
         }
     }
 
@@ -222,15 +222,24 @@ impl Instance {
         &self.noise
     }
 
-    /// The sampling scheme of the pooling design.
-    pub fn sampling(&self) -> Sampling {
-        self.sampling
+    /// The pooling design sampled by [`Instance::sample`].
+    pub fn design(&self) -> DesignSpec {
+        self.design
     }
 
     /// Samples ground truth, pooling graph and noisy query results.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Run {
         let truth = GroundTruth::sample(self.n, self.k, rng);
-        let graph = PoolingGraph::sample_with(self.n, self.m, self.gamma, self.sampling, rng);
+        // The legacy schemes go through `sample_with` so their RNG streams
+        // stay bit-identical to the pre-trait sampler; the structured
+        // designs dispatch through the `PoolingDesign` trait object.
+        let graph = match self.design.legacy_sampling() {
+            Some(sampling) => PoolingGraph::sample_with(self.n, self.m, self.gamma, sampling, rng),
+            None => {
+                let mut r = &mut *rng;
+                self.design.sample(self.n, self.m, self.gamma, &mut r)
+            }
+        };
         let results = graph.measure(&truth, &self.noise, rng);
         Run {
             instance: self.clone(),
@@ -277,7 +286,7 @@ pub struct InstanceBuilder {
     m: Option<usize>,
     gamma: Option<usize>,
     noise: NoiseModel,
-    sampling: Sampling,
+    design: DesignSpec,
 }
 
 impl InstanceBuilder {
@@ -312,9 +321,16 @@ impl InstanceBuilder {
     }
 
     /// Sets the sampling scheme (defaults to with-replacement, the paper's
-    /// design).
-    pub fn sampling(mut self, sampling: Sampling) -> Self {
-        self.sampling = sampling;
+    /// design). Shorthand for [`design`](Self::design) with the
+    /// corresponding legacy [`DesignSpec`].
+    pub fn sampling(self, sampling: Sampling) -> Self {
+        self.design(DesignSpec::from(sampling))
+    }
+
+    /// Sets the pooling design (defaults to [`DesignSpec::Iid`], the
+    /// paper's scheme).
+    pub fn design(mut self, design: DesignSpec) -> Self {
+        self.design = design;
         self
     }
 
@@ -339,7 +355,7 @@ impl InstanceBuilder {
         if gamma == 0 {
             return Err(InstanceError::EmptyQuery);
         }
-        if self.sampling == Sampling::WithoutReplacement && gamma > self.n {
+        if self.design == DesignSpec::GammaSubset && gamma > self.n {
             return Err(InstanceError::QueryLargerThanPopulation { gamma, n: self.n });
         }
         Ok(Instance {
@@ -348,7 +364,7 @@ impl InstanceBuilder {
             m,
             gamma,
             noise: self.noise,
-            sampling: self.sampling,
+            design: self.design,
         })
     }
 }
@@ -607,7 +623,7 @@ mod tests {
             .sampling(Sampling::WithoutReplacement)
             .build()
             .unwrap();
-        assert_eq!(inst.sampling(), Sampling::WithoutReplacement);
+        assert_eq!(inst.design(), DesignSpec::GammaSubset);
         let mut rng = StdRng::seed_from_u64(1);
         let run = inst.sample(&mut rng);
         for q in run.graph().queries() {

@@ -61,13 +61,12 @@ impl TwoStepDecoder {
         let first = GreedyDecoder::new().decode(run);
 
         // Unbias channel observations so residuals center at zero:
-        // E[σ̂ⱼ | A] = (1−p−q)·(Aσ)ⱼ + q·Γ.
-        let (scale, shift) = match *run.instance().noise() {
-            NoiseModel::Channel { p, q } => {
-                let gamma = run.instance().gamma() as f64;
-                (1.0 / (1.0 - p - q), q * gamma / (1.0 - p - q))
-            }
-            _ => (1.0, 0.0),
+        // E[σ̂ⱼ | A] = (1−p−q)·(Aσ)ⱼ + q·|∂aⱼ|. The shift uses the query's
+        // own slot count — equal to Γ on query-regular designs, exact on
+        // ragged (degree-balanced) designs.
+        let (scale, flip_q, denom) = match *run.instance().noise() {
+            NoiseModel::Channel { p, q } => (1.0 / (1.0 - p - q), q, 1.0 - p - q),
+            _ => (1.0, 0.0, 1.0),
         };
 
         // Residual per query under the first-stage estimate.
@@ -79,6 +78,7 @@ impl TwoStepDecoder {
                     estimated += count as f64;
                 }
             }
+            let shift = flip_q * q.total_slots() as f64 / denom;
             residual[j] = run.results()[j] * scale - shift - estimated;
         }
 

@@ -157,7 +157,9 @@ impl LmmseDecoder {
 /// keep the normal equations well-conditioned in underdetermined noiseless
 /// designs.
 fn derived_ridge(run: &Run, prior: f64, scale: f64) -> f64 {
-    let gamma = run.instance().gamma() as f64;
+    // Realized mean query size: Γ exactly on regular designs, the right
+    // variance normalizer on ragged ones.
+    let gamma = run.graph().mean_query_slots();
     let noise_var = match *run.instance().noise() {
         NoiseModel::Noiseless => 0.0,
         NoiseModel::Query { lambda } => lambda * lambda,

@@ -152,15 +152,17 @@ impl McmcDecoder {
     pub fn solve(&self, run: &Run) -> McmcOutput {
         let n = run.instance().n();
         let k = run.instance().k();
-        let gamma = run.instance().gamma() as u64;
         let noise = *run.instance().noise();
         let energy_kind = effective_energy(self.config.energy, &noise);
         let results = run.results();
         let m = results.len();
 
-        // Agent → (query, multiplicity) adjacency.
+        // Agent → (query, multiplicity) adjacency, plus each query's own
+        // slot count (exact on ragged designs; equals Γ on regular ones).
         let mut adjacency: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
+        let mut slots = vec![0u64; m];
         for (j, q) in run.graph().queries().iter().enumerate() {
+            slots[j] = u64::from(q.total_slots());
             for (a, c) in q.iter() {
                 adjacency[a as usize].push((j as u32, c));
             }
@@ -197,12 +199,14 @@ impl McmcDecoder {
         }
 
         let query_energy = |j: usize, count: i64| -> f64 {
-            debug_assert!((0..=gamma as i64).contains(&count));
+            debug_assert!((0..=slots[j] as i64).contains(&count));
             match energy_kind {
                 EnergyKind::Gaussian => {
-                    moment_matched_energy(&noise, gamma, count as u64, results[j])
+                    moment_matched_energy(&noise, slots[j], count as u64, results[j])
                 }
-                EnergyKind::Exact => -query_log_likelihood(&noise, gamma, count as u64, results[j]),
+                EnergyKind::Exact => {
+                    -query_log_likelihood(&noise, slots[j], count as u64, results[j])
+                }
             }
         };
 

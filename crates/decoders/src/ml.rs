@@ -82,7 +82,6 @@ impl MlDecoder {
         }
 
         let noise = run.instance().noise();
-        let gamma = run.instance().gamma() as u64;
         let results = run.results();
         let queries = run.graph().queries();
 
@@ -103,7 +102,8 @@ impl MlDecoder {
                     .filter(|&(a, _)| member[a as usize])
                     .map(|(_, c)| c as u64)
                     .sum();
-                ll += query_log_likelihood(noise, gamma, c1, results[j]);
+                // The query's own slot count: exact on ragged designs.
+                ll += query_log_likelihood(noise, u64::from(q.total_slots()), c1, results[j]);
                 if ll == f64::NEG_INFINITY {
                     break;
                 }
@@ -138,7 +138,6 @@ impl MlDecoder {
             "MlDecoder::log_likelihood: bits length mismatch"
         );
         let noise = run.instance().noise();
-        let gamma = run.instance().gamma() as u64;
         run.graph()
             .queries()
             .iter()
@@ -149,7 +148,7 @@ impl MlDecoder {
                     .filter(|&(a, _)| bits[a as usize])
                     .map(|(_, c)| c as u64)
                     .sum();
-                query_log_likelihood(noise, gamma, c1, y)
+                query_log_likelihood(noise, u64::from(q.total_slots()), c1, y)
             })
             .sum()
     }

@@ -32,12 +32,14 @@ pub fn run(opts: &RunOptions) -> FigureReport {
         .enumerate()
         .flat_map(|(pi, &p)| {
             let noise = NoiseModel::z_channel(p);
-            grid.iter().map(move |&n| SweepCell {
-                n,
-                regime: Regime::sublinear(THETA),
-                noise,
-                max_queries: default_budget(n, THETA, &noise),
-                seed_salt: mix_seed(0xF260_0000, (pi * 1000 + n) as u64),
+            grid.iter().map(move |&n| {
+                SweepCell::paper(
+                    n,
+                    Regime::sublinear(THETA),
+                    noise,
+                    default_budget(n, THETA, &noise),
+                    mix_seed(0xF260_0000, (pi * 1000 + n) as u64),
+                )
             })
         })
         .collect();

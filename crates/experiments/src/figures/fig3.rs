@@ -37,12 +37,14 @@ pub fn run(opts: &RunOptions) -> FigureReport {
         .enumerate()
         .flat_map(|(li, &lambda)| {
             let noise = noise_for(lambda);
-            grid.iter().map(move |&n| SweepCell {
-                n,
-                regime: Regime::sublinear(THETA),
-                noise,
-                max_queries: default_budget(n, THETA, &noise),
-                seed_salt: mix_seed(0xF360_0000, (li * 1_000_000 + n) as u64),
+            grid.iter().map(move |&n| {
+                SweepCell::paper(
+                    n,
+                    Regime::sublinear(THETA),
+                    noise,
+                    default_budget(n, THETA, &noise),
+                    mix_seed(0xF360_0000, (li * 1_000_000 + n) as u64),
+                )
             })
         })
         .collect();

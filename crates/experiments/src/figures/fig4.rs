@@ -31,15 +31,17 @@ pub fn run(opts: &RunOptions) -> FigureReport {
         .enumerate()
         .flat_map(|(qi, &q)| {
             let noise = NoiseModel::channel(q, q);
-            grid.iter().map(move |&n| SweepCell {
-                n,
-                regime: Regime::sublinear(THETA),
-                noise,
+            grid.iter().map(move |&n| {
                 // The q·n·ln n regime can demand very large budgets at
                 // n = 10⁵; cap to keep worst-case runtime bounded and
                 // report failures.
-                max_queries: default_budget(n, THETA, &noise).min(400_000),
-                seed_salt: mix_seed(0xF460_0000, (qi * 1_000_000 + n) as u64),
+                SweepCell::paper(
+                    n,
+                    Regime::sublinear(THETA),
+                    noise,
+                    default_budget(n, THETA, &noise).min(400_000),
+                    mix_seed(0xF460_0000, (qi * 1_000_000 + n) as u64),
+                )
             })
         })
         .collect();

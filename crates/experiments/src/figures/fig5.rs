@@ -53,16 +53,15 @@ pub fn run(opts: &RunOptions) -> FigureReport {
     let cells: Vec<SweepCell> = n_values
         .iter()
         .flat_map(|&n| {
-            configs
-                .iter()
-                .enumerate()
-                .map(move |(ci, (_, noise))| SweepCell {
+            configs.iter().enumerate().map(move |(ci, (_, noise))| {
+                SweepCell::paper(
                     n,
-                    regime: Regime::sublinear(THETA),
-                    noise: *noise,
-                    max_queries: default_budget(n, THETA, noise).min(400_000),
-                    seed_salt: mix_seed(0xF560_0000, (ci * 1_000_000 + n) as u64),
-                })
+                    Regime::sublinear(THETA),
+                    *noise,
+                    default_budget(n, THETA, noise).min(400_000),
+                    mix_seed(0xF560_0000, (ci * 1_000_000 + n) as u64),
+                )
+            })
         })
         .collect();
     let samples = required_queries_grid(&cells, trials, opts.threads);

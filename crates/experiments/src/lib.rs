@@ -12,6 +12,12 @@
 //! | [`figures::fig7`] | Figure 7 | overlap vs `m`, `n = 1000` |
 //! | [`figures::theorems`] | Theorems 1–2 | bound constants vs measured thresholds |
 //! | [`figures::comm`] | Section VI | communication cost: greedy protocol vs distributed AMP |
+//! | [`figures::designs`] | (extension) | required queries per pooling design, one row per design |
+//!
+//! Beyond the figures, the [`scenarios`] registry names complete
+//! `(design × noise × decoder × n-grid)` configurations — one per headline
+//! number — runnable end-to-end (`repro scenarios run <name>`); the README's
+//! scenario catalog is generated from it.
 //!
 //! All experiments run on the [`runner`]'s rayon worker pool, write CSV
 //! artifacts, and render ASCII charts so results are inspectable without a
@@ -19,6 +25,8 @@
 //!
 //! ```text
 //! repro fig2 [--full] [--out results/] [--trials N] [--threads N]
+//! repro scenarios list
+//! repro scenarios run doubly-regular-z01
 //! repro all  --full
 //! ```
 //!
@@ -56,6 +64,7 @@
 pub mod figures;
 pub mod output;
 pub mod runner;
+pub mod scenarios;
 pub mod sweep;
 
 use serde::{Deserialize, Serialize};

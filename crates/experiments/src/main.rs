@@ -1,13 +1,17 @@
-//! `repro` — regenerate the paper's figures from the command line.
+//! `repro` — regenerate the paper's figures and run registered scenarios
+//! from the command line.
 //!
 //! ```text
 //! repro <target> [--full] [--out DIR] [--trials N] [--threads N]
+//! repro scenarios list
+//! repro scenarios run <name> [--full] [--out DIR] [--trials N] [--threads N]
 //!
 //! targets: fig1 fig2 fig3 fig4 fig5 fig6 fig7 theorems comm ablations
 //!          decoders adaptive designs linear all
 //! ```
 
 use npd_experiments::figures::{self, FigureReport, RunOptions};
+use npd_experiments::scenarios;
 use npd_experiments::{runner, Mode};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -27,11 +31,15 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage: repro <fig1|fig2|fig3|fig4|fig5|fig6|fig7|theorems|comm|ablations\
                      |decoders|adaptive|designs|linear|all> \
-                     [--full] [--out DIR] [--trials N] [--threads N]";
+                     [--full] [--out DIR] [--trials N] [--threads N]\n\
+       repro scenarios list\n\
+       repro scenarios run <name> [--full] [--out DIR] [--trials N] [--threads N]";
 
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct Cli {
     target: String,
+    /// Positional arguments after the target (the `scenarios` subcommand).
+    extra: Vec<String>,
     opts_mode: Mode,
     out_dir: PathBuf,
     trials: Option<usize>,
@@ -39,7 +47,8 @@ struct Cli {
 }
 
 fn parse(args: &[String]) -> Result<Cli, String> {
-    let mut target = None;
+    let mut target: Option<String> = None;
+    let mut extra: Vec<String> = Vec::new();
     let mut full = false;
     let mut out_dir = PathBuf::from("results");
     let mut trials = None;
@@ -72,15 +81,45 @@ fn parse(args: &[String]) -> Result<Cli, String> {
                     .max(1);
             }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
-            name => {
-                if target.is_some() {
-                    return Err(format!("unexpected extra argument {name}"));
-                }
-                target = Some(name.to_string());
-            }
+            name => match &target {
+                None => target = Some(name.to_string()),
+                Some(t) if t == "scenarios" => extra.push(name.to_string()),
+                Some(_) => return Err(format!("unexpected extra argument {name}")),
+            },
         }
     }
     let target = target.ok_or_else(|| "a target is required".to_string())?;
+    if target == "scenarios" {
+        match extra.first().map(String::as_str) {
+            Some("list") => {
+                if extra.len() > 1 {
+                    return Err("scenarios list takes no further arguments".into());
+                }
+            }
+            Some("run") => {
+                let name = extra
+                    .get(1)
+                    .ok_or_else(|| "scenarios run requires a scenario name".to_string())?;
+                if scenarios::find(name).is_none() {
+                    return Err(format!(
+                        "unknown scenario {name} (see `repro scenarios list`)"
+                    ));
+                }
+                if extra.len() > 2 {
+                    return Err("scenarios run takes exactly one scenario name".into());
+                }
+            }
+            _ => return Err("scenarios requires a subcommand: list or run <name>".into()),
+        }
+        return Ok(Cli {
+            target,
+            extra,
+            opts_mode: Mode::from_full_flag(full),
+            out_dir,
+            trials,
+            threads,
+        });
+    }
     const KNOWN: [&str; 15] = [
         "fig1",
         "fig2",
@@ -103,6 +142,7 @@ fn parse(args: &[String]) -> Result<Cli, String> {
     }
     Ok(Cli {
         target,
+        extra,
         opts_mode: Mode::from_full_flag(full),
         out_dir,
         trials,
@@ -116,6 +156,9 @@ fn execute(cli: Cli) -> ExitCode {
         trials: cli.trials,
         threads: cli.threads,
     };
+    if cli.target == "scenarios" {
+        return execute_scenarios(&cli, &opts);
+    }
     let targets: Vec<&str> = if cli.target == "all" {
         vec![
             "fig1",
@@ -154,6 +197,37 @@ fn execute(cli: Cli) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+fn execute_scenarios(cli: &Cli, opts: &RunOptions) -> ExitCode {
+    match cli.extra.first().map(String::as_str) {
+        Some("list") => {
+            println!("{}", scenarios::list_rendered());
+            ExitCode::SUCCESS
+        }
+        Some("run") => {
+            let name = cli.extra.get(1).expect("validated in parse()");
+            let scenario = scenarios::find(name).expect("validated in parse()");
+            let start = Instant::now();
+            let report = scenarios::run(&scenario, opts);
+            let elapsed = start.elapsed();
+            println!("{}", report.rendered);
+            for note in &report.notes {
+                println!("  note: {note}");
+            }
+            match report.write_csv(&cli.out_dir) {
+                Ok(path) => {
+                    println!("  csv: {} ({elapsed:.1?})\n", path.display());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: writing CSV for scenario {name}: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => unreachable!("subcommand validated in parse()"),
+    }
 }
 
 fn run_target(target: &str, opts: &RunOptions) -> FigureReport {
@@ -220,5 +294,22 @@ mod tests {
         assert!(parse(&args(&["fig2", "--bogus"])).is_err());
         assert!(parse(&args(&["fig2", "--trials", "abc"])).is_err());
         assert!(parse(&args(&["fig2", "fig3"])).is_err());
+    }
+
+    #[test]
+    fn parse_scenarios_subcommands() {
+        let cli = parse(&args(&["scenarios", "list"])).unwrap();
+        assert_eq!(cli.target, "scenarios");
+        assert_eq!(cli.extra, vec!["list".to_string()]);
+
+        let cli = parse(&args(&["scenarios", "run", "paper-z01", "--trials", "2"])).unwrap();
+        assert_eq!(cli.extra, vec!["run".to_string(), "paper-z01".to_string()]);
+        assert_eq!(cli.trials, Some(2));
+
+        assert!(parse(&args(&["scenarios"])).is_err());
+        assert!(parse(&args(&["scenarios", "run"])).is_err());
+        assert!(parse(&args(&["scenarios", "run", "nope"])).is_err());
+        assert!(parse(&args(&["scenarios", "list", "extra"])).is_err());
+        assert!(parse(&args(&["scenarios", "run", "paper-z01", "x"])).is_err());
     }
 }

@@ -1,0 +1,567 @@
+//! The scenario registry: named `(design × noise × decoder × n-grid)`
+//! configurations runnable end-to-end from the `repro` binary.
+//!
+//! A [`Scenario`] bundles everything needed to reproduce one headline
+//! number: which [`DesignSpec`] samples the pooling graph, which noise
+//! model corrupts the measurements, which decoder reconstructs, and the
+//! population grid to sweep. `repro scenarios list` prints the catalog,
+//! `repro scenarios run <name>` executes one scenario and writes its CSV —
+//! the README's scenario table is generated from this registry (pinned by
+//! the `readme_catalog` test), so docs and code cannot drift apart.
+//!
+//! Three measurement modes ([`Measurement`]):
+//!
+//! * [`Measurement::RequiredQueries`] — the paper's *required number of
+//!   queries* via the incremental simulation (Section V), exactly like
+//!   Figures 2–5 (greedy decoder only).
+//! * [`Measurement::SuccessRate`] — exact-recovery rate at the Theorem-1
+//!   budget: for each `n`, `trials` runs are sampled at `m = m*(n)` (the
+//!   theorem's sufficient query count, floored at 200) and decoded
+//!   batch-style.
+//! * [`Measurement::Overlap`] — mean overlap at the same budget, for
+//!   configurations where exact recovery is not the right yardstick (the
+//!   spatially-coupled design breaks the exchangeability global top-`k`
+//!   rules rely on; the honest number is how much overlap survives).
+
+use crate::figures::{FigureReport, RunOptions};
+use crate::output::table;
+use crate::sweep::{self, SweepCell};
+use crate::{mix_seed, runner, Mode};
+use npd_amp::AmpDecoder;
+use npd_core::{
+    exact_recovery, overlap, Decoder, DesignSpec, GreedyDecoder, Instance, NoiseModel, Regime,
+    TwoStepDecoder,
+};
+use npd_decoders::BpDecoder;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The reconstruction algorithm a scenario runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecoderKind {
+    /// Algorithm 1 (noisy maximum neighborhood), measured incrementally.
+    Greedy,
+    /// Greedy plus one residual-refinement pass.
+    TwoStep,
+    /// Approximate message passing.
+    Amp,
+    /// Gaussian-relaxed belief propagation.
+    Bp,
+}
+
+impl DecoderKind {
+    /// Stable name used in reports and the README catalog.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DecoderKind::Greedy => "greedy",
+            DecoderKind::TwoStep => "two-step",
+            DecoderKind::Amp => "amp",
+            DecoderKind::Bp => "bp",
+        }
+    }
+
+    /// Builds the decoder (batch scenarios only).
+    fn build(&self) -> Box<dyn Decoder> {
+        match self {
+            DecoderKind::Greedy => Box::new(GreedyDecoder::new()),
+            DecoderKind::TwoStep => Box::new(TwoStepDecoder::new()),
+            DecoderKind::Amp => Box::new(AmpDecoder::default()),
+            DecoderKind::Bp => Box::new(BpDecoder::default()),
+        }
+    }
+}
+
+/// What a scenario measures per grid point (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Measurement {
+    /// Median required queries (incremental greedy simulation).
+    RequiredQueries,
+    /// Exact-recovery rate at the Theorem-1 budget.
+    SuccessRate,
+    /// Mean overlap at the Theorem-1 budget.
+    Overlap,
+}
+
+/// One named, fully specified experiment configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Scenario {
+    /// Unique CLI name (`repro scenarios run <name>`).
+    pub name: &'static str,
+    /// One-line description for `scenarios list` and the README catalog.
+    pub summary: &'static str,
+    /// Pooling design.
+    pub design: DesignSpec,
+    /// Noise model.
+    pub noise: NoiseModel,
+    /// Decoder.
+    pub decoder: DecoderKind,
+    /// What to measure (required queries, success rate, or overlap).
+    pub measurement: Measurement,
+    /// Sparsity exponent θ (`k = n^θ`).
+    pub theta: f64,
+    /// Query size as a divisor of `n` (`Γ = n / gamma_div`).
+    pub gamma_div: usize,
+    /// Largest grid exponent in quick mode (`n` up to `10^max_exp10`).
+    pub quick_max_exp10: u32,
+    /// Largest grid exponent with `--full`.
+    pub full_max_exp10: u32,
+}
+
+impl Scenario {
+    /// The scenario's n-grid for the given mode.
+    pub fn grid(&self, mode: Mode) -> Vec<usize> {
+        sweep::n_grid(match mode {
+            Mode::Quick => self.quick_max_exp10,
+            Mode::Full => self.full_max_exp10,
+        })
+    }
+
+    /// The command reproducing this scenario (shown in the README catalog).
+    pub fn command(&self) -> String {
+        format!(
+            "cargo run --release -p npd-experiments --bin repro -- scenarios run {}",
+            self.name
+        )
+    }
+}
+
+/// The registry: every named scenario, in presentation order.
+///
+/// The first entries reproduce the paper's own operating points; the rest
+/// exercise the structured designs and the wider decoder field on the same
+/// grids so query counts are directly comparable.
+pub fn registry() -> Vec<Scenario> {
+    let base = |name, summary, design, noise, decoder: DecoderKind| Scenario {
+        name,
+        summary,
+        design,
+        noise,
+        decoder,
+        measurement: if decoder == DecoderKind::Greedy {
+            Measurement::RequiredQueries
+        } else {
+            Measurement::SuccessRate
+        },
+        theta: crate::figures::THETA,
+        gamma_div: 2,
+        quick_max_exp10: 3,
+        full_max_exp10: 5,
+    };
+    vec![
+        base(
+            "paper-z01",
+            "the paper's Figure-2 operating point: i.i.d. design, Z-channel p=0.1",
+            DesignSpec::Iid,
+            NoiseModel::z_channel(0.1),
+            DecoderKind::Greedy,
+        ),
+        base(
+            "paper-gauss",
+            "the paper's Figure-3 operating point: i.i.d. design, query noise λ=1",
+            DesignSpec::Iid,
+            NoiseModel::gaussian(1.0),
+            DecoderKind::Greedy,
+        ),
+        base(
+            "subset-z01",
+            "uniform Γ-subset queries: the no-duplicate-slots ablation",
+            DesignSpec::GammaSubset,
+            NoiseModel::z_channel(0.1),
+            DecoderKind::Greedy,
+        ),
+        base(
+            "doubly-regular-z01",
+            "doubly regular allocation (anytime deck analogue) under Z-channel noise",
+            DesignSpec::DoublyRegular,
+            NoiseModel::z_channel(0.1),
+            DecoderKind::Greedy,
+        ),
+        Scenario {
+            gamma_div: 8,
+            ..base(
+                "sparse-column-z01",
+                "constant-column design at Γ=n/8 via its anytime Bernoulli-pool \
+                 analogue (the θ<1/2 regime's design)",
+                DesignSpec::SparseColumn,
+                NoiseModel::z_channel(0.1),
+                DecoderKind::Greedy,
+            )
+        },
+        Scenario {
+            measurement: Measurement::Overlap,
+            quick_max_exp10: 3,
+            full_max_exp10: 4,
+            ..base(
+                "coupled-z01",
+                "banded design vs the global greedy rule: banding breaks exchangeability, \
+                 so the honest yardstick is surviving overlap",
+                DesignSpec::spatially_coupled(),
+                NoiseModel::z_channel(0.1),
+                DecoderKind::Greedy,
+            )
+        },
+        Scenario {
+            quick_max_exp10: 3,
+            full_max_exp10: 4,
+            ..base(
+                "amp-z01",
+                "AMP at the Theorem-1 budget on the paper's design",
+                DesignSpec::Iid,
+                NoiseModel::z_channel(0.1),
+                DecoderKind::Amp,
+            )
+        },
+        Scenario {
+            measurement: Measurement::Overlap,
+            quick_max_exp10: 3,
+            full_max_exp10: 4,
+            ..base(
+                "amp-coupled",
+                "vanilla AMP on a weakly coupled banded design: the gap a block-aware \
+                 SC-AMP would have to close",
+                DesignSpec::SpatiallyCoupled { bands: 3 },
+                NoiseModel::z_channel(0.1),
+                DecoderKind::Amp,
+            )
+        },
+        Scenario {
+            quick_max_exp10: 3,
+            full_max_exp10: 4,
+            ..base(
+                "twostep-channel",
+                "two-step residual refinement under the general channel p=q=0.1",
+                DesignSpec::Iid,
+                NoiseModel::channel(0.1, 0.1),
+                DecoderKind::TwoStep,
+            )
+        },
+        Scenario {
+            quick_max_exp10: 3,
+            full_max_exp10: 4,
+            ..base(
+                "bp-z01",
+                "belief propagation at the Theorem-1 budget on the paper's design",
+                DesignSpec::Iid,
+                NoiseModel::z_channel(0.1),
+                DecoderKind::Bp,
+            )
+        },
+    ]
+}
+
+/// Looks a scenario up by name.
+pub fn find(name: &str) -> Option<Scenario> {
+    registry().into_iter().find(|s| s.name == name)
+}
+
+/// The `scenarios list` rendering: one line per scenario.
+pub fn list_rendered() -> String {
+    let rows: Vec<Vec<String>> = registry()
+        .iter()
+        .map(|s| {
+            vec![
+                s.name.to_string(),
+                s.design.to_string(),
+                noise_label(&s.noise),
+                s.decoder.name().to_string(),
+                format!("n/{}", s.gamma_div),
+                s.summary.to_string(),
+            ]
+        })
+        .collect();
+    format!(
+        "Scenario registry — run one with `repro scenarios run <name>`\n{}",
+        table(
+            &["name", "design", "noise", "decoder", "Γ", "summary"],
+            &rows
+        )
+    )
+}
+
+/// The README's scenario catalog, generated from the registry (the
+/// `readme_catalog` test pins the README section to this output).
+pub fn catalog_markdown() -> String {
+    let mut out = String::from(
+        "| scenario | design | noise | decoder | reproduce |\n\
+         |---|---|---|---|---|\n",
+    );
+    for s in registry() {
+        out.push_str(&format!(
+            "| `{}` | {} | {} | {} | `{}` |\n",
+            s.name,
+            s.design,
+            noise_label(&s.noise),
+            s.decoder.name(),
+            s.command()
+        ));
+    }
+    out
+}
+
+/// Compact human label for a noise model.
+fn noise_label(noise: &NoiseModel) -> String {
+    match *noise {
+        NoiseModel::Noiseless => "noiseless".into(),
+        NoiseModel::Channel { p, q: 0.0 } => format!("Z-channel p={p}"),
+        NoiseModel::Channel { p, q } => format!("channel p={p} q={q}"),
+        NoiseModel::Query { lambda } => format!("query noise λ={lambda}"),
+    }
+}
+
+/// Runs a scenario, producing the same report shape as the figures.
+pub fn run(scenario: &Scenario, opts: &RunOptions) -> FigureReport {
+    match scenario.measurement {
+        Measurement::RequiredQueries => run_required_queries(scenario, opts),
+        Measurement::SuccessRate | Measurement::Overlap => run_batch(scenario, opts),
+    }
+}
+
+/// Required-queries measurement (greedy scenarios): median over trials of
+/// the first query count with exact reconstruction, per grid point.
+fn run_required_queries(scenario: &Scenario, opts: &RunOptions) -> FigureReport {
+    let trials = opts.resolve_trials(5, 25);
+    let grid = scenario.grid(opts.mode);
+    let regime = Regime::sublinear(scenario.theta);
+    let cells: Vec<SweepCell> = grid
+        .iter()
+        .map(|&n| {
+            let mut cell = SweepCell::paper(
+                n,
+                regime,
+                scenario.noise,
+                sweep::default_budget(n, scenario.theta, &scenario.noise),
+                mix_seed(0x5CE2_0000, hash_name(scenario.name).wrapping_add(n as u64)),
+            );
+            cell.design = scenario.design;
+            cell.gamma = Some((n / scenario.gamma_div).max(1));
+            cell
+        })
+        .collect();
+    let samples = sweep::required_queries_grid(&cells, trials, opts.threads);
+
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for (cell, sample) in cells.iter().zip(&samples) {
+        let med = sample.median().map_or("NA".into(), |m| format!("{m:.0}"));
+        rows.push(vec![
+            cell.n.to_string(),
+            sample.k.to_string(),
+            cell.gamma_or_default().to_string(),
+            med.clone(),
+            sample.failures.to_string(),
+        ]);
+        csv_rows.push(vec![
+            cell.n.to_string(),
+            sample.k.to_string(),
+            cell.gamma_or_default().to_string(),
+            med,
+            sample.failures.to_string(),
+            trials.to_string(),
+        ]);
+    }
+    let rendered = format!(
+        "Scenario {} — median required queries ({} design, {} trials)\n{}",
+        scenario.name,
+        scenario.design,
+        trials,
+        table(&["n", "k", "Γ", "median m", "failures"], &rows)
+    );
+    FigureReport {
+        name: format!("scenario-{}", scenario.name),
+        rendered,
+        csv_headers: vec![
+            "n".into(),
+            "k".into(),
+            "gamma".into(),
+            "median_required_queries".into(),
+            "failures".into(),
+            "trials".into(),
+        ],
+        csv_rows,
+        notes: vec![scenario.summary.to_string()],
+    }
+}
+
+/// Batch measurement (success rate or overlap) at the Theorem-1 query
+/// budget, per grid point.
+fn run_batch(scenario: &Scenario, opts: &RunOptions) -> FigureReport {
+    let trials = opts.resolve_trials(5, 25);
+    let grid = scenario.grid(opts.mode);
+    let regime = Regime::sublinear(scenario.theta);
+
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for &n in &grid {
+        // The Theorem-1 sufficient count (default_budget is 4× it).
+        let m = (sweep::default_budget(n, scenario.theta, &scenario.noise) / 4).max(200);
+        let gamma = (n / scenario.gamma_div).max(1);
+        let instance = Instance::builder(n)
+            .regime(regime)
+            .queries(m)
+            .query_size(gamma)
+            .noise(scenario.noise)
+            .design(scenario.design)
+            .build()
+            .expect("registry scenarios are valid configurations");
+        let seeds: Vec<u64> = (0..trials as u64)
+            .map(|t| mix_seed(0x5CE3_0000 ^ hash_name(scenario.name), (n as u64) << 8 | t))
+            .collect();
+        let per_trial = runner::parallel_map(&seeds, opts.threads, |&seed| {
+            let run = instance.sample(&mut StdRng::seed_from_u64(seed));
+            let decoder = scenario.decoder.build();
+            let est = decoder.decode(&run);
+            match scenario.measurement {
+                Measurement::SuccessRate => f64::from(exact_recovery(&est, run.ground_truth())),
+                _ => overlap(&est, run.ground_truth()),
+            }
+        });
+        let rate = per_trial.iter().sum::<f64>() / trials as f64;
+        rows.push(vec![
+            n.to_string(),
+            instance.k().to_string(),
+            gamma.to_string(),
+            m.to_string(),
+            format!("{rate:.2}"),
+        ]);
+        csv_rows.push(vec![
+            n.to_string(),
+            instance.k().to_string(),
+            gamma.to_string(),
+            m.to_string(),
+            format!("{rate:.3}"),
+            trials.to_string(),
+        ]);
+    }
+    let (metric_col, metric_label) = match scenario.measurement {
+        Measurement::Overlap => ("mean_overlap", "mean overlap"),
+        _ => ("success_rate", "exact-recovery rate"),
+    };
+    let rendered = format!(
+        "Scenario {} — {metric_label} at the Theorem-1 budget ({} design, {} decoder, \
+         {} trials)\n{}",
+        scenario.name,
+        scenario.design,
+        scenario.decoder.name(),
+        trials,
+        table(&["n", "k", "Γ", "m", metric_label], &rows)
+    );
+    FigureReport {
+        name: format!("scenario-{}", scenario.name),
+        rendered,
+        csv_headers: vec![
+            "n".into(),
+            "k".into(),
+            "gamma".into(),
+            "m".into(),
+            metric_col.into(),
+            "trials".into(),
+        ],
+        csv_rows,
+        notes: vec![scenario.summary.to_string()],
+    }
+}
+
+/// Stable per-scenario seed salt (FNV-1a of the name).
+fn hash_name(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npd_core::PoolingDesign;
+
+    #[test]
+    fn registry_names_are_unique_and_parseable() {
+        let reg = registry();
+        let mut names: Vec<&str> = reg.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), reg.len());
+        for s in &reg {
+            assert!(find(s.name).is_some());
+            assert!(!s.summary.is_empty());
+            assert!(s.gamma_div >= 1);
+            assert!(s.quick_max_exp10 <= s.full_max_exp10);
+        }
+        assert!(find("nonexistent").is_none());
+    }
+
+    #[test]
+    fn registry_covers_all_four_structured_designs() {
+        let designs: Vec<DesignSpec> = registry().iter().map(|s| s.design).collect();
+        for required in [
+            DesignSpec::Iid,
+            DesignSpec::GammaSubset,
+            DesignSpec::DoublyRegular,
+            DesignSpec::SparseColumn,
+            DesignSpec::spatially_coupled(),
+        ] {
+            assert!(designs.contains(&required), "{} missing", required.name());
+        }
+    }
+
+    #[test]
+    fn list_and_catalog_render_every_scenario() {
+        let listing = list_rendered();
+        let markdown = catalog_markdown();
+        for s in registry() {
+            assert!(listing.contains(s.name), "list missing {}", s.name);
+            assert!(markdown.contains(s.name), "catalog missing {}", s.name);
+            assert!(
+                markdown.contains(&s.command()),
+                "catalog missing command for {}",
+                s.name
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_scenario_runs_end_to_end() {
+        let mut scenario = find("doubly-regular-z01").expect("registered");
+        scenario.quick_max_exp10 = 2; // n = 100 only: seconds
+        let opts = RunOptions {
+            mode: Mode::Quick,
+            trials: Some(2),
+            threads: 2,
+        };
+        let report = run(&scenario, &opts);
+        assert_eq!(report.name, "scenario-doubly-regular-z01");
+        assert_eq!(report.csv_rows.len(), 1);
+        assert_eq!(report.csv_rows[0].len(), report.csv_headers.len());
+        assert!(report.rendered.contains("doubly-regular"));
+    }
+
+    #[test]
+    fn batch_scenario_runs_end_to_end() {
+        let mut scenario = find("amp-coupled").expect("registered");
+        scenario.quick_max_exp10 = 2;
+        let opts = RunOptions {
+            mode: Mode::Quick,
+            trials: Some(2),
+            threads: 2,
+        };
+        let report = run(&scenario, &opts);
+        assert_eq!(report.csv_rows.len(), 1);
+        // Success-rate CSV: last column is the trial count.
+        assert_eq!(report.csv_rows[0].last().unwrap(), "2");
+    }
+
+    #[test]
+    fn scenario_seeds_are_deterministic() {
+        let scenario = find("paper-z01").expect("registered");
+        let mut s = scenario;
+        s.quick_max_exp10 = 2;
+        let opts = RunOptions {
+            mode: Mode::Quick,
+            trials: Some(2),
+            threads: 2,
+        };
+        assert_eq!(run(&s, &opts).csv_rows, run(&s, &opts).csv_rows);
+    }
+}

@@ -1,0 +1,17 @@
+//! The README's scenario catalog is *generated* from the registry; this
+//! test pins the two together so docs and code cannot drift.
+
+use npd_experiments::scenarios;
+
+#[test]
+fn readme_scenario_catalog_matches_registry() {
+    let readme_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md");
+    let readme = std::fs::read_to_string(readme_path).expect("README.md at the workspace root");
+    let generated = scenarios::catalog_markdown();
+    assert!(
+        readme.contains(&generated),
+        "README scenario catalog is out of date.\n\
+         Replace the catalog table in README.md (section \"Reproducing a result\") \
+         with the following, freshly generated from scenarios::registry():\n\n{generated}"
+    );
+}

@@ -100,7 +100,7 @@
 //! assert_eq!(report.rounds, 5);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod faults;

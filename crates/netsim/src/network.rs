@@ -472,6 +472,33 @@ impl<M, N: Node<M>> Network<M, N> {
     /// Executes one round with shards stepped in parallel on the rayon
     /// pool. Bit-identical to [`step`](Self::step) for any shard or
     /// thread count.
+    ///
+    /// # Examples
+    ///
+    /// A counter protocol stepped round by round — every node pings its
+    /// successor each round; the report counts activity:
+    ///
+    /// ```
+    /// use npd_netsim::{Activity, Context, Network, Node, NodeId};
+    ///
+    /// struct Ring;
+    /// impl Node<u8> for Ring {
+    ///     fn on_round(&mut self, ctx: &mut Context<'_, u8>) -> Activity {
+    ///         if ctx.round() < 3 {
+    ///             let next = NodeId((ctx.id().0 + 1) % 4);
+    ///             ctx.send(next, 1);
+    ///         }
+    ///         Activity::Idle
+    ///     }
+    /// }
+    ///
+    /// let mut net = Network::new(vec![Ring, Ring, Ring, Ring]).with_shards(2);
+    /// let first = net.step_parallel();
+    /// assert_eq!(first.round, 0);
+    /// assert_eq!(first.sent, 4); // every node pinged its successor
+    /// let second = net.step_parallel();
+    /// assert_eq!(second.delivered, 4); // round-0 traffic arrives in round 1
+    /// ```
     pub fn step_parallel(&mut self) -> StepReport
     where
         M: Send + Sync,

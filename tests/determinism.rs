@@ -41,16 +41,18 @@ fn sweep_grid_is_identical_across_thread_counts() {
     let cells: Vec<SweepCell> = [(100usize, 0.0f64), (178, 0.1), (316, 0.3)]
         .iter()
         .enumerate()
-        .map(|(i, &(n, p))| SweepCell {
-            n,
-            regime: Regime::sublinear(0.25),
-            noise: if p == 0.0 {
-                NoiseModel::Noiseless
-            } else {
-                NoiseModel::z_channel(p)
-            },
-            max_queries: 10_000,
-            seed_salt: mix_seed(0xDE7E_0001, i as u64),
+        .map(|(i, &(n, p))| {
+            SweepCell::paper(
+                n,
+                Regime::sublinear(0.25),
+                if p == 0.0 {
+                    NoiseModel::Noiseless
+                } else {
+                    NoiseModel::z_channel(p)
+                },
+                10_000,
+                mix_seed(0xDE7E_0001, i as u64),
+            )
         })
         .collect();
     let reference = required_queries_grid(&cells, 6, 1);
