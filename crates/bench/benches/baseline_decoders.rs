@@ -67,8 +67,8 @@ fn bench_gossip_selection(c: &mut Criterion) {
     group.sample_size(10);
     let run = sample_run(256, 4, 200, NoiseModel::z_channel(0.1), 3);
     let scores = GreedyDecoder::new().scores(&run);
-    group.bench_function(BenchmarkId::new("select_top_k", "n=256,iters=90"), |b| {
-        b.iter(|| black_box(select_top_k(&scores, 4, 90)))
+    group.bench_function(BenchmarkId::new("select_top_k", "n=256,adaptive"), |b| {
+        b.iter(|| black_box(select_top_k(&scores, 4)))
     });
     group.finish();
 }

@@ -8,29 +8,71 @@
 //!    result `σ̂ⱼ` to every *distinct* member `∂*aⱼ`.
 //! 2. **Accumulate** (round 1): each agent folds the incoming measurements
 //!    into `Ψᵢ` and `Δ*ᵢ` and forms its score `Ψᵢ − Δ*ᵢ·k/2`.
-//! 3. **Sort via a sorting network** (rounds `2..2+depth`): agents run a
-//!    Batcher odd-even mergesort on score tokens; one network layer per
-//!    round, two messages per comparator.
-//! 4. **Assign** (final round): the agent holding a token at position `< k`
-//!    notifies the token's owner to output bit one.
+//! 3. **Select the top `k`** (phase II): pluggable via
+//!    [`SelectionStrategy`] —
+//!    * [`SelectionStrategy::BatcherSort`]: agents run a Batcher odd-even
+//!      mergesort on score tokens, one network layer per round, two
+//!      messages per comparator (the paper's Section III construction);
+//!    * [`SelectionStrategy::GossipThreshold`]: agents run the adaptive
+//!      bisection of [`npd_netsim::gossip::TopKCore`] *inside this
+//!      network* — global score bounds, then one count-all-reduce per
+//!      probe threshold until the `k`-th score is isolated or only exact
+//!      ties remain. No `O(n log² n)` sorting network is ever built, so
+//!      this path scales to millions of agents.
+//! 4. **Assign**: under `BatcherSort`, the agent holding a token at
+//!    position `< k` notifies the token's owner (one extra round). Under
+//!    `GossipThreshold` every agent decides its *own* bit locally — there
+//!    is no assignment traffic at all.
 //!
-//! The output is *bit-identical* to [`crate::GreedyDecoder`] (same summation
-//! order, same deterministic tie-breaking), which the test-suite asserts —
-//! the distributed variant is equivalent, exactly as claimed in Section III.
+//! The output of both strategies is *bit-identical* to
+//! [`crate::GreedyDecoder`] (same summation order, same deterministic
+//! tie-breaking), which the test-suite asserts — the distributed variants
+//! are equivalent, exactly as claimed in Section III.
 //!
 //! Under fault injection the protocol degrades gracefully rather than
-//! deadlocking: a missing partner token leaves the agent's own token in
-//! place, and a missing assignment defaults to bit zero (reported in
-//! [`ProtocolOutcome::missing_assignments`]).
+//! deadlocking or corrupting state: sort tokens carry their layer and
+//! stale (delayed) tokens are counted and ignored instead of being
+//! consumed as the current layer's partner; a missing partner token leaves
+//! the agent's own token in place; a missing assignment defaults to bit
+//! zero (reported in [`ProtocolOutcome::missing_assignments`]); and the
+//! gossip selection counts and ignores out-of-phase arrivals (reported in
+//! [`ProtocolOutcome::stale_messages`]). The round budget accounts for the
+//! fault model's maximum message delay, so delayed messages never turn
+//! graceful degradation into a spurious `MaxRoundsExceeded`.
 
 use crate::greedy::Estimate;
 use crate::model::Run;
+use npd_netsim::gossip::TopKCore;
 use npd_netsim::{
     recommended_shards, Activity, Context, Envelope, FaultConfig, MaxRoundsExceeded, Metrics,
     Network, Node, NodeId, NodeTraffic,
 };
 use npd_sortnet::SortingNetwork;
 use std::sync::Arc;
+
+/// How phase II (top-`k` selection) of the protocol is executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectionStrategy {
+    /// The paper's Batcher odd-even mergesort: `O(log² n)` rounds, two
+    /// messages per comparator, plus one assignment round. Requires an
+    /// `O(n log² n)` comparator schedule in memory.
+    #[default]
+    BatcherSort,
+    /// The adaptive gossip bisection over the score threshold
+    /// ([`npd_netsim::gossip::TopKCore`]): `O(log n)` rounds per probe,
+    /// one message per agent per round, no schedule memory, and every
+    /// agent decides its own bit locally (no assignment phase).
+    GossipThreshold,
+}
+
+impl std::fmt::Display for SelectionStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SelectionStrategy::BatcherSort => "batcher",
+            SelectionStrategy::GossipThreshold => "gossip",
+        })
+    }
+}
 
 /// Messages exchanged by the protocol.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -49,13 +91,22 @@ pub enum ProtocolMessage {
         /// centering is exact on ragged, degree-balanced designs).
         slots: u32,
     },
-    /// A sorting token: the score and the agent it belongs to.
+    /// A sorting token: the score, the agent it belongs to, and the layer
+    /// it is addressed to. The layer tag lets receivers filter tokens that
+    /// a delay fault pushed past their comparator: consuming a stale token
+    /// as the current layer's partner would silently corrupt the
+    /// compare-exchange.
     Token {
         /// Greedy score of the token's owner.
         score: f64,
         /// The owner's agent id.
         agent: u32,
+        /// The comparator layer this token is addressed to.
+        layer: u32,
     },
+    /// One message of the embedded gossip selection (phase-tagged; see
+    /// [`npd_netsim::gossip::TopKMsg`]).
+    TopK(npd_netsim::gossip::TopKMsg),
     /// Final bit assignment delivered to the token's owner.
     Assign {
         /// Whether the owner is among the top `k`.
@@ -110,20 +161,41 @@ enum ProtocolNode {
     Query(QueryState),
 }
 
+/// Phase-II state of an agent, per [`SelectionStrategy`].
+#[derive(Debug)]
+enum Phase2 {
+    Batcher {
+        schedule: Arc<SortSchedule>,
+        token: (f64, u32),
+        /// Whether this agent has sent its final assignment (used to split
+        /// the per-phase message accounting).
+        sent_assign: bool,
+    },
+    Gossip {
+        /// Number of agents on the selection id line.
+        n: u32,
+        /// Built in round 1, once the score is known.
+        core: Option<TopKCore>,
+    },
+}
+
 #[derive(Debug)]
 struct AgentState {
     k: usize,
     pos: u32,
     /// Per-slot one-read rate of the second neighborhood.
     slot_rate: f64,
-    schedule: Arc<SortSchedule>,
+    phase2: Phase2,
     psi: f64,
     distinct: u32,
     multi: u64,
     /// Total slots of the queries heard from (`Σ_{j∈∂*i} |∂aⱼ|`).
     slot_sum: u64,
     score: f64,
-    token: (f64, u32),
+    /// Stale arrivals counted and ignored (wrong-layer tokens under
+    /// `BatcherSort`, out-of-phase gossip messages under
+    /// `GossipThreshold`).
+    stale: u64,
     output: Option<bool>,
 }
 
@@ -189,61 +261,169 @@ impl AgentState {
             // decoder, so the two implementations agree bit-for-bit.
             let slots = (self.slot_sum - self.multi) as f64;
             self.score = self.psi - slots * self.slot_rate;
-            self.token = (self.score, self.pos);
-            if self.schedule.depth == 0 {
-                // Trivial sort (n = 1): assign immediately.
-                let one = (self.pos as usize) < self.k;
-                ctx.send(
-                    NodeId(self.token.1 as usize),
-                    ProtocolMessage::Assign { one },
-                );
-            } else if let Some((partner, _)) = self.schedule.per_layer[0][self.pos as usize] {
-                let (score, agent) = self.token;
-                ctx.send(
-                    NodeId(partner as usize),
-                    ProtocolMessage::Token { score, agent },
-                );
-            }
-            return Activity::Idle;
+            return match &mut self.phase2 {
+                Phase2::Batcher {
+                    schedule,
+                    token,
+                    sent_assign,
+                } => {
+                    *token = (self.score, self.pos);
+                    if schedule.depth == 0 {
+                        // Trivial sort (n = 1): assign immediately.
+                        let one = (self.pos as usize) < self.k;
+                        ctx.send(NodeId(self.pos as usize), ProtocolMessage::Assign { one });
+                        *sent_assign = true;
+                    } else if let Some((partner, _)) = schedule.per_layer[0][self.pos as usize] {
+                        let (score, agent) = *token;
+                        ctx.send(
+                            NodeId(partner as usize),
+                            ProtocolMessage::Token {
+                                score,
+                                agent,
+                                layer: 0,
+                            },
+                        );
+                    }
+                    Activity::Idle
+                }
+                Phase2::Gossip { n, core } => {
+                    let built = core.insert(TopKCore::new(self.score, self.k, *n as usize));
+                    // Round 1's inbox holds the measurements folded above,
+                    // not selection traffic: the core starts from an empty
+                    // inbox.
+                    let mut discard = 0;
+                    let active =
+                        Self::step_core(built, self.pos as usize, &mut discard, ctx, false);
+                    self.finish_gossip_round(active)
+                }
+            };
         }
 
+        match &mut self.phase2 {
+            Phase2::Batcher { .. } => self.batcher_round(ctx, r),
+            Phase2::Gossip { core, .. } => {
+                let Some(core) = core.as_mut() else {
+                    // The engine steps every node every round, so round 1
+                    // always built the core before any later round runs.
+                    unreachable!("gossip core missing after round 1");
+                };
+                let active = Self::step_core(core, self.pos as usize, &mut self.stale, ctx, true);
+                self.finish_gossip_round(active)
+            }
+        }
+    }
+
+    /// Steps the embedded gossip core for one round, translating its sends
+    /// into protocol messages (agents are network ids `0..n`, so line ids
+    /// map one to one). Allocation-free: the inbox is fed as an iterator
+    /// and the core's single per-round send is buffered in an `Option`.
+    /// Non-TopK arrivals (late measurements under delay faults) are
+    /// counted into `stale`, never merged. `read_inbox` is false for the
+    /// core's very first step (round 1), whose inbox is the measurement
+    /// broadcast, not selection traffic.
+    fn step_core(
+        core: &mut TopKCore,
+        pos: usize,
+        stale: &mut u64,
+        ctx: &mut Context<'_, ProtocolMessage>,
+        read_inbox: bool,
+    ) -> bool {
+        let mut out: Option<(usize, npd_netsim::gossip::TopKMsg)> = None;
+        let mut late = 0u64;
+        let take = if read_inbox { usize::MAX } else { 0 };
+        let active = {
+            let inbox = ctx
+                .inbox()
+                .iter()
+                .take(take)
+                .filter_map(|env| match env.payload {
+                    ProtocolMessage::TopK(m) => Some(m),
+                    _ => {
+                        late += 1;
+                        None
+                    }
+                });
+            core.step(pos, inbox, |dst, msg| {
+                out = Some((dst, msg));
+            })
+        };
+        *stale += late;
+        if let Some((dst, msg)) = out {
+            ctx.send(NodeId(dst), ProtocolMessage::TopK(msg));
+        }
+        active
+    }
+
+    /// Records the gossip decision once the core reaches one.
+    fn finish_gossip_round(&mut self, active: bool) -> Activity {
+        if let Phase2::Gossip {
+            core: Some(core), ..
+        } = &self.phase2
+        {
+            if let Some(decision) = core.decision() {
+                self.output = Some(decision.selected);
+            }
+        }
+        if active {
+            Activity::Active
+        } else {
+            Activity::Idle
+        }
+    }
+
+    fn batcher_round(&mut self, ctx: &mut Context<'_, ProtocolMessage>, r: u64) -> Activity {
+        let Phase2::Batcher {
+            schedule,
+            token,
+            sent_assign,
+        } = &mut self.phase2
+        else {
+            unreachable!("batcher_round called in gossip mode");
+        };
         let resolved_layer = (r - 2) as usize;
-        if resolved_layer < self.schedule.depth {
+        if resolved_layer < schedule.depth {
             // Resolve the compare-exchange whose tokens arrived this round.
-            if let Some((_, is_lo)) = self.schedule.per_layer[resolved_layer][self.pos as usize] {
-                if let Some(theirs) = first_token(ctx.inbox()) {
-                    let mine_first = token_precedes(self.token, theirs);
+            if let Some((_, is_lo)) = schedule.per_layer[resolved_layer][self.pos as usize] {
+                let (theirs, stale) = first_token(ctx.inbox(), resolved_layer as u32);
+                self.stale += stale;
+                if let Some(theirs) = theirs {
+                    let mine_first = token_precedes(*token, theirs);
                     // `lo` keeps the preceding token, `hi` the other.
-                    self.token = if is_lo == mine_first {
-                        self.token
-                    } else {
-                        theirs
-                    };
+                    *token = if is_lo == mine_first { *token } else { theirs };
                 }
-                // A dropped partner token leaves our token in place —
-                // degraded but deadlock-free (see module docs).
+                // A dropped (or delayed — now filtered by the layer tag)
+                // partner token leaves our token in place — degraded but
+                // deadlock-free (see module docs).
             }
             let next = resolved_layer + 1;
-            if next < self.schedule.depth {
-                if let Some((partner, _)) = self.schedule.per_layer[next][self.pos as usize] {
-                    let (score, agent) = self.token;
+            if next < schedule.depth {
+                if let Some((partner, _)) = schedule.per_layer[next][self.pos as usize] {
+                    let (score, agent) = *token;
                     ctx.send(
                         NodeId(partner as usize),
-                        ProtocolMessage::Token { score, agent },
+                        ProtocolMessage::Token {
+                            score,
+                            agent,
+                            layer: next as u32,
+                        },
                     );
                 }
             } else {
                 // Sorting finished: position < k ⇒ the token's owner is one.
                 let one = (self.pos as usize) < self.k;
-                ctx.send(
-                    NodeId(self.token.1 as usize),
-                    ProtocolMessage::Assign { one },
-                );
+                ctx.send(NodeId(token.1 as usize), ProtocolMessage::Assign { one });
+                *sent_assign = true;
             }
-        } else if resolved_layer == self.schedule.depth {
+        } else {
+            // Assignment window: delayed assignments are still honored
+            // (`>=` rather than `==`, so a delay fault cannot silently
+            // discard a delivered assignment). Stray late tokens are
+            // counted as stale.
             for env in ctx.inbox() {
-                if let ProtocolMessage::Assign { one } = env.payload {
-                    self.output = Some(one);
+                match env.payload {
+                    ProtocolMessage::Assign { one } => self.output = Some(one),
+                    ProtocolMessage::Token { .. } => self.stale += 1,
+                    _ => {}
                 }
             }
         }
@@ -251,12 +431,29 @@ impl AgentState {
     }
 }
 
-/// First token in an inbox (duplicates from fault injection are ignored).
-fn first_token(inbox: &[Envelope<ProtocolMessage>]) -> Option<(f64, u32)> {
-    inbox.iter().find_map(|env| match env.payload {
-        ProtocolMessage::Token { score, agent } => Some((score, agent)),
-        _ => None,
-    })
+/// First token addressed to `layer` in an inbox, plus the number of stale
+/// (wrong-layer) tokens that were filtered out. Duplicates of the current
+/// layer's token are ignored (first match wins).
+fn first_token(inbox: &[Envelope<ProtocolMessage>], layer: u32) -> (Option<(f64, u32)>, u64) {
+    let mut found = None;
+    let mut stale = 0u64;
+    for env in inbox {
+        if let ProtocolMessage::Token {
+            score,
+            agent,
+            layer: tag,
+        } = env.payload
+        {
+            if tag == layer {
+                if found.is_none() {
+                    found = Some((score, agent));
+                }
+            } else {
+                stale += 1;
+            }
+        }
+    }
+    (found, stale)
 }
 
 /// Result of a protocol run.
@@ -268,10 +465,28 @@ pub struct ProtocolOutcome {
     pub rounds: u64,
     /// Full communication metrics from the simulator.
     pub metrics: Metrics,
-    /// Depth of the sorting network used in phase II.
+    /// The phase-II strategy that produced this outcome.
+    pub strategy: SelectionStrategy,
+    /// Depth of the sorting network used in phase II (`0` under
+    /// [`SelectionStrategy::GossipThreshold`], which builds none).
     pub sort_depth: usize,
+    /// Bisection probes of the adaptive gossip selection (`0` under
+    /// [`SelectionStrategy::BatcherSort`]).
+    pub probes: u32,
+    /// Rounds attributable to phase II: total rounds minus the
+    /// measurement/accumulation rounds (and, under `BatcherSort`, the
+    /// assignment round). Includes any fault-induced stretch.
+    pub selection_rounds: u64,
+    /// Messages attributable to phase II: total sends minus the
+    /// measurement broadcast and the assignment messages.
+    pub selection_messages: u64,
+    /// Stale arrivals counted and ignored by agents: wrong-layer sort
+    /// tokens or out-of-phase gossip messages (non-zero only under delay
+    /// or duplication faults).
+    pub stale_messages: u64,
     /// Agents that never received an assignment (non-zero only under
-    /// fault injection); they default to bit zero.
+    /// fault injection with `BatcherSort`; gossip agents always decide
+    /// locally); they default to bit zero.
     pub missing_assignments: usize,
     /// Per-node traffic: agents first (`0..n`), then query nodes
     /// (`n..n+m`). Backs the paper's per-node communication claim.
@@ -279,7 +494,7 @@ pub struct ProtocolOutcome {
 }
 
 /// Runs the distributed protocol for a sampled [`Run`] on a fault-free
-/// network.
+/// network with the default [`SelectionStrategy::BatcherSort`].
 ///
 /// # Errors
 ///
@@ -299,10 +514,43 @@ pub struct ProtocolOutcome {
 /// assert_eq!(outcome.estimate, GreedyDecoder::new().decode(&run));
 /// ```
 pub fn run_protocol(run: &Run) -> Result<ProtocolOutcome, MaxRoundsExceeded> {
-    run_protocol_inner(run, None)
+    run_protocol_configured(run, SelectionStrategy::default(), None)
 }
 
-/// Runs the distributed protocol with message fault injection.
+/// Runs the protocol on a fault-free network with an explicit phase-II
+/// strategy.
+///
+/// Both strategies produce output bit-identical to the sequential decoder
+/// on fault-free networks (pinned by the equivalence tests).
+///
+/// # Errors
+///
+/// Returns [`MaxRoundsExceeded`] if the network fails to quiesce.
+///
+/// # Examples
+///
+/// ```
+/// use npd_core::distributed::{self, SelectionStrategy};
+/// use npd_core::Instance;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let run = Instance::builder(64).k(2).queries(60).build().unwrap().sample(&mut rng);
+/// let sorted = distributed::run_protocol(&run).unwrap();
+/// let gossip =
+///     distributed::run_protocol_with(&run, SelectionStrategy::GossipThreshold).unwrap();
+/// assert_eq!(sorted.estimate, gossip.estimate);
+/// assert_eq!(gossip.sort_depth, 0); // no sorting network was built
+/// ```
+pub fn run_protocol_with(
+    run: &Run,
+    strategy: SelectionStrategy,
+) -> Result<ProtocolOutcome, MaxRoundsExceeded> {
+    run_protocol_configured(run, strategy, None)
+}
+
+/// Runs the distributed protocol with message fault injection (default
+/// [`SelectionStrategy::BatcherSort`]).
 ///
 /// See the module docs for the degradation semantics; correctness of the
 /// sort requires reliable delivery, so dropped token or assignment messages
@@ -317,19 +565,47 @@ pub fn run_protocol_with_faults(
     run: &Run,
     faults: FaultConfig,
 ) -> Result<ProtocolOutcome, MaxRoundsExceeded> {
-    run_protocol_inner(run, Some(faults))
+    run_protocol_configured(run, SelectionStrategy::default(), Some(faults))
 }
 
-fn run_protocol_inner(
+/// The general entry point: explicit strategy, optional fault injection.
+///
+/// # Errors
+///
+/// Returns [`MaxRoundsExceeded`] if the network fails to quiesce within
+/// the strategy's round budget (which includes the fault model's maximum
+/// message delay).
+pub fn run_protocol_configured(
     run: &Run,
+    strategy: SelectionStrategy,
     faults: Option<FaultConfig>,
 ) -> Result<ProtocolOutcome, MaxRoundsExceeded> {
     let n = run.instance().n();
     let k = run.instance().k();
     let slot_rate = crate::greedy::second_neighborhood_rate(n, k, run.instance().noise());
-    let sort_net = SortingNetwork::batcher_odd_even(n);
-    let sort_depth = sort_net.depth();
-    let schedule = Arc::new(SortSchedule::new(&sort_net));
+
+    let (sort_depth, make_phase2): (usize, Box<dyn Fn() -> Phase2>) = match strategy {
+        SelectionStrategy::BatcherSort => {
+            let sort_net = SortingNetwork::batcher_odd_even(n);
+            let depth = sort_net.depth();
+            let schedule = Arc::new(SortSchedule::new(&sort_net));
+            (
+                depth,
+                Box::new(move || Phase2::Batcher {
+                    schedule: Arc::clone(&schedule),
+                    token: (0.0, 0),
+                    sent_assign: false,
+                }),
+            )
+        }
+        SelectionStrategy::GossipThreshold => (
+            0,
+            Box::new(move || Phase2::Gossip {
+                n: n as u32,
+                core: None,
+            }),
+        ),
+    };
 
     let mut nodes: Vec<ProtocolNode> = Vec::with_capacity(n + run.instance().m());
     for pos in 0..n {
@@ -337,23 +613,39 @@ fn run_protocol_inner(
             k,
             pos: pos as u32,
             slot_rate,
-            schedule: Arc::clone(&schedule),
+            phase2: make_phase2(),
             psi: 0.0,
             distinct: 0,
             multi: 0,
             slot_sum: 0,
             score: 0.0,
-            token: (0.0, pos as u32),
+            stale: 0,
             output: None,
         }));
     }
+    let mut measurement_messages = 0u64;
     for (j, q) in run.graph().queries().iter().enumerate() {
+        let neighbors: Vec<(u32, u32)> = q.iter().collect();
+        measurement_messages += neighbors.len() as u64;
         nodes.push(ProtocolNode::Query(QueryState {
-            neighbors: q.iter().collect(),
+            neighbors,
             result: run.results()[j],
             slots: q.total_slots(),
         }));
     }
+
+    // The budget must cover the fault model's maximum delivery delay: a
+    // delayed final message (token or assignment) stretches the run by up
+    // to `max_delay` rounds, which is graceful degradation, not a failure.
+    let max_delay = faults.as_ref().map_or(0, FaultConfig::max_delay);
+    let budget = match strategy {
+        SelectionStrategy::BatcherSort => sort_depth as u64 + 5 + max_delay,
+        // max_rounds already carries the quiescence slack; add only the
+        // two measurement rounds and the delay bound.
+        SelectionStrategy::GossipThreshold => {
+            2 + npd_netsim::gossip::TopKNode::max_rounds(n) + max_delay
+        }
+    };
 
     // One shard per rayon worker; the outcome is bit-identical for any
     // shard count (the netsim engine's core guarantee).
@@ -363,7 +655,6 @@ fn run_protocol_inner(
         Some(cfg) => Network::with_faults(nodes, cfg),
     }
     .with_shards(shards);
-    let budget = sort_depth as u64 + 5;
     let report = network.run_until_quiescent_parallel(budget)?;
     let metrics = *network.metrics();
     let node_traffic = network.traffic().to_vec();
@@ -371,9 +662,24 @@ fn run_protocol_inner(
     let mut bits = vec![false; n];
     let mut scores = vec![0.0; n];
     let mut missing = 0usize;
+    let mut stale = 0u64;
+    let mut probes = 0u32;
+    let mut assign_messages = 0u64;
     for (i, node) in network.into_nodes().into_iter().take(n).enumerate() {
         if let ProtocolNode::Agent(agent) = node {
             scores[i] = agent.score;
+            stale += agent.stale;
+            match &agent.phase2 {
+                Phase2::Batcher { sent_assign, .. } => {
+                    assign_messages += u64::from(*sent_assign);
+                }
+                Phase2::Gossip { core, .. } => {
+                    if let Some(core) = core {
+                        probes = probes.max(core.probes());
+                        stale += core.stale_messages();
+                    }
+                }
+            }
             match agent.output {
                 Some(one) => bits[i] = one,
                 None => missing += 1,
@@ -381,11 +687,25 @@ fn run_protocol_inner(
         }
     }
 
+    let selection_rounds = match strategy {
+        // Subtract measure (0), accumulate (1) and the assignment round.
+        SelectionStrategy::BatcherSort => report.rounds.saturating_sub(3),
+        // Subtract measure and accumulate; gossip has no assignment round.
+        SelectionStrategy::GossipThreshold => report.rounds.saturating_sub(2),
+    };
+
     Ok(ProtocolOutcome {
         estimate: Estimate::from_parts(bits, scores),
         rounds: report.rounds,
         metrics,
+        strategy,
         sort_depth,
+        probes,
+        selection_rounds,
+        selection_messages: metrics
+            .messages_sent
+            .saturating_sub(measurement_messages + assign_messages),
+        stale_messages: stale,
         missing_assignments: missing,
         node_traffic,
     })
@@ -440,11 +760,62 @@ mod tests {
         }
     }
 
+    /// The tentpole equivalence: the gossip threshold selection embedded
+    /// in the protocol is bit-identical to the sequential decoder (and
+    /// hence to the Batcher path), across noise models and awkward
+    /// population sizes — including the tie-heavy noiseless scores.
+    #[test]
+    fn gossip_strategy_matches_sequential_decoder() {
+        for (seed, noise) in [
+            (0u64, NoiseModel::Noiseless),
+            (1, NoiseModel::z_channel(0.3)),
+            (2, NoiseModel::channel(0.2, 0.1)),
+            (3, NoiseModel::gaussian(1.5)),
+        ] {
+            let run = sample_run(96, 3, 60, noise, seed);
+            let outcome = run_protocol_with(&run, SelectionStrategy::GossipThreshold).unwrap();
+            let sequential = GreedyDecoder::new().decode(&run);
+            assert_eq!(outcome.estimate, sequential, "noise={noise}");
+            assert_eq!(outcome.missing_assignments, 0);
+            assert_eq!(outcome.stale_messages, 0);
+        }
+        for n in [2usize, 3, 5, 17, 33, 100] {
+            let run = sample_run(n, 2.min(n), 30, NoiseModel::Noiseless, 40 + n as u64);
+            let outcome = run_protocol_with(&run, SelectionStrategy::GossipThreshold).unwrap();
+            assert_eq!(outcome.estimate, GreedyDecoder::new().decode(&run), "n={n}");
+        }
+    }
+
+    /// The gossip path never materializes the sorting network and decides
+    /// every bit locally: no assignment traffic, per-phase accounting adds
+    /// up.
+    #[test]
+    fn gossip_strategy_skips_sorting_network_and_assignments() {
+        let run = sample_run(64, 3, 80, NoiseModel::gaussian(1.0), 9);
+        let outcome = run_protocol_with(&run, SelectionStrategy::GossipThreshold).unwrap();
+        assert_eq!(outcome.strategy, SelectionStrategy::GossipThreshold);
+        assert_eq!(outcome.sort_depth, 0);
+        assert!(outcome.probes > 0, "adaptive bisection must probe");
+        let measurement: u64 = run
+            .graph()
+            .queries()
+            .iter()
+            .map(|q| q.distinct_len() as u64)
+            .sum();
+        // All non-measurement traffic belongs to the selection phase.
+        assert_eq!(
+            outcome.selection_messages,
+            outcome.metrics.messages_sent - measurement
+        );
+        assert_eq!(outcome.selection_rounds, outcome.rounds - 2);
+    }
+
     #[test]
     fn round_count_is_depth_plus_three() {
         let run = sample_run(32, 2, 10, NoiseModel::Noiseless, 1);
         let outcome = run_protocol(&run).unwrap();
         assert_eq!(outcome.rounds, outcome.sort_depth as u64 + 3);
+        assert_eq!(outcome.selection_rounds, outcome.sort_depth as u64);
     }
 
     #[test]
@@ -462,6 +833,7 @@ mod tests {
         let comparators = SortingNetwork::batcher_odd_even(40).comparator_count() as u64;
         let want = measurement_msgs + 2 * comparators + 40;
         assert_eq!(outcome.metrics.messages_sent, want);
+        assert_eq!(outcome.selection_messages, 2 * comparators);
     }
 
     #[test]
@@ -528,11 +900,115 @@ mod tests {
         assert_eq!(outcome.estimate.bits().len(), 16);
     }
 
+    /// Regression (stale-token bug): `ProtocolMessage::Token` used to
+    /// carry no layer tag, so with delay faults a token from an earlier
+    /// layer was consumed by `first_token` as the current layer's partner,
+    /// silently corrupting the compare-exchange (verified: the
+    /// stale-consuming variant produces a *different* estimate on every
+    /// seed below). `first_token` must skip wrong-layer tokens — even when
+    /// the stale sender sorts first in the inbox — and report them.
+    #[test]
+    fn first_token_filters_stale_layers() {
+        let stale = ProtocolMessage::Token {
+            score: 9.0,
+            agent: 0,
+            layer: 0,
+        };
+        let current = ProtocolMessage::Token {
+            score: 2.0,
+            agent: 5,
+            layer: 1,
+        };
+        // The stale sender (id 0) precedes the current partner (id 5) in
+        // the (sender, seq)-sorted inbox — exactly the arrangement the old
+        // `first_token` mis-consumed.
+        let inbox = vec![
+            Envelope {
+                from: NodeId(0),
+                to: NodeId(3),
+                payload: stale,
+            },
+            Envelope {
+                from: NodeId(5),
+                to: NodeId(3),
+                payload: current,
+            },
+        ];
+        let (found, stale_count) = first_token(&inbox, 1);
+        assert_eq!(found, Some((2.0, 5)));
+        assert_eq!(stale_count, 1);
+        // A fully stale inbox degrades to "no partner" instead of
+        // consuming a wrong-layer token.
+        let (found, stale_count) = first_token(&inbox[..1], 1);
+        assert_eq!(found, None);
+        assert_eq!(stale_count, 1);
+    }
+
+    /// End-to-end arm of the stale-token regression: delay-only faults
+    /// must terminate, surface the filtered tokens in
+    /// [`ProtocolOutcome::stale_messages`], and replay deterministically.
+    #[test]
+    fn delayed_tokens_are_filtered_not_consumed() {
+        let mut saw_stale = false;
+        for seed in 0..12u64 {
+            let run = sample_run(32, 3, 120, NoiseModel::Noiseless, 50 + seed);
+            let faults = FaultConfig::new(0.0, 0.0, seed).unwrap().with_max_delay(2);
+            let outcome = run_protocol_with_faults(&run, faults).unwrap();
+            assert_eq!(outcome.estimate.bits().len(), 32, "seed={seed}");
+            saw_stale |= outcome.stale_messages > 0;
+        }
+        assert!(saw_stale, "no run exercised the stale-token path");
+    }
+
+    /// Regression (delay-budget bug): the round budget used to be
+    /// `sort_depth + 5`, ignoring `faults.max_delay()`, so a delayed
+    /// assignment turned graceful degradation into a spurious
+    /// `MaxRoundsExceeded`. With the delay bound in the budget every
+    /// delay-only run must terminate cleanly.
+    #[test]
+    fn delay_only_faults_stay_within_budget() {
+        let mut saw_delay = false;
+        for seed in 0..10u64 {
+            let run = sample_run(24, 2, 60, NoiseModel::Noiseless, 80 + seed);
+            let faults = FaultConfig::new(0.0, 0.0, seed).unwrap().with_max_delay(6);
+            let outcome = run_protocol_with_faults(&run, faults)
+                .unwrap_or_else(|e| panic!("seed={seed}: spurious {e}"));
+            assert_eq!(outcome.estimate.bits().len(), 24);
+            saw_delay |= outcome.metrics.messages_delayed > 0;
+        }
+        assert!(saw_delay, "no run drew a delay fault");
+    }
+
+    /// The gossip strategy under combined faults: terminates, never
+    /// panics, and every agent still decides its own bit (selection is
+    /// local, so there are no missing assignments to report).
+    #[test]
+    fn gossip_strategy_degrades_gracefully_under_faults() {
+        for (drop, dup, delay, seed) in [(0.1, 0.0, 0u64, 1u64), (0.0, 0.3, 2, 2), (0.2, 0.2, 3, 3)]
+        {
+            let run = sample_run(48, 3, 70, NoiseModel::Noiseless, 90 + seed);
+            let faults = FaultConfig::new(drop, dup, seed)
+                .unwrap()
+                .with_max_delay(delay);
+            let outcome =
+                run_protocol_configured(&run, SelectionStrategy::GossipThreshold, Some(faults))
+                    .expect("gossip protocol must terminate under faults");
+            assert_eq!(outcome.estimate.bits().len(), 48);
+            assert_eq!(outcome.missing_assignments, 0, "gossip decisions are local");
+        }
+    }
+
     #[test]
     fn token_order_is_total_and_deterministic() {
         assert!(token_precedes((2.0, 5), (1.0, 0)));
         assert!(!token_precedes((1.0, 0), (2.0, 5)));
         assert!(token_precedes((1.0, 0), (1.0, 1)));
         assert!(!token_precedes((1.0, 1), (1.0, 0)));
+    }
+
+    #[test]
+    fn strategy_display_names() {
+        assert_eq!(SelectionStrategy::BatcherSort.to_string(), "batcher");
+        assert_eq!(SelectionStrategy::GossipThreshold.to_string(), "gossip");
     }
 }

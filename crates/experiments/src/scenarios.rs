@@ -28,11 +28,13 @@ use crate::output::table;
 use crate::sweep::{self, SweepCell};
 use crate::{mix_seed, runner, Mode};
 use npd_amp::AmpDecoder;
+use npd_core::distributed::{self, SelectionStrategy};
 use npd_core::{
     exact_recovery, overlap, Decoder, DesignSpec, GreedyDecoder, Instance, NoiseModel, Regime,
     TwoStepDecoder,
 };
 use npd_decoders::BpDecoder;
+use npd_netsim::FaultConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -47,6 +49,9 @@ pub enum DecoderKind {
     Amp,
     /// Gaussian-relaxed belief propagation.
     Bp,
+    /// The full distributed protocol on the network simulator, with the
+    /// given phase-II selection strategy.
+    Distributed(SelectionStrategy),
 }
 
 impl DecoderKind {
@@ -57,6 +62,8 @@ impl DecoderKind {
             DecoderKind::TwoStep => "two-step",
             DecoderKind::Amp => "amp",
             DecoderKind::Bp => "bp",
+            DecoderKind::Distributed(SelectionStrategy::BatcherSort) => "protocol/batcher",
+            DecoderKind::Distributed(SelectionStrategy::GossipThreshold) => "protocol/gossip",
         }
     }
 
@@ -67,6 +74,9 @@ impl DecoderKind {
             DecoderKind::TwoStep => Box::new(TwoStepDecoder::new()),
             DecoderKind::Amp => Box::new(AmpDecoder::default()),
             DecoderKind::Bp => Box::new(BpDecoder::default()),
+            DecoderKind::Distributed(_) => {
+                unreachable!("distributed scenarios run through Measurement::ProtocolCost")
+            }
         }
     }
 }
@@ -80,6 +90,11 @@ pub enum Measurement {
     SuccessRate,
     /// Mean overlap at the Theorem-1 budget.
     Overlap,
+    /// End-to-end distributed-protocol cost at the Theorem-1 budget:
+    /// rounds and messages (total and per phase), adaptive probes, stale
+    /// arrivals, missing assignments, and the recovery rate — on a
+    /// power-of-two `n`-grid, optionally under fault injection.
+    ProtocolCost,
 }
 
 /// One named, fully specified experiment configuration.
@@ -95,13 +110,19 @@ pub struct Scenario {
     pub noise: NoiseModel,
     /// Decoder.
     pub decoder: DecoderKind,
-    /// What to measure (required queries, success rate, or overlap).
+    /// What to measure (required queries, success rate, overlap, or
+    /// protocol cost).
     pub measurement: Measurement,
+    /// Message faults injected into protocol scenarios (`None` elsewhere
+    /// and for fault-free protocol runs).
+    pub faults: Option<FaultConfig>,
     /// Sparsity exponent θ (`k = n^θ`).
     pub theta: f64,
     /// Query size as a divisor of `n` (`Γ = n / gamma_div`).
     pub gamma_div: usize,
-    /// Largest grid exponent in quick mode (`n` up to `10^max_exp10`).
+    /// Largest grid exponent in quick mode: `n` up to `10^max_exp10`, or
+    /// up to `2^max_exp10` for [`Measurement::ProtocolCost`] scenarios
+    /// (the protocol grids are powers of two).
     pub quick_max_exp10: u32,
     /// Largest grid exponent with `--full`.
     pub full_max_exp10: u32,
@@ -110,10 +131,16 @@ pub struct Scenario {
 impl Scenario {
     /// The scenario's n-grid for the given mode.
     pub fn grid(&self, mode: Mode) -> Vec<usize> {
-        sweep::n_grid(match mode {
+        let max_exp = match mode {
             Mode::Quick => self.quick_max_exp10,
             Mode::Full => self.full_max_exp10,
-        })
+        };
+        if self.measurement == Measurement::ProtocolCost {
+            // Power-of-two grid 2^8, 2^10, …: the natural sizes for the
+            // sorting network and the butterfly aggregation alike.
+            return (8..=max_exp).step_by(2).map(|e| 1usize << e).collect();
+        }
+        sweep::n_grid(max_exp)
     }
 
     /// The command reproducing this scenario (shown in the README catalog).
@@ -142,10 +169,28 @@ pub fn registry() -> Vec<Scenario> {
         } else {
             Measurement::SuccessRate
         },
+        faults: None,
         theta: crate::figures::THETA,
         gamma_div: 2,
         quick_max_exp10: 3,
         full_max_exp10: 5,
+    };
+    // Distributed-protocol scenarios: strategy × faults on power-of-two
+    // grids (see `Measurement::ProtocolCost`). The topology is the
+    // protocol's own (complete: query → member broadcast plus the agent
+    // id line); the fault axis is what varies.
+    let protocol = |name, summary, strategy, faults, full_exp: u32| Scenario {
+        measurement: Measurement::ProtocolCost,
+        faults,
+        quick_max_exp10: 10,
+        full_max_exp10: full_exp,
+        ..base(
+            name,
+            summary,
+            DesignSpec::Iid,
+            NoiseModel::z_channel(0.1),
+            DecoderKind::Distributed(strategy),
+        )
     };
     vec![
         base(
@@ -246,6 +291,37 @@ pub fn registry() -> Vec<Scenario> {
                 DecoderKind::Bp,
             )
         },
+        protocol(
+            "distributed-batcher",
+            "the paper's full protocol: Batcher sorting network, fault-free network",
+            SelectionStrategy::BatcherSort,
+            None,
+            14,
+        ),
+        protocol(
+            "distributed-gossip",
+            "phase II via the adaptive gossip threshold bisection: no sorting network, \
+             agents decide locally",
+            SelectionStrategy::GossipThreshold,
+            None,
+            16,
+        ),
+        protocol(
+            "distributed-batcher-delay",
+            "Batcher protocol under bounded message delay (max 6 rounds): stale tokens \
+             filtered by layer, budget stretched by the delay bound",
+            SelectionStrategy::BatcherSort,
+            Some(FaultConfig::new(0.0, 0.0, 71).unwrap().with_max_delay(6)),
+            12,
+        ),
+        protocol(
+            "distributed-gossip-faults",
+            "gossip protocol under 1% loss + duplication + delay: out-of-phase arrivals \
+             counted and ignored, every agent still decides",
+            SelectionStrategy::GossipThreshold,
+            Some(FaultConfig::new(0.01, 0.05, 72).unwrap().with_max_delay(2)),
+            12,
+        ),
     ]
 }
 
@@ -313,6 +389,130 @@ pub fn run(scenario: &Scenario, opts: &RunOptions) -> FigureReport {
     match scenario.measurement {
         Measurement::RequiredQueries => run_required_queries(scenario, opts),
         Measurement::SuccessRate | Measurement::Overlap => run_batch(scenario, opts),
+        Measurement::ProtocolCost => run_protocol_cost(scenario, opts),
+    }
+}
+
+/// Protocol-cost measurement: one full distributed-protocol execution per
+/// `(n, trial)` at the Theorem-1 query budget, reporting rounds, messages
+/// (total and phase II), adaptive probes, stale arrivals, missing
+/// assignments and recovery.
+fn run_protocol_cost(scenario: &Scenario, opts: &RunOptions) -> FigureReport {
+    let DecoderKind::Distributed(strategy) = scenario.decoder else {
+        unreachable!("ProtocolCost scenarios carry a Distributed decoder kind");
+    };
+    let trials = opts.resolve_trials(2, 4);
+    let grid = scenario.grid(opts.mode);
+    let regime = Regime::sublinear(scenario.theta);
+
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for &n in &grid {
+        // Twice the Theorem-1 sufficient count: the fault-free protocol
+        // rows should recover exactly, so the fault rows read as graceful
+        // degradation against a working baseline.
+        let m = (sweep::default_budget(n, scenario.theta, &scenario.noise) / 2).max(400);
+        let gamma = (n / scenario.gamma_div).max(1);
+        let instance = Instance::builder(n)
+            .regime(regime)
+            .queries(m)
+            .query_size(gamma)
+            .noise(scenario.noise)
+            .design(scenario.design)
+            .build()
+            .expect("registry scenarios are valid configurations");
+        let seeds: Vec<u64> = (0..trials as u64)
+            .map(|t| mix_seed(0x5CE4_0000 ^ hash_name(scenario.name), (n as u64) << 8 | t))
+            .collect();
+        let outcomes = runner::parallel_map(&seeds, opts.threads, |&seed| {
+            let run = instance.sample(&mut StdRng::seed_from_u64(seed));
+            // Vary the fault seed with the trial so fault realizations are
+            // independent across trials but reproducible.
+            let faults = scenario.faults.map(|f| {
+                FaultConfig::new(f.drop_prob(), f.dup_prob(), f.seed() ^ seed)
+                    .expect("probabilities already validated")
+                    .with_max_delay(f.max_delay())
+            });
+            let outcome = distributed::run_protocol_configured(&run, strategy, faults)
+                .expect("protocol terminates within its budget");
+            let exact = f64::from(exact_recovery(&outcome.estimate, run.ground_truth()));
+            (outcome, exact)
+        });
+        let mean = |f: &dyn Fn(&npd_core::distributed::ProtocolOutcome) -> f64| -> f64 {
+            outcomes.iter().map(|(o, _)| f(o)).sum::<f64>() / trials as f64
+        };
+        let rounds = mean(&|o| o.rounds as f64);
+        let messages = mean(&|o| o.metrics.messages_sent as f64);
+        let sel_rounds = mean(&|o| o.selection_rounds as f64);
+        let sel_messages = mean(&|o| o.selection_messages as f64);
+        let probes = mean(&|o| o.probes as f64);
+        let stale = mean(&|o| o.stale_messages as f64);
+        let missing = mean(&|o| o.missing_assignments as f64);
+        let recovery = outcomes.iter().map(|(_, e)| e).sum::<f64>() / trials as f64;
+        rows.push(vec![
+            n.to_string(),
+            instance.k().to_string(),
+            m.to_string(),
+            format!("{rounds:.0}"),
+            format!("{messages:.0}"),
+            format!("{sel_rounds:.0}"),
+            format!("{sel_messages:.0}"),
+            format!("{probes:.1}"),
+            format!("{recovery:.2}"),
+        ]);
+        csv_rows.push(vec![
+            n.to_string(),
+            instance.k().to_string(),
+            m.to_string(),
+            format!("{rounds:.1}"),
+            format!("{messages:.1}"),
+            format!("{sel_rounds:.1}"),
+            format!("{sel_messages:.1}"),
+            format!("{probes:.1}"),
+            format!("{stale:.1}"),
+            format!("{missing:.1}"),
+            format!("{recovery:.3}"),
+            trials.to_string(),
+        ]);
+    }
+    let fault_label = match scenario.faults {
+        None => "fault-free".to_string(),
+        Some(f) => format!(
+            "drop={} dup={} delay≤{}",
+            f.drop_prob(),
+            f.dup_prob(),
+            f.max_delay()
+        ),
+    };
+    let rendered = format!(
+        "Scenario {} — distributed protocol cost ({} selection, {fault_label}, \
+         {trials} trials)\n{}",
+        scenario.name,
+        strategy,
+        table(
+            &["n", "k", "m", "rounds", "messages", "selᵣ", "selₘ", "probes", "recovery"],
+            &rows
+        )
+    );
+    FigureReport {
+        name: format!("scenario-{}", scenario.name),
+        rendered,
+        csv_headers: vec![
+            "n".into(),
+            "k".into(),
+            "m".into(),
+            "rounds".into(),
+            "messages".into(),
+            "selection_rounds".into(),
+            "selection_messages".into(),
+            "probes".into(),
+            "stale_messages".into(),
+            "missing_assignments".into(),
+            "recovery_rate".into(),
+            "trials".into(),
+        ],
+        csv_rows,
+        notes: vec![scenario.summary.to_string()],
     }
 }
 

@@ -30,10 +30,18 @@ use serde::{Deserialize, Serialize};
 /// [`with_max_delay`](Self::with_max_delay) each surviving message is held
 /// back a uniform number of extra rounds in `0..=max_delay`. Delay models
 /// the bounded-asynchrony middle ground between the synchronous model the
-/// protocols are written for and a fully asynchronous network: protocols
+/// protocols are written for and a fully asynchronous network. Protocols
 /// that react to *arrivals* (measurement accumulation, push-sum) tolerate
-/// it, while fixed-timetable phases (the sorting network, the gossip
-/// selection schedule) require the synchronous model and degrade.
+/// it outright. Schedule-driven phases (the sorting network, the gossip
+/// selection) require the synchronous model, and an out-of-schedule
+/// arrival is *not* harmless to them: a delayed sort token consumed as the
+/// current layer's partner silently corrupts the compare-exchange, and an
+/// out-of-phase aggregation message used to crash the selection outright.
+/// Both protocols therefore tag their messages (comparator layer, phase
+/// index) and count-and-ignore stale arrivals — that is what turns bounded
+/// asynchrony into *graceful degradation* (missing partners, partial
+/// aggregates) instead of corruption or panics; see
+/// `ProtocolOutcome::stale_messages` and `TopKReport::stale_messages`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FaultConfig {
     drop_prob: f64,

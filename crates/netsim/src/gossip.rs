@@ -10,31 +10,30 @@
 //!   (Kempe–Dobra–Gehrke 2003) for averaging; `O(log n)` rounds to
 //!   `ε`-accuracy, fully topology-free.
 //! * [`TopKNode`] — an *exact, deterministic* decentralized selection of
-//!   the `k` highest-scoring agents, built from two primitives on the id
-//!   line: a doubling **prefix scan** (node `i` aggregates everything in
-//!   `[0, i]` in `⌈log₂ n⌉` rounds) and a doubling **broadcast** from the
-//!   last node. A global bisection over the score threshold — one
-//!   scan+broadcast per probe — shrinks the candidate interval until only
-//!   exact ties remain, which a final prefix scan breaks toward smaller
-//!   ids, matching the tie rule of the workspace's rank-`k` decoders.
+//!   the `k` highest-scoring agents, built from the doubling aggregation
+//!   schedules of [`crate::schedule`]: butterfly **all-reduce** phases
+//!   compute global aggregates (score bounds, counts above a probe
+//!   threshold) in `log₂ n + O(1)` rounds each, and a final doubling
+//!   **prefix scan** breaks exact ties toward smaller ids, matching the
+//!   tie rule of the workspace's rank-`k` decoders. The bisection over the
+//!   score threshold terminates *adaptively*: every node sees the same
+//!   aggregate, so all nodes detect in lock-step when a probe isolates the
+//!   `k`-th score (done — no tie scan needed) or when the interval is
+//!   exhausted at `f64` precision (jump to the tie scan). There is no
+//!   fixed iteration timetable to burn through.
 //!
 //! Both protocols run on the plain [`Network`] engine and
 //! are exercised end-to-end (greedy scores in, reconstruction bits out) in
-//! the workspace integration tests.
+//! the workspace integration tests. The selection core is also embeddable
+//! in a larger protocol ([`TopKCore`]); `npd-core`'s distributed decoder
+//! runs it as its phase II when the `GossipThreshold` strategy is chosen.
 
-use crate::{recommended_shards, Activity, Context, Metrics, Network, Node, NodeId, Topology};
+use crate::schedule::{AllReduceSend, IdLine};
+use crate::{
+    recommended_shards, Activity, Context, FaultConfig, Metrics, Network, Node, NodeId, Topology,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-
-/// `⌈log₂ n⌉` (0 for `n ≤ 1`): the number of doubling steps that cover the
-/// id line.
-fn doubling_steps(n: usize) -> u32 {
-    if n <= 1 {
-        0
-    } else {
-        usize::BITS - (n - 1).leading_zeros()
-    }
-}
 
 // ---------------------------------------------------------------------------
 // Push-sum averaging
@@ -199,26 +198,47 @@ pub fn push_sum_report_on(
 // Deterministic exact top-k selection
 // ---------------------------------------------------------------------------
 
-/// Message of the top-`k` selection protocol.
+/// Message of the top-`k` selection protocol. Every variant carries the
+/// sender's phase index: arrivals from any other phase (delayed or
+/// duplicated copies straggling across a phase boundary) are counted and
+/// ignored rather than corrupting the current aggregate — see
+/// [`TopKReport::stale_messages`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TopKMsg {
-    /// Prefix/broadcast payload of the bounds phase.
+    /// All-reduce payload of the bounds phase.
     Bounds {
+        /// Sender's phase index.
+        phase: u32,
         /// Running minimum.
         min: f64,
         /// Running maximum.
         max: f64,
     },
-    /// Prefix/broadcast payload of a bisection counting phase.
+    /// All-reduce payload of a bisection counting phase.
     Count {
+        /// Sender's phase index.
+        phase: u32,
         /// Number of scores strictly above the probe threshold.
         value: u64,
     },
     /// Prefix payload of the tie-breaking phase.
     Tie {
+        /// Sender's phase index.
+        phase: u32,
         /// Number of boundary scores at ids `≤` sender.
         value: u64,
     },
+}
+
+impl TopKMsg {
+    /// The phase tag the message was sent in.
+    fn phase(&self) -> u32 {
+        match *self {
+            TopKMsg::Bounds { phase, .. }
+            | TopKMsg::Count { phase, .. }
+            | TopKMsg::Tie { phase, .. } => phase,
+        }
+    }
 }
 
 /// Outcome of a finished [`TopKNode`].
@@ -230,80 +250,150 @@ pub struct TopKDecision {
     pub decided_round: u64,
 }
 
-/// Phase-local aggregation state.
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum PhaseState {
-    /// Scan accumulator for (min, max).
-    BoundsScan { min: f64, max: f64 },
-    /// Broadcast holder flag for (min, max).
-    BoundsBcast { value: Option<(f64, f64)> },
-    /// Scan accumulator for the count above the probe.
-    CountScan { value: u64 },
-    /// Broadcast holder flag for the count.
-    CountBcast { value: Option<u64> },
-    /// Scan accumulator for the boundary prefix rank.
-    TieScan { value: u64 },
-    /// All phases finished.
+/// Defensive cap on bisection probes. Any weak probe is followed by a
+/// key-halving one (see `midpoint`), so the bisection is provably
+/// exhausted after ~130 probes for any finite scores; this cap is never
+/// reached and only bounds the round budget and fault-degraded
+/// stragglers.
+pub const PROBE_LIMIT: u32 = 160;
+
+/// The phase a [`TopKCore`] is executing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PhaseKind {
+    /// All-reduce of the global (min, max) score bounds.
+    Bounds,
+    /// All-reduce of the count of scores above the current probe.
+    Count,
+    /// Prefix scan of boundary ranks for the tie break.
+    Tie,
+    /// Decided.
     Done,
 }
 
-/// One participant of the deterministic top-`k` selection.
+/// The embeddable state machine of one top-`k` selection participant.
 ///
-/// All nodes follow a fixed global timetable of uniform phases of
-/// `⌈log₂ n⌉ + 1` rounds each: one (min, max) scan, one broadcast, then
-/// `bisection_iters` pairs of count-scan/count-broadcast, and one final
-/// tie-break scan. Every node derives the phase from the shared round
-/// counter, so no coordinator is needed anywhere.
+/// [`TopKNode`] wraps this for standalone runs on a [`Network`]; the
+/// distributed decoder in `npd-core` embeds it directly in its protocol
+/// agents (translating its messages into the protocol's message enum), so
+/// phase II of Algorithm 1 can run on the *same* network as the
+/// measurement phase without ever materializing a sorting network.
+///
+/// # Protocol
+///
+/// All nodes advance a shared phase schedule in lock-step, one call to
+/// [`step`](Self::step) per synchronous round:
+///
+/// 1. **Bounds** — one all-reduce; every node learns (min, max).
+/// 2. **Count** — one all-reduce per bisection probe: count the scores
+///    strictly above the probe `midpoint(lo, hi)`. Because every node sees
+///    the same count, all nodes take identical transitions: if the count
+///    equals `k` the protocol is *done* (selected ⇔ score > probe); if the
+///    interval can no longer shrink in `f64`, all nodes jump to the tie
+///    scan; otherwise the next probe starts. Termination is adaptive —
+///    there is no fixed iteration count.
+/// 3. **Tie** — one prefix scan of boundary membership; node `i` learns
+///    its rank among the boundary scores at ids `≤ i` and selects itself
+///    iff `count_above_hi + rank ≤ k`.
 ///
 /// # Exactness
 ///
-/// The bisection shrinks the threshold interval until it either isolates
-/// the `k`-th score or can no longer shrink in `f64` (adjacent
-/// representable numbers). Scores that remain inside the final interval
-/// are *ties at working precision*; the closing prefix scan selects the
-/// lowest-id ties, which is exactly the tie rule of
-/// `Estimate::from_scores`. Distinct scores therefore select exactly when
-/// they differ by at least one representable `f64` step.
+/// On a fault-free network the result is bit-identical to the sequential
+/// rank-`k` rule (`Estimate::from_scores`) for *any* finite scores: a
+/// count of exactly `k` proves the probe separates the `k` largest scores
+/// from the rest, and interval exhaustion (adjacent `f64` endpoints)
+/// proves every remaining boundary score is *equal* to `hi`, so the
+/// lowest-id prefix rule is exactly the sequential tie break. Probes cut at
+/// least a quarter of the interval's *ordered bit patterns* each (see
+/// `midpoint`), so exhaustion is bounded regardless of the scores'
+/// dynamic range.
+///
+/// # Fault degradation
+///
+/// Messages carry their phase index; arrivals from another phase (delayed
+/// or duplicated copies) are counted as stale and ignored. Dropped
+/// messages leave aggregates partial, which degrades *accuracy* but never
+/// progress: every phase ends after its fixed number of rounds, every
+/// probe strictly shrinks the node's local interval, and every node
+/// reaches a decision within [`TopKNode::max_rounds`] rounds.
 #[derive(Debug, Clone)]
-pub struct TopKNode {
+pub struct TopKCore {
     score: f64,
     k: u64,
-    steps: u32,
-    iters: u32,
+    line: IdLine,
+    phase: PhaseKind,
+    /// Index of the current phase (the message tag).
+    phase_idx: u32,
+    /// Step within the current phase.
+    step: u64,
+    /// Rounds executed so far.
+    rounds: u64,
     lo: f64,
     hi: f64,
     /// `#{score > hi}` as of the latest interval update.
     count_above_hi: u64,
     probe: f64,
-    state: PhaseState,
+    probes: u32,
+    /// Global minimum after the bounds phase (drives the all-ties
+    /// shortcut).
+    global_min: f64,
+    /// Aggregation accumulators (min/max for bounds, sum for count/tie).
+    acc_min: f64,
+    acc_max: f64,
+    acc_sum: u64,
+    /// Whether any in-phase arrival was merged during the current phase
+    /// (drives the isolation cut-off under faults).
+    merged_in_phase: bool,
+    /// Whether the last probe cut less than a quarter of the key interval
+    /// (forces the next probe onto the key midpoint; see `midpoint`).
+    weak_probe: bool,
+    stale: u64,
+    isolated: bool,
     decision: Option<TopKDecision>,
 }
 
-impl TopKNode {
-    /// Creates a participant holding `score`, selecting `k` of `n` agents
-    /// with `bisection_iters` probing iterations.
+impl TopKCore {
+    /// Creates a participant holding `score`, selecting `k` of `n` agents.
+    ///
+    /// `k = 0` and `k = n` decide immediately (nothing to select / select
+    /// everyone) without any communication.
     ///
     /// # Panics
     ///
     /// Panics if `score` is not finite, `n == 0`, or `k > n`.
-    pub fn new(score: f64, k: usize, n: usize, bisection_iters: u32) -> Self {
-        assert!(score.is_finite(), "TopKNode: score must be finite");
-        assert!(n > 0, "TopKNode: n must be positive");
-        assert!(k <= n, "TopKNode: k={k} exceeds n={n}");
+    pub fn new(score: f64, k: usize, n: usize) -> Self {
+        assert!(score.is_finite(), "TopKCore: score must be finite");
+        assert!(n > 0, "TopKCore: n must be positive");
+        assert!(k <= n, "TopKCore: k={k} exceeds n={n}");
+        let trivial = k == 0 || k == n;
         Self {
             score,
             k: k as u64,
-            steps: doubling_steps(n),
-            iters: bisection_iters,
+            line: IdLine::new(n),
+            phase: if trivial {
+                PhaseKind::Done
+            } else {
+                PhaseKind::Bounds
+            },
+            phase_idx: 0,
+            step: 0,
+            rounds: 0,
             lo: f64::NEG_INFINITY,
             hi: f64::INFINITY,
             count_above_hi: 0,
             probe: 0.0,
-            state: PhaseState::BoundsScan {
-                min: score,
-                max: score,
-            },
-            decision: None,
+            probes: 0,
+            global_min: f64::NAN,
+            acc_min: score,
+            acc_max: score,
+            acc_sum: 0,
+            merged_in_phase: false,
+            weak_probe: false,
+            stale: 0,
+            isolated: false,
+            decision: trivial.then_some(TopKDecision {
+                selected: k == n,
+                decided_round: 0,
+            }),
         }
     }
 
@@ -312,15 +402,22 @@ impl TopKNode {
         self.decision
     }
 
-    /// Rounds the whole protocol takes for `n` nodes and `bisection_iters`
-    /// iterations (every phase has uniform length `⌈log₂ n⌉ + 1`).
-    pub fn total_rounds(n: usize, bisection_iters: u32) -> u64 {
-        let phase = doubling_steps(n) as u64 + 1;
-        (3 + 2 * bisection_iters as u64) * phase
+    /// Bisection probes executed so far.
+    pub fn probes(&self) -> u32 {
+        self.probes
     }
 
-    fn phase_len(&self) -> u64 {
-        self.steps as u64 + 1
+    /// Out-of-phase arrivals counted and ignored so far.
+    pub fn stale_messages(&self) -> u64 {
+        self.stale
+    }
+
+    /// Whether this node decided early because an entire aggregation phase
+    /// passed without a single in-phase arrival — it was cut off from the
+    /// protocol by message loss and made a best-effort local decision
+    /// instead of bisecting to exhaustion alone.
+    pub fn is_isolated(&self) -> bool {
+        self.isolated
     }
 
     /// Whether `self.score` lies in the boundary interval `(lo, hi]`.
@@ -328,193 +425,350 @@ impl TopKNode {
         self.score > self.lo && self.score <= self.hi
     }
 
-    /// Transition into the phase with the given index. The last node seeds
-    /// each broadcast phase with the aggregate its prefix scan produced.
-    fn enter_phase(&mut self, phase: u64, is_last_node: bool) {
-        self.state = if phase == 0 {
-            PhaseState::BoundsScan {
-                min: self.score,
-                max: self.score,
-            }
-        } else if phase == 1 {
-            let seed = match self.state {
-                PhaseState::BoundsScan { min, max } if is_last_node => Some((min, max)),
-                _ => None,
-            };
-            PhaseState::BoundsBcast { value: seed }
-        } else if phase < 2 + 2 * self.iters as u64 {
-            let idx = phase - 2;
-            if idx.is_multiple_of(2) {
-                // Compute the probe for this bisection iteration; all nodes
-                // hold identical (lo, hi) so the probe is identical too.
-                let mid = midpoint(self.lo, self.hi);
-                self.probe = mid;
-                let above = u64::from(self.score > mid);
-                PhaseState::CountScan { value: above }
-            } else {
-                let seed = match self.state {
-                    PhaseState::CountScan { value } if is_last_node => Some(value),
-                    _ => None,
-                };
-                PhaseState::CountBcast { value: seed }
-            }
-        } else if phase == 2 + 2 * self.iters as u64 {
-            PhaseState::TieScan {
-                value: u64::from(self.in_boundary()),
-            }
-        } else {
-            PhaseState::Done
-        };
+    fn phase_len(&self) -> u64 {
+        match self.phase {
+            PhaseKind::Bounds | PhaseKind::Count => self.line.allreduce_rounds(),
+            PhaseKind::Tie => self.line.scan_rounds(),
+            PhaseKind::Done => u64::MAX,
+        }
     }
 
-    /// Deterministic interval update shared by every node after a count
-    /// broadcast.
-    fn apply_count(&mut self, count: u64) {
-        let mid = self.probe;
-        if !(mid > self.lo && mid < self.hi) {
-            return; // interval exhausted at f64 precision
+    /// Enters the next phase once the current one has run its rounds. The
+    /// transition depends only on state every (fault-free) node shares, so
+    /// all nodes switch in lock-step.
+    fn advance_phase(&mut self) {
+        self.phase_idx += 1;
+        self.step = 0;
+        self.merged_in_phase = false;
+        match self.phase {
+            PhaseKind::Bounds => {
+                // Initialize the bisection interval just below/at the
+                // actual score range: c(lo) = n ≥ k and c(max) = 0 < k
+                // hold by construction.
+                self.global_min = self.acc_min;
+                self.lo = below(self.acc_min);
+                self.hi = self.acc_max;
+                self.count_above_hi = 0;
+                self.weak_probe = false;
+                if self.global_min == self.acc_max {
+                    // Every score equal: the boundary is everyone, skip the
+                    // bisection entirely.
+                    self.enter_tie();
+                } else {
+                    self.enter_count();
+                }
+            }
+            PhaseKind::Count => {
+                let mid = midpoint(self.lo, self.hi, self.weak_probe);
+                if self.probes >= PROBE_LIMIT || !(mid > self.lo && mid < self.hi) {
+                    // Interval exhausted at f64 precision: everything left
+                    // in (lo, hi] is an exact tie at hi.
+                    self.enter_tie();
+                } else {
+                    self.enter_count();
+                }
+            }
+            PhaseKind::Tie | PhaseKind::Done => {
+                self.phase = PhaseKind::Done;
+            }
         }
-        if count >= self.k {
-            self.lo = mid;
-        } else {
-            self.hi = mid;
-            self.count_above_hi = count;
+    }
+
+    fn enter_count(&mut self) {
+        self.phase = PhaseKind::Count;
+        self.probe = midpoint(self.lo, self.hi, self.weak_probe);
+        self.acc_sum = u64::from(self.score > self.probe);
+    }
+
+    fn enter_tie(&mut self) {
+        self.phase = PhaseKind::Tie;
+        self.acc_sum = u64::from(self.in_boundary());
+    }
+
+    /// Merges one arrival into the current accumulator, or counts it as
+    /// stale if it belongs to another phase (or phase kind).
+    fn merge(&mut self, msg: TopKMsg) {
+        if msg.phase() != self.phase_idx {
+            self.stale += 1;
+            return;
         }
+        match (self.phase, msg) {
+            (PhaseKind::Bounds, TopKMsg::Bounds { min, max, .. }) => {
+                self.acc_min = self.acc_min.min(min);
+                self.acc_max = self.acc_max.max(max);
+                self.merged_in_phase = true;
+            }
+            (PhaseKind::Count, TopKMsg::Count { value, .. })
+            | (PhaseKind::Tie, TopKMsg::Tie { value, .. }) => {
+                self.acc_sum += value;
+                self.merged_in_phase = true;
+            }
+            _ => self.stale += 1,
+        }
+    }
+
+    /// The message carrying the current accumulator.
+    fn payload(&self) -> TopKMsg {
+        let phase = self.phase_idx;
+        match self.phase {
+            PhaseKind::Bounds => TopKMsg::Bounds {
+                phase,
+                min: self.acc_min,
+                max: self.acc_max,
+            },
+            PhaseKind::Count => TopKMsg::Count {
+                phase,
+                value: self.acc_sum,
+            },
+            PhaseKind::Tie => TopKMsg::Tie {
+                phase,
+                value: self.acc_sum,
+            },
+            PhaseKind::Done => unreachable!("Done nodes never send"),
+        }
+    }
+
+    /// Executes one synchronous round: merges `inbox`, emits this step's
+    /// sends through `send(destination_id, message)`, and finalizes the
+    /// phase on its last step. Returns `true` while the node still wants
+    /// rounds (i.e. until its decision is made).
+    ///
+    /// `id` is the node's position on the id line `0..n`; the caller maps
+    /// line ids to its own node-id space (the standalone wrapper uses the
+    /// identity, the embedded protocol offsets by nothing since agents are
+    /// ids `0..n` there too).
+    pub fn step(
+        &mut self,
+        id: usize,
+        inbox: impl IntoIterator<Item = TopKMsg>,
+        mut send: impl FnMut(usize, TopKMsg),
+    ) -> bool {
+        if self.phase != PhaseKind::Done && self.step >= self.phase_len() {
+            self.advance_phase();
+        }
+        for msg in inbox {
+            if self.phase == PhaseKind::Done {
+                self.stale += 1;
+            } else {
+                self.merge(msg);
+            }
+        }
+        if self.phase == PhaseKind::Done {
+            self.rounds += 1;
+            return false;
+        }
+
+        // Emit this step's sends.
+        match self.phase {
+            PhaseKind::Bounds | PhaseKind::Count => {
+                match self.line.allreduce_send(id, self.step) {
+                    Some(AllReduceSend::FoldIn(dst)) => {
+                        send(dst, self.payload());
+                        // The destination now carries this node's mass; the
+                        // total comes back in the fold-out round.
+                        self.acc_min = f64::INFINITY;
+                        self.acc_max = f64::NEG_INFINITY;
+                        self.acc_sum = 0;
+                    }
+                    Some(AllReduceSend::Exchange(dst)) | Some(AllReduceSend::FoldOut(dst)) => {
+                        send(dst, self.payload());
+                    }
+                    None => {}
+                }
+            }
+            PhaseKind::Tie => {
+                if let Some(dst) = self.line.scan_target(id, self.step) {
+                    send(dst, self.payload());
+                }
+            }
+            PhaseKind::Done => unreachable!("handled above"),
+        }
+
+        // Finalize on the phase's last step.
+        if self.step + 1 == self.phase_len() {
+            // Isolation cut-off: an aggregation phase (which delivers at
+            // least one arrival to every node on a fault-free network of
+            // n > 1) ended without a single in-phase arrival — this node
+            // is cut off by message loss. Decide best-effort now instead
+            // of bisecting a partial interval to exhaustion alone.
+            if self.line.n() > 1
+                && !self.merged_in_phase
+                && matches!(self.phase, PhaseKind::Bounds | PhaseKind::Count)
+            {
+                self.isolated = true;
+                self.decision = Some(TopKDecision {
+                    selected: self.score > self.hi,
+                    decided_round: self.rounds,
+                });
+                self.phase = PhaseKind::Done;
+                self.rounds += 1;
+                return false;
+            }
+            match self.phase {
+                PhaseKind::Count => {
+                    self.probes += 1;
+                    if self.acc_sum == self.k {
+                        // The probe separates the k largest scores exactly.
+                        self.decision = Some(TopKDecision {
+                            selected: self.score > self.probe,
+                            decided_round: self.rounds,
+                        });
+                        self.phase = PhaseKind::Done;
+                    } else {
+                        let before = ord_key(self.hi) - ord_key(self.lo);
+                        if self.acc_sum > self.k {
+                            self.lo = self.probe;
+                        } else {
+                            self.hi = self.probe;
+                            self.count_above_hi = self.acc_sum;
+                        }
+                        let after = ord_key(self.hi) - ord_key(self.lo);
+                        // A probe that kept more than 3/4 of the key
+                        // interval was weak; the next one halves it.
+                        self.weak_probe = after > before - before / 4;
+                    }
+                }
+                PhaseKind::Tie => {
+                    // `acc_sum` is this node's boundary prefix rank (self
+                    // included).
+                    let selected = self.score > self.hi
+                        || (self.in_boundary() && self.count_above_hi + self.acc_sum <= self.k);
+                    self.decision = Some(TopKDecision {
+                        selected,
+                        decided_round: self.rounds,
+                    });
+                    self.phase = PhaseKind::Done;
+                }
+                PhaseKind::Bounds | PhaseKind::Done => {}
+            }
+        }
+        self.step += 1;
+        self.rounds += 1;
+        self.phase != PhaseKind::Done
     }
 }
 
-/// Midpoint that tolerates infinite endpoints (the first probes).
-fn midpoint(lo: f64, hi: f64) -> f64 {
-    if lo == f64::NEG_INFINITY && hi == f64::INFINITY {
-        0.0
-    } else if lo == f64::NEG_INFINITY {
-        if hi > 0.0 {
-            0.0
-        } else {
-            2.0 * hi - 1.0
+/// One standalone participant of the deterministic top-`k` selection: a
+/// [`TopKCore`] driven by the [`Network`] engine.
+#[derive(Debug, Clone)]
+pub struct TopKNode {
+    core: TopKCore,
+}
+
+impl TopKNode {
+    /// Creates a participant holding `score`, selecting `k` of `n` agents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `score` is not finite, `n == 0`, or `k > n`.
+    pub fn new(score: f64, k: usize, n: usize) -> Self {
+        Self {
+            core: TopKCore::new(score, k, n),
         }
-    } else if hi == f64::INFINITY {
-        if lo < 0.0 {
-            0.0
-        } else {
-            2.0 * lo + 1.0
-        }
-    } else {
-        lo + (hi - lo) / 2.0
+    }
+
+    /// The node's decision once the protocol has finished.
+    pub fn decision(&self) -> Option<TopKDecision> {
+        self.core.decision()
+    }
+
+    /// Upper bound on the rounds any node needs to decide, for `n` nodes:
+    /// the bounds phase, at most [`PROBE_LIMIT`] count phases, and the tie
+    /// scan. The adaptive termination finishes far earlier on real data;
+    /// this is the budget guard for
+    /// [`Network::run_until_quiescent`](crate::Network::run_until_quiescent).
+    pub fn max_rounds(n: usize) -> u64 {
+        let line = IdLine::new(n);
+        (1 + PROBE_LIMIT as u64) * line.allreduce_rounds() + line.scan_rounds() + 2
     }
 }
 
 impl Node<TopKMsg> for TopKNode {
     fn on_round(&mut self, ctx: &mut Context<'_, TopKMsg>) -> Activity {
-        let phase_len = self.phase_len();
-        let phase = ctx.round() / phase_len;
-        let step = ctx.round() % phase_len;
-        if step == 0 {
-            let is_last_node = ctx.id().0 + 1 == ctx.node_count();
-            self.enter_phase(phase, is_last_node);
-        }
-
-        // Merge arrivals (sent at the previous step of this phase).
-        for env in ctx.inbox() {
-            match (&mut self.state, env.payload) {
-                (PhaseState::BoundsScan { min, max }, TopKMsg::Bounds { min: m, max: x }) => {
-                    *min = min.min(m);
-                    *max = max.max(x);
-                }
-                (PhaseState::BoundsBcast { value }, TopKMsg::Bounds { min, max }) => {
-                    *value = Some((min, max));
-                }
-                (PhaseState::CountScan { value }, TopKMsg::Count { value: v }) => {
-                    *value += v;
-                }
-                (PhaseState::CountBcast { value }, TopKMsg::Count { value: v }) => {
-                    *value = Some(v);
-                }
-                (PhaseState::TieScan { value }, TopKMsg::Tie { value: v }) => {
-                    *value += v;
-                }
-                (state, msg) => {
-                    unreachable!("top-k: message {msg:?} arrived in state {state:?}")
-                }
-            }
-        }
-
         let id = ctx.id().0;
-        let n = ctx.node_count();
-
-        // Emit this step's sends.
-        match self.state {
-            PhaseState::BoundsScan { min, max } if step < self.steps as u64 => {
-                let offset = 1usize << step;
-                if id + offset < n {
-                    ctx.send(NodeId(id + offset), TopKMsg::Bounds { min, max });
-                }
-            }
-            PhaseState::BoundsBcast { value } => {
-                if step < self.steps as u64 {
-                    if let Some((min, max)) = value {
-                        let offset = 1usize << (self.steps as u64 - 1 - step);
-                        if id >= offset {
-                            ctx.send(NodeId(id - offset), TopKMsg::Bounds { min, max });
-                        }
-                    }
-                }
-                if step + 1 == phase_len {
-                    let (min, max) =
-                        value.expect("doubling broadcast reaches every node by its last step");
-                    // Initialize the bisection interval: c(min−1) = n ≥ k
-                    // and c(max) = 0 < k hold by construction.
-                    self.lo = min - 1.0;
-                    self.hi = max;
-                    self.count_above_hi = 0;
-                }
-            }
-            PhaseState::CountScan { value } if step < self.steps as u64 => {
-                let offset = 1usize << step;
-                if id + offset < n {
-                    ctx.send(NodeId(id + offset), TopKMsg::Count { value });
-                }
-            }
-            PhaseState::CountBcast { value } => {
-                if step < self.steps as u64 {
-                    if let Some(v) = value {
-                        let offset = 1usize << (self.steps as u64 - 1 - step);
-                        if id >= offset {
-                            ctx.send(NodeId(id - offset), TopKMsg::Count { value: v });
-                        }
-                    }
-                }
-                if step + 1 == phase_len {
-                    let v = value.expect("doubling broadcast reaches every node by its last step");
-                    self.apply_count(v);
-                }
-            }
-            PhaseState::TieScan { value } => {
-                if step < self.steps as u64 {
-                    let offset = 1usize << step;
-                    if id + offset < n {
-                        ctx.send(NodeId(id + offset), TopKMsg::Tie { value });
-                    }
-                } else {
-                    // Scan complete: `value` is this node's boundary prefix
-                    // rank (self included). Decide.
-                    let selected = self.score > self.hi
-                        || (self.in_boundary() && self.count_above_hi + value <= self.k);
-                    self.decision = Some(TopKDecision {
-                        selected,
-                        decided_round: ctx.round(),
-                    });
-                    self.state = PhaseState::Done;
-                }
-            }
-            _ => {}
+        // A node emits at most one message per round, so buffering the
+        // send keeps the round allocation-free.
+        let mut out: Option<(usize, TopKMsg)> = None;
+        let inbox = ctx.inbox().iter().map(|env| env.payload);
+        let active = self.core.step(id, inbox, |dst, msg| out = Some((dst, msg)));
+        if let Some((dst, msg)) = out {
+            ctx.send(NodeId(dst), msg);
         }
-
-        if matches!(self.state, PhaseState::Done) {
-            Activity::Idle
-        } else {
+        if active {
             Activity::Active
+        } else {
+            Activity::Idle
         }
+    }
+}
+
+/// Monotone map from `f64` (finite or infinite, not NaN) to the `u64`
+/// key line: `x < y  ⟺  ord_key(x) < ord_key(y)` (with `-0.0` keyed one
+/// below `+0.0`). Bisecting in key space halves the number of
+/// *representable* values in the interval each probe, so any interval is
+/// exhausted after at most 64 probes — independent of the scores' dynamic
+/// range. An arithmetic midpoint would shrink wide-range intervals like
+/// `(2.0, 1e300]` by value, needing ~1000 probes to reach the boundary.
+fn ord_key(x: f64) -> u64 {
+    let b = x.to_bits();
+    if b & 0x8000_0000_0000_0000 != 0 {
+        !b
+    } else {
+        b | 0x8000_0000_0000_0000
+    }
+}
+
+/// Inverse of [`ord_key`].
+fn from_ord_key(k: u64) -> f64 {
+    if k & 0x8000_0000_0000_0000 != 0 {
+        f64::from_bits(k & 0x7FFF_FFFF_FFFF_FFFF)
+    } else {
+        f64::from_bits(!k)
+    }
+}
+
+/// Bisection probe for `(lo, hi)`: the arithmetic midpoint by default (on
+/// well-scaled scores, value bisection lands a probe between the `k`-th
+/// and `(k+1)`-th order statistics fastest), or — when `prefer_key`
+/// reports the previous probe was *weak* (cut less than a quarter of the
+/// key interval) — the key-line midpoint, which unconditionally halves
+/// the count of representable values. A weak probe is always followed by
+/// a halving one, bounding the bisection at ~130 probes for any finite
+/// scores — wide dynamic ranges
+/// included. The probe is canonicalized so `-0.0` never becomes an
+/// interval endpoint
+/// (numeric comparisons treat the two zeros as equal, so a `-0.0`
+/// endpoint would stall the strict-inequality progress check).
+fn midpoint(lo: f64, hi: f64, prefer_key: bool) -> f64 {
+    let mut probe = f64::NAN;
+    if !prefer_key && lo.is_finite() && hi.is_finite() {
+        // `hi - lo` may overflow to infinity; the strict-inside test
+        // rejects the result and falls back to the key midpoint.
+        let am = lo + (hi - lo) / 2.0;
+        if am > lo && am < hi {
+            probe = am;
+        }
+    }
+    if probe.is_nan() {
+        let a = ord_key(lo);
+        let b = ord_key(hi);
+        probe = from_ord_key(a + (b - a) / 2);
+    }
+    if probe.to_bits() == (-0.0f64).to_bits() {
+        probe = 0.0;
+    }
+    probe
+}
+
+/// The key-line predecessor of `min`, skipping the `-0.0`/`+0.0` alias so
+/// the result is *numerically* strictly below `min` — the initial `lo` of
+/// the bisection (`count(>lo) = n >= k` holds by construction).
+fn below(min: f64) -> f64 {
+    let lo = from_ord_key(ord_key(min) - 1);
+    if lo == 0.0 && min == 0.0 {
+        from_ord_key(ord_key(min) - 2)
+    } else {
+        lo
     }
 }
 
@@ -527,39 +781,79 @@ pub struct TopKReport {
     pub rounds: u64,
     /// Messages sent in total.
     pub messages: u64,
+    /// Bisection probes the adaptive termination actually needed (maximum
+    /// over nodes; identical at every node on fault-free networks).
+    pub probes: u32,
+    /// Out-of-phase arrivals counted and ignored (non-zero only under
+    /// message delay or duplication faults).
+    pub stale_messages: u64,
+    /// Nodes that decided early after an aggregation phase delivered them
+    /// nothing at all (cut off by message loss; zero on fault-free runs).
+    pub isolated_nodes: usize,
 }
-
-/// Default bisection iterations: enough to exhaust an `f64` interval.
-pub const DEFAULT_BISECTION_ITERS: u32 = 90;
 
 /// Runs the decentralized selection of the `k` largest `scores`.
 ///
 /// Ties at the working precision break toward smaller node ids, matching
-/// the rank-`k` decoders of `npd-core`.
+/// the rank-`k` decoders of `npd-core`. The bisection terminates
+/// adaptively (see [`TopKCore`]); there is no iteration count to tune.
 ///
 /// # Panics
 ///
 /// Panics if `scores` is empty, a score is not finite, or `k >
 /// scores.len()`.
-pub fn select_top_k(scores: &[f64], k: usize, bisection_iters: u32) -> TopKReport {
+pub fn select_top_k(scores: &[f64], k: usize) -> TopKReport {
+    let nodes = topk_nodes(scores, k);
+    let net = Network::new(nodes).with_shards(recommended_shards(scores.len()));
+    run_topk(net, scores.len(), 0)
+}
+
+/// [`select_top_k`] with message fault injection.
+///
+/// The protocol always terminates and every node always decides: phases
+/// end after a fixed number of rounds whether or not their messages
+/// arrived, stale arrivals are counted and ignored (never merged into the
+/// wrong aggregate), and partial aggregates degrade accuracy, not
+/// progress. With a zero-fault config the result equals
+/// [`select_top_k`]'s.
+///
+/// # Panics
+///
+/// Panics if `scores` is empty, a score is not finite, or `k >
+/// scores.len()`.
+pub fn select_top_k_with_faults(scores: &[f64], k: usize, faults: FaultConfig) -> TopKReport {
+    let nodes = topk_nodes(scores, k);
+    let max_delay = faults.max_delay();
+    let net = Network::with_faults(nodes, faults).with_shards(recommended_shards(scores.len()));
+    run_topk(net, scores.len(), max_delay)
+}
+
+fn topk_nodes(scores: &[f64], k: usize) -> Vec<TopKNode> {
     assert!(!scores.is_empty(), "select_top_k: no scores");
     let n = scores.len();
-    let nodes: Vec<TopKNode> = scores
-        .iter()
-        .map(|&s| TopKNode::new(s, k, n, bisection_iters))
-        .collect();
-    let mut net = Network::new(nodes).with_shards(recommended_shards(n));
-    let budget = TopKNode::total_rounds(n, bisection_iters) + 2;
+    scores.iter().map(|&s| TopKNode::new(s, k, n)).collect()
+}
+
+fn run_topk(mut net: Network<TopKMsg, TopKNode>, n: usize, max_delay: u64) -> TopKReport {
+    // The budget covers the probe-limit bound plus the fault model's
+    // maximum delivery delay (a delayed final message stretches the run).
+    let budget = TopKNode::max_rounds(n) + max_delay + 2;
     net.run_until_quiescent_parallel(budget)
-        .expect("top-k selection quiesces within its fixed timetable");
+        .expect("every node decides within the probe-limit budget");
     let rounds = net.metrics().rounds;
     let messages = net.metrics().messages_sent;
+    let mut probes = 0u32;
+    let mut stale = 0u64;
+    let mut isolated = 0usize;
     let selected = net
         .into_nodes()
         .into_iter()
         .map(|node| {
+            probes = probes.max(node.core.probes());
+            stale += node.core.stale_messages();
+            isolated += usize::from(node.core.is_isolated());
             node.decision()
-                .expect("every node decides by the end of the timetable")
+                .expect("adaptive phases always reach a decision")
                 .selected
         })
         .collect();
@@ -567,6 +861,9 @@ pub fn select_top_k(scores: &[f64], k: usize, bisection_iters: u32) -> TopKRepor
         selected,
         rounds,
         messages,
+        probes,
+        stale_messages: stale,
+        isolated_nodes: isolated,
     }
 }
 
@@ -576,17 +873,6 @@ mod tests {
     use npd_numerics::vector::top_k_indices;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-
-    #[test]
-    fn doubling_steps_values() {
-        assert_eq!(doubling_steps(1), 0);
-        assert_eq!(doubling_steps(2), 1);
-        assert_eq!(doubling_steps(3), 2);
-        assert_eq!(doubling_steps(4), 2);
-        assert_eq!(doubling_steps(5), 3);
-        assert_eq!(doubling_steps(1024), 10);
-        assert_eq!(doubling_steps(1025), 11);
-    }
 
     #[test]
     fn push_sum_converges_to_average() {
@@ -633,7 +919,7 @@ mod tests {
     }
 
     fn check_selection(scores: &[f64], k: usize) {
-        let report = select_top_k(scores, k, DEFAULT_BISECTION_ITERS);
+        let report = select_top_k(scores, k);
         let expected = top_k_indices(scores, k);
         let mut expected_bits = vec![false; scores.len()];
         for i in expected {
@@ -674,20 +960,87 @@ mod tests {
         check_selection(&scores, 2);
     }
 
+    /// Regression: the bisection walks ordered bit patterns, so scores
+    /// spanning the full f64 dynamic range are separated exactly. The
+    /// former arithmetic midpoint shrank the interval by *value* and hit
+    /// the probe cap with (1.0, 2.0) still unseparated inside (lo, hi],
+    /// mis-selecting id 0 by the tie rule.
     #[test]
-    fn all_equal_scores_select_prefix() {
-        let scores = [2.0; 9];
-        let report = select_top_k(&scores, 4, DEFAULT_BISECTION_ITERS);
-        let expected: Vec<bool> = (0..9).map(|i| i < 4).collect();
-        assert_eq!(report.selected, expected);
+    fn wide_dynamic_range_is_exact() {
+        check_selection(&[1.0, 2.0, 1e300], 2);
+        check_selection(&[-1e300, 1e-300, 2e-300, 1e300], 2);
+        check_selection(&[5e-324, 0.0, -5e-324], 1);
+        check_selection(&[-0.0, 0.0, 1.0], 2);
+        let report = select_top_k(&[1.0, 2.0, 1e300], 2);
+        assert!(
+            report.probes < PROBE_LIMIT,
+            "hybrid bisection must exhaust well under the cap, took {}",
+            report.probes
+        );
     }
 
     #[test]
-    fn round_budget_matches_timetable() {
+    fn ord_key_roundtrips_and_orders() {
+        let samples = [
+            f64::NEG_INFINITY,
+            -1e300,
+            -1.0,
+            -5e-324,
+            -0.0,
+            0.0,
+            5e-324,
+            1.0,
+            1e300,
+            f64::INFINITY,
+        ];
+        for w in samples.windows(2) {
+            assert!(ord_key(w[0]) < ord_key(w[1]), "{} vs {}", w[0], w[1]);
+        }
+        for &x in &samples {
+            assert_eq!(from_ord_key(ord_key(x)).to_bits(), x.to_bits());
+        }
+    }
+
+    #[test]
+    fn all_equal_scores_select_prefix() {
+        let scores = [2.0; 9];
+        let report = select_top_k(&scores, 4);
+        let expected: Vec<bool> = (0..9).map(|i| i < 4).collect();
+        assert_eq!(report.selected, expected);
+        // All-ties shortcut: the bounds phase detects min == max and jumps
+        // straight to the tie scan without a single bisection probe.
+        assert_eq!(report.probes, 0);
+    }
+
+    #[test]
+    fn adaptive_termination_beats_the_fixed_timetable() {
+        // The pre-adaptive protocol ran a fixed timetable of 90 probe
+        // iterations — (3 + 2·90) uniform phases of ⌈log₂ n⌉ + 1 rounds —
+        // regardless of the data. Well-separated scores must now finish in
+        // a handful of probes and a small fraction of those rounds.
         let scores: Vec<f64> = (0..33).map(|i| i as f64).collect();
-        let report = select_top_k(&scores, 5, 20);
-        assert!(report.rounds <= TopKNode::total_rounds(33, 20) + 2);
+        let report = select_top_k(&scores, 5);
+        let old_timetable = (3 + 2 * 90) * (33f64.log2().ceil() as u64 + 1);
+        assert!(
+            report.rounds * 4 < old_timetable,
+            "adaptive run took {} rounds vs fixed timetable {old_timetable}",
+            report.rounds
+        );
+        assert!(report.probes > 0 && report.probes < 90, "{}", report.probes);
+        assert!(report.rounds <= TopKNode::max_rounds(33));
         assert!(report.messages > 0);
+        assert_eq!(report.stale_messages, 0);
+    }
+
+    #[test]
+    fn trivial_k_decides_without_communication() {
+        let scores = [3.0, 1.0, 2.0];
+        let none = select_top_k(&scores, 0);
+        assert_eq!(none.selected, vec![false; 3]);
+        assert_eq!(none.messages, 0);
+        let all = select_top_k(&scores, 3);
+        assert_eq!(all.selected, vec![true; 3]);
+        assert_eq!(all.messages, 0);
     }
 
     #[test]
@@ -699,7 +1052,35 @@ mod tests {
     #[test]
     #[should_panic(expected = "exceeds")]
     fn rejects_k_above_n() {
-        TopKNode::new(1.0, 5, 4, 10);
+        TopKNode::new(1.0, 5, 4);
+    }
+
+    /// Regression for the out-of-phase panic: the old merge hit
+    /// `unreachable!` on any arrival that did not match the node's current
+    /// phase state, so delay or duplication faults crashed the selection.
+    /// Stale arrivals must now be counted and ignored, every node must
+    /// still decide, and the run must stay within the round budget.
+    #[test]
+    fn delay_and_duplication_faults_do_not_panic() {
+        let scores: Vec<f64> = (0..24).map(|i| ((i * 37) % 24) as f64).collect();
+        let mut saw_stale = false;
+        for seed in 0..6 {
+            let faults = FaultConfig::new(0.0, 0.3, seed).unwrap().with_max_delay(2);
+            let report = select_top_k_with_faults(&scores, 6, faults);
+            assert_eq!(report.selected.len(), 24, "seed={seed}");
+            saw_stale |= report.stale_messages > 0;
+        }
+        assert!(saw_stale, "no run produced a stale (out-of-phase) arrival");
+    }
+
+    /// With a zero-fault config the faulted entry point is bit-identical
+    /// to the fault-free one.
+    #[test]
+    fn zero_fault_config_matches_fault_free() {
+        let scores: Vec<f64> = (0..19).map(|i| ((i * 7) % 13) as f64).collect();
+        let clean = select_top_k(&scores, 5);
+        let faulted = select_top_k_with_faults(&scores, 5, FaultConfig::new(0.0, 0.0, 1).unwrap());
+        assert_eq!(clean, faulted);
     }
 
     #[test]
@@ -749,12 +1130,36 @@ mod tests {
                 let n = scores.len();
                 let k = ((n as f64) * k_frac).round() as usize;
                 let k = k.min(n);
-                let report = select_top_k(&scores, k, DEFAULT_BISECTION_ITERS);
+                let report = select_top_k(&scores, k);
                 let mut expected = vec![false; n];
                 for i in top_k_indices(&scores, k) {
                     expected[i] = true;
                 }
                 prop_assert_eq!(report.selected, expected);
+            }
+
+            /// Failure injection: under arbitrary drop/duplication/delay
+            /// faults the selection never panics, always terminates, and
+            /// every node still reaches a decision (accuracy may degrade;
+            /// progress may not). Regression for the `unreachable!` the
+            /// old merge-arrivals match hit on out-of-phase messages.
+            #[test]
+            fn faulted_selection_terminates_with_all_decisions(
+                scores in proptest::collection::vec(-50.0f64..50.0, 1..32),
+                k_frac in 0.0f64..=1.0,
+                drop_p in 0.0f64..0.5,
+                dup_p in 0.0f64..0.5,
+                max_delay in 0u64..4,
+                seed in 0u64..1_000,
+            ) {
+                let n = scores.len();
+                let k = (((n as f64) * k_frac).round() as usize).min(n);
+                let faults = FaultConfig::new(drop_p, dup_p, seed)
+                    .unwrap()
+                    .with_max_delay(max_delay);
+                let report = select_top_k_with_faults(&scores, k, faults);
+                prop_assert_eq!(report.selected.len(), n);
+                prop_assert!(report.rounds <= TopKNode::max_rounds(n) + 64);
             }
 
             /// Push-sum conserves total mass for any value vector and

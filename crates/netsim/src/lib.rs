@@ -107,6 +107,7 @@ mod faults;
 pub mod gossip;
 mod metrics;
 mod network;
+pub mod schedule;
 mod topology;
 
 pub use faults::FaultConfig;

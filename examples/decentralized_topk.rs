@@ -6,12 +6,9 @@
 //! cargo run --release --example decentralized_topk
 //! ```
 
-use noisy_pooled_data::core::{
-    distributed, exact_recovery, Decoder, GreedyDecoder, Instance, NoiseModel,
-};
-use noisy_pooled_data::netsim::gossip::{
-    push_sum_average, select_top_k, TopKNode, DEFAULT_BISECTION_ITERS,
-};
+use noisy_pooled_data::core::distributed::SelectionStrategy;
+use noisy_pooled_data::core::{distributed, exact_recovery, Instance, NoiseModel};
+use noisy_pooled_data::netsim::gossip::push_sum_average;
 use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -22,8 +19,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .noise(NoiseModel::z_channel(0.1))
         .build()?;
     let run = instance.sample(&mut rng);
-    let decoder = GreedyDecoder::new();
-    let scores = decoder.scores(&run);
 
     // Variant A: the paper's protocol — measurements, then a Batcher
     // sorting network ranks the agents.
@@ -31,33 +26,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "sorting-network protocol: {} messages, {} rounds, exact = {}",
         outcome.metrics.messages_sent,
-        outcome.metrics.rounds,
+        outcome.rounds,
         exact_recovery(&outcome.estimate, run.ground_truth())
     );
 
-    // Variant B: same measurement phase, but step II is the gossip
-    // selection — agents learn only their own bit and the threshold.
-    let report = select_top_k(&scores, instance.k(), DEFAULT_BISECTION_ITERS);
-    let exact = report
-        .selected
-        .iter()
-        .zip(decoder.decode(&run).bits())
-        .all(|(a, b)| a == b);
+    // Variant B: the same protocol with phase II swapped for the adaptive
+    // gossip threshold bisection — agents learn only their own bit, no
+    // sorting network is ever built, and the bisection stops as soon as
+    // the k-th score is isolated (or only exact ties remain).
+    let gossip = distributed::run_protocol_with(&run, SelectionStrategy::GossipThreshold)?;
     println!(
-        "gossip top-k selection:   {} messages, {} rounds, matches sequential = {exact}",
-        report.messages, report.rounds
-    );
-    println!(
-        "(timetable: {} rounds for n = {}, {} bisection iterations)",
-        TopKNode::total_rounds(instance.n(), DEFAULT_BISECTION_ITERS),
-        instance.n(),
-        DEFAULT_BISECTION_ITERS
+        "gossip-threshold protocol: {} messages, {} rounds ({} adaptive probes), \
+         matches sorting network = {}",
+        gossip.metrics.messages_sent,
+        gossip.rounds,
+        gossip.probes,
+        gossip.estimate == outcome.estimate
     );
 
     // Bonus: estimate the prevalence k/n by push-sum over the decided bits —
     // the piece a deployment needs when k is not known in advance.
-    let bits: Vec<f64> = report
-        .selected
+    let bits: Vec<f64> = gossip
+        .estimate
+        .bits()
         .iter()
         .map(|&b| f64::from(u8::from(b)))
         .collect();

@@ -265,6 +265,43 @@ fn distributed_protocol_is_identical_across_thread_counts() {
     }
 }
 
+/// The gossip selection strategy (adaptive phases, embedded TopK cores)
+/// obeys the same contract: identical outcomes — including the per-phase
+/// accounting — at any thread count, clean and faulted.
+#[test]
+fn gossip_strategy_protocol_is_identical_across_thread_counts() {
+    use noisy_pooled_data::core::distributed::SelectionStrategy;
+    let run = sample_run(128, 3, 100, NoiseModel::z_channel(0.1), 32);
+    let faults = FaultConfig::new(0.02, 0.05, 11).unwrap().with_max_delay(2);
+    let gossip = |faults: Option<FaultConfig>| {
+        distributed::run_protocol_configured(&run, SelectionStrategy::GossipThreshold, faults)
+            .unwrap()
+    };
+    let pool1 = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap();
+    let clean_ref = pool1.install(|| gossip(None));
+    let faulty_ref = pool1.install(|| gossip(Some(faults)));
+    assert!(clean_ref.probes > 0);
+    for threads in [2usize, 4] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        assert_eq!(
+            pool.install(|| gossip(None)),
+            clean_ref,
+            "threads={threads}"
+        );
+        assert_eq!(
+            pool.install(|| gossip(Some(faults))),
+            faulty_ref,
+            "threads={threads} (faulty)"
+        );
+    }
+}
+
 #[test]
 fn amp_decode_is_identical_across_thread_counts() {
     // AMP's matvecs parallelize across rows once the instance clears the

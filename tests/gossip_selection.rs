@@ -4,9 +4,8 @@
 //! decoder.
 
 use noisy_pooled_data::core::{Decoder, GreedyDecoder, Instance, NoiseModel};
-use noisy_pooled_data::netsim::gossip::{
-    push_sum_average, select_top_k, TopKNode, DEFAULT_BISECTION_ITERS,
-};
+use noisy_pooled_data::netsim::gossip::{push_sum_average, select_top_k, TopKNode};
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -26,7 +25,7 @@ fn gossip_selection_matches_sequential_decoder() {
             .sample(&mut StdRng::seed_from_u64(seed));
         let decoder = GreedyDecoder::new();
         let sequential = decoder.decode(&run);
-        let report = select_top_k(&decoder.scores(&run), 4, DEFAULT_BISECTION_ITERS);
+        let report = select_top_k(&decoder.scores(&run), 4);
         let gossip_bits: Vec<bool> = report.selected;
         assert_eq!(
             gossip_bits,
@@ -37,7 +36,7 @@ fn gossip_selection_matches_sequential_decoder() {
 }
 
 #[test]
-fn selection_cost_scales_with_the_timetable() {
+fn selection_cost_is_adaptive() {
     let run = Instance::builder(200)
         .k(3)
         .queries(150)
@@ -45,11 +44,21 @@ fn selection_cost_scales_with_the_timetable() {
         .unwrap()
         .sample(&mut StdRng::seed_from_u64(9));
     let scores = GreedyDecoder::new().scores(&run);
-    let report = select_top_k(&scores, 3, DEFAULT_BISECTION_ITERS);
-    let budget = TopKNode::total_rounds(200, DEFAULT_BISECTION_ITERS);
-    assert!(report.rounds <= budget + 2);
+    let report = select_top_k(&scores, 3);
+    assert!(report.rounds <= TopKNode::max_rounds(200));
+    // The pre-adaptive fixed timetable ran (3 + 2·90) phases of
+    // ⌈log₂ 200⌉ + 1 = 9 rounds each, i.e. 1 647 rounds, on every input.
+    assert!(
+        report.rounds < 1_647 / 2,
+        "adaptive termination should undercut the old fixed timetable: {} rounds",
+        report.rounds
+    );
     // Every phase moves at most one message per node per round.
-    assert!(report.messages <= budget * 200);
+    assert!(report.messages <= report.rounds * 200);
+    assert_eq!(
+        report.stale_messages, 0,
+        "fault-free runs have no stale arrivals"
+    );
 }
 
 #[test]
