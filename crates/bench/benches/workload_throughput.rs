@@ -1,0 +1,75 @@
+//! Population-generation and streaming re-decode throughput of the
+//! workload layer at `n = 2¹⁸` agents.
+//!
+//! Two question marks hang over a production deployment of the workload
+//! layer: what does *generating* a structured population cost (every
+//! Monte-Carlo trial pays it), and what does *tracking* one cost — the
+//! per-epoch loop of streaming `IncrementalSim` queries against a drifting
+//! SIR truth plus a top-`k` re-decode. Both are measured here at
+//! `n = 2¹⁸ = 262 144` agents; `BENCH_baseline.json` tracks the medians.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use npd_core::{DesignSpec, NoiseModel};
+use npd_workloads::{track_greedy, SirDynamics, TrackingConfig, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// `n = 2^18`: large enough that per-agent overheads dominate constants,
+/// small enough for the CI smoke run.
+const N: usize = 1 << 18;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(N as u64));
+
+    let specs = [
+        WorkloadSpec::Uniform { theta: 0.5 },
+        WorkloadSpec::Community { theta: 0.5 },
+        WorkloadSpec::Households { theta: 0.5 },
+        WorkloadSpec::Hubs { theta: 0.5 },
+        WorkloadSpec::Sir,
+    ];
+    for spec in specs {
+        let model = spec.model();
+        group.bench_with_input(
+            BenchmarkId::new("generate", model.name()),
+            &spec,
+            |b, spec| {
+                let model = spec.model();
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(0x0070_71E5);
+                    black_box(model.sample(N, &mut rng))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_streaming_redecode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_throughput");
+    group.sample_size(10);
+
+    // One full tracking run: 3 epochs × 64 queries of Γ = n/64 slots,
+    // streamed into the accumulators, with a top-k re-decode (O(n)) and an
+    // SIR step (O(n)) per epoch — the steady-state cost of following a
+    // drifting population.
+    let cfg = TrackingConfig {
+        gamma: N / 64,
+        queries_per_epoch: 64,
+        epochs: 3,
+        noise: NoiseModel::z_channel(0.1),
+        design: DesignSpec::Iid,
+    };
+    let model = SirDynamics::catalog();
+    group.bench_function(
+        BenchmarkId::new("track", format!("sir/n={N}/epochs={}", cfg.epochs)),
+        |b| b.iter(|| black_box(track_greedy(&model, N, &cfg, 0x7AC4))),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_streaming_redecode);
+criterion_main!(benches);

@@ -276,6 +276,96 @@ pub fn estimate_k(run: &Run) -> Result<usize, EstimationError> {
     Ok((k.round().max(0.0) as usize).min(instance.n()))
 }
 
+/// Estimates `k` by blending the moment estimate with a per-agent prior.
+///
+/// Structured population models carry per-agent marginals
+/// `πᵢ = P(σᵢ = 1)` (see the `npd-workloads` crate); their mass
+/// `k₀ = Σπᵢ` is an estimate of `k` *before any query is read*, with
+/// variance `Σπᵢ(1−πᵢ)` under an independent-marginals approximation. The
+/// moment estimator of [`estimate_k`] is unbiased with variance
+/// `≈ (n/(Γ̄(1−p−q)))²·Var[σ̂]/m` (realized mean query size `Γ̄`, as
+/// everywhere in this module). This function returns the precision-weighted
+/// blend of the two — the posterior mean under Gaussian approximations —
+/// rounded and clamped into `[0, n]`: with few queries the prior dominates,
+/// with many the data does.
+///
+/// # Errors
+///
+/// Returns [`EstimationError::TooFewQueries`] for runs with fewer than two
+/// queries.
+///
+/// # Panics
+///
+/// Panics if `prior.len() != n` or any `πᵢ ∉ [0, 1]`.
+pub fn estimate_k_with_prior(run: &Run, prior: &[f64]) -> Result<usize, EstimationError> {
+    let instance = run.instance();
+    assert_eq!(
+        prior.len(),
+        instance.n(),
+        "estimate_k_with_prior: prior length must equal n"
+    );
+    let results = run.results();
+    if results.len() < 2 {
+        return Err(EstimationError::TooFewQueries);
+    }
+    let (p, q) = match *instance.noise() {
+        crate::NoiseModel::Channel { p, q } => (p, q),
+        crate::NoiseModel::Noiseless | crate::NoiseModel::Query { .. } => (0.0, 0.0),
+    };
+    let m = results.len() as f64;
+    let mean = results.iter().sum::<f64>() / m;
+    let var = results.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / (m - 1.0);
+    let gbar = run.graph().mean_query_slots();
+    let n = instance.n() as f64;
+
+    let k_mom = n * (mean / gbar - q) / (1.0 - p - q);
+    let var_mom = (n / (gbar * (1.0 - p - q))).powi(2) * var / m;
+
+    let mut k0 = 0.0;
+    let mut var0 = 0.0;
+    for (i, &pi) in prior.iter().enumerate() {
+        assert!(
+            (0.0..=1.0).contains(&pi),
+            "estimate_k_with_prior: prior[{i}]={pi} not a probability"
+        );
+        k0 += pi;
+        var0 += pi * (1.0 - pi);
+    }
+    // Degenerate corners: a zero-variance moment estimate (constant
+    // results) pins k̂ to the data; a degenerate all-{0,1} prior pins it to
+    // the prior mass.
+    let blended = if !(var_mom.is_finite() && var_mom > 0.0) {
+        k_mom
+    } else if var0 <= 0.0 {
+        k0
+    } else {
+        (k_mom / var_mom + k0 / var0) / (1.0 / var_mom + 1.0 / var0)
+    };
+    Ok((blended.round().max(0.0) as usize).min(instance.n()))
+}
+
+/// Prior-aware deployment decoding: posterior top-`k̂` with both the rank
+/// cut and the scores informed by the population prior.
+///
+/// Combines [`estimate_k_with_prior`] (posterior `k̂`) with
+/// [`crate::GreedyDecoder::posterior_scores`] (per-agent log-prior-odds in
+/// the ranking); the structured-workload counterpart of
+/// [`decode_with_estimated_k`].
+///
+/// # Errors
+///
+/// Returns [`EstimationError::TooFewQueries`] for runs with fewer than two
+/// queries.
+///
+/// # Panics
+///
+/// Panics if `prior.len() != n` or any `πᵢ ∉ [0, 1]`.
+pub fn decode_with_prior(run: &Run, prior: &[f64]) -> Result<crate::Estimate, EstimationError> {
+    let k_hat = estimate_k_with_prior(run, prior)?;
+    let scores = crate::GreedyDecoder::new().posterior_scores(run, prior);
+    Ok(crate::Estimate::from_scores(scores, k_hat))
+}
+
 /// Runs the greedy decoder with `k` *estimated from the data* instead of
 /// taken from the model: the estimated `k̂` drives both the noise-aware
 /// centering and the rank cut.

@@ -204,6 +204,102 @@ impl GreedyDecoder {
         self.scores_inner(run, Some(slot_rate), &mut GreedyWorkspace::new())
     }
 
+    /// Posterior log-odds scores: the greedy neighborhood statistic folded
+    /// with per-agent prior one-probabilities `πᵢ = P(σᵢ = 1)`.
+    ///
+    /// Algorithm 1 ranks by the centered neighborhood sum alone, which is
+    /// the right rule only for an exchangeable (uniform `k`-subset) prior.
+    /// Structured populations — community blocks, household clusters,
+    /// heavy-tailed hubs (the `npd-workloads` models) — carry per-agent
+    /// marginals, and the Bayes rule ranks by posterior log-odds instead.
+    /// Under the Gaussian approximation to the noise-aware-centered score
+    /// `Xᵢ` (means `Δᵢ·q` for zero-agents and `Δᵢ·(1−p)` for one-agents,
+    /// common variance `vᵢ ≈ Δ*ᵢ·Var[σ̂]` estimated from the realized query
+    /// results), the posterior log-odds are
+    ///
+    /// ```text
+    /// λᵢ = ((Xᵢ − Δᵢ·q)·gᵢ − gᵢ²/2) / vᵢ + ln(πᵢ/(1−πᵢ)),   gᵢ = Δᵢ·(1−p−q)
+    /// ```
+    ///
+    /// (`q = 0`, `g = Δᵢ` under the noiseless and Gaussian models). With a
+    /// uniform prior and an agent-regular design (constant `Δᵢ`, `Δ*ᵢ`)
+    /// this is a strictly monotone transform of the plain score, so the
+    /// selection is unchanged; an informative prior shifts borderline
+    /// agents by their prior log-odds, scaled by how little evidence the
+    /// queries have accumulated on them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prior.len() != n` or any `πᵢ ∉ [0, 1]`.
+    pub fn posterior_scores(&self, run: &Run, prior: &[f64]) -> Vec<f64> {
+        self.scores_with_posterior(run, prior).1
+    }
+
+    /// [`GreedyDecoder::posterior_scores`] returning the noise-aware
+    /// scores it is built from as well, in one accumulation pass.
+    ///
+    /// Prior-blind-vs-prior-aware comparisons need both rankings of the
+    /// same run; computing them independently would pay the `O(m·Γ)`
+    /// accumulation twice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prior.len() != n` or any `πᵢ ∉ [0, 1]`.
+    pub fn scores_with_posterior(&self, run: &Run, prior: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let n = run.instance().n();
+        assert_eq!(
+            prior.len(),
+            n,
+            "GreedyDecoder::posterior_scores: prior length must equal n"
+        );
+        let (p, q) = match *run.instance().noise() {
+            crate::NoiseModel::Channel { p, q } => (p, q),
+            crate::NoiseModel::Noiseless | crate::NoiseModel::Query { .. } => (0.0, 0.0),
+        };
+        let signal = 1.0 - p - q;
+        let rate = second_neighborhood_rate(n, run.instance().k(), run.instance().noise());
+        let mut ws = GreedyWorkspace::new();
+        let scores = self.scores_inner(run, Some(rate), &mut ws);
+
+        // Empirical per-query result variance: from any one agent's
+        // viewpoint (conditioned on its own bit) a query result fluctuates
+        // with both the channel noise and the second neighborhood, which is
+        // exactly what the realized spread of σ̂ measures.
+        let m = run.results().len().max(1) as f64;
+        let mean = run.results().iter().sum::<f64>() / m;
+        let var = (run
+            .results()
+            .iter()
+            .map(|r| (r - mean).powi(2))
+            .sum::<f64>()
+            / m)
+            .max(1e-9);
+
+        let posterior = scores
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| {
+                let pi = prior[i];
+                assert!(
+                    (0.0..=1.0).contains(&pi),
+                    "GreedyDecoder::posterior_scores: prior[{i}]={pi} not a probability"
+                );
+                let pi = pi.clamp(1e-12, 1.0 - 1e-12);
+                let log_odds = (pi / (1.0 - pi)).ln();
+                let multi = ws.multi[i] as f64;
+                let g = multi * signal;
+                if g <= 0.0 {
+                    // No own slots (or a fully inverting channel): the
+                    // queries carry no evidence on this agent.
+                    return log_odds;
+                }
+                let v = (f64::from(ws.distinct[i]) * var).max(1e-12);
+                ((x - multi * q) * g - 0.5 * g * g) / v + log_odds
+            })
+            .collect();
+        (scores, posterior)
+    }
+
     fn scores_inner(&self, run: &Run, rate: Option<f64>, ws: &mut GreedyWorkspace) -> Vec<f64> {
         let n = run.instance().n();
         let k = run.instance().k();

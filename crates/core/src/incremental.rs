@@ -205,6 +205,69 @@ impl IncrementalSim {
             (1..=n).contains(&k),
             "IncrementalSim: k={k} must be in [1, {n}]"
         );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let truth = GroundTruth::sample(n, k, &mut rng);
+        Self::from_parts(truth, gamma, noise, design, rng)
+    }
+
+    /// Creates a simulation over an *externally supplied* ground truth.
+    ///
+    /// This is the entry point for structured and temporal population
+    /// models (the `npd-workloads` crate): the workload samples or evolves
+    /// the hidden assignment, and the simulation streams queries against
+    /// it. Unlike the seed-sampling constructors, `k = 0` is permitted — a
+    /// drifting population may momentarily hold no one-agents.
+    ///
+    /// All pooling and noise randomness still comes from `seed` alone, so
+    /// `(truth, config, seed)` identifies the query stream exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `truth.n() < 2`, `gamma == 0`, or (Γ-subset) `gamma > n`.
+    pub fn with_truth(
+        truth: GroundTruth,
+        gamma: usize,
+        noise: NoiseModel,
+        design: DesignSpec,
+        seed: u64,
+    ) -> Self {
+        Self::from_parts(truth, gamma, noise, design, StdRng::seed_from_u64(seed))
+    }
+
+    /// Replaces the ground truth mid-stream (population drift).
+    ///
+    /// The per-agent accumulators are deliberately **kept**: queries
+    /// already streamed were measured against the truth current at their
+    /// time, so after a drift step the score landscape mixes fresh and
+    /// stale evidence — exactly the tracking problem the temporal
+    /// workloads measure. [`IncrementalSim::score`] and
+    /// [`IncrementalSim::separation`] evaluate against the new truth from
+    /// the next call on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `truth.n()` differs from the simulation's `n`.
+    pub fn set_truth(&mut self, truth: GroundTruth) {
+        assert_eq!(
+            truth.n(),
+            self.n(),
+            "IncrementalSim::set_truth: population size mismatch"
+        );
+        self.k = truth.k();
+        self.slot_rate = crate::greedy::second_neighborhood_rate(self.n(), self.k, &self.noise);
+        self.truth = truth;
+    }
+
+    fn from_parts(
+        truth: GroundTruth,
+        gamma: usize,
+        noise: NoiseModel,
+        design: DesignSpec,
+        rng: StdRng,
+    ) -> Self {
+        let n = truth.n();
+        let k = truth.k();
+        assert!(n >= 2, "IncrementalSim: n={n} must be at least 2");
         assert!(gamma > 0, "IncrementalSim: gamma must be positive");
         let sampler = SamplerKind::for_design(design);
         if sampler == SamplerKind::Subset {
@@ -213,8 +276,6 @@ impl IncrementalSim {
                 "IncrementalSim: gamma={gamma} exceeds n={n} without replacement"
             );
         }
-        let mut rng = StdRng::seed_from_u64(seed);
-        let truth = GroundTruth::sample(n, k, &mut rng);
         let slot_rate = crate::greedy::second_neighborhood_rate(n, k, &noise);
         let perm = match sampler {
             SamplerKind::Iid | SamplerKind::Banded { .. } => Vec::new(),

@@ -137,6 +137,28 @@ impl GroundTruth {
         Self { bits, ones }
     }
 
+    /// Builds a ground truth over `n` agents from the indices of its
+    /// one-agents (in any order, duplicates ignored).
+    ///
+    /// Structured population models (the `npd-workloads` crate) assemble
+    /// their assignments as one-agent lists; this is the direct
+    /// constructor for that shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= n`.
+    pub fn from_ones(n: usize, ones: impl IntoIterator<Item = u32>) -> Self {
+        let mut bits = vec![false; n];
+        for o in ones {
+            assert!(
+                (o as usize) < n,
+                "GroundTruth::from_ones: agent {o} out of range for n={n}"
+            );
+            bits[o as usize] = true;
+        }
+        Self::from_bits(bits)
+    }
+
     /// Population size `n`.
     pub fn n(&self) -> usize {
         self.bits.len()

@@ -225,4 +225,74 @@ mod tests {
     fn default_is_noiseless() {
         assert_eq!(NoiseModel::default(), NoiseModel::Noiseless);
     }
+
+    mod property {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Empirical mean of `measure` vs `expected_measurement`, within a
+        /// `5σ/√N` band (σ bounded by the model's worst-case per-slot
+        /// variance), so the bound is sound for every parameter draw.
+        fn assert_mean_matches(
+            model: NoiseModel,
+            one_slots: u64,
+            zero_slots: u64,
+            sd_bound: f64,
+            seed: u64,
+        ) -> Result<(), proptest::test_runner::TestCaseError> {
+            const SAMPLES: usize = 4_000;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mean = (0..SAMPLES)
+                .map(|_| model.measure(one_slots, zero_slots, &mut rng))
+                .sum::<f64>()
+                / SAMPLES as f64;
+            let expected = model.expected_measurement(one_slots, zero_slots);
+            let tol = 5.0 * sd_bound / (SAMPLES as f64).sqrt() + 1e-9;
+            prop_assert!(
+                (mean - expected).abs() < tol,
+                "{model}: empirical mean {mean} vs expected {expected} (tol {tol})"
+            );
+            Ok(())
+        }
+
+        proptest! {
+            /// Z-channel: `expected_measurement` is the mean of `measure`.
+            #[test]
+            fn z_channel_mean_is_pinned(
+                p in 0.0f64..0.9,
+                ones in 0u64..120,
+                zeros in 0u64..120,
+                seed in 0u64..1_000,
+            ) {
+                // Var = ones·p(1−p) ≤ ones/4.
+                let sd = (ones as f64 / 4.0).sqrt();
+                assert_mean_matches(NoiseModel::z_channel(p), ones, zeros, sd, seed)?;
+            }
+
+            /// General channel: mean pinned for any admissible `(p, q)`.
+            #[test]
+            fn channel_mean_is_pinned(
+                p in 0.0f64..0.6,
+                q in 0.0f64..0.39,
+                ones in 0u64..120,
+                zeros in 0u64..120,
+                seed in 0u64..1_000,
+            ) {
+                // Var = ones·p(1−p) + zeros·q(1−q) ≤ (ones+zeros)/4.
+                let sd = ((ones + zeros) as f64 / 4.0).sqrt();
+                assert_mean_matches(NoiseModel::channel(p, q), ones, zeros, sd, seed)?;
+            }
+
+            /// Gaussian query noise: mean pinned for any λ.
+            #[test]
+            fn gaussian_mean_is_pinned(
+                lambda in 0.0f64..5.0,
+                ones in 0u64..200,
+                zeros in 0u64..200,
+                seed in 0u64..1_000,
+            ) {
+                assert_mean_matches(NoiseModel::gaussian(lambda), ones, zeros, lambda, seed)?;
+            }
+        }
+    }
 }

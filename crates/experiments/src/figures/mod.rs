@@ -14,6 +14,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod linear;
 pub mod theorems;
+pub mod workloads;
 
 use serde::{Deserialize, Serialize};
 
@@ -45,6 +46,30 @@ impl FigureReport {
     pub fn write_csv(&self, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
         let headers: Vec<&str> = self.csv_headers.iter().map(String::as_str).collect();
         crate::output::write_csv(dir, &format!("{}.csv", self.name), &headers, &self.csv_rows)
+    }
+
+    /// Machine-readable JSON rendering for the bench/CI pipeline:
+    /// `{"name", "headers", "rows", "notes"}` with every cell a string,
+    /// exactly as in the CSV.
+    pub fn to_json(&self) -> String {
+        use crate::output::{json_escape, json_string_array};
+        let rows: Vec<String> = self.csv_rows.iter().map(|r| json_string_array(r)).collect();
+        format!(
+            "{{\"name\":\"{}\",\"headers\":{},\"rows\":[{}],\"notes\":{}}}",
+            json_escape(&self.name),
+            json_string_array(&self.csv_headers),
+            rows.join(","),
+            json_string_array(&self.notes)
+        )
+    }
+
+    /// Writes the JSON artifact under `dir` as `<name>.json`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_json(&self, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
+        crate::output::write_json(dir, &format!("{}.json", self.name), &self.to_json())
     }
 }
 
@@ -91,6 +116,25 @@ mod tests {
         opts.mode = crate::Mode::Full;
         opts.trials = None;
         assert_eq!(opts.resolve_trials(5, 25), 25);
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let report = FigureReport {
+            name: "unit".into(),
+            rendered: "chart".into(),
+            csv_headers: vec!["a".into(), "b".into()],
+            csv_rows: vec![vec!["1".into(), "x,\"y".into()]],
+            notes: vec!["note".into()],
+        };
+        assert_eq!(
+            report.to_json(),
+            "{\"name\":\"unit\",\"headers\":[\"a\",\"b\"],\
+             \"rows\":[[\"1\",\"x,\\\"y\"]],\"notes\":[\"note\"]}"
+        );
+        let dir = std::env::temp_dir().join("npd-figures-json-test");
+        let path = report.write_json(&dir).unwrap();
+        assert!(path.ends_with("unit.json"));
     }
 
     #[test]

@@ -1,0 +1,175 @@
+//! The workloads row set: one row per structured population model,
+//! prior-blind vs prior-aware, plus the temporal SIR tracking profile.
+//!
+//! The static rows fix one population size and a scarce query budget (an
+//! eighth of the Theorem-1-derived default — the regime where the prior is
+//! worth queries) and compare the plain greedy rule against the posterior
+//! ranking ([`npd_core::GreedyDecoder::posterior_scores`]) on every static
+//! workload in the catalog. The temporal rows walk the SIR workload
+//! through its epochs with the streaming tracker
+//! ([`npd_workloads::track_greedy`]) and report the per-epoch overlap.
+
+use crate::figures::{FigureReport, RunOptions};
+use crate::output::table;
+use crate::{mix_seed, runner, scenarios, sweep, Mode};
+use npd_core::{DesignSpec, NoiseModel};
+use npd_workloads::{track_greedy, TrackingConfig, WorkloadSpec};
+
+/// The sparsity exponent of the workload catalog (θ = 0.5: enough ones at
+/// quick-grid sizes for block/cluster structure to exist).
+const THETA: f64 = 0.5;
+
+/// Runs the workloads figure.
+pub fn run(opts: &RunOptions) -> FigureReport {
+    let n = match opts.mode {
+        Mode::Quick => 1_000,
+        Mode::Full => 10_000,
+    };
+    let trials = opts.resolve_trials(5, 25);
+    let noise = NoiseModel::z_channel(0.1);
+    let specs = [
+        WorkloadSpec::Uniform { theta: THETA },
+        WorkloadSpec::Community { theta: THETA },
+        WorkloadSpec::Households { theta: THETA },
+        WorkloadSpec::Hubs { theta: THETA },
+    ];
+    let m = scenarios::scarce_budget(n, THETA, &noise);
+    let gamma = n / 2;
+
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for (si, spec) in specs.into_iter().enumerate() {
+        let model = spec.model();
+        let prior = model.prior(n);
+        let seeds: Vec<u64> = (0..trials as u64)
+            .map(|t| mix_seed(0xF1C7_0001, (si as u64) << 32 | t))
+            .collect();
+        let per_trial = runner::parallel_map(&seeds, opts.threads, |&seed| {
+            scenarios::workload_trial(
+                model.as_ref(),
+                &prior,
+                n,
+                m,
+                gamma,
+                noise,
+                DesignSpec::Iid,
+                seed,
+            )
+        });
+        let mean_k = per_trial.iter().map(|(k, _, _)| *k as f64).sum::<f64>() / trials as f64;
+        let blind = per_trial.iter().map(|(_, b, _)| b).sum::<f64>() / trials as f64;
+        let aware = per_trial.iter().map(|(_, _, a)| a).sum::<f64>() / trials as f64;
+        rows.push(vec![
+            spec.to_string(),
+            format!("{mean_k:.1}"),
+            m.to_string(),
+            format!("{blind:.2}"),
+            format!("{aware:.2}"),
+        ]);
+        csv_rows.push(vec![
+            model.name().to_string(),
+            n.to_string(),
+            "".into(),
+            format!("{mean_k:.2}"),
+            m.to_string(),
+            format!("{blind:.3}"),
+            format!("{aware:.3}"),
+            "".into(),
+            trials.to_string(),
+        ]);
+    }
+
+    // Temporal rows: the SIR workload under the streaming tracker.
+    let model = WorkloadSpec::Sir.sir().expect("Sir spec is temporal");
+    let cfg = TrackingConfig {
+        gamma,
+        queries_per_epoch: (sweep::default_budget(n, THETA, &noise) / 4).max(200),
+        epochs: 5,
+        noise,
+        design: DesignSpec::Iid,
+    };
+    let tracking_trials = opts.resolve_trials(3, 10);
+    let seeds: Vec<u64> = (0..tracking_trials as u64)
+        .map(|t| mix_seed(0xF1C7_0002, t))
+        .collect();
+    let per_trial = runner::parallel_map(&seeds, opts.threads, |&seed| {
+        track_greedy(&model, n, &cfg, seed)
+    });
+    let mut sir_rows = Vec::new();
+    for epoch in 0..cfg.epochs {
+        let k = per_trial.iter().map(|r| r[epoch].k as f64).sum::<f64>() / tracking_trials as f64;
+        let ov = per_trial.iter().map(|r| r[epoch].overlap).sum::<f64>() / tracking_trials as f64;
+        sir_rows.push(vec![
+            epoch.to_string(),
+            format!("{k:.1}"),
+            cfg.queries_per_epoch.to_string(),
+            format!("{ov:.2}"),
+        ]);
+        csv_rows.push(vec![
+            "sir".into(),
+            n.to_string(),
+            epoch.to_string(),
+            format!("{k:.2}"),
+            cfg.queries_per_epoch.to_string(),
+            "".into(),
+            "".into(),
+            format!("{ov:.3}"),
+            tracking_trials.to_string(),
+        ]);
+    }
+
+    let rendered = format!(
+        "Workloads — structured populations at n = {n} (scarce budget, {trials} trials)\n{}\n\
+         Temporal SIR tracking (streaming greedy, {tracking_trials} trials)\n{}",
+        table(&["population", "k̄", "m", "blind", "prior-aware"], &rows),
+        table(&["epoch", "k̄", "m/epoch", "overlap"], &sir_rows)
+    );
+    FigureReport {
+        name: "workloads".into(),
+        rendered,
+        // Static rows fill the blind/prior-aware pair (epoch and
+        // tracking empty); sir rows fill epoch + tracking_overlap.
+        csv_headers: vec![
+            "population".into(),
+            "n".into(),
+            "epoch".into(),
+            "mean_k".into(),
+            "m".into(),
+            "overlap_blind".into(),
+            "overlap_prior_aware".into(),
+            "tracking_overlap".into(),
+            "trials".into(),
+        ],
+        csv_rows,
+        notes: vec![
+            "prior-aware posterior ranking dominates the prior-blind rule on the \
+             structured populations at scarce budgets; on the uniform workload the \
+             two coincide up to degree normalization"
+                .into(),
+            "SIR tracking overlap decays as stale evidence accumulates across epochs".into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_figure_runs_quick() {
+        let opts = RunOptions {
+            mode: Mode::Quick,
+            trials: Some(2),
+            threads: 2,
+        };
+        let report = run(&opts);
+        assert_eq!(report.name, "workloads");
+        // Four static rows plus five SIR epochs.
+        assert_eq!(report.csv_rows.len(), 4 + 5);
+        for row in &report.csv_rows {
+            assert_eq!(row.len(), report.csv_headers.len());
+        }
+        assert!(report.rendered.contains("community"));
+        assert!(report.rendered.contains("Temporal SIR"));
+    }
+}

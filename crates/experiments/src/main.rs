@@ -2,12 +2,15 @@
 //! from the command line.
 //!
 //! ```text
-//! repro <target> [--full] [--out DIR] [--trials N] [--threads N]
+//! repro <target> [--full] [--json] [--out DIR] [--trials N] [--threads N]
 //! repro scenarios list
-//! repro scenarios run <name> [--full] [--out DIR] [--trials N] [--threads N]
+//! repro scenarios run <name>|--all [--full] [--json] [--out DIR] [--trials N] [--threads N]
 //!
 //! targets: fig1 fig2 fig3 fig4 fig5 fig6 fig7 theorems comm ablations
-//!          decoders adaptive designs linear all
+//!          decoders adaptive designs linear workloads all
+//!
+//! `--json` prints each report as a machine-readable JSON document (and
+//! writes `<name>.json` next to the CSV) for the bench/CI pipeline.
 //! ```
 
 use npd_experiments::figures::{self, FigureReport, RunOptions};
@@ -30,10 +33,11 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage: repro <fig1|fig2|fig3|fig4|fig5|fig6|fig7|theorems|comm|ablations\
-                     |decoders|adaptive|designs|linear|all> \
-                     [--full] [--out DIR] [--trials N] [--threads N]\n\
+                     |decoders|adaptive|designs|linear|workloads|all> \
+                     [--full] [--json] [--out DIR] [--trials N] [--threads N]\n\
        repro scenarios list\n\
-       repro scenarios run <name> [--full] [--out DIR] [--trials N] [--threads N]";
+       repro scenarios run <name>|--all [--full] [--json] [--out DIR] [--trials N] \
+[--threads N]";
 
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct Cli {
@@ -44,6 +48,11 @@ struct Cli {
     out_dir: PathBuf,
     trials: Option<usize>,
     threads: usize,
+    /// Emit machine-readable JSON (stdout + `<name>.json`) instead of the
+    /// ASCII rendering.
+    json: bool,
+    /// `scenarios run --all`: run every registered scenario.
+    all_scenarios: bool,
 }
 
 fn parse(args: &[String]) -> Result<Cli, String> {
@@ -53,11 +62,15 @@ fn parse(args: &[String]) -> Result<Cli, String> {
     let mut out_dir = PathBuf::from("results");
     let mut trials = None;
     let mut threads = runner::default_threads();
+    let mut json = false;
+    let mut all_scenarios = false;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--full" => full = true,
+            "--json" => json = true,
+            "--all" => all_scenarios = true,
             "--out" => {
                 out_dir = PathBuf::from(
                     it.next()
@@ -89,17 +102,28 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         }
     }
     let target = target.ok_or_else(|| "a target is required".to_string())?;
+    if all_scenarios && target != "scenarios" {
+        return Err("--all is only valid with `scenarios run`".into());
+    }
     if target == "scenarios" {
         match extra.first().map(String::as_str) {
             Some("list") => {
                 if extra.len() > 1 {
                     return Err("scenarios list takes no further arguments".into());
                 }
+                if all_scenarios {
+                    return Err("--all is only valid with `scenarios run`".into());
+                }
+            }
+            Some("run") if all_scenarios => {
+                if extra.len() > 1 {
+                    return Err("scenarios run --all takes no scenario name".into());
+                }
             }
             Some("run") => {
-                let name = extra
-                    .get(1)
-                    .ok_or_else(|| "scenarios run requires a scenario name".to_string())?;
+                let name = extra.get(1).ok_or_else(|| {
+                    "scenarios run requires a scenario name (or --all)".to_string()
+                })?;
                 if scenarios::find(name).is_none() {
                     return Err(format!(
                         "unknown scenario {name} (see `repro scenarios list`)"
@@ -109,7 +133,7 @@ fn parse(args: &[String]) -> Result<Cli, String> {
                     return Err("scenarios run takes exactly one scenario name".into());
                 }
             }
-            _ => return Err("scenarios requires a subcommand: list or run <name>".into()),
+            _ => return Err("scenarios requires a subcommand: list or run <name>|--all".into()),
         }
         return Ok(Cli {
             target,
@@ -118,9 +142,11 @@ fn parse(args: &[String]) -> Result<Cli, String> {
             out_dir,
             trials,
             threads,
+            json,
+            all_scenarios,
         });
     }
-    const KNOWN: [&str; 15] = [
+    const KNOWN: [&str; 16] = [
         "fig1",
         "fig2",
         "fig3",
@@ -135,6 +161,7 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         "adaptive",
         "designs",
         "linear",
+        "workloads",
         "all",
     ];
     if !KNOWN.contains(&target.as_str()) {
@@ -147,6 +174,8 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         out_dir,
         trials,
         threads,
+        json,
+        all_scenarios,
     })
 }
 
@@ -175,6 +204,7 @@ fn execute(cli: Cli) -> ExitCode {
             "adaptive",
             "designs",
             "linear",
+            "workloads",
         ]
     } else {
         vec![cli.target.as_str()]
@@ -184,19 +214,34 @@ fn execute(cli: Cli) -> ExitCode {
         let start = Instant::now();
         let report = run_target(target, &opts);
         let elapsed = start.elapsed();
+        if let Err(e) = emit_report(&report, &cli, elapsed) {
+            eprintln!("error: writing artifacts for {target}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Prints a report (ASCII or JSON per `--json`) and writes its artifacts.
+fn emit_report(
+    report: &FigureReport,
+    cli: &Cli,
+    elapsed: std::time::Duration,
+) -> std::io::Result<()> {
+    if cli.json {
+        println!("{}", report.to_json());
+        report.write_json(&cli.out_dir)?;
+    } else {
         println!("{}", report.rendered);
         for note in &report.notes {
             println!("  note: {note}");
         }
-        match report.write_csv(&cli.out_dir) {
-            Ok(path) => println!("  csv: {} ({elapsed:.1?})\n", path.display()),
-            Err(e) => {
-                eprintln!("error: writing CSV for {target}: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
     }
-    ExitCode::SUCCESS
+    let path = report.write_csv(&cli.out_dir)?;
+    if !cli.json {
+        println!("  csv: {} ({elapsed:.1?})\n", path.display());
+    }
+    Ok(())
 }
 
 fn execute_scenarios(cli: &Cli, opts: &RunOptions) -> ExitCode {
@@ -206,25 +251,25 @@ fn execute_scenarios(cli: &Cli, opts: &RunOptions) -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("run") => {
-            let name = cli.extra.get(1).expect("validated in parse()");
-            let scenario = scenarios::find(name).expect("validated in parse()");
-            let start = Instant::now();
-            let report = scenarios::run(&scenario, opts);
-            let elapsed = start.elapsed();
-            println!("{}", report.rendered);
-            for note in &report.notes {
-                println!("  note: {note}");
-            }
-            match report.write_csv(&cli.out_dir) {
-                Ok(path) => {
-                    println!("  csv: {} ({elapsed:.1?})\n", path.display());
-                    ExitCode::SUCCESS
+            let targets: Vec<scenarios::Scenario> = if cli.all_scenarios {
+                scenarios::registry()
+            } else {
+                let name = cli.extra.get(1).expect("validated in parse()");
+                vec![scenarios::find(name).expect("validated in parse()")]
+            };
+            for scenario in targets {
+                let start = Instant::now();
+                let report = scenarios::run(&scenario, opts);
+                let elapsed = start.elapsed();
+                if let Err(e) = emit_report(&report, cli, elapsed) {
+                    eprintln!(
+                        "error: writing artifacts for scenario {}: {e}",
+                        scenario.name
+                    );
+                    return ExitCode::FAILURE;
                 }
-                Err(e) => {
-                    eprintln!("error: writing CSV for scenario {name}: {e}");
-                    ExitCode::FAILURE
-                }
             }
+            ExitCode::SUCCESS
         }
         _ => unreachable!("subcommand validated in parse()"),
     }
@@ -246,6 +291,7 @@ fn run_target(target: &str, opts: &RunOptions) -> FigureReport {
         "adaptive" => figures::adaptive::run(opts),
         "designs" => figures::designs::run(opts),
         "linear" => figures::linear::run(opts),
+        "workloads" => figures::workloads::run(opts),
         other => unreachable!("target {other} validated in parse()"),
     }
 }
@@ -294,6 +340,30 @@ mod tests {
         assert!(parse(&args(&["fig2", "--bogus"])).is_err());
         assert!(parse(&args(&["fig2", "--trials", "abc"])).is_err());
         assert!(parse(&args(&["fig2", "fig3"])).is_err());
+    }
+
+    #[test]
+    fn parse_json_and_all_flags() {
+        let cli = parse(&args(&["fig2", "--json"])).unwrap();
+        assert!(cli.json);
+        assert!(!cli.all_scenarios);
+
+        let cli = parse(&args(&[
+            "scenarios",
+            "run",
+            "--all",
+            "--json",
+            "--trials",
+            "1",
+        ]))
+        .unwrap();
+        assert!(cli.all_scenarios && cli.json);
+        assert_eq!(cli.trials, Some(1));
+
+        assert!(parse(&args(&["fig2", "--all"])).is_err());
+        assert!(parse(&args(&["scenarios", "list", "--all"])).is_err());
+        assert!(parse(&args(&["scenarios", "run", "paper-z01", "--all"])).is_err());
+        assert!(parse(&args(&["workloads"])).is_ok());
     }
 
     #[test]

@@ -228,6 +228,47 @@ pub fn write_csv(
     Ok(path)
 }
 
+/// JSON string escaping per RFC 8259 (the vendored `serde` is a no-op
+/// marker stand-in, so machine-readable output is emitted by hand).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a JSON array of strings.
+pub fn json_string_array(items: &[String]) -> String {
+    let quoted: Vec<String> = items
+        .iter()
+        .map(|s| format!("\"{}\"", json_escape(s)))
+        .collect();
+    format!("[{}]", quoted.join(","))
+}
+
+/// Writes a ready-rendered JSON document under `dir` as `file`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_json(dir: &Path, file: &str, json: &str) -> io::Result<std::path::PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(file);
+    fs::write(&path, format!("{json}\n"))?;
+    Ok(path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,6 +332,24 @@ mod tests {
         assert!(t.contains("n"));
         assert!(t.contains("median"));
         assert!(t.contains("100000"));
+    }
+
+    #[test]
+    fn json_escaping_and_arrays() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(
+            json_string_array(&["x".into(), "y\"z".into()]),
+            "[\"x\",\"y\\\"z\"]"
+        );
+    }
+
+    #[test]
+    fn write_json_writes_document() {
+        let dir = std::env::temp_dir().join("npd-output-json-test");
+        let path = write_json(&dir, "doc.json", "{\"a\":1}").unwrap();
+        assert_eq!(fs::read_to_string(path).unwrap(), "{\"a\":1}\n");
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! the README's scenario table is generated from this registry (pinned by
 //! the `readme_catalog` test), so docs and code cannot drift apart.
 //!
-//! Three measurement modes ([`Measurement`]):
+//! Five measurement modes ([`Measurement`]):
 //!
 //! * [`Measurement::RequiredQueries`] — the paper's *required number of
 //!   queries* via the incremental simulation (Section V), exactly like
@@ -22,6 +22,14 @@
 //!   configurations where exact recovery is not the right yardstick (the
 //!   spatially-coupled design breaks the exchangeability global top-`k`
 //!   rules rely on; the honest number is how much overlap survives).
+//! * [`Measurement::WorkloadOverlap`] — prior-blind vs prior-aware
+//!   overlap on a structured population ([`WorkloadSpec`]) at a *scarce*
+//!   query budget (an eighth of the default): the regime where the
+//!   population prior is worth queries.
+//! * [`Measurement::Tracking`] — per-epoch overlap on the temporal SIR
+//!   workload: the streaming greedy tracker re-decodes a drifting truth
+//!   (greedy decoder), or the full distributed protocol runs once per
+//!   epoch (distributed decoders).
 
 use crate::figures::{FigureReport, RunOptions};
 use crate::output::table;
@@ -30,11 +38,12 @@ use crate::{mix_seed, runner, Mode};
 use npd_amp::AmpDecoder;
 use npd_core::distributed::{self, SelectionStrategy};
 use npd_core::{
-    exact_recovery, overlap, Decoder, DesignSpec, GreedyDecoder, Instance, NoiseModel, Regime,
-    TwoStepDecoder,
+    exact_recovery, overlap, Decoder, DesignSpec, Estimate, GreedyDecoder, Instance, NoiseModel,
+    PoolingDesign, Regime, TwoStepDecoder,
 };
 use npd_decoders::BpDecoder;
 use npd_netsim::FaultConfig;
+use npd_workloads::{track_greedy, track_protocol, PopulationModel, TrackingConfig, WorkloadSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -95,6 +104,11 @@ pub enum Measurement {
     /// arrivals, missing assignments, and the recovery rate — on a
     /// power-of-two `n`-grid, optionally under fault injection.
     ProtocolCost,
+    /// Prior-blind vs prior-aware overlap on a structured population at a
+    /// scarce query budget (workload scenarios).
+    WorkloadOverlap,
+    /// Per-epoch tracking overlap on the temporal SIR workload.
+    Tracking,
 }
 
 /// One named, fully specified experiment configuration.
@@ -116,6 +130,11 @@ pub struct Scenario {
     /// Message faults injected into protocol scenarios (`None` elsewhere
     /// and for fault-free protocol runs).
     pub faults: Option<FaultConfig>,
+    /// Population model (`None` means the paper's uniform `k`-subset,
+    /// sampled by [`Instance::sample`] itself). Workload scenarios
+    /// ([`Measurement::WorkloadOverlap`], [`Measurement::Tracking`]) carry
+    /// `Some`.
+    pub workload: Option<WorkloadSpec>,
     /// Sparsity exponent θ (`k = n^θ`).
     pub theta: f64,
     /// Query size as a divisor of `n` (`Γ = n / gamma_div`).
@@ -135,7 +154,10 @@ impl Scenario {
             Mode::Quick => self.quick_max_exp10,
             Mode::Full => self.full_max_exp10,
         };
-        if self.measurement == Measurement::ProtocolCost {
+        let on_protocol_grid = self.measurement == Measurement::ProtocolCost
+            || (self.measurement == Measurement::Tracking
+                && matches!(self.decoder, DecoderKind::Distributed(_)));
+        if on_protocol_grid {
             // Power-of-two grid 2^8, 2^10, …: the natural sizes for the
             // sorting network and the butterfly aggregation alike.
             return (8..=max_exp).step_by(2).map(|e| 1usize << e).collect();
@@ -170,10 +192,22 @@ pub fn registry() -> Vec<Scenario> {
             Measurement::SuccessRate
         },
         faults: None,
+        workload: None,
         theta: crate::figures::THETA,
         gamma_div: 2,
         quick_max_exp10: 3,
         full_max_exp10: 5,
+    };
+    // Workload scenarios: structured populations at θ = 0.5 (enough
+    // one-agents for block/cluster structure to exist at quick-grid sizes)
+    // measured where the prior matters — a scarce query budget — plus the
+    // temporal SIR tracking pair.
+    let workload = |name, summary, spec, noise| Scenario {
+        measurement: Measurement::WorkloadOverlap,
+        workload: Some(spec),
+        theta: 0.5,
+        full_max_exp10: 4,
+        ..base(name, summary, DesignSpec::Iid, noise, DecoderKind::Greedy)
     };
     // Distributed-protocol scenarios: strategy × faults on power-of-two
     // grids (see `Measurement::ProtocolCost`). The topology is the
@@ -322,6 +356,50 @@ pub fn registry() -> Vec<Scenario> {
             Some(FaultConfig::new(0.01, 0.05, 72).unwrap().with_max_delay(2)),
             12,
         ),
+        workload(
+            "workload-community",
+            "SBM-style community blocks (2 hot of 8): prior-aware posterior ranking vs \
+             the prior-blind rule at a scarce query budget",
+            WorkloadSpec::Community { theta: 0.5 },
+            NoiseModel::z_channel(0.1),
+        ),
+        workload(
+            "workload-households",
+            "household-burst infections (clusters of 4, secondary attack 0.7): correlated \
+             ones under the exchangeable pooling design",
+            WorkloadSpec::Households { theta: 0.5 },
+            NoiseModel::z_channel(0.1),
+        ),
+        workload(
+            "workload-hubs",
+            "heavy-tailed Zipf hub marginals (heavy-hitter detection): a strong prior on \
+             few agents, a weak one on the tail",
+            WorkloadSpec::Hubs { theta: 0.5 },
+            NoiseModel::z_channel(0.1),
+        ),
+        Scenario {
+            measurement: Measurement::Tracking,
+            ..workload(
+                "workload-sir-track",
+                "temporal SIR drift, streaming greedy tracker: stale pooled evidence \
+                 accumulates across epochs and the per-epoch overlap measures its cost",
+                WorkloadSpec::Sir,
+                NoiseModel::z_channel(0.1),
+            )
+        },
+        Scenario {
+            measurement: Measurement::Tracking,
+            decoder: DecoderKind::Distributed(SelectionStrategy::GossipThreshold),
+            quick_max_exp10: 10,
+            full_max_exp10: 12,
+            ..workload(
+                "workload-sir-protocol",
+                "temporal SIR drift, full distributed protocol re-run each epoch on fresh \
+                 pools: tracking overlap plus per-epoch communication cost",
+                WorkloadSpec::Sir,
+                NoiseModel::z_channel(0.1),
+            )
+        },
     ]
 }
 
@@ -338,6 +416,7 @@ pub fn list_rendered() -> String {
             vec![
                 s.name.to_string(),
                 s.design.to_string(),
+                workload_label(s),
                 noise_label(&s.noise),
                 s.decoder.name().to_string(),
                 format!("n/{}", s.gamma_div),
@@ -346,9 +425,18 @@ pub fn list_rendered() -> String {
         })
         .collect();
     format!(
-        "Scenario registry — run one with `repro scenarios run <name>`\n{}",
+        "Scenario registry — run one with `repro scenarios run <name>` \
+         (or all with `repro scenarios run --all`)\n{}",
         table(
-            &["name", "design", "noise", "decoder", "Γ", "summary"],
+            &[
+                "name",
+                "design",
+                "population",
+                "noise",
+                "decoder",
+                "Γ",
+                "summary"
+            ],
             &rows
         )
     )
@@ -358,20 +446,29 @@ pub fn list_rendered() -> String {
 /// `readme_catalog` test pins the README section to this output).
 pub fn catalog_markdown() -> String {
     let mut out = String::from(
-        "| scenario | design | noise | decoder | reproduce |\n\
-         |---|---|---|---|---|\n",
+        "| scenario | design | population | noise | decoder | reproduce |\n\
+         |---|---|---|---|---|---|\n",
     );
     for s in registry() {
         out.push_str(&format!(
-            "| `{}` | {} | {} | {} | `{}` |\n",
+            "| `{}` | {} | {} | {} | {} | `{}` |\n",
             s.name,
             s.design,
+            workload_label(&s),
             noise_label(&s.noise),
             s.decoder.name(),
             s.command()
         ));
     }
     out
+}
+
+/// Compact human label for a scenario's population model.
+fn workload_label(s: &Scenario) -> String {
+    match s.workload {
+        None => "uniform".into(),
+        Some(spec) => spec.to_string(),
+    }
 }
 
 /// Compact human label for a noise model.
@@ -390,6 +487,233 @@ pub fn run(scenario: &Scenario, opts: &RunOptions) -> FigureReport {
         Measurement::RequiredQueries => run_required_queries(scenario, opts),
         Measurement::SuccessRate | Measurement::Overlap => run_batch(scenario, opts),
         Measurement::ProtocolCost => run_protocol_cost(scenario, opts),
+        Measurement::WorkloadOverlap => run_workload_overlap(scenario, opts),
+        Measurement::Tracking => run_tracking(scenario, opts),
+    }
+}
+
+/// The scarce query budget of the workload comparisons: an eighth of
+/// [`sweep::default_budget`], floored at 120 — the regime where knowing
+/// *where* the ones concentrate is worth queries.
+pub(crate) fn scarce_budget(n: usize, theta: f64, noise: &NoiseModel) -> usize {
+    (sweep::default_budget(n, theta, noise) / 8).max(120)
+}
+
+/// One prior-blind-vs-prior-aware workload trial: samples a truth from
+/// `model`, pools and measures it under `(m, gamma, noise, design)`, and
+/// decodes both rankings from a single score accumulation
+/// ([`GreedyDecoder::scores_with_posterior`]). Returns
+/// `(k, blind overlap, prior-aware overlap)`; a `k = 0` draw is trivially
+/// right for both rules. Shared by the `workload-*` scenarios and the
+/// `workloads` figure so the two report the same experiment.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn workload_trial(
+    model: &dyn PopulationModel,
+    prior: &[f64],
+    n: usize,
+    m: usize,
+    gamma: usize,
+    noise: NoiseModel,
+    design: DesignSpec,
+    seed: u64,
+) -> (usize, f64, f64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let truth = model.sample(n, &mut rng);
+    let k = truth.k();
+    if k == 0 {
+        return (0, 1.0, 1.0);
+    }
+    let instance = Instance::builder(n)
+        .k(k)
+        .queries(m)
+        .query_size(gamma)
+        .noise(noise)
+        .design(design)
+        .build()
+        .expect("workload trial configurations are valid");
+    let graph = design.sample(n, m, gamma, &mut rng);
+    let results = graph.measure(&truth, &noise, &mut rng);
+    let run = instance
+        .assemble(truth, graph, results)
+        .expect("assembled parts match the instance");
+    let (scores, posterior) = GreedyDecoder::new().scores_with_posterior(&run, prior);
+    let blind = Estimate::from_scores(scores, k);
+    let aware = Estimate::from_scores(posterior, k);
+    (
+        k,
+        overlap(&blind, run.ground_truth()),
+        overlap(&aware, run.ground_truth()),
+    )
+}
+
+/// Workload-overlap measurement: prior-blind vs prior-aware greedy overlap
+/// on a structured population, at the scarce [`scarce_budget`].
+fn run_workload_overlap(scenario: &Scenario, opts: &RunOptions) -> FigureReport {
+    let spec = scenario
+        .workload
+        .expect("WorkloadOverlap scenarios carry a workload");
+    let model = spec.model();
+    let trials = opts.resolve_trials(5, 25);
+    let grid = scenario.grid(opts.mode);
+
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for &n in &grid {
+        let m = scarce_budget(n, scenario.theta, &scenario.noise);
+        let gamma = (n / scenario.gamma_div).max(1);
+        let prior = model.prior(n);
+        let seeds: Vec<u64> = (0..trials as u64)
+            .map(|t| mix_seed(0x5CE5_0000 ^ hash_name(scenario.name), (n as u64) << 8 | t))
+            .collect();
+        let per_trial = runner::parallel_map(&seeds, opts.threads, |&seed| {
+            workload_trial(
+                model.as_ref(),
+                &prior,
+                n,
+                m,
+                gamma,
+                scenario.noise,
+                scenario.design,
+                seed,
+            )
+        });
+        let mean_k = per_trial.iter().map(|(k, _, _)| *k as f64).sum::<f64>() / trials as f64;
+        let blind = per_trial.iter().map(|(_, b, _)| b).sum::<f64>() / trials as f64;
+        let aware = per_trial.iter().map(|(_, _, a)| a).sum::<f64>() / trials as f64;
+        rows.push(vec![
+            n.to_string(),
+            format!("{mean_k:.1}"),
+            m.to_string(),
+            format!("{blind:.2}"),
+            format!("{aware:.2}"),
+        ]);
+        csv_rows.push(vec![
+            n.to_string(),
+            format!("{mean_k:.2}"),
+            gamma.to_string(),
+            m.to_string(),
+            format!("{blind:.3}"),
+            format!("{aware:.3}"),
+            trials.to_string(),
+        ]);
+    }
+    let rendered = format!(
+        "Scenario {} — prior-blind vs prior-aware overlap ({} workload, {} design, \
+         scarce budget, {} trials)\n{}",
+        scenario.name,
+        spec,
+        scenario.design,
+        trials,
+        table(&["n", "k̄", "m", "blind", "prior-aware"], &rows)
+    );
+    FigureReport {
+        name: format!("scenario-{}", scenario.name),
+        rendered,
+        csv_headers: vec![
+            "n".into(),
+            "mean_k".into(),
+            "gamma".into(),
+            "m".into(),
+            "overlap_blind".into(),
+            "overlap_prior_aware".into(),
+            "trials".into(),
+        ],
+        csv_rows,
+        notes: vec![scenario.summary.to_string()],
+    }
+}
+
+/// Number of epochs every tracking scenario simulates.
+const TRACKING_EPOCHS: usize = 6;
+
+/// Tracking measurement: the temporal SIR workload drifts over
+/// [`TRACKING_EPOCHS`] epochs; one row per `(n, epoch)` reports the mean
+/// tracking overlap (and, for distributed tracking, the per-epoch
+/// communication cost).
+fn run_tracking(scenario: &Scenario, opts: &RunOptions) -> FigureReport {
+    let spec = scenario
+        .workload
+        .expect("Tracking scenarios carry a workload");
+    let model = spec.sir().expect("Tracking scenarios use the SIR workload");
+    let trials = opts.resolve_trials(3, 10);
+    let grid = scenario.grid(opts.mode);
+    let strategy = match scenario.decoder {
+        DecoderKind::Distributed(s) => Some(s),
+        _ => None,
+    };
+
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for &n in &grid {
+        let cfg = TrackingConfig {
+            gamma: (n / scenario.gamma_div).max(1),
+            queries_per_epoch: (sweep::default_budget(n, scenario.theta, &scenario.noise) / 4)
+                .max(200),
+            epochs: TRACKING_EPOCHS,
+            noise: scenario.noise,
+            design: scenario.design,
+        };
+        let seeds: Vec<u64> = (0..trials as u64)
+            .map(|t| mix_seed(0x5CE6_0000 ^ hash_name(scenario.name), (n as u64) << 8 | t))
+            .collect();
+        let per_trial = runner::parallel_map(&seeds, opts.threads, |&seed| match strategy {
+            None => track_greedy(&model, n, &cfg, seed),
+            Some(s) => track_protocol(&model, n, &cfg, s, seed),
+        });
+        for epoch in 0..cfg.epochs {
+            let at = |f: &dyn Fn(&npd_workloads::EpochReport) -> f64| -> f64 {
+                per_trial.iter().map(|r| f(&r[epoch])).sum::<f64>() / trials as f64
+            };
+            let k = at(&|r| r.k as f64);
+            let ov = at(&|r| r.overlap);
+            let exact = at(&|r| f64::from(r.exact));
+            let messages = at(&|r| r.messages as f64);
+            rows.push(vec![
+                n.to_string(),
+                epoch.to_string(),
+                format!("{k:.1}"),
+                format!("{ov:.2}"),
+                format!("{exact:.2}"),
+                format!("{messages:.0}"),
+            ]);
+            csv_rows.push(vec![
+                n.to_string(),
+                epoch.to_string(),
+                format!("{k:.2}"),
+                cfg.queries_per_epoch.to_string(),
+                format!("{ov:.3}"),
+                format!("{exact:.3}"),
+                format!("{messages:.1}"),
+                trials.to_string(),
+            ]);
+        }
+    }
+    let mode_label = match strategy {
+        None => "streaming greedy re-decode".to_string(),
+        Some(s) => format!("distributed protocol per epoch, {s} selection"),
+    };
+    let rendered = format!(
+        "Scenario {} — SIR tracking overlap over {TRACKING_EPOCHS} epochs ({mode_label}, \
+         {} trials)\n{}",
+        scenario.name,
+        trials,
+        table(&["n", "epoch", "k̄", "overlap", "exact", "messages"], &rows)
+    );
+    FigureReport {
+        name: format!("scenario-{}", scenario.name),
+        rendered,
+        csv_headers: vec![
+            "n".into(),
+            "epoch".into(),
+            "mean_k".into(),
+            "queries_per_epoch".into(),
+            "mean_overlap".into(),
+            "exact_rate".into(),
+            "mean_messages".into(),
+            "trials".into(),
+        ],
+        csv_rows,
+        notes: vec![scenario.summary.to_string()],
     }
 }
 
@@ -750,6 +1074,61 @@ mod tests {
         assert_eq!(report.csv_rows.len(), 1);
         // Success-rate CSV: last column is the trial count.
         assert_eq!(report.csv_rows[0].last().unwrap(), "2");
+    }
+
+    #[test]
+    fn registry_has_at_least_four_workload_scenarios() {
+        let workload_names: Vec<&str> = registry()
+            .iter()
+            .filter(|s| s.workload.is_some())
+            .map(|s| s.name)
+            .collect();
+        assert!(
+            workload_names.len() >= 4,
+            "only {workload_names:?} workload scenarios registered"
+        );
+        assert!(workload_names.iter().all(|n| n.starts_with("workload-")));
+        // And they show up in the CLI listing.
+        let listing = list_rendered();
+        for name in workload_names {
+            assert!(listing.contains(name), "list missing {name}");
+        }
+    }
+
+    #[test]
+    fn workload_overlap_scenario_runs_end_to_end() {
+        let mut scenario = find("workload-community").expect("registered");
+        scenario.quick_max_exp10 = 2; // n = 100 only
+        let opts = RunOptions {
+            mode: Mode::Quick,
+            trials: Some(2),
+            threads: 2,
+        };
+        let report = run(&scenario, &opts);
+        assert_eq!(report.name, "scenario-workload-community");
+        assert_eq!(report.csv_rows.len(), 1);
+        assert_eq!(report.csv_rows[0].len(), report.csv_headers.len());
+        assert!(report.rendered.contains("prior-aware"));
+        // Deterministic re-run.
+        assert_eq!(run(&scenario, &opts).csv_rows, report.csv_rows);
+    }
+
+    #[test]
+    fn tracking_scenario_runs_end_to_end() {
+        let mut scenario = find("workload-sir-track").expect("registered");
+        scenario.quick_max_exp10 = 2; // n = 100 only
+        let opts = RunOptions {
+            mode: Mode::Quick,
+            trials: Some(2),
+            threads: 2,
+        };
+        let report = run(&scenario, &opts);
+        // One row per epoch at the single grid point.
+        assert_eq!(report.csv_rows.len(), TRACKING_EPOCHS);
+        for row in &report.csv_rows {
+            assert_eq!(row.len(), report.csv_headers.len());
+        }
+        assert!(report.rendered.contains("epoch"));
     }
 
     #[test]

@@ -1,0 +1,481 @@
+//! The static structured population models.
+//!
+//! Every model here is a pure function of `(parameters, n, rng)`; the
+//! per-agent prior marginals are a pure function of `(parameters, n)` —
+//! no sampling — so decoders can consume them without coordination.
+
+use crate::PopulationModel;
+use npd_core::model::GroundTruth;
+use npd_core::Regime;
+use rand::{Rng, RngCore};
+
+/// Shared guard for the samplers.
+pub(crate) fn assert_population(n: usize) {
+    assert!(n > 0, "PopulationModel::sample: n must be positive");
+    assert!(
+        n <= u32::MAX as usize,
+        "PopulationModel::sample: n={n} exceeds u32 range"
+    );
+}
+
+/// Draws `count` distinct agents uniformly from `lo..hi` via a partial
+/// Fisher–Yates shuffle, appending them to `out`.
+fn sample_range_subset(
+    lo: usize,
+    hi: usize,
+    count: usize,
+    rng: &mut dyn RngCore,
+    out: &mut Vec<u32>,
+) {
+    debug_assert!(count <= hi - lo);
+    let mut idx: Vec<u32> = (lo as u32..hi as u32).collect();
+    let len = idx.len();
+    for i in 0..count {
+        let j = rng.gen_range(i..len);
+        idx.swap(i, j);
+    }
+    out.extend_from_slice(&idx[..count]);
+}
+
+/// The paper's population: a uniformly random weight-`k` assignment.
+///
+/// This is [`GroundTruth::sample`] refactored behind [`PopulationModel`];
+/// the two consume **identical RNG streams** (pinned by the fingerprint
+/// regression test in `tests/workloads.rs`), so every legacy experiment is
+/// the `UniformKSubset` special case of the workload layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformKSubset {
+    regime: Regime,
+}
+
+impl UniformKSubset {
+    /// A uniform model whose `k` follows the given regime.
+    pub fn new(regime: Regime) -> Self {
+        Self { regime }
+    }
+
+    /// The regime determining `k`.
+    pub fn regime(&self) -> Regime {
+        self.regime
+    }
+}
+
+impl PopulationModel for UniformKSubset {
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+
+    fn expected_k(&self, n: usize) -> f64 {
+        self.regime.k_for(n) as f64
+    }
+
+    fn prior(&self, n: usize) -> Vec<f64> {
+        let pi = self.regime.k_for(n) as f64 / n as f64;
+        vec![pi; n]
+    }
+
+    fn sample(&self, n: usize, rng: &mut dyn RngCore) -> GroundTruth {
+        assert_population(n);
+        GroundTruth::sample(n, self.regime.k_for(n), rng)
+    }
+}
+
+/// SBM-style community structure: `blocks` contiguous equal blocks, with
+/// `hot_share` of the one-agents concentrated in the first `hot` blocks.
+///
+/// Within each block the one-agents are a uniform subset of *exactly* the
+/// block's deterministic count, so the realized `k` is a constant of
+/// `(parameters, n)` — which keeps fixed-budget comparisons between
+/// prior-aware and prior-blind decoding clean. The hot blocks are the
+/// blocks with the smallest ids (deterministic, so the prior needs no
+/// sampling); under the exchangeable i.i.d. pooling designs agent ids
+/// carry no other meaning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommunityBlocks {
+    blocks: usize,
+    hot: usize,
+    hot_share: f64,
+    regime: Regime,
+}
+
+impl CommunityBlocks {
+    /// A block model with `blocks` communities, `hot` of which carry
+    /// `hot_share` of the expected `k` (the rest spread uniformly over the
+    /// cold blocks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks == 0`, `hot` is not in `[1, blocks]`, or
+    /// `hot_share ∉ [0, 1]`.
+    pub fn new(blocks: usize, hot: usize, hot_share: f64, regime: Regime) -> Self {
+        assert!(blocks > 0, "CommunityBlocks: need at least one block");
+        assert!(
+            (1..=blocks).contains(&hot),
+            "CommunityBlocks: hot={hot} must be in [1, {blocks}]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&hot_share),
+            "CommunityBlocks: hot_share={hot_share} must be in [0, 1]"
+        );
+        Self {
+            blocks,
+            hot,
+            hot_share,
+            regime,
+        }
+    }
+
+    /// Block boundary: block `b` covers `[start(b), start(b+1))`.
+    fn block_start(&self, n: usize, b: usize) -> usize {
+        b * n / self.blocks
+    }
+
+    /// Deterministic per-block one-counts at population size `n`.
+    fn block_counts(&self, n: usize) -> Vec<usize> {
+        let k = self.regime.k_for(n);
+        let hot_total = (k as f64 * self.hot_share).round() as usize;
+        let cold_total = k - hot_total.min(k);
+        let cold_blocks = self.blocks - self.hot;
+        let mut counts = vec![0usize; self.blocks];
+        for (b, count) in counts.iter_mut().enumerate() {
+            let size = self.block_start(n, b + 1) - self.block_start(n, b);
+            let (total, group, rank) = if b < self.hot {
+                (hot_total.min(k), self.hot, b)
+            } else if cold_blocks > 0 {
+                (cold_total, cold_blocks, b - self.hot)
+            } else {
+                (0, 1, 0)
+            };
+            // Spread `total` over the group's blocks, remainder first.
+            let base = total / group;
+            let extra = usize::from(rank < total % group);
+            *count = (base + extra).min(size);
+        }
+        counts
+    }
+}
+
+impl PopulationModel for CommunityBlocks {
+    fn name(&self) -> &'static str {
+        "community"
+    }
+
+    fn expected_k(&self, n: usize) -> f64 {
+        self.block_counts(n).iter().sum::<usize>() as f64
+    }
+
+    fn prior(&self, n: usize) -> Vec<f64> {
+        let counts = self.block_counts(n);
+        let mut prior = Vec::with_capacity(n);
+        for (b, &c) in counts.iter().enumerate() {
+            let size = self.block_start(n, b + 1) - self.block_start(n, b);
+            let pi = if size == 0 {
+                0.0
+            } else {
+                c as f64 / size as f64
+            };
+            prior.extend(std::iter::repeat_n(pi, size));
+        }
+        prior
+    }
+
+    fn sample(&self, n: usize, rng: &mut dyn RngCore) -> GroundTruth {
+        assert_population(n);
+        let counts = self.block_counts(n);
+        let mut ones = Vec::with_capacity(counts.iter().sum());
+        for (b, &c) in counts.iter().enumerate() {
+            let (lo, hi) = (self.block_start(n, b), self.block_start(n, b + 1));
+            sample_range_subset(lo, hi, c, rng, &mut ones);
+        }
+        GroundTruth::from_ones(n, ones)
+    }
+}
+
+/// Household bursts: the one-set is a union of small contiguous clusters.
+///
+/// Agents partition into contiguous households of `household` members
+/// (the last household may be smaller). Infection arrives household by
+/// household — a uniformly chosen household gets one index case (uniform
+/// member) and every other member independently with probability
+/// `secondary_attack` — until at least the regime's `k` one-agents exist.
+/// The marginal prior is uniform (households are exchangeable); the
+/// *correlation* between household members is what distinguishes this
+/// workload from [`UniformKSubset`] at equal `k`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HouseholdClusters {
+    household: usize,
+    secondary_attack: f64,
+    regime: Regime,
+}
+
+impl HouseholdClusters {
+    /// Clustered infections with the given household size and secondary
+    /// attack rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `household == 0` or `secondary_attack ∉ [0, 1]`.
+    pub fn new(household: usize, secondary_attack: f64, regime: Regime) -> Self {
+        assert!(
+            household > 0,
+            "HouseholdClusters: household size must be positive"
+        );
+        assert!(
+            (0.0..=1.0).contains(&secondary_attack),
+            "HouseholdClusters: secondary_attack={secondary_attack} must be in [0, 1]"
+        );
+        Self {
+            household,
+            secondary_attack,
+            regime,
+        }
+    }
+}
+
+impl PopulationModel for HouseholdClusters {
+    fn name(&self) -> &'static str {
+        "households"
+    }
+
+    fn expected_k(&self, n: usize) -> f64 {
+        // The arrival loop stops at ≥ k with overshoot < household; the
+        // expected overshoot is below half a household.
+        self.regime.k_for(n) as f64
+    }
+
+    fn prior(&self, n: usize) -> Vec<f64> {
+        let pi = (self.regime.k_for(n) as f64 / n as f64).min(1.0);
+        vec![pi; n]
+    }
+
+    fn sample(&self, n: usize, rng: &mut dyn RngCore) -> GroundTruth {
+        assert_population(n);
+        let target = self.regime.k_for(n).min(n);
+        let households = n.div_ceil(self.household);
+        // Uniform household order via a reusable partial Fisher–Yates.
+        let mut order: Vec<u32> = (0..households as u32).collect();
+        let mut ones: Vec<u32> = Vec::with_capacity(target + self.household);
+        let mut drawn = 0usize;
+        while ones.len() < target && drawn < households {
+            let j = rng.gen_range(drawn..households);
+            order.swap(drawn, j);
+            let h = order[drawn] as usize;
+            drawn += 1;
+            let lo = h * self.household;
+            let hi = ((h + 1) * self.household).min(n);
+            let index_case = lo + rng.gen_range(0..hi - lo);
+            for a in lo..hi {
+                if a == index_case || rng.gen_bool(self.secondary_attack) {
+                    ones.push(a as u32);
+                }
+            }
+        }
+        GroundTruth::from_ones(n, ones)
+    }
+}
+
+/// Heavy-tailed hub marginals: `πᵢ ∝ (i+1)^{-α}`, scaled so the prior mass
+/// equals the regime's expected `k` (entries capped at 0.95 with the
+/// excess water-filled onto the tail).
+///
+/// The heavy-hitter workload: a few hub agents are very likely one, the
+/// long tail individually unlikely but collectively substantial. Each
+/// agent's bit is an independent Bernoulli of its marginal, so the
+/// realized `k` fluctuates around the expected value — decoders that
+/// estimate `k` from the data ([`npd_core::estimation::estimate_k`],
+/// [`npd_core::estimation::estimate_k_with_prior`]) are the natural fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeavyTailedHubs {
+    alpha: f64,
+    regime: Regime,
+}
+
+impl HeavyTailedHubs {
+    /// Maximum marginal after capping.
+    const CAP: f64 = 0.95;
+
+    /// Zipf-weighted marginals with exponent `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is negative or not finite.
+    pub fn new(alpha: f64, regime: Regime) -> Self {
+        assert!(
+            alpha.is_finite() && alpha >= 0.0,
+            "HeavyTailedHubs: alpha={alpha} must be a non-negative finite number"
+        );
+        Self { alpha, regime }
+    }
+}
+
+impl PopulationModel for HeavyTailedHubs {
+    fn name(&self) -> &'static str {
+        "hubs"
+    }
+
+    fn expected_k(&self, n: usize) -> f64 {
+        self.prior(n).iter().sum()
+    }
+
+    fn prior(&self, n: usize) -> Vec<f64> {
+        let target = (self.regime.k_for(n) as f64).min(n as f64 * Self::CAP);
+        let weights: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(-self.alpha)).collect();
+        let mut prior = vec![0.0; n];
+        let mut capped = vec![false; n];
+        // Water-filling: scale the uncapped weights to the remaining mass,
+        // cap any overflow, repeat. Terminates in ≤ n rounds; in practice a
+        // handful, since each round either caps a new entry or fixes the
+        // scale.
+        loop {
+            let capped_mass: f64 = prior
+                .iter()
+                .zip(&capped)
+                .filter(|(_, &c)| c)
+                .map(|(p, _)| p)
+                .sum();
+            let free_weight: f64 = weights
+                .iter()
+                .zip(&capped)
+                .filter(|(_, &c)| !c)
+                .map(|(w, _)| w)
+                .sum();
+            let remaining = (target - capped_mass).max(0.0);
+            if free_weight <= 0.0 || remaining <= 0.0 {
+                break;
+            }
+            let scale = remaining / free_weight;
+            let mut newly_capped = false;
+            for i in 0..n {
+                if !capped[i] {
+                    let p = weights[i] * scale;
+                    if p >= Self::CAP {
+                        prior[i] = Self::CAP;
+                        capped[i] = true;
+                        newly_capped = true;
+                    } else {
+                        prior[i] = p;
+                    }
+                }
+            }
+            if !newly_capped {
+                break;
+            }
+        }
+        prior
+    }
+
+    fn sample(&self, n: usize, rng: &mut dyn RngCore) -> GroundTruth {
+        assert_population(n);
+        let prior = self.prior(n);
+        let ones: Vec<u32> = (0..n)
+            .filter(|&i| rng.gen_bool(prior[i]))
+            .map(|i| i as u32)
+            .collect();
+        GroundTruth::from_ones(n, ones)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_matches_legacy_sampler() {
+        // The refactor contract: identical RNG stream, identical output.
+        for seed in [0u64, 7, 0xBEEF] {
+            let legacy = GroundTruth::sample(333, 9, &mut StdRng::seed_from_u64(seed));
+            let model = UniformKSubset::new(Regime::explicit(9));
+            let mut rng = StdRng::seed_from_u64(seed);
+            assert_eq!(model.sample(333, &mut rng), legacy, "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn community_counts_are_deterministic_and_concentrated() {
+        let model = CommunityBlocks::new(8, 2, 0.9, Regime::explicit(40));
+        let n = 800;
+        assert_eq!(model.expected_k(n), 40.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let truth = model.sample(n, &mut rng);
+        assert_eq!(truth.k(), 40);
+        // 90% of the ones inside the two hot blocks (agents 0..200).
+        let hot_ones = truth.ones().iter().filter(|&&o| o < 200).count();
+        assert_eq!(hot_ones, 36);
+        // Prior matches the realized block structure exactly.
+        let prior = model.prior(n);
+        assert!((prior.iter().sum::<f64>() - 40.0).abs() < 1e-9);
+        assert!(prior[0] > prior[250], "hot block marginal must dominate");
+    }
+
+    #[test]
+    fn community_handles_all_hot_blocks() {
+        let model = CommunityBlocks::new(4, 4, 1.0, Regime::explicit(10));
+        let truth = model.sample(100, &mut StdRng::seed_from_u64(1));
+        assert_eq!(truth.k(), 10);
+    }
+
+    #[test]
+    fn households_cluster_and_hit_target() {
+        let model = HouseholdClusters::new(5, 1.0, Regime::explicit(20));
+        let truth = model.sample(1_000, &mut StdRng::seed_from_u64(3));
+        // Full secondary attack: whole households of 5, so k = 20 exactly.
+        assert_eq!(truth.k(), 20);
+        for chunk in truth.ones().chunks(5) {
+            let h = chunk[0] / 5;
+            assert!(chunk.iter().all(|&o| o / 5 == h), "ones not clustered");
+        }
+        // Partial attack overshoots by at most one household.
+        let partial = HouseholdClusters::new(5, 0.4, Regime::explicit(20));
+        let truth = partial.sample(1_000, &mut StdRng::seed_from_u64(4));
+        assert!((20..25).contains(&truth.k()), "k={}", truth.k());
+    }
+
+    #[test]
+    fn hubs_prior_is_heavy_tailed_with_target_mass() {
+        let model = HeavyTailedHubs::new(1.0, Regime::explicit(25));
+        let prior = model.prior(2_000);
+        let mass: f64 = prior.iter().sum();
+        assert!((mass - 25.0).abs() < 1e-6, "mass={mass}");
+        assert!(prior[0] <= HeavyTailedHubs::CAP + 1e-12);
+        assert!(prior[0] > 10.0 * prior[100], "not heavy-tailed");
+        // Realized k concentrates around the prior mass.
+        let ks: Vec<usize> = (0..20)
+            .map(|s| model.sample(2_000, &mut StdRng::seed_from_u64(s)).k())
+            .collect();
+        let mean = ks.iter().sum::<usize>() as f64 / ks.len() as f64;
+        assert!((mean - 25.0).abs() < 5.0, "mean k={mean}");
+    }
+
+    #[test]
+    fn hubs_zero_alpha_is_uniform() {
+        let model = HeavyTailedHubs::new(0.0, Regime::explicit(10));
+        let prior = model.prior(100);
+        assert!(prior.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-12));
+        assert!((prior[0] - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "hot")]
+    fn community_rejects_bad_hot_count() {
+        CommunityBlocks::new(4, 5, 0.5, Regime::explicit(3));
+    }
+
+    #[test]
+    fn samples_are_deterministic_per_seed() {
+        let models: Vec<Box<dyn PopulationModel>> = vec![
+            Box::new(UniformKSubset::new(Regime::sublinear(0.4))),
+            Box::new(CommunityBlocks::new(6, 2, 0.8, Regime::sublinear(0.4))),
+            Box::new(HouseholdClusters::new(4, 0.6, Regime::sublinear(0.4))),
+            Box::new(HeavyTailedHubs::new(1.2, Regime::sublinear(0.4))),
+        ];
+        for model in &models {
+            let a = model.sample(500, &mut StdRng::seed_from_u64(42));
+            let b = model.sample(500, &mut StdRng::seed_from_u64(42));
+            assert_eq!(a, b, "{}", model.name());
+            let c = model.sample(500, &mut StdRng::seed_from_u64(43));
+            assert_ne!(a, c, "{}: seed must matter", model.name());
+        }
+    }
+}

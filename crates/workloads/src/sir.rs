@@ -1,0 +1,352 @@
+//! Temporal population dynamics: discrete-time SIR epidemics.
+//!
+//! The tracking experiments need a ground truth that *drifts*: pooled
+//! tests answered in epoch `t` describe a population that has partly moved
+//! on by epoch `t+1`. A susceptible–infectious–recovered process is the
+//! canonical such drift for the epidemic-screening reading of the pooled
+//! data problem — the one-agents are the currently infectious.
+
+use crate::PopulationModel;
+use npd_core::model::GroundTruth;
+use rand::{Rng, RngCore};
+
+/// Compartment of one agent in the [`SirDynamics`] process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Susceptible,
+    Infectious,
+    Recovered,
+}
+
+/// A discrete-time, well-mixed SIR process over `n` agents.
+///
+/// Per epoch (synchronous update from the previous epoch's state):
+///
+/// * every susceptible becomes infectious with probability
+///   `min(0.95, β·I/n)` (`I` = current infectious count) — the mean-field
+///   contact pressure;
+/// * every infectious recovers with probability `ρ`;
+/// * if the epidemic dies out (`I = 0`) while susceptibles remain, one
+///   uniformly chosen susceptible is infected — an *exogenous importation*,
+///   the standard device keeping a monitored process observable; without
+///   it every tracking run ends in an empty, untrackable truth.
+///
+/// The ground truth at any epoch is the infectious set
+/// ([`SirState::truth`]). The process is a pure function of
+/// `(parameters, n, rng stream)`: no hidden state, so epoch sequences are
+/// bit-reproducible per seed at any thread count.
+///
+/// # Examples
+///
+/// ```
+/// use npd_workloads::SirDynamics;
+/// use rand::SeedableRng;
+///
+/// let model = SirDynamics::new(8, 1.8, 0.35);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let mut state = model.init(1_000, &mut rng);
+/// let k0 = state.truth().k();
+/// model.step(&mut state, &mut rng);
+/// assert_ne!(state.truth().k(), 0); // importation keeps it observable
+/// assert_eq!(k0, 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SirDynamics {
+    initial_infected: usize,
+    transmission: f64,
+    recovery: f64,
+    burn_in: usize,
+}
+
+impl SirDynamics {
+    /// Contact pressure is capped below one so a single epoch can never
+    /// deterministically infect everyone.
+    const PRESSURE_CAP: f64 = 0.95;
+
+    /// An SIR process seeded with `initial_infected` cases, transmission
+    /// rate `β` (expected infectious contacts per case per epoch) and
+    /// recovery probability `ρ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_infected == 0`, `β` is negative or not finite,
+    /// or `ρ ∉ [0, 1]`.
+    pub fn new(initial_infected: usize, transmission: f64, recovery: f64) -> Self {
+        assert!(
+            initial_infected > 0,
+            "SirDynamics: need at least one initial case"
+        );
+        assert!(
+            transmission.is_finite() && transmission >= 0.0,
+            "SirDynamics: transmission={transmission} must be a non-negative finite number"
+        );
+        assert!(
+            (0.0..=1.0).contains(&recovery),
+            "SirDynamics: recovery={recovery} must be in [0, 1]"
+        );
+        Self {
+            initial_infected,
+            transmission,
+            recovery,
+            burn_in: 0,
+        }
+    }
+
+    /// The scenario catalog's operating point: 8 seed cases, `β = 1.8`,
+    /// `ρ = 0.35`, 4 burn-in epochs for one-shot samples — a growing wave
+    /// that peaks after a handful of epochs, so tracking sees both the
+    /// upswing and the turnover.
+    pub fn catalog() -> Self {
+        Self::new(8, 1.8, 0.35).with_burn_in(4)
+    }
+
+    /// Sets the number of epochs a *one-shot* [`PopulationModel::sample`]
+    /// advances before snapshotting (temporal uses step explicitly).
+    pub fn with_burn_in(mut self, burn_in: usize) -> Self {
+        self.burn_in = burn_in;
+        self
+    }
+
+    /// Initializes the process: `initial_infected` uniformly chosen cases
+    /// (clamped to `n`), everyone else susceptible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > u32::MAX`.
+    pub fn init(&self, n: usize, rng: &mut dyn RngCore) -> SirState {
+        crate::models::assert_population(n);
+        let seeds = GroundTruth::sample(n, self.initial_infected.min(n), rng);
+        let status = (0..n)
+            .map(|i| {
+                if seeds.is_one(i) {
+                    Status::Infectious
+                } else {
+                    Status::Susceptible
+                }
+            })
+            .collect();
+        SirState { status }
+    }
+
+    /// Advances the process by one epoch (see the type docs for the
+    /// update rule).
+    pub fn step(&self, state: &mut SirState, rng: &mut dyn RngCore) {
+        let n = state.status.len();
+        let infectious = state
+            .status
+            .iter()
+            .filter(|&&s| s == Status::Infectious)
+            .count();
+        let pressure = (self.transmission * infectious as f64 / n as f64).min(Self::PRESSURE_CAP);
+        // Synchronous update: infections draw on the old infectious count,
+        // recoveries apply to the old infectious set. Statuses are visited
+        // in id order so the RNG stream is schedule-independent.
+        let mut still_susceptible = 0usize;
+        let mut now_infectious = 0usize;
+        for s in state.status.iter_mut() {
+            match *s {
+                Status::Susceptible => {
+                    if rng.gen_bool(pressure) {
+                        *s = Status::Infectious;
+                        now_infectious += 1;
+                    } else {
+                        still_susceptible += 1;
+                    }
+                }
+                Status::Infectious => {
+                    if rng.gen_bool(self.recovery) {
+                        *s = Status::Recovered;
+                    } else {
+                        now_infectious += 1;
+                    }
+                }
+                Status::Recovered => {}
+            }
+        }
+        if now_infectious == 0 && still_susceptible > 0 {
+            // Exogenous importation: infect the `j`-th remaining
+            // susceptible, `j` uniform.
+            let mut j = rng.gen_range(0..still_susceptible);
+            for s in state.status.iter_mut() {
+                if *s == Status::Susceptible {
+                    if j == 0 {
+                        *s = Status::Infectious;
+                        break;
+                    }
+                    j -= 1;
+                }
+            }
+        }
+    }
+
+    /// The deterministic mean-field prevalence after `epochs` steps
+    /// (fractions of the population), used for the prior metadata.
+    fn mean_field(&self, n: usize, epochs: usize) -> f64 {
+        let mut s = 1.0 - self.initial_infected.min(n) as f64 / n as f64;
+        let mut i = self.initial_infected.min(n) as f64 / n as f64;
+        for _ in 0..epochs {
+            let pressure = (self.transmission * i).min(Self::PRESSURE_CAP);
+            let new_inf = s * pressure;
+            s -= new_inf;
+            i = i * (1.0 - self.recovery) + new_inf;
+        }
+        i
+    }
+}
+
+impl PopulationModel for SirDynamics {
+    fn name(&self) -> &'static str {
+        "sir"
+    }
+
+    fn expected_k(&self, n: usize) -> f64 {
+        (self.mean_field(n, self.burn_in) * n as f64).max(1.0)
+    }
+
+    fn prior(&self, n: usize) -> Vec<f64> {
+        let pi = (self.expected_k(n) / n as f64).clamp(1e-9, 1.0);
+        vec![pi; n]
+    }
+
+    fn sample(&self, n: usize, rng: &mut dyn RngCore) -> GroundTruth {
+        let mut state = self.init(n, rng);
+        for _ in 0..self.burn_in {
+            self.step(&mut state, rng);
+        }
+        state.truth()
+    }
+}
+
+/// The compartment assignment of every agent at one epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SirState {
+    status: Vec<Status>,
+}
+
+impl SirState {
+    /// Population size.
+    pub fn n(&self) -> usize {
+        self.status.len()
+    }
+
+    /// `(susceptible, infectious, recovered)` counts.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut c = (0usize, 0usize, 0usize);
+        for s in &self.status {
+            match s {
+                Status::Susceptible => c.0 += 1,
+                Status::Infectious => c.1 += 1,
+                Status::Recovered => c.2 += 1,
+            }
+        }
+        c
+    }
+
+    /// The pooled-data ground truth at this epoch: the infectious set.
+    pub fn truth(&self) -> GroundTruth {
+        GroundTruth::from_ones(
+            self.status.len(),
+            self.status
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &s)| (s == Status::Infectious).then_some(i as u32)),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn init_seeds_exactly_the_initial_cases() {
+        let model = SirDynamics::new(5, 2.0, 0.3);
+        let state = model.init(200, &mut StdRng::seed_from_u64(1));
+        let (s, i, r) = state.counts();
+        assert_eq!((s, i, r), (195, 5, 0));
+        assert_eq!(state.truth().k(), 5);
+    }
+
+    #[test]
+    fn conservation_and_monotone_recovered() {
+        let model = SirDynamics::new(6, 1.8, 0.35);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut state = model.init(500, &mut rng);
+        let mut prev_r = 0;
+        for _ in 0..20 {
+            model.step(&mut state, &mut rng);
+            let (s, i, r) = state.counts();
+            assert_eq!(s + i + r, 500);
+            assert!(r >= prev_r, "recovered shrank");
+            prev_r = r;
+        }
+    }
+
+    #[test]
+    fn epidemic_wave_rises_then_recedes() {
+        // β/ρ ≈ 5 ≫ 1: the infectious count must grow well past the seeds
+        // and eventually fall back (herd depletion).
+        let model = SirDynamics::new(4, 1.8, 0.35);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut state = model.init(2_000, &mut rng);
+        let mut peak = 0usize;
+        let mut last = 0usize;
+        for _ in 0..40 {
+            model.step(&mut state, &mut rng);
+            last = state.counts().1;
+            peak = peak.max(last);
+        }
+        assert!(peak > 200, "no outbreak: peak={peak}");
+        assert!(
+            last < peak / 2,
+            "wave never receded: last={last}, peak={peak}"
+        );
+    }
+
+    #[test]
+    fn importation_keeps_truth_nonempty_while_susceptibles_remain() {
+        // ρ = 1: every case recovers each epoch; only importation keeps
+        // the process alive.
+        let model = SirDynamics::new(1, 0.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut state = model.init(50, &mut rng);
+        for _ in 0..30 {
+            model.step(&mut state, &mut rng);
+            let (s, i, _) = state.counts();
+            if s > 0 {
+                assert_eq!(i, 1, "importation should reseed exactly one case");
+            }
+        }
+    }
+
+    #[test]
+    fn steps_are_deterministic_per_seed() {
+        let model = SirDynamics::catalog();
+        let run = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut state = model.init(300, &mut rng);
+            for _ in 0..10 {
+                model.step(&mut state, &mut rng);
+            }
+            state
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn one_shot_sample_matches_burn_in_metadata() {
+        let model = SirDynamics::catalog();
+        let ks: Vec<f64> = (0..10)
+            .map(|s| model.sample(2_000, &mut StdRng::seed_from_u64(100 + s)).k() as f64)
+            .collect();
+        let mean = ks.iter().sum::<f64>() / ks.len() as f64;
+        let want = model.expected_k(2_000);
+        assert!(
+            (mean - want).abs() < want * 0.5 + 5.0,
+            "mean k {mean} far from mean-field {want}"
+        );
+    }
+}

@@ -15,6 +15,10 @@
 //!   non-adaptive restriction.
 //! * [`theory`] — the closed-form query bounds of Theorems 1 and 2 plus
 //!   converse (lower) bounds and exact channel capacities.
+//! * [`workloads`] — structured and temporal population models (uniform,
+//!   community blocks, household clusters, heavy-tailed hubs, SIR
+//!   dynamics) with per-agent priors feeding the posterior decoding
+//!   paths, plus the epoch-tracking harness for drifting populations.
 //! * [`netsim`] — the sharded synchronous message-passing network
 //!   simulator (million-agent scale, bit-identical at any shard/thread
 //!   count), with topologies, a per-link fault model, push-sum gossip and
@@ -54,3 +58,4 @@ pub use npd_netsim as netsim;
 pub use npd_numerics as numerics;
 pub use npd_sortnet as sortnet;
 pub use npd_theory as theory;
+pub use npd_workloads as workloads;

@@ -138,3 +138,77 @@ fn legacy_sampler_stream_is_unchanged_by_the_design_layer() {
     let legacy = PoolingGraph::sample(60, 15, 30, &mut rng);
     assert_eq!(run1.graph(), &legacy);
 }
+
+#[test]
+fn estimate_k_uses_realized_mean_slots_on_ragged_designs() {
+    // Regression: the moment estimators must normalize by the *realized*
+    // mean query size (`PoolingGraph::mean_query_slots`), not the nominal
+    // Γ. Both ragged designs here round their agent/column degree to
+    // `round(mΓ/n)`, so the realized mean pool size differs from Γ by
+    // ~7%, enough to shift a Γ-normalized k̂ off the true k.
+    use noisy_pooled_data::core::estimation;
+    let cases = [
+        // (design, n, m, Γ, k): mΓ/n lands on x.5–x.7 so rounding bites.
+        (
+            DesignSpec::SparseColumn,
+            500usize,
+            100usize,
+            23usize,
+            20usize,
+        ),
+        (DesignSpec::DoublyRegular, 300, 50, 28, 15),
+    ];
+    for (design, n, m, gamma, k) in cases {
+        let inst = Instance::builder(n)
+            .k(k)
+            .queries(m)
+            .query_size(gamma)
+            .design(design)
+            .build()
+            .unwrap();
+        for seed in 0..5u64 {
+            let run = inst.sample(&mut StdRng::seed_from_u64(900 + seed));
+            let realized = run.graph().mean_query_slots();
+            assert!(
+                (realized - gamma as f64).abs() > 0.04 * gamma as f64,
+                "{design}: realized mean {realized} too close to nominal Γ={gamma} \
+                 for the regression to bite"
+            );
+            // Noiseless: k̂ is a pure first-moment read-off, so the only
+            // way to get it right is the realized normalizer.
+            let k_hat = estimation::estimate_k(&run).expect("enough queries");
+            assert_eq!(k_hat, k, "{design} seed={seed}: estimate_k drifted");
+            // The Γ-nominal computation is measurably wrong on the same
+            // data — this is what the realized normalizer fixes.
+            let mean = run.results().iter().sum::<f64>() / m as f64;
+            let nominal = (n as f64 * mean / gamma as f64).round() as usize;
+            assert_ne!(
+                nominal, k,
+                "{design} seed={seed}: nominal-Γ estimate accidentally right; \
+                 pick parameters where rounding bites harder"
+            );
+        }
+    }
+}
+
+#[test]
+fn decode_with_estimated_k_is_oracle_equivalent_on_ragged_designs() {
+    // With k̂ = k (previous test), the blind decoder must reproduce the
+    // oracle decoder's selection bit for bit on ragged designs.
+    use noisy_pooled_data::core::estimation;
+    for design in [DesignSpec::SparseColumn, DesignSpec::DoublyRegular] {
+        let inst = Instance::builder(500)
+            .k(20)
+            .queries(100)
+            .query_size(23)
+            .design(design)
+            .build()
+            .unwrap();
+        for seed in 0..3u64 {
+            let run = inst.sample(&mut StdRng::seed_from_u64(950 + seed));
+            let blind = estimation::decode_with_estimated_k(&run).expect("enough queries");
+            let oracle = GreedyDecoder::new().decode(&run);
+            assert_eq!(blind.ones(), oracle.ones(), "{design} seed={seed}");
+        }
+    }
+}

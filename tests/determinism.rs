@@ -322,3 +322,71 @@ fn amp_decode_is_identical_across_thread_counts() {
         assert_eq!(got.1, reference.1, "threads={threads}");
     }
 }
+
+/// Temporal workloads are a pure function of `(model, n, config, seed)`:
+/// the streaming SIR tracker and the per-epoch distributed-protocol
+/// tracker must be bit-identical at any ambient thread count (the protocol
+/// additionally picks its shard count from the pool, which the engine
+/// guarantees is invisible).
+#[test]
+fn temporal_workload_tracking_is_identical_across_thread_counts() {
+    use noisy_pooled_data::core::distributed::SelectionStrategy;
+    use noisy_pooled_data::core::DesignSpec;
+    use noisy_pooled_data::workloads::{track_greedy, track_protocol, SirDynamics, TrackingConfig};
+
+    let model = SirDynamics::catalog();
+    let cfg = TrackingConfig {
+        gamma: 64,
+        queries_per_epoch: 150,
+        epochs: 4,
+        noise: NoiseModel::z_channel(0.1),
+        design: DesignSpec::Iid,
+    };
+    let run_both = |threads: usize| {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        pool.install(|| {
+            (
+                track_greedy(&model, 128, &cfg, 13),
+                track_protocol(&model, 128, &cfg, SelectionStrategy::GossipThreshold, 13),
+            )
+        })
+    };
+    let reference = run_both(1);
+    assert_eq!(reference.0.len(), 4);
+    assert!(
+        reference.1.iter().any(|r| r.messages > 0),
+        "degenerate reference: protocol never ran"
+    );
+    for threads in [2usize, 4] {
+        assert_eq!(run_both(threads), reference, "threads={threads}");
+    }
+}
+
+/// Structured population sampling itself is thread-count independent when
+/// fanned out through the Monte-Carlo runner (one seeded stream per
+/// trial, order-preserving map).
+#[test]
+fn workload_sampling_grid_is_identical_across_thread_counts() {
+    use noisy_pooled_data::workloads::WorkloadSpec;
+    let specs = [
+        WorkloadSpec::Community { theta: 0.5 },
+        WorkloadSpec::Households { theta: 0.5 },
+        WorkloadSpec::Hubs { theta: 0.5 },
+        WorkloadSpec::Sir,
+    ];
+    let seeds: Vec<u64> = (0..16).map(|i| mix_seed(0x3070, i)).collect();
+    let sample_all = |threads: usize| -> Vec<Vec<u32>> {
+        runner::parallel_map(&seeds, threads, |&seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let spec = specs[(seed % specs.len() as u64) as usize];
+            spec.model().sample(300, &mut rng).ones().to_vec()
+        })
+    };
+    let reference = sample_all(1);
+    for threads in [2usize, 4, 8] {
+        assert_eq!(sample_all(threads), reference, "threads={threads}");
+    }
+}
