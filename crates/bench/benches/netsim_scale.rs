@@ -141,9 +141,8 @@ fn bench_protocol_e2e(c: &mut Criterion) {
             &run,
             |b, run| {
                 b.iter(|| {
-                    let outcome =
-                        distributed::run_protocol_with(run, SelectionStrategy::GossipThreshold)
-                            .expect("protocol quiesces");
+                    let outcome = distributed::run_protocol_with(run, SelectionStrategy::gossip())
+                        .expect("protocol quiesces");
                     assert_eq!(outcome.missing_assignments, 0);
                     black_box(outcome.rounds)
                 });

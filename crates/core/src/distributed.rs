@@ -39,13 +39,38 @@
 //! [`ProtocolOutcome::stale_messages`]). The round budget accounts for the
 //! fault model's maximum message delay, so delayed messages never turn
 //! graceful degradation into a spurious `MaxRoundsExceeded`.
+//!
+//! # Agent-level chaos
+//!
+//! [`run_protocol_chaos`] extends the fault surface from messages to
+//! *agents* ([`ProtocolOptions`]): a [`NodeFaultPlan`] crashes, lags, or
+//! corrupts nodes mid-protocol, and an optional [`ReliableConfig`] sends
+//! the measurement broadcast through the engine's at-least-once layer.
+//! The degradation contract extends accordingly:
+//!
+//! * A crashed agent simply stops participating; partners degrade exactly
+//!   as if its messages were dropped (identity compare-exchanges under
+//!   `BatcherSort`, partial aggregates under `GossipThreshold`).
+//! * A *restarted* agent rejoins with its state wiped. It cannot re-enter
+//!   the lock-step selection mid-phase, so it turns passive: it honors a
+//!   late `Assign`, counts everything else as stale, and sends nothing.
+//! * Corrupted payloads stay finite (see the garbler) and are folded like
+//!   any other arrival; [`ProtocolOptions::winsorize`] clamps measurement
+//!   values into the plausible `[0, slots]` range to bound the damage.
+//! * Measurements are deduplicated per query sender, so duplication
+//!   faults and at-least-once retransmission never double-count.
+//! * [`ProtocolOutcome::achieved_quorum`] and
+//!   [`ProtocolOutcome::agent_liveness`] report how much of the
+//!   population actually completed phase II; the round budget adds the
+//!   straggler, retry, and grace slack so chaos runs still terminate
+//!   instead of hitting `MaxRoundsExceeded`.
 
 use crate::greedy::Estimate;
 use crate::model::Run;
-use npd_netsim::gossip::TopKCore;
+use npd_netsim::gossip::{TopKCore, TopKMsg, PROBE_LIMIT};
 use npd_netsim::{
     recommended_shards, Activity, Context, Envelope, FaultConfig, MaxRoundsExceeded, Metrics,
-    Network, Node, NodeId, NodeTraffic,
+    Network, Node, NodeFaultPlan, NodeId, NodeTraffic, ReliableConfig,
 };
 use npd_sortnet::SortingNetwork;
 use std::sync::Arc;
@@ -62,14 +87,32 @@ pub enum SelectionStrategy {
     /// ([`npd_netsim::gossip::TopKCore`]): `O(log n)` rounds per probe,
     /// one message per agent per round, no schedule memory, and every
     /// agent decides its own bit locally (no assignment phase).
-    GossipThreshold,
+    GossipThreshold {
+        /// Cap on the bisection probes of the embedded selection — and
+        /// therefore on its worst-case round budget. The default
+        /// ([`SelectionStrategy::gossip`]) is
+        /// [`npd_netsim::gossip::PROBE_LIMIT`], which sits above the
+        /// ~130-probe exhaustion bound and never cuts the bisection
+        /// short; chaos scenarios tighten it to budget rounds explicitly.
+        probe_limit: u32,
+    },
+}
+
+impl SelectionStrategy {
+    /// The gossip strategy at the default probe cap
+    /// ([`npd_netsim::gossip::PROBE_LIMIT`]).
+    pub const fn gossip() -> Self {
+        SelectionStrategy::GossipThreshold {
+            probe_limit: PROBE_LIMIT,
+        }
+    }
 }
 
 impl std::fmt::Display for SelectionStrategy {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(match self {
             SelectionStrategy::BatcherSort => "batcher",
-            SelectionStrategy::GossipThreshold => "gossip",
+            SelectionStrategy::GossipThreshold { .. } => "gossip",
         })
     }
 }
@@ -155,7 +198,13 @@ fn token_precedes(a: (f64, u32), b: (f64, u32)) -> bool {
 }
 
 /// One network participant: an agent or a query node.
+///
+/// Agents outnumber query nodes at protocol scale (`n ≫ m` is the
+/// interesting regime) and the node vector is iterated densely every
+/// round, so the padding the small `Query` variant pays for the large
+/// `Agent` variant is cheaper than boxing the common case.
 #[derive(Debug)]
+#[allow(clippy::large_enum_variant)]
 enum ProtocolNode {
     Agent(AgentState),
     Query(QueryState),
@@ -174,7 +223,10 @@ enum Phase2 {
     Gossip {
         /// Number of agents on the selection id line.
         n: u32,
-        /// Built in round 1, once the score is known.
+        /// Probe cap for the embedded core
+        /// ([`SelectionStrategy::GossipThreshold::probe_limit`]).
+        probe_limit: u32,
+        /// Built in the score round, once the score is known.
         core: Option<TopKCore>,
     },
 }
@@ -186,6 +238,20 @@ struct AgentState {
     /// Per-slot one-read rate of the second neighborhood.
     slot_rate: f64,
     phase2: Phase2,
+    /// Extra rounds to keep folding late or retransmitted measurements
+    /// before forming the score ([`ProtocolOptions::grace`]).
+    grace: u64,
+    /// Clamp incoming measurement values into `[0, slots]`
+    /// ([`ProtocolOptions::winsorize`]).
+    winsorize: bool,
+    /// Query senders already folded: measurements are deduplicated per
+    /// query, so duplication faults and at-least-once retransmission
+    /// never double-count (the list stays at the agent's degree, which is
+    /// small on the regular designs).
+    heard: Vec<u32>,
+    /// Crashed and rejoined with wiped state ([`Node::on_restart`]):
+    /// passive for the rest of the run.
+    restarted: bool,
     psi: f64,
     distinct: u32,
     multi: u64,
@@ -206,6 +272,9 @@ struct QueryState {
     result: f64,
     /// Total slot count of this query (including multiplicities).
     slots: u32,
+    /// Send the measurement broadcast through the at-least-once layer
+    /// ([`ProtocolOptions::reliable`]).
+    reliable: bool,
 }
 
 impl Node<ProtocolMessage> for ProtocolNode {
@@ -215,20 +284,49 @@ impl Node<ProtocolMessage> for ProtocolNode {
             ProtocolNode::Agent(a) => a.on_round(ctx),
         }
     }
+
+    fn on_restart(&mut self, _round: u64) {
+        match self {
+            // A query node's only action is the round-0 broadcast, which
+            // a restart cannot replay; there is nothing to wipe.
+            ProtocolNode::Query(_) => {}
+            ProtocolNode::Agent(a) => {
+                a.psi = 0.0;
+                a.distinct = 0;
+                a.multi = 0;
+                a.slot_sum = 0;
+                a.score = 0.0;
+                a.heard.clear();
+                a.output = None;
+                a.restarted = true;
+                match &mut a.phase2 {
+                    Phase2::Batcher {
+                        token, sent_assign, ..
+                    } => {
+                        *token = (0.0, 0);
+                        *sent_assign = false;
+                    }
+                    Phase2::Gossip { core, .. } => *core = None,
+                }
+            }
+        }
+    }
 }
 
 impl QueryState {
     fn on_round(&mut self, ctx: &mut Context<'_, ProtocolMessage>) -> Activity {
         if ctx.round() == 0 {
             for &(a, count) in &self.neighbors {
-                ctx.send(
-                    NodeId(a as usize),
-                    ProtocolMessage::Measurement {
-                        value: self.result,
-                        multiplicity: count,
-                        slots: self.slots,
-                    },
-                );
+                let msg = ProtocolMessage::Measurement {
+                    value: self.result,
+                    multiplicity: count,
+                    slots: self.slots,
+                };
+                if self.reliable {
+                    ctx.send_reliable(NodeId(a as usize), msg);
+                } else {
+                    ctx.send(NodeId(a as usize), msg);
+                }
             }
         }
         Activity::Idle
@@ -238,25 +336,33 @@ impl QueryState {
 impl AgentState {
     fn on_round(&mut self, ctx: &mut Context<'_, ProtocolMessage>) -> Activity {
         let r = ctx.round();
-        if r == 0 {
-            // Measurements are still in flight; stay active so round 1
-            // happens even in a query-free network.
-            return Activity::Active;
-        }
-        if r == 1 {
+        if self.restarted {
+            // Fail-stop rejoin: the measurements and phase-II state are
+            // gone, so the agent cannot re-enter the lock-step selection
+            // mid-phase. It rejoins passively — a late assignment is
+            // still honored, everything else is stale.
             for env in ctx.inbox() {
-                if let ProtocolMessage::Measurement {
-                    value,
-                    multiplicity,
-                    slots,
-                } = env.payload
-                {
-                    self.psi += value;
-                    self.distinct += 1;
-                    self.multi += multiplicity as u64;
-                    self.slot_sum += slots as u64;
+                match env.payload {
+                    ProtocolMessage::Assign { one } => self.output = Some(one),
+                    _ => self.stale += 1,
                 }
             }
+            return Activity::Idle;
+        }
+        // Rounds 1..=score_round collect measurements; with a zero grace
+        // window this is the classic "fold in round 1" schedule.
+        let score_round = 1 + self.grace;
+        if r < score_round {
+            if r > 0 {
+                self.fold_measurements(ctx);
+            }
+            // Measurements are still in flight (or being retransmitted);
+            // stay active so the score round happens even in a query-free
+            // network.
+            return Activity::Active;
+        }
+        if r == score_round {
+            self.fold_measurements(ctx);
             // Identical expression (and evaluation order) to the sequential
             // decoder, so the two implementations agree bit-for-bit.
             let slots = (self.slot_sum - self.multi) as f64;
@@ -286,11 +392,18 @@ impl AgentState {
                     }
                     Activity::Idle
                 }
-                Phase2::Gossip { n, core } => {
-                    let built = core.insert(TopKCore::new(self.score, self.k, *n as usize));
-                    // Round 1's inbox holds the measurements folded above,
-                    // not selection traffic: the core starts from an empty
-                    // inbox.
+                Phase2::Gossip {
+                    n,
+                    probe_limit,
+                    core,
+                } => {
+                    let built = core.insert(
+                        TopKCore::new(self.score, self.k, *n as usize)
+                            .with_probe_limit(*probe_limit),
+                    );
+                    // The score round's inbox holds the measurements folded
+                    // above, not selection traffic: the core starts from an
+                    // empty inbox.
                     let mut discard = 0;
                     let active =
                         Self::step_core(built, self.pos as usize, &mut discard, ctx, false);
@@ -303,12 +416,50 @@ impl AgentState {
             Phase2::Batcher { .. } => self.batcher_round(ctx, r),
             Phase2::Gossip { core, .. } => {
                 let Some(core) = core.as_mut() else {
-                    // The engine steps every node every round, so round 1
-                    // always built the core before any later round runs.
-                    unreachable!("gossip core missing after round 1");
+                    // The engine steps every live node every round and a
+                    // restarted node took the passive path above, so the
+                    // score round always built the core before any later
+                    // round runs.
+                    unreachable!("gossip core missing after the score round");
                 };
                 let active = Self::step_core(core, self.pos as usize, &mut self.stale, ctx, true);
                 self.finish_gossip_round(active)
+            }
+        }
+    }
+
+    /// Folds the inbox's measurements into the score accumulators,
+    /// deduplicating per query sender and (optionally) winsorizing the
+    /// value into the plausible `[0, slots]` range.
+    fn fold_measurements(&mut self, ctx: &mut Context<'_, ProtocolMessage>) {
+        for env in ctx.inbox() {
+            if let ProtocolMessage::Measurement {
+                value,
+                multiplicity,
+                slots,
+            } = env.payload
+            {
+                let from = env.from.0 as u32;
+                if self.heard.contains(&from) {
+                    // Duplicate delivery: a duplication-fault copy, or a
+                    // retransmission that raced its original. Each query
+                    // counts exactly once.
+                    self.stale += 1;
+                    continue;
+                }
+                self.heard.push(from);
+                let value = if self.winsorize {
+                    // A true query result counts ones over `slots` reads,
+                    // so anything outside [0, slots] is noise or
+                    // corruption; clamping bounds its leverage on Ψᵢ.
+                    value.clamp(0.0, slots as f64)
+                } else {
+                    value
+                };
+                self.psi += value;
+                self.distinct += 1;
+                self.multi += multiplicity as u64;
+                self.slot_sum += slots as u64;
             }
         }
     }
@@ -372,6 +523,7 @@ impl AgentState {
     }
 
     fn batcher_round(&mut self, ctx: &mut Context<'_, ProtocolMessage>, r: u64) -> Activity {
+        let grace = self.grace;
         let Phase2::Batcher {
             schedule,
             token,
@@ -380,7 +532,7 @@ impl AgentState {
         else {
             unreachable!("batcher_round called in gossip mode");
         };
-        let resolved_layer = (r - 2) as usize;
+        let resolved_layer = (r - 2 - grace) as usize;
         if resolved_layer < schedule.depth {
             // Resolve the compare-exchange whose tokens arrived this round.
             if let Some((_, is_lo)) = schedule.per_layer[resolved_layer][self.pos as usize] {
@@ -484,10 +636,21 @@ pub struct ProtocolOutcome {
     /// tokens or out-of-phase gossip messages (non-zero only under delay
     /// or duplication faults).
     pub stale_messages: u64,
-    /// Agents that never received an assignment (non-zero only under
-    /// fault injection with `BatcherSort`; gossip agents always decide
-    /// locally); they default to bit zero.
+    /// Agents with no phase-II decision at the end of the run: no
+    /// assignment arrived (`BatcherSort` under faults), or the agent
+    /// crashed/restarted out of the selection (either strategy under a
+    /// [`NodeFaultPlan`]); they default to bit zero.
     pub missing_assignments: usize,
+    /// Number of agents that completed phase II with a decision — the
+    /// achieved quorum of the (possibly degraded) run. Equals `n` on
+    /// fault-free networks and `n − missing_assignments` in general.
+    pub achieved_quorum: usize,
+    /// Per-agent liveness at the final round: `false` for agents down
+    /// under the crash schedule (all `true` without a [`NodeFaultPlan`]).
+    /// Restarted agents are alive but participated only passively.
+    pub agent_liveness: Vec<bool>,
+    /// Agents that crashed and rejoined with wiped state.
+    pub restarted_agents: usize,
     /// Per-node traffic: agents first (`0..n`), then query nodes
     /// (`n..n+m`). Backs the paper's per-node communication claim.
     pub node_traffic: Vec<NodeTraffic>,
@@ -538,7 +701,7 @@ pub fn run_protocol(run: &Run) -> Result<ProtocolOutcome, MaxRoundsExceeded> {
 /// let run = Instance::builder(64).k(2).queries(60).build().unwrap().sample(&mut rng);
 /// let sorted = distributed::run_protocol(&run).unwrap();
 /// let gossip =
-///     distributed::run_protocol_with(&run, SelectionStrategy::GossipThreshold).unwrap();
+///     distributed::run_protocol_with(&run, SelectionStrategy::gossip()).unwrap();
 /// assert_eq!(sorted.estimate, gossip.estimate);
 /// assert_eq!(gossip.sort_depth, 0); // no sorting network was built
 /// ```
@@ -568,7 +731,8 @@ pub fn run_protocol_with_faults(
     run_protocol_configured(run, SelectionStrategy::default(), Some(faults))
 }
 
-/// The general entry point: explicit strategy, optional fault injection.
+/// The message-fault entry point: explicit strategy, optional message
+/// fault injection. See [`run_protocol_chaos`] for agent-level faults.
 ///
 /// # Errors
 ///
@@ -580,6 +744,89 @@ pub fn run_protocol_configured(
     strategy: SelectionStrategy,
     faults: Option<FaultConfig>,
 ) -> Result<ProtocolOutcome, MaxRoundsExceeded> {
+    run_protocol_chaos(
+        run,
+        ProtocolOptions {
+            strategy,
+            faults,
+            ..ProtocolOptions::default()
+        },
+    )
+}
+
+/// Configuration of a chaos run: phase-II strategy plus every fault
+/// surface the simulator offers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProtocolOptions {
+    /// Phase-II strategy.
+    pub strategy: SelectionStrategy,
+    /// Message-level fault injection (drop / duplicate / delay).
+    pub faults: Option<FaultConfig>,
+    /// Agent-level fault plan — fail-stop crashes (with optional
+    /// restarts), stragglers, and payload corruptors — over all `n + m`
+    /// network nodes (agents `0..n`, query nodes `n..n+m`).
+    pub node_faults: Option<NodeFaultPlan>,
+    /// Send the measurement broadcast through the engine's at-least-once
+    /// layer, so dropped or crash-lost measurements are retransmitted.
+    pub reliable: Option<ReliableConfig>,
+    /// Extra rounds agents keep folding late or retransmitted
+    /// measurements before forming scores. Zero reproduces the classic
+    /// schedule; pair a non-zero window with `reliable` (a good value is
+    /// [`ReliableConfig::worst_case_rounds`]).
+    pub grace: u64,
+    /// Clamp incoming measurement values into the plausible `[0, slots]`
+    /// range, bounding the leverage of corrupted (or extremely noisy)
+    /// measurements on the scores. Off by default: clamping biases
+    /// Gaussian noise, so it is a robustness trade, not a free win.
+    pub winsorize: bool,
+}
+
+/// Deterministic payload garbler used for [`NodeFaultPlan`] corruptors:
+/// floats are skewed by an entropy-derived bias (kept *finite* — the
+/// selection core asserts finite scores, and a NaN would poison
+/// aggregates irrecoverably rather than degrade them), counts are
+/// perturbed, and assignment bits flip.
+fn garble_protocol_message(msg: &mut ProtocolMessage, entropy: u64) {
+    fn skew(x: f64, entropy: u64) -> f64 {
+        // Entropy → bias in [-2, 2), scaled by the value's magnitude.
+        let unit = (entropy >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        x + (unit * 4.0 - 2.0) * (1.0 + x.abs())
+    }
+    match msg {
+        ProtocolMessage::Measurement { value, .. } => *value = skew(*value, entropy),
+        ProtocolMessage::Token { score, .. } => *score = skew(*score, entropy),
+        ProtocolMessage::TopK(m) => match m {
+            TopKMsg::Bounds { min, max, .. } => {
+                *min = skew(*min, entropy);
+                *max = skew(*max, entropy.rotate_left(17));
+            }
+            TopKMsg::Count { value, .. } | TopKMsg::Tie { value, .. } => {
+                *value ^= entropy & 0x7;
+            }
+        },
+        ProtocolMessage::Assign { one } => *one ^= entropy & 1 == 1,
+    }
+}
+
+/// The full-chaos entry point: message faults, agent faults, reliable
+/// measurement delivery, a measurement grace window, and winsorized
+/// accumulation, all in one [`ProtocolOptions`].
+///
+/// The round budget covers every configured slack (message delay,
+/// straggler lag, retransmission backoff, grace window), so a chaos run
+/// that terminates degraded still terminates *cleanly* — see the module
+/// docs for the degradation contract.
+///
+/// # Errors
+///
+/// Returns [`MaxRoundsExceeded`] if the network fails to quiesce within
+/// that budget, which indicates a bug rather than a survivable fault.
+pub fn run_protocol_chaos(
+    run: &Run,
+    options: ProtocolOptions,
+) -> Result<ProtocolOutcome, MaxRoundsExceeded> {
+    let strategy = options.strategy;
+    let faults = options.faults;
     let n = run.instance().n();
     let k = run.instance().k();
     let slot_rate = crate::greedy::second_neighborhood_rate(n, k, run.instance().noise());
@@ -598,22 +845,28 @@ pub fn run_protocol_configured(
                 }),
             )
         }
-        SelectionStrategy::GossipThreshold => (
+        SelectionStrategy::GossipThreshold { probe_limit } => (
             0,
             Box::new(move || Phase2::Gossip {
                 n: n as u32,
+                probe_limit,
                 core: None,
             }),
         ),
     };
 
-    let mut nodes: Vec<ProtocolNode> = Vec::with_capacity(n + run.instance().m());
+    let total_nodes = n + run.instance().m();
+    let mut nodes: Vec<ProtocolNode> = Vec::with_capacity(total_nodes);
     for pos in 0..n {
         nodes.push(ProtocolNode::Agent(AgentState {
             k,
             pos: pos as u32,
             slot_rate,
             phase2: make_phase2(),
+            grace: options.grace,
+            winsorize: options.winsorize,
+            heard: Vec::new(),
+            restarted: false,
             psi: 0.0,
             distinct: 0,
             multi: 0,
@@ -631,19 +884,33 @@ pub fn run_protocol_configured(
             neighbors,
             result: run.results()[j],
             slots: q.total_slots(),
+            reliable: options.reliable.is_some(),
         }));
     }
 
-    // The budget must cover the fault model's maximum delivery delay: a
-    // delayed final message (token or assignment) stretches the run by up
-    // to `max_delay` rounds, which is graceful degradation, not a failure.
+    // The budget must cover every configured slack: the fault model's
+    // maximum delivery delay (a delayed final token or assignment
+    // stretches the run), the slowest straggler's persistent lag, the
+    // reliable layer's worst-case retry chain, and the measurement grace
+    // window. All of these are graceful degradation, not failure.
     let max_delay = faults.as_ref().map_or(0, FaultConfig::max_delay);
+    let straggler_slack = options.node_faults.as_ref().map_or(0, |plan| {
+        (0..total_nodes)
+            .map(|i| plan.straggler_delay(i))
+            .max()
+            .unwrap_or(0)
+    });
+    let retry_slack = options
+        .reliable
+        .as_ref()
+        .map_or(0, ReliableConfig::worst_case_rounds);
+    let slack = max_delay + straggler_slack + retry_slack + options.grace;
     let budget = match strategy {
-        SelectionStrategy::BatcherSort => sort_depth as u64 + 5 + max_delay,
-        // max_rounds already carries the quiescence slack; add only the
-        // two measurement rounds and the delay bound.
-        SelectionStrategy::GossipThreshold => {
-            2 + npd_netsim::gossip::TopKNode::max_rounds(n) + max_delay
+        SelectionStrategy::BatcherSort => sort_depth as u64 + 5 + slack,
+        // max_rounds_with already carries the quiescence slack; add only
+        // the two measurement rounds and the fault slack.
+        SelectionStrategy::GossipThreshold { probe_limit } => {
+            2 + npd_netsim::gossip::TopKNode::max_rounds_with(n, probe_limit) + slack
         }
     };
 
@@ -655,6 +922,15 @@ pub fn run_protocol_configured(
         Some(cfg) => Network::with_faults(nodes, cfg),
     }
     .with_shards(shards);
+    if let Some(plan) = options.node_faults {
+        network = network.with_node_faults(plan);
+        if plan.has_corruption() {
+            network = network.with_corruptor(garble_protocol_message);
+        }
+    }
+    if let Some(rc) = options.reliable {
+        network = network.with_reliability(rc);
+    }
     let report = network.run_until_quiescent_parallel(budget)?;
     let metrics = *network.metrics();
     let node_traffic = network.traffic().to_vec();
@@ -665,10 +941,12 @@ pub fn run_protocol_configured(
     let mut stale = 0u64;
     let mut probes = 0u32;
     let mut assign_messages = 0u64;
+    let mut restarted_agents = 0usize;
     for (i, node) in network.into_nodes().into_iter().take(n).enumerate() {
         if let ProtocolNode::Agent(agent) = node {
             scores[i] = agent.score;
             stale += agent.stale;
+            restarted_agents += usize::from(agent.restarted);
             match &agent.phase2 {
                 Phase2::Batcher { sent_assign, .. } => {
                     assign_messages += u64::from(*sent_assign);
@@ -686,12 +964,22 @@ pub fn run_protocol_configured(
             }
         }
     }
+    let agent_liveness: Vec<bool> = (0..n)
+        .map(|i| {
+            options
+                .node_faults
+                .as_ref()
+                .is_none_or(|plan| !plan.is_down(i, report.rounds))
+        })
+        .collect();
 
+    let grace = options.grace;
     let selection_rounds = match strategy {
-        // Subtract measure (0), accumulate (1) and the assignment round.
-        SelectionStrategy::BatcherSort => report.rounds.saturating_sub(3),
+        // Subtract measure (0), accumulate (1 + grace) and the
+        // assignment round.
+        SelectionStrategy::BatcherSort => report.rounds.saturating_sub(3 + grace),
         // Subtract measure and accumulate; gossip has no assignment round.
-        SelectionStrategy::GossipThreshold => report.rounds.saturating_sub(2),
+        SelectionStrategy::GossipThreshold { .. } => report.rounds.saturating_sub(2 + grace),
     };
 
     Ok(ProtocolOutcome {
@@ -707,6 +995,9 @@ pub fn run_protocol_configured(
             .saturating_sub(measurement_messages + assign_messages),
         stale_messages: stale,
         missing_assignments: missing,
+        achieved_quorum: n - missing,
+        agent_liveness,
+        restarted_agents,
         node_traffic,
     })
 }
@@ -773,7 +1064,7 @@ mod tests {
             (3, NoiseModel::gaussian(1.5)),
         ] {
             let run = sample_run(96, 3, 60, noise, seed);
-            let outcome = run_protocol_with(&run, SelectionStrategy::GossipThreshold).unwrap();
+            let outcome = run_protocol_with(&run, SelectionStrategy::gossip()).unwrap();
             let sequential = GreedyDecoder::new().decode(&run);
             assert_eq!(outcome.estimate, sequential, "noise={noise}");
             assert_eq!(outcome.missing_assignments, 0);
@@ -781,7 +1072,7 @@ mod tests {
         }
         for n in [2usize, 3, 5, 17, 33, 100] {
             let run = sample_run(n, 2.min(n), 30, NoiseModel::Noiseless, 40 + n as u64);
-            let outcome = run_protocol_with(&run, SelectionStrategy::GossipThreshold).unwrap();
+            let outcome = run_protocol_with(&run, SelectionStrategy::gossip()).unwrap();
             assert_eq!(outcome.estimate, GreedyDecoder::new().decode(&run), "n={n}");
         }
     }
@@ -792,8 +1083,8 @@ mod tests {
     #[test]
     fn gossip_strategy_skips_sorting_network_and_assignments() {
         let run = sample_run(64, 3, 80, NoiseModel::gaussian(1.0), 9);
-        let outcome = run_protocol_with(&run, SelectionStrategy::GossipThreshold).unwrap();
-        assert_eq!(outcome.strategy, SelectionStrategy::GossipThreshold);
+        let outcome = run_protocol_with(&run, SelectionStrategy::gossip()).unwrap();
+        assert_eq!(outcome.strategy, SelectionStrategy::gossip());
         assert_eq!(outcome.sort_depth, 0);
         assert!(outcome.probes > 0, "adaptive bisection must probe");
         let measurement: u64 = run
@@ -990,9 +1281,8 @@ mod tests {
             let faults = FaultConfig::new(drop, dup, seed)
                 .unwrap()
                 .with_max_delay(delay);
-            let outcome =
-                run_protocol_configured(&run, SelectionStrategy::GossipThreshold, Some(faults))
-                    .expect("gossip protocol must terminate under faults");
+            let outcome = run_protocol_configured(&run, SelectionStrategy::gossip(), Some(faults))
+                .expect("gossip protocol must terminate under faults");
             assert_eq!(outcome.estimate.bits().len(), 48);
             assert_eq!(outcome.missing_assignments, 0, "gossip decisions are local");
         }
@@ -1009,6 +1299,158 @@ mod tests {
     #[test]
     fn strategy_display_names() {
         assert_eq!(SelectionStrategy::BatcherSort.to_string(), "batcher");
-        assert_eq!(SelectionStrategy::GossipThreshold.to_string(), "gossip");
+        assert_eq!(SelectionStrategy::gossip().to_string(), "gossip");
+    }
+
+    /// The acceptance bar of the chaos tentpole: with ~10% of nodes
+    /// crashing mid-protocol and ~5% corrupting payloads, both selection
+    /// strategies complete cleanly (no panic, no `MaxRoundsExceeded`),
+    /// report the achieved quorum, and the runs replay bit-identically.
+    #[test]
+    fn chaos_crashes_and_corruption_complete_on_both_strategies() {
+        let run = sample_run(64, 3, 90, NoiseModel::Noiseless, 77);
+        let plan = NodeFaultPlan::new(9)
+            .with_crashes(0.10, (1, 6))
+            .unwrap()
+            .with_corruption(0.05, 1.0)
+            .unwrap();
+        for strategy in [SelectionStrategy::BatcherSort, SelectionStrategy::gossip()] {
+            let options = ProtocolOptions {
+                strategy,
+                node_faults: Some(plan),
+                ..ProtocolOptions::default()
+            };
+            let outcome = run_protocol_chaos(&run, options)
+                .unwrap_or_else(|e| panic!("{strategy}: chaos run must complete: {e}"));
+            assert_eq!(outcome.estimate.bits().len(), 64, "{strategy}");
+            assert!(outcome.metrics.node_crashes > 0, "{strategy}");
+            assert!(outcome.metrics.messages_corrupted > 0, "{strategy}");
+            assert!(
+                outcome.achieved_quorum < 64 && outcome.achieved_quorum > 32,
+                "{strategy}: quorum {}",
+                outcome.achieved_quorum
+            );
+            assert_eq!(outcome.achieved_quorum, 64 - outcome.missing_assignments);
+            assert_eq!(outcome.agent_liveness.len(), 64);
+            assert!(
+                outcome.agent_liveness.iter().any(|&alive| !alive),
+                "{strategy}: some agent must be down at the end"
+            );
+            let replay = run_protocol_chaos(&run, options).unwrap();
+            assert_eq!(outcome, replay, "{strategy}: chaos must replay");
+        }
+    }
+
+    /// Restarted agents rejoin passively instead of panicking on the
+    /// missing gossip core (the restart hazard of the embedded selection)
+    /// and are reported in the outcome.
+    #[test]
+    fn restarted_agents_rejoin_passively() {
+        let run = sample_run(32, 2, 60, NoiseModel::Noiseless, 31);
+        let plan = NodeFaultPlan::new(4)
+            .with_crashes(0.25, (1, 4))
+            .unwrap()
+            .with_restarts(2);
+        for strategy in [SelectionStrategy::BatcherSort, SelectionStrategy::gossip()] {
+            let outcome = run_protocol_chaos(
+                &run,
+                ProtocolOptions {
+                    strategy,
+                    node_faults: Some(plan),
+                    ..ProtocolOptions::default()
+                },
+            )
+            .unwrap_or_else(|e| panic!("{strategy}: restart run must complete: {e}"));
+            assert!(outcome.metrics.node_restarts > 0, "{strategy}");
+            assert!(outcome.restarted_agents > 0, "{strategy}");
+            // Everyone is back up at the end; the quorum gap is exactly
+            // the restarted agents that missed their (re)assignment.
+            assert!(outcome.agent_liveness.iter().all(|&alive| alive));
+            assert_eq!(outcome.achieved_quorum + outcome.missing_assignments, 32);
+        }
+    }
+
+    /// At-least-once measurement delivery plus a grace window recovers
+    /// the exact fault-free scores under heavy measurement loss: every
+    /// retransmitted measurement is folded exactly once (dedup by query
+    /// sender), so Ψᵢ matches the sequential decoder bit for bit.
+    #[test]
+    fn reliable_measurements_with_grace_recover_scores() {
+        let run = sample_run(48, 2, 80, NoiseModel::Noiseless, 13);
+        let rc = ReliableConfig::new(1, 4);
+        let outcome = run_protocol_chaos(
+            &run,
+            ProtocolOptions {
+                strategy: SelectionStrategy::BatcherSort,
+                faults: Some(FaultConfig::new(0.15, 0.0, 3).unwrap()),
+                reliable: Some(rc),
+                grace: rc.worst_case_rounds(),
+                ..ProtocolOptions::default()
+            },
+        )
+        .expect("reliable run must complete");
+        assert!(outcome.metrics.messages_retransmitted > 0);
+        let sequential = GreedyDecoder::new().decode(&run);
+        assert_eq!(outcome.estimate.scores(), sequential.scores());
+    }
+
+    /// Winsorized accumulation bounds the leverage of corrupted
+    /// measurements: every folded value is clamped into `[0, slots]`, so
+    /// each agent's score stays within the envelope a *clean* fold could
+    /// produce — `Ψᵢ ∈ [0, Σ slots]` — no matter how far the garbler
+    /// skewed the payloads.
+    #[test]
+    fn winsorized_fold_bounds_corrupted_measurements() {
+        let run = sample_run(40, 2, 70, NoiseModel::Noiseless, 55);
+        let plan = NodeFaultPlan::new(2).with_corruption(0.2, 1.0).unwrap();
+        let base = ProtocolOptions {
+            strategy: SelectionStrategy::BatcherSort,
+            node_faults: Some(plan),
+            ..ProtocolOptions::default()
+        };
+        let raw = run_protocol_chaos(&run, base).unwrap();
+        let clamped = run_protocol_chaos(
+            &run,
+            ProtocolOptions {
+                winsorize: true,
+                ..base
+            },
+        )
+        .unwrap();
+        assert!(raw.metrics.messages_corrupted > 0);
+        assert_ne!(
+            raw.estimate.scores(),
+            clamped.estimate.scores(),
+            "the clamp must have engaged on some corrupted value"
+        );
+        // Clean-fold envelope: Ψᵢ ∈ [0, total slots] and the centering
+        // term is at most total·rate, so |score| ≤ total·max(1, rate).
+        let total_slots: u64 = run
+            .graph()
+            .queries()
+            .iter()
+            .map(|q| q.total_slots() as u64)
+            .sum();
+        let rate = crate::greedy::second_neighborhood_rate(40, 2, run.instance().noise());
+        let bound = total_slots as f64 * rate.max(1.0);
+        for (i, s) in clamped.estimate.scores().iter().enumerate() {
+            assert!(
+                s.abs() <= bound,
+                "agent {i}: winsorized score {s} escapes the clean envelope {bound}"
+            );
+        }
+    }
+
+    /// A tightened probe cap shrinks the gossip round budget but the
+    /// protocol still completes and matches the sequential decoder on
+    /// well-conditioned scores.
+    #[test]
+    fn tight_probe_limit_still_selects() {
+        let run = sample_run(48, 3, 70, NoiseModel::gaussian(1.0), 8);
+        let outcome =
+            run_protocol_with(&run, SelectionStrategy::GossipThreshold { probe_limit: 40 })
+                .expect("tight-cap run must complete");
+        assert_eq!(outcome.estimate, GreedyDecoder::new().decode(&run));
+        assert!(outcome.probes <= 40);
     }
 }

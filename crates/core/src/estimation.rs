@@ -139,6 +139,123 @@ pub fn decode_with_estimated_noise(run: &Run) -> Result<crate::Estimate, Estimat
     Ok(crate::Estimate::from_scores(scores, run.instance().k()))
 }
 
+/// Flags queries whose results look corrupted, by a robust outlier rule on
+/// the per-slot read rates `σ̂ⱼ/|∂aⱼ|`.
+///
+/// Under every channel in the model the per-slot rates concentrate around a
+/// common mean, so a measurement garbled in flight (see
+/// `npd_netsim::NodeFaultPlan` corruption faults) shows up as a rate far
+/// from the pack. The rule is median/MAD based — a corrupted minority
+/// cannot drag the location or scale estimate the way it drags the mean
+/// and variance: flag query `j` iff its rate is non-finite or
+///
+/// ```text
+/// |rateⱼ − median| > z · 1.4826 · MAD
+/// ```
+///
+/// (`1.4826·MAD` is the usual consistency scaling to the standard
+/// deviation under Gaussian spread). `z = 5` is a sensible default: wide
+/// enough that binomial sampling spread on clean runs survives, tight
+/// enough to catch the multiplicative garbling the chaos fault injector
+/// applies. With fewer than three queries nothing is flagged — there is no
+/// meaningful spread to compare against.
+pub fn flag_corrupted_queries(run: &Run, z: f64) -> Vec<bool> {
+    let results = run.results();
+    let queries = run.graph().queries();
+    if results.len() < 3 {
+        return vec![false; results.len()];
+    }
+    let rates: Vec<f64> = results
+        .iter()
+        .zip(queries)
+        .map(|(&r, q)| r / q.total_slots().max(1) as f64)
+        .collect();
+    let median_of = |values: &mut Vec<f64>| -> f64 {
+        values.sort_by(f64::total_cmp);
+        let mid = values.len() / 2;
+        if values.len() % 2 == 1 {
+            values[mid]
+        } else {
+            (values[mid - 1] + values[mid]) / 2.0
+        }
+    };
+    // Non-finite rates are corrupt by definition and must not poison the
+    // median; compute location/scale on the finite ones only.
+    let mut finite: Vec<f64> = rates.iter().copied().filter(|r| r.is_finite()).collect();
+    if finite.len() < 3 {
+        return rates.iter().map(|r| !r.is_finite()).collect();
+    }
+    let median = median_of(&mut finite);
+    let mut deviations: Vec<f64> = finite.iter().map(|r| (r - median).abs()).collect();
+    let mad = median_of(&mut deviations);
+    let threshold = z * 1.4826 * mad.max(1e-12);
+    rates
+        .iter()
+        .map(|&r| !r.is_finite() || (r - median).abs() > threshold)
+        .collect()
+}
+
+/// [`estimate_slot_rate`] restricted to the queries *not* flagged in
+/// `exclude` — the robust moment estimate to pair with
+/// [`crate::GreedyDecoder::scores_trimmed_with_slot_rate`]: a handful of
+/// garbled results shift the plain first moment by an unbounded amount,
+/// so the trimmed decoder must not center with it.
+///
+/// # Errors
+///
+/// Returns [`EstimationError::TooFewQueries`] when fewer than two queries
+/// survive the exclusion.
+///
+/// # Panics
+///
+/// Panics if `exclude.len() != m`.
+pub fn estimate_slot_rate_trimmed(run: &Run, exclude: &[bool]) -> Result<f64, EstimationError> {
+    let results = run.results();
+    assert_eq!(
+        exclude.len(),
+        results.len(),
+        "estimate_slot_rate_trimmed: exclusion mask length must equal the query count"
+    );
+    let mut sum = 0.0;
+    let mut slots = 0.0;
+    let mut kept = 0usize;
+    for (j, &r) in results.iter().enumerate() {
+        if !exclude[j] {
+            sum += r;
+            slots += run.graph().queries()[j].total_slots() as f64;
+            kept += 1;
+        }
+    }
+    if kept < 2 {
+        return Err(EstimationError::TooFewQueries);
+    }
+    Ok((sum / slots).max(0.0))
+}
+
+/// Corruption-robust deployment decoding: flag outlier measurements,
+/// re-estimate the slot rate from the survivors, and run the greedy
+/// decoder with the flagged queries excluded from the accumulation.
+///
+/// This is the sequential counterpart of the distributed protocol's
+/// winsorized fold, but strictly stronger where it applies: winsorizing
+/// caps a corrupted measurement's contribution at the feasible range,
+/// trimming removes it entirely — both the garbled result *and* its degree
+/// terms leave the centering, so the surviving scores are exactly those of
+/// a run in which the flagged queries were never asked. On clean runs
+/// nothing is flagged (at the default `z = 5`) and the output matches
+/// [`decode_with_estimated_noise`].
+///
+/// # Errors
+///
+/// Returns [`EstimationError::TooFewQueries`] when fewer than two queries
+/// survive the outlier filter.
+pub fn decode_trimmed(run: &Run, z: f64) -> Result<crate::Estimate, EstimationError> {
+    let exclude = flag_corrupted_queries(run, z);
+    let rate = estimate_slot_rate_trimmed(run, &exclude)?;
+    let scores = crate::GreedyDecoder::new().scores_trimmed_with_slot_rate(run, rate, &exclude);
+    Ok(crate::Estimate::from_scores(scores, run.instance().k()))
+}
+
 /// Estimates both channel parameters `(p, q)` by the method of moments.
 ///
 /// # Accuracy
@@ -494,6 +611,87 @@ mod tests {
                 "seed {seed}: estimated-rate decoding diverged"
             );
         }
+    }
+
+    /// Rebuilds `run` with the given (e.g. tampered) result vector.
+    fn with_results(run: &Run, results: Vec<f64>) -> Run {
+        run.instance()
+            .assemble(run.ground_truth().clone(), run.graph().clone(), results)
+            .unwrap()
+    }
+
+    #[test]
+    fn flagger_catches_garbled_results_and_spares_clean_ones() {
+        let run = run_with(NoiseModel::Noiseless, 300, 23);
+        let mut tampered = run.results().to_vec();
+        let garbled = [4usize, 57, 130, 288];
+        for &j in &garbled {
+            tampered[j] = tampered[j] * 12.0 + 60.0;
+        }
+        tampered[199] = f64::NAN; // non-finite is corrupt by definition
+        let bad = with_results(&run, tampered);
+        let flags = flag_corrupted_queries(&bad, 5.0);
+        for &j in garbled.iter().chain([&199]) {
+            assert!(flags[j], "garbled query {j} not flagged");
+        }
+        // Binomial spread on clean queries sits inside 5 robust sds, up to
+        // the odd tail straggler the MAD quantization lets through.
+        let flagged = flags.iter().filter(|&&f| f).count();
+        assert!(
+            flagged <= garbled.len() + 1 + 3,
+            "too many clean queries flagged: {flagged}"
+        );
+    }
+
+    #[test]
+    fn clean_runs_are_not_flagged_and_decode_unchanged() {
+        let run = run_with(NoiseModel::channel(0.1, 0.05), 600, 29);
+        let flags = flag_corrupted_queries(&run, 5.0);
+        assert!(flags.iter().all(|&f| !f), "clean run produced flags");
+        let trimmed = decode_trimmed(&run, 5.0).unwrap();
+        let plain = decode_with_estimated_noise(&run).unwrap();
+        assert_eq!(trimmed.ones(), plain.ones());
+    }
+
+    #[test]
+    fn decode_trimmed_survives_garbled_measurements() {
+        use crate::greedy::{Decoder, GreedyDecoder};
+        let run = Instance::builder(300)
+            .k(4)
+            .queries(600)
+            .build()
+            .unwrap()
+            .sample(&mut StdRng::seed_from_u64(21));
+        // Garble 10% of the measurements with a large multiplicative skew —
+        // the profile of a corrupting agent under the chaos fault injector.
+        let mut tampered = run.results().to_vec();
+        for (j, v) in tampered.iter_mut().enumerate() {
+            if j % 10 == 0 {
+                *v = *v * 30.0 + 100.0;
+            }
+        }
+        let bad = with_results(&run, tampered);
+        // The plain decoder is poisoned; the trimmed pipeline recovers.
+        let poisoned = GreedyDecoder::new().decode(&bad);
+        assert_ne!(poisoned.ones(), run.ground_truth().ones());
+        let trimmed = decode_trimmed(&bad, 5.0).unwrap();
+        assert_eq!(trimmed.ones(), run.ground_truth().ones());
+    }
+
+    #[test]
+    fn trimmed_rate_needs_two_survivors() {
+        let run = run_with(NoiseModel::Noiseless, 4, 31);
+        let mut exclude = vec![true; 4];
+        exclude[0] = false;
+        assert_eq!(
+            estimate_slot_rate_trimmed(&run, &exclude).unwrap_err(),
+            EstimationError::TooFewQueries
+        );
+        exclude[1] = false;
+        assert!(estimate_slot_rate_trimmed(&run, &exclude).is_ok());
+        // Tiny runs have no spread to flag against.
+        let tiny = run_with(NoiseModel::Noiseless, 2, 33);
+        assert_eq!(flag_corrupted_queries(&tiny, 5.0), vec![false, false]);
     }
 
     #[test]

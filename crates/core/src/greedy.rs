@@ -184,24 +184,115 @@ impl GreedyDecoder {
     /// for the returned score vector. Output is identical to the one-shot
     /// path.
     pub fn scores_using(&self, run: &Run, workspace: &mut GreedyWorkspace) -> Vec<f64> {
-        match self.centering {
-            Centering::Plain => self.scores_inner(run, None, workspace),
-            Centering::NoiseAware => {
-                let rate = second_neighborhood_rate(
-                    run.instance().n(),
-                    run.instance().k(),
-                    run.instance().noise(),
-                );
-                self.scores_inner(run, Some(rate), workspace)
-            }
-        }
+        self.scores_inner(
+            run,
+            self.resolved_rate(run),
+            workspace,
+            FoldPolicy::default(),
+        )
     }
 
     /// Noise-aware scores with an explicit per-slot one-read rate, for use
     /// when the channel parameters are *estimated* rather than known (see
     /// [`crate::estimation::estimate_slot_rate`]).
     pub fn scores_with_slot_rate(&self, run: &Run, slot_rate: f64) -> Vec<f64> {
-        self.scores_inner(run, Some(slot_rate), &mut GreedyWorkspace::new())
+        self.scores_inner(
+            run,
+            Some(slot_rate),
+            &mut GreedyWorkspace::new(),
+            FoldPolicy::default(),
+        )
+    }
+
+    /// [`GreedyDecoder::scores`] with each query result winsorized into its
+    /// feasible range `[0, |∂*aⱼ|]` before accumulation.
+    ///
+    /// A measurement legitimately reads at most one per slot, so clamping
+    /// bounds the damage any single corrupted payload can do: every
+    /// accumulated `Ψᵢ` stays within the clean-fold envelope
+    /// `|Ψᵢ| ≤ Σ_{j∈∂*i} |∂aⱼ|`. This is the sequential mirror of the
+    /// distributed protocol's winsorized fold
+    /// ([`crate::distributed::ProtocolOptions::winsorize`]). Under the
+    /// channel noise models clean results always lie inside the range, so
+    /// winsorizing is a bit-identical no-op there; only the Gaussian model
+    /// can legitimately graze the clamp.
+    pub fn scores_winsorized(&self, run: &Run) -> Vec<f64> {
+        self.scores_inner(
+            run,
+            self.resolved_rate(run),
+            &mut GreedyWorkspace::new(),
+            FoldPolicy {
+                winsorize: true,
+                exclude: None,
+            },
+        )
+    }
+
+    /// [`GreedyDecoder::scores`] with flagged queries excluded from the
+    /// accumulation entirely.
+    ///
+    /// An excluded query contributes *nothing* — neither its result nor its
+    /// degree terms — so the centering of the surviving queries is
+    /// undisturbed: the score of an agent is exactly what it would be had
+    /// the flagged queries never been asked. This is the trimmed companion
+    /// of [`GreedyDecoder::scores_winsorized`]: winsorizing caps what a
+    /// corrupted measurement can contribute, trimming removes measurements
+    /// known (or suspected) to be corrupted — see
+    /// [`crate::estimation::flag_corrupted_queries`] for a data-driven
+    /// flagger and [`crate::estimation::decode_trimmed`] for the assembled
+    /// pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exclude.len() != m`.
+    pub fn scores_trimmed(&self, run: &Run, exclude: &[bool]) -> Vec<f64> {
+        self.scores_inner(
+            run,
+            self.resolved_rate(run),
+            &mut GreedyWorkspace::new(),
+            FoldPolicy {
+                winsorize: false,
+                exclude: Some(exclude),
+            },
+        )
+    }
+
+    /// [`GreedyDecoder::scores_trimmed`] with an explicit per-slot one-read
+    /// rate, for when the rate is estimated from the surviving queries
+    /// (corrupted results poison the plain moment estimate too — see
+    /// [`crate::estimation::estimate_slot_rate_trimmed`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exclude.len() != m`.
+    pub fn scores_trimmed_with_slot_rate(
+        &self,
+        run: &Run,
+        slot_rate: f64,
+        exclude: &[bool],
+    ) -> Vec<f64> {
+        self.scores_inner(
+            run,
+            Some(slot_rate),
+            &mut GreedyWorkspace::new(),
+            FoldPolicy {
+                winsorize: false,
+                exclude: Some(exclude),
+            },
+        )
+    }
+
+    /// The per-slot one-read rate the configured centering subtracts with
+    /// (`None` for the plain `Δ*ᵢ·k/2` centering).
+    fn resolved_rate(&self, run: &Run) -> Option<f64> {
+        match self.centering {
+            Centering::Plain => None,
+            Centering::NoiseAware => Some(second_neighborhood_rate(
+                run.instance().n(),
+                run.instance().k(),
+                run.instance().noise(),
+            )),
+        }
     }
 
     /// Posterior log-odds scores: the greedy neighborhood statistic folded
@@ -259,7 +350,7 @@ impl GreedyDecoder {
         let signal = 1.0 - p - q;
         let rate = second_neighborhood_rate(n, run.instance().k(), run.instance().noise());
         let mut ws = GreedyWorkspace::new();
-        let scores = self.scores_inner(run, Some(rate), &mut ws);
+        let scores = self.scores_inner(run, Some(rate), &mut ws, FoldPolicy::default());
 
         // Empirical per-query result variance: from any one agent's
         // viewpoint (conditioned on its own bit) a query result fluctuates
@@ -300,20 +391,39 @@ impl GreedyDecoder {
         (scores, posterior)
     }
 
-    fn scores_inner(&self, run: &Run, rate: Option<f64>, ws: &mut GreedyWorkspace) -> Vec<f64> {
+    fn scores_inner(
+        &self,
+        run: &Run,
+        rate: Option<f64>,
+        ws: &mut GreedyWorkspace,
+        policy: FoldPolicy<'_>,
+    ) -> Vec<f64> {
         let n = run.instance().n();
         let k = run.instance().k();
+        if let Some(exclude) = policy.exclude {
+            assert_eq!(
+                exclude.len(),
+                run.results().len(),
+                "GreedyDecoder: exclusion mask length must equal the query count"
+            );
+        }
         ws.reset(n);
         let psi = &mut ws.psi;
         let distinct = &mut ws.distinct;
         let multi = &mut ws.multi;
         let slot_sum = &mut ws.slot_sum;
         for (j, q) in run.graph().queries().iter().enumerate() {
-            let value = run.results()[j];
+            if policy.exclude.is_some_and(|exclude| exclude[j]) {
+                continue;
+            }
             // Per-query slot count, not the nominal Γ: identical for the
             // query-regular designs (Σ_{j∈∂*i} Γ = Δ*ᵢ·Γ), exact for ragged
             // designs such as the doubly regular scheme.
             let total = q.total_slots() as u64;
+            let mut value = run.results()[j];
+            if policy.winsorize {
+                value = value.clamp(0.0, total as f64);
+            }
             for (a, c) in q.iter() {
                 psi[a as usize] += value;
                 distinct[a as usize] += 1;
@@ -337,6 +447,15 @@ impl GreedyDecoder {
                 .collect(),
         }
     }
+}
+
+/// How [`GreedyDecoder::scores_inner`] treats each query during the fold:
+/// winsorize clamps the result into its feasible `[0, slots]` range,
+/// exclude drops flagged queries (result *and* degree terms) entirely.
+#[derive(Debug, Clone, Copy, Default)]
+struct FoldPolicy<'a> {
+    winsorize: bool,
+    exclude: Option<&'a [bool]>,
 }
 
 /// Reusable accumulator buffers for [`GreedyDecoder::scores_using`].
@@ -587,6 +706,92 @@ mod tests {
             "noise-aware {aware_hits}/{trials} vs plain {plain_hits}/{trials}"
         );
         assert!(aware_hits >= 4, "noise-aware centering should succeed here");
+    }
+
+    /// Rebuilds `run` with the given (e.g. tampered) result vector.
+    fn with_results(run: &Run, results: Vec<f64>) -> Run {
+        run.instance()
+            .assemble(run.ground_truth().clone(), run.graph().clone(), results)
+            .unwrap()
+    }
+
+    #[test]
+    fn winsorized_scores_are_a_noop_on_channel_runs() {
+        // Channel-model results always lie in [0, slots], so winsorizing
+        // must not move a single bit.
+        let run = noiseless_run(200, 3, 150, 9);
+        let decoder = GreedyDecoder::new();
+        let raw = decoder.scores(&run);
+        let win = decoder.scores_winsorized(&run);
+        assert!(raw
+            .iter()
+            .zip(&win)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+
+    #[test]
+    fn winsorized_scores_clamp_out_of_range_results() {
+        let run = noiseless_run(200, 3, 150, 10);
+        let mut tampered = run.results().to_vec();
+        tampered[7] = 1e6; // way beyond any slot count
+        tampered[11] = -250.0; // below the floor
+        let bad = with_results(&run, tampered.clone());
+
+        let decoder = GreedyDecoder::new();
+        let win = decoder.scores_winsorized(&bad);
+        assert_ne!(win, decoder.scores(&bad), "clamp never engaged");
+
+        // Winsorizing is exactly "clamp first, then fold": pre-clamping the
+        // results by hand and running the plain fold must agree bit for bit.
+        let queries = run.graph().queries();
+        for (j, v) in tampered.iter_mut().enumerate() {
+            *v = v.clamp(0.0, queries[j].total_slots() as f64);
+        }
+        let clamped = decoder.scores(&with_results(&run, tampered));
+        assert!(win
+            .iter()
+            .zip(&clamped)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+
+    #[test]
+    fn trimmed_scores_ignore_excluded_queries() {
+        let run = noiseless_run(200, 3, 150, 12);
+        let decoder = GreedyDecoder::new();
+        let m = run.results().len();
+
+        // An all-clear mask is the identity.
+        let all_clear = decoder.scores_trimmed(&run, &vec![false; m]);
+        assert!(decoder
+            .scores(&run)
+            .iter()
+            .zip(&all_clear)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+
+        // An excluded query's payload is irrelevant: garbling it arbitrarily
+        // must not move the trimmed scores at all.
+        let mut exclude = vec![false; m];
+        exclude[3] = true;
+        exclude[77] = true;
+        let clean = decoder.scores_trimmed(&run, &exclude);
+        let mut tampered = run.results().to_vec();
+        tampered[3] = f64::MAX / 4.0;
+        tampered[77] = -1e9;
+        let garbled = decoder.scores_trimmed(&with_results(&run, tampered), &exclude);
+        assert!(clean
+            .iter()
+            .zip(&garbled)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+        // And trimming two of 150 generous queries must not break recovery.
+        let est = Estimate::from_scores(clean, run.instance().k());
+        assert_eq!(est.ones(), run.ground_truth().ones());
+    }
+
+    #[test]
+    #[should_panic(expected = "exclusion mask length")]
+    fn trimmed_scores_reject_wrong_mask_length() {
+        let run = noiseless_run(50, 2, 40, 1);
+        GreedyDecoder::new().scores_trimmed(&run, &[false; 3]);
     }
 
     #[test]

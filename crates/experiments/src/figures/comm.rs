@@ -69,7 +69,7 @@ pub fn run(opts: &RunOptions) -> FigureReport {
     // sorting network (strategy `GossipThreshold`), and every agent
     // decides its own bit — no assignment traffic, no sorting-network
     // schedule. The estimate is bit-identical to the Batcher path.
-    let gossip = distributed::run_protocol_with(&run, SelectionStrategy::GossipThreshold)
+    let gossip = distributed::run_protocol_with(&run, SelectionStrategy::gossip())
         .expect("gossip protocol quiesces");
     assert_eq!(gossip.estimate, outcome.estimate);
     let gossip_messages = gossip.metrics.messages_sent;

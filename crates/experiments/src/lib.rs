@@ -13,6 +13,7 @@
 //! | [`figures::theorems`] | Theorems 1–2 | bound constants vs measured thresholds |
 //! | [`figures::comm`] | Section VI | communication cost: greedy protocol vs distributed AMP |
 //! | [`figures::designs`] | (extension) | required queries per pooling design, one row per design |
+//! | [`figures::chaos`] | (extension) | overlap degradation vs agent crash / corruption rate |
 //!
 //! Beyond the figures, the [`scenarios`] registry names complete
 //! `(design × noise × decoder × n-grid)` configurations — one per headline

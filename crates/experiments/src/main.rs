@@ -7,7 +7,7 @@
 //! repro scenarios run <name>|--all [--full] [--json] [--out DIR] [--trials N] [--threads N]
 //!
 //! targets: fig1 fig2 fig3 fig4 fig5 fig6 fig7 theorems comm ablations
-//!          decoders adaptive designs linear workloads all
+//!          decoders adaptive designs linear workloads chaos all
 //!
 //! `--json` prints each report as a machine-readable JSON document (and
 //! writes `<name>.json` next to the CSV) for the bench/CI pipeline.
@@ -33,7 +33,7 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage: repro <fig1|fig2|fig3|fig4|fig5|fig6|fig7|theorems|comm|ablations\
-                     |decoders|adaptive|designs|linear|workloads|all> \
+                     |decoders|adaptive|designs|linear|workloads|chaos|all> \
                      [--full] [--json] [--out DIR] [--trials N] [--threads N]\n\
        repro scenarios list\n\
        repro scenarios run <name>|--all [--full] [--json] [--out DIR] [--trials N] \
@@ -146,7 +146,7 @@ fn parse(args: &[String]) -> Result<Cli, String> {
             all_scenarios,
         });
     }
-    const KNOWN: [&str; 16] = [
+    const KNOWN: [&str; 17] = [
         "fig1",
         "fig2",
         "fig3",
@@ -162,6 +162,7 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         "designs",
         "linear",
         "workloads",
+        "chaos",
         "all",
     ];
     if !KNOWN.contains(&target.as_str()) {
@@ -205,6 +206,7 @@ fn execute(cli: Cli) -> ExitCode {
             "designs",
             "linear",
             "workloads",
+            "chaos",
         ]
     } else {
         vec![cli.target.as_str()]
@@ -292,6 +294,7 @@ fn run_target(target: &str, opts: &RunOptions) -> FigureReport {
         "designs" => figures::designs::run(opts),
         "linear" => figures::linear::run(opts),
         "workloads" => figures::workloads::run(opts),
+        "chaos" => figures::chaos::run(opts),
         other => unreachable!("target {other} validated in parse()"),
     }
 }

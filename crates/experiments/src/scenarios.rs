@@ -42,7 +42,7 @@ use npd_core::{
     PoolingDesign, Regime, TwoStepDecoder,
 };
 use npd_decoders::BpDecoder;
-use npd_netsim::FaultConfig;
+use npd_netsim::{FaultConfig, NodeFaultPlan};
 use npd_workloads::{track_greedy, track_protocol, PopulationModel, TrackingConfig, WorkloadSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -72,7 +72,9 @@ impl DecoderKind {
             DecoderKind::Amp => "amp",
             DecoderKind::Bp => "bp",
             DecoderKind::Distributed(SelectionStrategy::BatcherSort) => "protocol/batcher",
-            DecoderKind::Distributed(SelectionStrategy::GossipThreshold) => "protocol/gossip",
+            DecoderKind::Distributed(SelectionStrategy::GossipThreshold { .. }) => {
+                "protocol/gossip"
+            }
         }
     }
 
@@ -87,6 +89,43 @@ impl DecoderKind {
                 unreachable!("distributed scenarios run through Measurement::ProtocolCost")
             }
         }
+    }
+}
+
+/// Agent-level chaos injected into a protocol scenario.
+///
+/// The spec is the *recipe*; the per-trial [`NodeFaultPlan`] is built from
+/// it with a trial-salted seed, so fault realizations are independent
+/// across trials yet every trial replays bit-identically.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosSpec {
+    /// Fraction of network nodes that fail-stop crash.
+    pub crash_frac: f64,
+    /// Inclusive round window the crash round is drawn from.
+    pub crash_window: (u64, u64),
+    /// Crashed nodes rejoin (state wiped) this many rounds later;
+    /// `None` means crashes are permanent.
+    pub restart_after: Option<u64>,
+    /// Fraction of nodes that corrupt their outgoing payloads.
+    pub corrupt_frac: f64,
+    /// Per-message garbling probability for corruptor nodes.
+    pub corrupt_prob: f64,
+    /// Base fault seed (xor-ed with the trial seed).
+    pub seed: u64,
+}
+
+impl ChaosSpec {
+    /// Builds the concrete fault plan for one trial.
+    fn plan(&self, salt: u64) -> NodeFaultPlan {
+        let mut plan = NodeFaultPlan::new(self.seed ^ salt)
+            .with_crashes(self.crash_frac, self.crash_window)
+            .expect("registry chaos fractions are valid")
+            .with_corruption(self.corrupt_frac, self.corrupt_prob)
+            .expect("registry chaos fractions are valid");
+        if let Some(after) = self.restart_after {
+            plan = plan.with_restarts(after);
+        }
+        plan
     }
 }
 
@@ -130,6 +169,10 @@ pub struct Scenario {
     /// Message faults injected into protocol scenarios (`None` elsewhere
     /// and for fault-free protocol runs).
     pub faults: Option<FaultConfig>,
+    /// Agent-level chaos — crashes, restarts, payload corruption —
+    /// injected into protocol scenarios (`None` elsewhere). Corrupting
+    /// specs also switch the protocol's winsorized fold on.
+    pub chaos: Option<ChaosSpec>,
     /// Population model (`None` means the paper's uniform `k`-subset,
     /// sampled by [`Instance::sample`] itself). Workload scenarios
     /// ([`Measurement::WorkloadOverlap`], [`Measurement::Tracking`]) carry
@@ -192,6 +235,7 @@ pub fn registry() -> Vec<Scenario> {
             Measurement::SuccessRate
         },
         faults: None,
+        chaos: None,
         workload: None,
         theta: crate::figures::THETA,
         gamma_div: 2,
@@ -225,6 +269,15 @@ pub fn registry() -> Vec<Scenario> {
             NoiseModel::z_channel(0.1),
             DecoderKind::Distributed(strategy),
         )
+    };
+    // Chaos scenarios: the protocol grid under *agent-level* faults —
+    // fail-stop crashes (optionally restarting with wiped state) and
+    // payload corruptors — measuring graceful degradation: achieved
+    // quorum and surviving overlap instead of all-or-nothing recovery.
+    let chaos = |name, summary, strategy, spec: ChaosSpec| Scenario {
+        chaos: Some(spec),
+        full_max_exp10: 12,
+        ..protocol(name, summary, strategy, None, 12)
     };
     vec![
         base(
@@ -336,7 +389,7 @@ pub fn registry() -> Vec<Scenario> {
             "distributed-gossip",
             "phase II via the adaptive gossip threshold bisection: no sorting network, \
              agents decide locally",
-            SelectionStrategy::GossipThreshold,
+            SelectionStrategy::gossip(),
             None,
             16,
         ),
@@ -352,9 +405,65 @@ pub fn registry() -> Vec<Scenario> {
             "distributed-gossip-faults",
             "gossip protocol under 1% loss + duplication + delay: out-of-phase arrivals \
              counted and ignored, every agent still decides",
-            SelectionStrategy::GossipThreshold,
+            SelectionStrategy::gossip(),
             Some(FaultConfig::new(0.01, 0.05, 72).unwrap().with_max_delay(2)),
             12,
+        ),
+        chaos(
+            "chaos-crash-batcher",
+            "10% of nodes fail-stop mid-protocol: the sorting network degrades to \
+             the surviving quorum instead of hanging to the round budget",
+            SelectionStrategy::BatcherSort,
+            ChaosSpec {
+                crash_frac: 0.10,
+                crash_window: (1, 8),
+                restart_after: None,
+                corrupt_frac: 0.0,
+                corrupt_prob: 0.0,
+                seed: 81,
+            },
+        ),
+        chaos(
+            "chaos-restart-gossip",
+            "20% of nodes crash and rejoin three rounds later with wiped state: \
+             restarted agents turn passive, the quorum reports who decided",
+            SelectionStrategy::gossip(),
+            ChaosSpec {
+                crash_frac: 0.20,
+                crash_window: (1, 6),
+                restart_after: Some(3),
+                corrupt_frac: 0.0,
+                corrupt_prob: 0.0,
+                seed: 82,
+            },
+        ),
+        chaos(
+            "chaos-corrupt-gossip",
+            "5% of nodes garble every payload they send: the winsorized fold \
+             bounds their leverage and overlap degrades smoothly",
+            SelectionStrategy::gossip(),
+            ChaosSpec {
+                crash_frac: 0.0,
+                crash_window: (0, 0),
+                restart_after: None,
+                corrupt_frac: 0.05,
+                corrupt_prob: 1.0,
+                seed: 83,
+            },
+        ),
+        chaos(
+            "chaos-full-batcher",
+            "10% crashes plus 5% corruptors at once: both fault axes together, \
+             protocol still completes and reports its achieved quorum",
+            SelectionStrategy::BatcherSort,
+            ChaosSpec {
+                crash_frac: 0.10,
+                crash_window: (1, 8),
+                restart_after: None,
+                corrupt_frac: 0.05,
+                corrupt_prob: 1.0,
+                seed: 84,
+            },
         ),
         workload(
             "workload-community",
@@ -389,7 +498,7 @@ pub fn registry() -> Vec<Scenario> {
         },
         Scenario {
             measurement: Measurement::Tracking,
-            decoder: DecoderKind::Distributed(SelectionStrategy::GossipThreshold),
+            decoder: DecoderKind::Distributed(SelectionStrategy::gossip()),
             quick_max_exp10: 10,
             full_max_exp10: 12,
             ..workload(
@@ -757,13 +866,21 @@ fn run_protocol_cost(scenario: &Scenario, opts: &RunOptions) -> FigureReport {
                     .expect("probabilities already validated")
                     .with_max_delay(f.max_delay())
             });
-            let outcome = distributed::run_protocol_configured(&run, strategy, faults)
+            let options = distributed::ProtocolOptions {
+                strategy,
+                faults,
+                node_faults: scenario.chaos.map(|c| c.plan(seed)),
+                winsorize: scenario.chaos.is_some_and(|c| c.corrupt_frac > 0.0),
+                ..distributed::ProtocolOptions::default()
+            };
+            let outcome = distributed::run_protocol_chaos(&run, options)
                 .expect("protocol terminates within its budget");
             let exact = f64::from(exact_recovery(&outcome.estimate, run.ground_truth()));
-            (outcome, exact)
+            let ov = overlap(&outcome.estimate, run.ground_truth());
+            (outcome, exact, ov)
         });
         let mean = |f: &dyn Fn(&npd_core::distributed::ProtocolOutcome) -> f64| -> f64 {
-            outcomes.iter().map(|(o, _)| f(o)).sum::<f64>() / trials as f64
+            outcomes.iter().map(|(o, _, _)| f(o)).sum::<f64>() / trials as f64
         };
         let rounds = mean(&|o| o.rounds as f64);
         let messages = mean(&|o| o.metrics.messages_sent as f64);
@@ -772,7 +889,11 @@ fn run_protocol_cost(scenario: &Scenario, opts: &RunOptions) -> FigureReport {
         let probes = mean(&|o| o.probes as f64);
         let stale = mean(&|o| o.stale_messages as f64);
         let missing = mean(&|o| o.missing_assignments as f64);
-        let recovery = outcomes.iter().map(|(_, e)| e).sum::<f64>() / trials as f64;
+        let quorum = mean(&|o| o.achieved_quorum as f64);
+        let crashes = mean(&|o| o.metrics.node_crashes as f64);
+        let corrupted = mean(&|o| o.metrics.messages_corrupted as f64);
+        let recovery = outcomes.iter().map(|(_, e, _)| e).sum::<f64>() / trials as f64;
+        let mean_overlap = outcomes.iter().map(|(_, _, v)| v).sum::<f64>() / trials as f64;
         rows.push(vec![
             n.to_string(),
             instance.k().to_string(),
@@ -782,6 +903,8 @@ fn run_protocol_cost(scenario: &Scenario, opts: &RunOptions) -> FigureReport {
             format!("{sel_rounds:.0}"),
             format!("{sel_messages:.0}"),
             format!("{probes:.1}"),
+            format!("{quorum:.0}"),
+            format!("{mean_overlap:.2}"),
             format!("{recovery:.2}"),
         ]);
         csv_rows.push(vec![
@@ -795,11 +918,15 @@ fn run_protocol_cost(scenario: &Scenario, opts: &RunOptions) -> FigureReport {
             format!("{probes:.1}"),
             format!("{stale:.1}"),
             format!("{missing:.1}"),
+            format!("{quorum:.1}"),
+            format!("{crashes:.1}"),
+            format!("{corrupted:.1}"),
+            format!("{mean_overlap:.3}"),
             format!("{recovery:.3}"),
             trials.to_string(),
         ]);
     }
-    let fault_label = match scenario.faults {
+    let mut fault_label = match scenario.faults {
         None => "fault-free".to_string(),
         Some(f) => format!(
             "drop={} dup={} delay≤{}",
@@ -808,13 +935,26 @@ fn run_protocol_cost(scenario: &Scenario, opts: &RunOptions) -> FigureReport {
             f.max_delay()
         ),
     };
+    if let Some(c) = scenario.chaos {
+        let restart = match c.restart_after {
+            None => String::new(),
+            Some(after) => format!(" restart+{after}"),
+        };
+        fault_label = format!(
+            "{fault_label}, chaos: crash={}{restart} corrupt={}×{}",
+            c.crash_frac, c.corrupt_frac, c.corrupt_prob
+        );
+    }
     let rendered = format!(
         "Scenario {} — distributed protocol cost ({} selection, {fault_label}, \
          {trials} trials)\n{}",
         scenario.name,
         strategy,
         table(
-            &["n", "k", "m", "rounds", "messages", "selᵣ", "selₘ", "probes", "recovery"],
+            &[
+                "n", "k", "m", "rounds", "messages", "selᵣ", "selₘ", "probes", "quorum", "overlap",
+                "recovery",
+            ],
             &rows
         )
     );
@@ -832,6 +972,10 @@ fn run_protocol_cost(scenario: &Scenario, opts: &RunOptions) -> FigureReport {
             "probes".into(),
             "stale_messages".into(),
             "missing_assignments".into(),
+            "achieved_quorum".into(),
+            "node_crashes".into(),
+            "messages_corrupted".into(),
+            "mean_overlap".into(),
             "recovery_rate".into(),
             "trials".into(),
         ],
@@ -1074,6 +1218,40 @@ mod tests {
         assert_eq!(report.csv_rows.len(), 1);
         // Success-rate CSV: last column is the trial count.
         assert_eq!(report.csv_rows[0].last().unwrap(), "2");
+    }
+
+    #[test]
+    fn chaos_scenario_runs_end_to_end_and_reports_quorum() {
+        let mut scenario = find("chaos-full-batcher").expect("registered");
+        scenario.quick_max_exp10 = 8; // n = 256 only: seconds
+        let opts = RunOptions {
+            mode: Mode::Quick,
+            trials: Some(2),
+            threads: 2,
+        };
+        let report = run(&scenario, &opts);
+        assert_eq!(report.csv_rows.len(), 1);
+        assert_eq!(report.csv_rows[0].len(), report.csv_headers.len());
+        let col = |name: &str| -> f64 {
+            let idx = report
+                .csv_headers
+                .iter()
+                .position(|h| h == name)
+                .unwrap_or_else(|| panic!("missing column {name}"));
+            report.csv_rows[0][idx].parse().unwrap()
+        };
+        // Crashes bit, corruption bit, and the protocol still completed
+        // with a degraded — but majority — quorum.
+        assert!(col("node_crashes") > 0.0);
+        assert!(col("messages_corrupted") > 0.0);
+        let quorum = col("achieved_quorum");
+        assert!(
+            quorum > 128.0 && quorum < 256.0,
+            "quorum {quorum} out of the degraded-majority band"
+        );
+        assert!(col("mean_overlap") > 0.0);
+        // Chaos schedules replay bit-identically.
+        assert_eq!(run(&scenario, &opts).csv_rows, report.csv_rows);
     }
 
     #[test]

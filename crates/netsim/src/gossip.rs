@@ -60,6 +60,9 @@ pub struct PushSumNode {
     w: f64,
     rounds_left: usize,
     rng: SmallRng,
+    /// Construction inputs, kept so a fail-stop restart
+    /// ([`Node::on_restart`]) can rebuild the node from scratch.
+    init: (f64, usize, u64, usize),
 }
 
 impl PushSumNode {
@@ -73,6 +76,7 @@ impl PushSumNode {
             w: 1.0,
             rounds_left: rounds,
             rng: SmallRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+            init: (value, rounds, seed, id),
         }
     }
 
@@ -119,6 +123,16 @@ impl Node<PushSumMsg> for PushSumNode {
             ctx.send(peer, share);
         }
         Activity::Active
+    }
+
+    fn on_restart(&mut self, _round: u64) {
+        // Fail-stop semantics: the restarted node remembers nothing of the
+        // run. It rejoins holding its *initial* value and unit weight —
+        // mass it had accumulated (or pushed into flight) before the crash
+        // is gone, which is exactly the degradation a crash inflicts on
+        // real push-sum deployments.
+        let (value, rounds, seed, id) = self.init;
+        *self = Self::new(value, rounds, seed, id);
     }
 }
 
@@ -186,6 +200,10 @@ pub fn push_sum_report_on(
     let mut net = Network::new(nodes)
         .with_topology(topology)
         .with_shards(recommended_shards(values.len()));
+    // Invariant: every node goes idle once `rounds_left` hits zero and the
+    // engine delivers all in-flight mass within one extra round, so the
+    // `rounds + 2` budget always suffices on a fault-free network.
+    #[allow(clippy::expect_used)]
     net.run_until_quiescent_parallel(rounds as u64 + 2)
         .expect("push-sum quiesces after its round budget by construction");
     PushSumReport {
@@ -250,11 +268,14 @@ pub struct TopKDecision {
     pub decided_round: u64,
 }
 
-/// Defensive cap on bisection probes. Any weak probe is followed by a
+/// Default cap on bisection probes. Any weak probe is followed by a
 /// key-halving one (see `midpoint`), so the bisection is provably
-/// exhausted after ~130 probes for any finite scores; this cap is never
-/// reached and only bounds the round budget and fault-degraded
-/// stragglers.
+/// exhausted after ~130 probes for any finite scores; at this default the
+/// cap is never reached and only bounds the round budget and
+/// fault-degraded stragglers. Chaos scenarios can tighten it per run via
+/// [`TopKCore::with_probe_limit`] to budget probes (and therefore rounds)
+/// explicitly — a tighter cap trades selection exactness on adversarial
+/// score ranges for a smaller worst-case round budget.
 pub const PROBE_LIMIT: u32 = 160;
 
 /// The phase a [`TopKCore`] is executing.
@@ -333,6 +354,8 @@ pub struct TopKCore {
     count_above_hi: u64,
     probe: f64,
     probes: u32,
+    /// Cap on bisection probes ([`PROBE_LIMIT`] unless overridden).
+    probe_limit: u32,
     /// Global minimum after the bounds phase (drives the all-ties
     /// shortcut).
     global_min: f64,
@@ -382,6 +405,7 @@ impl TopKCore {
             count_above_hi: 0,
             probe: 0.0,
             probes: 0,
+            probe_limit: PROBE_LIMIT,
             global_min: f64::NAN,
             acc_min: score,
             acc_max: score,
@@ -395,6 +419,24 @@ impl TopKCore {
                 decided_round: 0,
             }),
         }
+    }
+
+    /// Overrides the bisection probe cap (default [`PROBE_LIMIT`]).
+    ///
+    /// The cap is clamped to at least 1. Caps below the ~130-probe
+    /// exhaustion bound can cut the bisection short on pathological score
+    /// ranges (the tie scan then resolves a wider-than-minimal boundary),
+    /// trading exactness for a smaller worst-case round budget — pair
+    /// with [`TopKNode::max_rounds_with`] when budgeting runs.
+    #[must_use]
+    pub fn with_probe_limit(mut self, probe_limit: u32) -> Self {
+        self.probe_limit = probe_limit.max(1);
+        self
+    }
+
+    /// The probe cap this participant bisects under.
+    pub fn probe_limit(&self) -> u32 {
+        self.probe_limit
     }
 
     /// The node's decision once the protocol has finished.
@@ -460,7 +502,7 @@ impl TopKCore {
             }
             PhaseKind::Count => {
                 let mid = midpoint(self.lo, self.hi, self.weak_probe);
-                if self.probes >= PROBE_LIMIT || !(mid > self.lo && mid < self.hi) {
+                if self.probes >= self.probe_limit || !(mid > self.lo && mid < self.hi) {
                     // Interval exhausted at f64 precision: everything left
                     // in (lo, hi] is an exact tie at hi.
                     self.enter_tie();
@@ -678,8 +720,16 @@ impl TopKNode {
     /// this is the budget guard for
     /// [`Network::run_until_quiescent`](crate::Network::run_until_quiescent).
     pub fn max_rounds(n: usize) -> u64 {
+        Self::max_rounds_with(n, PROBE_LIMIT)
+    }
+
+    /// [`max_rounds`](Self::max_rounds) under a custom probe cap
+    /// ([`TopKCore::with_probe_limit`]): the budget shrinks linearly with
+    /// the cap, which is what chaos scenarios tune when they trade probe
+    /// exactness for a tighter round budget.
+    pub fn max_rounds_with(n: usize, probe_limit: u32) -> u64 {
         let line = IdLine::new(n);
-        (1 + PROBE_LIMIT as u64) * line.allreduce_rounds() + line.scan_rounds() + 2
+        (1 + u64::from(probe_limit.max(1))) * line.allreduce_rounds() + line.scan_rounds() + 2
     }
 }
 
@@ -838,6 +888,10 @@ fn run_topk(mut net: Network<TopKMsg, TopKNode>, n: usize, max_delay: u64) -> To
     // The budget covers the probe-limit bound plus the fault model's
     // maximum delivery delay (a delayed final message stretches the run).
     let budget = TopKNode::max_rounds(n) + max_delay + 2;
+    // Invariant: every phase ends after a fixed number of rounds whether
+    // or not messages arrive, so the probe-limit budget (plus the fault
+    // model's maximum delay) bounds the run unconditionally.
+    #[allow(clippy::expect_used)]
     net.run_until_quiescent_parallel(budget)
         .expect("every node decides within the probe-limit budget");
     let rounds = net.metrics().rounds;
@@ -852,6 +906,9 @@ fn run_topk(mut net: Network<TopKMsg, TopKNode>, n: usize, max_delay: u64) -> To
             probes = probes.max(node.core.probes());
             stale += node.core.stale_messages();
             isolated += usize::from(node.core.is_isolated());
+            // Invariant: a run that quiesced within the budget left every
+            // node in `PhaseKind::Done`, which always carries a decision.
+            #[allow(clippy::expect_used)]
             node.decision()
                 .expect("adaptive phases always reach a decision")
                 .selected
@@ -1053,6 +1110,48 @@ mod tests {
     #[should_panic(expected = "exceeds")]
     fn rejects_k_above_n() {
         TopKNode::new(1.0, 5, 4);
+    }
+
+    /// The probe cap is a real knob: a tighter cap shrinks the round
+    /// budget, every node still decides within it, and on well-separated
+    /// scores (which need only a handful of probes) the selection stays
+    /// exact.
+    #[test]
+    fn probe_limit_knob_bounds_rounds() {
+        let scores: Vec<f64> = (0..16).map(|i| ((i * 11) % 16) as f64).collect();
+        let n = scores.len();
+        let cap = 24u32;
+        assert!(TopKNode::max_rounds_with(n, cap) < TopKNode::max_rounds(n));
+        let nodes: Vec<TopKNode> = scores
+            .iter()
+            .map(|&s| TopKNode {
+                core: TopKCore::new(s, 5, n).with_probe_limit(cap),
+            })
+            .collect();
+        let mut net = Network::new(nodes);
+        net.run_until_quiescent(TopKNode::max_rounds_with(n, cap))
+            .unwrap();
+        let expected = top_k_indices(&scores, 5);
+        for (i, node) in net.nodes().iter().enumerate() {
+            let decision = node.decision().expect("node must decide under the cap");
+            assert_eq!(decision.selected, expected.contains(&i), "node {i}");
+            assert_eq!(node.core.probe_limit(), cap);
+        }
+    }
+
+    /// Fail-stop restart rebuilds a push-sum node from its construction
+    /// inputs: accumulated mass, consumed rounds, and RNG position are all
+    /// forgotten.
+    #[test]
+    fn push_sum_restart_wipes_to_initial_state() {
+        let mut node = PushSumNode::new(4.0, 10, 3, 2);
+        node.s = 99.0;
+        node.w = 7.0;
+        node.rounds_left = 1;
+        node.on_restart(5);
+        assert_eq!(node.s, 4.0);
+        assert_eq!(node.w, 1.0);
+        assert_eq!(node.rounds_left, 10);
     }
 
     /// Regression for the out-of-phase panic: the old merge hit

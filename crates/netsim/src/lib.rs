@@ -23,6 +23,12 @@
 //!   AMP (one exchange per node *per iteration*) in the paper's conclusion.
 //! * [`FaultConfig`] — message dropping/duplication/delay for failure
 //!   injection; the uniform default of the general per-link model.
+//! * [`NodeFaultPlan`] — agent-level chaos: fail-stop crashes (with
+//!   optional restarts), stragglers, and payload corruptors, all decided
+//!   by pure per-node hashes.
+//! * [`ReliableConfig`] — opt-in at-least-once delivery: messages sent
+//!   with [`Context::send_reliable`] are retransmitted on loss with
+//!   exponential backoff and a bounded retry budget.
 //!
 //! # Determinism and delivery-order contract
 //!
@@ -41,6 +47,10 @@
 //!   stream that scheduling could perturb. Duplication-fault copies get
 //!   their own identity (ordered right after the original) and pass the
 //!   drop/delay gates independently.
+//! * Agent-level faults obey the same rule: which nodes crash (and when),
+//!   lag, or corrupt payloads are pure per-node hashes of the
+//!   [`NodeFaultPlan`] seed, and retransmission copies get fresh
+//!   identities, so chaos schedules replay bit-identically too.
 //!
 //! The workspace-root `tests/determinism.rs` pins bit-identical runs for
 //! shard counts {1, 2, 8} and thread counts {1, 4}.
@@ -102,6 +112,13 @@
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
+// Delivery/fault paths must not hide failure modes behind ad-hoc panics:
+// unwraps are either converted to typed errors or annotated with the
+// invariant that makes them unreachable (allow + comment). Test code is
+// exempt — a panicking unwrap is exactly what a failing test should do.
+#![warn(clippy::unwrap_used)]
+#![warn(clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 mod faults;
 pub mod gossip;
@@ -110,7 +127,7 @@ mod network;
 pub mod schedule;
 mod topology;
 
-pub use faults::FaultConfig;
+pub use faults::{FaultConfig, InvalidFaultConfig, NodeFaultPlan, ReliableConfig};
 pub use metrics::{Metrics, NodeTraffic};
 pub use network::{recommended_shards, Context, Network, RunReport, StepReport};
 pub use topology::{LinkFaults, Topology};
@@ -162,6 +179,15 @@ pub trait Node<M> {
     /// round. Return [`Activity::Active`] to request another round even if no
     /// messages are in flight.
     fn on_round(&mut self, ctx: &mut Context<'_, M>) -> Activity;
+
+    /// Called when a crashed node rejoins under a [`NodeFaultPlan`]
+    /// restart schedule, immediately before it is stepped again.
+    /// Implementations should wipe volatile protocol state — the fail-stop
+    /// model gives a restarted node no memory of the run so far. The
+    /// default does nothing (stateless nodes need no wipe).
+    fn on_restart(&mut self, round: u64) {
+        let _ = round;
+    }
 }
 
 /// Error returned when a run exceeds its round budget.

@@ -29,6 +29,26 @@ pub struct Metrics {
     pub payload_bytes_sent: u64,
     /// Largest number of messages in flight at any round boundary.
     pub peak_in_flight: u64,
+    /// Messages discarded because their destination was crashed at
+    /// delivery time (see [`crate::NodeFaultPlan`]).
+    #[serde(default)]
+    pub messages_lost_to_crash: u64,
+    /// Delivered messages whose payload was garbled by a corruptor node
+    /// (these still count as delivered; corruption is a payload fault,
+    /// not a transport fault).
+    #[serde(default)]
+    pub messages_corrupted: u64,
+    /// Extra send attempts made by the reliable-delivery layer
+    /// (see [`crate::ReliableConfig`]). Each retransmission also counts
+    /// as a normal send in [`messages_sent`](Self::messages_sent).
+    #[serde(default)]
+    pub messages_retransmitted: u64,
+    /// Fail-stop crash events executed so far.
+    #[serde(default)]
+    pub node_crashes: u64,
+    /// Restart events (crashed node rejoining with wiped state).
+    #[serde(default)]
+    pub node_restarts: u64,
 }
 
 impl Metrics {
@@ -44,14 +64,21 @@ impl Metrics {
     /// The fault pipeline's conservation identity: every copy the network
     /// ever accepted (sends plus duplication copies) is accounted for
     /// exactly once —
-    /// `sent + duplicated == delivered + dropped + in_flight + delayed`,
+    /// `sent + duplicated ==
+    ///  delivered + dropped + in_flight + delayed + lost_to_crash`,
     /// where `in_flight`/`delayed` are the *currently pending* counts from
     /// [`crate::Network::in_flight`] and [`crate::Network::delayed`]. This
     /// holds at every round boundary, fault-injected or not; the
-    /// workspace-root failure-injection proptests assert it.
+    /// workspace-root failure-injection proptests assert it. Corrupted
+    /// messages are delivered (garbled), so they need no extra term;
+    /// retransmissions enter through `messages_sent` like any other send.
     pub fn conserves(&self, in_flight: usize, delayed: usize) -> bool {
         self.messages_sent + self.messages_duplicated
-            == self.messages_delivered + self.messages_dropped + in_flight as u64 + delayed as u64
+            == self.messages_delivered
+                + self.messages_dropped
+                + in_flight as u64
+                + delayed as u64
+                + self.messages_lost_to_crash
     }
 }
 
@@ -91,5 +118,19 @@ mod tests {
             ..Metrics::default()
         };
         assert_eq!(m.messages_per_round(), 2.5);
+    }
+
+    #[test]
+    fn conservation_accounts_for_crash_losses() {
+        let m = Metrics {
+            messages_sent: 10,
+            messages_duplicated: 2,
+            messages_delivered: 6,
+            messages_dropped: 1,
+            messages_lost_to_crash: 3,
+            ..Metrics::default()
+        };
+        assert!(m.conserves(1, 1));
+        assert!(!m.conserves(2, 1));
     }
 }

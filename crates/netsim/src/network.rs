@@ -26,23 +26,45 @@
 //! `r + 1` (plus any delay faults), ordered by `(sender, send-seq)` — the
 //! classic synchronous message-passing model (e.g. Santoro, *Design and
 //! Analysis of Distributed Algorithms*).
+//!
+//! On top of the message-fault gates, the engine supports *agent-level*
+//! faults ([`Network::with_node_faults`]): fail-stop crashes filter
+//! deliveries and skip the node-step phase for downed nodes, stragglers
+//! add persistent per-sender delay, and corruptors garble outgoing
+//! payloads. An opt-in reliable-delivery layer
+//! ([`Network::with_reliability`] + [`Context::send_reliable`])
+//! retransmits lost reliable messages with exponential backoff — see the
+//! [`crate::faults`] module docs for the full model.
 
+use crate::faults::splitmix64;
 use crate::metrics::NodeTraffic;
 use crate::topology::{LinkFaults, Topology};
-use crate::{Activity, Envelope, FaultConfig, MaxRoundsExceeded, Metrics, Node, NodeId};
+use crate::{
+    Activity, Envelope, FaultConfig, MaxRoundsExceeded, Metrics, Node, NodeFaultPlan, NodeId,
+    ReliableConfig,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 
 /// Identity of one physical message copy: the sender, the sender's
-/// cumulative send sequence number, and whether this copy was created by a
-/// duplication fault. The triple is unique per copy and totally ordered;
-/// delivery order and all fault decisions derive from it.
+/// cumulative send sequence number, and the copy number. The triple is
+/// unique per copy and totally ordered; delivery order and all fault
+/// decisions derive from it.
+///
+/// Copy numbering: transmission attempt `a` (0 = the node's own send,
+/// `a ≥ 1` = the reliability layer's retransmissions) has copy `2a`; the
+/// duplication-fault clone of attempt `a` has copy `2a + 1`. The parity
+/// bit thus preserves the original original-vs-duplicate RNG mapping.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub(crate) struct MsgKey {
     from: u32,
     seq: u64,
-    dup: bool,
+    copy: u16,
+    /// Whether the reliability layer tracks this message (set by
+    /// [`Context::send_reliable`]; acted on only when a
+    /// [`ReliableConfig`] is attached).
+    reliable: bool,
 }
 
 /// A keyed message moving through the routing pipeline.
@@ -137,6 +159,26 @@ impl<'a, M> Context<'a, M> {
     /// Panics if `dst` is out of range or the topology has no `self → dst`
     /// link.
     pub fn send(&mut self, dst: NodeId, payload: M) {
+        self.send_inner(dst, payload, false);
+    }
+
+    /// Like [`send`](Self::send), but the message is tracked by the
+    /// reliable-delivery layer: if the network has a
+    /// [`ReliableConfig`] attached and this message is lost (dropped by a
+    /// link fault or its destination is crashed at delivery time), the
+    /// engine retransmits it after an exponential-backoff timeout, up to
+    /// the configured retry budget. Without a `ReliableConfig` this
+    /// behaves exactly like `send`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is out of range or the topology has no `self → dst`
+    /// link.
+    pub fn send_reliable(&mut self, dst: NodeId, payload: M) {
+        self.send_inner(dst, payload, true);
+    }
+
+    fn send_inner(&mut self, dst: NodeId, payload: M, reliable: bool) {
         assert!(
             dst.0 < self.node_count,
             "Context::send: destination {dst} out of range (network has {} nodes)",
@@ -150,7 +192,8 @@ impl<'a, M> Context<'a, M> {
         let key = MsgKey {
             from: self.id.0 as u32,
             seq: self.next_seq,
-            dup: false,
+            copy: 0,
+            reliable,
         };
         self.next_seq += 1;
         self.outbox[dst.0 / self.shard_size].push((
@@ -184,6 +227,17 @@ pub struct Network<M, N> {
     /// Per-node cumulative send counter (the `seq` of the next send).
     send_seq: Vec<u64>,
     faults: Option<FaultState<M>>,
+    /// Agent-level fault schedule (crashes, stragglers, corruptors).
+    node_faults: Option<NodeFaultState<M>>,
+    /// Reliable-delivery (retransmission) configuration.
+    reliable: Option<ReliableConfig>,
+    /// Scheduled retransmissions: `(due_round, key, envelope)`. Entry
+    /// *order* is shard-dependent; only the set matters, because staging
+    /// is re-sorted whenever retransmissions were injected.
+    retrans: Vec<(u64, MsgKey, Envelope<M>)>,
+    /// Whether the last routing phase staged out-of-key-order traffic
+    /// (retransmissions), forcing a sort in the next arena build.
+    resort: bool,
     /// `outboxes[src][dst]`: raw sends staged during the node-step phase.
     outboxes: Vec<Vec<Vec<Staged<M>>>>,
     /// `staging[dst]`: in-flight messages awaiting delivery next round,
@@ -211,6 +265,35 @@ pub struct Network<M, N> {
 struct FaultState<M> {
     cfg: FaultConfig,
     cloner: fn(&M) -> M,
+}
+
+/// Agent-level fault state: the declarative plan plus per-node schedules
+/// precomputed at attach time (pure functions of the plan, so still
+/// shard/thread independent).
+#[derive(Debug)]
+struct NodeFaultState<M> {
+    plan: NodeFaultPlan,
+    /// Payload garbler for corruption faults (set via
+    /// [`Network::with_corruptor`]).
+    corrupt: Option<fn(&mut M, u64)>,
+    /// Per node: `(crash_round, restart_round)` if it crashes.
+    spans: Vec<Option<(u64, Option<u64>)>>,
+    /// Per node: persistent extra delay on outgoing messages.
+    straggler: Vec<u64>,
+    /// Crash/restart events `(round, node, is_restart)`, sorted; consumed
+    /// serially at the start of each step for the counters and
+    /// `on_restart` callbacks.
+    events: Vec<(u64, u32, bool)>,
+    next_event: usize,
+}
+
+impl<M> NodeFaultState<M> {
+    fn down_at(&self, node: usize, round: u64) -> bool {
+        match self.spans[node] {
+            Some((crash, restart)) => round >= crash && restart.is_none_or(|r| round < r),
+            None => false,
+        }
+    }
 }
 
 /// Outcome of a single [`Network::step`].
@@ -243,27 +326,29 @@ pub fn recommended_shards(n: usize) -> usize {
     rayon::current_num_threads().clamp(1, (n / 64).max(1))
 }
 
-/// Splitmix64 finalizer: the per-message fault RNG seed mix.
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    x ^ (x >> 31)
-}
-
 /// Dedicated RNG of one message copy: a pure function of the fault seed
 /// and the copy's identity, so fault decisions cannot depend on shard
 /// count, thread count, or processing order.
+///
+/// The mapping for copies 0 and 1 (the node's send and its duplication
+/// clone) is frozen — pinned fault schedules across the workspace replay
+/// against it; retransmission copies (`copy ≥ 2`) mix in the copy number
+/// so every attempt redraws fresh fault decisions.
 fn message_rng(seed: u64, key: MsgKey) -> SmallRng {
-    let mixed = splitmix64(seed ^ splitmix64((key.from as u64) << 1 | key.dup as u64))
+    let mut mixed = splitmix64(seed ^ splitmix64((key.from as u64) << 1 | (key.copy & 1) as u64))
         ^ splitmix64(key.seq.wrapping_add(0xA5A5_5A5A_0F0F_F0F0));
+    if key.copy >= 2 {
+        mixed ^= splitmix64(((key.copy as u64) << 32) ^ 0x7E7E_1234_ABCD_0001);
+    }
     SmallRng::seed_from_u64(mixed)
 }
 
-/// Mutable routing-phase view: staging/delayed sinks plus metrics.
+/// Mutable routing-phase view: staging/delayed/retransmission sinks plus
+/// metrics.
 struct RouteSinks<'a, M> {
     staging: &'a mut [Vec<Staged<M>>],
     delayed: &'a mut [Vec<(u64, MsgKey, Envelope<M>)>],
+    retrans: &'a mut Vec<(u64, MsgKey, Envelope<M>)>,
     metrics: &'a mut Metrics,
 }
 
@@ -290,6 +375,10 @@ impl<M, N: Node<M>> Network<M, N> {
             traffic: vec![NodeTraffic::default(); count],
             send_seq: vec![0; count],
             faults: None,
+            node_faults: None,
+            reliable: None,
+            retrans: Vec::new(),
+            resort: false,
             outboxes: Vec::new(),
             staging: Vec::new(),
             delayed: Vec::new(),
@@ -332,6 +421,77 @@ impl<M, N: Node<M>> Network<M, N> {
         M: Clone,
     {
         Self::with_faults(nodes, faults).with_topology(topology)
+    }
+
+    /// Attaches an agent-level fault plan: fail-stop crashes (with
+    /// optional restarts), stragglers, and payload corruptors. Per-node
+    /// schedules are precomputed here from the plan's pure hashes, so the
+    /// same plan yields the same schedule at any shard or thread count.
+    ///
+    /// If the plan schedules corruption, a payload garbler must also be
+    /// set with [`with_corruptor`](Self::with_corruptor) before stepping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network has already executed a round.
+    #[must_use]
+    pub fn with_node_faults(mut self, plan: NodeFaultPlan) -> Self {
+        assert_eq!(self.round, 0, "with_node_faults: network already started");
+        let n = self.nodes.len();
+        let spans: Vec<Option<(u64, Option<u64>)>> = (0..n).map(|v| plan.crash_span(v)).collect();
+        let straggler: Vec<u64> = (0..n).map(|v| plan.straggler_delay(v)).collect();
+        let mut events: Vec<(u64, u32, bool)> = Vec::new();
+        for (v, span) in spans.iter().enumerate() {
+            if let Some((crash, restart)) = span {
+                events.push((*crash, v as u32, false));
+                if let Some(r) = restart {
+                    events.push((*r, v as u32, true));
+                }
+            }
+        }
+        events.sort_unstable();
+        self.node_faults = Some(NodeFaultState {
+            plan,
+            corrupt: None,
+            spans,
+            straggler,
+            events,
+            next_event: 0,
+        });
+        self
+    }
+
+    /// Sets the payload garbler used for the node-fault plan's corruption
+    /// faults: `garble(&mut payload, entropy)` is called on each corrupted
+    /// outgoing payload with deterministic per-message entropy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no node-fault plan is attached.
+    #[must_use]
+    pub fn with_corruptor(mut self, garble: fn(&mut M, u64)) -> Self {
+        match self.node_faults.as_mut() {
+            Some(nf) => nf.corrupt = Some(garble),
+            None => panic!("with_corruptor: call with_node_faults first"),
+        }
+        self
+    }
+
+    /// Enables the reliable-delivery layer: messages sent with
+    /// [`Context::send_reliable`] are retransmitted on loss (link drop or
+    /// crashed destination) with exponential backoff, up to the retry
+    /// budget. The engine stands in for the receiver's acknowledgement —
+    /// it knows delivery outcomes — so the timeout models the sender's
+    /// detection latency, not an extra ack message on the wire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network has already executed a round.
+    #[must_use]
+    pub fn with_reliability(mut self, cfg: ReliableConfig) -> Self {
+        assert_eq!(self.round, 0, "with_reliability: network already started");
+        self.reliable = Some(cfg);
+        self
     }
 
     /// Restricts communication to `topology` (default: complete).
@@ -453,9 +613,53 @@ impl<M, N: Node<M>> Network<M, N> {
         self.delayed.iter().map(Vec::len).sum()
     }
 
+    /// Retransmissions scheduled by the reliability layer but not yet
+    /// resent. These are *not* part of the conservation identity: the
+    /// lost copy was already accounted (dropped / lost-to-crash), and the
+    /// retransmission counts as a fresh send when it goes out.
+    pub fn pending_retransmissions(&self) -> usize {
+        self.retrans.len()
+    }
+
+    /// Consumes due crash/restart events: counts them and fires
+    /// [`Node::on_restart`] for restarting nodes. Runs serially at the
+    /// start of each step (event order is pre-sorted, so this is
+    /// deterministic).
+    fn apply_node_events(&mut self) {
+        if let Some(nf) = &self.node_faults {
+            assert!(
+                !nf.plan.has_corruption() || nf.corrupt.is_some(),
+                "NodeFaultPlan schedules corruption but no payload garbler is set; \
+                 call Network::with_corruptor"
+            );
+        }
+        loop {
+            let event = match &self.node_faults {
+                Some(nf)
+                    if nf.next_event < nf.events.len()
+                        && nf.events[nf.next_event].0 <= self.round =>
+                {
+                    nf.events[nf.next_event]
+                }
+                _ => return,
+            };
+            if let Some(nf) = &mut self.node_faults {
+                nf.next_event += 1;
+            }
+            let (_, node, is_restart) = event;
+            if is_restart {
+                self.metrics.node_restarts += 1;
+                self.nodes[node as usize].on_restart(self.round);
+            } else {
+                self.metrics.node_crashes += 1;
+            }
+        }
+    }
+
     /// Executes one round with all shards stepped inline on the calling
     /// thread. Bit-identical to [`step_parallel`](Self::step_parallel).
     pub fn step(&mut self) -> StepReport {
+        self.apply_node_events();
         let delivered = self.build_arena();
         let active_nodes = {
             let (mut runs, env) = self.shard_runs();
@@ -504,6 +708,7 @@ impl<M, N: Node<M>> Network<M, N> {
         M: Send + Sync,
         N: Send,
     {
+        self.apply_node_events();
         let delivered = self.build_arena();
         let active_nodes = {
             let (runs, env) = self.shard_runs();
@@ -547,6 +752,9 @@ impl<M, N: Node<M>> Network<M, N> {
             // unstable sort is deterministic. (`swap_remove` scrambles the
             // pending order, which is fine: delivery order comes from the
             // key sort, and pending entries are re-scanned every round.)
+            // `resort` forces the sort when last round's routing staged
+            // out-of-order traffic (retransmissions).
+            let mut needs_sort = self.resort;
             let pending = &mut self.delayed[d];
             if !pending.is_empty() {
                 let before = buf.len();
@@ -559,9 +767,47 @@ impl<M, N: Node<M>> Network<M, N> {
                         i += 1;
                     }
                 }
-                if buf.len() > before {
-                    buf.sort_unstable_by_key(|e| e.0);
+                needs_sort |= buf.len() > before;
+            }
+
+            // Fail-stop filter: a delivery to a node that is down this
+            // round is lost (counted, and retransmitted later if the
+            // message is reliable and budget remains).
+            if let Some(nf) = &self.node_faults {
+                let round = self.round;
+                let reliable = self.reliable;
+                let before = buf.len();
+                let mut i = 0usize;
+                while i < buf.len() {
+                    if nf.down_at(buf[i].1.to.0, round) {
+                        let (key, env) = buf.swap_remove(i);
+                        self.metrics.messages_lost_to_crash += 1;
+                        if let Some(rc) = reliable {
+                            if key.reliable
+                                && key.copy & 1 == 0
+                                && (key.copy >> 1) < rc.max_retries()
+                            {
+                                let due = round + rc.backoff(key.copy >> 1);
+                                self.retrans.push((
+                                    due,
+                                    MsgKey {
+                                        copy: key.copy + 2,
+                                        ..key
+                                    },
+                                    env,
+                                ));
+                            }
+                        }
+                    } else {
+                        i += 1;
+                    }
                 }
+                // swap_remove scrambled the survivors' order.
+                needs_sort |= buf.len() < before;
+            }
+
+            if needs_sort && !buf.is_empty() {
+                buf.sort_unstable_by_key(|e| e.0);
             }
 
             if buf.is_empty() {
@@ -599,6 +845,7 @@ impl<M, N: Node<M>> Network<M, N> {
             slab.extend(buf.drain(..).map(|(_, env)| env));
             delivered += slab.len();
         }
+        self.resort = false;
         self.metrics.messages_delivered += delivered as u64;
         delivered
     }
@@ -622,7 +869,11 @@ impl<M, N: Node<M>> Network<M, N> {
             let (seq_chunk, seq_rest) = seqs.split_at_mut(take);
             let (traffic_chunk, traffic_rest) = traffic.split_at_mut(take);
             let (range_chunk, range_rest) = ranges.split_at(take);
+            // Invariant: `resize_shard_buffers` sizes `slabs`/`outboxes`
+            // to exactly `self.shards`, and this loop runs `shards` times.
+            #[allow(clippy::expect_used)]
             let (slab_chunk, slab_rest) = slabs.split_first().expect("one slab per shard");
+            #[allow(clippy::expect_used)]
             let (outbox_chunk, outbox_rest) =
                 outboxes.split_first_mut().expect("one outbox per shard");
             runs.push(ShardRun {
@@ -647,86 +898,109 @@ impl<M, N: Node<M>> Network<M, N> {
             node_count,
             shard_size,
             topology: &self.topology,
+            crash_spans: self
+                .node_faults
+                .as_ref()
+                .map_or(&[][..], |nf| nf.spans.as_slice()),
         };
         (runs, env)
     }
 
     /// Phase 3: drains every shard outbox, in shard order, through the
-    /// fault gates into the per-destination-shard staging buffers.
+    /// fault gates into the per-destination-shard staging buffers, then
+    /// resends due retransmissions through the same gates.
     /// Returns the number of messages sent (before fault filtering).
     fn route(&mut self) -> usize {
         let mut sent = 0usize;
         let shard_size = self.shard_size;
-        match &self.faults {
-            None => {
-                for src in 0..self.shards {
-                    for dst in 0..self.shards {
-                        let buf = &mut self.outboxes[src][dst];
-                        sent += buf.len();
-                        self.staging[dst].append(buf);
-                    }
+        let gated = self.faults.is_some() || self.node_faults.is_some() || !self.retrans.is_empty();
+        if !gated {
+            for src in 0..self.shards {
+                for dst in 0..self.shards {
+                    let buf = &mut self.outboxes[src][dst];
+                    sent += buf.len();
+                    self.staging[dst].append(buf);
                 }
             }
-            Some(state) => {
-                let cfg = state.cfg;
-                let cloner = state.cloner;
-                let default_profile = cfg.link_faults();
-                let seed = cfg.seed();
-                let round = self.round;
-                let mut sinks = RouteSinks {
-                    staging: &mut self.staging,
-                    delayed: &mut self.delayed,
-                    metrics: &mut self.metrics,
-                };
-                for src in 0..self.shards {
-                    for dst in 0..self.shards {
-                        let mut buf = std::mem::take(&mut self.outboxes[src][dst]);
-                        sent += buf.len();
-                        for (key, env) in buf.drain(..) {
-                            let profile = self
-                                .topology
-                                .link_faults(env.from, env.to)
-                                .copied()
-                                .unwrap_or(default_profile);
-                            // Reliable links (the common case when only a
-                            // few links carry overrides) skip the fault
-                            // machinery entirely — behavior-identical,
-                            // since every decision is a pure per-message
-                            // function with zero probabilities.
-                            if profile.is_reliable() {
-                                sinks.staging[env.to.0 / shard_size].push((key, env));
-                                continue;
-                            }
-                            // The duplicate is decided first, from the
-                            // original's RNG, so it exists independently of
-                            // the original's drop/delay fate; both copies
-                            // then pass the gates independently.
-                            let mut rng = message_rng(seed, key);
-                            let dup_draw = rng.gen::<f64>();
-                            let copy = if dup_draw < profile.dup_prob {
-                                sinks.metrics.messages_duplicated += 1;
-                                Some((
-                                    MsgKey { dup: true, ..key },
-                                    Envelope {
-                                        from: env.from,
-                                        to: env.to,
-                                        payload: cloner(&env.payload),
-                                    },
-                                ))
-                            } else {
-                                None
-                            };
-                            gate_copy(&mut sinks, rng, &profile, round, shard_size, key, env);
-                            if let Some((ckey, cenv)) = copy {
-                                let mut crng = message_rng(seed, ckey);
-                                let _ = crng.gen::<f64>(); // dup slot, unused on copies
-                                gate_copy(
-                                    &mut sinks, crng, &profile, round, shard_size, ckey, cenv,
-                                );
-                            }
-                        }
-                        self.outboxes[src][dst] = buf;
+        } else {
+            let (default_profile, seed, cloner) = match &self.faults {
+                Some(state) => (
+                    state.cfg.link_faults(),
+                    state.cfg.seed(),
+                    Some(state.cloner),
+                ),
+                // Node-fault-only network: links are perfectly reliable,
+                // the node plan's seed drives any per-link overrides.
+                None => (
+                    LinkFaults::RELIABLE,
+                    self.node_faults.as_ref().map_or(0, |nf| nf.plan.seed()),
+                    None,
+                ),
+            };
+            let round = self.round;
+            let reliable_cfg = self.reliable;
+            // Due retransmissions are extracted before the sinks borrow:
+            // reschedules (a retransmission lost again) push fresh entries
+            // with due > round, so the set drained here is final.
+            let mut due: Vec<(MsgKey, Envelope<M>)> = Vec::new();
+            let mut i = 0usize;
+            while i < self.retrans.len() {
+                if self.retrans[i].0 <= round {
+                    let (_, key, env) = self.retrans.swap_remove(i);
+                    due.push((key, env));
+                } else {
+                    i += 1;
+                }
+            }
+            let mut sinks = RouteSinks {
+                staging: &mut self.staging,
+                delayed: &mut self.delayed,
+                retrans: &mut self.retrans,
+                metrics: &mut self.metrics,
+            };
+            for src in 0..self.shards {
+                for dst in 0..self.shards {
+                    let mut buf = std::mem::take(&mut self.outboxes[src][dst]);
+                    sent += buf.len();
+                    for (key, env) in buf.drain(..) {
+                        route_one(
+                            &mut sinks,
+                            &self.topology,
+                            self.node_faults.as_ref(),
+                            default_profile,
+                            seed,
+                            cloner,
+                            reliable_cfg,
+                            round,
+                            shard_size,
+                            key,
+                            env,
+                        );
                     }
+                    self.outboxes[src][dst] = buf;
+                }
+            }
+            // Retransmissions: counted as fresh sends, injected through
+            // the same gates. Their staging order is arbitrary, so the
+            // next arena build re-sorts.
+            if !due.is_empty() {
+                self.resort = true;
+                sent += due.len();
+                sinks.metrics.messages_retransmitted += due.len() as u64;
+                for (key, env) in due {
+                    route_one(
+                        &mut sinks,
+                        &self.topology,
+                        self.node_faults.as_ref(),
+                        default_profile,
+                        seed,
+                        cloner,
+                        reliable_cfg,
+                        round,
+                        shard_size,
+                        key,
+                        env,
+                    );
                 }
             }
         }
@@ -780,13 +1054,17 @@ impl<M, N: Node<M>> Network<M, N> {
             if rounds >= max_rounds {
                 return Err(MaxRoundsExceeded {
                     max_rounds,
-                    in_flight: self.in_flight() + self.delayed(),
+                    in_flight: self.in_flight() + self.delayed() + self.retrans.len(),
                 });
             }
             let report = step(self);
             rounds += 1;
             delivered += report.delivered as u64;
-            if self.in_flight() == 0 && self.delayed() == 0 && report.active_nodes == 0 {
+            if self.in_flight() == 0
+                && self.delayed() == 0
+                && self.retrans.is_empty()
+                && report.active_nodes == 0
+            {
                 return Ok(RunReport { rounds, delivered });
             }
         }
@@ -810,13 +1088,31 @@ struct StepEnv<'a> {
     node_count: usize,
     shard_size: usize,
     topology: &'a Topology,
+    /// Per-node crash schedules (empty without node faults).
+    crash_spans: &'a [Option<(u64, Option<u64>)>],
 }
 
 impl StepEnv<'_> {
+    /// Whether the node is crashed (and not yet restarted) this round.
+    fn down(&self, node: usize) -> bool {
+        if self.crash_spans.is_empty() {
+            return false;
+        }
+        match self.crash_spans[node] {
+            Some((crash, restart)) => self.round >= crash && restart.is_none_or(|r| self.round < r),
+            None => false,
+        }
+    }
+
     /// Steps one shard's nodes in id order; returns its active-node count.
     fn run_shard<M, N: Node<M>>(&self, run: &mut ShardRun<'_, M, N>) -> usize {
         let mut active = 0usize;
         for (i, node) in run.nodes.iter_mut().enumerate() {
+            // Fail-stop: a downed node executes nothing (its inbox was
+            // already discarded during the arena build).
+            if self.down(run.start + i) {
+                continue;
+            }
             let (start, end) = run.ranges[i];
             let inbox = &run.slab[start..end];
             let seq_before = run.send_seq[i];
@@ -844,11 +1140,113 @@ impl StepEnv<'_> {
     }
 }
 
-/// Applies drop and delay gates to one message copy and stages it.
+/// Routes one outbound message copy through corruption, duplication,
+/// drop, and delay gates.
+#[allow(clippy::too_many_arguments)]
+fn route_one<M>(
+    sinks: &mut RouteSinks<'_, M>,
+    topology: &Topology,
+    node_faults: Option<&NodeFaultState<M>>,
+    default_profile: LinkFaults,
+    seed: u64,
+    cloner: Option<fn(&M) -> M>,
+    reliable_cfg: Option<ReliableConfig>,
+    round: u64,
+    shard_size: usize,
+    key: MsgKey,
+    mut env: Envelope<M>,
+) {
+    let profile = topology
+        .link_faults(env.from, env.to)
+        .copied()
+        .unwrap_or(default_profile);
+    let straggler = node_faults.map_or(0, |nf| nf.straggler[env.from.0]);
+    // Corruption garbles the node's original emission (copy 0) only:
+    // duplicates below clone the already-garbled payload, and
+    // retransmissions resend the payload exactly as first transmitted.
+    if key.copy == 0 {
+        if let Some(nf) = node_faults {
+            if let Some(garble) = nf.corrupt {
+                if nf.plan.corrupts_message(key.from, key.seq) {
+                    garble(
+                        &mut env.payload,
+                        nf.plan.corruption_entropy(key.from, key.seq),
+                    );
+                    sinks.metrics.messages_corrupted += 1;
+                }
+            }
+        }
+    }
+    // Reliable links with a punctual sender skip the gate machinery
+    // entirely — behavior-identical, since every decision is a pure
+    // per-message function with zero probabilities.
+    if profile.is_reliable() && straggler == 0 {
+        sinks.staging[env.to.0 / shard_size].push((key, env));
+        return;
+    }
+    // The duplicate is decided first, from the original's RNG, so it
+    // exists independently of the original's drop/delay fate; both copies
+    // then pass the gates independently.
+    let mut rng = message_rng(seed, key);
+    let dup_draw = rng.gen::<f64>();
+    let copy = if dup_draw < profile.dup_prob {
+        // Invariant: duplication faults are only reachable through
+        // `with_faults`/`with_link_model`, both of which capture a cloner.
+        #[allow(clippy::expect_used)]
+        let cloner = cloner.expect("duplication faults require a payload cloner (with_faults)");
+        sinks.metrics.messages_duplicated += 1;
+        Some((
+            MsgKey {
+                copy: key.copy | 1,
+                ..key
+            },
+            Envelope {
+                from: env.from,
+                to: env.to,
+                payload: cloner(&env.payload),
+            },
+        ))
+    } else {
+        None
+    };
+    gate_copy(
+        sinks,
+        rng,
+        &profile,
+        straggler,
+        reliable_cfg,
+        round,
+        shard_size,
+        key,
+        env,
+    );
+    if let Some((ckey, cenv)) = copy {
+        let mut crng = message_rng(seed, ckey);
+        let _ = crng.gen::<f64>(); // dup slot, unused on copies
+        gate_copy(
+            sinks,
+            crng,
+            &profile,
+            straggler,
+            reliable_cfg,
+            round,
+            shard_size,
+            ckey,
+            cenv,
+        );
+    }
+}
+
+/// Applies drop and delay gates to one message copy and stages it. A
+/// dropped reliable original schedules a retransmission (duplicate copies
+/// are best-effort bonus traffic and never retransmitted).
+#[allow(clippy::too_many_arguments)]
 fn gate_copy<M>(
     sinks: &mut RouteSinks<'_, M>,
     mut rng: SmallRng,
     profile: &LinkFaults,
+    straggler_extra: u64,
+    reliable_cfg: Option<ReliableConfig>,
     round: u64,
     shard_size: usize,
     key: MsgKey,
@@ -857,13 +1255,25 @@ fn gate_copy<M>(
     let drop_draw = rng.gen::<f64>();
     if drop_draw < profile.drop_prob {
         sinks.metrics.messages_dropped += 1;
+        if let Some(rc) = reliable_cfg {
+            if key.reliable && key.copy & 1 == 0 && (key.copy >> 1) < rc.max_retries() {
+                let due = round + rc.backoff(key.copy >> 1);
+                sinks.retrans.push((
+                    due,
+                    MsgKey {
+                        copy: key.copy + 2,
+                        ..key
+                    },
+                    env,
+                ));
+            }
+        }
         return;
     }
-    let extra = if profile.max_delay > 0 {
-        rng.gen_range(0..=profile.max_delay)
-    } else {
-        0
-    };
+    let mut extra = straggler_extra;
+    if profile.max_delay > 0 {
+        extra += rng.gen_range(0..=profile.max_delay);
+    }
     let dst = env.to.0 / shard_size;
     if extra > 0 {
         sinks.metrics.messages_delayed += 1;
@@ -1328,18 +1738,221 @@ mod tests {
 
     #[test]
     fn message_rng_distinguishes_copies() {
-        let a = MsgKey {
+        let key = |copy: u16| MsgKey {
             from: 1,
             seq: 5,
-            dup: false,
+            copy,
+            reliable: false,
         };
-        let b = MsgKey {
-            from: 1,
-            seq: 5,
-            dup: true,
+        let draw = |copy: u16| message_rng(99, key(copy)).gen::<u64>();
+        assert_ne!(draw(0), draw(1));
+        // Retransmission attempts redraw fresh decisions.
+        assert_ne!(draw(0), draw(2));
+        assert_ne!(draw(2), draw(4));
+        // The reliable flag never shifts the fault mapping.
+        let mut reliable = key(0);
+        reliable.reliable = true;
+        assert_eq!(draw(0), message_rng(99, reliable).gen::<u64>());
+    }
+
+    /// Nodes that crash before their send round go silent; deliveries to
+    /// a downed node are counted as lost-to-crash and conservation holds.
+    #[test]
+    fn crashed_nodes_lose_traffic_and_conserve() {
+        // All 4 nodes crash at round 1 permanently: round-0 floods are
+        // sent, but every delivery (due round 1) is lost.
+        let plan = NodeFaultPlan::new(5).with_crashes(1.0, (1, 1)).unwrap();
+        let nodes: Vec<Flood> = (0..4).map(|_| Flood { received: 0 }).collect();
+        let mut net: Network<u8, Flood> = Network::new(nodes).with_node_faults(plan);
+        net.run_until_quiescent(10).unwrap();
+        let m = *net.metrics();
+        assert_eq!(m.messages_sent, 12);
+        assert_eq!(m.messages_lost_to_crash, 12);
+        assert_eq!(m.messages_delivered, 0);
+        assert_eq!(m.node_crashes, 4);
+        assert_eq!(m.node_restarts, 0);
+        assert!(m.conserves(net.in_flight(), net.delayed()));
+        for node in net.nodes() {
+            assert_eq!(node.received, 0);
+        }
+    }
+
+    /// A node with a restart schedule gets `on_restart` called and is
+    /// stepped again after the outage.
+    #[test]
+    fn restart_wipes_state_and_resumes_stepping() {
+        /// Records every round it executes plus restart notifications.
+        struct Diary {
+            rounds: Vec<u64>,
+            restarts: Vec<u64>,
+        }
+        impl Node<u8> for Diary {
+            fn on_round(&mut self, ctx: &mut Context<'_, u8>) -> Activity {
+                self.rounds.push(ctx.round());
+                if ctx.round() < 8 {
+                    Activity::Active
+                } else {
+                    Activity::Idle
+                }
+            }
+            fn on_restart(&mut self, round: u64) {
+                self.restarts.push(round);
+                self.rounds.clear(); // wiped state
+            }
+        }
+        let plan = NodeFaultPlan::new(3)
+            .with_crashes(1.0, (2, 2))
+            .unwrap()
+            .with_restarts(3);
+        let nodes = vec![Diary {
+            rounds: vec![],
+            restarts: vec![],
+        }];
+        let mut net: Network<u8, Diary> = Network::new(nodes).with_node_faults(plan);
+        for _ in 0..9 {
+            net.step();
+        }
+        let diary = net.node(NodeId(0));
+        assert_eq!(diary.restarts, vec![5]);
+        // Rounds 2–4 skipped (down), state wiped at 5, then 5..=8 run.
+        assert_eq!(diary.rounds, vec![5, 6, 7, 8]);
+        assert_eq!(net.metrics().node_crashes, 1);
+        assert_eq!(net.metrics().node_restarts, 1);
+    }
+
+    /// Straggler senders delay *all* their traffic by the configured
+    /// extra rounds; everything still arrives and conservation holds.
+    #[test]
+    fn stragglers_delay_but_deliver() {
+        let plan = NodeFaultPlan::new(8).with_stragglers(1.0, 3).unwrap();
+        let nodes: Vec<Flood> = (0..4).map(|_| Flood { received: 0 }).collect();
+        let mut net: Network<u8, Flood> = Network::new(nodes).with_node_faults(plan);
+        let report = net.run_until_quiescent(20).unwrap();
+        assert_eq!(net.metrics().messages_delivered, 12);
+        assert_eq!(net.metrics().messages_delayed, 12);
+        assert!(report.rounds >= 4, "straggler delay must stretch the run");
+        assert!(net.metrics().conserves(net.in_flight(), net.delayed()));
+        for node in net.nodes() {
+            assert_eq!(node.received, 3);
+        }
+    }
+
+    /// Corruptor nodes garble payloads deterministically; the messages
+    /// still arrive (corruption is not loss) and are counted.
+    #[test]
+    fn corruptors_garble_payloads_deterministically() {
+        let run = || {
+            let plan = NodeFaultPlan::new(6).with_corruption(1.0, 0.5).unwrap();
+            let nodes: Vec<Flood> = (0..4).map(|_| Flood { received: 0 }).collect();
+            let mut net: Network<u8, Flood> = Network::new(nodes)
+                .with_node_faults(plan)
+                .with_corruptor(|payload, entropy| *payload ^= entropy as u8);
+            net.run_until_quiescent(10).unwrap();
+            (
+                net.metrics().messages_corrupted,
+                net.nodes().iter().map(|n| n.received).collect::<Vec<_>>(),
+            )
         };
-        let mut ra = message_rng(99, a);
-        let mut rb = message_rng(99, b);
-        assert_ne!(ra.gen::<u64>(), rb.gen::<u64>());
+        let (corrupted, received) = run();
+        assert!(corrupted > 0, "some payloads must be garbled");
+        assert!(corrupted < 12, "per-message draw should not garble all");
+        assert_eq!(received, vec![3, 3, 3, 3], "corruption is not loss");
+        assert_eq!(run(), (corrupted, received), "must replay identically");
+    }
+
+    #[test]
+    #[should_panic(expected = "no payload garbler")]
+    fn corruption_without_garbler_panics() {
+        let plan = NodeFaultPlan::new(1).with_corruption(0.5, 0.5).unwrap();
+        let mut net: Network<u8, Flood> =
+            Network::new(vec![Flood { received: 0 }]).with_node_faults(plan);
+        net.step();
+    }
+
+    /// The reliability layer retransmits a dropped reliable message until
+    /// it gets through, with the retry budget bounding the attempts.
+    #[test]
+    fn reliable_sends_survive_heavy_loss() {
+        /// Node 0 reliably sends one payload to node 1 in round 0.
+        struct OneShot {
+            got: Vec<u8>,
+        }
+        impl Node<u8> for OneShot {
+            fn on_round(&mut self, ctx: &mut Context<'_, u8>) -> Activity {
+                if ctx.round() == 0 && ctx.id().0 == 0 {
+                    ctx.send_reliable(NodeId(1), 42);
+                }
+                for env in ctx.inbox() {
+                    self.got.push(env.payload);
+                }
+                Activity::Idle
+            }
+        }
+        // Find a seed where the first two copies drop but a retry lands.
+        let outcome = |seed: u64, retries: u16| {
+            let cfg = FaultConfig::new(0.7, 0.0, seed).unwrap();
+            let nodes = vec![OneShot { got: vec![] }, OneShot { got: vec![] }];
+            let mut net =
+                Network::with_faults(nodes, cfg).with_reliability(ReliableConfig::new(2, retries));
+            // Budget covers the full exponential backoff chain:
+            // 2 + 4 + … + 64 ≈ 126 rounds for six retries.
+            net.run_until_quiescent(200).unwrap();
+            (
+                net.node(NodeId(1)).got.clone(),
+                net.metrics().messages_retransmitted,
+            )
+        };
+        let mut saw_retry_success = false;
+        for seed in 0..40 {
+            let (got, retrans) = outcome(seed, 6);
+            if !got.is_empty() && retrans > 0 {
+                saw_retry_success = true;
+                assert_eq!(got, vec![42]);
+            }
+        }
+        assert!(saw_retry_success, "no seed exercised a successful retry");
+        // Budget of zero retries: the drop (if any) is final.
+        for seed in 0..10 {
+            let (_, retrans) = outcome(seed, 0);
+            assert_eq!(retrans, 0);
+        }
+    }
+
+    /// Retransmissions keep the conservation identity: lost copies are
+    /// accounted when lost, resends count as fresh sends.
+    #[test]
+    fn reliability_preserves_conservation() {
+        struct Chatty;
+        impl Node<u8> for Chatty {
+            fn on_round(&mut self, ctx: &mut Context<'_, u8>) -> Activity {
+                if ctx.round() < 3 {
+                    for peer in 0..ctx.node_count() {
+                        if peer != ctx.id().0 {
+                            ctx.send_reliable(NodeId(peer), ctx.round() as u8);
+                        }
+                    }
+                    return Activity::Active;
+                }
+                Activity::Idle
+            }
+        }
+        let cfg = FaultConfig::new(0.4, 0.2, 19).unwrap().with_max_delay(2);
+        let nodes: Vec<Chatty> = (0..6).map(|_| Chatty).collect();
+        let mut net = Network::with_faults(nodes, cfg)
+            .with_reliability(ReliableConfig::new(1, 3))
+            .with_shards(2);
+        for _ in 0..40 {
+            net.step_parallel();
+            assert!(
+                net.metrics().conserves(net.in_flight(), net.delayed()),
+                "conservation violated: {:?} in_flight={} delayed={} retrans={}",
+                net.metrics(),
+                net.in_flight(),
+                net.delayed(),
+                net.pending_retransmissions()
+            );
+        }
+        assert!(net.metrics().messages_retransmitted > 0);
+        assert_eq!(net.pending_retransmissions(), 0, "budget must exhaust");
     }
 }

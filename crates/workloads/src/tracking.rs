@@ -243,7 +243,7 @@ mod tests {
             &SirDynamics::new(3, 1.5, 0.3),
             128,
             &cfg,
-            SelectionStrategy::GossipThreshold,
+            SelectionStrategy::gossip(),
             11,
         );
         assert_eq!(reports.len(), 3);

@@ -34,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // gossip threshold bisection — agents learn only their own bit, no
     // sorting network is ever built, and the bisection stops as soon as
     // the k-th score is isolated (or only exact ties remain).
-    let gossip = distributed::run_protocol_with(&run, SelectionStrategy::GossipThreshold)?;
+    let gossip = distributed::run_protocol_with(&run, SelectionStrategy::gossip())?;
     println!(
         "gossip-threshold protocol: {} messages, {} rounds ({} adaptive probes), \
          matches sorting network = {}",

@@ -57,7 +57,7 @@ fn main() {
         "{:<8} {:>10} {:>12} {:>8} {:>10} {:>12}",
         "epoch", "infectious", "overlap", "exact", "rounds", "messages"
     );
-    for r in track_protocol(&model, n, &cfg, SelectionStrategy::GossipThreshold, 2_024) {
+    for r in track_protocol(&model, n, &cfg, SelectionStrategy::gossip(), 2_024) {
         println!(
             "{:<8} {:>10} {:>11.0}% {:>8} {:>10} {:>12}",
             r.epoch,

@@ -234,6 +234,119 @@ fn sharded_topology_runs_are_identical() {
     }
 }
 
+/// Agent-level chaos rides on the same pure per-identity hashes as the
+/// message faults: a gossip run under fail-stop crashes (with restarts),
+/// stragglers and payload corruption is bit-identical — estimates and
+/// every fault counter — for every shard count in {1, 2, 8} and every
+/// thread count in {1, 4}.
+#[test]
+fn chaos_network_is_identical_across_shard_and_thread_counts() {
+    use noisy_pooled_data::netsim::gossip::PushSumMsg;
+    use noisy_pooled_data::netsim::NodeFaultPlan;
+
+    fn garble(msg: &mut PushSumMsg, entropy: u64) {
+        msg.s += ((entropy % 1024) as f64 - 512.0) * 0.01;
+    }
+
+    let values: Vec<f64> = (0..80).map(|i| ((i as f64) * 1.31).cos() * 8.0).collect();
+    let faults = FaultConfig::new(0.05, 0.05, 7).unwrap().with_max_delay(2);
+    let plan = NodeFaultPlan::new(0xC4A0)
+        .with_crashes(0.2, (2, 8))
+        .unwrap()
+        .with_restarts(3)
+        .with_stragglers(0.1, 2)
+        .unwrap()
+        .with_corruption(0.15, 0.5)
+        .unwrap();
+    let run = |shards: usize, threads: usize| -> (Vec<u64>, Metrics) {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        pool.install(|| {
+            let nodes: Vec<PushSumNode> = values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| PushSumNode::new(v, 30, 19, i))
+                .collect();
+            let mut net = Network::with_faults(nodes, faults)
+                .with_node_faults(plan)
+                .with_corruptor(garble)
+                .with_shards(shards);
+            net.run_until_quiescent_parallel(120).unwrap();
+            let estimates = net.nodes().iter().map(|n| n.estimate().to_bits()).collect();
+            (estimates, *net.metrics())
+        })
+    };
+    let reference = run(1, 1);
+    assert!(reference.1.node_crashes > 0, "no crashes drawn");
+    assert!(reference.1.node_restarts > 0, "no restarts drawn");
+    assert!(reference.1.messages_corrupted > 0, "no corruption drawn");
+    assert!(
+        reference.1.messages_lost_to_crash > 0,
+        "no messages lost to crashed nodes"
+    );
+    for shards in [1usize, 2, 8] {
+        for threads in [1usize, 4] {
+            assert_eq!(
+                run(shards, threads),
+                reference,
+                "shards={shards} threads={threads}"
+            );
+        }
+    }
+}
+
+/// The full chaos protocol entry point — crashes with restarts plus
+/// payload corruption with winsorized folds — obeys the same contract:
+/// the whole degraded outcome (quorum, liveness, counters, estimate) is
+/// identical at any thread count.
+#[test]
+fn chaos_protocol_is_identical_across_thread_counts() {
+    use noisy_pooled_data::core::distributed::{ProtocolOptions, SelectionStrategy};
+    use noisy_pooled_data::netsim::NodeFaultPlan;
+
+    let run = sample_run(128, 3, 100, NoiseModel::z_channel(0.1), 33);
+    let plan = NodeFaultPlan::new(0x0DDB)
+        .with_crashes(0.15, (1, 8))
+        .unwrap()
+        .with_restarts(4)
+        .with_corruption(0.05, 1.0)
+        .unwrap();
+    let options = ProtocolOptions {
+        strategy: SelectionStrategy::gossip(),
+        node_faults: Some(plan),
+        winsorize: true,
+        ..ProtocolOptions::default()
+    };
+    let pool1 = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap();
+    let reference = pool1.install(|| distributed::run_protocol_chaos(&run, options).unwrap());
+    assert!(reference.metrics.node_crashes > 0, "no crashes drawn");
+    assert!(
+        reference.metrics.messages_corrupted > 0,
+        "no corruption drawn"
+    );
+    assert_eq!(reference.agent_liveness.len(), 128);
+    assert_eq!(
+        reference.achieved_quorum,
+        128 - reference.missing_assignments
+    );
+    for threads in [2usize, 4] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        assert_eq!(
+            pool.install(|| distributed::run_protocol_chaos(&run, options).unwrap()),
+            reference,
+            "threads={threads}"
+        );
+    }
+}
+
 /// The distributed protocol (which picks its shard count from the ambient
 /// rayon pool) returns identical outcomes at any thread count, with and
 /// without fault injection.
@@ -274,8 +387,7 @@ fn gossip_strategy_protocol_is_identical_across_thread_counts() {
     let run = sample_run(128, 3, 100, NoiseModel::z_channel(0.1), 32);
     let faults = FaultConfig::new(0.02, 0.05, 11).unwrap().with_max_delay(2);
     let gossip = |faults: Option<FaultConfig>| {
-        distributed::run_protocol_configured(&run, SelectionStrategy::GossipThreshold, faults)
-            .unwrap()
+        distributed::run_protocol_configured(&run, SelectionStrategy::gossip(), faults).unwrap()
     };
     let pool1 = rayon::ThreadPoolBuilder::new()
         .num_threads(1)
@@ -350,7 +462,7 @@ fn temporal_workload_tracking_is_identical_across_thread_counts() {
         pool.install(|| {
             (
                 track_greedy(&model, 128, &cfg, 13),
-                track_protocol(&model, 128, &cfg, SelectionStrategy::GossipThreshold, 13),
+                track_protocol(&model, 128, &cfg, SelectionStrategy::gossip(), 13),
             )
         })
     };

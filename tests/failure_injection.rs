@@ -3,8 +3,8 @@
 //! machinery end to end).
 
 use noisy_pooled_data::core::{distributed, Instance, NoiseModel};
-use noisy_pooled_data::netsim::gossip::PushSumNode;
-use noisy_pooled_data::netsim::{FaultConfig, Network, StepReport};
+use noisy_pooled_data::netsim::gossip::{PushSumMsg, PushSumNode};
+use noisy_pooled_data::netsim::{FaultConfig, Network, NodeFaultPlan, StepReport};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -85,16 +85,73 @@ fn duplication_only_faults_keep_termination_and_shape() {
     assert_eq!(outcome.estimate.bits().len(), 128);
 }
 
+#[test]
+fn protocol_completes_under_crashes_and_corruption() {
+    // The chaos acceptance bar: with 10% of nodes fail-stop crashing in
+    // the opening rounds and 5% garbling every payload they send, both
+    // phase-II strategies complete cleanly — no panic, no hang to the
+    // round budget — and the outcome reports the degraded quorum.
+    use distributed::{ProtocolOptions, SelectionStrategy};
+    let run = sample_run(200, 8);
+    let plan = NodeFaultPlan::new(41)
+        .with_crashes(0.10, (1, 8))
+        .unwrap()
+        .with_corruption(0.05, 1.0)
+        .unwrap();
+    for strategy in [SelectionStrategy::BatcherSort, SelectionStrategy::gossip()] {
+        let outcome = distributed::run_protocol_chaos(
+            &run,
+            ProtocolOptions {
+                strategy,
+                node_faults: Some(plan),
+                winsorize: true,
+                ..ProtocolOptions::default()
+            },
+        )
+        .expect("chaos run must terminate cleanly, not exhaust the round budget");
+        assert!(
+            outcome.metrics.node_crashes > 0,
+            "{strategy:?}: no crashes drawn"
+        );
+        assert!(
+            outcome.metrics.messages_corrupted > 0,
+            "{strategy:?}: no corruption drawn"
+        );
+        assert_eq!(outcome.agent_liveness.len(), 128);
+        assert_eq!(outcome.achieved_quorum, 128 - outcome.missing_assignments);
+        assert!(
+            outcome.achieved_quorum < 128,
+            "{strategy:?}: crashes should cost some agents their decision"
+        );
+        assert!(
+            outcome.achieved_quorum > 64,
+            "{strategy:?}: 10% crashes should leave a clear quorum majority \
+             (got {})",
+            outcome.achieved_quorum
+        );
+        let dead = outcome.agent_liveness.iter().filter(|&&l| !l).count();
+        assert!(
+            dead > 0,
+            "{strategy:?}: liveness map should record the dead"
+        );
+    }
+}
+
 /// One faulted gossip run: `rounds` steps of push-sum under the given
-/// fault config and shard count, on the given rayon thread count.
-/// Returns every step report, the conservation check per step, and the
-/// final bit-exact estimates.
+/// fault config, optional agent-level fault plan, and shard count, on the
+/// given rayon thread count. Conservation (the extended identity, crash
+/// losses included) is asserted at every round boundary. Returns every
+/// step report and the final bit-exact estimates.
 fn faulted_gossip_run(
     faults: FaultConfig,
+    plan: Option<NodeFaultPlan>,
     shards: usize,
     threads: usize,
     rounds: usize,
 ) -> (Vec<StepReport>, Vec<u64>) {
+    fn garble(msg: &mut PushSumMsg, entropy: u64) {
+        msg.s += ((entropy % 1024) as f64 - 512.0) * 0.01;
+    }
     let pool = rayon::ThreadPoolBuilder::new()
         .num_threads(threads)
         .build()
@@ -104,6 +161,9 @@ fn faulted_gossip_run(
             .map(|i| PushSumNode::new((i as f64) - 11.5, rounds, 77, i))
             .collect();
         let mut net = Network::with_faults(nodes, faults).with_shards(shards);
+        if let Some(plan) = plan {
+            net = net.with_node_faults(plan).with_corruptor(garble);
+        }
         let mut reports = Vec::with_capacity(rounds);
         for _ in 0..rounds {
             reports.push(net.step_parallel());
@@ -141,9 +201,43 @@ mod proptests {
             let faults = FaultConfig::new(drop_p, dup_p, seed)
                 .unwrap()
                 .with_max_delay(max_delay);
-            let reference = faulted_gossip_run(faults, 1, 1, 12);
+            let reference = faulted_gossip_run(faults, None, 1, 1, 12);
             for (shards, threads) in [(2usize, 1usize), (8, 4), (1, 4)] {
-                let got = faulted_gossip_run(faults, shards, threads, 12);
+                let got = faulted_gossip_run(faults, None, shards, threads, 12);
+                prop_assert_eq!(&got, &reference);
+            }
+        }
+
+        /// Agent-level chaos on top of the message faults: fail-stop
+        /// crashes (with and without restarts), stragglers and payload
+        /// corruption still conserve the extended identity
+        /// `sent + duplicated == delivered + dropped + in_flight +
+        /// delayed + lost_to_crash` at every round boundary, and the whole
+        /// run replays bit-identically across shard and thread counts.
+        #[test]
+        fn chaos_runs_conserve_and_replay(
+            crash_frac in 0.0f64..0.5,
+            // 0 = fail-stop forever; 1..=3 = restart after that many rounds.
+            restart_after in 0u64..4,
+            corrupt_frac in 0.0f64..0.5,
+            seed in 0u64..1_000,
+        ) {
+            let mut plan = NodeFaultPlan::new(seed)
+                .with_crashes(crash_frac, (1, 6))
+                .unwrap()
+                .with_stragglers(0.2, 1)
+                .unwrap()
+                .with_corruption(corrupt_frac, 0.5)
+                .unwrap();
+            if restart_after > 0 {
+                plan = plan.with_restarts(restart_after);
+            }
+            let faults = FaultConfig::new(0.1, 0.1, seed ^ 0xF00D)
+                .unwrap()
+                .with_max_delay(2);
+            let reference = faulted_gossip_run(faults, Some(plan), 1, 1, 12);
+            for (shards, threads) in [(2usize, 1usize), (8, 4), (1, 4)] {
+                let got = faulted_gossip_run(faults, Some(plan), shards, threads, 12);
                 prop_assert_eq!(&got, &reference);
             }
         }

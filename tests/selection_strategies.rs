@@ -87,7 +87,7 @@ proptest! {
             .build()
             .unwrap()
             .sample(&mut StdRng::seed_from_u64(seed));
-        let outcome = distributed::run_protocol_with(&run, SelectionStrategy::GossipThreshold)
+        let outcome = distributed::run_protocol_with(&run, SelectionStrategy::gossip())
             .expect("fault-free protocol quiesces");
         let sequential = GreedyDecoder::new().decode(&run);
         prop_assert_eq!(outcome.estimate, sequential);
@@ -116,8 +116,7 @@ fn four_way_agreement_including_k_equals_n() {
         let decoder = GreedyDecoder::new();
         let sequential = decoder.decode(&run);
         let batcher = distributed::run_protocol(&run).unwrap();
-        let gossip =
-            distributed::run_protocol_with(&run, SelectionStrategy::GossipThreshold).unwrap();
+        let gossip = distributed::run_protocol_with(&run, SelectionStrategy::gossip()).unwrap();
         let standalone = select_top_k(&decoder.scores(&run), k);
         assert_eq!(batcher.estimate, sequential, "batcher n={n} k={k}");
         assert_eq!(gossip.estimate, sequential, "gossip n={n} k={k}");
