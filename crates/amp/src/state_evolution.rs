@@ -98,8 +98,11 @@ pub fn evolve<D: Denoiser>(denoiser: &D, config: &StateEvolutionConfig) -> Vec<f
 /// Convenience: the final `τ²` of [`evolve`] — the (approximate) fixed
 /// point.
 pub fn fixed_point<D: Denoiser>(denoiser: &D, config: &StateEvolutionConfig) -> f64 {
-    *evolve(denoiser, config)
+    let trace = evolve(denoiser, config);
+    #[allow(clippy::expect_used)]
+    *trace
         .last()
+        // xtask:allow(unwrap-audit): evolve unconditionally pushes the initialization before iterating, so the trace is never empty
         .expect("evolve always returns the initialization")
 }
 

@@ -39,8 +39,11 @@
 //! assert!(overlap(&bp, run.ground_truth()) > 0.9);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used)]
+#![warn(clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod bp;
 pub mod ista;

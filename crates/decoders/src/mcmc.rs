@@ -18,7 +18,6 @@ use npd_core::{Decoder, Estimate, GreedyDecoder, NoiseModel, Run};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Which per-query energy the chain minimizes.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -223,7 +222,13 @@ impl McmcDecoder {
         let mut rng = SmallRng::seed_from_u64(self.config.seed);
         let beta_ratio = self.config.beta_end / self.config.beta_start;
         let mut accepted = 0;
-        let mut delta: HashMap<u32, i64> = HashMap::new();
+        // Per-proposal count deltas, keyed by query id and kept in
+        // ascending query order: the energy difference below is a float
+        // sum, so its accumulation order must be deterministic (contract
+        // rule 8 — an unordered `HashMap` here once made `diff` depend on
+        // the per-process hash seed). Both adjacency lists are sorted by
+        // construction, so a linear merge yields the sorted delta.
+        let mut delta: Vec<(u32, i64)> = Vec::new();
 
         for step in 0..self.config.steps {
             if ones.is_empty() || zeros.is_empty() {
@@ -241,15 +246,13 @@ impl McmcDecoder {
             let agent_out = ones[pos_out];
             let agent_in = zeros[pos_in];
 
-            delta.clear();
-            for &(j, c) in &adjacency[agent_out as usize] {
-                *delta.entry(j).or_insert(0) -= c as i64;
-            }
-            for &(j, c) in &adjacency[agent_in as usize] {
-                *delta.entry(j).or_insert(0) += c as i64;
-            }
+            merge_deltas(
+                &adjacency[agent_out as usize],
+                &adjacency[agent_in as usize],
+                &mut delta,
+            );
             let mut diff = 0.0;
-            for (&j, &d) in &delta {
+            for &(j, d) in &delta {
                 if d != 0 {
                     let j = j as usize;
                     diff += query_energy(j, c1[j] + d) - query_energy(j, c1[j]);
@@ -260,7 +263,7 @@ impl McmcDecoder {
             if accept {
                 accepted += 1;
                 energy += diff;
-                for (&j, &d) in &delta {
+                for &(j, d) in &delta {
                     c1[j as usize] += d;
                 }
                 // Swap membership and occupancy accounting.
@@ -298,6 +301,32 @@ impl McmcDecoder {
             best_ones,
         }
     }
+}
+
+/// Merges the two swapped agents' adjacency lists (each sorted by query
+/// id) into per-query one-count deltas, `agent_out` contributing `-c` and
+/// `agent_in` contributing `+c`. `delta` comes back sorted by query id, so
+/// downstream float accumulation has a fixed order.
+fn merge_deltas(out_adj: &[(u32, u32)], in_adj: &[(u32, u32)], delta: &mut Vec<(u32, i64)>) {
+    delta.clear();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < out_adj.len() && j < in_adj.len() {
+        let (jo, co) = out_adj[i];
+        let (ji, ci) = in_adj[j];
+        if jo < ji {
+            delta.push((jo, -(co as i64)));
+            i += 1;
+        } else if ji < jo {
+            delta.push((ji, ci as i64));
+            j += 1;
+        } else {
+            delta.push((jo, ci as i64 - co as i64));
+            i += 1;
+            j += 1;
+        }
+    }
+    delta.extend(out_adj[i..].iter().map(|&(q, c)| (q, -(c as i64))));
+    delta.extend(in_adj[j..].iter().map(|&(q, c)| (q, c as i64)));
 }
 
 /// The noiseless exact likelihood is an indicator — useless as an annealing

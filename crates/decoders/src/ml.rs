@@ -166,7 +166,9 @@ impl Decoder for MlDecoder {
     /// Panics if the search space exceeds the limit; use
     /// [`MlDecoder::try_decode`] for fallible decoding.
     fn decode(&self, run: &Run) -> Estimate {
+        #[allow(clippy::expect_used)]
         self.try_decode(run)
+            // xtask:allow(unwrap-audit): documented panic contract of `decode`; `try_decode` is the fallible path
             .expect("MlDecoder::decode: search space exceeds limit")
     }
 

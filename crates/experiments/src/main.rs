@@ -213,6 +213,7 @@ fn execute(cli: Cli) -> ExitCode {
     };
 
     for target in targets {
+        // xtask:allow(wall-clock): elapsed time is printed for the human, never written into a report/CSV
         let start = Instant::now();
         let report = run_target(target, &opts);
         let elapsed = start.elapsed();
@@ -260,6 +261,7 @@ fn execute_scenarios(cli: &Cli, opts: &RunOptions) -> ExitCode {
                 vec![scenarios::find(name).expect("validated in parse()")]
             };
             for scenario in targets {
+                // xtask:allow(wall-clock): elapsed time is printed for the human, never written into a report/CSV
                 let start = Instant::now();
                 let report = scenarios::run(&scenario, opts);
                 let elapsed = start.elapsed();

@@ -205,6 +205,7 @@ pub fn push_sum_report_on(
     // `rounds + 2` budget always suffices on a fault-free network.
     #[allow(clippy::expect_used)]
     net.run_until_quiescent_parallel(rounds as u64 + 2)
+        // xtask:allow(unwrap-audit): the idle-once-done node design makes the budget sufficient by construction (see invariant above)
         .expect("push-sum quiesces after its round budget by construction");
     PushSumReport {
         estimates: net.nodes().iter().map(PushSumNode::estimate).collect(),
@@ -893,6 +894,7 @@ fn run_topk(mut net: Network<TopKMsg, TopKNode>, n: usize, max_delay: u64) -> To
     // model's maximum delay) bounds the run unconditionally.
     #[allow(clippy::expect_used)]
     net.run_until_quiescent_parallel(budget)
+        // xtask:allow(unwrap-audit): fixed-length phases bound the run unconditionally (see invariant above)
         .expect("every node decides within the probe-limit budget");
     let rounds = net.metrics().rounds;
     let messages = net.metrics().messages_sent;
@@ -910,6 +912,7 @@ fn run_topk(mut net: Network<TopKMsg, TopKNode>, n: usize, max_delay: u64) -> To
             // node in `PhaseKind::Done`, which always carries a decision.
             #[allow(clippy::expect_used)]
             node.decision()
+                // xtask:allow(unwrap-audit): quiescence within budget leaves every node in Done, which carries a decision
                 .expect("adaptive phases always reach a decision")
                 .selected
         })

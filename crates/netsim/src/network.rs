@@ -872,9 +872,11 @@ impl<M, N: Node<M>> Network<M, N> {
             // Invariant: `resize_shard_buffers` sizes `slabs`/`outboxes`
             // to exactly `self.shards`, and this loop runs `shards` times.
             #[allow(clippy::expect_used)]
+            // xtask:allow(unwrap-audit): resize_shard_buffers sizes slabs to exactly `shards`, and this loop runs `shards` times
             let (slab_chunk, slab_rest) = slabs.split_first().expect("one slab per shard");
             #[allow(clippy::expect_used)]
             let (outbox_chunk, outbox_rest) =
+                // xtask:allow(unwrap-audit): resize_shard_buffers sizes outboxes to exactly `shards`, and this loop runs `shards` times
                 outboxes.split_first_mut().expect("one outbox per shard");
             runs.push(ShardRun {
                 start,
@@ -1193,6 +1195,7 @@ fn route_one<M>(
         // Invariant: duplication faults are only reachable through
         // `with_faults`/`with_link_model`, both of which capture a cloner.
         #[allow(clippy::expect_used)]
+        // xtask:allow(unwrap-audit): duplication faults are only reachable through with_faults/with_link_model, which both capture a cloner
         let cloner = cloner.expect("duplication faults require a payload cloner (with_faults)");
         sinks.metrics.messages_duplicated += 1;
         Some((

@@ -172,6 +172,12 @@ impl Topology {
         }
         let mut pairs: Vec<(u32, u32)> = stubs.chunks_exact(2).map(|c| (c[0], c[1])).collect();
         let edge_key = |a: u32, b: u32| ((a.min(b) as u64) << 32) | a.max(b) as u64;
+        // Iteration-order invariant: `seen` is a pure membership probe
+        // (insert/contains/remove by edge key). The repair loop walks
+        // `pairs`/`bad` — indexable Vecs — so the sampled graph can never
+        // observe the per-process hash seed. Any future use that *walks*
+        // this set must switch to a sorted structure first.
+        // xtask:allow(hash-iteration): duplicate-edge membership probe; repair loop iterates `pairs`, never this set
         let mut seen = std::collections::HashSet::with_capacity(pairs.len());
         let mut bad: Vec<usize> = Vec::new();
         for (i, &(a, b)) in pairs.iter().enumerate() {
@@ -240,6 +246,11 @@ impl Topology {
             "Topology::small_world: beta={beta} is not a probability"
         );
         let mut rng = StdRng::seed_from_u64(seed);
+        // Iteration-order invariant: membership probe only — rewiring walks
+        // the `undirected` Vec in ring order and asks `seen` about single
+        // keys; the set is never iterated, so hash-seed order cannot leak
+        // into the rewired edges. Keep it that way.
+        // xtask:allow(hash-iteration): rewiring-collision membership probe; the loop iterates `undirected`, never this set
         let mut seen = std::collections::HashSet::with_capacity(n * k / 2);
         let edge_key = |a: usize, b: usize| ((a.min(b) as u64) << 32) | a.max(b) as u64;
         let mut undirected: Vec<(usize, usize)> = Vec::with_capacity(n * k / 2);

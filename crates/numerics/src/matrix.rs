@@ -33,8 +33,10 @@ impl Matrix {
     ///
     /// Panics if `rows * cols` overflows `usize`.
     pub fn zeros(rows: usize, cols: usize) -> Self {
+        #[allow(clippy::expect_used)]
         let len = rows
             .checked_mul(cols)
+            // xtask:allow(unwrap-audit): documented panic contract; an overflowing shape has no representable buffer to fall back to
             .expect("Matrix::zeros: dimension overflow");
         Self {
             rows,

@@ -126,7 +126,7 @@ impl CsrMatrix {
                     "CsrMatrix::from_sorted_rows: column {c} out of bounds for {cols}"
                 );
                 assert!(
-                    col_idx.len() == start || *col_idx.last().expect("non-empty") < c,
+                    col_idx.len() == start || col_idx.last().is_some_and(|&last| last < c),
                     "CsrMatrix::from_sorted_rows: columns must be strictly increasing"
                 );
                 col_idx.push(c);

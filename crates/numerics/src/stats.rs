@@ -116,6 +116,8 @@ pub fn quantile(data: &[f64], q: f64) -> f64 {
     assert!(!data.is_empty(), "quantile: empty sample");
     assert!((0.0..=1.0).contains(&q), "quantile: q={q} not in [0,1]");
     let mut sorted = data.to_vec();
+    #[allow(clippy::expect_used)]
+    // xtask:allow(unwrap-audit): documented panic contract — a NaN sample is a caller bug, not a degradable state
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("quantile: NaN in sample"));
     quantile_sorted(&sorted, q)
 }
@@ -183,6 +185,8 @@ impl BoxPlot {
     pub fn from_slice(data: &[f64]) -> Self {
         assert!(!data.is_empty(), "BoxPlot: empty sample");
         let mut sorted = data.to_vec();
+        #[allow(clippy::expect_used)]
+        // xtask:allow(unwrap-audit): documented panic contract — a NaN sample is a caller bug, not a degradable state
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("BoxPlot: NaN in sample"));
         let q1 = quantile_sorted(&sorted, 0.25);
         let med = quantile_sorted(&sorted, 0.5);
@@ -256,6 +260,8 @@ impl Summary {
             w.push(x);
         }
         let mut sorted = data.to_vec();
+        #[allow(clippy::expect_used)]
+        // xtask:allow(unwrap-audit): documented panic contract — a NaN sample is a caller bug, not a degradable state
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("Summary: NaN in sample"));
         Self {
             count: data.len(),

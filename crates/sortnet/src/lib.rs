@@ -34,8 +34,11 @@
 //! assert!(net.depth() <= 6); // ⌈log₂6⌉(⌈log₂6⌉+1)/2 = 6 layers
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used)]
+#![warn(clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 use serde::{Deserialize, Serialize};
 

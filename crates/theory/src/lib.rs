@@ -18,8 +18,11 @@
 //! assert!((GAMMA - 0.3934693402873666).abs() < 1e-15);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used)]
+#![warn(clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod bounds;
 pub mod converse;

@@ -57,6 +57,9 @@
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used)]
+#![warn(clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod models;
 pub mod sir;

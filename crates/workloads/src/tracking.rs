@@ -162,6 +162,7 @@ pub fn track_protocol(
                 messages: 0,
             }
         } else {
+            #[allow(clippy::expect_used)]
             let instance = Instance::builder(n)
                 .k(k)
                 .queries(cfg.queries_per_epoch)
@@ -169,15 +170,20 @@ pub fn track_protocol(
                 .noise(cfg.noise)
                 .design(cfg.design)
                 .build()
+                // xtask:allow(unwrap-audit): TrackingConfig's fields are validated knobs; the builder only rejects shapes the config cannot express
                 .expect("tracking configurations are valid instances");
             let graph = cfg
                 .design
                 .sample(n, cfg.queries_per_epoch, cfg.gamma, &mut query_rng);
             let results = graph.measure(&truth, &cfg.noise, &mut query_rng);
+            #[allow(clippy::expect_used)]
             let run = instance
                 .assemble(truth.clone(), graph, results)
+                // xtask:allow(unwrap-audit): graph and results were just sampled from this very instance's parameters
                 .expect("assembled parts match the instance");
+            #[allow(clippy::expect_used)]
             let outcome = distributed::run_protocol_configured(&run, strategy, None)
+                // xtask:allow(unwrap-audit): fault-free budget bound is proven by the protocol round-budget tests
                 .expect("fault-free protocol terminates within its budget");
             let (overlap, exact) = overlap_or_trivial(&outcome.estimate, &truth);
             EpochReport {

@@ -1,0 +1,257 @@
+//! Walks source files, runs the rules, applies `xtask:allow` suppressions,
+//! and renders reports (human-readable and `--json`).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::lexer;
+use crate::rules::{self, FileContext, Finding};
+
+/// A finding bound to the file it was found in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// Path as reported (relative to the workspace root when walking the
+    /// workspace, verbatim for explicit paths).
+    pub file: String,
+    /// The underlying finding.
+    pub finding: Finding,
+}
+
+/// Outcome of linting a set of files.
+#[derive(Debug, Default)]
+pub struct LintOutcome {
+    /// Surviving (unsuppressed) findings, sorted by (file, line).
+    pub reports: Vec<Report>,
+    /// Number of files scanned.
+    pub files: usize,
+    /// Number of allow directives that suppressed at least one finding.
+    pub allows_used: usize,
+}
+
+/// Lints one file's contents under `ctx`, returning surviving findings.
+///
+/// Suppression: a finding of rule `r` at line `l` is silenced by an
+/// `xtask:allow(r): reason` directive on line `l` or `l - 1`. Directives
+/// are themselves policed — naming an unknown rule, omitting the reason, or
+/// suppressing nothing are each findings (`allow-audit`), so stale escapes
+/// cannot accumulate.
+pub fn lint_source(ctx: &FileContext, src: &str) -> (Vec<Finding>, usize) {
+    let lexed = lexer::lex(src);
+    if ctx.crate_name == "xtask" {
+        // The linter's own sources and docs *mention* the directive syntax
+        // constantly; policing them would flag every explanatory comment.
+        return (Vec::new(), 0);
+    }
+    let raw = rules::check_file(ctx, &lexed);
+    let mut used = vec![false; lexed.allows.len()];
+    let mut findings: Vec<Finding> = raw
+        .into_iter()
+        .filter(|f| {
+            let mut suppressed = false;
+            for (i, a) in lexed.allows.iter().enumerate() {
+                if a.rule == f.rule
+                    && !a.reason.is_empty()
+                    && (a.line == f.line || a.line + 1 == f.line)
+                {
+                    used[i] = true;
+                    suppressed = true;
+                }
+            }
+            !suppressed
+        })
+        .collect();
+
+    for (i, a) in lexed.allows.iter().enumerate() {
+        if !rules::RULE_NAMES.contains(&a.rule.as_str()) {
+            findings.push(Finding {
+                rule: "allow-audit",
+                line: a.line,
+                message: format!(
+                    "`xtask:allow({})` names an unknown rule (known: {})",
+                    a.rule,
+                    rules::RULE_NAMES.join(", ")
+                ),
+            });
+        } else if a.reason.is_empty() {
+            findings.push(Finding {
+                rule: "allow-audit",
+                line: a.line,
+                message: format!(
+                    "`xtask:allow({})` carries no justification; write \
+                     `// xtask:allow({}): <reason>`",
+                    a.rule, a.rule
+                ),
+            });
+        } else if !used[i] {
+            findings.push(Finding {
+                rule: "allow-audit",
+                line: a.line,
+                message: format!(
+                    "`xtask:allow({})` suppresses nothing on this or the next \
+                     line; remove the stale escape",
+                    a.rule
+                ),
+            });
+        }
+    }
+    findings.sort_by_key(|f| (f.line, f.rule));
+    let used_count = used.iter().filter(|&&u| u).count();
+    (findings, used_count)
+}
+
+/// Lints every workspace source file under `root`.
+pub fn lint_workspace(root: &Path) -> std::io::Result<LintOutcome> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    let mut outcome = LintOutcome::default();
+    for rel in files {
+        let Some(ctx) = FileContext::classify(&rel) else {
+            continue;
+        };
+        let src = fs::read_to_string(root.join(&rel))?;
+        let (findings, used) = lint_source(&ctx, &src);
+        outcome.files += 1;
+        outcome.allows_used += used;
+        outcome
+            .reports
+            .extend(findings.into_iter().map(|finding| Report {
+                file: rel.clone(),
+                finding,
+            }));
+    }
+    Ok(outcome)
+}
+
+/// Lints explicitly-listed paths (files or directories) under the strict
+/// context — deterministic library code — so fixture snippets exercise
+/// every rule regardless of where they live.
+pub fn lint_paths(paths: &[PathBuf]) -> std::io::Result<LintOutcome> {
+    let mut outcome = LintOutcome::default();
+    let ctx = FileContext::strict();
+    let mut files = Vec::new();
+    for p in paths {
+        if p.is_dir() {
+            let mut nested = Vec::new();
+            collect_rs_files(p, p, &mut nested)?;
+            nested.sort();
+            files.extend(nested.into_iter().map(|rel| p.join(rel)));
+        } else {
+            files.push(p.clone());
+        }
+    }
+    for path in files {
+        let src = fs::read_to_string(&path)?;
+        let (findings, used) = lint_source(&ctx, &src);
+        outcome.files += 1;
+        outcome.allows_used += used;
+        outcome
+            .reports
+            .extend(findings.into_iter().map(|finding| Report {
+                file: path.display().to_string(),
+                finding,
+            }));
+    }
+    Ok(outcome)
+}
+
+/// Recursively lists `.rs` files below `dir` as root-relative paths,
+/// skipping `target/`, hidden directories, and lint fixtures.
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "fixtures" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_string_lossy().replace('\\', "/"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Renders the human-readable report.
+pub fn render_text(outcome: &LintOutcome) -> String {
+    let mut s = String::new();
+    for r in &outcome.reports {
+        s.push_str(&format!(
+            "{}:{}: [{}] {}\n",
+            r.file, r.finding.line, r.finding.rule, r.finding.message
+        ));
+    }
+    s.push_str(&format!(
+        "xtask lint: {} finding(s) across {} file(s) ({} allow escape(s) in use)\n",
+        outcome.reports.len(),
+        outcome.files,
+        outcome.allows_used
+    ));
+    s
+}
+
+/// Renders the `--json` report (hand-rolled: the vendored serde is a no-op
+/// facade, and xtask deliberately has no dependencies).
+pub fn render_json(outcome: &LintOutcome) -> String {
+    let mut s = String::from("{\n  \"findings\": [");
+    for (i, r) in outcome.reports.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            json_escape(&r.file),
+            r.finding.line,
+            json_escape(r.finding.rule),
+            json_escape(&r.finding.message)
+        ));
+    }
+    if !outcome.reports.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str(&format!(
+        "],\n  \"files_scanned\": {},\n  \"allows_used\": {},\n  \"ok\": {}\n}}\n",
+        outcome.files,
+        outcome.allows_used,
+        outcome.reports.is_empty()
+    ));
+    s
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Locates the workspace root: the nearest ancestor of `start` whose
+/// `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(d);
+                }
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

@@ -1,0 +1,26 @@
+//! `xtask` — workspace automation for the noisy-pooled-data repo.
+//!
+//! The one subcommand, `lint`, statically enforces the determinism
+//! contract of `docs/ARCHITECTURE.md` (contract rule 8): the dynamic
+//! replay suite (`tests/determinism.rs`) samples a handful of pinned
+//! (scenario, seed) points, but a hazard like unordered `HashMap`
+//! iteration can pass every pinned seed while corrupting replay
+//! elsewhere. This crate turns the contract into a machine-checked
+//! property:
+//!
+//! ```text
+//! cargo run -p xtask -- lint            # human-readable, exit 1 on findings
+//! cargo run -p xtask -- lint --json     # machine-readable report
+//! cargo run -p xtask -- lint <paths>    # lint specific files (strict context)
+//! ```
+//!
+//! See [`rules`] for the five rules and their scopes, [`lexer`] for the
+//! hand-rolled tokenizer that keeps comments/strings from producing false
+//! positives, and [`engine`] for suppression (`// xtask:allow(rule):
+//! reason`) and report rendering.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;

@@ -1,0 +1,18 @@
+//! Fixture: iterating a std hash container in a deterministic crate.
+//! Every `HashMap`/`HashSet` mention below must be flagged — the decoder
+//! walks the map, so per-process hash seeding reaches the output stream.
+
+use std::collections::HashMap;
+
+pub fn tally(pairs: &[(u32, i64)]) -> f64 {
+    let mut delta: HashMap<u32, i64> = HashMap::new();
+    for &(j, d) in pairs {
+        *delta.entry(j).or_insert(0) += d;
+    }
+    let mut acc = 0.0;
+    // The hazard: float accumulation in hash order.
+    for (&j, &d) in &delta {
+        acc += (j as f64).mul_add(1e-9, d as f64);
+    }
+    acc
+}

@@ -1,0 +1,14 @@
+//! Fixture: escape-hatch misuse. All three directives below must be
+//! flagged by `allow-audit`: one names an unknown rule, one carries no
+//! reason, one suppresses nothing.
+
+// xtask:allow(hash-iterations): typo'd rule name never matches
+pub fn a() {}
+
+pub fn b(xs: &[u64]) -> u64 {
+    // xtask:allow(unwrap-audit)
+    xs.first().copied().unwrap_or(0)
+}
+
+// xtask:allow(wall-clock): nothing on the next line reads a clock
+pub fn c() {}

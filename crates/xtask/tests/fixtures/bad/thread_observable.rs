@@ -1,0 +1,10 @@
+//! Fixture: thread-identity and pool-shape observations. The
+//! `thread::current` call, the `available_parallelism` call, and the
+//! `"RAYON_NUM_THREADS"` env read must each be flagged.
+
+pub fn worker_fingerprint() -> u64 {
+    let id = std::thread::current().id();
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let knob = std::env::var("RAYON_NUM_THREADS").ok();
+    (format!("{id:?}{cores}{knob:?}").len()) as u64
+}

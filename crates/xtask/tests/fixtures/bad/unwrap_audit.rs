@@ -1,0 +1,9 @@
+//! Fixture: panicking extraction in library code. Both sites must be
+//! flagged; `unwrap_or`/`unwrap_or_else` style fallbacks must not be.
+
+pub fn head_plus_tail(xs: &[u64]) -> u64 {
+    let head = xs.first().unwrap();
+    let tail = xs.last().copied().expect("non-empty");
+    let fine = xs.get(1).copied().unwrap_or(0); // not a finding
+    head + tail + fine
+}

@@ -1,0 +1,11 @@
+//! Fixture: wall-clock reads in replayable code. Both the `Instant::now`
+//! call and the `SystemTime` mention must be flagged.
+
+use std::time::{Instant, SystemTime};
+
+pub fn jittered_backoff(round: u64) -> u64 {
+    let t = Instant::now();
+    let skew = SystemTime::now();
+    let _ = skew;
+    round + t.elapsed().as_nanos() as u64 % 3
+}

@@ -1,0 +1,16 @@
+//! Fixture: correctly-used escape hatches. Each directive below carries a
+//! reason and suppresses a real finding, so the file must lint clean.
+
+// xtask:allow(hash-iteration): membership probe only; never iterated
+use std::collections::HashSet;
+
+pub fn dedup_count(xs: &[u64]) -> usize {
+    // xtask:allow(hash-iteration): membership probe only; the loop walks `xs`
+    let mut seen = HashSet::new();
+    xs.iter().filter(|&&x| seen.insert(x)).count()
+}
+
+pub fn first(xs: &[u64]) -> u64 {
+    // xtask:allow(unwrap-audit): caller contract documented: xs is non-empty
+    xs.first().copied().unwrap()
+}

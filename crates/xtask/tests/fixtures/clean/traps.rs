@@ -1,0 +1,57 @@
+//! Fixture: false-positive traps. Every banned name below appears only in
+//! a comment, a string, a raw string, or test-gated code — the linter must
+//! report nothing for this file.
+//!
+//! A doc comment may freely discuss `HashMap::iter()`, `Instant::now()`,
+//! `SystemTime`, `available_parallelism`, `thread::current` and
+//! `.unwrap()` — prose is not code.
+
+/* Block comments too: HashSet iteration, RAYON_NUM_THREADS, .expect("x").
+   /* Nested blocks stay comments: Instant::now() */
+   Still inside the outer comment: SystemTime. */
+
+pub fn strings_are_opaque() -> String {
+    let cooked = "HashMap iteration via Instant::now() and .unwrap() here";
+    let raw = r#"SystemTime and "available_parallelism" in a raw string"#;
+    let rawer = r##"thread::current() with embedded "# quote"##;
+    let bytes = b"std::thread::current().unwrap()";
+    let lifetime_not_char: &'static str = "'a is a lifetime, not a char";
+    let ch = '"'; // a quote char must not open a string
+    let esc = '\''; // nor an escaped quote char
+    format!("{cooked}{raw}{rawer}{bytes:?}{lifetime_not_char}{ch}{esc}")
+}
+
+// `unwrap_or` family: same prefix, not a panic.
+pub fn fallbacks(xs: &[u64]) -> u64 {
+    xs.first().copied().unwrap_or_default() + xs.last().copied().unwrap_or(7)
+}
+
+// A sequential closure may hold a caller's RNG: no rayon adapter in sight.
+pub fn sequential_rng(xs: &[u64], rng: &mut SmallRng) -> u64 {
+    xs.iter().map(|&x| x ^ rng.next_u64()).sum()
+}
+
+// The sanctioned parallel pattern: a per-item RNG derived *inside* the
+// closure from a pure identity hash (netsim::faults style).
+pub fn per_item_rng(xs: &[u64]) -> Vec<u64> {
+    xs.par_iter()
+        .map(|&x| {
+            let mut rng = SmallRng::seed_from_u64(splitmix64(x));
+            rng.next_u64()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let mut m = HashMap::new();
+        m.insert(1u32, 2u32);
+        let t = std::time::Instant::now();
+        let id = std::thread::current().id();
+        assert!(m.values().next().copied().unwrap() == 2, "{t:?} {id:?}");
+    }
+}
