@@ -9,6 +9,13 @@
 //!   this problem and the one used in the Figure 6 comparison;
 //! * [`SoftThreshold`] — the LASSO-style soft threshold from the original
 //!   compressed-sensing AMP papers, kept as an ablation.
+//!
+//! The categorical matrix-AMP iteration uses the vector-valued
+//! [`BayesSimplex`] denoiser instead: the posterior mean over the
+//! `d`-simplex given a Gaussian observation `v = x + g`, `g ~ N(0, T)`,
+//! with `x` a one-hot category indicator.
+
+use npd_numerics::Matrix;
 
 /// A coordinate-wise denoiser with an analytic derivative.
 ///
@@ -120,6 +127,122 @@ impl Denoiser for SoftThreshold {
     }
 }
 
+/// Bayes posterior mean over the `d`-simplex for one-hot signals under
+/// correlated Gaussian noise — the denoiser of the matrix-AMP iteration
+/// (Tan, Pascual Cobo, Scarlett, Venkataramanan 2023).
+///
+/// The row-wise pseudo-observation is `v = x + g` with `x ∈ {e_0, …,
+/// e_{d−1}}` a one-hot category indicator and `g ~ N(0, T)`; the posterior
+/// is a softmax over
+///
+/// ```text
+/// score_c = log π_c + (T⁻¹v)_c − ½·(T⁻¹)_{cc},
+/// ```
+///
+/// (the `v`-only quadratic term cancels in the normalization). The
+/// Jacobian needed for the Onsager correction is
+/// `∂p_c/∂v_b = p_c·[(T⁻¹)_{bc} − Σ_{c′} p_{c′}(T⁻¹)_{bc′}]`.
+///
+/// The caller supplies `T⁻¹` explicitly (typically ridge-regularized, see
+/// the `matrix_amp` module) so one inversion serves all `n` rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BayesSimplex {
+    log_prior: Vec<f64>,
+}
+
+impl BayesSimplex {
+    /// Creates the denoiser for the category prior `π` (normalized
+    /// internally).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two categories are given, any weight is not
+    /// strictly positive, or the weights do not sum to a positive finite
+    /// number.
+    pub fn new(prior: &[f64]) -> Self {
+        assert!(prior.len() >= 2, "BayesSimplex: need at least 2 categories");
+        assert!(
+            prior.iter().all(|&p| p > 0.0 && p.is_finite()),
+            "BayesSimplex: prior weights must be strictly positive"
+        );
+        let total: f64 = prior.iter().sum();
+        assert!(
+            total.is_finite() && total > 0.0,
+            "BayesSimplex: prior does not normalize"
+        );
+        Self {
+            log_prior: prior.iter().map(|&p| (p / total).ln()).collect(),
+        }
+    }
+
+    /// Number of categories `d`.
+    pub fn d(&self) -> usize {
+        self.log_prior.len()
+    }
+
+    /// Posterior mean `out ← η(v; T)` given the (regularized) precision
+    /// matrix `t_inv = T⁻¹`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v`, `out` or `t_inv` disagree with `d`.
+    pub fn eta(&self, v: &[f64], t_inv: &Matrix, out: &mut [f64]) {
+        let d = self.d();
+        assert_eq!(v.len(), d, "BayesSimplex::eta: v has wrong length");
+        assert_eq!(out.len(), d, "BayesSimplex::eta: out has wrong length");
+        assert_eq!(
+            (t_inv.rows(), t_inv.cols()),
+            (d, d),
+            "BayesSimplex::eta: precision matrix has wrong shape"
+        );
+        // Scores into `out`, then a stable in-place softmax.
+        for c in 0..d {
+            let row = t_inv.row(c);
+            let proj = npd_numerics::vector::dot(row, v);
+            out[c] = self.log_prior[c] + proj - 0.5 * row[c];
+        }
+        let max = out.iter().fold(f64::NEG_INFINITY, |m, &s| m.max(s));
+        let mut total = 0.0;
+        for s in out.iter_mut() {
+            *s = (*s - max).exp();
+            total += *s;
+        }
+        for s in out.iter_mut() {
+            *s /= total;
+        }
+    }
+
+    /// Adds this row's Jacobian `J[b][c] = ∂η_c/∂v_b` (evaluated at the
+    /// posterior returned by [`BayesSimplex::eta`]) into `jac` — the
+    /// accumulator for the matrix Onsager correction `C = (1/m)·Σᵢ Jᵢ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `posterior`, `t_inv` or `jac` disagree with `d`.
+    pub fn accumulate_jacobian(&self, posterior: &[f64], t_inv: &Matrix, jac: &mut Matrix) {
+        let d = self.d();
+        assert_eq!(posterior.len(), d, "accumulate_jacobian: posterior length");
+        assert_eq!(
+            (t_inv.rows(), t_inv.cols()),
+            (d, d),
+            "accumulate_jacobian: precision matrix shape"
+        );
+        assert_eq!(
+            (jac.rows(), jac.cols()),
+            (d, d),
+            "accumulate_jacobian: accumulator shape"
+        );
+        for b in 0..d {
+            let prec_row = t_inv.row(b);
+            let mean_prec = npd_numerics::vector::dot(posterior, prec_row);
+            let jac_row = jac.row_mut(b);
+            for c in 0..d {
+                jac_row[c] += posterior[c] * (prec_row[c] - mean_prec);
+            }
+        }
+    }
+}
+
 /// Numerically stable logistic function.
 fn stable_sigmoid(x: f64) -> f64 {
     if x >= 0.0 {
@@ -215,6 +338,105 @@ mod tests {
     fn names_are_stable() {
         assert_eq!(BayesBernoulli::new(0.1).name(), "bayes-bernoulli");
         assert_eq!(SoftThreshold::new(1.0).name(), "soft-threshold");
+    }
+
+    fn isotropic_precision(d: usize, tau2: f64) -> Matrix {
+        let mut m = Matrix::zeros(d, d);
+        for c in 0..d {
+            *m.get_mut(c, c) = 1.0 / tau2;
+        }
+        m
+    }
+
+    #[test]
+    fn simplex_posterior_is_a_distribution() {
+        let den = BayesSimplex::new(&[0.7, 0.2, 0.1]);
+        let t_inv = isotropic_precision(3, 0.4);
+        let mut p = vec![0.0; 3];
+        den.eta(&[0.3, 0.9, -0.2], &t_inv, &mut p);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn simplex_sharpens_as_noise_vanishes_and_flattens_to_prior() {
+        let prior = [0.5, 0.3, 0.2];
+        let den = BayesSimplex::new(&prior);
+        let mut p = vec![0.0; 3];
+        // Near-noiseless observation of e_1: posterior ≈ e_1.
+        den.eta(&[0.0, 1.0, 0.0], &isotropic_precision(3, 1e-4), &mut p);
+        assert!(p[1] > 0.999, "{p:?}");
+        // Huge noise: posterior falls back to the prior.
+        den.eta(&[0.0, 1.0, 0.0], &isotropic_precision(3, 1e6), &mut p);
+        for (got, want) in p.iter().zip(&prior) {
+            assert!((got - want).abs() < 1e-3, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn simplex_extreme_scores_do_not_overflow() {
+        let den = BayesSimplex::new(&[1e-6, 1.0 - 2e-6, 1e-6]);
+        let mut p = vec![0.0; 3];
+        den.eta(&[500.0, -500.0, 0.0], &isotropic_precision(3, 1e-6), &mut p);
+        assert!(p.iter().all(|x| x.is_finite()));
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simplex_jacobian_matches_numeric_derivative() {
+        // A correlated (non-diagonal) precision matrix exercises the full
+        // formula, not just the isotropic special case.
+        let den = BayesSimplex::new(&[0.6, 0.25, 0.15]);
+        let t_inv = Matrix::from_rows(&[
+            &[3.0, 0.5, 0.2][..],
+            &[0.5, 2.0, 0.3][..],
+            &[0.2, 0.3, 4.0][..],
+        ]);
+        let v = [0.4, 0.1, 0.3];
+        let mut p = vec![0.0; 3];
+        den.eta(&v, &t_inv, &mut p);
+        let mut jac = Matrix::zeros(3, 3);
+        den.accumulate_jacobian(&p, &t_inv, &mut jac);
+        let h = 1e-6;
+        for b in 0..3 {
+            for c in 0..3 {
+                let mut vp = v;
+                let mut vm = v;
+                vp[b] += h;
+                vm[b] -= h;
+                let (mut pp, mut pm) = (vec![0.0; 3], vec![0.0; 3]);
+                den.eta(&vp, &t_inv, &mut pp);
+                den.eta(&vm, &t_inv, &mut pm);
+                let numeric = (pp[c] - pm[c]) / (2.0 * h);
+                assert!(
+                    (jac.get(b, c) - numeric).abs() < 1e-5 * (1.0 + numeric.abs()),
+                    "({b},{c}): analytic {} vs numeric {numeric}",
+                    jac.get(b, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simplex_jacobian_rows_sum_to_zero() {
+        // Posteriors sum to one, so Σ_c ∂p_c/∂v_b = 0 for every b.
+        let den = BayesSimplex::new(&[0.4, 0.3, 0.2, 0.1]);
+        let t_inv = isotropic_precision(4, 0.7);
+        let v = [0.9, -0.1, 0.2, 0.05];
+        let mut p = vec![0.0; 4];
+        den.eta(&v, &t_inv, &mut p);
+        let mut jac = Matrix::zeros(4, 4);
+        den.accumulate_jacobian(&p, &t_inv, &mut jac);
+        for b in 0..4 {
+            let row_sum: f64 = jac.row(b).iter().sum();
+            assert!(row_sum.abs() < 1e-12, "row {b}: {row_sum}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn simplex_rejects_degenerate_prior() {
+        BayesSimplex::new(&[0.5, 0.0, 0.5]);
     }
 
     proptest! {

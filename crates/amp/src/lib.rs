@@ -54,9 +54,11 @@
 pub mod cost;
 pub mod denoiser;
 pub mod iteration;
+pub mod matrix_amp;
 pub mod preprocess;
 pub mod state_evolution;
 
-pub use denoiser::{BayesBernoulli, Denoiser, SoftThreshold};
+pub use denoiser::{BayesBernoulli, BayesSimplex, Denoiser, SoftThreshold};
 pub use iteration::{AmpConfig, AmpDecoder, AmpOutput, AmpWorkspace, DenoiserKind};
-pub use preprocess::CenteredMatrix;
+pub use matrix_amp::{run_matrix_amp, run_matrix_amp_tracking, MatrixAmpConfig, MatrixAmpOutput};
+pub use preprocess::{prepare_categorical, CategoricalPrepared, CenteredMatrix};

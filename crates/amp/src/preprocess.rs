@@ -18,8 +18,8 @@
 //! `B` is never materialized: [`CenteredMatrix`] applies the rank-one
 //! correction on the fly around the sparse `A`.
 
-use npd_core::{NoiseModel, Run};
-use npd_numerics::CsrMatrix;
+use npd_core::{CategoricalRun, NoiseModel, Run};
+use npd_numerics::{linalg, CsrMatrix, Matrix};
 
 /// The implicit centered/scaled matrix `B = (A − c·J)/s`.
 ///
@@ -213,10 +213,146 @@ pub fn prepare(run: &Run) -> Prepared {
     }
 }
 
+/// A preprocessed categorical (matrix-AMP) problem.
+///
+/// The matrix is the same centered/scaled `B` as the binary path; the
+/// observations are per-category columns `ỹ_c = (y′_c − (Γ/n)·k_c)/s`
+/// with `y′` the channel-unbiased counts and `k_c` the per-category agent
+/// counts (including the background `k_0`), so that `Ỹ ≈ B·X + W`
+/// column-wise for the one-hot signal `X`.
+#[derive(Debug, Clone)]
+pub struct CategoricalPrepared {
+    /// Centered/scaled sensing matrix (shared across the `d` columns).
+    pub matrix: CenteredMatrix,
+    /// Transformed observations `Ỹ ∈ ℝ^{m×d}`.
+    pub observations: Matrix,
+    /// Category prior `π_c = k_c/n`, length `d`, summing to one.
+    pub prior: Vec<f64>,
+    /// Effective measurement-noise covariance `Σ_w` of one row of `W` in
+    /// the scaled model — the `noise_cov` input of the matrix
+    /// state-evolution recursion.
+    pub noise_cov: Matrix,
+}
+
+/// Builds the matrix-AMP problem from a sampled categorical run.
+///
+/// Channel noise is unbiased per query by applying `(Mᵀ)⁻¹` (with `M` the
+/// per-slot [confusion matrix](NoiseModel::confusion_matrix)) to the
+/// observed count vector, the exact categorical analogue of the binary
+/// `(σ̂ − qΓ)/(1−p−q)` correction; the induced noise covariance is the
+/// sandwiched multinomial covariance `(Mᵀ)⁻¹[Σ_c Γπ_c(diag(M_c) −
+/// M_cM_cᵀ)]M⁻¹/s²`. Gaussian query noise contributes `λ²/s²` on the
+/// strain coordinates only (the background count is reported exactly);
+/// noiseless runs get a zero covariance.
+///
+/// # Panics
+///
+/// Panics if the run has no queries or the channel's confusion matrix is
+/// not invertible at this `d` (requires `p < (d−1)/d`; always holds at
+/// `d = 2` since the constructor enforces `p + q < 1`).
+pub fn prepare_categorical(run: &CategoricalRun) -> CategoricalPrepared {
+    let instance = run.instance();
+    let d = instance.d();
+    let n = instance.n() as f64;
+    let matrix = CenteredMatrix::from_counts(run.graph().to_csr(), instance.gamma());
+    let c = matrix.centering();
+    let s = matrix.scale();
+    let counts = instance.category_counts();
+    let prior: Vec<f64> = counts.iter().map(|&k| k as f64 / n).collect();
+
+    // Channel unbiasing: E[y_obs | slots] = Mᵀ·slots, so y′ = (Mᵀ)⁻¹·y_obs
+    // recovers the slot counts in expectation.
+    let mt_inv = match *instance.noise() {
+        NoiseModel::Channel { .. } => {
+            let m = instance.noise().confusion_matrix(d);
+            let mut mt = Matrix::zeros(d, d);
+            for row in 0..d {
+                for col in 0..d {
+                    *mt.get_mut(row, col) = m.get(col, row);
+                }
+            }
+            let Some(inv) = linalg::inverse(&mt) else {
+                panic!(
+                    "prepare_categorical: confusion matrix not invertible at d={d} \
+                     (requires p < (d-1)/d)"
+                );
+            };
+            Some(inv)
+        }
+        NoiseModel::Noiseless | NoiseModel::Query { .. } => None,
+    };
+
+    let m_queries = run.results().len();
+    let mut observations = Matrix::zeros(m_queries, d);
+    let mut unbiased = vec![0.0; d];
+    for (j, obs) in run.results().iter().enumerate() {
+        match &mt_inv {
+            Some(inv) => inv.matvec_into(obs, &mut unbiased),
+            None => unbiased.copy_from_slice(obs),
+        }
+        let row = observations.row_mut(j);
+        for cat in 0..d {
+            row[cat] = (unbiased[cat] - c * counts[cat] as f64) / s;
+        }
+    }
+
+    let gamma = instance.gamma() as f64;
+    let noise_cov = match *instance.noise() {
+        NoiseModel::Noiseless => Matrix::zeros(d, d),
+        NoiseModel::Query { lambda } => {
+            let mut cov = Matrix::zeros(d, d);
+            for cat in 1..d {
+                *cov.get_mut(cat, cat) = lambda * lambda / (s * s);
+            }
+            cov
+        }
+        NoiseModel::Channel { .. } => {
+            // Per-slot multinomial covariance, weighted by the expected
+            // slot count Γ·π_c of each true category, then sandwiched by
+            // the unbiasing transform.
+            let m = instance.noise().confusion_matrix(d);
+            let mut raw = Matrix::zeros(d, d);
+            for (cat, &pc) in prior.iter().enumerate() {
+                let weight = gamma * pc;
+                let mrow = m.row(cat);
+                for a in 0..d {
+                    for bcol in 0..d {
+                        let delta = if a == bcol { mrow[a] } else { 0.0 };
+                        *raw.get_mut(a, bcol) += weight * (delta - mrow[a] * mrow[bcol]);
+                    }
+                }
+            }
+            #[allow(clippy::expect_used)]
+            // xtask:allow(unwrap-audit): mt_inv is Some for the Channel arm by construction above
+            let inv = mt_inv.as_ref().expect("channel arm always builds mt_inv");
+            let mut cov = Matrix::zeros(d, d);
+            for a in 0..d {
+                for bcol in 0..d {
+                    let mut acc = 0.0;
+                    for u in 0..d {
+                        for v in 0..d {
+                            acc += inv.get(a, u) * raw.get(u, v) * inv.get(bcol, v);
+                        }
+                    }
+                    *cov.get_mut(a, bcol) = acc / (s * s);
+                }
+            }
+            cov
+        }
+    };
+
+    CategoricalPrepared {
+        matrix,
+        observations,
+        prior,
+        noise_cov,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use npd_core::{Instance, NoiseModel};
+    use npd_core::{CategoricalInstance, Instance, NoiseModel};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -328,5 +464,102 @@ mod tests {
     fn rejects_zero_scale() {
         let a = CsrMatrix::from_triplets(1, 1, &[]);
         CenteredMatrix::new(a, 0.5, 0.0);
+    }
+
+    fn categorical_run(
+        noise: NoiseModel,
+        strains: &[usize],
+        seed: u64,
+    ) -> npd_core::CategoricalRun {
+        CategoricalInstance::new(200, strains.to_vec(), 80)
+            .unwrap()
+            .with_noise(noise)
+            .sample(&mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn categorical_noiseless_observations_match_columnwise_product() {
+        let run = categorical_run(NoiseModel::Noiseless, &[8, 5], 21);
+        let prep = prepare_categorical(&run);
+        let d = run.instance().d();
+        let n = run.instance().n();
+        for cat in 0..d {
+            let x_col: Vec<f64> = (0..n)
+                .map(|i| {
+                    if run.ground_truth().label(i) as usize == cat {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                })
+                .collect();
+            let product = prep.matrix.matvec(&x_col);
+            for (j, &p) in product.iter().enumerate() {
+                let y = prep.observations.get(j, cat);
+                assert!((y - p).abs() < 1e-9, "cat {cat} query {j}: {y} vs {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn categorical_d2_channel_matches_binary_preparation() {
+        // The d=2 unbiasing through (Mᵀ)⁻¹ must reproduce the scalar
+        // (σ̂ − qΓ)/(1−p−q) path: strain column of Ỹ equals the binary ỹ.
+        let noise = NoiseModel::channel(0.15, 0.08);
+        let inst = CategoricalInstance::new(200, vec![9], 80)
+            .unwrap()
+            .with_noise(noise);
+        let seed = 33;
+        let cat_run = inst.sample(&mut StdRng::seed_from_u64(seed));
+        let bin_run = inst
+            .to_binary()
+            .unwrap()
+            .sample(&mut StdRng::seed_from_u64(seed));
+        let cat_prep = prepare_categorical(&cat_run);
+        let bin_prep = prepare(&bin_run);
+        for (j, &y_bin) in bin_prep.observations.iter().enumerate() {
+            let y_cat = cat_prep.observations.get(j, 1);
+            assert!(
+                (y_cat - y_bin).abs() < 1e-9,
+                "query {j}: categorical {y_cat} vs binary {y_bin}"
+            );
+        }
+        assert!((cat_prep.prior[1] - bin_prep.prior).abs() < 1e-12);
+    }
+
+    #[test]
+    fn categorical_prior_is_a_distribution() {
+        let run = categorical_run(NoiseModel::Noiseless, &[10, 6, 4], 4);
+        let prep = prepare_categorical(&run);
+        assert_eq!(prep.prior.len(), 4);
+        assert!((prep.prior.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((prep.prior[1] - 10.0 / 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn categorical_gaussian_noise_cov_is_strain_diagonal() {
+        let run = categorical_run(NoiseModel::gaussian(2.0), &[8, 8], 5);
+        let prep = prepare_categorical(&run);
+        let s = prep.matrix.scale();
+        assert_eq!(prep.noise_cov.get(0, 0), 0.0);
+        for cat in 1..3 {
+            let want = 4.0 / (s * s);
+            assert!((prep.noise_cov.get(cat, cat) - want).abs() < 1e-12);
+        }
+        assert_eq!(prep.noise_cov.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn categorical_channel_noise_cov_is_symmetric_psd_diagonal_dominantish() {
+        let run = categorical_run(NoiseModel::channel(0.1, 0.05), &[12, 8], 6);
+        let prep = prepare_categorical(&run);
+        let d = 3;
+        for a in 0..d {
+            assert!(prep.noise_cov.get(a, a) > 0.0, "diagonal {a} not positive");
+            for b in 0..d {
+                let diff = prep.noise_cov.get(a, b) - prep.noise_cov.get(b, a);
+                assert!(diff.abs() < 1e-12, "asymmetric at ({a},{b})");
+            }
+        }
     }
 }

@@ -17,7 +17,9 @@
 //! The expectation is evaluated by Monte-Carlo with a fixed seed, which is
 //! accurate to the ~1% level that the qualitative comparison needs.
 
-use crate::denoiser::Denoiser;
+use crate::denoiser::{BayesSimplex, Denoiser};
+use crate::matrix_amp::{cholesky_with_jitter, regularized_inverse};
+use npd_numerics::Matrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -106,6 +108,264 @@ pub fn fixed_point<D: Denoiser>(denoiser: &D, config: &StateEvolutionConfig) -> 
         .expect("evolve always returns the initialization")
 }
 
+/// Result of [`fixed_point_bounded`]: the last `τ²`, how many iterations
+/// were spent reaching it, and whether the relative-change stopping rule
+/// fired within the budget.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FixedPoint {
+    /// The final `τ²` of the recursion.
+    pub tau2: f64,
+    /// Iterations actually performed (`≤ config.iterations`).
+    pub iterations: usize,
+    /// `true` when `|τ²_{t+1} − τ²_t| ≤ rel_tol·τ²_t + 1e-15` fired;
+    /// `false` when the iteration budget ran out first. A non-convergent
+    /// configuration (e.g. one oscillating between basins at Monte-Carlo
+    /// resolution) therefore returns the last iterate with
+    /// `converged == false` instead of spinning — [`fixed_point`] keeps
+    /// the old always-run-the-budget behavior.
+    pub converged: bool,
+}
+
+/// Bounded fixed-point search: runs the recursion of [`evolve`] but stops
+/// early once successive `τ²` values agree to the relative tolerance
+/// `rel_tol`, and reports whether that ever happened.
+///
+/// # Panics
+///
+/// Panics on the same degenerate configurations as [`evolve`], and if
+/// `rel_tol` is negative or not finite.
+pub fn fixed_point_bounded<D: Denoiser>(
+    denoiser: &D,
+    config: &StateEvolutionConfig,
+    rel_tol: f64,
+) -> FixedPoint {
+    assert!(
+        rel_tol.is_finite() && rel_tol >= 0.0,
+        "state evolution: rel_tol={rel_tol} must be a non-negative finite number"
+    );
+    assert!(
+        config.prior > 0.0 && config.prior < 1.0,
+        "state evolution: prior must be in (0,1)"
+    );
+    assert!(
+        config.n_over_m > 0.0,
+        "state evolution: n/m must be positive"
+    );
+    assert!(config.samples > 0, "state evolution: need samples");
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut gauss = npd_numerics::rng::GaussianSampler::new();
+    let mut tau2 = config.sigma_w2 + config.n_over_m * config.prior;
+
+    for it in 0..config.iterations {
+        let mut mse = 0.0;
+        for _ in 0..config.samples {
+            let x = if rng.gen::<f64>() < config.prior {
+                1.0
+            } else {
+                0.0
+            };
+            let v = x + tau2.sqrt() * gauss.sample(&mut rng);
+            let err = denoiser.eta(v, tau2) - x;
+            mse += err * err;
+        }
+        mse /= config.samples as f64;
+        let next = config.sigma_w2 + config.n_over_m * mse;
+        let delta = (next - tau2).abs();
+        tau2 = next;
+        if delta <= rel_tol * tau2 + 1e-15 {
+            return FixedPoint {
+                tau2,
+                iterations: it + 1,
+                converged: true,
+            };
+        }
+    }
+    FixedPoint {
+        tau2,
+        iterations: config.iterations,
+        converged: false,
+    }
+}
+
+/// Parameters of the matrix state-evolution recursion for categorical
+/// matrix-AMP (Tan et al. 2023).
+///
+/// The recursion tracks the `d × d` effective-noise covariance `T_t`
+/// *and* a mean shift `μ_t`. The pooling designs used here are
+/// query-regular — every query has exactly `Γ` slots — so the centered
+/// matrix satisfies `B·1 = 0` exactly and the decoder only ever sees the
+/// *centered* error `Δ_t − 1μ_tᵀ` (the per-category column means of the
+/// error are annihilated by `B` but reappear as a deterministic shift of
+/// the denoiser input `V_t ≈ X − 1μ_tᵀ + G_t`). The recursion is
+///
+/// ```text
+/// err(x, g) = η(x − μ_t + g; T_t) − x,          g ~ N(0, T_t)
+/// μ_{t+1}   = −E[err]
+/// T_{t+1}   = Σ_w + (n/m) · Cov[err]            (centered second moment)
+/// ```
+///
+/// with `x` one-hot under `prior` and `η` the [`BayesSimplex`] denoiser
+/// evaluated with the *same* ridge-regularized precision as the empirical
+/// decoder (the `ridge` field must match `MatrixAmpConfig::ridge` for the
+/// prediction to be comparable). On an i.i.d. (non-sum-preserving) design
+/// the μ term would be absent; dropping it here mis-predicts the first
+/// iteration by ~40% at `π = [0.7, 0.3]`, which is exactly the kind of
+/// design-dependence the agreement tests exist to pin down.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixSeConfig {
+    /// Category prior `π`, length `d`, strictly positive entries.
+    pub prior: Vec<f64>,
+    /// Undersampling ratio `n/m`.
+    pub n_over_m: f64,
+    /// Measurement-noise covariance `Σ_w` of one scaled observation row
+    /// (the `noise_cov` field of a prepared categorical problem).
+    pub noise_cov: Matrix,
+    /// Relative ridge used when inverting `T_t` — keep equal to the
+    /// decoder's `MatrixAmpConfig::ridge`.
+    pub ridge: f64,
+    /// Monte-Carlo sample count per iteration.
+    pub samples: usize,
+    /// Iterations to run.
+    pub iterations: usize,
+    /// RNG seed for the Monte-Carlo expectation.
+    pub seed: u64,
+}
+
+/// Trajectory of the matrix recursion.
+#[derive(Debug, Clone)]
+pub struct MatrixSeOutput {
+    /// `T_t` entering each iteration (length `iterations`, starting from
+    /// the initialization `T_0 = Σ_w + (n/m)·(diag(π) − ππᵀ)` that matches
+    /// the decoder's all-zero first iterate on a query-regular design —
+    /// the error at `t = 0` is `X` itself, whose *centered* row covariance
+    /// is `diag(π) − ππᵀ`).
+    pub t_trajectory: Vec<Matrix>,
+    /// Predicted per-agent MSE `E‖η(x + g; T_t) − x‖²` of the estimate
+    /// produced *from* `T_t`, aligned index-for-index with the decoder's
+    /// per-iteration empirical MSE.
+    pub mse: Vec<f64>,
+}
+
+/// Runs the matrix state-evolution recursion by Monte-Carlo.
+///
+/// # Panics
+///
+/// Panics if the prior is empty/non-positive, dimensions disagree,
+/// `n_over_m ≤ 0`, or `samples == 0`.
+pub fn matrix_evolve(config: &MatrixSeConfig) -> MatrixSeOutput {
+    let d = config.prior.len();
+    assert!(d >= 2, "matrix SE: need at least 2 categories");
+    assert!(
+        config.prior.iter().all(|&p| p > 0.0),
+        "matrix SE: prior must be strictly positive"
+    );
+    assert_eq!(
+        (config.noise_cov.rows(), config.noise_cov.cols()),
+        (d, d),
+        "matrix SE: noise covariance shape"
+    );
+    assert!(config.n_over_m > 0.0, "matrix SE: n/m must be positive");
+    assert!(config.samples > 0, "matrix SE: need samples");
+
+    let total: f64 = config.prior.iter().sum();
+    let prior: Vec<f64> = config.prior.iter().map(|&p| p / total).collect();
+    let denoiser = BayesSimplex::new(&prior);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut gauss = npd_numerics::rng::GaussianSampler::new();
+
+    // The decoder starts from X_0 = 0, so its first error is X itself:
+    // μ_0 = E[x] = π and T_0 = Σ_w + (n/m)·Cov(x) = Σ_w +
+    // (n/m)·(diag(π) − ππᵀ). The −ππᵀ term is the sum-preserving-design
+    // correction: B·1 = 0 removes the column means of the error.
+    let mut mu = prior.clone();
+    let mut t = config.noise_cov.clone();
+    for a in 0..d {
+        let row = t.row_mut(a);
+        for b in 0..d {
+            let centered = if a == b {
+                prior[a] * (1.0 - prior[a])
+            } else {
+                -prior[a] * prior[b]
+            };
+            row[b] += config.n_over_m * centered;
+        }
+    }
+
+    let mut t_trajectory = Vec::with_capacity(config.iterations);
+    let mut mse_out = Vec::with_capacity(config.iterations);
+    let mut xi = vec![0.0; d];
+    let mut v = vec![0.0; d];
+    let mut p = vec![0.0; d];
+
+    for _ in 0..config.iterations {
+        let t_inv = regularized_inverse(&t, config.ridge);
+        let l = cholesky_with_jitter(&t);
+        let mut outer = Matrix::zeros(d, d);
+        let mut mean_err = vec![0.0; d];
+        let mut mse = 0.0;
+        for _ in 0..config.samples {
+            // Draw the one-hot category from the prior.
+            let u: f64 = rng.gen();
+            let mut cat = d - 1;
+            let mut cum = 0.0;
+            for (c, &pc) in prior.iter().enumerate() {
+                cum += pc;
+                if u < cum {
+                    cat = c;
+                    break;
+                }
+            }
+            // v = e_cat − μ + L·ξ with ξ ~ N(0, I): the decoder's input is
+            // shifted by the column means of the previous error.
+            gauss.fill(&mut rng, &mut xi);
+            for (a, va) in v.iter_mut().enumerate() {
+                let mut g = 0.0;
+                for (b, &xb) in xi.iter().enumerate().take(a + 1) {
+                    g += l.get(a, b) * xb;
+                }
+                *va = g - mu[a] + if a == cat { 1.0 } else { 0.0 };
+            }
+            denoiser.eta(&v, &t_inv, &mut p);
+            p[cat] -= 1.0; // p is now the error vector η − x
+            for (a, &ea) in p.iter().enumerate() {
+                mse += ea * ea;
+                mean_err[a] += ea;
+                let row = outer.row_mut(a);
+                for (b, &eb) in p.iter().enumerate() {
+                    row[b] += ea * eb;
+                }
+            }
+        }
+        let samples = config.samples as f64;
+        mse /= samples;
+        for e in &mut mean_err {
+            *e /= samples;
+        }
+        outer.map_in_place(|val| val / samples);
+        t_trajectory.push(t.clone());
+        mse_out.push(mse);
+        // μ_{t+1} = E[x − η] = −E[err];
+        // T_{t+1} = Σ_w + (n/m)·Cov[err] (the column means of the error
+        // are annihilated by B, so only the centered moment feeds back).
+        t = config.noise_cov.clone();
+        for a in 0..d {
+            let row = t.row_mut(a);
+            for b in 0..d {
+                row[b] += config.n_over_m * (outer.get(a, b) - mean_err[a] * mean_err[b]);
+            }
+        }
+        for (m, &e) in mu.iter_mut().zip(mean_err.iter()) {
+            *m = -e;
+        }
+    }
+
+    MatrixSeOutput {
+        t_trajectory,
+        mse: mse_out,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,5 +445,162 @@ mod tests {
             ..StateEvolutionConfig::default()
         };
         evolve(&BayesBernoulli::new(0.5), &cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "prior")]
+    fn rejects_degenerate_prior_one() {
+        let cfg = StateEvolutionConfig {
+            prior: 1.0,
+            ..StateEvolutionConfig::default()
+        };
+        evolve(&BayesBernoulli::new(0.5), &cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "prior")]
+    fn bounded_fixed_point_rejects_degenerate_prior() {
+        let cfg = StateEvolutionConfig {
+            prior: 0.0,
+            ..StateEvolutionConfig::default()
+        };
+        fixed_point_bounded(&BayesBernoulli::new(0.5), &cfg, 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "rel_tol")]
+    fn bounded_fixed_point_rejects_bad_tolerance() {
+        let cfg = StateEvolutionConfig::default();
+        fixed_point_bounded(&BayesBernoulli::new(cfg.prior), &cfg, -1.0);
+    }
+
+    #[test]
+    fn bounded_fixed_point_converges_early_in_easy_regime() {
+        // Noiseless oversampled: τ² collapses fast, so the stopping rule
+        // must fire well before the iteration budget.
+        let cfg = StateEvolutionConfig {
+            prior: 0.01,
+            n_over_m: 1.2,
+            sigma_w2: 0.0,
+            iterations: 100,
+            ..StateEvolutionConfig::default()
+        };
+        let d = BayesBernoulli::new(cfg.prior);
+        let fp = fixed_point_bounded(&d, &cfg, 1e-3);
+        assert!(fp.converged, "did not converge: {fp:?}");
+        assert!(fp.iterations < 100, "used the whole budget: {fp:?}");
+        assert!(fp.tau2 < 1e-3, "fixed point {fp:?}");
+        // Agrees with the unbounded variant at the same seed to MC noise.
+        let full = fixed_point(&d, &cfg);
+        assert!((fp.tau2 - full).abs() < 1e-3, "{} vs {full}", fp.tau2);
+    }
+
+    #[test]
+    fn bounded_fixed_point_noiseless_limit_hits_the_floor() {
+        // sigma_w2 = 0: the only fixed point in the easy regime is τ² = 0
+        // (up to MC noise); the noise floor is exactly zero.
+        let cfg = StateEvolutionConfig {
+            prior: 0.01,
+            n_over_m: 0.8,
+            sigma_w2: 0.0,
+            iterations: 60,
+            ..StateEvolutionConfig::default()
+        };
+        let d = BayesBernoulli::new(cfg.prior);
+        let fp = fixed_point_bounded(&d, &cfg, 1e-6);
+        assert!(fp.tau2 >= 0.0);
+        assert!(fp.tau2 < 1e-5, "noiseless limit stalled: {fp:?}");
+    }
+
+    #[test]
+    fn bounded_fixed_point_reports_non_convergence_instead_of_spinning() {
+        // A zero tolerance with MC-noisy iterates never fires the stopping
+        // rule in the hard regime; the documented behavior is to return the
+        // last iterate with converged == false after exactly the budget.
+        let cfg = StateEvolutionConfig {
+            prior: 0.05,
+            n_over_m: 200.0,
+            sigma_w2: 0.1,
+            iterations: 8,
+            samples: 2_000,
+            ..StateEvolutionConfig::default()
+        };
+        let d = BayesBernoulli::new(cfg.prior);
+        let fp = fixed_point_bounded(&d, &cfg, 0.0);
+        assert!(!fp.converged, "unexpectedly converged: {fp:?}");
+        assert_eq!(fp.iterations, 8);
+        assert!(fp.tau2 > 0.1, "fixed point {fp:?}");
+    }
+
+    fn small_matrix_config(d: usize) -> MatrixSeConfig {
+        let prior = match d {
+            2 => vec![0.7, 0.3],
+            _ => vec![0.55, 0.15, 0.15, 0.15],
+        };
+        MatrixSeConfig {
+            prior,
+            n_over_m: 2.0,
+            noise_cov: Matrix::zeros(d, d),
+            ridge: 1e-6,
+            samples: 4_000,
+            iterations: 6,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn matrix_se_is_deterministic_per_seed() {
+        let cfg = small_matrix_config(4);
+        let a = matrix_evolve(&cfg);
+        let b = matrix_evolve(&cfg);
+        assert_eq!(a.mse, b.mse);
+        for (x, y) in a.t_trajectory.iter().zip(&b.t_trajectory) {
+            assert_eq!(x.as_slice(), y.as_slice());
+        }
+    }
+
+    #[test]
+    fn matrix_se_mse_decreases_in_easy_regime() {
+        let cfg = MatrixSeConfig {
+            n_over_m: 1.0,
+            ..small_matrix_config(2)
+        };
+        let out = matrix_evolve(&cfg);
+        assert_eq!(out.mse.len(), 6);
+        assert!(
+            out.mse.last().unwrap() < &out.mse[0],
+            "MSE did not decrease: {:?}",
+            out.mse
+        );
+        // MSE is a squared norm: non-negative throughout.
+        assert!(out.mse.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn matrix_se_noise_floor_props_into_t() {
+        let mut noise_cov = Matrix::zeros(2, 2);
+        *noise_cov.get_mut(1, 1) = 0.25;
+        let cfg = MatrixSeConfig {
+            noise_cov,
+            ..small_matrix_config(2)
+        };
+        let out = matrix_evolve(&cfg);
+        for t in &out.t_trajectory {
+            assert!(
+                t.get(1, 1) >= 0.25 - 1e-12,
+                "T fell below the noise floor: {}",
+                t.get(1, 1)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "prior")]
+    fn matrix_se_rejects_non_positive_prior() {
+        let cfg = MatrixSeConfig {
+            prior: vec![0.5, 0.0],
+            ..small_matrix_config(2)
+        };
+        matrix_evolve(&cfg);
     }
 }

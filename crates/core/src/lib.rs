@@ -72,6 +72,7 @@
 #![warn(clippy::expect_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod categorical;
 pub mod design;
 pub mod distributed;
 pub mod estimation;
@@ -82,6 +83,10 @@ pub mod model;
 pub mod noise;
 pub mod twostep;
 
+pub use categorical::{
+    category_slots, label_accuracy, measure_categorical, CategoricalInstance, CategoricalRun,
+    CategoricalTruth,
+};
 pub use design::{
     DesignProfile, DesignSpec, DoublyRegularDesign, IidDesign, PoolingDesign, PoolingGraph,
     QueryMultiset, Sampling, SparseColumnDesign, SpatiallyCoupledDesign,

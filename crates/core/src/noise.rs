@@ -1,6 +1,7 @@
 //! The two noise models of Section II.
 
 use npd_numerics::rng::{binomial, GaussianSampler};
+use npd_numerics::Matrix;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -117,6 +118,147 @@ impl NoiseModel {
             NoiseModel::Channel { p, q } => (1.0 - p) * one_slots as f64 + q * zero_slots as f64,
         }
     }
+
+    /// Draws one noisy per-category measurement vector for a query whose
+    /// slots touch `slots[c]` agents of category `c` (category `0` is the
+    /// healthy/background class, categories `1..d` are the strains).
+    ///
+    /// The categorical channel generalizes the binary one per slot: a
+    /// strain slot keeps its label with probability `1−p` and otherwise
+    /// reads as one of the `d−1` other categories uniformly; a background
+    /// slot reads as one of the `d−1` strains with probability `q` total.
+    /// Gaussian query noise perturbs the reported strain counts only — the
+    /// background count is the complement the lab never reports, so it
+    /// stays exact.
+    ///
+    /// **Bit-compatibility contract:** at `d = 2` this consumes the RNG
+    /// stream of [`NoiseModel::measure`] draw-for-draw (one binomial for
+    /// the strain slots, one for the background slots under the channel;
+    /// one Gaussian under query noise), so `out[1]` equals the binary
+    /// measurement byte-for-byte. The draw order below (strains ascending,
+    /// then background; mover scatters in ascending target order) is
+    /// therefore load-bearing and pinned by `tests/determinism.rs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots.len() < 2`.
+    pub fn measure_categorical<R: Rng + ?Sized>(&self, slots: &[u64], rng: &mut R) -> Vec<f64> {
+        let d = slots.len();
+        assert!(d >= 2, "measure_categorical: need at least 2 categories");
+        match *self {
+            NoiseModel::Noiseless => slots.iter().map(|&s| s as f64).collect(),
+            NoiseModel::Channel { p, q } => {
+                let mut out = vec![0u64; d];
+                // Strain slots first (ascending): survivors stay, movers
+                // scatter uniformly over the other categories.
+                for c in 1..d {
+                    let stayers = binomial(rng, slots[c], 1.0 - p);
+                    out[c] += stayers;
+                    scatter_uniform(rng, slots[c] - stayers, c, &mut out);
+                }
+                // Background slots: `q` of them read as some strain.
+                let movers = binomial(rng, slots[0], q);
+                out[0] += slots[0] - movers;
+                scatter_uniform(rng, movers, 0, &mut out);
+                out.into_iter().map(|c| c as f64).collect()
+            }
+            NoiseModel::Query { lambda } => {
+                let mut gauss = GaussianSampler::new();
+                let mut out = vec![slots[0] as f64; 1];
+                for &s in &slots[1..] {
+                    out.push(gauss.sample_scaled(rng, s as f64, lambda));
+                }
+                out
+            }
+        }
+    }
+
+    /// Expected per-category measurement for given slot counts: `Mᵀ·slots`
+    /// with `M` the per-slot [confusion matrix](Self::confusion_matrix).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots.len() < 2`.
+    pub fn expected_measurement_categorical(&self, slots: &[u64]) -> Vec<f64> {
+        let d = slots.len();
+        assert!(
+            d >= 2,
+            "expected_measurement_categorical: need at least 2 categories"
+        );
+        match *self {
+            NoiseModel::Noiseless | NoiseModel::Query { .. } => {
+                slots.iter().map(|&s| s as f64).collect()
+            }
+            NoiseModel::Channel { .. } => {
+                let m = self.confusion_matrix(d);
+                let slots_f: Vec<f64> = slots.iter().map(|&s| s as f64).collect();
+                m.matvec_t(&slots_f)
+            }
+        }
+    }
+
+    /// The `d × d` per-slot confusion matrix `M` of this noise model:
+    /// `M[c][t]` is the probability a slot of true category `c` is observed
+    /// as category `t`, so the expected observation is `Mᵀ·slots`.
+    ///
+    /// Under the channel, `M[0][0] = 1−q` with the `q` mass uniform over
+    /// the strains, and `M[c][c] = 1−p` with the `p` mass uniform over the
+    /// other categories; at `d = 2` this is the familiar binary channel
+    /// with determinant `1−p−q > 0` (guaranteed by [`NoiseModel::channel`]),
+    /// so the matrix is always invertible there. Noiseless and Gaussian
+    /// query noise have the identity matrix (query noise is additive, not a
+    /// per-slot relabeling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d < 2`.
+    pub fn confusion_matrix(&self, d: usize) -> Matrix {
+        assert!(d >= 2, "confusion_matrix: need at least 2 categories");
+        let mut m = Matrix::zeros(d, d);
+        match *self {
+            NoiseModel::Noiseless | NoiseModel::Query { .. } => {
+                for c in 0..d {
+                    *m.get_mut(c, c) = 1.0;
+                }
+            }
+            NoiseModel::Channel { p, q } => {
+                let off = (d - 1) as f64;
+                *m.get_mut(0, 0) = 1.0 - q;
+                for t in 1..d {
+                    *m.get_mut(0, t) = q / off;
+                }
+                for c in 1..d {
+                    for t in 0..d {
+                        *m.get_mut(c, t) = if t == c { 1.0 - p } else { p / off };
+                    }
+                }
+            }
+        }
+        m
+    }
+}
+
+/// Scatters `movers` slots uniformly over the categories other than `from`,
+/// in ascending index order via successive conditional binomials; the last
+/// target takes the remainder without an RNG draw, so a single-target
+/// scatter (`d = 2`) consumes no randomness at all — the bit-compatibility
+/// contract of [`NoiseModel::measure_categorical`] depends on this.
+fn scatter_uniform<R: Rng + ?Sized>(rng: &mut R, movers: u64, from: usize, out: &mut [u64]) {
+    let mut remaining = movers;
+    let mut targets_left = out.len() - 1;
+    for (t, slot) in out.iter_mut().enumerate() {
+        if t == from {
+            continue;
+        }
+        if targets_left == 1 {
+            *slot += remaining;
+            return;
+        }
+        let x = binomial(rng, remaining, 1.0 / targets_left as f64);
+        *slot += x;
+        remaining -= x;
+        targets_left -= 1;
+    }
 }
 
 impl fmt::Display for NoiseModel {
@@ -226,6 +368,68 @@ mod tests {
         assert_eq!(NoiseModel::default(), NoiseModel::Noiseless);
     }
 
+    #[test]
+    fn categorical_noiseless_is_exact() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let out = NoiseModel::Noiseless.measure_categorical(&[30, 12, 8], &mut rng);
+        assert_eq!(out, vec![30.0, 12.0, 8.0]);
+    }
+
+    #[test]
+    fn categorical_d2_channel_consumes_the_binary_stream() {
+        // Same seed, same slot counts: the categorical d=2 path must make
+        // exactly the two binomial draws of the binary path, in order.
+        let model = NoiseModel::channel(0.3, 0.1);
+        for seed in 0..50 {
+            let mut rng_bin = StdRng::seed_from_u64(seed);
+            let mut rng_cat = StdRng::seed_from_u64(seed);
+            let binary = model.measure(40, 60, &mut rng_bin);
+            let cat = model.measure_categorical(&[60, 40], &mut rng_cat);
+            assert_eq!(cat[1], binary, "seed {seed}");
+            assert_eq!(cat[0] + cat[1], 100.0, "seed {seed}: slots not conserved");
+            // Streams fully aligned: the next draw agrees too.
+            assert_eq!(rng_bin.gen::<u64>(), rng_cat.gen::<u64>(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn categorical_d2_gaussian_consumes_the_binary_stream() {
+        let model = NoiseModel::gaussian(2.5);
+        for seed in 0..50 {
+            let mut rng_bin = StdRng::seed_from_u64(seed);
+            let mut rng_cat = StdRng::seed_from_u64(seed);
+            let binary = model.measure(13, 7, &mut rng_bin);
+            let cat = model.measure_categorical(&[7, 13], &mut rng_cat);
+            assert_eq!(cat[1], binary, "seed {seed}");
+            assert_eq!(cat[0], 7.0, "background count must be exact");
+            assert_eq!(rng_bin.gen::<u64>(), rng_cat.gen::<u64>(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn confusion_matrix_rows_are_stochastic() {
+        for (model, d) in [
+            (NoiseModel::Noiseless, 3),
+            (NoiseModel::gaussian(1.0), 4),
+            (NoiseModel::channel(0.2, 0.1), 2),
+            (NoiseModel::channel(0.2, 0.1), 4),
+        ] {
+            let m = model.confusion_matrix(d);
+            for c in 0..d {
+                let row_sum: f64 = (0..d).map(|t| m.get(c, t)).sum();
+                assert!((row_sum - 1.0).abs() < 1e-12, "{model} d={d} row {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn confusion_matrix_d2_matches_binary_expectation() {
+        let model = NoiseModel::channel(0.25, 0.05);
+        let expected = model.expected_measurement_categorical(&[80, 20]);
+        assert!((expected[1] - model.expected_measurement(20, 80)).abs() < 1e-12);
+        assert!((expected[0] + expected[1] - 100.0).abs() < 1e-12);
+    }
+
     mod property {
         use super::*;
         use proptest::prelude::*;
@@ -292,6 +496,100 @@ mod tests {
                 seed in 0u64..1_000,
             ) {
                 assert_mean_matches(NoiseModel::gaussian(lambda), ones, zeros, lambda, seed)?;
+            }
+        }
+
+        /// Per-category empirical means of `measure_categorical` vs
+        /// `expected_measurement_categorical`, within a `5σ/√N` band per
+        /// category. Every observed category count is a sum of independent
+        /// per-slot indicators under the channel (variance ≤ total/4) and
+        /// `N(slots[c], λ²)` under query noise, so the bounds are sound for
+        /// every parameter draw.
+        fn assert_categorical_mean_matches(
+            model: NoiseModel,
+            slots: &[u64],
+            sd_bound: f64,
+            seed: u64,
+        ) -> Result<(), proptest::test_runner::TestCaseError> {
+            const SAMPLES: usize = 3_000;
+            let d = slots.len();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut mean = vec![0.0f64; d];
+            for _ in 0..SAMPLES {
+                let draw = model.measure_categorical(slots, &mut rng);
+                for (m, v) in mean.iter_mut().zip(&draw) {
+                    *m += v;
+                }
+            }
+            for m in &mut mean {
+                *m /= SAMPLES as f64;
+            }
+            let expected = model.expected_measurement_categorical(slots);
+            let tol = 5.0 * sd_bound / (SAMPLES as f64).sqrt() + 1e-9;
+            for c in 0..d {
+                prop_assert!(
+                    (mean[c] - expected[c]).abs() < tol,
+                    "{model} d={d} category {c}: empirical mean {} vs expected {} (tol {tol})",
+                    mean[c],
+                    expected[c]
+                );
+            }
+            Ok(())
+        }
+
+        proptest! {
+            /// Categorical channel: per-category means pinned for any
+            /// admissible `(p, q)` and any category count `d ∈ {2..5}`.
+            #[test]
+            fn categorical_channel_mean_is_pinned(
+                p in 0.0f64..0.6,
+                q in 0.0f64..0.39,
+                raw_slots in proptest::collection::vec(0u64..80, 2..6),
+                seed in 0u64..1_000,
+            ) {
+                let total: u64 = raw_slots.iter().sum();
+                let sd = (total as f64 / 4.0).sqrt();
+                assert_categorical_mean_matches(
+                    NoiseModel::channel(p, q), &raw_slots, sd, seed,
+                )?;
+            }
+
+            /// Categorical Gaussian query noise: per-category means pinned.
+            #[test]
+            fn categorical_gaussian_mean_is_pinned(
+                lambda in 0.0f64..5.0,
+                raw_slots in proptest::collection::vec(0u64..120, 2..6),
+                seed in 0u64..1_000,
+            ) {
+                assert_categorical_mean_matches(
+                    NoiseModel::gaussian(lambda), &raw_slots, lambda, seed,
+                )?;
+            }
+
+            /// The per-slot relabeling models conserve slots: the observed
+            /// category counts always sum to the pool's slot count, on every
+            /// single draw (query noise is additive and exempt — it reports
+            /// perturbed strain counts, not a relabeling).
+            #[test]
+            fn categorical_counts_sum_to_slot_count(
+                p in 0.0f64..0.6,
+                q in 0.0f64..0.39,
+                raw_slots in proptest::collection::vec(0u64..200, 2..7),
+                seed in 0u64..1_000,
+            ) {
+                let total: u64 = raw_slots.iter().sum();
+                let mut rng = StdRng::seed_from_u64(seed);
+                for model in [NoiseModel::Noiseless, NoiseModel::channel(p, q)] {
+                    for _ in 0..20 {
+                        let draw = model.measure_categorical(&raw_slots, &mut rng);
+                        let sum: f64 = draw.iter().sum();
+                        prop_assert!(
+                            sum == total as f64,
+                            "{model}: counts sum to {sum}, expected {total}"
+                        );
+                        prop_assert!(draw.iter().all(|&v| v >= 0.0));
+                    }
+                }
             }
         }
     }

@@ -225,7 +225,7 @@ impl McmcDecoder {
         // Per-proposal count deltas, keyed by query id and kept in
         // ascending query order: the energy difference below is a float
         // sum, so its accumulation order must be deterministic (contract
-        // rule 8 — an unordered `HashMap` here once made `diff` depend on
+        // rule 9 — an unordered `HashMap` here once made `diff` depend on
         // the per-process hash seed). Both adjacency lists are sorted by
         // construction, so a linear merge yields the sorted delta.
         let mut delta: Vec<(u32, i64)> = Vec::new();

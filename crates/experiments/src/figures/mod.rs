@@ -2,6 +2,7 @@
 
 pub mod ablations;
 pub mod adaptive;
+pub mod categorical;
 pub mod chaos;
 pub mod comm;
 pub mod decoders;

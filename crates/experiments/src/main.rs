@@ -33,7 +33,7 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage: repro <fig1|fig2|fig3|fig4|fig5|fig6|fig7|theorems|comm|ablations\
-                     |decoders|adaptive|designs|linear|workloads|chaos|all> \
+                     |decoders|adaptive|designs|linear|workloads|chaos|categorical|all> \
                      [--full] [--json] [--out DIR] [--trials N] [--threads N]\n\
        repro scenarios list\n\
        repro scenarios run <name>|--all [--full] [--json] [--out DIR] [--trials N] \
@@ -146,7 +146,7 @@ fn parse(args: &[String]) -> Result<Cli, String> {
             all_scenarios,
         });
     }
-    const KNOWN: [&str; 17] = [
+    const KNOWN: [&str; 18] = [
         "fig1",
         "fig2",
         "fig3",
@@ -163,6 +163,7 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         "linear",
         "workloads",
         "chaos",
+        "categorical",
         "all",
     ];
     if !KNOWN.contains(&target.as_str()) {
@@ -207,6 +208,7 @@ fn execute(cli: Cli) -> ExitCode {
             "linear",
             "workloads",
             "chaos",
+            "categorical",
         ]
     } else {
         vec![cli.target.as_str()]
@@ -297,6 +299,7 @@ fn run_target(target: &str, opts: &RunOptions) -> FigureReport {
         "linear" => figures::linear::run(opts),
         "workloads" => figures::workloads::run(opts),
         "chaos" => figures::chaos::run(opts),
+        "categorical" => figures::categorical::run(opts),
         other => unreachable!("target {other} validated in parse()"),
     }
 }

@@ -35,11 +35,12 @@ use crate::figures::{FigureReport, RunOptions};
 use crate::output::table;
 use crate::sweep::{self, SweepCell};
 use crate::{mix_seed, runner, Mode};
-use npd_amp::AmpDecoder;
+use npd_amp::matrix_amp::run_matrix_amp_tracking;
+use npd_amp::{prepare_categorical, AmpDecoder, MatrixAmpConfig};
 use npd_core::distributed::{self, SelectionStrategy};
 use npd_core::{
-    exact_recovery, overlap, Decoder, DesignSpec, Estimate, GreedyDecoder, Instance, NoiseModel,
-    PoolingDesign, Regime, TwoStepDecoder,
+    exact_recovery, label_accuracy, overlap, CategoricalInstance, Decoder, DesignSpec, Estimate,
+    GreedyDecoder, Instance, NoiseModel, PoolingDesign, Regime, TwoStepDecoder,
 };
 use npd_decoders::BpDecoder;
 use npd_netsim::{FaultConfig, NodeFaultPlan};
@@ -58,6 +59,9 @@ pub enum DecoderKind {
     Amp,
     /// Gaussian-relaxed belief propagation.
     Bp,
+    /// Matrix-AMP over the categorical (d-ary) hidden state, with the
+    /// Bayes simplex denoiser.
+    MatrixAmp,
     /// The full distributed protocol on the network simulator, with the
     /// given phase-II selection strategy.
     Distributed(SelectionStrategy),
@@ -71,6 +75,7 @@ impl DecoderKind {
             DecoderKind::TwoStep => "two-step",
             DecoderKind::Amp => "amp",
             DecoderKind::Bp => "bp",
+            DecoderKind::MatrixAmp => "matrix-amp",
             DecoderKind::Distributed(SelectionStrategy::BatcherSort) => "protocol/batcher",
             DecoderKind::Distributed(SelectionStrategy::GossipThreshold { .. }) => {
                 "protocol/gossip"
@@ -85,6 +90,9 @@ impl DecoderKind {
             DecoderKind::TwoStep => Box::new(TwoStepDecoder::new()),
             DecoderKind::Amp => Box::new(AmpDecoder::default()),
             DecoderKind::Bp => Box::new(BpDecoder::default()),
+            DecoderKind::MatrixAmp => {
+                unreachable!("matrix-AMP scenarios run through Measurement::Categorical")
+            }
             DecoderKind::Distributed(_) => {
                 unreachable!("distributed scenarios run through Measurement::ProtocolCost")
             }
@@ -148,6 +156,11 @@ pub enum Measurement {
     WorkloadOverlap,
     /// Per-epoch tracking overlap on the temporal SIR workload.
     Tracking,
+    /// Categorical (d-ary) reconstruction with matrix-AMP on a
+    /// multi-strain population: per-agent label accuracy, strain recall on
+    /// the affected sub-population, and the decoder's final per-iteration
+    /// MSE.
+    Categorical,
 }
 
 /// One named, fully specified experiment configuration.
@@ -278,6 +291,26 @@ pub fn registry() -> Vec<Scenario> {
         chaos: Some(spec),
         full_max_exp10: 12,
         ..protocol(name, summary, strategy, None, 12)
+    };
+    // Categorical scenarios: a multi-strain population decoded by
+    // matrix-AMP. θ = 0.5 so the quick grid has enough affected agents to
+    // split across strains.
+    let categorical = |name, summary, strains, noise| Scenario {
+        measurement: Measurement::Categorical,
+        workload: Some(WorkloadSpec::MultiStrain {
+            strains,
+            theta: 0.5,
+        }),
+        theta: 0.5,
+        quick_max_exp10: 3,
+        full_max_exp10: 4,
+        ..base(
+            name,
+            summary,
+            DesignSpec::Iid,
+            noise,
+            DecoderKind::MatrixAmp,
+        )
     };
     vec![
         base(
@@ -465,6 +498,20 @@ pub fn registry() -> Vec<Scenario> {
                 seed: 84,
             },
         ),
+        categorical(
+            "categorical-z01",
+            "binary pooled data rerun through the categorical layer (d=2, one strain): \
+             matrix-AMP under Z-channel noise on the bit-compatible d-ary pipeline",
+            1,
+            NoiseModel::z_channel(0.1),
+        ),
+        categorical(
+            "categorical-strains",
+            "three-strain surveillance (d=4): matrix-AMP with the Bayes simplex denoiser \
+             under query noise, per-iteration MSE tracked by matrix state evolution",
+            3,
+            NoiseModel::gaussian(1.0),
+        ),
         workload(
             "workload-community",
             "SBM-style community blocks (2 hot of 8): prior-aware posterior ranking vs \
@@ -598,6 +645,128 @@ pub fn run(scenario: &Scenario, opts: &RunOptions) -> FigureReport {
         Measurement::ProtocolCost => run_protocol_cost(scenario, opts),
         Measurement::WorkloadOverlap => run_workload_overlap(scenario, opts),
         Measurement::Tracking => run_tracking(scenario, opts),
+        Measurement::Categorical => run_categorical(scenario, opts),
+    }
+}
+
+/// Categorical measurement: matrix-AMP label reconstruction on the
+/// multi-strain workload at the Theorem-1 budget, per grid point. Reports
+/// overall per-agent label accuracy, strain recall restricted to the
+/// truly affected agents (the hard part — the background dominates the
+/// overall number), and the decoder's final per-iteration MSE.
+fn run_categorical(scenario: &Scenario, opts: &RunOptions) -> FigureReport {
+    let spec = scenario
+        .workload
+        .expect("Categorical scenarios carry a workload");
+    let model = spec
+        .multi_strain()
+        .expect("Categorical scenarios use the multi-strain workload");
+    let trials = opts.resolve_trials(3, 10);
+    let grid = scenario.grid(opts.mode);
+    let config = MatrixAmpConfig::default();
+
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for &n in &grid {
+        // The Theorem-1 sufficient count (default_budget is 4× it).
+        let m = (sweep::default_budget(n, scenario.theta, &scenario.noise) / 4).max(200);
+        let gamma = (n / scenario.gamma_div).max(1);
+        let counts = model.strain_counts(n);
+        let k_total: usize = counts.iter().sum();
+        let instance = CategoricalInstance::new(n, counts, m)
+            .expect("registry scenarios are valid configurations")
+            .with_gamma(gamma)
+            .with_noise(scenario.noise)
+            .with_design(scenario.design);
+        let d = instance.d();
+        let seeds: Vec<u64> = (0..trials as u64)
+            .map(|t| mix_seed(0x5CE7_0000 ^ hash_name(scenario.name), (n as u64) << 8 | t))
+            .collect();
+        let per_trial = runner::parallel_map(&seeds, opts.threads, |&seed| {
+            let run = instance.sample(&mut StdRng::seed_from_u64(seed));
+            let prep = prepare_categorical(&run);
+            let out = run_matrix_amp_tracking(&prep, &config, Some(run.ground_truth().labels()));
+            let truth = run.ground_truth();
+            let accuracy = label_accuracy(&out.labels, truth);
+            let affected: Vec<usize> = (0..truth.n()).filter(|&i| truth.label(i) != 0).collect();
+            let recall = if affected.is_empty() {
+                1.0
+            } else {
+                affected
+                    .iter()
+                    .filter(|&&i| out.labels[i] == truth.label(i))
+                    .count() as f64
+                    / affected.len() as f64
+            };
+            let final_mse = out.mse_trajectory.last().copied().unwrap_or(f64::NAN);
+            (accuracy, recall, final_mse, out.iterations as f64)
+        });
+        let per = trials as f64;
+        let accuracy = per_trial.iter().map(|t| t.0).sum::<f64>() / per;
+        let recall = per_trial.iter().map(|t| t.1).sum::<f64>() / per;
+        let final_mse = per_trial.iter().map(|t| t.2).sum::<f64>() / per;
+        let iterations = per_trial.iter().map(|t| t.3).sum::<f64>() / per;
+        rows.push(vec![
+            n.to_string(),
+            d.to_string(),
+            k_total.to_string(),
+            m.to_string(),
+            format!("{accuracy:.3}"),
+            format!("{recall:.2}"),
+            format!("{final_mse:.4}"),
+            format!("{iterations:.0}"),
+        ]);
+        csv_rows.push(vec![
+            n.to_string(),
+            d.to_string(),
+            k_total.to_string(),
+            gamma.to_string(),
+            m.to_string(),
+            format!("{accuracy:.4}"),
+            format!("{recall:.3}"),
+            format!("{final_mse:.6}"),
+            format!("{iterations:.1}"),
+            trials.to_string(),
+        ]);
+    }
+    let rendered = format!(
+        "Scenario {} — matrix-AMP categorical reconstruction ({} workload, {} design, \
+         {} trials)\n{}",
+        scenario.name,
+        spec,
+        scenario.design,
+        trials,
+        table(
+            &[
+                "n",
+                "d",
+                "k",
+                "m",
+                "accuracy",
+                "recall",
+                "final MSE",
+                "iters"
+            ],
+            &rows
+        )
+    );
+    FigureReport {
+        name: format!("scenario-{}", scenario.name),
+        rendered,
+        csv_headers: vec![
+            "n".into(),
+            "d".into(),
+            "k_total".into(),
+            "gamma".into(),
+            "m".into(),
+            "label_accuracy".into(),
+            "affected_recall".into(),
+            "final_mse".into(),
+            "iterations".into(),
+            "trials".into(),
+        ],
+        csv_rows,
+        notes: vec![scenario.summary.to_string()],
     }
 }
 
@@ -1258,7 +1427,7 @@ mod tests {
     fn registry_has_at_least_four_workload_scenarios() {
         let workload_names: Vec<&str> = registry()
             .iter()
-            .filter(|s| s.workload.is_some())
+            .filter(|s| s.workload.is_some() && s.measurement != Measurement::Categorical)
             .map(|s| s.name)
             .collect();
         assert!(
@@ -1271,6 +1440,46 @@ mod tests {
         for name in workload_names {
             assert!(listing.contains(name), "list missing {name}");
         }
+    }
+
+    #[test]
+    fn categorical_scenario_runs_end_to_end() {
+        let mut scenario = find("categorical-strains").expect("registered");
+        scenario.quick_max_exp10 = 2; // n = 100 only
+        let opts = RunOptions {
+            mode: Mode::Quick,
+            trials: Some(2),
+            threads: 2,
+        };
+        let report = run(&scenario, &opts);
+        assert_eq!(report.name, "scenario-categorical-strains");
+        assert_eq!(report.csv_rows.len(), 1);
+        assert_eq!(report.csv_rows[0].len(), report.csv_headers.len());
+        // d = strains + 1 made it into the report.
+        let d_idx = report.csv_headers.iter().position(|h| h == "d").unwrap();
+        assert_eq!(report.csv_rows[0][d_idx], "4");
+        let acc_idx = report
+            .csv_headers
+            .iter()
+            .position(|h| h == "label_accuracy")
+            .unwrap();
+        let accuracy: f64 = report.csv_rows[0][acc_idx].parse().unwrap();
+        assert!(accuracy > 0.8, "accuracy {accuracy}");
+        // Deterministic re-run.
+        assert_eq!(run(&scenario, &opts).csv_rows, report.csv_rows);
+    }
+
+    #[test]
+    fn categorical_d2_scenario_is_registered_with_one_strain() {
+        let scenario = find("categorical-z01").expect("registered");
+        assert_eq!(scenario.decoder.name(), "matrix-amp");
+        assert_eq!(
+            scenario.workload,
+            Some(WorkloadSpec::MultiStrain {
+                strains: 1,
+                theta: 0.5
+            })
+        );
     }
 
     #[test]

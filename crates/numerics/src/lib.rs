@@ -7,6 +7,8 @@
 //! * [`vector`] — operations on `f64` slices (dot products, norms, axpy).
 //! * [`matrix`] — a dense row-major matrix with forward and transposed
 //!   matrix–vector products, as needed by the AMP baseline.
+//! * [`linalg`] — small `d × d` decompositions (Cholesky, LU solve,
+//!   inverse) for the categorical matrix-AMP layer.
 //! * [`sparse`] — a compressed sparse row (CSR) matrix for pooling graphs.
 //! * [`rng`] — exact samplers for the Gaussian, binomial, multinomial, beta
 //!   and gamma distributions on top of any [`rand::Rng`] uniform source.
@@ -34,6 +36,7 @@
 #![warn(clippy::expect_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod linalg;
 pub mod matrix;
 pub mod rng;
 pub mod sparse;

@@ -1,0 +1,255 @@
+//! Small dense linear algebra for the matrix-AMP layer.
+//!
+//! The categorical decoder works with `d × d` matrices (`d` = number of
+//! categories, single digits in every scenario): the effective-noise
+//! covariance `T_t = Z_tᵀZ_t/m`, its inverse inside the simplex denoiser,
+//! and a Cholesky square root for drawing `N(0, T)` samples in the matrix
+//! state-evolution recursion. All routines are plain sequential
+//! `O(d³)` loops — deterministic by construction and far below any
+//! parallel threshold — and return `None` instead of panicking when the
+//! input is numerically singular, so callers choose their own
+//! regularization policy (the AMP layer adds a relative ridge before
+//! inverting).
+
+use crate::matrix::Matrix;
+
+/// Minimum acceptable pivot magnitude, relative to the matrix scale.
+const PIVOT_TOL: f64 = 1e-13;
+
+/// Cholesky factorization `A = L·Lᵀ` of a symmetric positive-definite
+/// matrix; returns the lower-triangular factor `L`.
+///
+/// Returns `None` when `A` is not square or a diagonal pivot is not
+/// strictly positive (the matrix is not positive definite to working
+/// precision). Only the lower triangle of `A` is read, so a symmetric
+/// matrix with floating-point asymmetry in the upper triangle is accepted.
+///
+/// # Examples
+///
+/// ```
+/// use npd_numerics::{linalg, Matrix};
+///
+/// let a = Matrix::from_rows(&[&[4.0, 2.0][..], &[2.0, 5.0][..]]);
+/// let l = linalg::cholesky(&a).unwrap();
+/// assert!((l.get(0, 0) - 2.0).abs() < 1e-12);
+/// assert_eq!(l.get(0, 1), 0.0);
+/// ```
+pub fn cholesky(a: &Matrix) -> Option<Matrix> {
+    if a.rows() != a.cols() {
+        return None;
+    }
+    let d = a.rows();
+    let scale = (0..d).map(|i| a.get(i, i).abs()).fold(0.0f64, f64::max);
+    let tol = PIVOT_TOL * (1.0 + scale);
+    let mut l = Matrix::zeros(d, d);
+    for i in 0..d {
+        for j in 0..=i {
+            let mut sum = a.get(i, j);
+            for k in 0..j {
+                sum -= l.get(i, k) * l.get(j, k);
+            }
+            if i == j {
+                if sum <= tol {
+                    return None;
+                }
+                *l.get_mut(i, j) = sum.sqrt();
+            } else {
+                *l.get_mut(i, j) = sum / l.get(j, j);
+            }
+        }
+    }
+    Some(l)
+}
+
+/// Solves `A·x = b` by LU decomposition with partial pivoting.
+///
+/// Returns `None` when `A` is not square, `b` has the wrong length, or a
+/// pivot falls below the relative tolerance (the system is singular to
+/// working precision).
+///
+/// # Examples
+///
+/// ```
+/// use npd_numerics::{linalg, Matrix};
+///
+/// let a = Matrix::from_rows(&[&[2.0, 1.0][..], &[1.0, 3.0][..]]);
+/// let x = linalg::solve(&a, &[3.0, 4.0]).unwrap();
+/// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
+/// ```
+pub fn solve(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
+    if a.rows() != a.cols() || b.len() != a.rows() {
+        return None;
+    }
+    let d = a.rows();
+    // Working copy [A | b] with row swaps applied in place.
+    let mut lu: Vec<Vec<f64>> = (0..d).map(|r| a.row(r).to_vec()).collect();
+    let mut x = b.to_vec();
+    let scale = lu
+        .iter()
+        .flat_map(|r| r.iter())
+        .fold(0.0f64, |m, &v| m.max(v.abs()));
+    let tol = PIVOT_TOL * (1.0 + scale);
+    for col in 0..d {
+        // Partial pivot: the largest magnitude in this column below the
+        // diagonal (deterministic: first maximal row wins).
+        let mut pivot_row = col;
+        let mut pivot_mag = lu[col][col].abs();
+        for (r, row) in lu.iter().enumerate().skip(col + 1) {
+            if row[col].abs() > pivot_mag {
+                pivot_mag = row[col].abs();
+                pivot_row = r;
+            }
+        }
+        if pivot_mag <= tol {
+            return None;
+        }
+        if pivot_row != col {
+            lu.swap(col, pivot_row);
+            x.swap(col, pivot_row);
+        }
+        let pivot = lu[col][col];
+        let pivot_tail: Vec<f64> = lu[col][col..].to_vec();
+        for r in col + 1..d {
+            let factor = lu[r][col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for (entry, &upper) in lu[r][col..].iter_mut().zip(&pivot_tail) {
+                *entry -= factor * upper;
+            }
+            x[r] -= factor * x[col];
+        }
+    }
+    // Back substitution.
+    for col in (0..d).rev() {
+        let mut sum = x[col];
+        for c in col + 1..d {
+            sum -= lu[col][c] * x[c];
+        }
+        x[col] = sum / lu[col][col];
+    }
+    Some(x)
+}
+
+/// Matrix inverse via [`solve`] against the identity columns.
+///
+/// Returns `None` when the matrix is not square or singular to working
+/// precision. Intended for the `d × d` matrices of the categorical layer;
+/// cost is `O(d⁴)` and irrelevant at that size.
+///
+/// # Examples
+///
+/// ```
+/// use npd_numerics::{linalg, Matrix};
+///
+/// let a = Matrix::from_rows(&[&[2.0, 0.0][..], &[0.0, 4.0][..]]);
+/// let inv = linalg::inverse(&a).unwrap();
+/// assert!((inv.get(0, 0) - 0.5).abs() < 1e-12);
+/// assert!((inv.get(1, 1) - 0.25).abs() < 1e-12);
+/// ```
+pub fn inverse(a: &Matrix) -> Option<Matrix> {
+    if a.rows() != a.cols() {
+        return None;
+    }
+    let d = a.rows();
+    let mut out = Matrix::zeros(d, d);
+    let mut e = vec![0.0; d];
+    for col in 0..d {
+        e[col] = 1.0;
+        let x = solve(a, &e)?;
+        e[col] = 0.0;
+        for (r, &v) in x.iter().enumerate() {
+            *out.get_mut(r, col) = v;
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        // AᵀA + I for a fixed A: symmetric positive definite by construction.
+        Matrix::from_rows(&[
+            &[6.0, 2.0, 1.0][..],
+            &[2.0, 5.0, 2.0][..],
+            &[1.0, 2.0, 4.0][..],
+        ])
+    }
+
+    #[test]
+    fn cholesky_reconstructs_the_input() {
+        let a = spd3();
+        let l = cholesky(&a).expect("SPD");
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut v = 0.0;
+                for k in 0..3 {
+                    v += l.get(i, k) * l.get(j, k);
+                }
+                assert!((v - a.get(i, j)).abs() < 1e-12, "({i},{j}): {v}");
+            }
+        }
+        // Upper triangle of L stays zero.
+        assert_eq!(l.get(0, 2), 0.0);
+        assert_eq!(l.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite_and_nonsquare() {
+        let indef = Matrix::from_rows(&[&[1.0, 2.0][..], &[2.0, 1.0][..]]);
+        assert!(cholesky(&indef).is_none());
+        assert!(cholesky(&Matrix::zeros(2, 3)).is_none());
+        assert!(cholesky(&Matrix::zeros(2, 2)).is_none());
+    }
+
+    #[test]
+    fn solve_matches_direct_multiplication() {
+        let a = spd3();
+        let x_true = [1.0, -2.0, 0.5];
+        let b = a.matvec(&x_true);
+        let x = solve(&a, &b).expect("nonsingular");
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-10, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn solve_needs_pivoting() {
+        // Zero leading diagonal: fails without row swaps.
+        let a = Matrix::from_rows(&[&[0.0, 1.0][..], &[1.0, 0.0][..]]);
+        let x = solve(&a, &[2.0, 3.0]).expect("permutation is invertible");
+        assert!((x[0] - 3.0).abs() < 1e-12 && (x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_rejects_singular() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0][..], &[2.0, 4.0][..]]);
+        assert!(solve(&a, &[1.0, 2.0]).is_none());
+        assert!(solve(&a, &[1.0]).is_none());
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = spd3();
+        let inv = inverse(&a).expect("nonsingular");
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut v = 0.0;
+                for k in 0..3 {
+                    v += inv.get(i, k) * a.get(k, j);
+                }
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((v - want).abs() < 1e-10, "({i},{j}): {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_rejects_singular() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0][..], &[1.0, 1.0][..]]);
+        assert!(inverse(&a).is_none());
+        assert!(inverse(&Matrix::zeros(1, 2)).is_none());
+    }
+}

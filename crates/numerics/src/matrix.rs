@@ -3,8 +3,9 @@
 //! The AMP baseline iterates `z = y − Ax + …` and `v = Aᵀz + x`, so the only
 //! operations required are the forward product [`Matrix::matvec`] and the
 //! transposed product [`Matrix::matvec_t`], plus element-wise construction
-//! helpers. The matrix is deliberately minimal: no decompositions, no
-//! inversion — the reproduction does not need them.
+//! helpers. The matrix itself stays minimal; the small `d × d`
+//! decompositions the categorical matrix-AMP layer needs (Cholesky, LU
+//! solve, inverse) live in [`crate::linalg`].
 
 use serde::{Deserialize, Serialize};
 
@@ -123,6 +124,16 @@ impl Matrix {
     pub fn row(&self, r: usize) -> &[f64] {
         assert!(r < self.rows, "Matrix::row out of bounds");
         &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        assert!(r < self.rows, "Matrix::row_mut out of bounds");
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
     /// Raw row-major data.

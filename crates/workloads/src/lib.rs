@@ -65,7 +65,9 @@ pub mod models;
 pub mod sir;
 pub mod tracking;
 
-pub use models::{CommunityBlocks, HeavyTailedHubs, HouseholdClusters, UniformKSubset};
+pub use models::{
+    CommunityBlocks, HeavyTailedHubs, HouseholdClusters, MultiStrain, UniformKSubset,
+};
 pub use sir::{SirDynamics, SirState};
 pub use tracking::{track_greedy, track_protocol, EpochReport, TrackingConfig};
 
@@ -142,6 +144,16 @@ pub enum WorkloadSpec {
     /// (see [`SirDynamics::catalog`]); one-shot samples snapshot the
     /// process after its burn-in.
     Sir,
+    /// Categorical multi-strain population ([`MultiStrain`]): `strains`
+    /// distinguishable variants (`d = strains + 1` categories); the binary
+    /// view collapses strains to affected/unaffected.
+    MultiStrain {
+        /// Number of strains (1 to 255); `strains = 1` is the binary
+        /// special case, bit-identical to [`WorkloadSpec::Uniform`].
+        strains: usize,
+        /// Sparsity exponent θ for the total expected `k` across strains.
+        theta: f64,
+    },
 }
 
 impl WorkloadSpec {
@@ -158,6 +170,26 @@ impl WorkloadSpec {
             }
             WorkloadSpec::Hubs { theta } => Box::new(HeavyTailedHubs::new(1.0, regime(theta))),
             WorkloadSpec::Sir => Box::new(SirDynamics::catalog()),
+            WorkloadSpec::MultiStrain { strains, theta } => {
+                Box::new(MultiStrain::new(strains, regime(theta)))
+            }
+        }
+    }
+
+    /// Strain count used by the catalog `multi-strain` name (see
+    /// [`WorkloadSpec::parse`]).
+    pub const CATALOG_STRAINS: usize = 3;
+
+    /// The categorical model behind this spec, if it is one (the
+    /// categorical scenarios branch on this the way the tracking scenarios
+    /// branch on [`WorkloadSpec::sir`]).
+    pub fn multi_strain(&self) -> Option<MultiStrain> {
+        match *self {
+            WorkloadSpec::MultiStrain { strains, theta } => Some(MultiStrain::new(
+                strains,
+                npd_core::Regime::sublinear(theta),
+            )),
+            _ => None,
         }
     }
 
@@ -180,6 +212,10 @@ impl WorkloadSpec {
             "households" => Some(WorkloadSpec::Households { theta: 0.25 }),
             "hubs" => Some(WorkloadSpec::Hubs { theta: 0.25 }),
             "sir" => Some(WorkloadSpec::Sir),
+            "multi-strain" => Some(WorkloadSpec::MultiStrain {
+                strains: Self::CATALOG_STRAINS,
+                theta: 0.25,
+            }),
             _ => None,
         }
     }
@@ -193,6 +229,7 @@ impl PopulationModel for WorkloadSpec {
             WorkloadSpec::Households { .. } => "households",
             WorkloadSpec::Hubs { .. } => "hubs",
             WorkloadSpec::Sir => "sir",
+            WorkloadSpec::MultiStrain { .. } => "multi-strain",
         }
     }
 
@@ -218,6 +255,9 @@ impl fmt::Display for WorkloadSpec {
             WorkloadSpec::Households { theta } => write!(f, "households(θ={theta})"),
             WorkloadSpec::Hubs { theta } => write!(f, "hubs(θ={theta})"),
             WorkloadSpec::Sir => f.write_str("sir"),
+            WorkloadSpec::MultiStrain { strains, theta } => {
+                write!(f, "multi-strain(s={strains}, θ={theta})")
+            }
         }
     }
 }
@@ -230,7 +270,14 @@ mod tests {
 
     #[test]
     fn spec_parse_round_trips_names() {
-        for name in ["uniform", "community", "households", "hubs", "sir"] {
+        for name in [
+            "uniform",
+            "community",
+            "households",
+            "hubs",
+            "sir",
+            "multi-strain",
+        ] {
             let spec = WorkloadSpec::parse(name).expect("catalog name parses");
             assert_eq!(spec.name(), name);
             assert_eq!(spec.model().name(), name);
@@ -266,6 +313,11 @@ mod tests {
             WorkloadSpec::Households { theta: 0.25 }.model(),
             WorkloadSpec::Hubs { theta: 0.25 }.model(),
             WorkloadSpec::Sir.model(),
+            WorkloadSpec::MultiStrain {
+                strains: 3,
+                theta: 0.25,
+            }
+            .model(),
         ];
         let mut rng = StdRng::seed_from_u64(11);
         for model in &catalog {

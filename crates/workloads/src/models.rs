@@ -6,7 +6,7 @@
 
 use crate::PopulationModel;
 use npd_core::model::GroundTruth;
-use npd_core::Regime;
+use npd_core::{CategoricalTruth, Regime};
 use rand::{Rng, RngCore};
 
 /// Shared guard for the samplers.
@@ -375,6 +375,92 @@ impl PopulationModel for HeavyTailedHubs {
     }
 }
 
+/// A categorical population: the regime's `k` affected agents split
+/// near-evenly across `strains` distinguishable variants (multi-strain
+/// surveillance, multi-class heavy hitters).
+///
+/// This is the population side of the categorical layer in `npd-core`:
+/// [`MultiStrain::sample_categorical`] produces a [`CategoricalTruth`]
+/// whose `d = strains + 1` categories feed the matrix-AMP decoder, while
+/// the [`PopulationModel`] impl collapses strains to the binary
+/// affected/unaffected view so every existing harness path (greedy,
+/// binary AMP, the distributed protocol) still runs on the same
+/// population. At `strains = 1` the categorical sample is bit-identical
+/// to [`GroundTruth::sample`] (the d = 2 contract of
+/// [`CategoricalTruth::sample`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultiStrain {
+    strains: usize,
+    regime: Regime,
+}
+
+impl MultiStrain {
+    /// A multi-strain population with the given number of strains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `strains` is zero or exceeds 255 (the categorical label
+    /// width).
+    pub fn new(strains: usize, regime: Regime) -> Self {
+        assert!(strains >= 1, "MultiStrain: need at least one strain");
+        assert!(strains <= 255, "MultiStrain: at most 255 strains");
+        Self { strains, regime }
+    }
+
+    /// Number of strains (categories excluding the unaffected background).
+    pub fn strains(&self) -> usize {
+        self.strains
+    }
+
+    /// Deterministic per-strain counts at population size `n`: the
+    /// regime's `k` split near-evenly, remainder to the lowest strains.
+    pub fn strain_counts(&self, n: usize) -> Vec<usize> {
+        let k = self.regime.k_for(n).min(n);
+        let base = k / self.strains;
+        let extra = k % self.strains;
+        (0..self.strains)
+            .map(|s| base + usize::from(s < extra))
+            .collect()
+    }
+
+    /// The categorical prior `π` over `d = strains + 1` categories
+    /// (background first) — the prior the matrix-AMP denoiser and the
+    /// matrix state evolution consume.
+    pub fn categorical_prior(&self, n: usize) -> Vec<f64> {
+        let counts = self.strain_counts(n);
+        let k_total: usize = counts.iter().sum();
+        let mut prior = Vec::with_capacity(self.strains + 1);
+        prior.push((n - k_total) as f64 / n as f64);
+        prior.extend(counts.iter().map(|&c| c as f64 / n as f64));
+        prior
+    }
+
+    /// Samples the full categorical assignment.
+    pub fn sample_categorical(&self, n: usize, rng: &mut dyn RngCore) -> CategoricalTruth {
+        assert_population(n);
+        CategoricalTruth::sample(n, &self.strain_counts(n), rng)
+    }
+}
+
+impl PopulationModel for MultiStrain {
+    fn name(&self) -> &'static str {
+        "multi-strain"
+    }
+
+    fn expected_k(&self, n: usize) -> f64 {
+        self.strain_counts(n).iter().sum::<usize>() as f64
+    }
+
+    fn prior(&self, n: usize) -> Vec<f64> {
+        let pi = self.expected_k(n) / n as f64;
+        vec![pi; n]
+    }
+
+    fn sample(&self, n: usize, rng: &mut dyn RngCore) -> GroundTruth {
+        self.sample_categorical(n, rng).to_binary()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -460,6 +546,37 @@ mod tests {
     #[should_panic(expected = "hot")]
     fn community_rejects_bad_hot_count() {
         CommunityBlocks::new(4, 5, 0.5, Regime::explicit(3));
+    }
+
+    #[test]
+    fn multi_strain_splits_k_evenly_and_collapses_to_binary() {
+        let model = MultiStrain::new(3, Regime::explicit(20));
+        let counts = model.strain_counts(900);
+        assert_eq!(counts, vec![7, 7, 6]);
+        assert_eq!(model.expected_k(900), 20.0);
+        let prior = model.categorical_prior(900);
+        assert_eq!(prior.len(), 4);
+        assert!((prior.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((prior[0] - 880.0 / 900.0).abs() < 1e-12);
+        // The binary view is exactly "label != 0" of the categorical view.
+        let cat = model.sample_categorical(900, &mut StdRng::seed_from_u64(8));
+        let bin = model.sample(900, &mut StdRng::seed_from_u64(8));
+        assert_eq!(cat.to_binary(), bin);
+        assert_eq!(bin.k(), 20);
+    }
+
+    #[test]
+    fn multi_strain_single_strain_matches_legacy_sampler() {
+        // strains = 1 is the d = 2 contract: same stream as GroundTruth.
+        for seed in [2u64, 99] {
+            let legacy = GroundTruth::sample(400, 12, &mut StdRng::seed_from_u64(seed));
+            let model = MultiStrain::new(1, Regime::explicit(12));
+            assert_eq!(
+                model.sample(400, &mut StdRng::seed_from_u64(seed)),
+                legacy,
+                "seed={seed}"
+            );
+        }
     }
 
     #[test]

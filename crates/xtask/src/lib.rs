@@ -1,7 +1,7 @@
 //! `xtask` — workspace automation for the noisy-pooled-data repo.
 //!
 //! The one subcommand, `lint`, statically enforces the determinism
-//! contract of `docs/ARCHITECTURE.md` (contract rule 8): the dynamic
+//! contract of `docs/ARCHITECTURE.md` (contract rule 9): the dynamic
 //! replay suite (`tests/determinism.rs`) samples a handful of pinned
 //! (scenario, seed) points, but a hazard like unordered `HashMap`
 //! iteration can pass every pinned seed while corrupting replay

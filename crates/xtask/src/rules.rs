@@ -1,4 +1,4 @@
-//! The determinism-contract rules (docs/ARCHITECTURE.md, contract rule 8).
+//! The determinism-contract rules (docs/ARCHITECTURE.md, contract rule 9).
 //!
 //! Each rule walks the token stream of one file (already stripped of
 //! comments and with literals opaque, see [`crate::lexer`]) and emits

@@ -414,6 +414,90 @@ fn gossip_strategy_protocol_is_identical_across_thread_counts() {
     }
 }
 
+/// The categorical layer's d = 2 bit-compatibility contract, end to end:
+/// a two-category instance consumes the *same* RNG stream as the binary
+/// pipeline it generalizes, so truth, pooling graph and every measurement
+/// are bit-identical — for every noise model.
+#[test]
+fn categorical_d2_pipeline_matches_binary_bit_for_bit() {
+    use noisy_pooled_data::core::CategoricalInstance;
+    for (seed, noise) in [
+        (1u64, NoiseModel::Noiseless),
+        (2, NoiseModel::z_channel(0.1)),
+        (3, NoiseModel::channel(0.08, 0.03)),
+        (4, NoiseModel::gaussian(1.5)),
+    ] {
+        let cat = CategoricalInstance::new(500, vec![60], 300)
+            .expect("valid categorical instance")
+            .with_noise(noise);
+        let bin = cat.to_binary().expect("d = 2 maps onto a binary instance");
+        let cat_run = cat.sample(&mut StdRng::seed_from_u64(seed));
+        let bin_run = bin.sample(&mut StdRng::seed_from_u64(seed));
+        assert_eq!(
+            &cat_run.ground_truth().to_binary(),
+            bin_run.ground_truth(),
+            "noise={noise}: ground truth diverged"
+        );
+        assert_eq!(
+            cat_run.graph(),
+            bin_run.graph(),
+            "noise={noise}: pooling graph diverged"
+        );
+        for (j, (row, &y)) in cat_run.results().iter().zip(bin_run.results()).enumerate() {
+            assert_eq!(
+                row[1].to_bits(),
+                y.to_bits(),
+                "noise={noise}: measurement {j} diverged"
+            );
+        }
+    }
+}
+
+/// Matrix-AMP rides the same parallel matvec substrate as binary AMP, so
+/// it must honor the same contract: bit-identical output at any ambient
+/// thread count.
+#[test]
+fn matrix_amp_decode_is_identical_across_thread_counts() {
+    use noisy_pooled_data::amp::matrix_amp::run_matrix_amp;
+    use noisy_pooled_data::amp::{prepare_categorical, MatrixAmpConfig};
+    use noisy_pooled_data::core::CategoricalInstance;
+
+    let run = CategoricalInstance::new(2_000, vec![200, 150], 900)
+        .expect("valid categorical instance")
+        .with_noise(NoiseModel::gaussian(1.0))
+        .sample(&mut StdRng::seed_from_u64(55));
+    let config = MatrixAmpConfig::default();
+    let decode = |threads: usize| {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        pool.install(|| run_matrix_amp(&prepare_categorical(&run), &config))
+    };
+    let reference = decode(1);
+    for threads in [2usize, 4, 8] {
+        let got = decode(threads);
+        assert_eq!(got.labels, reference.labels, "threads={threads}: labels");
+        assert_eq!(
+            got.iterations, reference.iterations,
+            "threads={threads}: iteration count"
+        );
+        assert_eq!(
+            (got.estimate.rows(), got.estimate.cols()),
+            (reference.estimate.rows(), reference.estimate.cols())
+        );
+        for i in 0..reference.estimate.rows() {
+            for c in 0..reference.estimate.cols() {
+                assert_eq!(
+                    got.estimate.get(i, c).to_bits(),
+                    reference.estimate.get(i, c).to_bits(),
+                    "threads={threads}: estimate ({i}, {c})"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn amp_decode_is_identical_across_thread_counts() {
     // AMP's matvecs parallelize across rows once the instance clears the
