@@ -1255,7 +1255,17 @@ fn gate_copy<M>(
     key: MsgKey,
     env: Envelope<M>,
 ) {
+    // Both gate draws happen unconditionally, before the data-dependent
+    // drop return below, so the per-message stream consumes a fixed number
+    // of variates regardless of the drop outcome. Surviving copies see the
+    // same (drop, delay) values in the same order as before; dropped
+    // copies burn one extra variate from an rng that is discarded here.
     let drop_draw = rng.gen::<f64>();
+    let delay_draw = if profile.max_delay > 0 {
+        rng.gen_range(0..=profile.max_delay)
+    } else {
+        0
+    };
     if drop_draw < profile.drop_prob {
         sinks.metrics.messages_dropped += 1;
         if let Some(rc) = reliable_cfg {
@@ -1273,10 +1283,7 @@ fn gate_copy<M>(
         }
         return;
     }
-    let mut extra = straggler_extra;
-    if profile.max_delay > 0 {
-        extra += rng.gen_range(0..=profile.max_delay);
-    }
+    let extra = straggler_extra + delay_draw;
     let dst = env.to.0 / shard_size;
     if extra > 0 {
         sinks.metrics.messages_delayed += 1;

@@ -1,0 +1,107 @@
+//! `impl-purity`: `PoolingDesign` / `PopulationModel` / `NoiseModel`
+//! impls must be pure in `(params, n, stream)` (contract rules 6-8). See
+//! the table in [`super`].
+
+use crate::lexer::{Token, TokenKind};
+use crate::parser::ParsedFile;
+use crate::rules::Finding;
+
+use super::{ident_at, punct_at};
+
+/// The traits (and the one enum with an inherent sampling impl) whose
+/// impls must be pure in `(params, n, stream)` — contract rules 6–8.
+const PURE_IMPL_TARGETS: &[&str] = &["PoolingDesign", "PopulationModel", "NoiseModel"];
+// ---------------------------------------------------------------------
+// impl-purity
+// ---------------------------------------------------------------------
+
+/// Idents that constitute observable process state inside a pure impl.
+const IMPURE_IDENTS: &[(&str, &str)] = &[
+    ("thread_rng", "the ambient thread RNG"),
+    ("SystemTime", "the wall clock"),
+    ("available_parallelism", "the worker-pool shape"),
+    ("current_num_threads", "the worker-pool shape"),
+    ("AtomicBool", "interior-mutable shared state"),
+    ("AtomicI64", "interior-mutable shared state"),
+    ("AtomicU32", "interior-mutable shared state"),
+    ("AtomicU64", "interior-mutable shared state"),
+    ("AtomicUsize", "interior-mutable shared state"),
+    ("Cell", "interior-mutable shared state"),
+    ("Mutex", "lock-ordered shared state"),
+    ("OnceCell", "interior-mutable shared state"),
+    ("OnceLock", "interior-mutable shared state"),
+    ("RefCell", "interior-mutable shared state"),
+    ("RwLock", "lock-ordered shared state"),
+];
+
+pub(super) fn impl_purity(toks: &[Token], parsed: &ParsedFile, out: &mut Vec<Finding>) {
+    for f in &parsed.fns {
+        let Some(ii) = f.impl_index else { continue };
+        let imp = &parsed.impls[ii];
+        let target = match imp.trait_name.as_deref() {
+            Some(t) => PURE_IMPL_TARGETS.contains(&t),
+            None => PURE_IMPL_TARGETS.contains(&imp.type_name.as_str()),
+        };
+        if !target {
+            continue;
+        }
+        let subject = imp
+            .trait_name
+            .clone()
+            .unwrap_or_else(|| imp.type_name.clone());
+        let Some((b0, b1)) = f.body else { continue };
+        let body = &toks[b0..b1];
+        let mut flag = |line: u32, what: &str| {
+            out.push(Finding {
+                rule: "impl-purity",
+                line,
+                message: format!(
+                    "`{}::{}` reaches {what}: a `{subject}` impl must be a pure \
+                     function of (params, n, stream) — contract rules 6–8. Move \
+                     the state into explicit parameters, or justify with \
+                     `// xtask:allow(impl-purity): <why unobservable>`",
+                    subject, f.name
+                ),
+            });
+        };
+        for i in 0..body.len() {
+            match &body[i].kind {
+                TokenKind::Ident(s) => {
+                    if let Some((_, what)) = IMPURE_IDENTS.iter().find(|(id, _)| id == s) {
+                        flag(body[i].line, what);
+                    } else if s == "Instant"
+                        && punct_at(body, i + 1, ':')
+                        && punct_at(body, i + 2, ':')
+                        && ident_at(body, i + 3) == Some("now")
+                    {
+                        flag(body[i].line, "the wall clock");
+                    } else if s == "env"
+                        && punct_at(body, i + 1, ':')
+                        && punct_at(body, i + 2, ':')
+                        && ident_at(body, i + 3) == Some("var")
+                    {
+                        flag(body[i].line, "the process environment");
+                    } else if s == "thread"
+                        && punct_at(body, i + 1, ':')
+                        && punct_at(body, i + 2, ':')
+                        && ident_at(body, i + 3) == Some("current")
+                    {
+                        flag(body[i].line, "thread identity");
+                    } else if s == "static" {
+                        flag(body[i].line, "a function-local static");
+                    } else if parsed
+                        .statics
+                        .iter()
+                        .any(|st| st.hazardous && st.name == *s)
+                    {
+                        flag(body[i].line, "a mutable static");
+                    }
+                }
+                TokenKind::Str(s) if s.contains("RAYON_NUM_THREADS") => {
+                    flag(body[i].line, "the worker-pool shape");
+                }
+                _ => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,392 @@
+//! Walks source files, runs the rules, applies `xtask:allow` suppressions,
+//! and renders reports (human-readable and `--json`).
+//!
+//! Two pipelines share this machinery:
+//!
+//! * `lint` — the token-level rules of [`crate::rules`] (contract rule 9);
+//! * `analyze` — the parser-level rules of [`crate::analysis`] (contract
+//!   rule 10), plus the workspace-level `contract-sync` drift check.
+//!
+//! Suppression is ruleset-aware: each pipeline audits only the directives
+//! that name *its* rules (so an `xtask:allow(float-order)` is never
+//! reported stale by `lint`, which does not run `float-order`), while
+//! unknown-rule auditing always validates against the combined registry.
+
+mod render;
+
+pub use render::{render_json, render_text};
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::analysis::{self, FnDb};
+use crate::lexer::{self, AllowDirective, Lexed};
+use crate::parser;
+use crate::rules::{self, FileContext, FileKind, Finding};
+
+/// A finding bound to the file it was found in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// Path as reported (relative to the workspace root when walking the
+    /// workspace, verbatim for explicit paths).
+    pub file: String,
+    /// The underlying finding.
+    pub finding: Finding,
+}
+
+/// Outcome of linting or analyzing a set of files.
+#[derive(Debug, Default)]
+pub struct LintOutcome {
+    /// Surviving (unsuppressed) findings, sorted by (file, line).
+    pub reports: Vec<Report>,
+    /// Number of files scanned.
+    pub files: usize,
+    /// Number of allow directives that suppressed at least one finding.
+    pub allows_used: usize,
+}
+
+/// Applies `xtask:allow` suppression to `raw` findings and audits the
+/// directives that belong to `my_rules`.
+///
+/// A finding of rule `r` at line `l` is silenced by an
+/// `xtask:allow(r): reason` directive on line `l` or `l - 1`. Directives
+/// naming one of `my_rules` are policed: omitting the reason or
+/// suppressing nothing are findings (`allow-audit`). When `audit_unknown`
+/// is set, directives naming a rule outside the *combined* lint + analyze
+/// registry are findings too (only `lint` sets it, so the two pipelines
+/// never report the same unknown directive twice).
+///
+/// `shadow` findings mark directives as used without ever being
+/// reported: the default lint walk passes the harness-scope findings of
+/// a test file here, so an escape that exists for `--include-harness`
+/// (e.g. a justified `wall-clock` in an example) is not called stale by
+/// the scope in which the rule never ran.
+fn apply_allows(
+    lexed: &Lexed,
+    raw: Vec<Finding>,
+    shadow: &[Finding],
+    my_rules: &[&str],
+    audit_unknown: bool,
+) -> (Vec<Finding>, usize) {
+    let mut used = vec![false; lexed.allows.len()];
+    let mark_used = |used: &mut Vec<bool>, f: &Finding| -> bool {
+        let mut suppressed = false;
+        for (i, a) in lexed.allows.iter().enumerate() {
+            if a.rule == f.rule
+                && !a.reason.is_empty()
+                && (a.line == f.line || a.line + 1 == f.line)
+            {
+                used[i] = true;
+                suppressed = true;
+            }
+        }
+        suppressed
+    };
+    for f in shadow {
+        mark_used(&mut used, f);
+    }
+    let mut findings: Vec<Finding> = raw
+        .into_iter()
+        .filter(|f| !mark_used(&mut used, f))
+        .collect();
+
+    let all_rules = analysis::live_rules();
+    for (i, a) in lexed.allows.iter().enumerate() {
+        if !all_rules.contains(&a.rule.as_str()) {
+            if audit_unknown {
+                findings.push(Finding {
+                    rule: "allow-audit",
+                    line: a.line,
+                    message: format!(
+                        "`xtask:allow({})` names an unknown rule (known: {})",
+                        a.rule,
+                        all_rules.join(", ")
+                    ),
+                });
+            }
+            continue;
+        }
+        if !my_rules.contains(&a.rule.as_str()) {
+            continue; // the other pipeline owns this directive
+        }
+        if a.reason.is_empty() {
+            findings.push(Finding {
+                rule: "allow-audit",
+                line: a.line,
+                message: format!(
+                    "`xtask:allow({})` carries no justification; write \
+                     `// xtask:allow({}): <reason>`",
+                    a.rule, a.rule
+                ),
+            });
+        } else if !used[i] {
+            findings.push(Finding {
+                rule: "allow-audit",
+                line: a.line,
+                message: format!(
+                    "`xtask:allow({})` suppresses nothing on this or the next \
+                     line; remove the stale escape",
+                    a.rule
+                ),
+            });
+        }
+    }
+    findings.sort_by_key(|f| (f.line, f.rule));
+    let used_count = used.iter().filter(|&&u| u).count();
+    (findings, used_count)
+}
+
+/// Lints one file's contents under `ctx`, returning surviving findings.
+pub fn lint_source(ctx: &FileContext, src: &str) -> (Vec<Finding>, usize) {
+    lint_source_scoped(ctx, src, false)
+}
+
+/// [`lint_source`] with the opt-in harness scope: test/bench/example
+/// files, normally exempt, are checked for the ordering hazards
+/// (`hash-iteration`, `wall-clock`) that matter even in pinning tests.
+pub fn lint_source_scoped(
+    ctx: &FileContext,
+    src: &str,
+    include_harness: bool,
+) -> (Vec<Finding>, usize) {
+    let lexed = lexer::lex(src);
+    if ctx.crate_name == "xtask" {
+        // The linter's own sources and docs *mention* the directive syntax
+        // constantly; policing them would flag every explanatory comment.
+        return (Vec::new(), 0);
+    }
+    if ctx.kind == FileKind::TestLike && !include_harness {
+        // Harness files are exempt from the ordering rules in this scope,
+        // but their escapes may exist for the `--include-harness` leg:
+        // compute those findings as shadows so a justified escape that
+        // suppresses a harness-only finding is not audited as stale here.
+        let shadow = rules::check_harness(&lexed);
+        let raw = rules::check_file(ctx, &lexed);
+        return apply_allows(&lexed, raw, &shadow, rules::RULE_NAMES, true);
+    }
+    let raw = if ctx.kind == FileKind::TestLike {
+        rules::check_harness(&lexed)
+    } else {
+        rules::check_file(ctx, &lexed)
+    };
+    apply_allows(&lexed, raw, &[], rules::RULE_NAMES, true)
+}
+
+/// Analyzes one file's contents under `ctx` with a database built from
+/// the file itself. Workspace runs use [`analyze_workspace`], which sees
+/// cross-file fn signatures.
+pub fn analyze_source(ctx: &FileContext, src: &str) -> (Vec<Finding>, usize) {
+    analyze_source_scoped(ctx, src, false)
+}
+
+/// [`analyze_source`] with the opt-in harness scope.
+pub fn analyze_source_scoped(
+    ctx: &FileContext,
+    src: &str,
+    include_harness: bool,
+) -> (Vec<Finding>, usize) {
+    let lexed = lexer::lex(src);
+    if ctx.crate_name == "xtask" {
+        return (Vec::new(), 0);
+    }
+    let parsed = parser::parse(&lexed);
+    let mut db = FnDb::default();
+    db.add_file(&parsed);
+    let raw = analysis::check_file(ctx, &lexed, &parsed, &db, include_harness);
+    apply_allows(&lexed, raw, &[], analysis::ANALYZE_RULE_NAMES, false)
+}
+
+/// Lints every workspace source file under `root`.
+pub fn lint_workspace(root: &Path, include_harness: bool) -> std::io::Result<LintOutcome> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    let mut outcome = LintOutcome::default();
+    for rel in files {
+        let Some(ctx) = FileContext::classify(&rel) else {
+            continue;
+        };
+        let src = fs::read_to_string(root.join(&rel))?;
+        let (findings, used) = lint_source_scoped(&ctx, &src, include_harness);
+        outcome.files += 1;
+        outcome.allows_used += used;
+        outcome
+            .reports
+            .extend(findings.into_iter().map(|finding| Report {
+                file: rel.clone(),
+                finding,
+            }));
+    }
+    Ok(outcome)
+}
+
+/// Analyzes every workspace source file under `root`: builds the
+/// cross-file fn database in a first pass, runs the parser-level rules in
+/// a second, and finishes with the workspace-level `contract-sync` drift
+/// check (docs ↔ rule registry ↔ escapes ↔ README targets).
+pub fn analyze_workspace(root: &Path, include_harness: bool) -> std::io::Result<LintOutcome> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    let mut entries: Vec<(String, FileContext, Lexed, parser::ParsedFile)> = Vec::new();
+    let mut db = FnDb::default();
+    let mut allows: Vec<(String, AllowDirective)> = Vec::new();
+    for rel in files {
+        let Some(ctx) = FileContext::classify(&rel) else {
+            continue;
+        };
+        let src = fs::read_to_string(root.join(&rel))?;
+        let lexed = lexer::lex(&src);
+        let parsed = parser::parse(&lexed);
+        if ctx.crate_name != "xtask" {
+            allows.extend(lexed.allows.iter().cloned().map(|a| (rel.clone(), a)));
+        }
+        if analysis::analyzed_crate(&ctx) && ctx.kind == FileKind::Lib {
+            db.add_file(&parsed);
+        }
+        entries.push((rel, ctx, lexed, parsed));
+    }
+    let mut outcome = LintOutcome::default();
+    for (rel, ctx, lexed, parsed) in &entries {
+        outcome.files += 1;
+        if ctx.crate_name == "xtask" {
+            continue;
+        }
+        let raw = analysis::check_file(ctx, lexed, parsed, &db, include_harness);
+        let (findings, used) = apply_allows(lexed, raw, &[], analysis::ANALYZE_RULE_NAMES, false);
+        outcome.allows_used += used;
+        outcome
+            .reports
+            .extend(findings.into_iter().map(|finding| Report {
+                file: rel.clone(),
+                finding,
+            }));
+    }
+    outcome
+        .reports
+        .extend(analysis::contract_sync(root, &allows));
+    outcome.reports.sort_by(|a, b| {
+        (&a.file, a.finding.line, a.finding.rule).cmp(&(&b.file, b.finding.line, b.finding.rule))
+    });
+    Ok(outcome)
+}
+
+/// Resolves explicit paths (files or directories) to the per-file list.
+fn expand_paths(paths: &[PathBuf]) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    for p in paths {
+        if p.is_dir() {
+            let mut nested = Vec::new();
+            collect_rs_files(p, p, &mut nested)?;
+            nested.sort();
+            files.extend(nested.into_iter().map(|rel| p.join(rel)));
+        } else {
+            files.push(p.clone());
+        }
+    }
+    Ok(files)
+}
+
+/// The context for explicitly-passed paths: strict (deterministic library
+/// code) so fixture snippets exercise every rule — or, under the harness
+/// scope, test-like, so the harness rules apply to the named test files.
+fn explicit_ctx(include_harness: bool) -> FileContext {
+    if include_harness {
+        FileContext {
+            crate_name: "noisy_pooled_data".to_string(),
+            kind: FileKind::TestLike,
+        }
+    } else {
+        FileContext::strict()
+    }
+}
+
+/// Lints explicitly-listed paths (files or directories).
+pub fn lint_paths(paths: &[PathBuf], include_harness: bool) -> std::io::Result<LintOutcome> {
+    let mut outcome = LintOutcome::default();
+    let ctx = explicit_ctx(include_harness);
+    for path in expand_paths(paths)? {
+        let src = fs::read_to_string(&path)?;
+        let (findings, used) = lint_source_scoped(&ctx, &src, include_harness);
+        outcome.files += 1;
+        outcome.allows_used += used;
+        outcome
+            .reports
+            .extend(findings.into_iter().map(|finding| Report {
+                file: path.display().to_string(),
+                finding,
+            }));
+    }
+    Ok(outcome)
+}
+
+/// Analyzes explicitly-listed paths (files or directories). The fn
+/// database spans all the given files, so cross-file provenance works
+/// within a fixture set.
+pub fn analyze_paths(paths: &[PathBuf], include_harness: bool) -> std::io::Result<LintOutcome> {
+    let ctx = explicit_ctx(include_harness);
+    let files = expand_paths(paths)?;
+    let mut entries: Vec<(PathBuf, Lexed, parser::ParsedFile)> = Vec::new();
+    let mut db = FnDb::default();
+    for path in files {
+        let src = fs::read_to_string(&path)?;
+        let lexed = lexer::lex(&src);
+        let parsed = parser::parse(&lexed);
+        db.add_file(&parsed);
+        entries.push((path, lexed, parsed));
+    }
+    let mut outcome = LintOutcome::default();
+    for (path, lexed, parsed) in &entries {
+        let raw = analysis::check_file(&ctx, lexed, parsed, &db, include_harness);
+        let (findings, used) = apply_allows(lexed, raw, &[], analysis::ANALYZE_RULE_NAMES, false);
+        outcome.files += 1;
+        outcome.allows_used += used;
+        outcome
+            .reports
+            .extend(findings.into_iter().map(|finding| Report {
+                file: path.display().to_string(),
+                finding,
+            }));
+    }
+    Ok(outcome)
+}
+
+/// Recursively lists `.rs` files below `dir` as root-relative paths,
+/// skipping `target/`, hidden directories, and lint fixtures.
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "fixtures" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_string_lossy().replace('\\', "/"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Locates the workspace root: the nearest ancestor of `start` whose
+/// `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(d);
+                }
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

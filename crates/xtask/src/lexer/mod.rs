@@ -212,7 +212,15 @@ fn cooked_string(src: &str, mut i: usize, line: &mut u32) -> (String, usize) {
     let start = i;
     while i < b.len() {
         match b[i] {
-            b'\\' => i += 2, // skip the escaped char ("\"" and "\\" included)
+            b'\\' => {
+                // Skip the escaped char ("\"" and "\\" included). A
+                // line-continuation escape (`\` before a newline) still
+                // consumes a source line and must keep the counter honest.
+                if b.get(i + 1) == Some(&b'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
             b'"' => return (src[start..i].to_string(), i + 1),
             b'\n' => {
                 *line += 1;
@@ -246,7 +254,12 @@ fn raw_or_byte_string(src: &str, mut i: usize, line: &mut u32) -> (String, usize
         let mut j = start;
         while j < b.len() {
             match b[j] {
-                b'\\' if !raw => j += 2,
+                b'\\' if !raw => {
+                    if b.get(j + 1) == Some(&b'\n') {
+                        *line += 1;
+                    }
+                    j += 2;
+                }
                 b'"' => return (src[start..j].to_string(), j + 1),
                 b'\n' => {
                     *line += 1;
@@ -381,116 +394,4 @@ fn scan_line_comment(text: &str, line: u32, allows: &mut Vec<AllowDirective>) {
 }
 
 #[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn idents(src: &str) -> Vec<String> {
-        lex(src)
-            .tokens
-            .into_iter()
-            .filter_map(|t| match t.kind {
-                TokenKind::Ident(s) => Some(s),
-                _ => None,
-            })
-            .collect()
-    }
-
-    #[test]
-    fn comments_are_skipped_including_nested_blocks() {
-        let src = "a /* x /* y */ z */ b // c\nd";
-        assert_eq!(idents(src), ["a", "b", "d"]);
-    }
-
-    #[test]
-    fn strings_hide_code_but_keep_contents() {
-        let src = r#"let s = "Instant::now() \" quoted";"#;
-        let lexed = lex(src);
-        assert_eq!(idents(src), ["let", "s"]);
-        assert!(lexed.tokens.iter().any(|t| matches!(
-            &t.kind,
-            TokenKind::Str(s) if s.contains("Instant::now")
-        )));
-    }
-
-    #[test]
-    fn raw_strings_with_hashes_terminate_correctly() {
-        let src = r##"let s = r#"a "quoted" HashMap"# ; tail"##;
-        assert_eq!(idents(src), ["let", "s", "tail"]);
-    }
-
-    #[test]
-    fn byte_and_raw_byte_strings() {
-        let src = "let s = b\"ab\\\"c\"; let t = br#\"x\"#; done";
-        assert_eq!(idents(src), ["let", "s", "let", "t", "done"]);
-    }
-
-    #[test]
-    fn lifetimes_are_not_char_literals() {
-        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }";
-        let lexed = lex(src);
-        let lifetimes = lexed
-            .tokens
-            .iter()
-            .filter(|t| t.kind == TokenKind::Lifetime)
-            .count();
-        let chars = lexed
-            .tokens
-            .iter()
-            .filter(|t| t.kind == TokenKind::Char)
-            .count();
-        assert_eq!((lifetimes, chars), (2, 2));
-    }
-
-    #[test]
-    fn raw_identifiers_are_idents() {
-        assert_eq!(idents("r#match + r#\"raw\"#"), ["match"]);
-    }
-
-    #[test]
-    fn line_numbers_advance_through_all_literal_forms() {
-        let src = "a\n\"two\nlines\"\nb\n/* c\n */\nd";
-        let lexed = lex(src);
-        let find = |name: &str| {
-            lexed
-                .tokens
-                .iter()
-                .find(|t| t.kind == TokenKind::Ident(name.into()))
-                .map(|t| t.line)
-        };
-        assert_eq!(find("a"), Some(1));
-        assert_eq!(find("b"), Some(4));
-        assert_eq!(find("d"), Some(7));
-    }
-
-    #[test]
-    fn allow_directives_parse_rule_and_reason() {
-        let src = "x(); // xtask:allow(hash-iteration): membership probe only\n";
-        let lexed = lex(src);
-        assert_eq!(
-            lexed.allows,
-            vec![AllowDirective {
-                line: 1,
-                rule: "hash-iteration".into(),
-                reason: "membership probe only".into(),
-            }]
-        );
-    }
-
-    #[test]
-    fn allow_directive_without_reason_has_empty_reason() {
-        let lexed = lex("// xtask:allow(wall-clock)\n");
-        assert_eq!(lexed.allows[0].reason, "");
-    }
-
-    #[test]
-    fn numeric_ranges_do_not_swallow_dots() {
-        let src = "for i in 0..10 { f(1.5); }";
-        let lexed = lex(src);
-        let dots = lexed
-            .tokens
-            .iter()
-            .filter(|t| t.kind == TokenKind::Punct('.'))
-            .count();
-        assert_eq!(dots, 2, "both dots of `..` must survive as puncts");
-    }
-}
+mod tests;

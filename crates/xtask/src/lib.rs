@@ -1,26 +1,34 @@
 //! `xtask` — workspace automation for the noisy-pooled-data repo.
 //!
-//! The one subcommand, `lint`, statically enforces the determinism
-//! contract of `docs/ARCHITECTURE.md` (contract rule 9): the dynamic
-//! replay suite (`tests/determinism.rs`) samples a handful of pinned
-//! (scenario, seed) points, but a hazard like unordered `HashMap`
-//! iteration can pass every pinned seed while corrupting replay
-//! elsewhere. This crate turns the contract into a machine-checked
-//! property:
+//! Two subcommands statically enforce the determinism contract of
+//! `docs/ARCHITECTURE.md`: the dynamic replay suite
+//! (`tests/determinism.rs`) samples a handful of pinned (scenario, seed)
+//! points, but a hazard like unordered `HashMap` iteration can pass every
+//! pinned seed while corrupting replay elsewhere. This crate turns the
+//! contract into a machine-checked property:
 //!
 //! ```text
-//! cargo run -p xtask -- lint            # human-readable, exit 1 on findings
-//! cargo run -p xtask -- lint --json     # machine-readable report
-//! cargo run -p xtask -- lint <paths>    # lint specific files (strict context)
+//! cargo run -p xtask -- lint               # token-level rules (contract rule 9)
+//! cargo run -p xtask -- analyze            # parser-level rules (contract rule 10)
+//! cargo run -p xtask -- <cmd> --json       # machine-readable report (schema 1)
+//! cargo run -p xtask -- <cmd> <paths>      # check specific files (strict context)
+//! cargo run -p xtask -- <cmd> --include-harness <paths>   # pinning-test scope
 //! ```
 //!
-//! See [`rules`] for the five rules and their scopes, [`lexer`] for the
-//! hand-rolled tokenizer that keeps comments/strings from producing false
-//! positives, and [`engine`] for suppression (`// xtask:allow(rule):
-//! reason`) and report rendering.
+//! `lint` walks a flat token stream: see [`rules`] for its five rules and
+//! their scopes, and [`lexer`] for the hand-rolled tokenizer that keeps
+//! comments/strings from producing false positives. `analyze` recovers
+//! item/fn structure on top of the same lexer — see [`parser`] — and runs
+//! the cross-statement rules of [`analysis`]: RNG-stream provenance,
+//! parallel float-reduction order, trait-impl purity, and the
+//! `contract-sync` drift check between ARCHITECTURE.md, the escape
+//! hatches, and the code. [`engine`] owns the shared walking, suppression
+//! (`// xtask:allow(rule): reason`) and report rendering.
 
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod engine;
 pub mod lexer;
+pub mod parser;
 pub mod rules;

@@ -1,4 +1,5 @@
-//! CLI entry point: `cargo run -p xtask -- lint [--json] [paths…]`.
+//! CLI entry point: `cargo run -p xtask -- <lint|analyze> [--json]
+//! [--include-harness] [paths…]`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -8,7 +9,8 @@ use xtask::engine;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => lint(&args[1..]),
+        Some("lint") => run("lint", &args[1..]),
+        Some("analyze") => run("analyze", &args[1..]),
         Some(other) => {
             eprintln!("xtask: unknown subcommand `{other}`");
             eprintln!("{USAGE}");
@@ -21,24 +23,31 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: cargo run -p xtask -- lint [--json] [paths…]
-  lint            check the whole workspace against the determinism contract
-  lint <paths>    check specific files/dirs under the strict (deterministic
-                  library) context — used by the fixture suite
-  --json          machine-readable report on stdout";
+const USAGE: &str =
+    "usage: cargo run -p xtask -- <lint|analyze> [--json] [--include-harness] [paths…]
+  lint               token-level determinism rules (contract rule 9)
+  analyze            parser-level rules + contract cross-check (contract rule 10)
+  <cmd> <paths>      check specific files/dirs under the strict (deterministic
+                     library) context — used by the fixture suites
+  --json             machine-readable report on stdout (schema-versioned)
+  --include-harness  also check tests/benches/examples for the ordering
+                     hazards that matter in pinning tests (with explicit
+                     paths: check them under the harness context instead)";
 
-fn lint(args: &[String]) -> ExitCode {
+fn run(tool: &'static str, args: &[String]) -> ExitCode {
     let mut json = false;
+    let mut include_harness = false;
     let mut paths: Vec<PathBuf> = Vec::new();
     for a in args {
         match a.as_str() {
             "--json" => json = true,
+            "--include-harness" => include_harness = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             flag if flag.starts_with('-') => {
-                eprintln!("xtask lint: unknown flag `{flag}`\n{USAGE}");
+                eprintln!("xtask {tool}: unknown flag `{flag}`\n{USAGE}");
                 return ExitCode::from(2);
             }
             path => paths.push(PathBuf::from(path)),
@@ -49,25 +58,31 @@ fn lint(args: &[String]) -> ExitCode {
         let cwd = match std::env::current_dir() {
             Ok(d) => d,
             Err(e) => {
-                eprintln!("xtask lint: cannot read current dir: {e}");
+                eprintln!("xtask {tool}: cannot read current dir: {e}");
                 return ExitCode::from(2);
             }
         };
         let Some(root) = engine::find_workspace_root(&cwd) else {
-            eprintln!("xtask lint: no workspace root ([workspace] Cargo.toml) above {cwd:?}");
+            eprintln!("xtask {tool}: no workspace root ([workspace] Cargo.toml) above {cwd:?}");
             return ExitCode::from(2);
         };
-        engine::lint_workspace(&root)
+        match tool {
+            "lint" => engine::lint_workspace(&root, include_harness),
+            _ => engine::analyze_workspace(&root, include_harness),
+        }
     } else {
-        engine::lint_paths(&paths)
+        match tool {
+            "lint" => engine::lint_paths(&paths, include_harness),
+            _ => engine::analyze_paths(&paths, include_harness),
+        }
     };
 
     match outcome {
         Ok(outcome) => {
             if json {
-                print!("{}", engine::render_json(&outcome));
+                print!("{}", engine::render_json(&outcome, tool));
             } else {
-                print!("{}", engine::render_text(&outcome));
+                print!("{}", engine::render_text(&outcome, tool));
             }
             if outcome.reports.is_empty() {
                 ExitCode::SUCCESS
@@ -76,7 +91,7 @@ fn lint(args: &[String]) -> ExitCode {
             }
         }
         Err(e) => {
-            eprintln!("xtask lint: {e}");
+            eprintln!("xtask {tool}: {e}");
             ExitCode::from(2)
         }
     }

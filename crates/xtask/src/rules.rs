@@ -179,7 +179,7 @@ pub fn check_file(ctx: &FileContext, lexed: &Lexed) -> Vec<Finding> {
     findings
 }
 
-fn in_regions(line: u32, regions: &[(u32, u32)]) -> bool {
+pub(crate) fn in_regions(line: u32, regions: &[(u32, u32)]) -> bool {
     regions.iter().any(|&(a, b)| a <= line && line <= b)
 }
 
@@ -198,7 +198,7 @@ fn punct_at(toks: &[Token], i: usize, c: char) -> bool {
 /// and everything else attribute-marked as test-only. An attribute counts
 /// as test-gating when its tokens contain the ident `test` but not `not`
 /// (`#[cfg(not(test))]` gates *production* code).
-fn test_regions(toks: &[Token]) -> Vec<(u32, u32)> {
+pub(crate) fn test_regions(toks: &[Token]) -> Vec<(u32, u32)> {
     let mut regions = Vec::new();
     let mut i = 0usize;
     while i < toks.len() {
@@ -416,8 +416,22 @@ fn unwrap_audit(toks: &[Token], out: &mut Vec<Finding>) {
     }
 }
 
+/// The opt-in `--include-harness` scope: ordering hazards that matter even
+/// in test/bench/example code. The determinism-pinning tests are themselves
+/// part of the replay contract — a pinned fingerprint computed by iterating
+/// a `HashMap`, or an assertion ordered by wall-clock, flakes exactly the
+/// way the contract forbids. Harness code keeps its exemption from the
+/// library-hygiene rules (`unwrap-audit`, `shared-rng` heuristics).
+pub fn check_harness(lexed: &Lexed) -> Vec<Finding> {
+    let toks = &lexed.tokens;
+    let mut findings = Vec::new();
+    hash_iteration(toks, &mut findings);
+    wall_clock(toks, &mut findings);
+    findings
+}
+
 /// Rayon adapter / entry-point names that start a parallel region.
-const PAR_ADAPTERS: &[&str] = &[
+pub(crate) const PAR_ADAPTERS: &[&str] = &[
     "par_iter",
     "par_iter_mut",
     "into_par_iter",
@@ -433,7 +447,7 @@ const PAR_ADAPTERS: &[&str] = &[
 ];
 
 /// RNG methods whose receiver we treat as "an RNG being consumed".
-const RNG_METHODS: &[&str] = &[
+pub(crate) const RNG_METHODS: &[&str] = &[
     "gen",
     "gen_range",
     "gen_bool",

@@ -1,0 +1,138 @@
+//! Fixture-driven self-tests of the parser-level analyzer, plus the
+//! workspace self-check: the real tree must analyze clean.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use xtask::engine::{self, LintOutcome};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn analyze(name: &str) -> LintOutcome {
+    engine::analyze_paths(&[fixture(name)], false).expect("fixture readable")
+}
+
+fn rules_hit(outcome: &LintOutcome) -> Vec<&str> {
+    let mut rules: Vec<&str> = outcome.reports.iter().map(|r| r.finding.rule).collect();
+    rules.sort_unstable();
+    rules.dedup();
+    rules
+}
+
+/// Runs the real `xtask` binary and returns (exit-success, stdout).
+fn run_binary(args: &[&str]) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(args)
+        .output()
+        .expect("xtask binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+#[test]
+fn rng_provenance_fixture_is_flagged() {
+    let outcome = analyze("bad/rng_provenance.rs");
+    assert_eq!(rules_hit(&outcome), ["rng-provenance"]);
+    // Early return between draws, ambient thread_rng, direct closure
+    // capture, and the FnDb-resolved call-argument capture.
+    assert_eq!(outcome.reports.len(), 4, "{:?}", outcome.reports);
+    let messages: Vec<&str> = outcome
+        .reports
+        .iter()
+        .map(|r| r.finding.message.as_str())
+        .collect();
+    assert!(messages.iter().any(|m| m.contains("returns between draws")));
+    assert!(messages.iter().any(|m| m.contains("ambient thread RNG")));
+    assert!(messages
+        .iter()
+        .any(|m| m.contains("crosses a rayon closure")));
+    assert!(
+        messages
+            .iter()
+            .any(|m| m.contains("passed to `sample_one`")),
+        "the fn database must resolve the innocuously-named capture"
+    );
+}
+
+#[test]
+fn float_order_fixture_is_flagged() {
+    let outcome = analyze("bad/float_order.rs");
+    assert_eq!(rules_hit(&outcome), ["float-order"]);
+    // Untyped `.sum()`, explicit `.sum::<f64>()`, and `.reduce(...)`.
+    assert_eq!(outcome.reports.len(), 3, "{:?}", outcome.reports);
+}
+
+#[test]
+fn impl_purity_fixture_is_flagged() {
+    let outcome = analyze("bad/impl_purity.rs");
+    assert_eq!(rules_hit(&outcome), ["impl-purity"]);
+    // Wall clock in a PoolingDesign, env read in a PopulationModel, and a
+    // mutable static in a NoiseModel.
+    assert_eq!(outcome.reports.len(), 3, "{:?}", outcome.reports);
+}
+
+#[test]
+fn analyzer_traps_stay_clean() {
+    let outcome = analyze("clean/analyze_traps.rs");
+    assert!(
+        outcome.reports.is_empty(),
+        "false positives: {:?}",
+        outcome.reports
+    );
+}
+
+#[test]
+fn binary_exits_nonzero_on_every_bad_analyzer_fixture() {
+    for name in [
+        "bad/rng_provenance.rs",
+        "bad/float_order.rs",
+        "bad/impl_purity.rs",
+    ] {
+        let path = fixture(name);
+        let (ok, stdout) = run_binary(&["analyze", path.to_str().expect("utf-8 path")]);
+        assert!(!ok, "{name} must fail analysis; stdout:\n{stdout}");
+    }
+}
+
+#[test]
+fn json_report_is_schema_versioned_for_both_tools() {
+    let path = fixture("bad/float_order.rs");
+    let (ok, stdout) = run_binary(&["analyze", "--json", path.to_str().expect("utf-8 path")]);
+    assert!(!ok);
+    assert!(stdout.contains("\"schema\": 1"), "{stdout}");
+    assert!(stdout.contains("\"tool\": \"analyze\""), "{stdout}");
+    assert!(stdout.contains("\"rule\": \"float-order\""), "{stdout}");
+    assert!(
+        stdout.contains("\"per_rule\": {\"float-order\": 3}"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("\"ok\": false"), "{stdout}");
+
+    let lint_path = fixture("bad/wall_clock.rs");
+    let (ok, stdout) = run_binary(&["lint", "--json", lint_path.to_str().expect("utf-8 path")]);
+    assert!(!ok);
+    assert!(stdout.contains("\"schema\": 1"), "{stdout}");
+    assert!(stdout.contains("\"tool\": \"lint\""), "{stdout}");
+}
+
+#[test]
+fn workspace_analyzes_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists");
+    let outcome = engine::analyze_workspace(&root, false).expect("workspace readable");
+    assert!(
+        outcome.reports.is_empty(),
+        "the workspace violates its own determinism contract:\n{}",
+        engine::render_text(&outcome, "analyze")
+    );
+    // The walk really covered the tree; lint fixtures are the only skips.
+    assert!(outcome.files > 150, "only {} files scanned", outcome.files);
+}

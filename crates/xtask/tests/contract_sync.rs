@@ -1,0 +1,65 @@
+//! The contract-sync drift fixture: a miniature repo whose docs disagree
+//! with its code in exactly five pinned ways.
+
+use std::path::{Path, PathBuf};
+
+use xtask::engine;
+
+fn drift_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/bad/contract_drift")
+}
+
+#[test]
+fn contract_drift_fixture_yields_the_five_pinned_findings() {
+    let outcome = engine::analyze_workspace(&drift_root(), false).expect("fixture tree readable");
+    let messages: Vec<String> = outcome
+        .reports
+        .iter()
+        .map(|r| format!("{}: {}", r.file, r.finding.message))
+        .collect();
+    assert!(
+        outcome
+            .reports
+            .iter()
+            .all(|r| r.finding.rule == "contract-sync"),
+        "only contract-sync findings expected: {messages:?}"
+    );
+    assert_eq!(outcome.reports.len(), 5, "{messages:#?}");
+
+    let has = |needle: &str| messages.iter().any(|m| m.contains(needle));
+    assert!(
+        has("live rule `float-order` is not documented"),
+        "{messages:#?}"
+    );
+    assert!(
+        has("documented rule `retired-rule` is not implemented"),
+        "{messages:#?}"
+    );
+    assert!(
+        has("`xtask:allow(no-such-rule)` names a rule the engine does not implement"),
+        "{messages:#?}"
+    );
+    assert!(
+        has("scenario row `ghost-scn` does not resolve"),
+        "{messages:#?}"
+    );
+    assert!(has("repro target `fig9` does not resolve"), "{messages:#?}");
+}
+
+#[test]
+fn drift_fixture_resolves_the_healthy_references() {
+    // The same fixture also contains references that DO resolve —
+    // `alpha-run`, `fig2`, the ten contiguous numbered rules, and the nine
+    // live-rule bullets — none of which may produce findings.
+    let outcome = engine::analyze_workspace(&drift_root(), false).expect("fixture tree readable");
+    for bad in ["alpha-run", "fig2", "not contiguous", "numbered rules"] {
+        assert!(
+            !outcome
+                .reports
+                .iter()
+                .any(|r| r.finding.message.contains(bad)),
+            "false positive on `{bad}`: {:?}",
+            outcome.reports
+        );
+    }
+}

@@ -1,0 +1,7 @@
+//! Holds the one drifted escape hatch: the rule name below is not
+//! implemented by the engine, which `contract-sync` must flag.
+
+pub fn plain() -> u32 {
+    // xtask:allow(no-such-rule): kept to pin the dead-directive finding
+    41 + 1
+}

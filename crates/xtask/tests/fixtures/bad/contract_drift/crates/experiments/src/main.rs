@@ -1,0 +1,8 @@
+//! Mini repro binary: knows `scenarios` and `fig2`, but not `fig9`.
+
+fn main() {
+    let targets = ["scenarios", "fig2", "all"];
+    for t in targets {
+        println!("{t}");
+    }
+}

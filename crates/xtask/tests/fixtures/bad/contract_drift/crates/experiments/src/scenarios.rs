@@ -1,0 +1,5 @@
+//! Mini scenario registry: `alpha-run` exists, `ghost-scn` does not.
+
+pub fn names() -> &'static [&'static str] {
+    &["alpha-run", "beta-run"]
+}

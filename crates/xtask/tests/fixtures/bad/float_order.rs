@@ -1,0 +1,23 @@
+//! Known-bad fixture for `float-order`: exactly three findings.
+//!
+//! 1. an untyped `.sum()` across parallel items (element type invisible)
+//! 2. an explicit float turbofish `.sum::<f64>()` across parallel items
+//! 3. a `.reduce(...)` across parallel items
+
+use rayon::prelude::*;
+
+/// (1) No turbofish: if the element is a float, the combination order
+/// depends on work splitting.
+fn total_energy(xs: &[f64]) -> f64 {
+    xs.par_iter().map(|x| x * x).sum()
+}
+
+/// (2) A float turbofish makes the hazard explicit.
+fn l1_norm(xs: &[f64]) -> f64 {
+    xs.par_iter().map(|x| x.abs()).sum::<f64>()
+}
+
+/// (3) `reduce` combines partial results in scheduling order.
+fn max_leverage(xs: &[f64]) -> f64 {
+    xs.par_iter().cloned().reduce(|| 0.0, f64::max)
+}

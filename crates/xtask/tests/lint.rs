@@ -13,7 +13,7 @@ fn fixture(name: &str) -> PathBuf {
 }
 
 fn lint(name: &str) -> LintOutcome {
-    engine::lint_paths(&[fixture(name)]).expect("fixture readable")
+    engine::lint_paths(&[fixture(name)], false).expect("fixture readable")
 }
 
 fn rules_hit(outcome: &LintOutcome) -> Vec<&str> {
@@ -144,11 +144,11 @@ fn workspace_lints_clean() {
         .join("../..")
         .canonicalize()
         .expect("workspace root exists");
-    let outcome = engine::lint_workspace(&root).expect("workspace readable");
+    let outcome = engine::lint_workspace(&root, false).expect("workspace readable");
     assert!(
         outcome.reports.is_empty(),
         "the workspace violates its own determinism contract:\n{}",
-        engine::render_text(&outcome)
+        engine::render_text(&outcome, "lint")
     );
     // The walk really covered the tree (all ~130 workspace sources), and
     // the annotated escapes documented in ARCHITECTURE.md are live.

@@ -1,15 +1,23 @@
-//! Regression pins for the two `hash-iteration` audit sites of the static
-//! determinism linter (PR 7, `cargo run -p xtask -- lint`):
+//! Regression pins for the live violations found by the static
+//! determinism tooling (`cargo run -p xtask -- lint` / `analyze`):
 //!
 //! * `decoders::mcmc` — the per-proposal query-delta accumulator was an
-//!   unordered `HashMap`, making the float energy difference (and with it
-//!   accept/reject decisions) depend on the per-process hash seed. It is
-//!   now a sorted merge of the two swapped agents' adjacency lists; these
-//!   fingerprints pin the resulting bit-exact output stream.
+//!   unordered `HashMap` (PR 7, `hash-iteration`), making the float energy
+//!   difference (and with it accept/reject decisions) depend on the
+//!   per-process hash seed. It is now a sorted merge of the two swapped
+//!   agents' adjacency lists; these fingerprints pin the resulting
+//!   bit-exact output stream.
 //! * `core::design::DoublyRegularDesign` — its switch-repair multiplicity
 //!   maps are membership-probe-only (annotated as such); the sampled graph
 //!   stream must therefore be *unchanged* by the audit. The fingerprint
 //!   here pins that stream against accidental future iteration.
+//! * `netsim::network::gate_copy` — the delay gate drew from the
+//!   per-message RNG only on the not-dropped path (PR 9,
+//!   `rng-provenance`): the number of variates consumed depended on the
+//!   drop outcome. Harmless today only because that rng dies with the
+//!   message, it becomes a replay bug the moment a draw is added after the
+//!   gates. Both draws are now hoisted above the drop return, and the
+//!   analyzer run here pins the whole crate free of provenance hazards.
 
 use noisy_pooled_data::core::{
     DoublyRegularDesign, Instance, NoiseModel, PoolingDesign, PoolingGraph,
@@ -106,4 +114,25 @@ fn mcmc_output_stream_is_pinned_after_sorted_delta_merge() {
              visit queries in ascending id order"
         );
     }
+}
+
+/// PR 9 regression: `gate_copy` used to draw the delay variate only after
+/// the data-dependent drop `return`, so the per-message stream length
+/// depended on the drop outcome — exactly the hazard `rng-provenance`
+/// exists to catch (this test failed before the draws were hoisted).
+/// Running the analyzer over the whole crate rather than one fn also keeps
+/// new netsim code from reintroducing the pattern elsewhere.
+#[test]
+fn netsim_has_no_rng_provenance_hazards() {
+    let netsim_src = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("crates/netsim/src");
+    let outcome = xtask::engine::analyze_paths(&[netsim_src], false).expect("netsim sources read");
+    let provenance: Vec<_> = outcome
+        .reports
+        .iter()
+        .filter(|r| r.finding.rule == "rng-provenance")
+        .collect();
+    assert!(
+        provenance.is_empty(),
+        "netsim consumes RNG streams data-dependently:\n{provenance:#?}"
+    );
 }
