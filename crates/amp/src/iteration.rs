@@ -5,6 +5,7 @@ use crate::preprocess::{prepare, Prepared};
 use npd_core::{Decoder, Estimate, Run};
 use npd_numerics::vector;
 use npd_numerics::vector::resize_fill;
+use npd_telemetry::{Event, TelemetrySink};
 use serde::{Deserialize, Serialize};
 
 /// Which denoiser family the [`AmpDecoder`] instantiates per run.
@@ -85,12 +86,24 @@ pub struct AmpWorkspace {
     z_new: Vec<f64>,
     v: Vec<f64>,
     bx: Vec<f64>,
+    /// Telemetry handle (disabled by default): one `amp.iter` event per
+    /// iteration with the effective noise τ² and the update delta.
+    sink: TelemetrySink,
 }
 
 impl AmpWorkspace {
     /// Creates an empty workspace (buffers grow on first solve).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attaches a telemetry sink. Each subsequent solve records one
+    /// `amp.iter` event per iteration (round = iteration index) carrying
+    /// `tau2` (the empirical state-evolution statistic `‖z‖²/m`) and
+    /// `delta` (`‖x_{t+1} − x_t‖∞`). Recorded from the serial iteration
+    /// boundary, so the stream is bit-identical across thread counts.
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.sink = sink;
     }
 
     fn prepare(&mut self, m: usize, n: usize, y: &[f64]) {
@@ -182,6 +195,13 @@ pub fn run_amp_with<D: Denoiser>(
         let delta = vector::max_abs_diff(&ws.x_new, &ws.x);
         std::mem::swap(&mut ws.x, &mut ws.x_new);
         std::mem::swap(&mut ws.z, &mut ws.z_new);
+        ws.sink.emit(|| {
+            Event::instant("amp.iter")
+                .phase("amp")
+                .round(iterations as u64 - 1)
+                .f64("tau2", tau2)
+                .f64("delta", delta)
+        });
         if delta < config.tolerance {
             converged = true;
             break;

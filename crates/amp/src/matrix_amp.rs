@@ -140,6 +140,45 @@ pub fn run_matrix_amp(prepared: &CategoricalPrepared, config: &MatrixAmpConfig) 
     run_matrix_amp_tracking(prepared, config, None)
 }
 
+/// [`run_matrix_amp_tracking`] with a telemetry sink: emits one
+/// `matrix_amp.iter` event per iteration carrying `t_trace` (the trace
+/// of the effective-noise matrix `T_t`, the scalar summary of the
+/// state-evolution statistic) and, when ground truth was supplied, the
+/// per-iteration `mse` the SE recursion predicts. The events are
+/// derived from the output trajectories after the solve (serially), so
+/// the stream is bit-identical across thread counts.
+///
+/// # Panics
+///
+/// Panics if `truth_labels` is given with the wrong length or a label
+/// outside `0..d` (as [`run_matrix_amp_tracking`]).
+pub fn run_matrix_amp_traced(
+    prepared: &CategoricalPrepared,
+    config: &MatrixAmpConfig,
+    truth_labels: Option<&[u8]>,
+    telemetry: &npd_telemetry::TelemetrySink,
+) -> MatrixAmpOutput {
+    let out = run_matrix_amp_tracking(prepared, config, truth_labels);
+    for (t, noise) in out.t_trajectory.iter().enumerate() {
+        let mut t_trace = 0.0;
+        for c in 0..noise.cols().min(noise.rows()) {
+            t_trace += noise.get(c, c);
+        }
+        let mse = out.mse_trajectory.get(t).copied();
+        telemetry.emit(|| {
+            let mut event = npd_telemetry::Event::instant("matrix_amp.iter")
+                .phase("amp")
+                .round(t as u64)
+                .f64("t_trace", t_trace);
+            if let Some(mse) = mse {
+                event = event.f64("mse", mse);
+            }
+            event
+        });
+    }
+    out
+}
+
 /// Runs matrix-AMP, optionally tracking the per-iteration MSE against the
 /// true labels (the quantity the state-evolution recursion predicts).
 ///

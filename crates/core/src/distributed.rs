@@ -73,6 +73,7 @@ use npd_netsim::{
     Network, Node, NodeFaultPlan, NodeId, NodeTraffic, ReliableConfig,
 };
 use npd_sortnet::SortingNetwork;
+use npd_telemetry::{Event, TelemetrySink};
 use std::sync::Arc;
 
 /// How phase II (top-`k` selection) of the protocol is executed.
@@ -779,6 +780,13 @@ pub struct ProtocolOptions {
     /// measurements on the scores. Off by default: clamping biases
     /// Gaussian noise, so it is a robustness trade, not a free win.
     pub winsorize: bool,
+    /// Override the network shard count (default:
+    /// [`recommended_shards`] over all `n + m` nodes). The outcome —
+    /// and the deterministic telemetry stream of
+    /// [`run_protocol_chaos_traced`] — is bit-identical for every
+    /// value; this only controls available parallelism, and exists so
+    /// the determinism suite can pin that claim across shard counts.
+    pub shards: Option<usize>,
 }
 
 /// Deterministic payload garbler used for [`NodeFaultPlan`] corruptors:
@@ -824,6 +832,33 @@ fn garble_protocol_message(msg: &mut ProtocolMessage, entropy: u64) {
 pub fn run_protocol_chaos(
     run: &Run,
     options: ProtocolOptions,
+) -> Result<ProtocolOutcome, MaxRoundsExceeded> {
+    run_protocol_chaos_traced(run, options, &TelemetrySink::default())
+}
+
+/// [`run_protocol_chaos`] with an attached telemetry sink.
+///
+/// The sink is handed to the network engine (per-round spans, delivery
+/// and fault deltas, inbox/in-flight histograms; see
+/// [`Network::with_telemetry`]), and on completion the protocol adds its
+/// own deterministic summary: one `phase` event per protocol phase —
+/// measurement broadcast, score accumulation, selection, and (Batcher
+/// only) assignment — carrying the phase's round range and message
+/// count, plus the final [`Metrics`] rows and protocol counters in the
+/// counter registry. Everything recorded is bit-identical across shard
+/// and thread counts; wall-clock phase *timing* comes from joining the
+/// engine's round spans against the phase round ranges in a harness
+/// (contract rule 11 keeps real clocks out of this crate).
+///
+/// # Errors
+///
+/// Returns [`MaxRoundsExceeded`] if the network fails to quiesce within
+/// the chaos budget, which indicates a bug rather than a survivable
+/// fault.
+pub fn run_protocol_chaos_traced(
+    run: &Run,
+    options: ProtocolOptions,
+    telemetry: &TelemetrySink,
 ) -> Result<ProtocolOutcome, MaxRoundsExceeded> {
     let strategy = options.strategy;
     let faults = options.faults;
@@ -914,14 +949,18 @@ pub fn run_protocol_chaos(
         }
     };
 
-    // One shard per rayon worker; the outcome is bit-identical for any
-    // shard count (the netsim engine's core guarantee).
-    let shards = recommended_shards(nodes.len());
+    // One shard per rayon worker unless overridden; the outcome is
+    // bit-identical for any shard count (the netsim engine's core
+    // guarantee).
+    let shards = options
+        .shards
+        .unwrap_or_else(|| recommended_shards(nodes.len()));
     let mut network = match faults {
         None => Network::new(nodes),
         Some(cfg) => Network::with_faults(nodes, cfg),
     }
-    .with_shards(shards);
+    .with_shards(shards)
+    .with_telemetry(telemetry.clone());
     if let Some(plan) = options.node_faults {
         network = network.with_node_faults(plan);
         if plan.has_corruption() {
@@ -982,6 +1021,65 @@ pub fn run_protocol_chaos(
         SelectionStrategy::GossipThreshold { .. } => report.rounds.saturating_sub(2 + grace),
     };
 
+    let selection_messages = metrics
+        .messages_sent
+        .saturating_sub(measurement_messages + assign_messages);
+
+    if telemetry.is_enabled() {
+        // Phase boundaries mirror the selection_rounds arithmetic above:
+        // measurement broadcast is round 0, accumulation spans the grace
+        // window plus the score round, selection fills the middle, and
+        // Batcher spends the final round on assignments. Emitted serially
+        // after the run, so the stream stays bit-identical across shard
+        // and thread counts; a harness joins these round ranges against
+        // the engine's per-round spans for wall-clock phase shares.
+        let accumulate_end = 1 + grace;
+        let select_end = accumulate_end + selection_rounds;
+        let phase_event = |name: &'static str, first: u64, last: u64, messages: u64| {
+            Event::instant("phase")
+                .phase(name)
+                .round(first)
+                .u64("first_round", first)
+                .u64("last_round", last)
+                .u64("rounds", last.saturating_sub(first) + 1)
+                .u64("messages", messages)
+        };
+        telemetry.emit(|| phase_event("measure", 0, 0, measurement_messages));
+        telemetry.emit(|| phase_event("accumulate", 1, accumulate_end, 0));
+        telemetry.emit(|| {
+            let mut e = phase_event("select", accumulate_end + 1, select_end, selection_messages);
+            if let SelectionStrategy::GossipThreshold { .. } = strategy {
+                e = e.u64("probes", u64::from(probes));
+            }
+            e
+        });
+        if let SelectionStrategy::BatcherSort = strategy {
+            telemetry.emit(|| {
+                phase_event(
+                    "assign",
+                    report.rounds.saturating_sub(1),
+                    report.rounds.saturating_sub(1),
+                    assign_messages,
+                )
+            });
+        }
+        // Final accounting into the counter registry: the engine's
+        // Metrics rows (the satellite `as_rows` enumeration) plus the
+        // protocol-level tallies.
+        for (name, value) in metrics.as_rows() {
+            telemetry.add(name, value);
+        }
+        telemetry.add("measurement_messages", measurement_messages);
+        telemetry.add("selection_messages", selection_messages);
+        telemetry.add("assign_messages", assign_messages);
+        telemetry.add("stale_messages", stale);
+        telemetry.add("probes", u64::from(probes));
+        telemetry.add("selection_rounds", selection_rounds);
+        telemetry.add("missing_assignments", missing as u64);
+        telemetry.add("achieved_quorum", (n - missing) as u64);
+        telemetry.add("restarted_agents", restarted_agents as u64);
+    }
+
     Ok(ProtocolOutcome {
         estimate: Estimate::from_parts(bits, scores),
         rounds: report.rounds,
@@ -990,9 +1088,7 @@ pub fn run_protocol_chaos(
         sort_depth,
         probes,
         selection_rounds,
-        selection_messages: metrics
-            .messages_sent
-            .saturating_sub(measurement_messages + assign_messages),
+        selection_messages,
         stale_messages: stale,
         missing_assignments: missing,
         achieved_quorum: n - missing,

@@ -431,7 +431,7 @@ impl GreedyDecoder {
                 slot_sum[a as usize] += total;
             }
         }
-        match rate {
+        let scores: Vec<f64> = match rate {
             None => {
                 let half_k = k as f64 / 2.0;
                 psi.iter()
@@ -445,7 +445,21 @@ impl GreedyDecoder {
                     psi[i] - slots * rate
                 })
                 .collect(),
+        };
+        if ws.sink.is_enabled() && k > 0 && k < n {
+            // The margin between the last selected and first rejected
+            // score: the same deterministic ranking `from_scores` uses.
+            let ranked = top_k_indices(&scores, k + 1);
+            let margin = scores[ranked[k - 1]] - scores[ranked[k]];
+            ws.sink.emit(|| {
+                npd_telemetry::Event::instant("greedy.scores")
+                    .phase("greedy")
+                    .u64("n", n as u64)
+                    .u64("k", k as u64)
+                    .f64("margin", margin)
+            });
         }
+        scores
     }
 }
 
@@ -470,12 +484,25 @@ pub struct GreedyWorkspace {
     /// `Σ_{j∈∂*i} |∂aⱼ|` — total slots of the queries containing each
     /// agent (equals `Δ*ᵢ·Γ` on query-regular designs).
     slot_sum: Vec<u64>,
+    /// Telemetry handle (disabled by default): one `greedy.scores` event
+    /// per scoring with the top-`k` selection margin.
+    sink: npd_telemetry::TelemetrySink,
 }
 
 impl GreedyWorkspace {
     /// Creates an empty workspace (buffers grow on first use).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attaches a telemetry sink. Each subsequent scoring records one
+    /// `greedy.scores` event carrying the score `margin` between the
+    /// `k`-th and `(k+1)`-th ranked agents — the selection's robustness
+    /// reserve against noise and message corruption. Computed serially
+    /// after the fold, so the stream is bit-identical across thread
+    /// counts.
+    pub fn set_telemetry(&mut self, sink: npd_telemetry::TelemetrySink) {
+        self.sink = sink;
     }
 
     fn reset(&mut self, n: usize) {

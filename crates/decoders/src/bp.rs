@@ -29,6 +29,7 @@
 use crate::likelihood::{query_noise_variance, slot_moments, VARIANCE_FLOOR};
 use npd_core::{Decoder, Estimate, Run};
 use npd_numerics::vector::resize_fill;
+use npd_telemetry::{Event, TelemetrySink};
 use serde::{Deserialize, Serialize};
 
 /// Tuning knobs of the BP iteration.
@@ -190,6 +191,9 @@ impl BpDecoder {
         resize_fill(&mut ws.llr, edges, 0.0f64);
         resize_fill(&mut ws.edge_mean, edges, 0.0f64);
         resize_fill(&mut ws.edge_var, edges, 0.0f64);
+        // Cloned out first: the field borrows below split the workspace,
+        // and the handle is a cheap Arc clone (or a no-op when disabled).
+        let sink = ws.sink.clone();
         let mu = &mut ws.mu;
         let llr = &mut ws.llr;
         let edge_mean = &mut ws.edge_mean;
@@ -264,6 +268,12 @@ impl BpDecoder {
                 }
             }
 
+            sink.emit(|| {
+                Event::instant("bp.round")
+                    .phase("bp")
+                    .round(rounds as u64 - 1)
+                    .f64("max_change", max_change)
+            });
             if max_change < self.config.tolerance {
                 converged = true;
                 break;
@@ -297,12 +307,25 @@ pub struct BpWorkspace {
     edge_mean: Vec<f64>,
     edge_var: Vec<f64>,
     marginals: Vec<f64>,
+    /// Telemetry handle (disabled by default): one `bp.round` event per
+    /// message pass with the maximum belief drift.
+    sink: TelemetrySink,
 }
 
 impl BpWorkspace {
     /// Creates an empty workspace (buffers grow on first solve).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attaches a telemetry sink. Each subsequent solve records one
+    /// `bp.round` event per message pass (round = pass index) carrying
+    /// `max_change`, the maximum absolute belief drift of the variable
+    /// pass — the quantity the convergence check watches. Recorded from
+    /// the serial pass boundary, so the stream is bit-identical across
+    /// thread counts.
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.sink = sink;
     }
 }
 

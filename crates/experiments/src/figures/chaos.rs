@@ -199,6 +199,44 @@ pub fn run(opts: &RunOptions) -> FigureReport {
 mod tests {
     use super::*;
 
+    /// Pins the machine-readable shape behind `repro chaos --json`: the
+    /// bench/CI pipeline greps these columns by name, so renames or
+    /// reorderings must show up here, not downstream.
+    #[test]
+    fn json_export_pins_the_figure_schema() {
+        let opts = RunOptions {
+            mode: crate::Mode::Quick,
+            trials: Some(1),
+            threads: 2,
+        };
+        let report = run(&opts);
+        assert_eq!(report.name, "chaos");
+        let json = report.to_json();
+        assert!(
+            json.starts_with(
+                "{\"name\":\"chaos\",\"headers\":[\"n\",\"k\",\"m\",\"strategy\",\
+                 \"axis\",\"fault_rate\",\"achieved_quorum\",\"node_crashes\",\
+                 \"messages_corrupted\",\"mean_overlap\",\"trials\"],\"rows\":["
+            ),
+            "schema drifted:\n{}",
+            &json[..json.len().min(300)]
+        );
+        // One row per (strategy × axis × rate) sweep point, every cell a
+        // string, every row as wide as the header.
+        assert_eq!(
+            report.csv_rows.len(),
+            2 * (CRASH_RATES.len() + CORRUPT_RATES.len())
+        );
+        for row in &report.csv_rows {
+            assert_eq!(row.len(), report.csv_headers.len());
+        }
+        // Both axes and strategies appear in the JSON body.
+        for needle in ["\"batcher\"", "\"gossip\"", "\"crash\"", "\"corrupt\""] {
+            assert!(json.contains(needle), "{needle} missing from {json}");
+        }
+        assert!(json.ends_with("}"));
+    }
+
     /// The acceptance pin for the chaos layer: degradation is smooth and
     /// monotone-ish — overlap starts at (near) perfect recovery, never
     /// *jumps up* along a fault axis, and ends strictly degraded on the

@@ -67,6 +67,7 @@ pub mod output;
 pub mod runner;
 pub mod scenarios;
 pub mod sweep;
+pub mod trace;
 
 use serde::{Deserialize, Serialize};
 

@@ -14,8 +14,7 @@
 //! ```
 
 use npd_experiments::figures::{self, FigureReport, RunOptions};
-use npd_experiments::scenarios;
-use npd_experiments::{runner, Mode};
+use npd_experiments::{runner, scenarios, trace, Mode};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -37,7 +36,13 @@ const USAGE: &str = "usage: repro <fig1|fig2|fig3|fig4|fig5|fig6|fig7|theorems|c
                      [--full] [--json] [--out DIR] [--trials N] [--threads N]\n\
        repro scenarios list\n\
        repro scenarios run <name>|--all [--full] [--json] [--out DIR] [--trials N] \
-[--threads N]";
+[--threads N] [--trace FILE] [--metrics]\n\
+\n\
+`--trace FILE` additionally runs one representative traced execution of the \
+scenario and writes its event stream: `.jsonl` selects the deterministic \
+JSON-lines plane, any other extension the Chrome trace-event format. \
+`--metrics` prints the recorded counter/gauge/histogram registry and, for \
+protocol scenarios, the per-phase message profile.";
 
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct Cli {
@@ -53,6 +58,11 @@ struct Cli {
     json: bool,
     /// `scenarios run --all`: run every registered scenario.
     all_scenarios: bool,
+    /// `--trace FILE`: write the representative traced execution's event
+    /// stream here (`.jsonl` = deterministic plane, else Chrome trace).
+    trace: Option<PathBuf>,
+    /// `--metrics`: print the recorded metrics registry and phase profile.
+    metrics: bool,
 }
 
 fn parse(args: &[String]) -> Result<Cli, String> {
@@ -64,6 +74,8 @@ fn parse(args: &[String]) -> Result<Cli, String> {
     let mut threads = runner::default_threads();
     let mut json = false;
     let mut all_scenarios = false;
+    let mut trace: Option<PathBuf> = None;
+    let mut metrics = false;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -71,6 +83,13 @@ fn parse(args: &[String]) -> Result<Cli, String> {
             "--full" => full = true,
             "--json" => json = true,
             "--all" => all_scenarios = true,
+            "--metrics" => metrics = true,
+            "--trace" => {
+                trace = Some(PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| "--trace requires a file path".to_string())?,
+                ));
+            }
             "--out" => {
                 out_dir = PathBuf::from(
                     it.next()
@@ -104,6 +123,14 @@ fn parse(args: &[String]) -> Result<Cli, String> {
     let target = target.ok_or_else(|| "a target is required".to_string())?;
     if all_scenarios && target != "scenarios" {
         return Err("--all is only valid with `scenarios run`".into());
+    }
+    if (trace.is_some() || metrics)
+        && (target != "scenarios" || extra.first().map(String::as_str) != Some("run"))
+    {
+        return Err("--trace/--metrics are only valid with `scenarios run`".into());
+    }
+    if trace.is_some() && all_scenarios {
+        return Err("--trace takes a single scenario, not --all".into());
     }
     if target == "scenarios" {
         match extra.first().map(String::as_str) {
@@ -144,6 +171,8 @@ fn parse(args: &[String]) -> Result<Cli, String> {
             threads,
             json,
             all_scenarios,
+            trace,
+            metrics,
         });
     }
     const KNOWN: [&str; 18] = [
@@ -178,6 +207,8 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         threads,
         json,
         all_scenarios,
+        trace,
+        metrics,
     })
 }
 
@@ -274,11 +305,38 @@ fn execute_scenarios(cli: &Cli, opts: &RunOptions) -> ExitCode {
                     );
                     return ExitCode::FAILURE;
                 }
+                if cli.trace.is_some() || cli.metrics {
+                    if let Err(e) = emit_trace(&scenario, cli, opts) {
+                        eprintln!("error: tracing scenario {}: {e}", scenario.name);
+                        return ExitCode::FAILURE;
+                    }
+                }
             }
             ExitCode::SUCCESS
         }
         _ => unreachable!("subcommand validated in parse()"),
     }
+}
+
+/// `--trace`/`--metrics`: one representative traced execution of the
+/// scenario, on top of the (untraced) normal run. The trace file format
+/// follows the extension — `.jsonl` is the deterministic event plane
+/// (byte-identical across shard/thread counts), anything else the
+/// Chrome trace-event JSON with wall-clock timestamps.
+fn emit_trace(scenario: &scenarios::Scenario, cli: &Cli, opts: &RunOptions) -> std::io::Result<()> {
+    let sink = trace::build_sink(cli.trace.as_deref());
+    let label = scenarios::run_traced(scenario, opts, &sink);
+    println!("traced: {label}");
+    if let Some(path) = &cli.trace {
+        trace::write_trace(&sink, path)?;
+        println!("  trace: {}", path.display());
+    }
+    if cli.metrics {
+        if let (Some(snapshot), Some(recorder)) = (sink.snapshot(), sink.recorder()) {
+            print!("{}", trace::render_metrics(&snapshot, &recorder.events()));
+        }
+    }
+    Ok(())
 }
 
 fn run_target(target: &str, opts: &RunOptions) -> FigureReport {
@@ -389,5 +447,39 @@ mod tests {
         assert!(parse(&args(&["scenarios", "run", "nope"])).is_err());
         assert!(parse(&args(&["scenarios", "list", "extra"])).is_err());
         assert!(parse(&args(&["scenarios", "run", "paper-z01", "x"])).is_err());
+    }
+
+    #[test]
+    fn parse_trace_and_metrics_flags() {
+        let cli = parse(&args(&[
+            "scenarios",
+            "run",
+            "paper-z01",
+            "--trace",
+            "/tmp/out.json",
+            "--metrics",
+        ]))
+        .unwrap();
+        assert_eq!(cli.trace, Some(PathBuf::from("/tmp/out.json")));
+        assert!(cli.metrics);
+
+        // --metrics alone is fine (registry print, no file).
+        let cli = parse(&args(&["scenarios", "run", "paper-z01", "--metrics"])).unwrap();
+        assert_eq!(cli.trace, None);
+        assert!(cli.metrics);
+
+        // Tracing is scoped to a single scenario run.
+        assert!(parse(&args(&["scenarios", "run", "paper-z01", "--trace"])).is_err());
+        assert!(parse(&args(&["fig2", "--trace", "/tmp/t.json"])).is_err());
+        assert!(parse(&args(&["fig2", "--metrics"])).is_err());
+        assert!(parse(&args(&["scenarios", "list", "--metrics"])).is_err());
+        assert!(parse(&args(&[
+            "scenarios",
+            "run",
+            "--all",
+            "--trace",
+            "/tmp/t.json"
+        ]))
+        .is_err());
     }
 }

@@ -649,6 +649,140 @@ pub fn run(scenario: &Scenario, opts: &RunOptions) -> FigureReport {
     }
 }
 
+/// Runs one *representative traced execution* of a scenario into `sink`
+/// and returns a short label describing what was traced.
+///
+/// The normal scenario run ([`run`]) stays untraced — its pinned CSV
+/// outputs are untouched — and a single extra execution at the
+/// scenario's smallest grid point (trial-0 seed) is performed with
+/// telemetry attached. The deterministic event stream this produces is
+/// bit-identical across shard and thread counts (contract rule 11): the
+/// CI determinism matrix compares the resulting `.jsonl` files with
+/// `cmp`.
+///
+/// Dispatch mirrors the measurement kinds: distributed scenarios run the
+/// full protocol through
+/// [`distributed::run_protocol_chaos_traced`] (phase events, netsim
+/// round spans, counter dump), categorical scenarios run
+/// [`npd_amp::matrix_amp::run_matrix_amp_traced`], and batch scenarios
+/// attach the sink to the decoder's workspace (AMP iterations, BP
+/// passes, greedy score margins).
+///
+/// # Panics
+///
+/// Panics if a distributed scenario exceeds its round budget — the same
+/// condition the untraced run treats as fatal.
+pub fn run_traced(
+    scenario: &Scenario,
+    opts: &RunOptions,
+    sink: &npd_telemetry::TelemetrySink,
+) -> String {
+    use npd_amp::AmpWorkspace;
+    use npd_core::GreedyWorkspace;
+    use npd_decoders::BpWorkspace;
+
+    let n = scenario.grid(opts.mode)[0];
+    let gamma = (n / scenario.gamma_div).max(1);
+    let seed = mix_seed(
+        0x5CE8_0000 ^ hash_name(scenario.name),
+        (n as u64) << 8, // trial 0
+    );
+
+    if let DecoderKind::Distributed(strategy) = scenario.decoder {
+        let m = (sweep::default_budget(n, scenario.theta, &scenario.noise) / 2).max(400);
+        let instance = Instance::builder(n)
+            .regime(Regime::sublinear(scenario.theta))
+            .queries(m)
+            .query_size(gamma)
+            .noise(scenario.noise)
+            .design(scenario.design)
+            .build()
+            .expect("registry scenarios are valid configurations");
+        let run = instance.sample(&mut StdRng::seed_from_u64(seed));
+        let faults = scenario.faults.map(|f| {
+            FaultConfig::new(f.drop_prob(), f.dup_prob(), f.seed() ^ seed)
+                .expect("probabilities already validated")
+                .with_max_delay(f.max_delay())
+        });
+        let options = distributed::ProtocolOptions {
+            strategy,
+            faults,
+            node_faults: scenario.chaos.map(|c| c.plan(seed)),
+            winsorize: scenario.chaos.is_some_and(|c| c.corrupt_frac > 0.0),
+            ..distributed::ProtocolOptions::default()
+        };
+        let outcome = distributed::run_protocol_chaos_traced(&run, options, sink)
+            .expect("protocol terminates within its budget");
+        return format!(
+            "{} n={n} m={m} rounds={} messages={}",
+            scenario.decoder.name(),
+            outcome.rounds,
+            outcome.metrics.messages_sent
+        );
+    }
+
+    if scenario.measurement == Measurement::Categorical {
+        let model = scenario
+            .workload
+            .and_then(|spec| spec.multi_strain())
+            .expect("Categorical scenarios use the multi-strain workload");
+        let m = (sweep::default_budget(n, scenario.theta, &scenario.noise) / 4).max(200);
+        let instance = CategoricalInstance::new(n, model.strain_counts(n), m)
+            .expect("registry scenarios are valid configurations")
+            .with_gamma(gamma)
+            .with_noise(scenario.noise)
+            .with_design(scenario.design);
+        let run = instance.sample(&mut StdRng::seed_from_u64(seed));
+        let prep = prepare_categorical(&run);
+        let out = npd_amp::matrix_amp::run_matrix_amp_traced(
+            &prep,
+            &MatrixAmpConfig::default(),
+            Some(run.ground_truth().labels()),
+            sink,
+        );
+        return format!(
+            "matrix-amp n={n} d={} m={m} iterations={}",
+            instance.d(),
+            out.iterations
+        );
+    }
+
+    // Batch scenarios: one decode at the Theorem-1 budget with the sink
+    // attached to the decoder's workspace.
+    let m = (sweep::default_budget(n, scenario.theta, &scenario.noise) / 4).max(200);
+    let instance = Instance::builder(n)
+        .regime(Regime::sublinear(scenario.theta))
+        .queries(m)
+        .query_size(gamma)
+        .noise(scenario.noise)
+        .design(scenario.design)
+        .build()
+        .expect("registry scenarios are valid configurations");
+    let run = instance.sample(&mut StdRng::seed_from_u64(seed));
+    match scenario.decoder {
+        DecoderKind::Amp => {
+            let mut ws = AmpWorkspace::new();
+            ws.set_telemetry(sink.clone());
+            let (_, out) = AmpDecoder::default().decode_with_trace_using(&run, &mut ws);
+            format!("amp n={n} m={m} iterations={}", out.iterations)
+        }
+        DecoderKind::Bp => {
+            let mut ws = BpWorkspace::new();
+            ws.set_telemetry(sink.clone());
+            let out = BpDecoder::default().solve_with(&run, &mut ws);
+            format!("bp n={n} m={m} rounds={}", out.rounds)
+        }
+        // Greedy, two-step, and the workload scenarios all score through
+        // the greedy engine; the traced quantity is its score margin.
+        _ => {
+            let mut ws = GreedyWorkspace::new();
+            ws.set_telemetry(sink.clone());
+            let scores = GreedyDecoder::new().scores_using(&run, &mut ws);
+            format!("greedy n={n} m={m} scored={}", scores.len())
+        }
+    }
+}
+
 /// Categorical measurement: matrix-AMP label reconstruction on the
 /// multi-strain workload at the Theorem-1 budget, per grid point. Reports
 /// overall per-agent label accuracy, strain recall restricted to the

@@ -61,6 +61,44 @@ impl Metrics {
         }
     }
 
+    /// Every counter as a `(name, value)` row, in declaration order.
+    ///
+    /// This is the single enumeration of the struct's fields: the
+    /// telemetry exporter dumps these rows into its counter registry,
+    /// [`conserves`](Self::conserves) evaluates its identity over them,
+    /// and tests reconcile protocol-level accounting against them —
+    /// instead of each site plumbing fields by hand (and silently going
+    /// stale when a counter is added).
+    pub fn as_rows(&self) -> impl Iterator<Item = (&'static str, u64)> {
+        [
+            ("rounds", self.rounds),
+            ("messages_sent", self.messages_sent),
+            ("messages_delivered", self.messages_delivered),
+            ("messages_dropped", self.messages_dropped),
+            ("messages_duplicated", self.messages_duplicated),
+            ("messages_delayed", self.messages_delayed),
+            ("payload_bytes_sent", self.payload_bytes_sent),
+            ("peak_in_flight", self.peak_in_flight),
+            ("messages_lost_to_crash", self.messages_lost_to_crash),
+            ("messages_corrupted", self.messages_corrupted),
+            ("messages_retransmitted", self.messages_retransmitted),
+            ("node_crashes", self.node_crashes),
+            ("node_restarts", self.node_restarts),
+        ]
+        .into_iter()
+    }
+
+    /// Sum of the named rows from [`as_rows`](Self::as_rows).
+    fn row_total(&self, names: &[&str]) -> u64 {
+        let mut total = 0u64;
+        for (name, value) in self.as_rows() {
+            if names.contains(&name) {
+                total += value;
+            }
+        }
+        total
+    }
+
     /// The fault pipeline's conservation identity: every copy the network
     /// ever accepted (sends plus duplication copies) is accounted for
     /// exactly once —
@@ -73,12 +111,13 @@ impl Metrics {
     /// messages are delivered (garbled), so they need no extra term;
     /// retransmissions enter through `messages_sent` like any other send.
     pub fn conserves(&self, in_flight: usize, delayed: usize) -> bool {
-        self.messages_sent + self.messages_duplicated
-            == self.messages_delivered
-                + self.messages_dropped
-                + in_flight as u64
-                + delayed as u64
-                + self.messages_lost_to_crash
+        let accepted = self.row_total(&["messages_sent", "messages_duplicated"]);
+        let accounted = self.row_total(&[
+            "messages_delivered",
+            "messages_dropped",
+            "messages_lost_to_crash",
+        ]);
+        accepted == accounted + in_flight as u64 + delayed as u64
     }
 }
 
@@ -118,6 +157,40 @@ mod tests {
             ..Metrics::default()
         };
         assert_eq!(m.messages_per_round(), 2.5);
+    }
+
+    #[test]
+    fn rows_cover_every_counter_in_declaration_order() {
+        let mut m = Metrics::default();
+        // Give every field a distinct value so a swapped or missing row
+        // cannot cancel out.
+        for (i, slot) in [
+            &mut m.rounds,
+            &mut m.messages_sent,
+            &mut m.messages_delivered,
+            &mut m.messages_dropped,
+            &mut m.messages_duplicated,
+            &mut m.messages_delayed,
+            &mut m.payload_bytes_sent,
+            &mut m.peak_in_flight,
+            &mut m.messages_lost_to_crash,
+            &mut m.messages_corrupted,
+            &mut m.messages_retransmitted,
+            &mut m.node_crashes,
+            &mut m.node_restarts,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            *slot = i as u64 + 1;
+        }
+        let rows: Vec<(&str, u64)> = m.as_rows().collect();
+        assert_eq!(rows.len(), 13, "as_rows must enumerate every field");
+        assert_eq!(rows[0], ("rounds", 1));
+        assert_eq!(rows[1], ("messages_sent", 2));
+        assert_eq!(rows[12], ("node_restarts", 13));
+        let values: Vec<u64> = rows.iter().map(|&(_, v)| v).collect();
+        assert_eq!(values, (1..=13).collect::<Vec<u64>>());
     }
 
     #[test]

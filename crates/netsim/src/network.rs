@@ -43,6 +43,7 @@ use crate::{
     Activity, Envelope, FaultConfig, MaxRoundsExceeded, Metrics, Node, NodeFaultPlan, NodeId,
     ReliableConfig,
 };
+use npd_telemetry::{Event, TelemetrySink};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
@@ -254,6 +255,11 @@ pub struct Network<M, N> {
     counts: Vec<usize>,
     /// Permutation scratch for the in-place counting sort.
     perm: Vec<u32>,
+    /// Telemetry handle (disabled by default). Events are recorded only
+    /// from the *serial* phases of a step — never from `run_shard` — and
+    /// record only shard-count-invariant quantities, so the recorded
+    /// stream is bit-identical across shard and thread counts.
+    sink: TelemetrySink,
 }
 
 /// Fault-injection state. The clone function pointer is captured in
@@ -386,6 +392,7 @@ impl<M, N: Node<M>> Network<M, N> {
             ranges: vec![(0, 0); count],
             counts: Vec::new(),
             perm: Vec::new(),
+            sink: TelemetrySink::default(),
         };
         net.resize_shard_buffers();
         net
@@ -534,6 +541,31 @@ impl<M, N: Node<M>> Network<M, N> {
         self
     }
 
+    /// Attaches a telemetry sink (default: disabled). Each round then
+    /// records a `netsim`-phase span (begin/end with per-round message
+    /// and fault deltas), an `in_flight` histogram sample, and per-node
+    /// `inbox_len` histogram samples. Everything recorded is invariant
+    /// under the shard and thread configuration — per-shard breakdowns
+    /// are deliberately recorded at *node* granularity (the finest
+    /// shard-invariant unit) so trace streams stay byte-identical across
+    /// shard counts (contract rule 11).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network has already executed a round.
+    #[must_use]
+    pub fn with_telemetry(mut self, sink: TelemetrySink) -> Self {
+        assert_eq!(self.round, 0, "with_telemetry: network already started");
+        self.sink = sink;
+        self
+    }
+
+    /// The attached telemetry sink (disabled unless
+    /// [`with_telemetry`](Self::with_telemetry) was called).
+    pub fn telemetry(&self) -> &TelemetrySink {
+        &self.sink
+    }
+
     fn resize_shard_buffers(&mut self) {
         let s = self.shards;
         self.outboxes = (0..s)
@@ -659,6 +691,7 @@ impl<M, N: Node<M>> Network<M, N> {
     /// Executes one round with all shards stepped inline on the calling
     /// thread. Bit-identical to [`step_parallel`](Self::step_parallel).
     pub fn step(&mut self) -> StepReport {
+        let before = self.begin_round();
         self.apply_node_events();
         let delivered = self.build_arena();
         let active_nodes = {
@@ -670,7 +703,7 @@ impl<M, N: Node<M>> Network<M, N> {
             active
         };
         let sent = self.route();
-        self.finish_step(delivered, sent, active_nodes)
+        self.finish_step(before, delivered, sent, active_nodes)
     }
 
     /// Executes one round with shards stepped in parallel on the rayon
@@ -708,6 +741,7 @@ impl<M, N: Node<M>> Network<M, N> {
         M: Send + Sync,
         N: Send,
     {
+        let before = self.begin_round();
         self.apply_node_events();
         let delivered = self.build_arena();
         let active_nodes = {
@@ -720,10 +754,26 @@ impl<M, N: Node<M>> Network<M, N> {
             actives.into_iter().sum()
         };
         let sent = self.route();
-        self.finish_step(delivered, sent, active_nodes)
+        self.finish_step(before, delivered, sent, active_nodes)
     }
 
-    fn finish_step(&mut self, delivered: usize, sent: usize, active_nodes: usize) -> StepReport {
+    /// Opens the round's telemetry span and snapshots the metrics so
+    /// [`finish_step`](Self::finish_step) can report per-round deltas.
+    /// Serial by construction (called before any shard work starts).
+    fn begin_round(&mut self) -> Metrics {
+        let round = self.round;
+        self.sink
+            .emit(|| Event::begin("round").phase("netsim").round(round));
+        self.metrics
+    }
+
+    fn finish_step(
+        &mut self,
+        before: Metrics,
+        delivered: usize,
+        sent: usize,
+        active_nodes: usize,
+    ) -> StepReport {
         self.metrics.peak_in_flight = self.metrics.peak_in_flight.max(self.in_flight() as u64);
         let report = StepReport {
             round: self.round,
@@ -733,6 +783,25 @@ impl<M, N: Node<M>> Network<M, N> {
         };
         self.round += 1;
         self.metrics.rounds = self.round;
+        if self.sink.is_enabled() {
+            self.sink.record("in_flight", self.in_flight() as u64);
+            let after = self.metrics;
+            self.sink.emit(|| {
+                let mut event = Event::end("round")
+                    .phase("netsim")
+                    .round(report.round)
+                    .u64("active", active_nodes as u64);
+                // Per-round message/fault deltas straight off the shared
+                // Metrics rows; cumulative-style rows are skipped (the
+                // final registry dump carries them).
+                for ((name, now), (_, was)) in after.as_rows().zip(before.as_rows()) {
+                    if now != was && name != "rounds" && name != "peak_in_flight" {
+                        event = event.u64(name, now - was);
+                    }
+                }
+                event
+            });
+        }
         report
     }
 
@@ -844,6 +913,17 @@ impl<M, N: Node<M>> Network<M, N> {
             slab.clear();
             slab.extend(buf.drain(..).map(|(_, env)| env));
             delivered += slab.len();
+
+            // Per-node inbox sizes: the finest delivery breakdown that is
+            // invariant under the shard configuration (node ids don't move
+            // when the shard count changes), recorded serially per shard.
+            if self.sink.is_enabled() {
+                for &(seg_lo, seg_hi) in &self.ranges[lo..hi] {
+                    if seg_hi > seg_lo {
+                        self.sink.record("inbox_len", (seg_hi - seg_lo) as u64);
+                    }
+                }
+            }
         }
         self.resort = false;
         self.metrics.messages_delivered += delivered as u64;

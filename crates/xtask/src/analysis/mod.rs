@@ -7,6 +7,7 @@
 //! | `rng-provenance` | an RNG parameter's stream stays length-deterministic (no draws split by data-dependent `return`s) and never crosses a rayon closure boundary — per-item pure-hash derivation is the only sanctioned parallel form |
 //! | `float-order` | no cross-item float reduction (`sum`/`product`/`fold`/`reduce` at chain level) inside a rayon adapter span; integer turbofish reductions are exempt, and the order-preserving `par_chunks_mut + for_each` row-chunk idiom never reduces across items in the first place |
 //! | `impl-purity` | `PoolingDesign` / `PopulationModel` / `NoiseModel` impls are pure in `(params, n, stream)`: no wall clock, thread observables, ambient RNGs, environment reads, or (interior-)mutable statics (contract rules 6–8) |
+//! | `clock-boundary` | real-time `Clock` impls (the telemetry wall-time plane) exist only in harness crates; library crates keep the deterministic `NullClock` default (contract rule 11) |
 //! | `contract-sync` | ARCHITECTURE.md's numbered contract rules, the documented rule bullets, every `xtask:allow` in the workspace, and every README scenario row / repro target still resolve against the live rule registry and the code |
 //!
 //! Design notes on false positives the rules deliberately tolerate:
@@ -24,6 +25,7 @@
 //!   the parser never fails, so malformed code degrades to fewer findings,
 //!   and the compile step — which always runs first in CI — owns syntax.
 
+mod clock_boundary;
 mod contract_sync;
 mod float_order;
 mod impl_purity;
@@ -44,6 +46,7 @@ pub const ANALYZE_RULE_NAMES: &[&str] = &[
     "rng-provenance",
     "float-order",
     "impl-purity",
+    "clock-boundary",
     "contract-sync",
 ];
 
@@ -100,7 +103,7 @@ impl FnDb {
     }
 }
 
-/// Runs the three file-level analyzer rules over one parsed file.
+/// Runs the four file-level analyzer rules over one parsed file.
 /// (`contract-sync` is workspace-level; see [`contract_sync`].)
 pub fn check_file(
     ctx: &FileContext,
@@ -120,6 +123,7 @@ pub fn check_file(
     provenance::rng_provenance(toks, parsed, db, &mut findings);
     float_order::float_order(toks, &mut findings);
     impl_purity::impl_purity(toks, parsed, &mut findings);
+    clock_boundary::clock_boundary(ctx, toks, parsed, &mut findings);
     if ctx.kind == FileKind::Lib {
         let regions = crate::rules::test_regions(toks);
         findings.retain(|f| !crate::rules::in_regions(f.line, &regions));

@@ -31,6 +31,7 @@ pub const DETERMINISTIC_CRATES: &[&str] = &[
     "numerics",
     "sortnet",
     "adaptive",
+    "telemetry",
 ];
 
 /// Library crates audited for `unwrap()`/`expect()`: the deterministic set
@@ -47,6 +48,7 @@ pub const LIBRARY_CRATES: &[&str] = &[
     "adaptive",
     "amp",
     "theory",
+    "telemetry",
     "noisy_pooled_data",
 ];
 

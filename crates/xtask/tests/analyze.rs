@@ -78,6 +78,28 @@ fn impl_purity_fixture_is_flagged() {
 }
 
 #[test]
+fn clock_boundary_fixture_is_flagged() {
+    let outcome = analyze("bad/clock_boundary.rs");
+    assert_eq!(rules_hit(&outcome), ["clock-boundary"]);
+    // Instant::now, SystemTime, and a stored-origin .elapsed() — the
+    // constant SteadyClock impl must not be flagged.
+    assert_eq!(outcome.reports.len(), 3, "{:?}", outcome.reports);
+    let messages: Vec<&str> = outcome
+        .reports
+        .iter()
+        .map(|r| r.finding.message.as_str())
+        .collect();
+    assert!(messages.iter().all(|m| m.contains("contract rule 11")));
+    assert!(messages
+        .iter()
+        .any(|m| m.contains("the monotonic wall clock")));
+    assert!(messages.iter().any(|m| m.contains("the system clock")));
+    assert!(messages
+        .iter()
+        .any(|m| m.contains("a stored wall-clock origin")));
+}
+
+#[test]
 fn analyzer_traps_stay_clean() {
     let outcome = analyze("clean/analyze_traps.rs");
     assert!(
@@ -93,6 +115,7 @@ fn binary_exits_nonzero_on_every_bad_analyzer_fixture() {
         "bad/rng_provenance.rs",
         "bad/float_order.rs",
         "bad/impl_purity.rs",
+        "bad/clock_boundary.rs",
     ] {
         let path = fixture(name);
         let (ok, stdout) = run_binary(&["analyze", path.to_str().expect("utf-8 path")]);

@@ -49,8 +49,8 @@ fn contract_drift_fixture_yields_the_five_pinned_findings() {
 #[test]
 fn drift_fixture_resolves_the_healthy_references() {
     // The same fixture also contains references that DO resolve —
-    // `alpha-run`, `fig2`, the ten contiguous numbered rules, and the nine
-    // live-rule bullets — none of which may produce findings.
+    // `alpha-run`, `fig2`, the eleven contiguous numbered rules, and the
+    // ten live-rule bullets — none of which may produce findings.
     let outcome = engine::analyze_workspace(&drift_root(), false).expect("fixture tree readable");
     for bad in ["alpha-run", "fig2", "not contiguous", "numbered rules"] {
         assert!(

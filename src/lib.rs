@@ -57,5 +57,6 @@ pub use npd_experiments as experiments;
 pub use npd_netsim as netsim;
 pub use npd_numerics as numerics;
 pub use npd_sortnet as sortnet;
+pub use npd_telemetry as telemetry;
 pub use npd_theory as theory;
 pub use npd_workloads as workloads;

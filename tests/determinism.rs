@@ -586,3 +586,85 @@ fn workload_sampling_grid_is_identical_across_thread_counts() {
         assert_eq!(sample_all(threads), reference, "threads={threads}");
     }
 }
+
+/// Contract rule 11: the deterministic telemetry plane. The JSONL export
+/// of a chaos protocol run — netsim round events, per-node inbox
+/// histograms, phase summaries, the full counter dump — is
+/// **byte-identical** across shard counts {1, 8} × thread counts {1, 4},
+/// exactly like the outcome it observes.
+#[test]
+fn protocol_telemetry_stream_is_identical_across_shard_and_thread_counts() {
+    use noisy_pooled_data::core::distributed::{ProtocolOptions, SelectionStrategy};
+    use noisy_pooled_data::netsim::NodeFaultPlan;
+    use noisy_pooled_data::telemetry::TelemetrySink;
+
+    let run = sample_run(128, 3, 100, NoiseModel::z_channel(0.1), 34);
+    let plan = NodeFaultPlan::new(0x7E1E)
+        .with_crashes(0.10, (1, 6))
+        .unwrap()
+        .with_corruption(0.05, 1.0)
+        .unwrap();
+    let trace = |shards: usize, threads: usize| -> (String, distributed::ProtocolOutcome) {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        pool.install(|| {
+            let sink = TelemetrySink::recording();
+            let options = ProtocolOptions {
+                strategy: SelectionStrategy::gossip(),
+                node_faults: Some(plan),
+                winsorize: true,
+                shards: Some(shards),
+                ..ProtocolOptions::default()
+            };
+            let outcome = distributed::run_protocol_chaos_traced(&run, options, &sink).unwrap();
+            (sink.export_jsonl().unwrap(), outcome)
+        })
+    };
+    let (reference, ref_outcome) = trace(1, 1);
+    assert!(
+        reference.lines().count() > 20,
+        "trace is degenerate:\n{reference}"
+    );
+    assert!(reference.contains("\"name\":\"phase\""), "{reference}");
+    assert!(ref_outcome.metrics.node_crashes > 0, "no chaos drawn");
+    for shards in [1usize, 8] {
+        for threads in [1usize, 4] {
+            let (stream, outcome) = trace(shards, threads);
+            assert_eq!(outcome, ref_outcome, "shards={shards} threads={threads}");
+            assert_eq!(stream, reference, "shards={shards} threads={threads}");
+        }
+    }
+}
+
+/// The AMP decoder's telemetry — one `amp.iter` event per iteration with
+/// the SE statistic and update delta — is byte-identical across thread
+/// counts (the events are emitted from the serial iteration boundary).
+#[test]
+fn amp_telemetry_stream_is_identical_across_thread_counts() {
+    use noisy_pooled_data::telemetry::TelemetrySink;
+
+    let run = sample_run(600, 5, 400, NoiseModel::gaussian(1.0), 35);
+    let trace = |threads: usize| -> String {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        pool.install(|| {
+            let sink = TelemetrySink::recording();
+            let mut ws = AmpWorkspace::new();
+            ws.set_telemetry(sink.clone());
+            let _ = AmpDecoder::default().decode_with_trace_using(&run, &mut ws);
+            sink.export_jsonl().unwrap()
+        })
+    };
+    let reference = trace(1);
+    assert!(
+        reference.contains("\"name\":\"amp.iter\""),
+        "no iteration events:\n{reference}"
+    );
+    for threads in [2usize, 4] {
+        assert_eq!(trace(threads), reference, "threads={threads}");
+    }
+}
